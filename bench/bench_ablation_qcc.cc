@@ -1,0 +1,159 @@
+// Ablation studies over QCC's design choices (DESIGN.md §7):
+//   A. calibration window size — how fast QCC re-adapts when the load
+//      regime shifts (the §3.4 recalibration-cycle motivation);
+//   B. per-fragment vs per-server-only calibration factors (§3.1);
+//   C. reliability factor on/off under a flaky server (§3.3);
+//   D. round-robin cost tolerance sweep for load distribution (§4.2).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+namespace {
+
+ScenarioConfig SmallConfig(size_t window) {
+  ScenarioConfig cfg = HarnessScenarioConfig();
+  cfg.large_rows = 8'000;
+  cfg.small_rows = 600;
+  cfg.calibration_window = window;
+  return cfg;
+}
+
+/// Mean QCC response across a load cycle that shifts every phase —
+/// penalizes stale calibration.
+double CycleMeanResponse(size_t window, bool per_fragment,
+                         int exploration_rounds) {
+  ScenarioConfig cfg = SmallConfig(window);
+  Scenario sc(cfg);
+  QccConfig qcfg;
+  qcfg.calibration.per_fragment = per_fragment;
+  auto& qcc = sc.qcc(qcfg);
+  qcc.AttachTo(&sc.integrator());
+  WorkloadRunner runner(&sc);
+  double total = 0.0;
+  int phases = 0;
+  for (int phase : {2, 5, 3, 6, 2, 7}) {
+    sc.ApplyPhase(phase);
+    runner.ExplorationPass(exploration_rounds);
+    WorkloadResult r = runner.RunMixedWorkload(4, 1);
+    total += r.MeanResponse();
+    ++phases;
+  }
+  return total / phases;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== QCC ablations ===\n");
+  ShapeCheck check;
+
+  // -- A: calibration window size -------------------------------------------
+  std::printf("\n[A] calibration window sweep (shifting load, fixed "
+              "1-round exploration)\n");
+  std::printf("%-10s %14s\n", "window", "mean resp (s)");
+  PrintRule(28);
+  std::vector<std::pair<size_t, double>> window_results;
+  for (size_t window : {2, 4, 16, 64}) {
+    const double mean = CycleMeanResponse(window, true, 1);
+    window_results.emplace_back(window, mean);
+    std::printf("%-10zu %14.4f\n", window, mean);
+  }
+  check.Expect(window_results.front().second <
+                   window_results.back().second,
+               "short windows adapt faster than long ones under shifting "
+               "load");
+
+  // -- B: per-fragment vs per-server factors ---------------------------------
+  std::printf("\n[B] per-fragment vs per-server-only calibration\n");
+  const double with_fragment = CycleMeanResponse(4, true, 4);
+  const double server_only = CycleMeanResponse(4, false, 4);
+  std::printf("per-fragment factors:   %.4f s\n", with_fragment);
+  std::printf("per-server only:        %.4f s\n", server_only);
+  check.Expect(with_fragment <= server_only * 1.10,
+               "per-fragment factors are at least competitive with "
+               "server-only factors");
+
+  // -- C: reliability factor under a flaky server ----------------------------
+  // The integrator's failover retry masks fragment failures from the user,
+  // so the observable cost of unreliability is the retry count (each retry
+  // re-executes the query elsewhere).
+  std::printf("\n[C] reliability factor with a flaky fast server\n");
+  size_t flaky_retries[2] = {0, 0};
+  for (int use_reliability = 0; use_reliability < 2; ++use_reliability) {
+    ScenarioConfig cfg = SmallConfig(4);
+    Scenario sc(cfg);
+    // The fastest machine starts flaking: 35% of fragments fail.
+    sc.server("S3").set_error_rate(0.35);
+    QccConfig qcfg;
+    qcfg.enable_reliability = use_reliability == 1;
+    auto& qcc = sc.qcc(qcfg);
+    qcc.AttachTo(&sc.integrator());
+    WorkloadRunner runner(&sc);
+    sc.ApplyPhase(1);
+    runner.ExplorationPass(2);
+    WorkloadResult r = runner.RunMixedWorkload(6, 1);
+    flaky_retries[use_reliability] = r.total_retries();
+    std::printf("reliability %s: mean %.4f s, %zu failed, %zu failover "
+                "retries\n",
+                use_reliability ? "ON " : "OFF", r.MeanResponse(),
+                r.failures(), r.total_retries());
+  }
+  check.Expect(flaky_retries[1] < flaky_retries[0],
+               "reliability factor steers work away from the flaky "
+               "server (fewer failover retries)");
+
+  // -- D: round-robin tolerance sweep ---------------------------------------
+  // Rotation only engages between near-equivalent plans, so this sweep
+  // uses three *symmetric* servers (equal speed) hosting full replicas.
+  std::printf("\n[D] load-balance tolerance sweep (4 concurrent clients, "
+              "symmetric servers)\n");
+  std::printf("%-12s %14s %12s\n", "tolerance", "mean resp (s)",
+              "server sets");
+  PrintRule(42);
+  double tol_mean[4];
+  size_t tol_sets[4];
+  int idx = 0;
+  for (double tolerance : {0.0, 0.1, 0.2, 0.4}) {
+    ScenarioConfig cfg = SmallConfig(4);
+    Scenario sc(cfg);
+
+    // Nearly-equal profiles: 0% tolerance sees three distinct costs and
+    // never rotates; 10%+ tolerance sees them as equivalent.
+    sc.catalog().SetServerProfile(ServerProfile{"S1", 200'000, 0.005,
+                                                12.5e6});
+    sc.catalog().SetServerProfile(ServerProfile{"S2", 193'000, 0.005,
+                                                12.5e6});
+    sc.catalog().SetServerProfile(ServerProfile{"S3", 186'000, 0.005,
+                                                12.5e6});
+    QccConfig qcfg;
+    qcfg.load_balance.level = LoadBalanceConfig::Level::kGlobal;
+    qcfg.load_balance.cost_tolerance = tolerance;
+    qcfg.enable_calibration = false;  // keep costs symmetric
+    auto& qcc = sc.qcc(qcfg);
+    qcc.AttachTo(&sc.integrator());
+    WorkloadRunner runner(&sc);
+    sc.ApplyPhase(1);
+    WorkloadResult r = runner.RunMixedWorkload(8, 4);
+    std::map<std::string, int> sets;
+    for (const auto& m : r.measurements) {
+      if (!m.failed) ++sets[m.servers];
+    }
+    tol_mean[idx] = r.MeanResponse();
+    tol_sets[idx] = sets.size();
+    ++idx;
+    std::printf("%-12.2f %14.4f %12zu\n", tolerance, r.MeanResponse(),
+                sets.size());
+  }
+  check.Expect(tol_sets[0] == 1,
+               "zero tolerance never rotates (single server set)");
+  check.Expect(tol_sets[2] >= 2,
+               "20% tolerance rotates across equivalent replicas");
+  check.Expect(tol_mean[2] <= tol_mean[0],
+               "rotation reduces queueing under concurrency");
+
+  return check.Summary("bench_ablation_qcc");
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 10: "Benefits of QCC in Performance Gain over Fixed
+// Assignment 1".
+//
+// Two identical federations (same seed, same data) run the same mixed
+// workload — four query types, ten instances each, uniformly shuffled —
+// through all eight load phases of Table 1. One federation routes per the
+// fixed nickname-registration assignment (QT1->S1, QT2->S2, QT3->S1,
+// QT4->S3) with no calibration; the other runs QCC: transparent cost
+// calibration, availability daemons, and round-robin load distribution.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 10: QCC vs Fixed Assignment 1 ===\n\n");
+
+  Scenario fixed_sc(HarnessScenarioConfig());
+  ForcedServerSelector fixed_selector;
+  ConfigureFixedAssignment1(fixed_sc, &fixed_selector);
+  fixed_sc.integrator().SetPlanSelector(&fixed_selector);
+  WorkloadRunner fixed_runner(&fixed_sc);
+
+  Scenario qcc_sc(HarnessScenarioConfig());
+  auto& qcc = qcc_sc.qcc();
+  qcc.AttachTo(&qcc_sc.integrator());
+  WorkloadRunner qcc_runner(&qcc_sc);
+
+  std::printf("%-8s %14s %14s %10s\n", "Phase", "Fixed1 (s)", "QCC (s)",
+              "Gain");
+  PrintRule(52);
+  double gain_sum = 0.0;
+  double gain_all_loaded = 0.0;
+  int positive_gain_phases = 0;
+  for (int phase = 1; phase <= 8; ++phase) {
+    fixed_sc.ApplyPhase(phase);
+    WorkloadResult fixed = fixed_runner.RunMixedWorkload(10, 1);
+
+    qcc_sc.ApplyPhase(phase);
+    qcc_runner.ExplorationPass();  // §5.1 step 4: re-observe under load
+    WorkloadResult dynamic = qcc_runner.RunMixedWorkload(10, 1);
+
+    const double gain = fixed.MeanResponse() <= 0.0
+                            ? 0.0
+                            : (fixed.MeanResponse() -
+                               dynamic.MeanResponse()) /
+                                  fixed.MeanResponse() * 100.0;
+    gain_sum += gain;
+    if (phase == 8) gain_all_loaded = gain;
+    if (gain > 0) ++positive_gain_phases;
+    std::printf("Phase%-3d %14.4f %14.4f %9.1f%%\n", phase,
+                fixed.MeanResponse(), dynamic.MeanResponse(), gain);
+  }
+  const double avg_gain = gain_sum / 8.0;
+  PrintRule(52);
+  std::printf("average gain: %.1f%%   (paper reports ~50%%)\n", avg_gain);
+  std::printf("all-servers-loaded (phase 8) gain: %.1f%%   (paper: ~60%%)\n",
+              gain_all_loaded);
+
+  ShapeCheck check;
+  check.Expect(avg_gain > 20.0,
+               "QCC gains substantially over fixed assignment on average");
+  check.Expect(positive_gain_phases >= 7,
+               "QCC at least matches fixed assignment in nearly every "
+               "phase");
+  check.Expect(gain_all_loaded > 0.0,
+               "QCC still wins when every server is heavily loaded");
+  return check.Summary("bench_fig10_qcc_vs_fixed1");
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 9 (a)-(d): "Sensitivity of Query Type to System Load".
+//
+// For each query fragment type QT1..QT4 and each of five instances, the
+// harness measures the response time at S1, S2 and S3 under the base load
+// and under heavy update load at that server, printing one sub-table per
+// query type. The paper's qualitative findings checked at the end:
+//   * S3 (the most powerful machine) wins almost everywhere at low load;
+//   * for the costly type QT2, a loaded S3 becomes *worse* than the other
+//     unloaded servers — blind "always S3" routing breaks down;
+//   * for the highly selective QT3 (and QT4), S3 stays cheapest even when
+//     it is the only loaded server — naive load-based routing also breaks
+//     down. Only observed response times can tell the difference.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 9: response time by server / load / query type "
+              "===\n\n");
+  Scenario sc(HarnessScenarioConfig());
+  WorkloadRunner runner(&sc);
+  constexpr int kInstances = 5;
+  const std::vector<std::string> servers = sc.server_ids();
+
+  // means[qt][server][0=low,1=high]
+  std::map<QueryType, std::map<std::string, double>> low_mean, high_mean;
+
+  const char* subfig = "abcd";
+  int fig_index = 0;
+  for (QueryType qt : AllQueryTypes()) {
+    std::printf("(%c) %s\n", subfig[fig_index++], QueryTypeName(qt));
+    std::printf("%-10s", "instance");
+    for (const auto& sid : servers) {
+      std::printf("  %s-low  %s-high", sid.c_str(), sid.c_str());
+    }
+    std::printf("\n");
+    PrintRule();
+    for (int inst = 0; inst < kInstances; ++inst) {
+      const std::string sql = sc.MakeQueryInstance(qt, inst * 2);
+      std::printf("%-10d", inst + 1);
+      for (const auto& sid : servers) {
+        sc.ApplyPhase(1);  // everything at base load
+        auto low = runner.RunQueryOn(sql, sid);
+        for (const auto& other : servers) {
+          sc.server(other).set_background_load(
+              other == sid ? sc.config().heavy_load : 0.0);
+        }
+        auto high = runner.RunQueryOn(sql, sid);
+        const double lo = low.ok() ? *low : -1.0;
+        const double hi = high.ok() ? *high : -1.0;
+        std::printf("  %6.3f  %7.3f", lo, hi);
+        low_mean[qt][sid] += lo / kInstances;
+        high_mean[qt][sid] += hi / kInstances;
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  sc.ApplyPhase(1);
+
+  ShapeCheck check;
+  // Load monotonicity: every (type, server) slows down under load.
+  bool monotone = true;
+  for (QueryType qt : AllQueryTypes()) {
+    for (const auto& sid : servers) {
+      monotone &= high_mean[qt][sid] > low_mean[qt][sid];
+    }
+  }
+  check.Expect(monotone, "heavy load increases response time everywhere");
+  for (QueryType qt : AllQueryTypes()) {
+    const bool s3_best = low_mean[qt]["S3"] < low_mean[qt]["S1"] &&
+                         low_mean[qt]["S3"] < low_mean[qt]["S2"];
+    check.Expect(s3_best, std::string(QueryTypeName(qt)) +
+                              ": S3 cheapest at low load");
+  }
+  check.Expect(high_mean[QueryType::kQT2]["S3"] >
+                       low_mean[QueryType::kQT2]["S1"] &&
+                   high_mean[QueryType::kQT2]["S3"] >
+                       low_mean[QueryType::kQT2]["S2"],
+               "QT2: loaded S3 is worse than unloaded S1/S2 (paper: S3 "
+               "much more load-sensitive for QT2)");
+  check.Expect(high_mean[QueryType::kQT3]["S3"] <
+                       low_mean[QueryType::kQT3]["S1"] &&
+                   high_mean[QueryType::kQT3]["S3"] <
+                       low_mean[QueryType::kQT3]["S2"],
+               "QT3: S3 stays cheapest even when it alone is loaded");
+  check.Expect(high_mean[QueryType::kQT4]["S3"] <
+                       low_mean[QueryType::kQT4]["S1"],
+               "QT4: loaded S3 still beats unloaded S1");
+  return check.Summary("bench_fig9_load_sensitivity");
+}

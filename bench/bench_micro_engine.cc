@@ -1,0 +1,133 @@
+// Micro-benchmarks of the execution-engine substrate: operator throughput
+// and the full parse/bind/plan pipeline. These are google-benchmark
+// binaries measuring *wall-clock* performance of the library itself (the
+// figure harnesses measure *simulated* time).
+#include <benchmark/benchmark.h>
+
+#include "cost/planner.h"
+#include "engine/executor.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+
+namespace fedcal {
+namespace {
+
+TablePtr MakeLarge(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  TableGenSpec spec;
+  spec.name = "t";
+  spec.num_rows = rows;
+  spec.columns = {{"id", DataType::kInt64},
+                  {"k", DataType::kInt64},
+                  {"v", DataType::kDouble}};
+  spec.generators = {ColumnGenSpec::Serial(),
+                     ColumnGenSpec::UniformInt(0, 999),
+                     ColumnGenSpec::UniformDouble(0, 1000)};
+  return GenerateTable(spec, &rng).MoveValue();
+}
+
+class Db {
+ public:
+  explicit Db(size_t rows) {
+    a_ = MakeLarge(rows, 1);
+    b_ = MakeLarge(rows, 2);
+    stats_.Put(TableStats::Compute(*a_));
+    stats_.Put(TableStats::Compute(*b_));
+  }
+
+  Result<TablePtr> Run(const std::string& sql, ExecStats* st = nullptr) {
+    auto stmt = ParseSelect(sql);
+    std::vector<Schema> schemas;
+    for (const auto& tr : stmt->from) {
+      schemas.push_back((tr.table == "a" ? a_ : b_)->schema());
+    }
+    auto bq = BindQuery(*stmt, schemas);
+    Planner planner(&stats_);
+    auto plan = planner.Plan(*bq);
+    Executor exec([this](const std::string& n) -> Result<TablePtr> {
+      return n == "a" ? a_ : b_;
+    });
+    return exec.Execute(*plan, st);
+  }
+
+  const StatsCatalog& stats() const { return stats_; }
+
+ private:
+  TablePtr a_;
+  TablePtr b_;
+  StatsCatalog stats_;
+};
+
+void BM_ScanFilter(benchmark::State& state) {
+  Db db(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Run("SELECT id FROM a WHERE v > 500");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanFilter)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_HashJoin(benchmark::State& state) {
+  Db db(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Run("SELECT a.id FROM a, b WHERE a.id = b.id");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Db db(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Run(
+        "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM a GROUP BY k");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Sort(benchmark::State& state) {
+  Db db(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Run("SELECT id, v FROM a ORDER BY v DESC");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ParseBindPlan(benchmark::State& state) {
+  Db db(1024);
+  const std::string sql =
+      "SELECT a.k, COUNT(*) AS c, AVG(a.v) AS m FROM a JOIN b ON a.id = "
+      "b.id WHERE a.v > 250 AND b.k < 900 GROUP BY a.k ORDER BY c DESC "
+      "LIMIT 10";
+  for (auto _ : state) {
+    auto stmt = ParseSelect(sql);
+    auto bq = BindQuery(
+        *stmt, {MakeLarge(1, 1)->schema(), MakeLarge(1, 2)->schema()});
+    Planner planner(&db.stats());
+    auto plan = planner.Plan(*bq);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseBindPlan);
+
+void BM_StatsCompute(benchmark::State& state) {
+  TablePtr t = MakeLarge(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto stats = TableStats::Compute(*t);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StatsCompute)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace fedcal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Micro-benchmarks of the QCC hot paths: the per-estimate calibration
+// lookup (on every wrapper estimate flowing to the optimizer), the
+// observation-recording path (on every fragment completion), plan
+// selection, and full federated compilation.
+#include <benchmark/benchmark.h>
+
+#include "core/calibration_store.h"
+#include "core/load_balancer.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+void BM_CalibrationRecord(benchmark::State& state) {
+  CalibrationStore store;
+  size_t sig = 0;
+  for (auto _ : state) {
+    store.Record("S1", sig++ % 64, 1.0, 1.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibrationRecord);
+
+void BM_CalibrationLookup(benchmark::State& state) {
+  CalibrationStore store;
+  for (size_t s = 0; s < 64; ++s) store.Record("S1", s, 1.0, 1.5);
+  size_t sig = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Calibrate("S1", sig++ % 64, 2.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibrationLookup);
+
+// Whole-federation fixture shared by the compile benchmarks.
+Scenario* SharedScenario() {
+  static Scenario* sc = [] {
+    ScenarioConfig cfg;
+    cfg.large_rows = 2'000;
+    cfg.small_rows = 200;
+    return new Scenario(cfg);
+  }();
+  return sc;
+}
+
+void BM_FederatedCompile(benchmark::State& state) {
+  Scenario* sc = SharedScenario();
+  const std::string sql = sc->MakeQueryInstance(QueryType::kQT1, 0);
+  for (auto _ : state) {
+    auto compiled = sc->integrator().Compile(sql);
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FederatedCompile);
+
+void BM_PlanSelection(benchmark::State& state) {
+  Scenario* sc = SharedScenario();
+  const std::string sql = sc->MakeQueryInstance(QueryType::kQT4, 0);
+  auto compiled = sc->integrator().Compile(sql);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  LoadBalancer balancer(&sc->sim());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        balancer.SelectPlan(1, sql, compiled->options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanSelection);
+
+void BM_FederatedExecute(benchmark::State& state) {
+  Scenario* sc = SharedScenario();
+  const std::string sql = sc->MakeQueryInstance(QueryType::kQT3, 0);
+  for (auto _ : state) {
+    auto outcome = sc->integrator().RunSync(sql);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FederatedExecute);
+
+}  // namespace
+}  // namespace fedcal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Network-awareness harness (the "Network Aware" half of the paper's
+// title, §3.1: "variations in the network latencies ... are not explicitly
+// known to II ... their combined effects can be captured using a single
+// calibration factor").
+//
+// All servers idle; the *link* to the preferred server S3 suffers a
+// congestion episode (latency x60, bandwidth / 20). The admin-configured
+// latency the optimizer uses never changes, so a static system keeps
+// routing to S3 and eats the congested round trips; QCC sees the inflated
+// response times, raises S3's factor, and reroutes — then returns to S3
+// once the congestion clears and probes pull the factor back down.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+namespace {
+
+double MeanOver(WorkloadRunner* runner, int n) {
+  WorkloadResult r = runner->RunMixedWorkload(n, 1);
+  return r.MeanResponse();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Network awareness: congestion on the link to S3 "
+              "===\n\n");
+  ScenarioConfig cfg = HarnessScenarioConfig();
+  cfg.large_rows = 10'000;
+  cfg.small_rows = 800;
+
+  Scenario fixed_sc(cfg);
+  ForcedServerSelector fixed;
+  ConfigureFixedAssignment2(&fixed);  // always S3
+  fixed_sc.integrator().SetPlanSelector(&fixed);
+  WorkloadRunner fixed_runner(&fixed_sc);
+
+  Scenario qcc_sc(cfg);
+  auto& qcc = qcc_sc.qcc();
+  qcc.AttachTo(&qcc_sc.integrator());
+  WorkloadRunner qcc_runner(&qcc_sc);
+  qcc_runner.ExplorationPass();
+
+  std::printf("%-22s %12s %12s %18s\n", "period", "fixed-S3 (s)",
+              "QCC (s)", "QCC S3 factor");
+  PrintRule(68);
+
+  auto measure = [&](const char* label) {
+    const double fixed_mean = MeanOver(&fixed_runner, 6);
+    qcc_runner.ExplorationPass();
+    const double qcc_mean = MeanOver(&qcc_runner, 6);
+    std::printf("%-22s %12.4f %12.4f %18.2f\n", label, fixed_mean,
+                qcc_mean, qcc.store().ServerFactor("S3"));
+    return std::make_pair(fixed_mean, qcc_mean);
+  };
+
+  auto clear_period = measure("clear network");
+
+  // Congest S3's link for a long window (relative to each scenario's own
+  // virtual clock).
+  auto congest = [](Scenario* sc) {
+    auto link = sc->network().GetLink("S3");
+    (*link)->AddCongestion(CongestionEpisode{
+        .start = sc->sim().Now(),
+        .end = sc->sim().Now() + 1e9,
+        .latency_multiplier = 60.0,
+        .bandwidth_divisor = 20.0});
+  };
+  congest(&fixed_sc);
+  congest(&qcc_sc);
+  auto congested = measure("S3 link congested");
+
+  auto uncongest = [](Scenario* sc) {
+    (*sc->network().GetLink("S3"))->ClearCongestion();
+  };
+  uncongest(&fixed_sc);
+  uncongest(&qcc_sc);
+  auto recovered = measure("congestion cleared");
+
+  // Where did QCC route during congestion? Compile one QT1 instance.
+  auto compiled = qcc_sc.integrator().Compile(
+      qcc_sc.MakeQueryInstance(QueryType::kQT1, 0));
+  std::string final_route =
+      compiled.ok()
+          ? compiled->options[compiled->chosen_index].server_set.front()
+          : "?";
+  std::printf("\nrouting after recovery: QT1 -> %s\n", final_route.c_str());
+
+  ShapeCheck check;
+  check.Expect(congested.first > clear_period.first * 2.0,
+               "congestion substantially slows the static always-S3 "
+               "system");
+  check.Expect(congested.second < congested.first,
+               "QCC routes around the congested link");
+  check.Expect(recovered.second < congested.second,
+               "QCC recovers once the congestion clears");
+  check.Expect(final_route == "S3",
+               "routing returns to S3 after the network recovers");
+  return check.Summary("bench_network_aware");
+}

@@ -1,0 +1,255 @@
+// Reproduces the Section 4 load-distribution scenario (Figures 7 and 8).
+//
+// Four remote servers: S1 and S2 are origin servers; R1 replicates S1's
+// tables and R2 replicates S2's. A federated query Q6 joins data across
+// the two sources, so it decomposes into two fragments with candidate
+// servers {S1,R1} and {S2,R2}. The harness shows:
+//   1. the enumerated global plans and their calibrated costs;
+//   2. the what-if simulated federated system deriving all alternatives
+//      with exactly |{S1,R1}| x |{S2,R2}| = 4 explain-mode runs (the
+//      paper's "execute Q6 in explain mode only four times");
+//   3. dominated-plan elimination (same server set -> keep cheapest);
+//   4. round-robin rotation over near-optimal plans, and its effect on
+//      response time under a concurrent workload versus always picking
+//      the single cheapest plan.
+#include <cstdio>
+#include <deque>
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "storage/datagen.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+namespace {
+
+struct Federation {
+  Simulator sim;
+  Network network;
+  GlobalCatalog catalog;
+  std::map<std::string, std::unique_ptr<RemoteServer>> servers;
+  std::vector<std::unique_ptr<RelationalWrapper>> wrappers;
+  std::unique_ptr<MetaWrapper> mw;
+  std::unique_ptr<Integrator> ii;
+
+  void AddServer(const std::string& id, double speed) {
+    ServerConfig cfg;
+    cfg.id = id;
+    cfg.cpu_speed = speed;
+    cfg.io_speed = speed;
+    cfg.num_workers = 2;
+    servers[id] = std::make_unique<RemoteServer>(cfg, &sim, Rng(17));
+    network.AddLink(id, LinkConfig{.base_latency_s = 0.004,
+                                   .bandwidth_bytes_per_s = 12.5e6});
+    catalog.SetServerProfile(ServerProfile{id, speed, 0.004, 12.5e6});
+  }
+
+  void Finish() {
+    mw = std::make_unique<MetaWrapper>(&catalog, &network, &sim);
+    for (auto& [id, s] : servers) {
+      wrappers.push_back(std::make_unique<RelationalWrapper>(s.get()));
+      mw->RegisterWrapper(wrappers.back().get());
+    }
+    ii = std::make_unique<Integrator>(&catalog, mw.get(), &sim);
+  }
+};
+
+std::string Q6(int instance) {
+  return StringFormat(
+      "SELECT c.region, COUNT(*) AS cnt, SUM(l.amount) AS total "
+      "FROM lineitem l JOIN orders o ON l.okey = o.okey "
+      "JOIN customer c ON o.ckey = c.ckey "
+      "WHERE l.amount > %d GROUP BY c.region",
+      50 + instance);
+}
+
+/// Closed-loop run of `n` Q6 instances with `clients` concurrent streams;
+/// returns mean response time and per-server-set counts.
+struct RunStats {
+  double mean = 0.0;
+  std::map<std::string, int> server_sets;
+};
+
+RunStats RunWorkload(Federation* fed, int n, int clients) {
+  RunStats stats;
+  std::deque<std::string> queue;
+  for (int i = 0; i < n; ++i) queue.push_back(Q6(i % 10));
+  size_t in_flight = 0;
+  double sum = 0.0;
+  int completed = 0;
+  std::function<void()> pump = [&] {
+    while (in_flight < static_cast<size_t>(clients) && !queue.empty()) {
+      std::string sql = std::move(queue.front());
+      queue.pop_front();
+      auto compiled = fed->ii->Compile(sql);
+      if (!compiled.ok()) continue;
+      ++in_flight;
+      fed->ii->Execute(*compiled, [&](Result<QueryOutcome> r) {
+        --in_flight;
+        if (r.ok()) {
+          sum += r->response_seconds;
+          ++completed;
+          std::string joined;
+          for (size_t i = 0; i < r->executed_plan.server_set.size(); ++i) {
+            if (i) joined += "+";
+            joined += r->executed_plan.server_set[i];
+          }
+          ++stats.server_sets[joined];
+        }
+        pump();
+      });
+    }
+  };
+  pump();
+  while ((in_flight > 0 || !queue.empty()) && fed->sim.Step()) {
+  }
+  stats.mean = completed ? sum / completed : 0.0;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4: load distribution with replicas ===\n\n");
+
+  Federation fed;
+  fed.AddServer("S1", 150'000);
+  fed.AddServer("R1", 150'000);
+  fed.AddServer("S2", 150'000);
+  fed.AddServer("R2", 150'000);
+
+  Rng rng(99);
+  TableGenSpec lineitem;
+  lineitem.name = "lineitem";
+  lineitem.num_rows = 20'000;
+  lineitem.columns = {{"lkey", DataType::kInt64},
+                      {"okey", DataType::kInt64},
+                      {"amount", DataType::kDouble}};
+  lineitem.generators = {ColumnGenSpec::Serial(),
+                         ColumnGenSpec::UniformInt(0, 7'999),
+                         ColumnGenSpec::UniformDouble(0, 1'000)};
+  TableGenSpec orders;
+  orders.name = "orders";
+  orders.num_rows = 8'000;
+  orders.columns = {{"okey", DataType::kInt64},
+                    {"ckey", DataType::kInt64}};
+  orders.generators = {ColumnGenSpec::Serial(),
+                       ColumnGenSpec::UniformInt(0, 1'999)};
+  TableGenSpec customer;
+  customer.name = "customer";
+  customer.num_rows = 2'000;
+  customer.columns = {{"ckey", DataType::kInt64},
+                      {"region", DataType::kString}};
+  customer.generators = {
+      ColumnGenSpec::Serial(),
+      ColumnGenSpec::StringPool({"na", "emea", "apac", "latam"})};
+
+  auto add = [&](const TableGenSpec& spec,
+                 const std::vector<std::string>& hosts) {
+    auto t = GenerateTable(spec, &rng).MoveValue();
+    (void)fed.catalog.RegisterNickname(spec.name, t->schema());
+    fed.catalog.PutStats(spec.name, TableStats::Compute(*t));
+    for (const auto& h : hosts) {
+      (void)fed.servers[h]->AddTable(t->CloneAs(spec.name));
+      (void)fed.catalog.AddLocation(spec.name, h, spec.name);
+    }
+  };
+  add(lineitem, {"S1", "R1"});
+  add(orders, {"S1", "R1"});
+  add(customer, {"S2", "R2"});
+  fed.Finish();
+
+  // 1. The integrator's own enumeration of global plans for Q6.
+  auto compiled = fed.ii->Compile(Q6(0));
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q6 decomposes into %zu fragments; %zu global plans "
+              "enumerated:\n",
+              compiled->decomposition.fragments.size(),
+              compiled->options.size());
+  for (const auto& opt : compiled->options) {
+    std::printf("  %s\n", opt.Describe().c_str());
+  }
+
+  // 2-3. What-if enumeration with per-subset explain runs + dominated-plan
+  // elimination.
+  WhatIfSimulator whatif(&fed.catalog, fed.mw.get());
+  auto enumeration = whatif.EnumerateAlternatives(Q6(0));
+  if (!enumeration.ok()) {
+    std::printf("what-if failed: %s\n",
+                enumeration.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nWhat-if simulated federated system: %zu explain runs, "
+              "%zu plans after dominated elimination:\n",
+              enumeration->explain_runs, enumeration->plans.size());
+  for (const auto& p : enumeration->plans) {
+    std::printf("  %s\n", p.Describe().c_str());
+  }
+
+  // 4. Round-robin rotation vs single cheapest plan under concurrency.
+  QueryCostCalibrator qcc_off(&fed.sim, fed.mw.get(),
+                              [] {
+                                QccConfig c;
+                                c.load_balance.level =
+                                    LoadBalanceConfig::Level::kNone;
+                                c.enable_availability_daemon = false;
+                                return c;
+                              }());
+  qcc_off.AttachTo(fed.ii.get());
+  RunStats no_balance = RunWorkload(&fed, 40, 6);
+  qcc_off.Detach(fed.ii.get());
+
+  QueryCostCalibrator qcc_on(&fed.sim, fed.mw.get(),
+                             [] {
+                               QccConfig c;
+                               c.load_balance.level =
+                                   LoadBalanceConfig::Level::kGlobal;
+                               c.load_balance.cost_tolerance = 0.2;
+                               c.enable_availability_daemon = false;
+                               return c;
+                             }());
+  qcc_on.AttachTo(fed.ii.get());
+  RunStats balanced = RunWorkload(&fed, 40, 6);
+  qcc_on.Detach(fed.ii.get());
+
+  auto print_run = [](const char* name, const RunStats& s) {
+    std::printf("\n%s: mean response %.4fs, server sets used:\n", name,
+                s.mean);
+    for (const auto& [set, count] : s.server_sets) {
+      std::printf("  %-12s %d queries\n", set.c_str(), count);
+    }
+  };
+  print_run("cheapest-plan only (no load distribution)", no_balance);
+  print_run("round-robin load distribution (tolerance 20%)", balanced);
+
+  ShapeCheck check;
+  check.Expect(enumeration->explain_runs == 4,
+               "what-if needed exactly 4 explain runs (paper's Q6 "
+               "example)");
+  check.Expect(enumeration->plans.size() >= 3,
+               "at least 3 non-dominated plans on distinct server sets");
+  auto max_share = [](const RunStats& s) {
+    int total = 0, mx = 0;
+    for (const auto& [set, count] : s.server_sets) {
+      total += count;
+      mx = std::max(mx, count);
+    }
+    return total ? static_cast<double>(mx) / total : 0.0;
+  };
+  check.Expect(max_share(no_balance) > max_share(balanced),
+               "balancing lowers the busiest server set's share of the "
+               "workload");
+  check.Expect(balanced.server_sets.size() >= 3,
+               "with balancing, queries spread across >=3 server sets");
+  check.Expect(balanced.mean < no_balance.mean,
+               "load distribution reduces mean response under "
+               "concurrency");
+  return check.Summary("bench_sec4_load_balance");
+}

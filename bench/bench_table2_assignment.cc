@@ -1,0 +1,104 @@
+// Reproduces Tables 1 and 2: the eight server-load phases and the
+// comparison between the fixed nickname-registration assignment and QCC's
+// dynamic per-phase assignment.
+//
+// For each phase the harness applies the Table-1 load combination, lets
+// QCC re-observe the servers (the paper's step 4 re-forwarding), then asks
+// the integrator — with QCC calibration installed — where it would route
+// one instance of each query type.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace fedcal;         // NOLINT
+using namespace fedcal::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Table 1: combinations of server load conditions ===\n\n");
+  std::printf("%-8s", "Server");
+  for (int p = 1; p <= 8; ++p) std::printf("  Phase%d", p);
+  std::printf("\n");
+  PrintRule();
+  for (const std::string sid : {"S1", "S2", "S3"}) {
+    std::printf("%-8s", sid.c_str());
+    for (int p = 1; p <= 8; ++p) {
+      std::printf("  %-6s", Scenario::LoadedInPhase(p, sid) ? "Load" : "Base");
+    }
+    std::printf("\n");
+  }
+
+  Scenario sc(HarnessScenarioConfig());
+  WorkloadRunner runner(&sc);
+  QccConfig qcfg;
+  // Pure routing comparison: disable rotation so the table shows the
+  // single server QCC considers best per phase.
+  qcfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  auto& qcc = sc.qcc(qcfg);
+  qcc.AttachTo(&sc.integrator());
+
+  const std::map<QueryType, std::string> fixed = {
+      {QueryType::kQT1, "S1"},
+      {QueryType::kQT2, "S2"},
+      {QueryType::kQT3, "S1"},
+      {QueryType::kQT4, "S3"}};
+
+  std::map<QueryType, std::map<int, std::string>> dynamic;
+  for (int phase = 1; phase <= 8; ++phase) {
+    sc.ApplyPhase(phase);
+    runner.ExplorationPass();  // QCC observes every server under this load
+    for (QueryType qt : AllQueryTypes()) {
+      auto compiled = sc.integrator().Compile(sc.MakeQueryInstance(qt, 4));
+      if (!compiled.ok()) {
+        dynamic[qt][phase] = "??";
+        continue;
+      }
+      const auto& chosen = compiled->options[compiled->chosen_index];
+      std::string joined;
+      for (const auto& s : chosen.server_set) joined += s;
+      dynamic[qt][phase] = joined;
+    }
+  }
+  sc.ApplyPhase(1);
+
+  std::printf("\n=== Table 2: fixed vs dynamic (QCC) server assignment "
+              "===\n\n");
+  std::printf("%-6s %-7s", "Type", "Fixed");
+  for (int p = 1; p <= 8; ++p) std::printf("  Ph%d", p);
+  std::printf("\n");
+  PrintRule();
+  for (QueryType qt : AllQueryTypes()) {
+    std::printf("%-6s %-7s", QueryTypeName(qt), fixed.at(qt).c_str());
+    for (int p = 1; p <= 8; ++p) {
+      std::printf("  %-3s", dynamic[qt][p].c_str());
+    }
+    std::printf("\n");
+  }
+
+  ShapeCheck check;
+  // Phase 1 (nothing loaded): the powerful S3 should win all types.
+  bool all_s3_phase1 = true;
+  for (QueryType qt : AllQueryTypes()) {
+    all_s3_phase1 &= dynamic[qt][1] == "S3";
+  }
+  check.Expect(all_s3_phase1, "phase 1: every type routed to S3");
+  // QT2 must leave S3 whenever S3 is loaded (phases 2,4,6,8) — the
+  // paper's central dynamic-routing example.
+  bool qt2_leaves = true;
+  for (int p : {2, 4, 6}) qt2_leaves &= dynamic[QueryType::kQT2][p] != "S3";
+  check.Expect(qt2_leaves,
+               "QT2 leaves S3 in phases where S3 is loaded and an "
+               "unloaded alternative exists");
+  // QT4 (highly selective) sticks with S3 in every phase, like Table 2.
+  bool qt4_stays = true;
+  for (int p = 1; p <= 8; ++p) qt4_stays &= dynamic[QueryType::kQT4][p] == "S3";
+  check.Expect(qt4_stays, "QT4 stays on S3 through all phases");
+  // Dynamic assignment must differ from the fixed one somewhere (the whole
+  // point of adaptive routing).
+  bool differs = false;
+  for (QueryType qt : AllQueryTypes()) {
+    for (int p = 1; p <= 8; ++p) differs |= dynamic[qt][p] != fixed.at(qt);
+  }
+  check.Expect(differs, "dynamic assignment deviates from fixed somewhere");
+  return check.Summary("bench_table2_assignment");
+}

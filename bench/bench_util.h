@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/runner.h"
+#include "workload/scenario.h"
+
+namespace fedcal::bench {
+
+/// Row scale used by the figure/table harnesses. The paper uses 100k-row
+/// large tables; the harness default is reduced so the full bench suite
+/// runs in minutes. The *shape* of every result (who wins, where the
+/// crossovers are) is scale-invariant here because service times are
+/// linear in work; see EXPERIMENTS.md.
+inline ScenarioConfig HarnessScenarioConfig(uint64_t seed = 42) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.large_rows = 20'000;
+  cfg.small_rows = 1'000;
+  cfg.heavy_load = 0.6;
+  return cfg;
+}
+
+/// The paper's fixed nickname-registration assignment ("Fixed Assignment
+/// 1"): QT1 -> S1, QT2 -> S2, QT3 -> S1, QT4 -> S3.
+inline void ConfigureFixedAssignment1(const Scenario& sc,
+                                      ForcedServerSelector* selector) {
+  selector->Assign(sc.QueryTypeSignature(QueryType::kQT1), "S1");
+  selector->Assign(sc.QueryTypeSignature(QueryType::kQT2), "S2");
+  selector->Assign(sc.QueryTypeSignature(QueryType::kQT3), "S1");
+  selector->Assign(sc.QueryTypeSignature(QueryType::kQT4), "S3");
+}
+
+/// "Fixed Assignment 2": route everything to the most powerful machine.
+inline void ConfigureFixedAssignment2(ForcedServerSelector* selector) {
+  selector->set_default_server("S3");
+}
+
+struct ShapeCheck {
+  int passed = 0;
+  int failed = 0;
+
+  void Expect(bool ok, const std::string& what) {
+    std::printf("  shape-check %-4s %s\n", ok ? "PASS" : "FAIL",
+                what.c_str());
+    (ok ? passed : failed) += 1;
+  }
+
+  int Summary(const char* name) const {
+    std::printf("\n%s: %d shape checks passed, %d failed\n", name, passed,
+                failed);
+    return failed == 0 ? 0 : 1;
+  }
+};
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace fedcal::bench

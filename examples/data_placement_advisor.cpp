@@ -1,0 +1,135 @@
+// Data placement in conjunction with QCC (paper §7 future work).
+//
+// A federation where the hottest table lives on a single server while a
+// second machine idles. QCC's meta-wrapper logs reveal where observed
+// execution time actually goes; the ReplicaAdvisor mines them, recommends
+// replicating the hot nickname onto the idle server, and applying the
+// recommendation immediately widens the optimizer's choices — throughput
+// under concurrency improves without touching a single query.
+//
+//   ./build/examples/data_placement_advisor
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/qcc.h"
+#include "core/replica_advisor.h"
+#include "storage/datagen.h"
+
+using namespace fedcal;  // NOLINT
+
+namespace {
+
+struct Fed {
+  Simulator sim;
+  Network network;
+  GlobalCatalog catalog;
+  std::map<std::string, std::unique_ptr<RemoteServer>> servers;
+  std::vector<std::unique_ptr<RelationalWrapper>> wrappers;
+  std::unique_ptr<MetaWrapper> mw;
+  std::unique_ptr<Integrator> ii;
+};
+
+double RunBurst(Fed* fed, int n, int clients) {
+  std::deque<std::string> queue;
+  for (int i = 0; i < n; ++i) {
+    queue.push_back(StringFormat(
+        "SELECT k, COUNT(*) AS c, AVG(v) AS m FROM metrics "
+        "WHERE v > %d GROUP BY k",
+        i % 7));
+  }
+  size_t in_flight = 0;
+  double sum = 0.0;
+  int completed = 0;
+  std::function<void()> pump = [&] {
+    while (in_flight < static_cast<size_t>(clients) && !queue.empty()) {
+      auto compiled = fed->ii->Compile(queue.front());
+      queue.pop_front();
+      if (!compiled.ok()) continue;
+      ++in_flight;
+      fed->ii->Execute(*compiled, [&](Result<QueryOutcome> r) {
+        --in_flight;
+        if (r.ok()) {
+          sum += r->response_seconds;
+          ++completed;
+        }
+        pump();
+      });
+    }
+  };
+  pump();
+  while ((in_flight > 0 || !queue.empty()) && fed->sim.Step()) {
+  }
+  return completed ? sum / completed : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  Fed fed;
+  for (const std::string id : {"alpha", "beta"}) {
+    ServerConfig cfg;
+    cfg.id = id;
+    cfg.cpu_speed = cfg.io_speed = 150'000;
+    cfg.num_workers = 2;
+    fed.servers[id] = std::make_unique<RemoteServer>(cfg, &fed.sim, Rng(1));
+    fed.network.AddLink(id, LinkConfig{});
+    fed.catalog.SetServerProfile(ServerProfile{id, 150'000, 0.005,
+                                               12.5e6});
+  }
+
+  Rng rng(9);
+  TableGenSpec spec;
+  spec.name = "metrics";
+  spec.num_rows = 15'000;
+  spec.columns = {{"k", DataType::kInt64}, {"v", DataType::kDouble}};
+  spec.generators = {ColumnGenSpec::UniformInt(0, 19),
+                     ColumnGenSpec::UniformDouble(0, 10)};
+  TablePtr metrics = GenerateTable(spec, &rng).MoveValue();
+  (void)fed.servers["alpha"]->AddTable(metrics);
+  (void)fed.catalog.RegisterNickname("metrics", metrics->schema());
+  (void)fed.catalog.AddLocation("metrics", "alpha", "metrics");
+  fed.catalog.PutStats("metrics", TableStats::Compute(*metrics));
+
+  fed.mw = std::make_unique<MetaWrapper>(&fed.catalog, &fed.network,
+                                         &fed.sim);
+  for (auto& [id, s] : fed.servers) {
+    fed.wrappers.push_back(std::make_unique<RelationalWrapper>(s.get()));
+    fed.mw->RegisterWrapper(fed.wrappers.back().get());
+  }
+  fed.ii = std::make_unique<Integrator>(&fed.catalog, fed.mw.get(),
+                                        &fed.sim);
+
+  QccConfig qcfg;
+  qcfg.load_balance.level = LoadBalanceConfig::Level::kGlobal;
+  QueryCostCalibrator qcc(&fed.sim, fed.mw.get(), qcfg);
+  qcc.AttachTo(fed.ii.get());
+
+  std::printf("phase 1: all 'metrics' traffic must go to alpha\n");
+  const double before = RunBurst(&fed, 24, 4);
+  std::printf("  mean response with a single replica: %.4f s\n\n", before);
+
+  ReplicaAdvisor advisor(&fed.catalog, fed.mw.get());
+  auto recs = advisor.Analyze();
+  if (recs.empty()) {
+    std::printf("advisor produced no recommendation (unexpected)\n");
+    return 1;
+  }
+  std::printf("advisor recommendation:\n  %s\n", recs[0].rationale.c_str());
+  std::printf("  -> replicate '%s' from %s to %s\n\n",
+              recs[0].nickname.c_str(), recs[0].source_server.c_str(),
+              recs[0].target_server.c_str());
+  if (Status st = advisor.Apply(recs[0]); !st.ok()) {
+    std::printf("apply failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("phase 2: same burst with the new replica + round-robin\n");
+  const double after = RunBurst(&fed, 24, 4);
+  std::printf("  mean response with two replicas:     %.4f s\n", after);
+  std::printf("\nimprovement: %.1f%%\n", (before - after) / before * 100.0);
+  return after < before ? 0 : 1;
+}

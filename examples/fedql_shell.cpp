@@ -1,0 +1,164 @@
+// Interactive federated SQL shell over the §5 experiment testbed.
+//
+//   ./build/examples/fedql_shell
+//
+// Type SQL against the nicknames `employee`, `sales`, `department`
+// (replicated across servers S1, S2, S3), or one of the backslash
+// commands:
+//
+//   \tables            list nicknames and replica locations
+//   \servers           server status, load and calibration factors
+//   \load <srv> <f>    set background load on a server (0..0.99)
+//   \down <srv>        take a server down        \up <srv>  bring it back
+//   \explain           show the explain-table entry of the last query
+//   \qcc on|off        attach / detach the query cost calibrator
+//   \quit              exit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "workload/scenario.h"
+
+using namespace fedcal;  // NOLINT
+
+namespace {
+
+void PrintTable(const Table& t, size_t max_rows = 20) {
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    std::printf("%-18s", t.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    std::printf("%-18s", "------");
+  }
+  std::printf("\n");
+  const size_t n = std::min(max_rows, t.num_rows());
+  for (size_t r = 0; r < n; ++r) {
+    for (const Value& v : t.row(r)) {
+      std::printf("%-18s", v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (t.num_rows() > n) {
+    std::printf("... (%zu more rows)\n", t.num_rows() - n);
+  }
+  std::printf("(%zu rows)\n", t.num_rows());
+}
+
+}  // namespace
+
+int main() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 20'000;
+  cfg.small_rows = 1'000;
+  std::printf("building federation (3 servers, %zu-row large tables)...\n",
+              cfg.large_rows);
+  Scenario sc(cfg);
+  bool qcc_attached = true;
+  sc.qcc().AttachTo(&sc.integrator());
+
+  std::printf(
+      "fedql> ready. nicknames: employee, sales, department. "
+      "\\quit to exit.\n");
+
+  uint64_t last_query_id = 0;
+  std::string line;
+  while (true) {
+    std::printf("fedql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      std::istringstream iss(line.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "tables") {
+        for (const auto& nickname : sc.catalog().nicknames()) {
+          auto entry = sc.catalog().Lookup(nickname);
+          std::printf("  %-12s", nickname.c_str());
+          for (const auto& loc : (*entry)->locations) {
+            std::printf(" %s:%s", loc.server_id.c_str(),
+                        loc.remote_table.c_str());
+          }
+          std::printf("\n");
+        }
+      } else if (cmd == "servers") {
+        for (const auto& sid : sc.server_ids()) {
+          const RemoteServer& s = sc.server(sid);
+          std::printf(
+              "  %-4s %-5s load=%.2f factor=%.2f busy=%d queued=%zu "
+              "done=%zu\n",
+              sid.c_str(), s.available() ? "up" : "DOWN",
+              s.background_load(),
+              sc.qcc().store().ServerFactor(sid), s.busy_workers(),
+              s.queued_fragments(), s.fragments_completed());
+        }
+      } else if (cmd == "load") {
+        std::string sid;
+        double f = 0.0;
+        if (iss >> sid >> f) {
+          sc.server(sid).set_background_load(f);
+          std::printf("  %s background load = %.2f\n", sid.c_str(), f);
+        } else {
+          std::printf("  usage: \\load <server> <fraction>\n");
+        }
+      } else if (cmd == "down" || cmd == "up") {
+        std::string sid;
+        if (iss >> sid) {
+          sc.server(sid).SetAvailable(cmd == "up");
+          std::printf("  %s is now %s\n", sid.c_str(),
+                      cmd == "up" ? "up" : "down");
+        }
+      } else if (cmd == "explain") {
+        const ExplainEntry* e =
+            sc.integrator().explain().Find(last_query_id);
+        if (!e) {
+          std::printf("  no explained query yet\n");
+        } else {
+          std::printf("  total estimated: %.4f s\n",
+                      e->total_estimated_seconds);
+          for (const auto& f : e->fragments) {
+            std::printf("  [%s] est=%.4f cal=%.4f  %s\n",
+                        f.server_id.c_str(), f.estimated_seconds,
+                        f.calibrated_seconds, f.statement.c_str());
+          }
+          std::printf("  merge plan:\n%s\n", e->merge_plan_text.c_str());
+        }
+      } else if (cmd == "qcc") {
+        std::string mode;
+        iss >> mode;
+        if (mode == "off" && qcc_attached) {
+          sc.qcc().Detach(&sc.integrator());
+          qcc_attached = false;
+        } else if (mode == "on" && !qcc_attached) {
+          sc.qcc().AttachTo(&sc.integrator());
+          qcc_attached = true;
+        }
+        std::printf("  qcc is %s\n", qcc_attached ? "on" : "off");
+      } else {
+        std::printf("  unknown command: %s\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto outcome = sc.integrator().RunSync(line);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      continue;
+    }
+    last_query_id = outcome->query_id;
+    PrintTable(*outcome->table);
+    std::string servers;
+    for (const auto& s : outcome->executed_plan.server_set) {
+      servers += servers.empty() ? s : "+" + s;
+    }
+    std::printf("executed on %s in %.4f simulated seconds%s\n",
+                servers.c_str(), outcome->response_seconds,
+                outcome->retries ? " (after failover)" : "");
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "catalog/global_catalog.h"
+
+namespace fedcal {
+
+Status GlobalCatalog::RegisterNickname(const std::string& nickname,
+                                       Schema schema) {
+  if (nicknames_.count(nickname)) {
+    return Status::AlreadyExists("nickname " + nickname);
+  }
+  NicknameEntry entry;
+  entry.nickname = nickname;
+  entry.schema = std::move(schema);
+  nicknames_[nickname] = std::move(entry);
+  return Status::OK();
+}
+
+Status GlobalCatalog::AddLocation(const std::string& nickname,
+                                  const std::string& server_id,
+                                  const std::string& remote_table) {
+  auto it = nicknames_.find(nickname);
+  if (it == nicknames_.end()) {
+    return Status::NotFound("nickname " + nickname + " not registered");
+  }
+  for (const auto& loc : it->second.locations) {
+    if (loc.server_id == server_id && loc.remote_table == remote_table) {
+      return Status::AlreadyExists("location " + server_id + "/" +
+                                   remote_table + " for " + nickname);
+    }
+  }
+  it->second.locations.push_back({server_id, remote_table});
+  return Status::OK();
+}
+
+Result<const NicknameEntry*> GlobalCatalog::Lookup(
+    const std::string& nickname) const {
+  auto it = nicknames_.find(nickname);
+  if (it == nicknames_.end()) {
+    return Status::NotFound("unknown nickname " + nickname);
+  }
+  return &it->second;
+}
+
+bool GlobalCatalog::HasNickname(const std::string& nickname) const {
+  return nicknames_.count(nickname) > 0;
+}
+
+std::vector<std::string> GlobalCatalog::nicknames() const {
+  std::vector<std::string> names;
+  names.reserve(nicknames_.size());
+  for (const auto& [name, e] : nicknames_) names.push_back(name);
+  return names;
+}
+
+void GlobalCatalog::PutStats(const std::string& nickname, TableStats stats) {
+  stats.table_name = nickname;
+  stats_[nickname] = std::move(stats);
+}
+
+const TableStats* GlobalCatalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void GlobalCatalog::SetServerProfile(ServerProfile profile) {
+  profiles_[profile.server_id] = std::move(profile);
+}
+
+Result<const ServerProfile*> GlobalCatalog::GetServerProfile(
+    const std::string& server_id) const {
+  auto it = profiles_.find(server_id);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no profile for server " + server_id);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> GlobalCatalog::server_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(profiles_.size());
+  for (const auto& [id, p] : profiles_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fedcal

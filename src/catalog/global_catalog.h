@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/stats_provider.h"
+#include "storage/schema.h"
+
+namespace fedcal {
+
+/// \brief One place a nickname's data lives: a server and the table's name
+/// there. Multiple locations for one nickname are replicas (the paper's
+/// equivalent data sources).
+struct NicknameLocation {
+  std::string server_id;
+  std::string remote_table;
+};
+
+/// \brief A registered nickname: the global name federated queries use.
+struct NicknameEntry {
+  std::string nickname;
+  Schema schema;
+  std::vector<NicknameLocation> locations;
+};
+
+/// \brief Admin-configured beliefs about a remote server, entered at
+/// nickname-registration time.
+///
+/// These are the *static* values DB2 II lets administrators specify
+/// (CPU power, expected network latency, §1.1). The simulated runtime may
+/// diverge arbitrarily from them — QCC's calibration factors absorb the
+/// difference; nothing in the optimizer ever reads the true dynamic state.
+struct ServerProfile {
+  std::string server_id;
+  double configured_speed = 200'000.0;  ///< work units / second
+  double configured_latency_s = 0.005;  ///< one-way
+  double configured_bandwidth_bytes_per_s = 12.5e6;
+};
+
+/// \brief The integrator's global catalog: nickname definitions, replica
+/// locations, cached remote statistics, and configured server profiles.
+///
+/// Implements StatsProvider keyed by nickname, so the II-side planner can
+/// cost merge plans over nickname references.
+class GlobalCatalog : public StatsProvider {
+ public:
+  // -- Nicknames -------------------------------------------------------------
+
+  Status RegisterNickname(const std::string& nickname, Schema schema);
+  Status AddLocation(const std::string& nickname, const std::string& server_id,
+                     const std::string& remote_table);
+  Result<const NicknameEntry*> Lookup(const std::string& nickname) const;
+  bool HasNickname(const std::string& nickname) const;
+  std::vector<std::string> nicknames() const;
+
+  // -- Cached remote statistics ------------------------------------------------
+
+  /// Caches statistics for a nickname (collected from one location at
+  /// registration time — the federated RUNSTATS analog).
+  void PutStats(const std::string& nickname, TableStats stats);
+  const TableStats* GetStats(const std::string& name) const override;
+
+  // -- Server profiles ----------------------------------------------------------
+
+  void SetServerProfile(ServerProfile profile);
+  Result<const ServerProfile*> GetServerProfile(
+      const std::string& server_id) const;
+  std::vector<std::string> server_ids() const;
+
+  /// Deep copy (used by the what-if simulated federated system, §2/§4.2).
+  GlobalCatalog Clone() const { return *this; }
+
+ private:
+  std::map<std::string, NicknameEntry> nicknames_;
+  std::map<std::string, TableStats> stats_;
+  std::map<std::string, ServerProfile> profiles_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace fedcal {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+// Trims a path down to its basename for compact log lines.
+const char* Basename(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path.c_str() : path.c_str() + pos + 1;
+}
+}  // namespace
+
+void Logger::Write(LogLevel level, const std::string& file, int line,
+                   const std::string& message) {
+  if (!Enabled(level)) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace fedcal

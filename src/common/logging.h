@@ -1,0 +1,66 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fedcal {
+
+/// \brief Severity levels for the fedcal logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Minimal process-wide logger.
+///
+/// Log lines go to stderr. The default threshold is kWarn so that library
+/// consumers (tests, benches) are quiet unless something is wrong; harness
+/// code may lower it for tracing.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void Write(LogLevel level, const std::string& file, int line,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// \brief Stream-style helper that emits one log line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Instance().Write(level_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fedcal
+
+#define FEDCAL_LOG(level)                                             \
+  if (::fedcal::Logger::Instance().Enabled(::fedcal::LogLevel::level)) \
+  ::fedcal::LogMessage(::fedcal::LogLevel::level, __FILE__, __LINE__)
+
+#define FEDCAL_LOG_DEBUG FEDCAL_LOG(kDebug)
+#define FEDCAL_LOG_INFO FEDCAL_LOG(kInfo)
+#define FEDCAL_LOG_WARN FEDCAL_LOG(kWarn)
+#define FEDCAL_LOG_ERROR FEDCAL_LOG(kError)

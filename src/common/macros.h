@@ -1,0 +1,27 @@
+#pragma once
+
+/// Propagate a non-OK Status from the current function.
+#define FEDCAL_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::fedcal::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define FEDCAL_CONCAT_IMPL(a, b) a##b
+#define FEDCAL_CONCAT(a, b) FEDCAL_CONCAT_IMPL(a, b)
+
+/// Evaluate an expression returning Result<T>; on error propagate the
+/// Status, otherwise bind the value to `lhs`.
+#define FEDCAL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  FEDCAL_ASSIGN_OR_RETURN_IMPL(FEDCAL_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define FEDCAL_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).MoveValue()
+
+namespace fedcal {
+/// Marks intentionally unused variables (e.g. in structured bindings).
+template <typename... Args>
+inline void Unused(Args&&...) {}
+}  // namespace fedcal

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fedcal {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  if (s <= 0.0) return UniformInt(1, n);
+  // Rejection sampling against the integral of x^-s; adequate for the
+  // moderate skews (s <= ~2) used by the data generator.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = UniformDouble(0.0, 1.0);
+    const double v = UniformDouble(0.0, 1.0);
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<int64_t>(x);
+    }
+  }
+}
+
+}  // namespace fedcal

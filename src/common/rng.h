@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fedcal {
+
+/// \brief Deterministic random number generator used by all fedcal
+/// components.
+///
+/// Wraps std::mt19937_64 with the distributions the data generator and the
+/// simulators need (uniform, normal, exponential, zipf). Every experiment
+/// takes an explicit seed so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Normal sample (mean, stddev).
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Exponential sample with the given rate (lambda).
+  double Exponential(double rate) {
+    std::exponential_distribution<double> d(rate);
+    return d(gen_);
+  }
+
+  /// Zipf-distributed rank in [1, n] with skew parameter s (s=0 uniform).
+  /// Uses rejection-inversion (Hormann/Derflinger style approximation).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng Fork() { return Rng(gen_()); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace fedcal

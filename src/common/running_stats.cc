@@ -1,0 +1,72 @@
+#include "common/running_stats.h"
+
+#include <cmath>
+
+namespace fedcal {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::coefficient_of_variation() const {
+  const double m = mean();
+  if (std::abs(m) < 1e-12) return 0.0;
+  return stddev() / std::abs(m);
+}
+
+void Ewma::Add(double x) {
+  if (count_ == 0) {
+    value_ = x;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+  ++count_;
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  count_ = 0;
+}
+
+void SlidingWindow::Add(double x) {
+  window_.push_back(x);
+  sum_ += x;
+  if (window_.size() > capacity_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+void SlidingWindow::Clear() {
+  window_.clear();
+  sum_ = 0.0;
+}
+
+double SlidingWindow::variance() const {
+  if (window_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : window_) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(window_.size());
+}
+
+}  // namespace fedcal

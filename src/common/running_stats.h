@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace fedcal {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by QCC to maintain running averages of estimated and observed
+/// fragment costs, and by the calibration-cycle controller to measure
+/// volatility (coefficient of variation).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// stddev / |mean|; 0 when mean is ~0.
+  double coefficient_of_variation() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Exponentially weighted moving average.
+///
+/// alpha in (0, 1]; higher alpha weights recent samples more. The first
+/// sample initializes the average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Add(double x);
+  void Reset();
+
+  bool empty() const { return count_ == 0; }
+  size_t count() const { return count_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// \brief Fixed-capacity sliding window with O(1) mean queries.
+///
+/// QCC keeps a bounded history of (estimated, observed) cost pairs per
+/// server; the window bounds memory and lets stale samples age out.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Add(double x);
+  void Clear();
+
+  size_t size() const { return window_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return window_.empty(); }
+  double mean() const { return window_.empty() ? 0.0 : sum_ / window_.size(); }
+  double sum() const { return sum_; }
+  double latest() const { return window_.empty() ? 0.0 : window_.back(); }
+  /// Recomputed on demand (O(n)); used only by diagnostics and tests.
+  double variance() const;
+
+  const std::deque<double>& values() const { return window_; }
+
+ private:
+  size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace fedcal

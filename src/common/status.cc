@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+namespace fedcal {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kPlanError:
+      return "PlanError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  Status copy = *this;
+  copy.message_ = context + ": " + message_;
+  return copy;
+}
+
+}  // namespace fedcal

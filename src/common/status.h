@@ -1,0 +1,101 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace fedcal {
+
+/// \brief Error categories used across all fedcal modules.
+///
+/// Modeled after the Arrow/RocksDB Status idiom: every fallible operation
+/// returns a Status (or Result<T>), never throws across module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kExecutionError,
+  kUnavailable,     ///< remote server down / unreachable
+  kTimeout,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the factory functions
+/// (Status::OK(), Status::InvalidArgument(...), ...) rather than the
+/// constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with extra context prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fedcal

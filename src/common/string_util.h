@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedcal {
+
+/// Joins the elements with `sep` between them.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; empty tokens are kept.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// ASCII lower/upper-casing (SQL keywords are ASCII).
+std::string ToLower(std::string s);
+std::string ToUpper(std::string s);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fedcal

@@ -1,0 +1,113 @@
+#include "core/availability.h"
+
+#include "common/logging.h"
+
+namespace fedcal {
+
+AvailabilityMonitor::AvailabilityMonitor(Simulator* sim,
+                                         MetaWrapper* meta_wrapper,
+                                         CalibrationStore* store,
+                                         AvailabilityConfig config,
+                                         CycleControllerConfig cycle_config)
+    : sim_(sim),
+      meta_wrapper_(meta_wrapper),
+      store_(store),
+      config_(config),
+      cycle_controller_(cycle_config) {}
+
+void AvailabilityMonitor::Watch(const std::string& server_id) {
+  if (servers_.count(server_id)) return;
+  Watched w;
+  w.task = std::make_unique<PeriodicTask>(
+      sim_, config_.probe_period_s,
+      [this, server_id] { Probe(server_id); });
+  auto [it, inserted] = servers_.emplace(server_id, std::move(w));
+  if (running_ && inserted) it->second.task->Start();
+}
+
+void AvailabilityMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& [id, w] : servers_) w.task->Start();
+}
+
+void AvailabilityMonitor::Stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& [id, w] : servers_) w.task->Stop();
+}
+
+bool AvailabilityMonitor::IsDown(const std::string& server_id) const {
+  auto it = servers_.find(server_id);
+  return it != servers_.end() && it->second.down;
+}
+
+void AvailabilityMonitor::MarkDown(const std::string& server_id) {
+  auto it = servers_.find(server_id);
+  if (it == servers_.end()) {
+    Watch(server_id);
+    it = servers_.find(server_id);
+  }
+  if (!it->second.down) {
+    FEDCAL_LOG_INFO << "server " << server_id << " marked DOWN at t="
+                    << sim_->Now();
+  }
+  it->second.down = true;
+}
+
+void AvailabilityMonitor::MarkUp(const std::string& server_id) {
+  auto it = servers_.find(server_id);
+  if (it == servers_.end()) return;
+  if (it->second.down) {
+    FEDCAL_LOG_INFO << "server " << server_id << " back UP at t="
+                    << sim_->Now();
+    // Ratios observed before the outage may describe a very different
+    // regime; start fresh.
+    store_->Forget(server_id);
+  }
+  it->second.down = false;
+}
+
+size_t AvailabilityMonitor::ProbeCount(const std::string& server_id) const {
+  auto it = servers_.find(server_id);
+  return it == servers_.end() ? 0 : it->second.probes;
+}
+
+double AvailabilityMonitor::CurrentPeriod(
+    const std::string& server_id) const {
+  auto it = servers_.find(server_id);
+  return it == servers_.end() ? 0.0 : it->second.task->period();
+}
+
+std::vector<std::string> AvailabilityMonitor::watched() const {
+  std::vector<std::string> ids;
+  ids.reserve(servers_.size());
+  for (const auto& [id, w] : servers_) ids.push_back(id);
+  return ids;
+}
+
+void AvailabilityMonitor::Probe(const std::string& server_id) {
+  auto it = servers_.find(server_id);
+  if (it == servers_.end()) return;
+  ++it->second.probes;
+
+  auto result = meta_wrapper_->ProbeServer(server_id);
+  if (!result.ok()) {
+    MarkDown(server_id);
+  } else {
+    MarkUp(server_id);
+    if (config_.bootstrap_calibration) {
+      store_->Record(server_id, kProbeSignature, result->expected_seconds,
+                     result->observed_seconds);
+    }
+  }
+
+  // Adapt the probe cycle only once there is a meaningful volatility
+  // signal (§3.4); early on, keep the configured cadence.
+  if (config_.adapt_cycle && store_->ServerSamples(server_id) >= 4) {
+    const double cv = store_->RatioVolatility(server_id);
+    it->second.task->set_period(cycle_controller_.RecommendPeriod(cv));
+  }
+}
+
+}  // namespace fedcal

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration_store.h"
+#include "core/cycle_controller.h"
+#include "metawrapper/meta_wrapper.h"
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief Availability-daemon tuning (§3.3, §3.4).
+struct AvailabilityConfig {
+  double probe_period_s = 5.0;
+  /// Adapt each server's probe period from its ratio volatility (§3.4).
+  bool adapt_cycle = true;
+  /// Feed (expected, observed) probe costs into the calibration store to
+  /// derive *initial* calibration factors before any real traffic (§2).
+  bool bootstrap_calibration = true;
+};
+
+/// \brief The daemon programs that periodically access remote sources
+/// through the meta-wrapper to verify their availability (§3.3).
+///
+/// A server marked down has its cost driven to infinity by QCC until a
+/// later probe succeeds. Down events can also be reported synchronously
+/// (from MW/patroller error logs) via MarkDown().
+class AvailabilityMonitor {
+ public:
+  AvailabilityMonitor(Simulator* sim, MetaWrapper* meta_wrapper,
+                      CalibrationStore* store,
+                      AvailabilityConfig config = {},
+                      CycleControllerConfig cycle_config = {});
+
+  /// Registers a server for periodic probing.
+  void Watch(const std::string& server_id);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  bool IsDown(const std::string& server_id) const;
+
+  /// Immediate down-mark from a runtime error (log-based detection).
+  void MarkDown(const std::string& server_id);
+  /// Manual recovery (normally a successful probe does this).
+  void MarkUp(const std::string& server_id);
+
+  size_t ProbeCount(const std::string& server_id) const;
+  double CurrentPeriod(const std::string& server_id) const;
+  std::vector<std::string> watched() const;
+
+  /// Fragment-signature key under which probe calibration samples are
+  /// recorded.
+  static constexpr size_t kProbeSignature = 0x70726f6265ull;  // "probe"
+
+ private:
+  struct Watched {
+    std::unique_ptr<PeriodicTask> task;
+    bool down = false;
+    size_t probes = 0;
+  };
+
+  void Probe(const std::string& server_id);
+
+  Simulator* sim_;
+  MetaWrapper* meta_wrapper_;
+  CalibrationStore* store_;
+  AvailabilityConfig config_;
+  CalibrationCycleController cycle_controller_;
+  bool running_ = false;
+  std::map<std::string, Watched> servers_;
+};
+
+}  // namespace fedcal

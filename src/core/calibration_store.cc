@@ -1,0 +1,105 @@
+#include "core/calibration_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedcal {
+
+void CalibrationStore::Record(const std::string& server_id, size_t signature,
+                              double estimated, double observed) {
+  if (estimated <= 0.0 || observed < 0.0) return;
+  auto record = [&](PairedWindow& w) {
+    w.estimated.Add(estimated);
+    w.observed.Add(observed);
+    w.ratios.Add(observed / estimated);
+  };
+  auto sit = per_server_.find(server_id);
+  if (sit == per_server_.end()) {
+    sit = per_server_.emplace(server_id, PairedWindow(config_.window)).first;
+  }
+  record(sit->second);
+
+  if (config_.per_fragment) {
+    const auto key = std::make_pair(server_id, signature);
+    auto fit = per_fragment_.find(key);
+    if (fit == per_fragment_.end()) {
+      fit = per_fragment_.emplace(key, PairedWindow(config_.window)).first;
+    }
+    record(fit->second);
+  }
+}
+
+double CalibrationStore::FactorOf(const PairedWindow& w) const {
+  if (w.estimated.size() < config_.min_samples || w.estimated.mean() <= 0.0) {
+    return 1.0;
+  }
+  const double factor = w.observed.mean() / w.estimated.mean();
+  return std::clamp(factor, config_.min_factor, config_.max_factor);
+}
+
+double CalibrationStore::ServerFactor(const std::string& server_id) const {
+  auto it = per_server_.find(server_id);
+  return it == per_server_.end() ? 1.0 : FactorOf(it->second);
+}
+
+double CalibrationStore::FragmentFactor(const std::string& server_id,
+                                        size_t signature) const {
+  if (config_.per_fragment) {
+    auto it = per_fragment_.find(std::make_pair(server_id, signature));
+    if (it != per_fragment_.end() &&
+        it->second.estimated.size() >= config_.min_samples) {
+      return FactorOf(it->second);
+    }
+  }
+  return ServerFactor(server_id);
+}
+
+double CalibrationStore::Calibrate(const std::string& server_id,
+                                   size_t signature,
+                                   double estimated) const {
+  return estimated * FragmentFactor(server_id, signature);
+}
+
+size_t CalibrationStore::ServerSamples(const std::string& server_id) const {
+  auto it = per_server_.find(server_id);
+  return it == per_server_.end() ? 0 : it->second.estimated.size();
+}
+
+size_t CalibrationStore::FragmentSamples(const std::string& server_id,
+                                         size_t signature) const {
+  auto it = per_fragment_.find(std::make_pair(server_id, signature));
+  return it == per_fragment_.end() ? 0 : it->second.estimated.size();
+}
+
+double CalibrationStore::RatioVolatility(const std::string& server_id) const {
+  auto it = per_server_.find(server_id);
+  if (it == per_server_.end() || it->second.ratios.size() < 2) return 0.0;
+  const double mean = it->second.ratios.mean();
+  if (mean <= 0.0) return 0.0;
+  return std::sqrt(it->second.ratios.variance()) / mean;
+}
+
+void CalibrationStore::Forget(const std::string& server_id) {
+  per_server_.erase(server_id);
+  for (auto it = per_fragment_.begin(); it != per_fragment_.end();) {
+    if (it->first.first == server_id) {
+      it = per_fragment_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CalibrationStore::Clear() {
+  per_server_.clear();
+  per_fragment_.clear();
+}
+
+std::vector<std::string> CalibrationStore::server_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(per_server_.size());
+  for (const auto& [id, w] : per_server_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fedcal

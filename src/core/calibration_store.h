@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/running_stats.h"
+
+namespace fedcal {
+
+/// \brief Tuning of the calibration-factor computation (§3.1).
+struct CalibrationConfig {
+  /// Sliding-window length for the running averages of estimated and
+  /// observed costs.
+  size_t window = 64;
+  /// Clamp on the resulting factor so one wild outlier cannot permanently
+  /// poison routing.
+  double min_factor = 0.02;
+  double max_factor = 200.0;
+  /// Observations required before a factor other than 1.0 is reported.
+  size_t min_samples = 1;
+  /// Prefer the per-fragment-signature factor when it has enough samples;
+  /// otherwise fall back to the per-server factor.
+  bool per_fragment = true;
+};
+
+/// \brief The query fragment processing cost calibration factors (§3.1).
+///
+/// For every remote server (and, when runtime statistics are available,
+/// every fragment signature at that server) the store keeps running
+/// averages of estimated and observed fragment costs. The calibration
+/// factor is the ratio of the average runtime cost to the average
+/// estimated cost — the paper's exact definition — and multiplies future
+/// estimates for yet-unseen fragments of the same server.
+class CalibrationStore {
+ public:
+  explicit CalibrationStore(CalibrationConfig config = {})
+      : config_(config) {}
+
+  /// Records one (estimated, observed) cost pair for a fragment execution.
+  void Record(const std::string& server_id, size_t signature,
+              double estimated, double observed);
+
+  /// Per-server factor: mean(observed) / mean(estimated); 1.0 before
+  /// min_samples observations.
+  double ServerFactor(const std::string& server_id) const;
+
+  /// Per-(server, fragment-signature) factor, falling back to the server
+  /// factor and then 1.0.
+  double FragmentFactor(const std::string& server_id,
+                        size_t signature) const;
+
+  /// estimate × applicable factor.
+  double Calibrate(const std::string& server_id, size_t signature,
+                   double estimated) const;
+
+  /// Number of samples currently windowed for a server.
+  size_t ServerSamples(const std::string& server_id) const;
+  size_t FragmentSamples(const std::string& server_id,
+                         size_t signature) const;
+
+  /// Volatility of the recent observed/estimated ratios at a server
+  /// (coefficient of variation) — the §3.4 cycle-adaptation signal.
+  double RatioVolatility(const std::string& server_id) const;
+
+  /// Drops all history for one server (used after availability flaps,
+  /// when stale ratios no longer describe the server).
+  void Forget(const std::string& server_id);
+  void Clear();
+
+  std::vector<std::string> server_ids() const;
+  const CalibrationConfig& config() const { return config_; }
+
+ private:
+  struct PairedWindow {
+    SlidingWindow estimated;
+    SlidingWindow observed;
+    SlidingWindow ratios;
+
+    explicit PairedWindow(size_t capacity)
+        : estimated(capacity), observed(capacity), ratios(capacity) {}
+  };
+
+  double FactorOf(const PairedWindow& w) const;
+
+  CalibrationConfig config_;
+  std::map<std::string, PairedWindow> per_server_;
+  std::map<std::pair<std::string, size_t>, PairedWindow> per_fragment_;
+};
+
+}  // namespace fedcal

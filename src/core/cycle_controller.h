@@ -1,0 +1,47 @@
+#pragma once
+
+#include <algorithm>
+
+namespace fedcal {
+
+/// \brief Dynamic adjustment of calibration cycles (§3.4).
+///
+/// Each remote server's network and processing latencies vary at different
+/// rates, so the frequency of re-calibration (probe daemons, factor
+/// refresh, simulated-catalog refresh) should track how volatile the
+/// observed/estimated ratios are. This controller maps a coefficient of
+/// variation to a period: volatile servers are probed more often, stable
+/// servers less, within [min_period, max_period].
+struct CycleControllerConfig {
+  double base_period_s = 5.0;
+  double min_period_s = 0.5;
+  double max_period_s = 60.0;
+  /// The CV at which the base period is "right"; above it the cycle
+  /// shortens proportionally, below it the cycle lengthens.
+  double target_cv = 0.15;
+};
+
+class CalibrationCycleController {
+ public:
+  explicit CalibrationCycleController(CycleControllerConfig config = {})
+      : config_(config) {}
+
+  /// Recommended period for a source whose recent ratio history shows the
+  /// given coefficient of variation. A zero CV means "no volatility
+  /// signal yet" — stay at the base period rather than backing all the
+  /// way off.
+  double RecommendPeriod(double coefficient_of_variation) const {
+    if (coefficient_of_variation <= 0.0) return config_.base_period_s;
+    const double period =
+        config_.base_period_s *
+        (config_.target_cv / coefficient_of_variation);
+    return std::clamp(period, config_.min_period_s, config_.max_period_s);
+  }
+
+  const CycleControllerConfig& config() const { return config_; }
+
+ private:
+  CycleControllerConfig config_;
+};
+
+}  // namespace fedcal

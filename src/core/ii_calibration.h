@@ -1,0 +1,54 @@
+#pragma once
+
+#include <algorithm>
+
+#include "common/running_stats.h"
+
+namespace fedcal {
+
+/// \brief The workload cost calibration factor for the integrator itself
+/// (§3.2).
+///
+/// The II cost model knows nothing about the load on the machine hosting
+/// the integrator; this class maintains the ratio between the estimated
+/// and observed local merge/aggregation times and calibrates future merge
+/// estimates. Kept in a table separate from the fragment factors, as the
+/// paper specifies.
+class IiCalibration {
+ public:
+  explicit IiCalibration(size_t window = 64, double min_factor = 0.02,
+                         double max_factor = 200.0)
+      : estimated_(window),
+        observed_(window),
+        min_factor_(min_factor),
+        max_factor_(max_factor) {}
+
+  void Record(double estimated, double observed) {
+    if (estimated <= 0.0 || observed < 0.0) return;
+    estimated_.Add(estimated);
+    observed_.Add(observed);
+  }
+
+  /// mean(observed) / mean(estimated); 1.0 before any sample.
+  double Factor() const {
+    if (estimated_.empty() || estimated_.mean() <= 0.0) return 1.0;
+    return std::clamp(observed_.mean() / estimated_.mean(), min_factor_,
+                      max_factor_);
+  }
+
+  double Calibrate(double estimated) const { return estimated * Factor(); }
+
+  size_t samples() const { return estimated_.size(); }
+  void Clear() {
+    estimated_.Clear();
+    observed_.Clear();
+  }
+
+ private:
+  SlidingWindow estimated_;
+  SlidingWindow observed_;
+  double min_factor_;
+  double max_factor_;
+};
+
+}  // namespace fedcal

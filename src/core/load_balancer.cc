@@ -1,0 +1,126 @@
+#include "core/load_balancer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/parser.h"
+
+namespace fedcal {
+
+LoadBalancer::QueryTypeState& LoadBalancer::StateFor(size_t signature) {
+  auto it = per_type_.find(signature);
+  if (it == per_type_.end()) {
+    QueryTypeState st;
+    st.period_start = sim_->Now();
+    it = per_type_.emplace(signature, st).first;
+  }
+  QueryTypeState& st = it->second;
+  if (sim_->Now() - st.period_start >= config_.period_seconds) {
+    st.period_start = sim_->Now();
+    st.workload_in_period = 0.0;
+  }
+  return st;
+}
+
+std::vector<size_t> LoadBalancer::GlobalGroup(
+    const std::vector<GlobalPlanOption>& options) const {
+  // Per server set, keep only the cheapest plan ("for global query plans
+  // whose fragment queries are executed on the same set of servers, QCC
+  // picks the cheapest plan").
+  std::map<std::vector<std::string>, size_t> cheapest_per_set;
+  for (size_t i = 0; i < options.size(); ++i) {
+    auto it = cheapest_per_set.find(options[i].server_set);
+    if (it == cheapest_per_set.end() ||
+        options[i].total_calibrated_seconds <
+            options[it->second].total_calibrated_seconds) {
+      cheapest_per_set[options[i].server_set] = i;
+    }
+  }
+  // Cheapest overall plus alternatives within the tolerance.
+  size_t best = 0;
+  for (const auto& [set, idx] : cheapest_per_set) {
+    if (options[idx].total_calibrated_seconds <
+        options[best].total_calibrated_seconds) {
+      best = idx;
+    }
+  }
+  const double limit = options[best].total_calibrated_seconds *
+                       (1.0 + config_.cost_tolerance);
+  std::vector<size_t> group;
+  for (const auto& [set, idx] : cheapest_per_set) {
+    if (options[idx].total_calibrated_seconds <= limit) {
+      group.push_back(idx);
+    }
+  }
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+std::vector<size_t> LoadBalancer::FragmentGroup(
+    const std::vector<GlobalPlanOption>& options) const {
+  const GlobalPlanOption& base = options[0];
+  std::vector<size_t> group;
+  for (size_t i = 0; i < options.size(); ++i) {
+    const GlobalPlanOption& cand = options[i];
+    if (cand.fragment_choices.size() != base.fragment_choices.size()) {
+      continue;
+    }
+    bool exchangeable = true;
+    for (size_t f = 0; f < base.fragment_choices.size(); ++f) {
+      const auto& bw = base.fragment_choices[f].wrapper_plan;
+      const auto& cw = cand.fragment_choices[f].wrapper_plan;
+      if (bw.identity == cw.identity && bw.server_id == cw.server_id) {
+        continue;  // same choice
+      }
+      // Substituted fragment plan must be identical in shape and close in
+      // calibrated cost (§4.1).
+      if (cw.shape != bw.shape) {
+        exchangeable = false;
+        break;
+      }
+      const double base_cost = base.fragment_choices[f].calibrated_seconds;
+      const double cand_cost = cand.fragment_choices[f].calibrated_seconds;
+      if (cand_cost > base_cost * (1.0 + config_.cost_tolerance)) {
+        exchangeable = false;
+        break;
+      }
+    }
+    if (exchangeable) group.push_back(i);
+  }
+  return group;
+}
+
+size_t LoadBalancer::SelectPlan(uint64_t query_id, const std::string& sql,
+                                const std::vector<GlobalPlanOption>& options) {
+  (void)query_id;
+  if (options.empty()) return 0;
+  if (config_.level == LoadBalanceConfig::Level::kNone || options.size() == 1) {
+    return 0;
+  }
+
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return 0;
+  const size_t signature = SignatureOf(*stmt);
+
+  QueryTypeState& st = StateFor(signature);
+  st.workload_in_period += options[0].total_calibrated_seconds;
+  if (st.workload_in_period < config_.workload_threshold) {
+    st.last_group_size = 1;
+    return 0;
+  }
+
+  const std::vector<size_t> group =
+      config_.level == LoadBalanceConfig::Level::kGlobal
+          ? GlobalGroup(options)
+          : FragmentGroup(options);
+  st.last_group_size = group.size();
+  if (group.empty()) return 0;
+  return group[st.rotation++ % group.size()];
+}
+
+size_t LoadBalancer::LastGroupSize(size_t signature) const {
+  auto it = per_type_.find(signature);
+  return it == per_type_.end() ? 0 : it->second.last_group_size;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "federation/integrator.h"
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief Load-distribution tuning (§4).
+struct LoadBalanceConfig {
+  enum class Level {
+    kNone,      ///< always take the cheapest plan (paper baseline)
+    kFragment,  ///< §4.1: rotate exchangeable (identical-shape) fragment
+                ///  plans across replicas
+    kGlobal,    ///< §4.2: rotate near-optimal global plans across distinct
+                ///  server sets
+  };
+  Level level = Level::kGlobal;
+  /// Plans within this fraction of the cheapest are exchangeable ("e.g.
+  /// within 20%").
+  double cost_tolerance = 0.2;
+  /// A query type participates in rotation only when its workload
+  /// (calibrated cost × frequency) within the current period exceeds this.
+  double workload_threshold = 0.0;
+  /// Length of the workload-accounting period.
+  double period_seconds = 60.0;
+};
+
+/// \brief Round-robin plan rotation for load distribution (§4).
+///
+/// Implements PlanSelector. Groups are recomputed on every selection from
+/// the current calibrated costs (they shift as QCC learns), while the
+/// rotation counters persist per query signature so consecutive instances
+/// of the same query type land on different servers.
+class LoadBalancer : public PlanSelector {
+ public:
+  LoadBalancer(Simulator* sim, LoadBalanceConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+                    const std::vector<GlobalPlanOption>& options) override;
+
+  const LoadBalanceConfig& config() const { return config_; }
+  void set_level(LoadBalanceConfig::Level level) { config_.level = level; }
+
+  /// Most recent rotation-group size for a query signature (diagnostics).
+  size_t LastGroupSize(size_t signature) const;
+
+ private:
+  struct QueryTypeState {
+    double period_start = 0.0;
+    double workload_in_period = 0.0;
+    uint64_t rotation = 0;
+    size_t last_group_size = 0;
+  };
+
+  /// §4.2: indices of the round-robin group — per server-set cheapest
+  /// plans within tolerance of the global cheapest.
+  std::vector<size_t> GlobalGroup(
+      const std::vector<GlobalPlanOption>& options) const;
+
+  /// §4.1: indices of options exchangeable with the cheapest — equal
+  /// everywhere except fragments replaced by identical-shape plans of
+  /// near-equal calibrated cost.
+  std::vector<size_t> FragmentGroup(
+      const std::vector<GlobalPlanOption>& options) const;
+
+  QueryTypeState& StateFor(size_t signature);
+
+  Simulator* sim_;
+  LoadBalanceConfig config_;
+  std::map<size_t, QueryTypeState> per_type_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,97 @@
+#include "core/qcc.h"
+
+namespace fedcal {
+
+QueryCostCalibrator::QueryCostCalibrator(Simulator* sim,
+                                         MetaWrapper* meta_wrapper,
+                                         QccConfig config)
+    : sim_(sim),
+      meta_wrapper_(meta_wrapper),
+      config_(config),
+      store_(config.calibration),
+      reliability_(config.reliability),
+      availability_(sim, meta_wrapper, &store_, config.availability,
+                    config.cycle),
+      load_balancer_(sim, config.load_balance),
+      whatif_(nullptr, meta_wrapper) {}
+
+void QueryCostCalibrator::AttachTo(Integrator* integrator) {
+  meta_wrapper_->SetCalibrator(this);
+  integrator->SetPlanSelector(this);
+  whatif_ = WhatIfSimulator(integrator->catalog(), meta_wrapper_,
+                            IiProfile{integrator->config().configured_speed});
+  for (const auto& server_id : meta_wrapper_->server_ids()) {
+    availability_.Watch(server_id);
+  }
+  if (config_.enable_availability_daemon) {
+    availability_.Start();
+  }
+}
+
+void QueryCostCalibrator::Detach(Integrator* integrator) {
+  availability_.Stop();
+  meta_wrapper_->SetCalibrator(nullptr);
+  integrator->SetPlanSelector(nullptr);
+}
+
+double QueryCostCalibrator::CalibrateFragmentCost(
+    const std::string& server_id, size_t signature,
+    double estimated_seconds) {
+  // A down server is priced at infinity so the optimizer never routes to
+  // it (§3.3); the daemons restore it once it answers probes again.
+  if (availability_.IsDown(server_id)) return kInfiniteCost;
+  if (!config_.enable_calibration) return estimated_seconds;
+  double calibrated = store_.Calibrate(server_id, signature,
+                                       estimated_seconds);
+  if (config_.enable_reliability) {
+    calibrated *= reliability_.CostMultiplier(server_id);
+  }
+  return calibrated;
+}
+
+double QueryCostCalibrator::CalibrateIntegrationCost(
+    double estimated_seconds) {
+  if (!config_.enable_calibration) return estimated_seconds;
+  return ii_calibration_.Calibrate(estimated_seconds);
+}
+
+void QueryCostCalibrator::RecordEstimate(const std::string& server_id,
+                                         size_t signature,
+                                         double estimated_seconds) {
+  // Estimates alone carry no calibration signal; pairing happens in
+  // RecordFragmentObservation. Kept as a hook for diagnostics.
+  (void)server_id;
+  (void)signature;
+  (void)estimated_seconds;
+}
+
+void QueryCostCalibrator::RecordFragmentObservation(
+    const std::string& server_id, size_t signature, double estimated_seconds,
+    double observed_seconds) {
+  store_.Record(server_id, signature, estimated_seconds, observed_seconds);
+}
+
+void QueryCostCalibrator::RecordIntegrationObservation(
+    double estimated_seconds, double observed_seconds) {
+  ii_calibration_.Record(estimated_seconds, observed_seconds);
+}
+
+void QueryCostCalibrator::RecordError(const std::string& server_id,
+                                      const Status& error) {
+  reliability_.RecordError(server_id);
+  if (config_.detect_down_from_logs && error.IsUnavailable()) {
+    availability_.MarkDown(server_id);
+  }
+}
+
+void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
+  reliability_.RecordSuccess(server_id);
+}
+
+size_t QueryCostCalibrator::SelectPlan(
+    uint64_t query_id, const std::string& sql,
+    const std::vector<GlobalPlanOption>& options) {
+  return load_balancer_.SelectPlan(query_id, sql, options);
+}
+
+}  // namespace fedcal

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/availability.h"
+#include "core/calibration_store.h"
+#include "core/cycle_controller.h"
+#include "core/ii_calibration.h"
+#include "core/load_balancer.h"
+#include "core/reliability.h"
+#include "core/whatif.h"
+#include "federation/integrator.h"
+#include "metawrapper/calibrator_interface.h"
+
+namespace fedcal {
+
+/// \brief Everything tunable about QCC in one place.
+struct QccConfig {
+  CalibrationConfig calibration;
+  ReliabilityConfig reliability;
+  AvailabilityConfig availability;
+  CycleControllerConfig cycle;
+  LoadBalanceConfig load_balance;
+
+  /// Master switch for transparent cost calibration (§3.1/§3.2). Off, QCC
+  /// still observes but returns estimates unchanged — useful for A/B
+  /// comparisons against the paper's baseline.
+  bool enable_calibration = true;
+  /// Incorporate the reliability multiplier into calibrated costs (§3.3).
+  bool enable_reliability = true;
+  /// Run the availability daemons (§3.3).
+  bool enable_availability_daemon = true;
+  /// Detect down events synchronously from MW/patroller error logs.
+  bool detect_down_from_logs = true;
+};
+
+/// \brief The Query Cost Calibrator (the paper's contribution, §3–§4).
+///
+/// QCC plugs into the meta-wrapper as its CostCalibrator and into the
+/// integrator as its PlanSelector. It never touches the optimizer itself:
+/// it only rewrites the cost numbers the optimizer sees and (optionally)
+/// rotates among near-optimal plans the optimizer produced — exactly the
+/// transparent design the paper argues for.
+class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
+ public:
+  QueryCostCalibrator(Simulator* sim, MetaWrapper* meta_wrapper,
+                      QccConfig config = {});
+
+  /// Wires QCC into an integrator's meta-wrapper and plan selection,
+  /// registers every known server with the availability daemons, and
+  /// starts them.
+  void AttachTo(Integrator* integrator);
+  /// Stops daemons and restores the integrator's default behaviour.
+  void Detach(Integrator* integrator);
+
+  // -- CostCalibrator ---------------------------------------------------------
+
+  double CalibrateFragmentCost(const std::string& server_id,
+                               size_t signature,
+                               double estimated_seconds) override;
+  double CalibrateIntegrationCost(double estimated_seconds) override;
+  void RecordEstimate(const std::string& server_id, size_t signature,
+                      double estimated_seconds) override;
+  void RecordFragmentObservation(const std::string& server_id,
+                                 size_t signature, double estimated_seconds,
+                                 double observed_seconds) override;
+  void RecordIntegrationObservation(double estimated_seconds,
+                                    double observed_seconds) override;
+  void RecordError(const std::string& server_id,
+                   const Status& error) override;
+  void RecordSuccess(const std::string& server_id) override;
+
+  // -- PlanSelector -------------------------------------------------------------
+
+  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+                    const std::vector<GlobalPlanOption>& options) override;
+
+  // -- Components ----------------------------------------------------------------
+
+  CalibrationStore& store() { return store_; }
+  const CalibrationStore& store() const { return store_; }
+  ReliabilityTracker& reliability() { return reliability_; }
+  AvailabilityMonitor& availability() { return availability_; }
+  IiCalibration& ii_calibration() { return ii_calibration_; }
+  LoadBalancer& load_balancer() { return load_balancer_; }
+  WhatIfSimulator& whatif() { return whatif_; }
+  QccConfig& config() { return config_; }
+
+  static constexpr double kInfiniteCost =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  Simulator* sim_;
+  MetaWrapper* meta_wrapper_;
+  QccConfig config_;
+  CalibrationStore store_;
+  ReliabilityTracker reliability_;
+  AvailabilityMonitor availability_;
+  IiCalibration ii_calibration_;
+  LoadBalancer load_balancer_;
+  WhatIfSimulator whatif_;
+};
+
+}  // namespace fedcal

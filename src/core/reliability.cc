@@ -1,0 +1,50 @@
+#include "core/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedcal {
+
+void ReliabilityTracker::RecordSuccess(const std::string& server_id) {
+  auto it = windows_.find(server_id);
+  if (it == windows_.end()) {
+    it = windows_.emplace(server_id, SlidingWindow(config_.window)).first;
+  }
+  it->second.Add(1.0);
+}
+
+void ReliabilityTracker::RecordError(const std::string& server_id) {
+  auto it = windows_.find(server_id);
+  if (it == windows_.end()) {
+    it = windows_.emplace(server_id, SlidingWindow(config_.window)).first;
+  }
+  it->second.Add(0.0);
+}
+
+double ReliabilityTracker::SuccessRate(const std::string& server_id) const {
+  auto it = windows_.find(server_id);
+  if (it == windows_.end() || it->second.empty()) return 1.0;
+  const double successes = it->second.sum() + config_.smoothing;
+  const double total =
+      static_cast<double>(it->second.size()) + config_.smoothing;
+  return std::clamp(successes / total, 1e-6, 1.0);
+}
+
+double ReliabilityTracker::CostMultiplier(
+    const std::string& server_id) const {
+  const double rate = SuccessRate(server_id);
+  const double multiplier =
+      std::pow(1.0 / rate, config_.penalty_exponent);
+  return std::min(multiplier, config_.max_multiplier);
+}
+
+size_t ReliabilityTracker::Outcomes(const std::string& server_id) const {
+  auto it = windows_.find(server_id);
+  return it == windows_.end() ? 0 : it->second.size();
+}
+
+void ReliabilityTracker::Forget(const std::string& server_id) {
+  windows_.erase(server_id);
+}
+
+}  // namespace fedcal

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/running_stats.h"
+
+namespace fedcal {
+
+/// \brief Tuning for the reliability factor (§3.3).
+struct ReliabilityConfig {
+  /// Outcomes remembered per server.
+  size_t window = 128;
+  /// Exponent shaping how hard unreliability is punished: the cost
+  /// multiplier is (1 / success_rate)^penalty_exponent.
+  double penalty_exponent = 2.0;
+  /// Laplace smoothing so one early error does not zero a server out.
+  double smoothing = 1.0;
+  /// Upper bound on the multiplier for servers that still answer
+  /// sometimes (full unavailability is handled by AvailabilityMonitor).
+  double max_multiplier = 50.0;
+};
+
+/// \brief Tracks per-server error rates from the MW/patroller logs and
+/// turns them into a cost multiplier, so the optimizer prefers not only
+/// fast but also dependable sources (§3.3).
+class ReliabilityTracker {
+ public:
+  explicit ReliabilityTracker(ReliabilityConfig config = {})
+      : config_(config) {}
+
+  void RecordSuccess(const std::string& server_id);
+  void RecordError(const std::string& server_id);
+
+  /// Smoothed success rate in (0, 1].
+  double SuccessRate(const std::string& server_id) const;
+
+  /// Multiplier >= 1 applied to calibrated costs.
+  double CostMultiplier(const std::string& server_id) const;
+
+  size_t Outcomes(const std::string& server_id) const;
+  void Forget(const std::string& server_id);
+  void Clear() { windows_.clear(); }
+
+  const ReliabilityConfig& config() const { return config_; }
+
+ private:
+  ReliabilityConfig config_;
+  // Window of 1.0 (success) / 0.0 (error) outcomes per server.
+  std::map<std::string, SlidingWindow> windows_;
+};
+
+}  // namespace fedcal

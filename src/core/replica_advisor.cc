@@ -1,0 +1,138 @@
+#include "core/replica_advisor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace fedcal {
+
+std::string ReplicaAdvisor::NicknameOf(
+    const std::string& server_id, const std::string& remote_table) const {
+  for (const auto& nickname : catalog_->nicknames()) {
+    auto entry = catalog_->Lookup(nickname);
+    if (!entry.ok()) continue;
+    for (const auto& loc : (*entry)->locations) {
+      if (loc.server_id == server_id && loc.remote_table == remote_table) {
+        return nickname;
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<ReplicaRecommendation> ReplicaAdvisor::Analyze() const {
+  // Join the runtime log (observed seconds per (server, signature)) with
+  // the compile log (statement text per (server, signature)) and charge
+  // each observation to every nickname its statement touches.
+  std::map<std::pair<std::string, size_t>, std::string> statements;
+  for (const auto& rec : meta_wrapper_->compile_log()) {
+    statements[{rec.server_id, rec.signature}] = rec.statement;
+  }
+
+  std::map<std::string, double> nickname_workload;
+  std::map<std::string, double> server_workload;
+  for (const auto& rec : meta_wrapper_->runtime_log()) {
+    if (rec.failed) continue;
+    server_workload[rec.server_id] += rec.observed_seconds;
+    auto it = statements.find({rec.server_id, rec.signature});
+    if (it == statements.end()) continue;
+    auto stmt = ParseSelect(it->second);
+    if (!stmt.ok()) continue;
+    std::set<std::string> charged;
+    for (const auto& tr : stmt->from) {
+      const std::string nickname = NicknameOf(rec.server_id, tr.table);
+      if (!nickname.empty() && charged.insert(nickname).second) {
+        nickname_workload[nickname] += rec.observed_seconds;
+      }
+    }
+  }
+
+  // Rank nicknames hottest-first.
+  std::vector<std::pair<std::string, double>> hot(nickname_workload.begin(),
+                                                  nickname_workload.end());
+  std::sort(hot.begin(), hot.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::vector<ReplicaRecommendation> recommendations;
+  for (const auto& [nickname, workload] : hot) {
+    if (workload < config_.min_workload_seconds) break;
+    if (recommendations.size() >= config_.max_recommendations) break;
+    auto entry = catalog_->Lookup(nickname);
+    if (!entry.ok() || (*entry)->locations.empty()) continue;
+
+    std::set<std::string> hosting;
+    for (const auto& loc : (*entry)->locations) {
+      hosting.insert(loc.server_id);
+    }
+    // Least-loaded known server not yet hosting the nickname.
+    std::string target;
+    double target_load = 0.0;
+    for (const auto& server_id : meta_wrapper_->server_ids()) {
+      if (hosting.count(server_id)) continue;
+      const double load = server_workload.count(server_id)
+                              ? server_workload.at(server_id)
+                              : 0.0;
+      if (target.empty() || load < target_load) {
+        target = server_id;
+        target_load = load;
+      }
+    }
+    if (target.empty()) continue;  // already replicated everywhere
+
+    ReplicaRecommendation rec;
+    rec.nickname = nickname;
+    rec.source_server = (*entry)->locations.front().server_id;
+    rec.target_server = target;
+    rec.nickname_workload_seconds = workload;
+    rec.target_workload_seconds = target_load;
+    rec.rationale = StringFormat(
+        "nickname '%s' carried %.3fs of observed fragment time; server "
+        "'%s' carried only %.3fs and hosts no replica",
+        nickname.c_str(), workload, target.c_str(), target_load);
+    recommendations.push_back(std::move(rec));
+  }
+  return recommendations;
+}
+
+Status ReplicaAdvisor::Apply(const ReplicaRecommendation& rec) {
+  FEDCAL_ASSIGN_OR_RETURN(const NicknameEntry* entry,
+                          catalog_->Lookup(rec.nickname));
+  const NicknameLocation* source = nullptr;
+  for (const auto& loc : entry->locations) {
+    if (loc.server_id == rec.source_server) {
+      source = &loc;
+      break;
+    }
+  }
+  if (source == nullptr) {
+    return Status::NotFound("recommendation's source server " +
+                            rec.source_server + " no longer hosts " +
+                            rec.nickname);
+  }
+  FEDCAL_ASSIGN_OR_RETURN(RelationalWrapper * source_wrapper,
+                          meta_wrapper_->GetWrapper(rec.source_server));
+  FEDCAL_ASSIGN_OR_RETURN(RelationalWrapper * target_wrapper,
+                          meta_wrapper_->GetWrapper(rec.target_server));
+  FEDCAL_ASSIGN_OR_RETURN(
+      TablePtr table,
+      source_wrapper->server()->GetTable(source->remote_table));
+
+  // Remote name on the target: keep the source's name unless it clashes.
+  std::string remote_name = source->remote_table;
+  if (target_wrapper->server()->HasTable(remote_name)) {
+    remote_name += "_replica";
+    if (target_wrapper->server()->HasTable(remote_name)) {
+      return Status::AlreadyExists("table " + remote_name + " on " +
+                                   rec.target_server);
+    }
+  }
+  FEDCAL_RETURN_NOT_OK(
+      target_wrapper->server()->AddTable(table->CloneAs(remote_name)));
+  return catalog_->AddLocation(rec.nickname, rec.target_server, remote_name);
+}
+
+}  // namespace fedcal

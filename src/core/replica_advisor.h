@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/global_catalog.h"
+#include "metawrapper/meta_wrapper.h"
+
+namespace fedcal {
+
+/// \brief One data-placement suggestion: replicate a hot nickname onto an
+/// underutilized server.
+struct ReplicaRecommendation {
+  std::string nickname;
+  std::string source_server;  ///< existing replica to copy from
+  std::string target_server;  ///< where the new replica should go
+  double nickname_workload_seconds = 0.0;  ///< observed fragment time
+  double target_workload_seconds = 0.0;    ///< observed load at target
+  std::string rationale;
+};
+
+/// \brief Advisor tuning.
+struct ReplicaAdvisorConfig {
+  /// Nicknames below this observed workload are never replicated.
+  double min_workload_seconds = 0.0;
+  size_t max_recommendations = 3;
+};
+
+/// \brief Data-placement advisor (the paper's §7 future work:
+/// "incorporation of data placement strategies in conjunction with QCC").
+///
+/// QCC already measures, per server and fragment, where the workload's
+/// time is actually spent — the meta-wrapper logs hold (statement, server,
+/// estimate, observation) tuples. The advisor mines those logs to find the
+/// nicknames carrying the most observed execution time, and proposes
+/// replicating them from an existing location onto the least-loaded server
+/// that does not yet host them. Once a recommendation is applied, the new
+/// location becomes an equivalent data source: the optimizer (and QCC's
+/// round-robin balancer) pick it up automatically on the next compile.
+class ReplicaAdvisor {
+ public:
+  ReplicaAdvisor(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
+                 ReplicaAdvisorConfig config = {})
+      : catalog_(catalog), meta_wrapper_(meta_wrapper), config_(config) {}
+
+  /// Mines the meta-wrapper logs and returns recommendations, hottest
+  /// nickname first.
+  std::vector<ReplicaRecommendation> Analyze() const;
+
+  /// Copies the nickname's table from the source to the target server and
+  /// registers the new location in the catalog.
+  Status Apply(const ReplicaRecommendation& rec);
+
+ private:
+  /// Maps (server, remote table) back to the nickname it implements.
+  std::string NicknameOf(const std::string& server_id,
+                         const std::string& remote_table) const;
+
+  GlobalCatalog* catalog_;
+  MetaWrapper* meta_wrapper_;
+  ReplicaAdvisorConfig config_;
+};
+
+}  // namespace fedcal

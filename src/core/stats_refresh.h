@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+
+#include "catalog/global_catalog.h"
+#include "metawrapper/meta_wrapper.h"
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief Periodic catalog maintenance: the "simulated catalog refreshes"
+/// QCC schedules alongside its other calibration cycles (§3.4).
+///
+/// Each refresh re-runs the RUNSTATS analog on every remote server
+/// (bringing the wrappers' local statistics in line with update-drifted
+/// data) and recomputes the integrator's cached nickname statistics from
+/// the first available replica. Between refreshes the estimate error from
+/// stale statistics is absorbed — like every other estimate error — by
+/// QCC's calibration factors.
+class StatsRefreshDaemon {
+ public:
+  StatsRefreshDaemon(Simulator* sim, GlobalCatalog* catalog,
+                     MetaWrapper* meta_wrapper, double period_s = 30.0)
+      : catalog_(catalog), meta_wrapper_(meta_wrapper) {
+    task_ = std::make_unique<PeriodicTask>(
+        sim, period_s, [this] { Refresh(); }, /*initial_delay=*/period_s);
+  }
+
+  void Start() { task_->Start(); }
+  void Stop() { task_->Stop(); }
+  bool running() const { return task_->running(); }
+  size_t refreshes() const { return refreshes_; }
+
+  /// One immediate refresh pass (also called by the periodic task).
+  void Refresh() {
+    ++refreshes_;
+    for (const auto& server_id : meta_wrapper_->server_ids()) {
+      auto wrapper = meta_wrapper_->GetWrapper(server_id);
+      if (!wrapper.ok()) continue;
+      RemoteServer* server = (*wrapper)->server();
+      if (!server->available()) continue;
+      server->RefreshAllStats();
+    }
+    // Refresh the integrator's cached nickname statistics from the first
+    // live replica of each nickname.
+    for (const auto& nickname : catalog_->nicknames()) {
+      auto entry = catalog_->Lookup(nickname);
+      if (!entry.ok()) continue;
+      for (const auto& loc : (*entry)->locations) {
+        auto wrapper = meta_wrapper_->GetWrapper(loc.server_id);
+        if (!wrapper.ok()) continue;
+        RemoteServer* server = (*wrapper)->server();
+        if (!server->available()) continue;
+        const TableStats* ts = server->stats().GetStats(loc.remote_table);
+        if (ts == nullptr) continue;
+        catalog_->PutStats(nickname, *ts);
+        break;
+      }
+    }
+  }
+
+ private:
+  GlobalCatalog* catalog_;
+  MetaWrapper* meta_wrapper_;
+  std::unique_ptr<PeriodicTask> task_;
+  size_t refreshes_ = 0;
+};
+
+}  // namespace fedcal

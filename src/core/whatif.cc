@@ -1,0 +1,87 @@
+#include "core/whatif.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+#include "sql/parser.h"
+
+namespace fedcal {
+
+Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
+    const std::string& sql, size_t max_alternatives_per_server,
+    const CalibrationStore* store, double max_server_factor) {
+  FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  Decomposer decomposer(catalog_);
+  FEDCAL_ASSIGN_OR_RETURN(Decomposition d, decomposer.Decompose(stmt));
+
+  Enumeration out;
+
+  // Candidate servers per fragment, with high-factor servers excluded.
+  std::vector<std::vector<std::string>> candidates(d.fragments.size());
+  for (size_t f = 0; f < d.fragments.size(); ++f) {
+    for (const auto& s : d.fragments[f].candidate_servers) {
+      if (store && store->ServerFactor(s) > max_server_factor) continue;
+      candidates[f].push_back(s);
+    }
+    if (candidates[f].empty()) {
+      // Everything excluded: fall back to the full candidate set rather
+      // than failing the query.
+      candidates[f] = d.fragments[f].candidate_servers;
+    }
+  }
+
+  // Cartesian product of per-fragment server choices = the explain-mode
+  // subsets.
+  std::vector<std::vector<size_t>> subsets{{}};
+  for (const auto& c : candidates) {
+    std::vector<std::vector<size_t>> next;
+    for (const auto& subset : subsets) {
+      for (size_t i = 0; i < c.size(); ++i) {
+        auto extended = subset;
+        extended.push_back(i);
+        next.push_back(std::move(extended));
+      }
+    }
+    subsets = std::move(next);
+  }
+
+  GlobalOptimizer optimizer(catalog_, meta_wrapper_, ii_profile_);
+  std::vector<GlobalPlanOption> winners;
+  for (const auto& subset : subsets) {
+    // Restrict each fragment to the chosen single server: equivalent to
+    // adjusting every other server's cost function to infinity.
+    Decomposition restricted = d;
+    for (size_t f = 0; f < restricted.fragments.size(); ++f) {
+      restricted.fragments[f].candidate_servers = {
+          candidates[f][subset[f]]};
+    }
+    ++out.explain_runs;
+    auto plans = optimizer.Enumerate(/*query_id=*/0, restricted,
+                                     max_alternatives_per_server,
+                                     /*max_global_plans=*/8);
+    if (!plans.ok() || plans->empty()) continue;
+    winners.push_back(std::move(plans->front()));
+  }
+
+  // Eliminate dominated plans: among plans on the same server set, keep
+  // the cheapest.
+  std::map<std::vector<std::string>, GlobalPlanOption> best_per_set;
+  for (auto& w : winners) {
+    auto it = best_per_set.find(w.server_set);
+    if (it == best_per_set.end() ||
+        w.total_calibrated_seconds < it->second.total_calibrated_seconds) {
+      best_per_set[w.server_set] = std::move(w);
+    }
+  }
+  for (auto& [set, plan] : best_per_set) {
+    out.plans.push_back(std::move(plan));
+  }
+  std::sort(out.plans.begin(), out.plans.end(),
+            [](const GlobalPlanOption& a, const GlobalPlanOption& b) {
+              return a.total_calibrated_seconds < b.total_calibrated_seconds;
+            });
+  return out;
+}
+
+}  // namespace fedcal

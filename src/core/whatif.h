@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/calibration_store.h"
+#include "federation/global_optimizer.h"
+
+namespace fedcal {
+
+/// \brief The simulated federated system (§2, §4.2).
+///
+/// The real integrator's explain table only keeps the winner plan, so QCC
+/// cannot see the losing alternatives it needs for global-level load
+/// balancing. This component re-runs query compilation in "explain mode"
+/// against restricted server subsets — the paper's trick of pricing every
+/// other server at infinity so the optimizer is forced to reveal the best
+/// plan for each subset — and assembles the full alternative-plan space
+/// from only |product of per-fragment candidate servers| explain runs.
+class WhatIfSimulator {
+ public:
+  WhatIfSimulator(const GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
+                  IiProfile ii_profile = {})
+      : catalog_(catalog),
+        meta_wrapper_(meta_wrapper),
+        ii_profile_(ii_profile) {}
+
+  struct Enumeration {
+    /// Per-subset winners with dominated plans eliminated (same server
+    /// set, higher cost), cheapest first.
+    std::vector<GlobalPlanOption> plans;
+    /// How many explain-mode optimizer runs were needed.
+    size_t explain_runs = 0;
+    /// Subsets skipped because a server's calibration factor exceeded the
+    /// exclusion threshold.
+    size_t excluded_subsets = 0;
+  };
+
+  /// Enumerates alternative global plans for `sql`.
+  ///
+  /// When `store` is given, servers whose current calibration factor
+  /// exceeds `max_server_factor` are excluded from candidate subsets
+  /// up-front (the §4.2 search-space reduction).
+  Result<Enumeration> EnumerateAlternatives(
+      const std::string& sql, size_t max_alternatives_per_server = 2,
+      const CalibrationStore* store = nullptr,
+      double max_server_factor = 1e18);
+
+ private:
+  const GlobalCatalog* catalog_;
+  MetaWrapper* meta_wrapper_;
+  IiProfile ii_profile_;
+};
+
+}  // namespace fedcal

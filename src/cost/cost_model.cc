@@ -1,0 +1,340 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace fedcal {
+
+namespace {
+
+double Log2Rows(double n) { return n < 2.0 ? 1.0 : std::log2(n); }
+
+/// If `e` is a pure column reference, returns its slot; otherwise -1.
+int ColumnSlot(const BoundExprPtr& e) {
+  if (e && e->kind() == BoundExpr::Kind::kColumn) {
+    return static_cast<int>(e->column_index());
+  }
+  return -1;
+}
+
+/// Evaluates a constant expression to a Value (empty on failure).
+Value ConstValue(const BoundExprPtr& e) {
+  if (!e || !e->IsConstant()) return Value::Null_();
+  Row empty;
+  auto r = e->Eval(empty);
+  return r.ok() ? r.MoveValue() : Value::Null_();
+}
+
+}  // namespace
+
+double CostModel::EstimateSelectivity(
+    const BoundExprPtr& e,
+    const std::vector<const ColumnStats*>& origins) const {
+  if (!e) return 1.0;
+  auto clamp = [](double s) { return std::min(1.0, std::max(0.0, s)); };
+
+  switch (e->kind()) {
+    case BoundExpr::Kind::kLiteral:
+      return IsTruthy(e->literal()) ? 1.0 : 0.0;
+    case BoundExpr::Kind::kColumn:
+      // Bare column used as a boolean; assume half the rows are truthy.
+      return 0.5;
+    case BoundExpr::Kind::kUnary: {
+      const ColumnStats* cs = nullptr;
+      const int slot = ColumnSlot(e->operand());
+      if (slot >= 0 && static_cast<size_t>(slot) < origins.size()) {
+        cs = origins[static_cast<size_t>(slot)];
+      }
+      switch (e->unary_op()) {
+        case UnaryOp::kNot:
+          return clamp(1.0 - EstimateSelectivity(e->operand(), origins));
+        case UnaryOp::kIsNull:
+          if (cs && cs->num_values + cs->null_count > 0) {
+            return static_cast<double>(cs->null_count) /
+                   static_cast<double>(cs->num_values + cs->null_count);
+          }
+          return 0.05;
+        case UnaryOp::kIsNotNull:
+          if (cs && cs->num_values + cs->null_count > 0) {
+            return static_cast<double>(cs->num_values) /
+                   static_cast<double>(cs->num_values + cs->null_count);
+          }
+          return 0.95;
+        case UnaryOp::kNeg:
+          return 0.5;
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case BoundExpr::Kind::kBinary: {
+      const BinaryOp op = e->binary_op();
+      if (op == BinaryOp::kAnd) {
+        return clamp(EstimateSelectivity(e->left(), origins) *
+                     EstimateSelectivity(e->right(), origins));
+      }
+      if (op == BinaryOp::kOr) {
+        const double a = EstimateSelectivity(e->left(), origins);
+        const double b = EstimateSelectivity(e->right(), origins);
+        return clamp(a + b - a * b);
+      }
+      if (op == BinaryOp::kLike) return 0.25;  // pattern-match guess
+      if (!IsComparison(op)) return 0.5;  // arithmetic used as boolean
+
+      // Normalize to (column op constant) when possible.
+      int slot = ColumnSlot(e->left());
+      BoundExprPtr const_side = e->right();
+      BinaryOp cmp = op;
+      if (slot < 0) {
+        slot = ColumnSlot(e->right());
+        const_side = e->left();
+        cmp = FlipComparison(op);
+      }
+      const int lslot = ColumnSlot(e->left());
+      const int rslot = ColumnSlot(e->right());
+      if (lslot >= 0 && rslot >= 0) {
+        // column-vs-column (join-style predicate applied as a filter).
+        const ColumnStats* lcs =
+            static_cast<size_t>(lslot) < origins.size()
+                ? origins[static_cast<size_t>(lslot)]
+                : nullptr;
+        const ColumnStats* rcs =
+            static_cast<size_t>(rslot) < origins.size()
+                ? origins[static_cast<size_t>(rslot)]
+                : nullptr;
+        if (op == BinaryOp::kEq) {
+          const double dl = lcs ? std::max<size_t>(1, lcs->num_distinct)
+                                : kDefaultJoinDistinct;
+          const double dr = rcs ? std::max<size_t>(1, rcs->num_distinct)
+                                : kDefaultJoinDistinct;
+          return clamp(1.0 / std::max(dl, dr));
+        }
+        return kDefaultRangeSelectivity;
+      }
+      if (slot >= 0 && const_side && const_side->IsConstant()) {
+        const ColumnStats* cs =
+            static_cast<size_t>(slot) < origins.size()
+                ? origins[static_cast<size_t>(slot)]
+                : nullptr;
+        const Value v = ConstValue(const_side);
+        if (cs) return clamp(cs->Selectivity(ToCompareOp(cmp), v));
+      }
+      return op == BinaryOp::kEq ? kDefaultEqSelectivity
+                                 : kDefaultRangeSelectivity;
+    }
+  }
+  return kDefaultRangeSelectivity;
+}
+
+Result<CostModel::NodeEstimate> CostModel::AnnotateNode(
+    PlanNode* node, const StatsProvider& stats) const {
+  NodeEstimate est;
+  switch (node->kind) {
+    case PlanKind::kScan: {
+      const TableStats* ts = stats.GetStats(node->table_name);
+      const double rows =
+          ts ? static_cast<double>(ts->num_rows) : kDefaultTableRows;
+      est.rows = rows;
+      est.avg_row_bytes = ts && ts->avg_row_bytes > 0 ? ts->avg_row_bytes
+                                                      : 16.0;
+      est.cumulative_work =
+          costs_.scan_row * rows + costs_.scan_byte * rows * est.avg_row_bytes;
+      est.origins.assign(node->output_schema.num_columns(), nullptr);
+      if (ts && ts->columns.size() == node->output_schema.num_columns()) {
+        for (size_t i = 0; i < ts->columns.size(); ++i) {
+          est.origins[i] = &ts->columns[i];
+        }
+      } else if (ts) {
+        // Qualified schemas may rename columns; match by suffix.
+        for (size_t i = 0; i < node->output_schema.num_columns(); ++i) {
+          const std::string& name = node->output_schema.column(i).name;
+          const auto dot = name.rfind('.');
+          const std::string base =
+              dot == std::string::npos ? name : name.substr(dot + 1);
+          est.origins[i] = ts->FindColumn(base);
+        }
+      }
+      break;
+    }
+    case PlanKind::kIndexScan: {
+      const TableStats* ts = stats.GetStats(node->table_name);
+      const double table_rows =
+          ts ? static_cast<double>(ts->num_rows) : kDefaultTableRows;
+      est.avg_row_bytes =
+          ts && ts->avg_row_bytes > 0 ? ts->avg_row_bytes : 16.0;
+      // Matching rows = equality selectivity of the indexed column.
+      const ColumnStats* cs = ts ? ts->FindColumn(node->index_column)
+                                 : nullptr;
+      double sel = kDefaultEqSelectivity;
+      if (cs && node->index_value && node->index_value->IsConstant()) {
+        sel = cs->Selectivity(CompareOp::kEq,
+                              ConstValue(node->index_value));
+      } else if (cs && cs->num_distinct > 0) {
+        sel = 1.0 / static_cast<double>(cs->num_distinct);
+      }
+      est.rows = std::max(0.0, table_rows * sel);
+      est.cumulative_work =
+          costs_.index_probe + costs_.index_match_row * est.rows;
+      est.origins.assign(node->output_schema.num_columns(), nullptr);
+      if (ts) {
+        for (size_t i = 0; i < node->output_schema.num_columns(); ++i) {
+          const std::string& name = node->output_schema.column(i).name;
+          const auto dot = name.rfind('.');
+          const std::string base =
+              dot == std::string::npos ? name : name.substr(dot + 1);
+          est.origins[i] = ts->FindColumn(base);
+        }
+      }
+      break;
+    }
+    case PlanKind::kFilter: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      const double sel = EstimateSelectivity(node->predicate, child.origins);
+      est.rows = child.rows * sel;
+      est.avg_row_bytes = child.avg_row_bytes;
+      est.cumulative_work =
+          child.cumulative_work + costs_.filter_row * child.rows;
+      est.origins = std::move(child.origins);
+      break;
+    }
+    case PlanKind::kProject: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      est.rows = child.rows;
+      est.avg_row_bytes = child.avg_row_bytes;  // close enough
+      est.cumulative_work =
+          child.cumulative_work + costs_.project_expr * child.rows *
+                                      static_cast<double>(
+                                          node->projections.size());
+      est.origins.assign(node->projections.size(), nullptr);
+      for (size_t i = 0; i < node->projections.size(); ++i) {
+        const int slot = ColumnSlot(node->projections[i]);
+        if (slot >= 0 && static_cast<size_t>(slot) < child.origins.size()) {
+          est.origins[i] = child.origins[static_cast<size_t>(slot)];
+        }
+      }
+      break;
+    }
+    case PlanKind::kHashJoin: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate l,
+                              AnnotateNode(node->left.get(), stats));
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate r,
+                              AnnotateNode(node->right.get(), stats));
+      double rows = l.rows * r.rows;
+      for (size_t k = 0; k < node->left_keys.size(); ++k) {
+        const ColumnStats* lcs =
+            node->left_keys[k] < l.origins.size()
+                ? l.origins[node->left_keys[k]]
+                : nullptr;
+        const ColumnStats* rcs =
+            node->right_keys[k] < r.origins.size()
+                ? r.origins[node->right_keys[k]]
+                : nullptr;
+        const double dl = lcs ? std::max<size_t>(1, lcs->num_distinct)
+                              : kDefaultJoinDistinct;
+        const double dr = rcs ? std::max<size_t>(1, rcs->num_distinct)
+                              : kDefaultJoinDistinct;
+        rows /= std::max(dl, dr);
+      }
+      std::vector<const ColumnStats*> joined = l.origins;
+      joined.insert(joined.end(), r.origins.begin(), r.origins.end());
+      if (node->residual) {
+        rows *= EstimateSelectivity(node->residual, joined);
+      }
+      est.rows = std::max(0.0, rows);
+      est.avg_row_bytes = l.avg_row_bytes + r.avg_row_bytes;
+      est.cumulative_work = l.cumulative_work + r.cumulative_work +
+                            costs_.hash_build_row * l.rows +
+                            costs_.hash_probe_row * r.rows +
+                            costs_.join_output_row * est.rows;
+      est.origins = std::move(joined);
+      break;
+    }
+    case PlanKind::kNestedLoopJoin: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate l,
+                              AnnotateNode(node->left.get(), stats));
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate r,
+                              AnnotateNode(node->right.get(), stats));
+      std::vector<const ColumnStats*> joined = l.origins;
+      joined.insert(joined.end(), r.origins.begin(), r.origins.end());
+      const double sel = EstimateSelectivity(node->predicate, joined);
+      est.rows = l.rows * r.rows * sel;
+      est.avg_row_bytes = l.avg_row_bytes + r.avg_row_bytes;
+      est.cumulative_work = l.cumulative_work + r.cumulative_work +
+                            costs_.nlj_pair * l.rows * r.rows +
+                            costs_.join_output_row * est.rows;
+      est.origins = std::move(joined);
+      break;
+    }
+    case PlanKind::kAggregate: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      double groups = 1.0;
+      if (!node->group_by.empty()) {
+        groups = 1.0;
+        for (const auto& g : node->group_by) {
+          const int slot = ColumnSlot(g);
+          const ColumnStats* cs =
+              slot >= 0 && static_cast<size_t>(slot) < child.origins.size()
+                  ? child.origins[static_cast<size_t>(slot)]
+                  : nullptr;
+          groups *= cs ? std::max<size_t>(1, cs->num_distinct)
+                       : std::sqrt(std::max(1.0, child.rows));
+        }
+        groups = std::min(groups, child.rows);
+      }
+      est.rows = std::max(node->group_by.empty() ? 1.0 : 0.0, groups);
+      est.avg_row_bytes =
+          8.0 * static_cast<double>(node->output_schema.num_columns());
+      est.cumulative_work = child.cumulative_work +
+                            costs_.agg_update_row * child.rows +
+                            costs_.agg_group * est.rows;
+      est.origins.assign(node->output_schema.num_columns(), nullptr);
+      break;
+    }
+    case PlanKind::kSort: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      est = child;
+      est.cumulative_work += costs_.sort_row_log * child.rows *
+                             Log2Rows(child.rows);
+      break;
+    }
+    case PlanKind::kDistinct: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      est = child;
+      est.rows = child.rows * 0.9;  // mild dedup assumption
+      est.cumulative_work += costs_.distinct_row * child.rows;
+      break;
+    }
+    case PlanKind::kLimit: {
+      FEDCAL_ASSIGN_OR_RETURN(NodeEstimate child,
+                              AnnotateNode(node->left.get(), stats));
+      est = child;
+      est.rows = std::min(child.rows,
+                          static_cast<double>(std::max<int64_t>(0,
+                                                                node->limit)));
+      break;
+    }
+  }
+  node->estimated_rows = est.rows;
+  node->estimated_work = est.cumulative_work;
+  return est;
+}
+
+Status CostModel::Annotate(const PlanNodePtr& plan,
+                           const StatsProvider& stats) const {
+  if (!plan) return Status::InvalidArgument("null plan");
+  return AnnotateNode(plan.get(), stats).status();
+}
+
+Result<double> CostModel::EstimateTotalWork(const PlanNodePtr& plan,
+                                            const StatsProvider& stats) const {
+  if (!plan) return Status::InvalidArgument("null plan");
+  FEDCAL_ASSIGN_OR_RETURN(NodeEstimate est, AnnotateNode(plan.get(), stats));
+  return est.cumulative_work;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "cost/stats_provider.h"
+#include "engine/exec_config.h"
+#include "engine/plan.h"
+
+namespace fedcal {
+
+/// \brief Estimates cardinalities and work units for physical plans.
+///
+/// Uses the same WorkCosts price list as the Executor, so on an idle server
+/// with perfect statistics the estimated work equals the observed work;
+/// load and network effects then show up purely as the runtime/estimate
+/// ratio — the quantity the paper's Query Cost Calibrator learns.
+class CostModel {
+ public:
+  explicit CostModel(WorkCosts costs = {}) : costs_(costs) {}
+
+  /// Annotates every node in the tree with `estimated_rows` and cumulative
+  /// `estimated_work` (root's value = total plan work).
+  Status Annotate(const PlanNodePtr& plan, const StatsProvider& stats) const;
+
+  /// Convenience: annotate and return the root's cumulative work.
+  Result<double> EstimateTotalWork(const PlanNodePtr& plan,
+                                   const StatsProvider& stats) const;
+
+  /// Estimated fraction of rows satisfying `predicate`, where `origins[i]`
+  /// is the base-table column statistics behind slot i (nullptr when
+  /// unknown). Exposed for tests.
+  double EstimateSelectivity(
+      const BoundExprPtr& predicate,
+      const std::vector<const ColumnStats*>& origins) const;
+
+  const WorkCosts& costs() const { return costs_; }
+
+  // Fallback selectivities when statistics are unavailable (System-R
+  // tradition).
+  static constexpr double kDefaultEqSelectivity = 0.1;
+  static constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+  static constexpr double kDefaultJoinDistinct = 10.0;
+  static constexpr double kDefaultTableRows = 1000.0;
+
+ private:
+  struct NodeEstimate {
+    double rows = 0.0;
+    double cumulative_work = 0.0;
+    double avg_row_bytes = 16.0;
+    std::vector<const ColumnStats*> origins;
+  };
+
+  Result<NodeEstimate> AnnotateNode(PlanNode* node,
+                                    const StatsProvider& stats) const;
+
+  WorkCosts costs_;
+};
+
+}  // namespace fedcal

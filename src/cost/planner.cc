@@ -1,0 +1,348 @@
+#include "cost/planner.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fedcal {
+
+namespace {
+
+/// A WHERE conjunct plus the set of FROM tables it references.
+struct Conjunct {
+  BoundExprPtr expr;          ///< over the global (flattened-FROM) row
+  std::set<size_t> tables;    ///< indices into BoundQuery::tables
+  bool applied = false;
+};
+
+/// Maps a global input-schema slot to its FROM-table index.
+size_t TableOfSlot(const BoundQuery& q, size_t slot) {
+  for (size_t t = q.tables.size(); t-- > 0;) {
+    if (slot >= q.tables[t].slot_offset) return t;
+  }
+  return 0;
+}
+
+/// True when `e` is `colA = colB` with the two columns on the given
+/// distinct table sides; outputs the global slots.
+bool IsEquiJoinBetween(const BoundQuery& q, const BoundExprPtr& e,
+                       const std::set<size_t>& left_set, size_t right_table,
+                       size_t* left_slot, size_t* right_slot) {
+  if (e->kind() != BoundExpr::Kind::kBinary ||
+      e->binary_op() != BinaryOp::kEq) {
+    return false;
+  }
+  const auto& l = e->left();
+  const auto& r = e->right();
+  if (l->kind() != BoundExpr::Kind::kColumn ||
+      r->kind() != BoundExpr::Kind::kColumn) {
+    return false;
+  }
+  const size_t lt = TableOfSlot(q, l->column_index());
+  const size_t rt = TableOfSlot(q, r->column_index());
+  if (left_set.count(lt) && rt == right_table) {
+    *left_slot = l->column_index();
+    *right_slot = r->column_index();
+    return true;
+  }
+  if (left_set.count(rt) && lt == right_table) {
+    *left_slot = r->column_index();
+    *right_slot = l->column_index();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Planner::BuildForOrder(
+    const BoundQuery& q, const std::vector<size_t>& order,
+    bool use_indexes) const {
+  // Qualified per-table schemas sliced out of the input schema.
+  std::vector<Schema> table_schemas(q.tables.size());
+  for (size_t t = 0; t < q.tables.size(); ++t) {
+    const auto& tb = q.tables[t];
+    for (size_t c = 0; c < tb.schema.num_columns(); ++c) {
+      table_schemas[t].AddColumn(q.input_schema.column(tb.slot_offset + c));
+    }
+  }
+
+  // Classify WHERE conjuncts.
+  std::vector<Conjunct> conjuncts;
+  {
+    std::vector<BoundExprPtr> raw;
+    SplitConjuncts(q.where, &raw);
+    for (auto& e : raw) {
+      Conjunct c;
+      c.expr = e;
+      std::vector<size_t> slots;
+      e->CollectColumns(&slots);
+      for (size_t s : slots) c.tables.insert(TableOfSlot(q, s));
+      conjuncts.push_back(std::move(c));
+    }
+  }
+
+  const size_t input_width = q.input_schema.num_columns();
+
+  // Build each table's access path with pushed-down single-table
+  // predicates. When index use is enabled and an equality conjunct matches
+  // an indexed column, the scan becomes a hash-index point lookup with the
+  // remaining conjuncts filtered on top.
+  auto build_scan = [&](size_t t) -> Result<PlanNodePtr> {
+    const auto& tb = q.tables[t];
+    // Mapping from global slots to this scan's local slots.
+    std::vector<int> mapping(input_width, -1);
+    for (size_t c = 0; c < tb.schema.num_columns(); ++c) {
+      mapping[tb.slot_offset + c] = static_cast<int>(c);
+    }
+    std::vector<BoundExprPtr> pushed;
+    for (auto& c : conjuncts) {
+      if (c.applied || c.tables.size() != 1 || *c.tables.begin() != t) {
+        continue;
+      }
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              c.expr->RemapColumns(mapping));
+      pushed.push_back(std::move(remapped));
+      c.applied = true;
+    }
+
+    PlanNodePtr node;
+    if (use_indexes) {
+      const TableStats* ts = stats_->GetStats(tb.table_name);
+      if (ts != nullptr && !ts->indexed_columns.empty()) {
+        for (size_t i = 0; i < pushed.size() && !node; ++i) {
+          const auto& e = pushed[i];
+          if (e->kind() != BoundExpr::Kind::kBinary ||
+              e->binary_op() != BinaryOp::kEq) {
+            continue;
+          }
+          // Normalize to column = constant.
+          BoundExprPtr col = e->left();
+          BoundExprPtr value = e->right();
+          if (col->kind() != BoundExpr::Kind::kColumn) {
+            std::swap(col, value);
+          }
+          if (col->kind() != BoundExpr::Kind::kColumn ||
+              !value->IsConstant()) {
+            continue;
+          }
+          const std::string& base =
+              tb.schema.column(col->column_index()).name;
+          const auto& indexed = ts->indexed_columns;
+          if (std::find(indexed.begin(), indexed.end(), base) ==
+              indexed.end()) {
+            continue;
+          }
+          node = PlanNode::IndexScan(tb.table_name, table_schemas[t], base,
+                                     value);
+          pushed.erase(pushed.begin() + static_cast<long>(i));
+        }
+      }
+    }
+    if (!node) node = PlanNode::Scan(tb.table_name, table_schemas[t]);
+    if (BoundExprPtr combined = CombineConjuncts(pushed)) {
+      node = PlanNode::Filter(std::move(node), std::move(combined));
+    }
+    return node;
+  };
+
+  FEDCAL_ASSIGN_OR_RETURN(PlanNodePtr cur, build_scan(order[0]));
+  std::set<size_t> joined{order[0]};
+  // Running mapping: global slot -> slot in cur's output row.
+  std::vector<int> mapping(input_width, -1);
+  {
+    const auto& tb = q.tables[order[0]];
+    for (size_t c = 0; c < tb.schema.num_columns(); ++c) {
+      mapping[tb.slot_offset + c] = static_cast<int>(c);
+    }
+  }
+
+  for (size_t i = 1; i < order.size(); ++i) {
+    const size_t t = order[i];
+    FEDCAL_ASSIGN_OR_RETURN(PlanNodePtr rhs, build_scan(t));
+    const auto& tb = q.tables[t];
+    const size_t cur_width = cur->output_schema.num_columns();
+
+    // Mapping covering the would-be concatenated row [cur, rhs].
+    std::vector<int> concat_mapping = mapping;
+    for (size_t c = 0; c < tb.schema.num_columns(); ++c) {
+      concat_mapping[tb.slot_offset + c] =
+          static_cast<int>(cur_width + c);
+    }
+
+    // Collect applicable conjuncts: all referenced tables now joined.
+    std::vector<size_t> left_keys, right_keys;
+    std::vector<BoundExprPtr> residuals;
+    for (auto& c : conjuncts) {
+      if (c.applied) continue;
+      bool covered = true;
+      for (size_t ct : c.tables) {
+        if (ct != t && !joined.count(ct)) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered || c.tables.empty()) continue;
+      size_t gl = 0, gr = 0;
+      if (IsEquiJoinBetween(q, c.expr, joined, t, &gl, &gr)) {
+        left_keys.push_back(static_cast<size_t>(mapping[gl]));
+        right_keys.push_back(gr - tb.slot_offset);
+        c.applied = true;
+        continue;
+      }
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              c.expr->RemapColumns(concat_mapping));
+      residuals.push_back(std::move(remapped));
+      c.applied = true;
+    }
+
+    if (!left_keys.empty()) {
+      cur = PlanNode::HashJoin(std::move(cur), std::move(rhs),
+                               std::move(left_keys), std::move(right_keys),
+                               CombineConjuncts(residuals));
+    } else {
+      cur = PlanNode::NestedLoopJoin(std::move(cur), std::move(rhs),
+                                     CombineConjuncts(residuals));
+    }
+    joined.insert(t);
+    mapping = std::move(concat_mapping);
+  }
+
+  // Constant conjuncts (no column references) and any stragglers.
+  {
+    std::vector<BoundExprPtr> rest;
+    for (auto& c : conjuncts) {
+      if (c.applied) continue;
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              c.expr->RemapColumns(mapping));
+      rest.push_back(std::move(remapped));
+      c.applied = true;
+    }
+    if (BoundExprPtr combined = CombineConjuncts(rest)) {
+      cur = PlanNode::Filter(std::move(cur), std::move(combined));
+    }
+  }
+
+  if (q.has_aggregate) {
+    std::vector<BoundExprPtr> group_by;
+    for (const auto& g : q.group_by) {
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              g->RemapColumns(mapping));
+      group_by.push_back(std::move(remapped));
+    }
+    std::vector<AggItem> aggs;
+    for (const auto& a : q.aggs) {
+      AggItem item;
+      item.func = a.func;
+      item.count_star = a.count_star;
+      item.result_type = a.result_type;
+      item.name = a.display_name;
+      if (a.arg) {
+        FEDCAL_ASSIGN_OR_RETURN(item.arg, a.arg->RemapColumns(mapping));
+      }
+      aggs.push_back(std::move(item));
+    }
+    cur = PlanNode::Aggregate(std::move(cur), std::move(group_by),
+                              std::move(aggs), q.PostAggSchema());
+    if (q.having) {
+      cur = PlanNode::Filter(std::move(cur), q.having);
+    }
+    cur = PlanNode::Project(std::move(cur), q.outputs, q.output_schema);
+  } else {
+    std::vector<BoundExprPtr> outputs;
+    for (const auto& o : q.outputs) {
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped, o->RemapColumns(mapping));
+      outputs.push_back(std::move(remapped));
+    }
+    cur = PlanNode::Project(std::move(cur), std::move(outputs),
+                            q.output_schema);
+  }
+
+  if (q.distinct) cur = PlanNode::Distinct(std::move(cur));
+  if (!q.order_by.empty()) cur = PlanNode::Sort(std::move(cur), q.order_by);
+  if (q.limit.has_value()) cur = PlanNode::Limit(std::move(cur), *q.limit);
+  return cur;
+}
+
+std::vector<std::vector<size_t>> Planner::CandidateOrders(
+    const BoundQuery& q) const {
+  const size_t n = q.tables.size();
+  std::vector<std::vector<size_t>> orders;
+  if (n <= options_.exhaustive_join_limit) {
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    do {
+      orders.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return orders;
+  }
+  // Greedy smallest-table-first plus the textual order as a fallback.
+  std::vector<size_t> greedy(n);
+  for (size_t i = 0; i < n; ++i) greedy[i] = i;
+  std::sort(greedy.begin(), greedy.end(), [&](size_t a, size_t b) {
+    const TableStats* sa = stats_->GetStats(q.tables[a].table_name);
+    const TableStats* sb = stats_->GetStats(q.tables[b].table_name);
+    const double ra = sa ? static_cast<double>(sa->num_rows)
+                         : CostModel::kDefaultTableRows;
+    const double rb = sb ? static_cast<double>(sb->num_rows)
+                         : CostModel::kDefaultTableRows;
+    return ra < rb;
+  });
+  orders.push_back(std::move(greedy));
+  std::vector<size_t> textual(n);
+  for (size_t i = 0; i < n; ++i) textual[i] = i;
+  orders.push_back(std::move(textual));
+  return orders;
+}
+
+Result<PlanNodePtr> Planner::Plan(const BoundQuery& query) const {
+  FEDCAL_ASSIGN_OR_RETURN(std::vector<PlanNodePtr> plans,
+                          PlanAlternatives(query, 1));
+  if (plans.empty()) return Status::PlanError("no plan produced");
+  return plans.front();
+}
+
+Result<std::vector<PlanNodePtr>> Planner::PlanAlternatives(
+    const BoundQuery& query, size_t k) const {
+  if (query.tables.empty()) {
+    return Status::PlanError("query references no tables");
+  }
+  if (k == 0) k = options_.max_alternatives;
+
+  std::vector<PlanNodePtr> candidates;
+  for (const auto& order : CandidateOrders(query)) {
+    FEDCAL_ASSIGN_OR_RETURN(
+        PlanNodePtr plan,
+        BuildForOrder(query, order, /*use_indexes=*/false));
+    FEDCAL_RETURN_NOT_OK(cost_model_.Annotate(plan, *stats_));
+    candidates.push_back(std::move(plan));
+    if (options_.use_indexes) {
+      FEDCAL_ASSIGN_OR_RETURN(
+          PlanNodePtr indexed,
+          BuildForOrder(query, order, /*use_indexes=*/true));
+      FEDCAL_RETURN_NOT_OK(cost_model_.Annotate(indexed, *stats_));
+      // Identical plans (no usable index) collapse in the dedupe below.
+      candidates.push_back(std::move(indexed));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PlanNodePtr& a, const PlanNodePtr& b) {
+                     return a->estimated_work < b->estimated_work;
+                   });
+  // Deduplicate structurally identical plans (permutations can collapse,
+  // e.g. single-table queries).
+  std::vector<PlanNodePtr> out;
+  std::unordered_set<size_t> seen;
+  for (auto& p : candidates) {
+    const size_t fp = p->Fingerprint(/*normalize_literals=*/false);
+    if (!seen.insert(fp).second) continue;
+    out.push_back(std::move(p));
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+}  // namespace fedcal

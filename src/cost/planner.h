@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "cost/stats_provider.h"
+#include "engine/plan.h"
+#include "sql/binder.h"
+
+namespace fedcal {
+
+/// \brief Planner tuning knobs.
+struct PlannerOptions {
+  /// Join orders are enumerated exhaustively up to this many tables;
+  /// beyond it a greedy smallest-first order is used.
+  size_t exhaustive_join_limit = 5;
+  /// Upper bound on plans returned by PlanAlternatives.
+  size_t max_alternatives = 8;
+  /// Consider hash-index point lookups as alternative access paths.
+  bool use_indexes = true;
+};
+
+/// \brief Cost-based physical planner over bound queries.
+///
+/// Produces left-deep join trees (hash joins on equijoin conjuncts, nested
+/// loops otherwise) with single-table predicates pushed to the scans,
+/// followed by aggregation / having / projection / distinct / sort / limit
+/// per the BoundQuery pipeline contract. Join orders are costed with the
+/// CostModel and the cheapest is selected.
+///
+/// This same planner serves both sides of the federation: each remote
+/// server's wrapper plans its fragment locally, and the integrator plans
+/// the global merge over materialized fragment results.
+class Planner {
+ public:
+  Planner(const StatsProvider* stats, WorkCosts costs = {},
+          PlannerOptions options = {})
+      : stats_(stats), cost_model_(costs), options_(options) {}
+
+  /// Returns the cheapest plan (annotated with estimates).
+  Result<PlanNodePtr> Plan(const BoundQuery& query) const;
+
+  /// Returns up to `k` structurally distinct plans, cheapest first, each
+  /// annotated with estimates. k = 0 uses options_.max_alternatives.
+  Result<std::vector<PlanNodePtr>> PlanAlternatives(const BoundQuery& query,
+                                                    size_t k = 0) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  Result<PlanNodePtr> BuildForOrder(const BoundQuery& query,
+                                    const std::vector<size_t>& order,
+                                    bool use_indexes) const;
+  std::vector<std::vector<size_t>> CandidateOrders(
+      const BoundQuery& query) const;
+
+  const StatsProvider* stats_;
+  CostModel cost_model_;
+  PlannerOptions options_;
+};
+
+}  // namespace fedcal

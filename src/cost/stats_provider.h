@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "stats/table_stats.h"
+
+namespace fedcal {
+
+/// \brief Source of table statistics for the cost model.
+///
+/// Wrappers implement this over their server's local catalog; the
+/// integrator implements it over cached remote statistics (the federated
+/// analog of nickname statistics in DB2 II).
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+
+  /// Returns statistics for `table_name`, or nullptr when unknown (the
+  /// cost model then falls back to defaults).
+  virtual const TableStats* GetStats(const std::string& table_name) const = 0;
+};
+
+/// \brief Simple map-backed StatsProvider.
+class StatsCatalog : public StatsProvider {
+ public:
+  void Put(TableStats stats) {
+    const std::string name = stats.table_name;
+    stats_[name] = std::make_shared<TableStats>(std::move(stats));
+  }
+
+  const TableStats* GetStats(const std::string& table_name) const override {
+    auto it = stats_.find(table_name);
+    return it == stats_.end() ? nullptr : it->second.get();
+  }
+
+  size_t size() const { return stats_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<TableStats>> stats_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,423 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fedcal {
+
+namespace {
+
+double Log2Rows(size_t n) {
+  return n < 2 ? 1.0 : std::log2(static_cast<double>(n));
+}
+
+/// Hash-map key wrapper so Rows can key unordered_map.
+struct RowKey {
+  Row values;
+  size_t hash;
+
+  explicit RowKey(Row v) : values(std::move(v)), hash(HashRow(values)) {}
+  bool operator==(const RowKey& o) const {
+    if (hash != o.hash || values.size() != o.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool ln = values[i].is_null();
+      const bool rn = o.values[i].is_null();
+      if (ln != rn) return false;
+      if (!ln && values[i].Compare(o.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const { return k.hash; }
+};
+
+/// Accumulator for one aggregate function instance in one group.
+struct AggState {
+  size_t count = 0;        // non-null inputs (or all rows for COUNT(*))
+  bool int_mode = true;    // SUM stays integral until a double arrives
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value min_v;
+  Value max_v;
+
+  void Update(const AggItem& item, const Value& v) {
+    if (item.count_star) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    switch (item.func) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.is_int64() && int_mode) {
+          isum += v.AsInt64();
+        } else {
+          if (int_mode) {
+            dsum = static_cast<double>(isum);
+            int_mode = false;
+          }
+          dsum += v.AsDouble();
+        }
+        break;
+      case AggFunc::kMin:
+        if (min_v.is_null() || v < min_v) min_v = v;
+        break;
+      case AggFunc::kMax:
+        if (max_v.is_null() || max_v < v) max_v = v;
+        break;
+    }
+  }
+
+  Value Finalize(const AggItem& item) const {
+    switch (item.func) {
+      case AggFunc::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null_();
+        if (int_mode && item.result_type == DataType::kInt64) {
+          return Value(isum);
+        }
+        return Value(int_mode ? static_cast<double>(isum) : dsum);
+      case AggFunc::kAvg: {
+        if (count == 0) return Value::Null_();
+        const double total = int_mode ? static_cast<double>(isum) : dsum;
+        return Value(total / static_cast<double>(count));
+      }
+      case AggFunc::kMin:
+        return min_v;
+      case AggFunc::kMax:
+        return max_v;
+    }
+    return Value::Null_();
+  }
+};
+
+}  // namespace
+
+Status Executor::CheckSize(size_t rows) const {
+  if (config_.max_intermediate_rows > 0 &&
+      rows > config_.max_intermediate_rows) {
+    return Status::ExecutionError(StringFormat(
+        "intermediate result exceeds limit (%zu > %zu rows)", rows,
+        config_.max_intermediate_rows));
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> Executor::Execute(const PlanNodePtr& plan,
+                                   ExecStats* stats) const {
+  if (!plan) return Status::InvalidArgument("null plan");
+  ExecStats local;
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr result, ExecuteNode(*plan, &local));
+  local.rows_output = result->num_rows();
+  local.bytes_output = result->byte_size();
+  if (stats) stats->Merge(local);
+  return result;
+}
+
+Result<TablePtr> Executor::ExecuteNode(const PlanNode& node,
+                                       ExecStats* stats) const {
+  ++stats->operators_executed;
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return ExecScan(node, stats);
+    case PlanKind::kIndexScan:
+      return ExecIndexScan(node, stats);
+    case PlanKind::kFilter:
+      return ExecFilter(node, stats);
+    case PlanKind::kProject:
+      return ExecProject(node, stats);
+    case PlanKind::kHashJoin:
+      return ExecHashJoin(node, stats);
+    case PlanKind::kNestedLoopJoin:
+      return ExecNestedLoopJoin(node, stats);
+    case PlanKind::kAggregate:
+      return ExecAggregate(node, stats);
+    case PlanKind::kSort:
+      return ExecSort(node, stats);
+    case PlanKind::kDistinct:
+      return ExecDistinct(node, stats);
+    case PlanKind::kLimit:
+      return ExecLimit(node, stats);
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+Result<TablePtr> Executor::ExecScan(const PlanNode& node,
+                                    ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(node.table_name));
+  stats->rows_scanned += table->num_rows();
+  // The whole scan charge (row touch + bytes read) is I/O work.
+  const double io = config_.costs.scan_row * table->num_rows() +
+                    config_.costs.scan_byte * table->byte_size();
+  stats->work_units += io;
+  stats->io_units += io;
+  return table;
+}
+
+Result<TablePtr> Executor::ExecIndexScan(const PlanNode& node,
+                                          ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(node.table_name));
+  const HashIndex* index = table->GetIndex(node.index_column);
+  if (index == nullptr) {
+    return Status::ExecutionError("table " + node.table_name +
+                                  " has no index on " + node.index_column);
+  }
+  Row empty;
+  FEDCAL_ASSIGN_OR_RETURN(Value key, node.index_value->Eval(empty));
+  auto out = std::make_shared<Table>("", node.output_schema);
+  double io = config_.costs.index_probe;
+  for (size_t row_id : index->Probe(key)) {
+    if (row_id >= table->num_rows()) continue;
+    const Row& row = table->row(row_id);
+    // Verify exact equality (the index probe is hash-based).
+    if (row[index->column_index()].is_null() ||
+        row[index->column_index()].Compare(key) != 0) {
+      continue;
+    }
+    io += config_.costs.index_match_row;
+    out->AppendRowUnchecked(row);
+  }
+  stats->rows_scanned += out->num_rows();
+  stats->work_units += io;
+  stats->io_units += io;
+  return out;
+}
+
+Result<TablePtr> Executor::ExecFilter(const PlanNode& node,
+                                      ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+  auto out = std::make_shared<Table>("", node.output_schema);
+  stats->work_units +=
+      config_.costs.filter_row * static_cast<double>(in->num_rows());
+  for (const Row& row : in->rows()) {
+    FEDCAL_ASSIGN_OR_RETURN(Value v, node.predicate->Eval(row));
+    if (IsTruthy(v)) out->AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecProject(const PlanNode& node,
+                                       ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+  auto out = std::make_shared<Table>("", node.output_schema);
+  stats->work_units += config_.costs.project_expr *
+                       static_cast<double>(in->num_rows()) *
+                       static_cast<double>(node.projections.size());
+  for (const Row& row : in->rows()) {
+    Row projected;
+    projected.reserve(node.projections.size());
+    for (const auto& e : node.projections) {
+      FEDCAL_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+      projected.push_back(std::move(v));
+    }
+    out->AppendRowUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
+                                        ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr build, ExecuteNode(*node.left, stats));
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr probe, ExecuteNode(*node.right, stats));
+
+  auto extract_keys = [](const Row& row, const std::vector<size_t>& slots) {
+    Row key;
+    key.reserve(slots.size());
+    for (size_t s : slots) key.push_back(row[s]);
+    return key;
+  };
+
+  std::unordered_multimap<RowKey, size_t, RowKeyHash> table;
+  table.reserve(build->num_rows());
+  for (size_t i = 0; i < build->num_rows(); ++i) {
+    Row key = extract_keys(build->row(i), node.left_keys);
+    // NULL join keys never match; skip them at build time.
+    bool has_null = false;
+    for (const Value& v : key) has_null |= v.is_null();
+    if (has_null) continue;
+    table.emplace(RowKey(std::move(key)), i);
+  }
+  stats->work_units +=
+      config_.costs.hash_build_row * static_cast<double>(build->num_rows());
+
+  auto out = std::make_shared<Table>("", node.output_schema);
+  stats->work_units +=
+      config_.costs.hash_probe_row * static_cast<double>(probe->num_rows());
+  for (const Row& probe_row : probe->rows()) {
+    Row key = extract_keys(probe_row, node.right_keys);
+    bool has_null = false;
+    for (const Value& v : key) has_null |= v.is_null();
+    if (has_null) continue;
+    auto [begin, end] = table.equal_range(RowKey(std::move(key)));
+    for (auto it = begin; it != end; ++it) {
+      Row joined = build->row(it->second);
+      joined.insert(joined.end(), probe_row.begin(), probe_row.end());
+      if (node.residual) {
+        FEDCAL_ASSIGN_OR_RETURN(Value v, node.residual->Eval(joined));
+        if (!IsTruthy(v)) continue;
+      }
+      stats->work_units += config_.costs.join_output_row;
+      out->AppendRowUnchecked(std::move(joined));
+      FEDCAL_RETURN_NOT_OK(CheckSize(out->num_rows()));
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecNestedLoopJoin(const PlanNode& node,
+                                              ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr left, ExecuteNode(*node.left, stats));
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr right, ExecuteNode(*node.right, stats));
+  auto out = std::make_shared<Table>("", node.output_schema);
+  stats->work_units += config_.costs.nlj_pair *
+                       static_cast<double>(left->num_rows()) *
+                       static_cast<double>(right->num_rows());
+  for (const Row& l : left->rows()) {
+    for (const Row& r : right->rows()) {
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (node.predicate) {
+        FEDCAL_ASSIGN_OR_RETURN(Value v, node.predicate->Eval(joined));
+        if (!IsTruthy(v)) continue;
+      }
+      stats->work_units += config_.costs.join_output_row;
+      out->AppendRowUnchecked(std::move(joined));
+      FEDCAL_RETURN_NOT_OK(CheckSize(out->num_rows()));
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
+                                         ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<RowKey, Group, RowKeyHash> groups;
+
+  stats->work_units +=
+      config_.costs.agg_update_row * static_cast<double>(in->num_rows());
+  for (const Row& row : in->rows()) {
+    Row key;
+    key.reserve(node.group_by.size());
+    for (const auto& g : node.group_by) {
+      FEDCAL_ASSIGN_OR_RETURN(Value v, g->Eval(row));
+      key.push_back(std::move(v));
+    }
+    RowKey rk(key);
+    auto it = groups.find(rk);
+    if (it == groups.end()) {
+      Group grp;
+      grp.key = std::move(key);
+      grp.states.resize(node.aggs.size());
+      it = groups.emplace(std::move(rk), std::move(grp)).first;
+    }
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      const AggItem& item = node.aggs[a];
+      if (item.count_star) {
+        it->second.states[a].Update(item, Value());
+      } else {
+        FEDCAL_ASSIGN_OR_RETURN(Value v, item.arg->Eval(row));
+        it->second.states[a].Update(item, v);
+      }
+    }
+  }
+
+  auto out = std::make_shared<Table>("", node.output_schema);
+  // Global aggregation over empty input still yields one row.
+  if (groups.empty() && node.group_by.empty()) {
+    Row row;
+    for (const AggItem& item : node.aggs) {
+      row.push_back(AggState().Finalize(item));
+    }
+    out->AppendRowUnchecked(std::move(row));
+    stats->work_units += config_.costs.agg_group;
+    return out;
+  }
+  stats->work_units +=
+      config_.costs.agg_group * static_cast<double>(groups.size());
+  for (auto& [rk, grp] : groups) {
+    Row row = grp.key;
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      row.push_back(grp.states[a].Finalize(node.aggs[a]));
+    }
+    out->AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecSort(const PlanNode& node,
+                                    ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+  const size_t n = in->num_rows();
+  stats->work_units +=
+      config_.costs.sort_row_log * static_cast<double>(n) * Log2Rows(n);
+
+  // Precompute sort keys per row, then stable-sort indices.
+  std::vector<Row> keys;
+  keys.reserve(n);
+  for (const Row& row : in->rows()) {
+    Row key;
+    key.reserve(node.sort_keys.size());
+    for (const auto& [e, desc] : node.sort_keys) {
+      FEDCAL_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+      Unused(desc);
+      key.push_back(std::move(v));
+    }
+    keys.push_back(std::move(key));
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < node.sort_keys.size(); ++k) {
+      const int c = keys[a][k].Compare(keys[b][k]);
+      if (c != 0) return node.sort_keys[k].second ? c > 0 : c < 0;
+    }
+    return false;
+  });
+
+  auto out = std::make_shared<Table>("", node.output_schema);
+  for (size_t i : order) out->AppendRowUnchecked(in->row(i));
+  return out;
+}
+
+Result<TablePtr> Executor::ExecDistinct(const PlanNode& node,
+                                        ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+  stats->work_units +=
+      config_.costs.distinct_row * static_cast<double>(in->num_rows());
+  std::unordered_map<RowKey, bool, RowKeyHash> seen;
+  auto out = std::make_shared<Table>("", node.output_schema);
+  for (const Row& row : in->rows()) {
+    RowKey rk(row);
+    if (seen.emplace(std::move(rk), true).second) {
+      out->AppendRowUnchecked(row);
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> Executor::ExecLimit(const PlanNode& node,
+                                     ExecStats* stats) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+  auto out = std::make_shared<Table>("", node.output_schema);
+  const size_t n = std::min<size_t>(
+      in->num_rows(),
+      node.limit < 0 ? 0 : static_cast<size_t>(node.limit));
+  for (size_t i = 0; i < n; ++i) out->AppendRowUnchecked(in->row(i));
+  return out;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "engine/exec_config.h"
+#include "engine/plan.h"
+#include "storage/table.h"
+
+namespace fedcal {
+
+/// \brief Executes physical plans against in-memory tables, charging work
+/// units per the ExecConfig price list.
+///
+/// Scan nodes reference tables by name; the executor resolves them through
+/// the caller-supplied TableResolver, so the same executor serves both
+/// simulated remote servers (resolving their own base tables) and the
+/// integrator (resolving materialized fragment results).
+class Executor {
+ public:
+  using TableResolver =
+      std::function<Result<TablePtr>(const std::string& table_name)>;
+
+  Executor(TableResolver resolver, ExecConfig config = {})
+      : resolver_(std::move(resolver)), config_(config) {}
+
+  /// Runs the plan to completion, materializing the result. `stats` (may be
+  /// null) receives the work-unit accounting for the whole tree.
+  Result<TablePtr> Execute(const PlanNodePtr& plan, ExecStats* stats) const;
+
+  const ExecConfig& config() const { return config_; }
+
+ private:
+  Result<TablePtr> ExecuteNode(const PlanNode& node, ExecStats* stats) const;
+
+  Result<TablePtr> ExecScan(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecIndexScan(const PlanNode& node,
+                                 ExecStats* stats) const;
+  Result<TablePtr> ExecFilter(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecProject(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecHashJoin(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecNestedLoopJoin(const PlanNode& node,
+                                      ExecStats* stats) const;
+  Result<TablePtr> ExecAggregate(const PlanNode& node,
+                                 ExecStats* stats) const;
+  Result<TablePtr> ExecSort(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecDistinct(const PlanNode& node,
+                                ExecStats* stats) const;
+  Result<TablePtr> ExecLimit(const PlanNode& node, ExecStats* stats) const;
+
+  Status CheckSize(size_t rows) const;
+
+  TableResolver resolver_;
+  ExecConfig config_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,346 @@
+#include "federation/decomposer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fedcal {
+
+namespace {
+
+/// Splits a parse-level AND tree, mirroring SplitConjuncts on the bound
+/// tree (the binder preserves the AND structure node for node).
+void SplitParseConjuncts(const ParseExprPtr& e,
+                         std::vector<ParseExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == ParseExpr::Kind::kBinary && e->bop == BinaryOp::kAnd) {
+    SplitParseConjuncts(e->left, out);
+    SplitParseConjuncts(e->right, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+size_t TableOfSlot(const BoundQuery& q, size_t slot) {
+  for (size_t t = q.tables.size(); t-- > 0;) {
+    if (slot >= q.tables[t].slot_offset) return t;
+  }
+  return 0;
+}
+
+struct ConjunctInfo {
+  ParseExprPtr parse;
+  BoundExprPtr bound;
+  std::set<size_t> tables;
+  int pushed_to = -1;  ///< fragment index, or -1 for integrator-level
+};
+
+}  // namespace
+
+Result<Decomposition> Decomposer::Decompose(const SelectStmt& stmt) const {
+  Decomposition d;
+  d.stmt = stmt;
+
+  // Resolve nicknames and bind the federated statement.
+  std::vector<const NicknameEntry*> entries;
+  std::vector<Schema> schemas;
+  for (const auto& tr : stmt.from) {
+    FEDCAL_ASSIGN_OR_RETURN(const NicknameEntry* e,
+                            catalog_->Lookup(tr.table));
+    if (e->locations.empty()) {
+      return Status::PlanError("nickname " + tr.table +
+                               " has no registered locations");
+    }
+    entries.push_back(e);
+    schemas.push_back(e->schema);
+  }
+  FEDCAL_ASSIGN_OR_RETURN(d.bound, BindQuery(stmt, schemas));
+
+  // Parallel conjunct split at parse and bound levels.
+  std::vector<ConjunctInfo> conjuncts;
+  {
+    std::vector<ParseExprPtr> parse_parts;
+    SplitParseConjuncts(stmt.where, &parse_parts);
+    std::vector<BoundExprPtr> bound_parts;
+    SplitConjuncts(d.bound.where, &bound_parts);
+    if (parse_parts.size() != bound_parts.size()) {
+      return Status::Internal("conjunct split mismatch between parse and "
+                              "bound trees");
+    }
+    for (size_t i = 0; i < parse_parts.size(); ++i) {
+      ConjunctInfo c;
+      c.parse = parse_parts[i];
+      c.bound = bound_parts[i];
+      std::vector<size_t> slots;
+      c.bound->CollectColumns(&slots);
+      for (size_t s : slots) c.tables.insert(TableOfSlot(d.bound, s));
+      conjuncts.push_back(std::move(c));
+    }
+  }
+
+  // Candidate server set per table.
+  std::vector<std::set<std::string>> table_servers(entries.size());
+  for (size_t t = 0; t < entries.size(); ++t) {
+    for (const auto& loc : entries[t]->locations) {
+      table_servers[t].insert(loc.server_id);
+    }
+  }
+
+  // Greedy co-location grouping.
+  struct Group {
+    std::set<size_t> tables;
+    std::set<std::string> servers;
+  };
+  std::vector<Group> groups;
+  for (size_t t = 0; t < entries.size(); ++t) {
+    bool placed = false;
+    for (auto& g : groups) {
+      std::set<std::string> intersection;
+      std::set_intersection(
+          g.servers.begin(), g.servers.end(), table_servers[t].begin(),
+          table_servers[t].end(),
+          std::inserter(intersection, intersection.begin()));
+      if (intersection.empty()) continue;
+      // Require a connecting predicate so we never push cross products.
+      bool connected = false;
+      for (const auto& c : conjuncts) {
+        if (!c.tables.count(t)) continue;
+        bool within = true;
+        bool touches_group = false;
+        for (size_t ct : c.tables) {
+          if (ct == t) continue;
+          if (g.tables.count(ct)) {
+            touches_group = true;
+          } else {
+            within = false;
+            break;
+          }
+        }
+        if (within && touches_group) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) continue;
+      g.tables.insert(t);
+      g.servers = std::move(intersection);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      groups.push_back(Group{{t}, table_servers[t]});
+    }
+  }
+
+  d.whole_query_pushdown = groups.size() == 1;
+
+  // Assign pushable conjuncts to fragments.
+  for (auto& c : conjuncts) {
+    if (c.tables.empty()) continue;  // constant predicates stay at the II
+    for (size_t g = 0; g < groups.size(); ++g) {
+      bool inside = true;
+      for (size_t ct : c.tables) {
+        if (!groups[g].tables.count(ct)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        c.pushed_to = static_cast<int>(g);
+        break;
+      }
+    }
+  }
+
+  if (d.whole_query_pushdown) {
+    DecomposedFragment frag;
+    for (size_t t = 0; t < entries.size(); ++t) {
+      frag.table_indices.push_back(t);
+    }
+    frag.candidate_servers.assign(groups[0].servers.begin(),
+                                  groups[0].servers.end());
+    frag.statement = stmt;
+    frag.output_schema = d.bound.output_schema;
+    d.fragments.push_back(std::move(frag));
+
+    // Passthrough merge: SELECT * FROM __frag0.
+    BoundQuery merge;
+    TableBinding tb;
+    tb.alias = Decomposition::FragmentTableName(0);
+    tb.table_name = tb.alias;
+    tb.schema = d.bound.output_schema;
+    tb.slot_offset = 0;
+    merge.tables.push_back(tb);
+    merge.input_schema = d.bound.output_schema;
+    for (size_t c = 0; c < d.bound.output_schema.num_columns(); ++c) {
+      const auto& col = d.bound.output_schema.column(c);
+      merge.outputs.push_back(BoundExpr::Column(c, col.name, col.type));
+    }
+    merge.output_schema = d.bound.output_schema;
+    d.merge_query = std::move(merge);
+    return d;
+  }
+
+  // --- General path: per-group fragments + integrator-side merge. ---
+
+  // Slots every fragment must ship: referenced by merge-level predicates,
+  // by grouping/aggregation inputs (aggregate queries) or by the final
+  // outputs (plain queries).
+  std::set<size_t> needed_slots;
+  auto collect = [&needed_slots](const BoundExprPtr& e) {
+    if (!e) return;
+    std::vector<size_t> slots;
+    e->CollectColumns(&slots);
+    needed_slots.insert(slots.begin(), slots.end());
+  };
+  for (const auto& c : conjuncts) {
+    if (c.pushed_to < 0) collect(c.bound);
+  }
+  if (d.bound.has_aggregate) {
+    for (const auto& g : d.bound.group_by) collect(g);
+    for (const auto& a : d.bound.aggs) collect(a.arg);
+  } else {
+    for (const auto& o : d.bound.outputs) collect(o);
+  }
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    DecomposedFragment frag;
+    frag.table_indices.assign(groups[g].tables.begin(),
+                              groups[g].tables.end());
+    std::sort(frag.table_indices.begin(), frag.table_indices.end());
+    frag.candidate_servers.assign(groups[g].servers.begin(),
+                                  groups[g].servers.end());
+
+    // Shipped slots of this group's tables, in global-slot order.
+    for (size_t t : frag.table_indices) {
+      const auto& tb = d.bound.tables[t];
+      for (size_t c = 0; c < tb.schema.num_columns(); ++c) {
+        const size_t slot = tb.slot_offset + c;
+        if (needed_slots.count(slot)) frag.shipped_slots.push_back(slot);
+      }
+    }
+    if (frag.shipped_slots.empty()) {
+      // Nothing referenced upstream: ship one column to preserve
+      // cardinality semantics.
+      frag.shipped_slots.push_back(
+          d.bound.tables[frag.table_indices[0]].slot_offset);
+    }
+
+    // Fragment statement: SELECT needed columns FROM group tables WHERE
+    // pushed conjuncts.
+    SelectStmt fs;
+    for (size_t t : frag.table_indices) {
+      fs.from.push_back(stmt.from[t]);
+      // Pin the alias so per-server table renaming never breaks refs.
+      if (fs.from.back().alias.empty()) {
+        fs.from.back().alias = stmt.from[t].effective_alias();
+      }
+    }
+    for (size_t slot : frag.shipped_slots) {
+      const size_t t = TableOfSlot(d.bound, slot);
+      const auto& tb = d.bound.tables[t];
+      const std::string& col =
+          tb.schema.column(slot - tb.slot_offset).name;
+      SelectItem item;
+      item.expr = ParseExpr::MakeColumn(tb.alias, col);
+      item.alias = tb.alias + "_" + col;
+      fs.items.push_back(std::move(item));
+      frag.output_schema.AddColumn(
+          {tb.alias + "_" + col, d.bound.input_schema.column(slot).type});
+    }
+    ParseExprPtr where;
+    for (const auto& c : conjuncts) {
+      if (c.pushed_to != static_cast<int>(g)) continue;
+      where = where ? ParseExpr::MakeBinary(BinaryOp::kAnd, where, c.parse)
+                    : c.parse;
+    }
+    fs.where = where;
+    frag.statement = std::move(fs);
+    d.fragments.push_back(std::move(frag));
+  }
+
+  // Merge query over the fragment results.
+  BoundQuery merge;
+  std::vector<int> mapping(d.bound.input_schema.num_columns(), -1);
+  size_t offset = 0;
+  for (size_t f = 0; f < d.fragments.size(); ++f) {
+    const auto& frag = d.fragments[f];
+    TableBinding tb;
+    tb.alias = Decomposition::FragmentTableName(f);
+    tb.table_name = tb.alias;
+    tb.schema = frag.output_schema;
+    tb.slot_offset = offset;
+    merge.tables.push_back(tb);
+    for (size_t i = 0; i < frag.shipped_slots.size(); ++i) {
+      mapping[frag.shipped_slots[i]] = static_cast<int>(offset + i);
+      merge.input_schema.AddColumn(frag.output_schema.column(i));
+    }
+    offset += frag.output_schema.num_columns();
+  }
+
+  std::vector<BoundExprPtr> merge_conjuncts;
+  for (const auto& c : conjuncts) {
+    if (c.pushed_to >= 0) continue;
+    FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                            c.bound->RemapColumns(mapping));
+    merge_conjuncts.push_back(std::move(remapped));
+  }
+  merge.where = CombineConjuncts(merge_conjuncts);
+
+  merge.has_aggregate = d.bound.has_aggregate;
+  if (d.bound.has_aggregate) {
+    for (const auto& g : d.bound.group_by) {
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              g->RemapColumns(mapping));
+      merge.group_by.push_back(std::move(remapped));
+    }
+    for (const auto& a : d.bound.aggs) {
+      BoundAggSpec spec = a;
+      if (a.arg) {
+        FEDCAL_ASSIGN_OR_RETURN(spec.arg, a.arg->RemapColumns(mapping));
+      }
+      merge.aggs.push_back(std::move(spec));
+    }
+    merge.having = d.bound.having;   // over post-agg row: no remap
+    merge.outputs = d.bound.outputs; // over post-agg row: no remap
+  } else {
+    for (const auto& o : d.bound.outputs) {
+      FEDCAL_ASSIGN_OR_RETURN(BoundExprPtr remapped,
+                              o->RemapColumns(mapping));
+      merge.outputs.push_back(std::move(remapped));
+    }
+  }
+  merge.output_schema = d.bound.output_schema;
+  merge.distinct = d.bound.distinct;
+  merge.order_by = d.bound.order_by;  // over the output row: no remap
+  merge.limit = d.bound.limit;
+  d.merge_query = std::move(merge);
+  return d;
+}
+
+Result<SelectStmt> Decomposer::InstantiateForServer(
+    const DecomposedFragment& fragment, const std::string& server_id) const {
+  SelectStmt stmt = fragment.statement;
+  for (auto& tr : stmt.from) {
+    FEDCAL_ASSIGN_OR_RETURN(const NicknameEntry* entry,
+                            catalog_->Lookup(tr.table));
+    const NicknameLocation* loc = nullptr;
+    for (const auto& l : entry->locations) {
+      if (l.server_id == server_id) {
+        loc = &l;
+        break;
+      }
+    }
+    if (!loc) {
+      return Status::NotFound("nickname " + tr.table + " has no replica on " +
+                              server_id);
+    }
+    if (tr.alias.empty()) tr.alias = tr.effective_alias();
+    tr.table = loc->remote_table;
+  }
+  return stmt;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/global_catalog.h"
+#include "common/result.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace fedcal {
+
+/// \brief One query fragment produced by decomposition: a maximal group of
+/// FROM tables that can be pushed, together with their join/filter
+/// predicates, to a single remote server.
+struct DecomposedFragment {
+  /// Indices into the federated statement's FROM clause.
+  std::vector<size_t> table_indices;
+  /// Servers hosting replicas of *all* the fragment's tables.
+  std::vector<std::string> candidate_servers;
+  /// Fragment statement with nickname names; per-server statements are
+  /// derived by substituting each server's remote table names.
+  SelectStmt statement;
+  /// Global input-schema slots this fragment ships to the integrator
+  /// (empty when the whole query was pushed down).
+  std::vector<size_t> shipped_slots;
+  /// Schema of the shipped result (column names "alias_col").
+  Schema output_schema;
+};
+
+/// \brief Result of decomposing one federated query.
+struct Decomposition {
+  SelectStmt stmt;   ///< the original federated statement
+  BoundQuery bound;  ///< bound against nickname schemas, FROM order
+
+  std::vector<DecomposedFragment> fragments;
+
+  /// True when a single fragment covers the entire query (all nicknames
+  /// co-located / replicated together): the full statement — including
+  /// aggregation, ordering and limit — is pushed to the remote server and
+  /// the integrator merely receives the result.
+  bool whole_query_pushdown = false;
+
+  /// The integrator-side merge query over fragment results (tables named
+  /// "__frag0", "__frag1", ...). For whole-query pushdown this is a bare
+  /// passthrough scan.
+  BoundQuery merge_query;
+
+  /// Name of the temp table for fragment i.
+  static std::string FragmentTableName(size_t i) {
+    return "__frag" + std::to_string(i);
+  }
+};
+
+/// \brief Rewrites federated queries over nicknames into per-source
+/// fragments plus an integrator-side merge query (paper §1 compile-time
+/// step 2).
+///
+/// Grouping rule: walk FROM tables in order; a table joins an existing
+/// group when (a) at least one server hosts replicas of the whole enlarged
+/// group and (b) a WHERE conjunct connects the table to the group (no
+/// implicit cross products are ever pushed down). Single-table predicates
+/// and intra-group joins are pushed; cross-group conjuncts stay at the
+/// integrator.
+class Decomposer {
+ public:
+  explicit Decomposer(const GlobalCatalog* catalog) : catalog_(catalog) {}
+
+  Result<Decomposition> Decompose(const SelectStmt& stmt) const;
+
+  /// Builds the per-server variant of a fragment statement by substituting
+  /// remote table names for nicknames.
+  Result<SelectStmt> InstantiateForServer(const DecomposedFragment& fragment,
+                                          const std::string& server_id) const;
+
+ private:
+  const GlobalCatalog* catalog_;
+};
+
+}  // namespace fedcal

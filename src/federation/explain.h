@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedcal {
+
+/// \brief One row of the explain table: the winner global plan for a
+/// compiled query (paper §1 runtime step 1 — "the query fragments selected
+/// by the query optimizer and their estimated costs as well as the
+/// estimated execution cost of the global query plan are stored in the
+/// explain table").
+struct ExplainEntry {
+  uint64_t query_id = 0;
+  std::string sql;
+  double total_estimated_seconds = 0.0;  ///< calibrated global cost
+  std::string merge_plan_text;
+
+  struct FragmentRow {
+    std::string server_id;
+    std::string statement;  ///< execution descriptor (fragment SQL)
+    double estimated_seconds = 0.0;
+    double calibrated_seconds = 0.0;
+  };
+  std::vector<FragmentRow> fragments;
+};
+
+/// \brief The integrator's explain table. Only winner plans are stored —
+/// which is exactly why QCC needs its own simulated federated system to
+/// see the losers (§4.2).
+class ExplainTable {
+ public:
+  void Put(ExplainEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<ExplainEntry>& entries() const { return entries_; }
+
+  const ExplainEntry* Find(uint64_t query_id) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->query_id == query_id) return &*it;
+    }
+    return nullptr;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<ExplainEntry> entries_;
+};
+
+}  // namespace fedcal

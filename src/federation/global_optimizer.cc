@@ -1,0 +1,125 @@
+#include "federation/global_optimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "cost/planner.h"
+
+namespace fedcal {
+
+std::string GlobalPlanOption::Describe() const {
+  std::vector<std::string> parts;
+  for (const auto& fc : fragment_choices) {
+    parts.push_back(fc.wrapper_plan.server_id);
+  }
+  return StringFormat("[%s] calibrated=%.4fs raw=%.4fs",
+                      Join(parts, "+").c_str(), total_calibrated_seconds,
+                      total_raw_seconds);
+}
+
+Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
+    uint64_t query_id, const Decomposition& d,
+    size_t max_alternatives_per_server, size_t max_global_plans) {
+  // 1. Per-fragment options from candidate servers (via MW, calibrated).
+  std::vector<std::vector<FragmentOption>> per_fragment;
+  for (const auto& frag : d.fragments) {
+    std::vector<FragmentOption> options;
+    for (const auto& server_id : frag.candidate_servers) {
+      auto stmt = decomposer_.InstantiateForServer(frag, server_id);
+      if (!stmt.ok()) continue;
+      auto opts = meta_wrapper_->CollectFragmentPlans(
+          query_id, *stmt, {server_id}, max_alternatives_per_server);
+      if (!opts.ok()) continue;
+      for (auto& o : *opts) options.push_back(std::move(o));
+    }
+    if (options.empty()) {
+      return Status::PlanError("no executable plan for fragment '" +
+                               frag.statement.ToString() + "'");
+    }
+    per_fragment.push_back(std::move(options));
+  }
+
+  // 2. Cartesian product of fragment choices.
+  std::vector<std::vector<size_t>> combos{{}};
+  for (const auto& options : per_fragment) {
+    std::vector<std::vector<size_t>> next;
+    for (const auto& combo : combos) {
+      for (size_t i = 0; i < options.size(); ++i) {
+        auto extended = combo;
+        extended.push_back(i);
+        next.push_back(std::move(extended));
+        if (next.size() >= max_global_plans * 4) break;
+      }
+      if (next.size() >= max_global_plans * 4) break;
+    }
+    combos = std::move(next);
+  }
+
+  // 3. Cost each combination: fabricate fragment-result statistics, plan
+  //    the integrator-side merge, total up.
+  std::vector<GlobalPlanOption> plans;
+  for (const auto& combo : combos) {
+    GlobalPlanOption plan;
+    StatsCatalog frag_stats;
+    double fragments_calibrated = 0.0;
+    double fragments_raw = 0.0;
+    size_t identity = 0x2545f4914f6cdd1dull;
+    auto mix = [&identity](size_t v) {
+      identity ^= v + 0x9e3779b97f4a7c15ull + (identity << 6) +
+                  (identity >> 2);
+    };
+    for (size_t f = 0; f < combo.size(); ++f) {
+      const FragmentOption& choice = per_fragment[f][combo[f]];
+      plan.fragment_choices.push_back(choice);
+      fragments_calibrated += choice.calibrated_seconds;
+      fragments_raw += choice.raw_estimated_seconds;
+      mix(choice.wrapper_plan.identity);
+      mix(std::hash<std::string>{}(choice.wrapper_plan.server_id));
+
+      TableStats ts;
+      ts.table_name = Decomposition::FragmentTableName(f);
+      ts.num_rows = static_cast<size_t>(
+          std::max(1.0, choice.wrapper_plan.estimated_rows));
+      ts.avg_row_bytes =
+          choice.wrapper_plan.estimated_rows > 0
+              ? choice.wrapper_plan.estimated_bytes /
+                    choice.wrapper_plan.estimated_rows
+              : 16.0;
+      frag_stats.Put(std::move(ts));
+    }
+
+    Planner merge_planner(&frag_stats);
+    FEDCAL_ASSIGN_OR_RETURN(plan.merge_plan,
+                            merge_planner.Plan(d.merge_query));
+    plan.merge_estimated_seconds =
+        plan.merge_plan->estimated_work / ii_profile_.configured_speed;
+    plan.calibrated_merge_seconds =
+        meta_wrapper_->calibrator()->CalibrateIntegrationCost(
+            plan.merge_estimated_seconds);
+    plan.total_calibrated_seconds =
+        fragments_calibrated + plan.calibrated_merge_seconds;
+    plan.total_raw_seconds = fragments_raw + plan.merge_estimated_seconds;
+    mix(plan.merge_plan->Fingerprint(/*normalize_literals=*/false));
+    plan.identity = identity;
+
+    std::unordered_set<std::string> servers;
+    for (const auto& fc : plan.fragment_choices) {
+      servers.insert(fc.wrapper_plan.server_id);
+    }
+    plan.server_set.assign(servers.begin(), servers.end());
+    std::sort(plan.server_set.begin(), plan.server_set.end());
+    plans.push_back(std::move(plan));
+  }
+
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const GlobalPlanOption& a, const GlobalPlanOption& b) {
+                     return a.total_calibrated_seconds <
+                            b.total_calibrated_seconds;
+                   });
+  if (plans.size() > max_global_plans) plans.resize(max_global_plans);
+  return plans;
+}
+
+}  // namespace fedcal

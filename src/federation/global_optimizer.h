@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "federation/decomposer.h"
+#include "metawrapper/meta_wrapper.h"
+
+namespace fedcal {
+
+/// \brief The integrator's cost-model view of itself (configured, not
+/// measured — the gap is what the §3.2 workload calibration factor
+/// absorbs).
+struct IiProfile {
+  double configured_speed = 400'000.0;  ///< work units / second
+};
+
+/// \brief One fully specified global execution plan: a (server, plan)
+/// choice per fragment plus the integrator-side merge plan and costs.
+struct GlobalPlanOption {
+  std::vector<FragmentOption> fragment_choices;  ///< one per fragment
+  PlanNodePtr merge_plan;
+  double merge_estimated_seconds = 0.0;
+  double calibrated_merge_seconds = 0.0;
+  /// Sum of calibrated fragment costs + calibrated merge cost: the number
+  /// the optimizer ranks plans by.
+  double total_calibrated_seconds = 0.0;
+  double total_raw_seconds = 0.0;  ///< same, without any calibration
+  std::vector<std::string> server_set;  ///< sorted unique servers used
+  size_t identity = 0;  ///< structural fingerprint of the whole global plan
+
+  /// "S1+S2: 1.234s" style one-liner.
+  std::string Describe() const;
+};
+
+/// \brief Enumerates and costs global plans for a decomposed query
+/// (paper §1 runtime step 1: global query optimization).
+///
+/// For every fragment it collects per-candidate-server plans through the
+/// meta-wrapper (whose estimates arrive already calibrated when QCC is
+/// installed), then forms the Cartesian product of fragment choices, plans
+/// the integrator-side merge for each combination, and ranks by total
+/// calibrated cost.
+class GlobalOptimizer {
+ public:
+  GlobalOptimizer(const GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
+                  IiProfile ii_profile = {})
+      : catalog_(catalog),
+        meta_wrapper_(meta_wrapper),
+        decomposer_(catalog),
+        ii_profile_(ii_profile) {}
+
+  /// Returns all viable global plans, cheapest (calibrated) first, capped
+  /// at `max_global_plans`.
+  Result<std::vector<GlobalPlanOption>> Enumerate(
+      uint64_t query_id, const Decomposition& decomposition,
+      size_t max_alternatives_per_server = 2, size_t max_global_plans = 64);
+
+  const Decomposer& decomposer() const { return decomposer_; }
+
+ private:
+  const GlobalCatalog* catalog_;
+  MetaWrapper* meta_wrapper_;
+  Decomposer decomposer_;
+  IiProfile ii_profile_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,232 @@
+#include "federation/integrator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "engine/executor.h"
+
+namespace fedcal {
+
+Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
+                       Simulator* sim, IiConfig config)
+    : catalog_(catalog),
+      meta_wrapper_(meta_wrapper),
+      sim_(sim),
+      config_(config),
+      patroller_(sim),
+      optimizer_(catalog, meta_wrapper,
+                 IiProfile{config.configured_speed}) {}
+
+void Integrator::SetPlanSelector(PlanSelector* selector) {
+  selector_ = selector ? selector : &default_selector_;
+}
+
+void Integrator::set_background_load(double load) {
+  background_load_ = std::clamp(load, 0.0, 0.99);
+}
+
+double Integrator::effective_cpu_speed() const {
+  const double frac =
+      std::max(config_.min_speed_fraction,
+               1.0 - config_.cpu_load_sensitivity * background_load_);
+  return config_.actual_cpu_speed * frac;
+}
+
+double Integrator::effective_io_speed() const {
+  const double frac =
+      std::max(config_.min_speed_fraction,
+               1.0 - config_.io_load_sensitivity * background_load_);
+  return config_.actual_io_speed * frac;
+}
+
+Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
+  CompiledQuery compiled;
+  compiled.query_id = patroller_.RecordSubmission(sql);
+  compiled.sql = sql;
+
+  auto fail = [&](const Status& st) {
+    patroller_.RecordFailure(compiled.query_id, st.ToString());
+    return st;
+  };
+
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return fail(stmt.status());
+  auto decomposition = optimizer_.decomposer().Decompose(*stmt);
+  if (!decomposition.ok()) return fail(decomposition.status());
+  compiled.decomposition = std::move(decomposition).MoveValue();
+
+  auto options = optimizer_.Enumerate(compiled.query_id,
+                                      compiled.decomposition,
+                                      config_.max_alternatives_per_server,
+                                      config_.max_global_plans);
+  if (!options.ok()) return fail(options.status());
+  compiled.options = std::move(options).MoveValue();
+  if (compiled.options.empty()) {
+    return fail(Status::PlanError("global optimization found no plan"));
+  }
+
+  compiled.chosen_index = selector_->SelectPlan(compiled.query_id, sql,
+                                                compiled.options);
+  if (compiled.chosen_index >= compiled.options.size()) {
+    compiled.chosen_index = 0;
+  }
+
+  // Record the winner in the explain table.
+  const GlobalPlanOption& winner = compiled.options[compiled.chosen_index];
+  ExplainEntry entry;
+  entry.query_id = compiled.query_id;
+  entry.sql = sql;
+  entry.total_estimated_seconds = winner.total_calibrated_seconds;
+  entry.merge_plan_text = winner.merge_plan->ToString();
+  for (const auto& fc : winner.fragment_choices) {
+    entry.fragments.push_back(ExplainEntry::FragmentRow{
+        fc.wrapper_plan.server_id, fc.wrapper_plan.statement,
+        fc.raw_estimated_seconds, fc.calibrated_seconds});
+  }
+  explain_.Put(std::move(entry));
+  return compiled;
+}
+
+void Integrator::Execute(const CompiledQuery& compiled, Callback done) {
+  auto failed = std::make_shared<std::vector<std::string>>();
+  ExecuteOption(compiled, compiled.chosen_index, failed, /*retries=*/0,
+                std::move(done));
+}
+
+void Integrator::ExecuteOption(
+    const CompiledQuery& compiled, size_t option_index,
+    std::shared_ptr<std::vector<std::string>> failed_servers, size_t retries,
+    Callback done) {
+  const GlobalPlanOption& option = compiled.options[option_index];
+  const SimTime started_at = sim_->Now();
+  const size_t n = option.fragment_choices.size();
+
+  struct Pending {
+    size_t remaining;
+    bool failed = false;
+    Status first_error;
+    std::string failed_server;
+    std::vector<TablePtr> tables;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->remaining = n;
+  pending->tables.resize(n);
+
+  for (size_t f = 0; f < n; ++f) {
+    const FragmentOption& choice = option.fragment_choices[f];
+    meta_wrapper_->ExecuteFragment(
+        compiled.query_id, choice,
+        [this, compiled, option_index, failed_servers, retries, done,
+         pending, f, started_at,
+         server_id = choice.wrapper_plan.server_id](
+            Result<FragmentExecution> result) {
+          if (!result.ok() && !pending->failed) {
+            pending->failed = true;
+            pending->first_error = result.status();
+            pending->failed_server = server_id;
+          } else if (result.ok()) {
+            pending->tables[f] = result->table;
+          }
+          if (--pending->remaining > 0) return;
+
+          if (pending->failed) {
+            failed_servers->push_back(pending->failed_server);
+            if (config_.retry_on_failure) {
+              // Next-cheapest plan avoiding every failed server.
+              for (size_t i = 0; i < compiled.options.size(); ++i) {
+                const auto& cand = compiled.options[i];
+                bool avoids = true;
+                for (const auto& s : cand.server_set) {
+                  if (std::find(failed_servers->begin(),
+                                failed_servers->end(),
+                                s) != failed_servers->end()) {
+                    avoids = false;
+                    break;
+                  }
+                }
+                if (avoids) {
+                  FEDCAL_LOG_INFO
+                      << "query " << compiled.query_id << ": retrying on "
+                      << cand.Describe() << " after failure of "
+                      << pending->failed_server;
+                  ExecuteOption(compiled, i, failed_servers, retries + 1,
+                                done);
+                  return;
+                }
+              }
+            }
+            patroller_.RecordFailure(compiled.query_id,
+                                     pending->first_error.ToString());
+            done(pending->first_error);
+            return;
+          }
+          FinishWithMerge(compiled, option_index,
+                          std::move(pending->tables), started_at, retries,
+                          done);
+        });
+  }
+}
+
+void Integrator::FinishWithMerge(const CompiledQuery& compiled,
+                                 size_t option_index,
+                                 std::vector<TablePtr> fragment_tables,
+                                 SimTime started_at, size_t retries,
+                                 Callback done) {
+  const GlobalPlanOption& option = compiled.options[option_index];
+
+  // Materialize fragment results as the merge plan's temp tables.
+  auto temp = std::make_shared<std::map<std::string, TablePtr>>();
+  for (size_t f = 0; f < fragment_tables.size(); ++f) {
+    (*temp)[Decomposition::FragmentTableName(f)] = fragment_tables[f];
+  }
+  Executor merge_exec([temp](const std::string& name) -> Result<TablePtr> {
+    auto it = temp->find(name);
+    if (it == temp->end()) return Status::NotFound("no temp table " + name);
+    return it->second;
+  });
+
+  ExecStats stats;
+  auto merged = merge_exec.Execute(option.merge_plan, &stats);
+  if (!merged.ok()) {
+    patroller_.RecordFailure(compiled.query_id, merged.status().ToString());
+    done(merged.status());
+    return;
+  }
+  const double merge_seconds = stats.cpu_units() / effective_cpu_speed() +
+                               stats.io_units / effective_io_speed();
+  meta_wrapper_->calibrator()->RecordIntegrationObservation(
+      option.merge_estimated_seconds, merge_seconds);
+
+  sim_->ScheduleAfter(
+      merge_seconds,
+      [this, compiled, option, retries, started_at, done,
+       table = merged.MoveValue()]() mutable {
+        patroller_.RecordCompletion(compiled.query_id);
+        QueryOutcome outcome;
+        outcome.query_id = compiled.query_id;
+        outcome.table = std::move(table);
+        outcome.response_seconds = sim_->Now() - started_at;
+        outcome.executed_plan = option;
+        outcome.retries = retries;
+        done(std::move(outcome));
+      });
+}
+
+Result<QueryOutcome> Integrator::RunSync(const std::string& sql) {
+  FEDCAL_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(sql));
+  bool finished = false;
+  Result<QueryOutcome> outcome = Status::Internal("query never completed");
+  Execute(compiled, [&](Result<QueryOutcome> r) {
+    outcome = std::move(r);
+    finished = true;
+  });
+  while (!finished && sim_->Step()) {
+  }
+  if (!finished) {
+    return Status::Internal("simulation drained before query completion");
+  }
+  return outcome;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/explain.h"
+#include "federation/global_optimizer.h"
+#include "federation/patroller.h"
+
+namespace fedcal {
+
+/// \brief Hook through which QCC can override the integrator's plan
+/// choice — the mechanism behind §4's round-robin load distribution. The
+/// default picks the cheapest (index 0).
+class PlanSelector {
+ public:
+  virtual ~PlanSelector() = default;
+
+  /// `options` is sorted by calibrated cost, cheapest first. Returns the
+  /// index of the plan to execute.
+  virtual size_t SelectPlan(uint64_t query_id, const std::string& sql,
+                            const std::vector<GlobalPlanOption>& options) {
+    (void)query_id;
+    (void)sql;
+    (void)options;
+    return 0;
+  }
+};
+
+/// \brief Runtime behaviour of the integrator host.
+struct IiConfig {
+  /// What the cost model divides merge work by (configured belief).
+  double configured_speed = 400'000.0;
+  /// Actual speeds of the machine the integrator runs on.
+  double actual_cpu_speed = 400'000.0;
+  double actual_io_speed = 400'000.0;
+  double cpu_load_sensitivity = 0.8;
+  double io_load_sensitivity = 0.8;
+  double min_speed_fraction = 0.05;
+
+  size_t max_alternatives_per_server = 2;
+  size_t max_global_plans = 64;
+  /// On fragment failure, re-execute using the next-cheapest plan that
+  /// avoids every failed server.
+  bool retry_on_failure = true;
+};
+
+/// \brief A compiled federated query: decomposition plus every enumerated
+/// global plan (cheapest first) and the selector's choice.
+struct CompiledQuery {
+  uint64_t query_id = 0;
+  std::string sql;
+  Decomposition decomposition;
+  std::vector<GlobalPlanOption> options;
+  size_t chosen_index = 0;
+};
+
+/// \brief Outcome of one federated query execution.
+struct QueryOutcome {
+  uint64_t query_id = 0;
+  TablePtr table;
+  double response_seconds = 0.0;
+  GlobalPlanOption executed_plan;
+  size_t retries = 0;
+};
+
+/// \brief The federated query processor (the paper's DB2 Information
+/// Integrator analog).
+///
+/// Compile time: patroller intercept -> decompose over nicknames ->
+/// collect calibrated fragment costs through the meta-wrapper -> global
+/// optimization -> explain-table entry. Run time: fragments execute in
+/// parallel at their servers, results ship back, the integrator merges
+/// locally (charging its own simulated time), and the patroller records
+/// completion.
+class Integrator {
+ public:
+  Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
+             Simulator* sim, IiConfig config = {});
+
+  QueryPatroller& patroller() { return patroller_; }
+  ExplainTable& explain() { return explain_; }
+  const IiConfig& config() const { return config_; }
+  GlobalCatalog* catalog() { return catalog_; }
+  MetaWrapper* meta_wrapper() { return meta_wrapper_; }
+
+  /// Installs QCC's plan selector (nullptr restores the default).
+  void SetPlanSelector(PlanSelector* selector);
+  /// The currently installed selector (never null).
+  PlanSelector* plan_selector() const { return selector_; }
+
+  /// Background load on the integrator host itself (§3.2).
+  void set_background_load(double load);
+  double background_load() const { return background_load_; }
+
+  /// Compile a federated SQL statement: decomposition, plan enumeration,
+  /// selection, explain entry.
+  Result<CompiledQuery> Compile(const std::string& sql);
+
+  using Callback = std::function<void(Result<QueryOutcome>)>;
+
+  /// Execute a compiled query asynchronously (callback fires through the
+  /// simulator).
+  void Execute(const CompiledQuery& compiled, Callback done);
+
+  /// Compile + execute + drive the simulator until this query completes.
+  /// Intended for tests and simple examples; workloads should use the
+  /// async path with their own arrival processes.
+  Result<QueryOutcome> RunSync(const std::string& sql);
+
+  double effective_cpu_speed() const;
+  double effective_io_speed() const;
+
+ private:
+  struct Attempt;
+  void ExecuteOption(const CompiledQuery& compiled, size_t option_index,
+                     std::shared_ptr<std::vector<std::string>> failed_servers,
+                     size_t retries, Callback done);
+  void FinishWithMerge(const CompiledQuery& compiled, size_t option_index,
+                       std::vector<TablePtr> fragment_tables,
+                       SimTime started_at, size_t retries, Callback done);
+
+  GlobalCatalog* catalog_;
+  MetaWrapper* meta_wrapper_;
+  Simulator* sim_;
+  IiConfig config_;
+  QueryPatroller patroller_;
+  ExplainTable explain_;
+  GlobalOptimizer optimizer_;
+  PlanSelector default_selector_;
+  PlanSelector* selector_ = &default_selector_;
+  double background_load_ = 0.0;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,56 @@
+#include "federation/patroller.h"
+
+namespace fedcal {
+
+uint64_t QueryPatroller::RecordSubmission(const std::string& sql) {
+  PatrollerRecord rec;
+  rec.query_id = next_id_++;
+  rec.sql = sql;
+  rec.submitted_at = sim_->Now();
+  log_.push_back(std::move(rec));
+  return log_.back().query_id;
+}
+
+void QueryPatroller::RecordCompletion(uint64_t query_id) {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->query_id == query_id) {
+      it->completed_at = sim_->Now();
+      it->completed = true;
+      return;
+    }
+  }
+}
+
+void QueryPatroller::RecordFailure(uint64_t query_id,
+                                   const std::string& error) {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->query_id == query_id) {
+      it->completed_at = sim_->Now();
+      it->completed = true;
+      it->failed = true;
+      it->error = error;
+      return;
+    }
+  }
+}
+
+const PatrollerRecord* QueryPatroller::Find(uint64_t query_id) const {
+  for (const auto& rec : log_) {
+    if (rec.query_id == query_id) return &rec;
+  }
+  return nullptr;
+}
+
+double QueryPatroller::MeanResponseSeconds() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& rec : log_) {
+    if (rec.completed && !rec.failed) {
+      sum += rec.response_seconds();
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace fedcal

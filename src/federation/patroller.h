@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief One query's lifecycle as recorded by the Query Patroller.
+struct PatrollerRecord {
+  uint64_t query_id = 0;
+  std::string sql;
+  SimTime submitted_at = 0.0;
+  SimTime completed_at = 0.0;
+  bool completed = false;
+  bool failed = false;
+  std::string error;
+
+  double response_seconds() const {
+    return completed ? completed_at - submitted_at : 0.0;
+  }
+};
+
+/// \brief The Query Patroller: intercepts every user query, recording its
+/// statement and submission time, and later its completion time (paper §1,
+/// compile-time step 1 and runtime step 4). QCC mines this log to detect
+/// server-down events and compute reliability statistics.
+class QueryPatroller {
+ public:
+  explicit QueryPatroller(Simulator* sim) : sim_(sim) {}
+
+  /// Returns the new query's id.
+  uint64_t RecordSubmission(const std::string& sql);
+
+  void RecordCompletion(uint64_t query_id);
+  void RecordFailure(uint64_t query_id, const std::string& error);
+
+  const std::vector<PatrollerRecord>& log() const { return log_; }
+  const PatrollerRecord* Find(uint64_t query_id) const;
+  void Clear() { log_.clear(); }
+
+  /// Mean response time over completed queries (0 when none).
+  double MeanResponseSeconds() const;
+
+ private:
+  Simulator* sim_;
+  uint64_t next_id_ = 1;
+  std::vector<PatrollerRecord> log_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fedcal {
+
+/// \brief The hook through which the Query Cost Calibrator observes and
+/// influences the meta-wrapper.
+///
+/// The meta-wrapper calls Calibrate* on every estimate flowing toward the
+/// integrator and Record* on every runtime observation. The default
+/// implementation is the identity — running without QCC reproduces the
+/// paper's baseline federated system exactly.
+class CostCalibrator {
+ public:
+  virtual ~CostCalibrator() = default;
+
+  /// Calibrates a fragment cost estimate (in integrator-seconds) for the
+  /// given server and fragment signature. Returning +infinity makes the
+  /// optimizer avoid the server entirely (down / unreliable servers).
+  virtual double CalibrateFragmentCost(const std::string& server_id,
+                                       size_t signature,
+                                       double estimated_seconds) {
+    (void)server_id;
+    (void)signature;
+    return estimated_seconds;
+  }
+
+  /// Calibrates the integrator-local (merge/aggregation) cost estimate —
+  /// the §3.2 workload cost calibration factor.
+  virtual double CalibrateIntegrationCost(double estimated_seconds) {
+    return estimated_seconds;
+  }
+
+  /// Compile-time estimate produced for a fragment at a server.
+  virtual void RecordEstimate(const std::string& server_id, size_t signature,
+                              double estimated_seconds) {
+    (void)server_id;
+    (void)signature;
+    (void)estimated_seconds;
+  }
+
+  /// Runtime response time observed for a fragment at a server, paired
+  /// with the estimate the optimizer used.
+  virtual void RecordFragmentObservation(const std::string& server_id,
+                                         size_t signature,
+                                         double estimated_seconds,
+                                         double observed_seconds) {
+    (void)server_id;
+    (void)signature;
+    (void)estimated_seconds;
+    (void)observed_seconds;
+  }
+
+  /// Runtime observation of integrator-local merge time vs its estimate.
+  virtual void RecordIntegrationObservation(double estimated_seconds,
+                                            double observed_seconds) {
+    (void)estimated_seconds;
+    (void)observed_seconds;
+  }
+
+  /// An error (unavailability, transient fault) accessing a server.
+  virtual void RecordError(const std::string& server_id,
+                           const Status& error) {
+    (void)server_id;
+    (void)error;
+  }
+
+  /// A successful access to a server (reliability bookkeeping).
+  virtual void RecordSuccess(const std::string& server_id) {
+    (void)server_id;
+  }
+};
+
+/// \brief Identity calibrator used when QCC is disabled.
+class NullCalibrator : public CostCalibrator {};
+
+}  // namespace fedcal

@@ -1,0 +1,193 @@
+#include "metawrapper/meta_wrapper.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace fedcal {
+
+Result<RelationalWrapper*> MetaWrapper::GetWrapper(
+    const std::string& server_id) const {
+  auto it = wrappers_.find(server_id);
+  if (it == wrappers_.end()) {
+    return Status::NotFound("no wrapper registered for server " + server_id);
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetaWrapper::server_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(wrappers_.size());
+  for (const auto& [id, w] : wrappers_) ids.push_back(id);
+  return ids;
+}
+
+double MetaWrapper::RawEstimateSeconds(const WrapperPlan& plan) const {
+  ServerProfile profile;  // defaults when the admin never registered one
+  auto p = catalog_->GetServerProfile(plan.server_id);
+  if (p.ok()) profile = **p;
+  const double compute = plan.estimated_work / profile.configured_speed;
+  const double transfer =
+      profile.configured_latency_s +
+      plan.estimated_bytes / profile.configured_bandwidth_bytes_per_s;
+  return compute + transfer;
+}
+
+Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
+    uint64_t query_id, const SelectStmt& fragment,
+    const std::vector<std::string>& candidate_servers,
+    size_t max_alternatives_per_server) {
+  std::vector<FragmentOption> options;
+  Status last_error = Status::OK();
+  for (const auto& server_id : candidate_servers) {
+    auto wrapper = GetWrapper(server_id);
+    if (!wrapper.ok()) {
+      last_error = wrapper.status();
+      continue;
+    }
+    auto plans =
+        (*wrapper)->PlanFragment(fragment, max_alternatives_per_server);
+    if (!plans.ok()) {
+      last_error = plans.status();
+      FEDCAL_LOG_DEBUG << "wrapper " << server_id
+                       << " cannot plan fragment: "
+                       << plans.status().ToString();
+      continue;
+    }
+    for (auto& wp : *plans) {
+      FragmentOption opt;
+      opt.raw_estimated_seconds = RawEstimateSeconds(wp);
+      opt.calibrated_seconds = calibrator_->CalibrateFragmentCost(
+          server_id, wp.signature, opt.raw_estimated_seconds);
+      calibrator_->RecordEstimate(server_id, wp.signature,
+                                  opt.raw_estimated_seconds);
+      compile_log_.push_back(MwCompileRecord{
+          query_id, wp.statement, server_id, wp.signature,
+          opt.raw_estimated_seconds, opt.calibrated_seconds});
+      opt.wrapper_plan = std::move(wp);
+      options.push_back(std::move(opt));
+    }
+  }
+  if (options.empty()) {
+    return Status::PlanError("no server can execute fragment '" +
+                             fragment.ToString() +
+                             "': " + last_error.ToString());
+  }
+  std::stable_sort(options.begin(), options.end(),
+                   [](const FragmentOption& a, const FragmentOption& b) {
+                     return a.calibrated_seconds < b.calibrated_seconds;
+                   });
+  return options;
+}
+
+void MetaWrapper::ExecuteFragment(uint64_t query_id,
+                                  const FragmentOption& option,
+                                  ExecutionCallback done) {
+  const std::string server_id = option.wrapper_plan.server_id;
+  auto wrapper = GetWrapper(server_id);
+  if (!wrapper.ok()) {
+    sim_->ScheduleAfter(0.0, [done = std::move(done),
+                              st = wrapper.status()] { done(st); });
+    return;
+  }
+
+  const SimTime submit_time = sim_->Now();
+  const double estimated = option.raw_estimated_seconds;
+  const size_t signature = option.wrapper_plan.signature;
+  // Request message: a few hundred bytes of execution descriptor.
+  const double request_time = network_->TransferTime(server_id, 512,
+                                                     submit_time);
+
+  RemoteServer* server = (*wrapper)->server();
+  PlanNodePtr plan = option.wrapper_plan.plan;
+  sim_->ScheduleAfter(request_time, [this, server, plan, server_id,
+                                     signature, estimated, submit_time,
+                                     query_id, done = std::move(done)] {
+    server->SubmitFragment(plan, [this, server_id, signature, estimated,
+                                  submit_time, query_id, done](
+                                     Result<FragmentResult> result) {
+      if (!result.ok()) {
+        calibrator_->RecordError(server_id, result.status());
+        runtime_log_.push_back(MwRuntimeRecord{
+            query_id, server_id, signature, estimated,
+            sim_->Now() - submit_time, /*failed=*/true});
+        done(result.status());
+        return;
+      }
+      FragmentResult server_result = std::move(result).MoveValue();
+      const double reply_time = network_->TransferTime(
+          server_id, server_result.table->byte_size(), sim_->Now());
+      sim_->ScheduleAfter(
+          reply_time, [this, server_id, signature, estimated, submit_time,
+                       query_id, done,
+                       server_result = std::move(server_result)]() mutable {
+            FragmentExecution exec;
+            exec.table = server_result.table;
+            exec.response_seconds = sim_->Now() - submit_time;
+            exec.server_result = std::move(server_result);
+            calibrator_->RecordSuccess(server_id);
+            calibrator_->RecordFragmentObservation(
+                server_id, signature, estimated, exec.response_seconds);
+            runtime_log_.push_back(MwRuntimeRecord{
+                query_id, server_id, signature, estimated,
+                exec.response_seconds, /*failed=*/false});
+            done(std::move(exec));
+          });
+    });
+  });
+}
+
+Result<MetaWrapper::ProbeResult> MetaWrapper::ProbeServer(
+    const std::string& server_id) {
+  FEDCAL_ASSIGN_OR_RETURN(RelationalWrapper * wrapper, GetWrapper(server_id));
+  RemoteServer* server = wrapper->server();
+
+  ServerProfile profile;
+  if (auto p = catalog_->GetServerProfile(server_id); p.ok()) profile = **p;
+
+  if (!server->available()) {
+    calibrator_->RecordError(server_id,
+                             Status::Unavailable("probe: server down"));
+    return Status::Unavailable("server " + server_id + " did not answer");
+  }
+
+  // Probe = tiny scan of the server's smallest table (bare ping when the
+  // server hosts nothing).
+  const auto names = server->table_names();
+  ProbeResult probe;
+  double observed_compute = 0.0;
+  double expected_compute = 0.0;
+  if (!names.empty()) {
+    std::string smallest = names.front();
+    size_t smallest_rows = SIZE_MAX;
+    for (const auto& n : names) {
+      auto t = server->GetTable(n);
+      if (t.ok() && (*t)->num_rows() < smallest_rows) {
+        smallest_rows = (*t)->num_rows();
+        smallest = n;
+      }
+    }
+    FEDCAL_ASSIGN_OR_RETURN(TablePtr table, server->GetTable(smallest));
+    PlanNodePtr probe_plan =
+        PlanNode::Limit(PlanNode::Scan(smallest, table->schema()), 1);
+    auto result = server->ExecuteNow(probe_plan);
+    if (!result.ok()) {
+      calibrator_->RecordError(server_id, result.status());
+      return result.status();
+    }
+    observed_compute = result->server_seconds;
+    expected_compute =
+        result->exec_stats.work_units / profile.configured_speed;
+  }
+  calibrator_->RecordSuccess(server_id);
+  auto link = network_->GetLink(server_id);
+  const double rtt =
+      link.ok() ? (*link)->ProbeRtt(sim_->Now()) : 0.001;
+  probe.observed_seconds = rtt + observed_compute;
+  probe.expected_seconds =
+      2.0 * profile.configured_latency_s + expected_compute;
+  return probe;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/global_catalog.h"
+#include "common/result.h"
+#include "metawrapper/calibrator_interface.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "wrapper/wrapper.h"
+
+namespace fedcal {
+
+/// \brief A fragment plan as presented to the integrator: the wrapper's
+/// plan plus the meta-wrapper's raw and calibrated cost estimates, in
+/// integrator-seconds.
+struct FragmentOption {
+  WrapperPlan wrapper_plan;
+  /// work/configured-speed + configured latency + bytes/configured
+  /// bandwidth — what a QCC-less federated system would use.
+  double raw_estimated_seconds = 0.0;
+  /// raw estimate after QCC calibration (equals raw when QCC is off).
+  double calibrated_seconds = 0.0;
+};
+
+/// \brief Outcome of a fragment execution as observed by the meta-wrapper.
+struct FragmentExecution {
+  TablePtr table;
+  double response_seconds = 0.0;  ///< submit -> results fully received
+  FragmentResult server_result;
+};
+
+/// \brief Compile-time record kept by MW (paper §2: statements, estimated
+/// costs, outgoing fragments, server mappings).
+struct MwCompileRecord {
+  uint64_t query_id = 0;
+  std::string statement;
+  std::string server_id;
+  size_t signature = 0;
+  double estimated_seconds = 0.0;
+  double calibrated_seconds = 0.0;
+};
+
+/// \brief Runtime record kept by MW (paper §2: per-fragment response
+/// times).
+struct MwRuntimeRecord {
+  uint64_t query_id = 0;
+  std::string server_id;
+  size_t signature = 0;
+  double estimated_seconds = 0.0;
+  double observed_seconds = 0.0;
+  bool failed = false;
+};
+
+/// \brief The meta-wrapper: middleware between the integrator and the
+/// per-server wrappers (paper §2, Figure 2).
+///
+/// Compile time: fans a fragment out to candidate servers' wrappers,
+/// converts wrapper work estimates into integrator-seconds using the
+/// catalog's configured server profiles, applies QCC calibration, and
+/// records everything. Run time: routes the chosen plan to its server,
+/// models request/response transfers over the network, measures response
+/// time, and feeds (estimate, observation) pairs back to QCC.
+class MetaWrapper {
+ public:
+  MetaWrapper(GlobalCatalog* catalog, Network* network, Simulator* sim)
+      : catalog_(catalog), network_(network), sim_(sim) {}
+
+  /// Registers the wrapper for a server. Wrappers are owned by the caller.
+  void RegisterWrapper(RelationalWrapper* wrapper) {
+    wrappers_[wrapper->server_id()] = wrapper;
+  }
+
+  Result<RelationalWrapper*> GetWrapper(const std::string& server_id) const;
+  std::vector<std::string> server_ids() const;
+
+  /// Installs the calibrator (QCC). Never null; defaults to the identity.
+  void SetCalibrator(CostCalibrator* calibrator) {
+    calibrator_ = calibrator ? calibrator : &null_calibrator_;
+  }
+  CostCalibrator* calibrator() const { return calibrator_; }
+
+  // -- Compile time ------------------------------------------------------------
+
+  /// Plans `fragment` at each candidate server, returning calibrated
+  /// options sorted cheapest-first. Servers whose wrappers fail to plan
+  /// (e.g. missing replica) are skipped; an error is returned only if no
+  /// candidate server can execute the fragment.
+  Result<std::vector<FragmentOption>> CollectFragmentPlans(
+      uint64_t query_id, const SelectStmt& fragment,
+      const std::vector<std::string>& candidate_servers,
+      size_t max_alternatives_per_server = 2);
+
+  /// Converts a wrapper's work-unit estimate to integrator-seconds using
+  /// configured profiles (no calibration applied).
+  double RawEstimateSeconds(const WrapperPlan& plan) const;
+
+  // -- Run time --------------------------------------------------------------
+
+  using ExecutionCallback = std::function<void(Result<FragmentExecution>)>;
+
+  /// Executes the chosen fragment option at its server. The callback runs
+  /// through the simulator after results travel back across the network.
+  void ExecuteFragment(uint64_t query_id, const FragmentOption& option,
+                       ExecutionCallback done);
+
+  /// What an availability-daemon probe measured vs what the configured
+  /// profile predicted — the ratio bootstraps initial calibration factors
+  /// before any real fragment has executed (§2).
+  struct ProbeResult {
+    double observed_seconds = 0.0;
+    double expected_seconds = 0.0;
+  };
+
+  /// Small synchronous availability probe: a tiny scan through the wrapper
+  /// plus a network round trip. Fails with Unavailable when the server is
+  /// down.
+  Result<ProbeResult> ProbeServer(const std::string& server_id);
+
+  // -- Logs ----------------------------------------------------------------
+
+  const std::vector<MwCompileRecord>& compile_log() const {
+    return compile_log_;
+  }
+  const std::vector<MwRuntimeRecord>& runtime_log() const {
+    return runtime_log_;
+  }
+  void ClearLogs() {
+    compile_log_.clear();
+    runtime_log_.clear();
+  }
+
+ private:
+  GlobalCatalog* catalog_;
+  Network* network_;
+  Simulator* sim_;
+  std::map<std::string, RelationalWrapper*> wrappers_;
+  NullCalibrator null_calibrator_;
+  CostCalibrator* calibrator_ = &null_calibrator_;
+
+  std::vector<MwCompileRecord> compile_log_;
+  std::vector<MwRuntimeRecord> runtime_log_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace fedcal {
+
+double NetworkLink::LatencyAt(SimTime now) const {
+  double latency = config_.base_latency_s;
+  for (const auto& e : episodes_) {
+    if (now >= e.start && now < e.end) latency *= e.latency_multiplier;
+  }
+  return latency;
+}
+
+double NetworkLink::BandwidthAt(SimTime now) const {
+  double bw = config_.bandwidth_bytes_per_s;
+  for (const auto& e : episodes_) {
+    if (now >= e.start && now < e.end) {
+      bw /= std::max(1.0, e.bandwidth_divisor);
+    }
+  }
+  return std::max(1.0, bw);
+}
+
+double NetworkLink::TransferTime(size_t bytes, SimTime now) {
+  double t = LatencyAt(now) +
+             static_cast<double>(bytes) / BandwidthAt(now);
+  if (config_.jitter_frac > 0.0) {
+    const double j = rng_.Normal(1.0, config_.jitter_frac);
+    t *= std::max(0.1, j);
+  }
+  return std::max(1e-9, t);
+}
+
+double NetworkLink::ProbeRtt(SimTime now) {
+  // Two small control messages; serialization cost is negligible.
+  return 2.0 * LatencyAt(now);
+}
+
+void Network::AddLink(const std::string& server_id, LinkConfig config) {
+  links_.erase(server_id);
+  links_.emplace(server_id, NetworkLink(server_id, config, rng_.Fork()));
+}
+
+Result<NetworkLink*> Network::GetLink(const std::string& server_id) {
+  auto it = links_.find(server_id);
+  if (it == links_.end()) {
+    return Status::NotFound("no network link to server " + server_id);
+  }
+  return &it->second;
+}
+
+double Network::TransferTime(const std::string& server_id, size_t bytes,
+                             SimTime now) {
+  auto it = links_.find(server_id);
+  if (it == links_.end()) {
+    return LinkConfig{}.base_latency_s;
+  }
+  return it->second.TransferTime(bytes, now);
+}
+
+std::vector<std::string> Network::server_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(links_.size());
+  for (const auto& [id, link] : links_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief Static parameters of the link between the integrator and one
+/// remote server.
+struct LinkConfig {
+  double base_latency_s = 0.005;          ///< one-way propagation delay
+  double bandwidth_bytes_per_s = 12.5e6;  ///< ~100 Mbit/s
+  double jitter_frac = 0.0;               ///< stddev of multiplicative jitter
+};
+
+/// \brief A transient congestion episode: between `start` and `end`, the
+/// link's latency is multiplied and its bandwidth divided by the given
+/// factors. Episodes may overlap; effects compose multiplicatively.
+struct CongestionEpisode {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  double latency_multiplier = 1.0;
+  double bandwidth_divisor = 1.0;
+};
+
+/// \brief One integrator <-> server link with dynamic conditions.
+///
+/// The federated optimizer only ever sees the admin-configured static
+/// latency (LinkConfig::base_latency_s, mirrored into the catalog); the
+/// *actual* transfer times produced here include congestion and jitter —
+/// the gap is one of the signals QCC's calibration factor absorbs.
+class NetworkLink {
+ public:
+  NetworkLink(std::string server_id, LinkConfig config, Rng rng)
+      : server_id_(std::move(server_id)), config_(config), rng_(rng) {}
+
+  const std::string& server_id() const { return server_id_; }
+  const LinkConfig& config() const { return config_; }
+
+  void AddCongestion(CongestionEpisode episode) {
+    episodes_.push_back(episode);
+  }
+  void ClearCongestion() { episodes_.clear(); }
+
+  /// Effective one-way latency at virtual time `now`.
+  double LatencyAt(SimTime now) const;
+  /// Effective bandwidth at virtual time `now`.
+  double BandwidthAt(SimTime now) const;
+
+  /// Simulated seconds to move `bytes` across the link starting at `now`
+  /// (latency + serialization; jitter applied if configured). Always > 0.
+  double TransferTime(size_t bytes, SimTime now);
+
+  /// Round-trip time for a tiny control message (availability probes).
+  double ProbeRtt(SimTime now);
+
+ private:
+  std::string server_id_;
+  LinkConfig config_;
+  std::vector<CongestionEpisode> episodes_;
+  Rng rng_;
+};
+
+/// \brief All links of the federation, keyed by remote server id.
+class Network {
+ public:
+  explicit Network(uint64_t seed = 7) : rng_(seed) {}
+
+  /// Registers (or replaces) the link to `server_id`.
+  void AddLink(const std::string& server_id, LinkConfig config);
+
+  Result<NetworkLink*> GetLink(const std::string& server_id);
+
+  /// Convenience: transfer time, or the bare config latency for unknown
+  /// links (so probes to unregistered servers still cost something).
+  double TransferTime(const std::string& server_id, size_t bytes,
+                      SimTime now);
+
+  std::vector<std::string> server_ids() const;
+
+ private:
+  std::map<std::string, NetworkLink> links_;
+  Rng rng_;
+};
+
+}  // namespace fedcal

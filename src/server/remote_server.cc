@@ -1,0 +1,185 @@
+#include "server/remote_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace fedcal {
+
+RemoteServer::RemoteServer(ServerConfig config, Simulator* sim, Rng rng)
+    : config_(std::move(config)),
+      sim_(sim),
+      rng_(rng),
+      executor_([this](const std::string& name) { return GetTable(name); }) {}
+
+Status RemoteServer::AddTable(TablePtr table) {
+  if (tables_.count(table->name())) {
+    return Status::AlreadyExists("table " + table->name() + " on server " +
+                                 config_.id);
+  }
+  stats_.Put(TableStats::Compute(*table));
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> RemoteServer::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + name + " on server " + config_.id);
+  }
+  return it->second;
+}
+
+bool RemoteServer::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> RemoteServer::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+Status RemoteServer::AppendRows(const std::string& table,
+                                const std::vector<Row>& rows) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + table + " on server " +
+                            config_.id);
+  }
+  for (const Row& row : rows) {
+    FEDCAL_RETURN_NOT_OK(it->second->AppendRow(row));
+  }
+  return Status::OK();
+}
+
+Status RemoteServer::RefreshStats(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table " + table + " on server " +
+                            config_.id);
+  }
+  stats_.Put(TableStats::Compute(*it->second));
+  return Status::OK();
+}
+
+void RemoteServer::RefreshAllStats() {
+  for (const auto& [name, table] : tables_) {
+    stats_.Put(TableStats::Compute(*table));
+  }
+}
+
+void RemoteServer::set_background_load(double load) {
+  background_load_ = std::clamp(load, 0.0, 0.99);
+}
+
+double RemoteServer::effective_cpu_speed() const {
+  const double frac = std::max(
+      config_.min_speed_fraction,
+      1.0 - config_.cpu_load_sensitivity * background_load_);
+  return config_.cpu_speed * frac;
+}
+
+double RemoteServer::effective_io_speed() const {
+  const double frac = std::max(
+      config_.min_speed_fraction,
+      1.0 - config_.io_load_sensitivity * background_load_);
+  return config_.io_speed * frac;
+}
+
+Result<FragmentResult> RemoteServer::ExecuteNow(const PlanNodePtr& plan) {
+  if (!available_) {
+    return Status::Unavailable("server " + config_.id + " is down");
+  }
+  FragmentResult result;
+  result.started_at = sim_->Now();
+  FEDCAL_ASSIGN_OR_RETURN(result.table,
+                          executor_.Execute(plan, &result.exec_stats));
+  result.server_seconds =
+      result.exec_stats.cpu_units() / effective_cpu_speed() +
+      result.exec_stats.io_units / effective_io_speed();
+  result.finished_at = result.started_at;
+  return result;
+}
+
+void RemoteServer::SubmitFragment(PlanNodePtr plan, CompletionCallback done) {
+  if (!available_) {
+    // Rejection still takes one scheduler tick so callers never reenter.
+    sim_->ScheduleAfter(0.0, [this, done = std::move(done)] {
+      done(Status::Unavailable("server " + config_.id + " is down"));
+    });
+    return;
+  }
+  queue_.push_back(Job{std::move(plan), std::move(done), sim_->Now()});
+  TryDispatch();
+}
+
+void RemoteServer::TryDispatch() {
+  while (busy_workers_ < config_.num_workers && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_workers_;
+    RunJob(std::move(job));
+  }
+}
+
+void RemoteServer::RunJob(Job job) {
+  // The server may have gone down while the job sat in the queue.
+  if (!available_) {
+    --busy_workers_;
+    sim_->ScheduleAfter(0.0, [this, done = std::move(job.done)] {
+      done(Status::Unavailable("server " + config_.id + " went down"));
+    });
+    return;
+  }
+
+  FragmentResult result;
+  result.started_at = sim_->Now();
+  ExecStats stats;
+  auto table = executor_.Execute(job.plan, &stats);
+
+  double service_time = 0.0;
+  Status failure = Status::OK();
+  if (!table.ok()) {
+    failure = table.status();
+    service_time = 1e-4;  // fast failure
+  } else {
+    service_time = stats.cpu_units() / effective_cpu_speed() +
+                   stats.io_units / effective_io_speed();
+    if (error_rate_ > 0.0 && rng_.Bernoulli(error_rate_)) {
+      // Transient fault mid-execution: charge a random fraction of the
+      // work, return an error.
+      service_time *= rng_.UniformDouble(0.1, 0.9);
+      failure = Status::ExecutionError("transient fault on server " +
+                                       config_.id);
+    }
+  }
+  total_busy_seconds_ += service_time;
+
+  const SimTime submitted = job.submitted_at;
+  sim_->ScheduleAfter(
+      service_time,
+      [this, done = std::move(job.done), failure,
+       table = table.ok() ? table.MoveValue() : nullptr, stats, submitted,
+       started = result.started_at]() mutable {
+        --busy_workers_;
+        if (!failure.ok()) {
+          ++failed_;
+          done(failure);
+        } else {
+          ++completed_;
+          FragmentResult r;
+          r.table = std::move(table);
+          r.exec_stats = stats;
+          r.started_at = started;
+          r.finished_at = sim_->Now();
+          r.server_seconds = sim_->Now() - submitted;
+          done(std::move(r));
+        }
+        TryDispatch();
+      });
+}
+
+}  // namespace fedcal

@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace fedcal {
+
+Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Only a still-pending event can be cancelled; ids that already fired
+  // or were cancelled are rejected.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(e.id);
+    assert(e.when >= now_);
+    now_ = e.when;
+    ++fired_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run() {
+  size_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  size_t n = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > t) break;
+    Step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, SimTime period,
+                           Simulator::Callback task, SimTime initial_delay)
+    : sim_(sim),
+      period_(period > 0 ? period : 1.0),
+      initial_delay_(initial_delay < 0 ? 0 : initial_delay),
+      task_(std::move(task)) {}
+
+void PeriodicTask::Start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_->ScheduleAfter(initial_delay_, [this] { Tick(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTask::set_period(SimTime period) {
+  if (period > 0) period_ = period;
+}
+
+void PeriodicTask::Tick() {
+  if (!running_) return;
+  ++firings_;
+  task_();
+  if (running_) {
+    pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  }
+}
+
+}  // namespace fedcal

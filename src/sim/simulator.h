@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace fedcal {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// \brief Discrete-event simulation kernel with a virtual clock.
+///
+/// Every component of the federated testbed (servers, network, daemons,
+/// workload driver) advances through this single event queue, so
+/// experiments are deterministic and run orders of magnitude faster than
+/// wall-clock. Events scheduled for the same instant fire in scheduling
+/// order (stable tie-break on a sequence number).
+class Simulator {
+ public:
+  using EventId = uint64_t;
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` seconds from now (delay clamped to >= 0).
+  /// Returns an id usable with Cancel().
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute virtual time `when` (clamped to >= Now()).
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled. Cancellation is lazy: the entry stays queued but is skipped.
+  bool Cancel(EventId id);
+
+  /// Run until the queue drains. Returns the number of events fired.
+  size_t Run();
+
+  /// Run events with time <= t, then set the clock to t (if it advanced
+  /// past the last fired event). Returns the number of events fired.
+  size_t RunUntil(SimTime t);
+
+  /// Fire at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  size_t pending_events() const { return live_.size(); }
+  size_t fired_events() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  ///< queued and not yet cancelled
+};
+
+/// \brief A repeating timer built on Simulator, used by QCC daemons
+/// (availability probes, recalibration cycles, catalog refresh).
+///
+/// The period may be changed between firings; the change takes effect when
+/// the next tick is scheduled. Stop() prevents further firings.
+class PeriodicTask {
+ public:
+  /// `task` runs every `period` seconds, first firing after `initial_delay`.
+  PeriodicTask(Simulator* sim, SimTime period, Simulator::Callback task,
+               SimTime initial_delay = 0.0);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  SimTime period() const { return period_; }
+  /// Adjust the interval for subsequent firings (clamped to > 0).
+  void set_period(SimTime period);
+
+  size_t firings() const { return firings_; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SimTime period_;
+  SimTime initial_delay_;
+  Simulator::Callback task_;
+  bool running_ = false;
+  size_t firings_ = 0;
+  Simulator::EventId pending_ = 0;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,210 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace fedcal {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+ParseExprPtr ParseExpr::MakeLiteral(Value v) {
+  auto e = std::make_shared<ParseExpr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ParseExprPtr ParseExpr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_shared<ParseExpr>();
+  e->kind = Kind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ParseExprPtr ParseExpr::MakeBinary(BinaryOp op, ParseExprPtr l,
+                                   ParseExprPtr r) {
+  auto e = std::make_shared<ParseExpr>();
+  e->kind = Kind::kBinary;
+  e->bop = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ParseExprPtr ParseExpr::MakeUnary(UnaryOp op, ParseExprPtr operand) {
+  auto e = std::make_shared<ParseExpr>();
+  e->kind = Kind::kUnary;
+  e->uop = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ParseExprPtr ParseExpr::MakeAgg(AggFunc f, ParseExprPtr arg, bool star) {
+  auto e = std::make_shared<ParseExpr>();
+  e->kind = Kind::kAggCall;
+  e->agg = f;
+  e->agg_arg = std::move(arg);
+  e->count_star = star;
+  return e;
+}
+
+bool ParseExpr::ContainsAggregate() const {
+  switch (kind) {
+    case Kind::kAggCall:
+      return true;
+    case Kind::kBinary:
+      return left->ContainsAggregate() || right->ContainsAggregate();
+    case Kind::kUnary:
+      return left->ContainsAggregate();
+    default:
+      return false;
+  }
+}
+
+std::string ParseExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpName(bop) + " " +
+             right->ToString() + ")";
+    case Kind::kUnary:
+      if (uop == UnaryOp::kIsNull || uop == UnaryOp::kIsNotNull) {
+        return "(" + left->ToString() + " " + UnaryOpName(uop) + ")";
+      }
+      return std::string("(") + UnaryOpName(uop) + " " + left->ToString() +
+             ")";
+    case Kind::kAggCall:
+      if (count_star) return "COUNT(*)";
+      return std::string(AggFuncName(agg)) + "(" + agg_arg->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> parts;
+  for (const auto& item : items) {
+    if (item.is_star) {
+      parts.push_back("*");
+      continue;
+    }
+    std::string s = item.expr->ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    parts.push_back(std::move(s));
+  }
+  out += Join(parts, ", ");
+  out += " FROM ";
+  parts.clear();
+  for (const auto& t : from) {
+    std::string s = t.table;
+    if (!t.alias.empty() && t.alias != t.table) s += " " + t.alias;
+    parts.push_back(std::move(s));
+  }
+  out += Join(parts, ", ");
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    parts.clear();
+    for (const auto& g : group_by) parts.push_back(g->ToString());
+    out += " GROUP BY " + Join(parts, ", ");
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    parts.clear();
+    for (const auto& o : order_by) {
+      parts.push_back(o.expr->ToString() + (o.descending ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(parts, ", ");
+  }
+  if (limit.has_value()) out += StringFormat(" LIMIT %lld",
+                                             static_cast<long long>(*limit));
+  return out;
+}
+
+namespace {
+size_t Mix(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+}  // namespace
+
+size_t SignatureOf(const ParseExpr& e, bool normalize_literals) {
+  size_t h = static_cast<size_t>(e.kind) * 0x100000001b3ull;
+  switch (e.kind) {
+    case ParseExpr::Kind::kLiteral:
+      if (normalize_literals) {
+        h = Mix(h, e.literal.is_null()     ? 0
+                   : e.literal.is_int64()  ? 1
+                   : e.literal.is_double() ? 2
+                                           : 3);
+      } else {
+        h = Mix(h, e.literal.Hash());
+      }
+      break;
+    case ParseExpr::Kind::kColumnRef:
+      h = Mix(h, std::hash<std::string>{}(e.table));
+      h = Mix(h, std::hash<std::string>{}(e.column));
+      break;
+    case ParseExpr::Kind::kBinary:
+      h = Mix(h, static_cast<size_t>(e.bop));
+      h = Mix(h, SignatureOf(*e.left, normalize_literals));
+      h = Mix(h, SignatureOf(*e.right, normalize_literals));
+      break;
+    case ParseExpr::Kind::kUnary:
+      h = Mix(h, static_cast<size_t>(e.uop));
+      h = Mix(h, SignatureOf(*e.left, normalize_literals));
+      break;
+    case ParseExpr::Kind::kAggCall:
+      h = Mix(h, static_cast<size_t>(e.agg) + (e.count_star ? 97 : 0));
+      if (e.agg_arg) h = Mix(h, SignatureOf(*e.agg_arg, normalize_literals));
+      break;
+  }
+  return h;
+}
+
+size_t SignatureOf(const SelectStmt& stmt, bool normalize_literals) {
+  size_t h = 0xc2b2ae3d27d4eb4full;
+  h = Mix(h, stmt.distinct ? 2 : 1);
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      h = Mix(h, 0x2a);
+      continue;
+    }
+    h = Mix(h, SignatureOf(*item.expr, normalize_literals));
+  }
+  for (const auto& t : stmt.from) {
+    h = Mix(h, std::hash<std::string>{}(t.table));
+    h = Mix(h, std::hash<std::string>{}(t.effective_alias()));
+  }
+  if (stmt.where) h = Mix(h, SignatureOf(*stmt.where, normalize_literals));
+  for (const auto& g : stmt.group_by) {
+    h = Mix(h, SignatureOf(*g, normalize_literals));
+  }
+  if (stmt.having) h = Mix(h, SignatureOf(*stmt.having, normalize_literals));
+  for (const auto& o : stmt.order_by) {
+    h = Mix(h, SignatureOf(*o.expr, normalize_literals));
+    h = Mix(h, o.descending ? 2 : 1);
+  }
+  if (stmt.limit.has_value()) {
+    h = Mix(h, static_cast<size_t>(*stmt.limit) + 1);
+  }
+  return h;
+}
+
+}  // namespace fedcal

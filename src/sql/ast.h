@@ -1,0 +1,106 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/bound_expr.h"  // reuses BinaryOp / UnaryOp
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief Aggregate functions supported in SELECT lists and HAVING.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+struct ParseExpr;
+using ParseExprPtr = std::shared_ptr<ParseExpr>;
+
+/// \brief Unbound (parse-time) expression node.
+struct ParseExpr {
+  enum class Kind { kLiteral, kColumnRef, kBinary, kUnary, kAggCall };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: optional qualifier ("t.col" or "col")
+  std::string table;
+  std::string column;
+
+  // kBinary / kUnary
+  BinaryOp bop = BinaryOp::kEq;
+  UnaryOp uop = UnaryOp::kNot;
+  ParseExprPtr left;
+  ParseExprPtr right;
+
+  // kAggCall
+  AggFunc agg = AggFunc::kCount;
+  bool count_star = false;  ///< COUNT(*)
+  ParseExprPtr agg_arg;
+
+  static ParseExprPtr MakeLiteral(Value v);
+  static ParseExprPtr MakeColumn(std::string table, std::string column);
+  static ParseExprPtr MakeBinary(BinaryOp op, ParseExprPtr l, ParseExprPtr r);
+  static ParseExprPtr MakeUnary(UnaryOp op, ParseExprPtr operand);
+  static ParseExprPtr MakeAgg(AggFunc f, ParseExprPtr arg, bool star);
+
+  /// True if any node in the tree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// SQL rendering (parenthesized; used for fragment statements).
+  std::string ToString() const;
+};
+
+/// \brief One base-table reference in the FROM clause.
+struct TableRef {
+  std::string table;  ///< nickname or physical table name
+  std::string alias;  ///< defaults to `table` when empty
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// \brief One item in the SELECT list.
+struct SelectItem {
+  bool is_star = false;  ///< SELECT *
+  ParseExprPtr expr;
+  std::string alias;  ///< output column name override
+};
+
+struct OrderItem {
+  ParseExprPtr expr;
+  bool descending = false;
+};
+
+/// \brief Parsed SELECT statement. JOIN ... ON is normalized at parse time:
+/// joined tables land in `from` and their ON conditions are ANDed into
+/// `where`.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ParseExprPtr where;  ///< nullptr when absent
+  std::vector<ParseExprPtr> group_by;
+  ParseExprPtr having;  ///< nullptr when absent
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// Round-trippable SQL text.
+  std::string ToString() const;
+};
+
+/// \brief Structural signature of an expression; with `normalize_literals`
+/// set, literal values hash as their type only, so parameterized instances
+/// of the same statement shape collide.
+size_t SignatureOf(const ParseExpr& e, bool normalize_literals);
+
+/// \brief Structural signature of a statement (the QCC "query type" key
+/// used for workload accounting and round-robin plan groups).
+size_t SignatureOf(const SelectStmt& stmt, bool normalize_literals = true);
+
+}  // namespace fedcal

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "sql/ast.h"
+#include "storage/schema.h"
+
+namespace fedcal {
+
+/// \brief One FROM-clause table after resolution: where its columns sit in
+/// the flattened input row.
+struct TableBinding {
+  std::string alias;       ///< effective alias in the query
+  std::string table_name;  ///< resolved nickname / physical table name
+  Schema schema;           ///< the table's own schema
+  size_t slot_offset = 0;  ///< first column's slot in the flattened row
+};
+
+/// \brief A bound aggregate call: function + bound argument (over the
+/// pre-aggregation input schema).
+struct BoundAggSpec {
+  AggFunc func = AggFunc::kCount;
+  bool count_star = false;
+  BoundExprPtr arg;  ///< nullptr for COUNT(*)
+  DataType result_type = DataType::kInt64;
+  std::string display_name;
+  /// Structural key used to deduplicate identical agg calls.
+  std::string dedup_key;
+};
+
+/// \brief Fully bound query: everything the planner needs, with all names
+/// resolved to row slots.
+///
+/// Pipeline contract (matches the physical plan shape the engine builds):
+///   scan/join produces rows matching `input_schema`;
+///   `where` filters those rows;
+///   if `has_aggregate`: group by `group_by` (input-schema exprs), compute
+///     `aggs`; the post-agg row is [group values..., agg results...];
+///   `outputs` are evaluated over the post-agg row (aggregate queries) or
+///     the input row (plain queries) and produce `output_schema`;
+///   `having` is evaluated over the post-agg row;
+///   `order_by` expressions are evaluated over the *output* row.
+struct BoundQuery {
+  std::vector<TableBinding> tables;
+  Schema input_schema;  ///< qualified "alias.column" names
+
+  BoundExprPtr where;  ///< nullptr if absent
+
+  bool has_aggregate = false;
+  std::vector<BoundExprPtr> group_by;
+  std::vector<BoundAggSpec> aggs;
+  BoundExprPtr having;  ///< over post-agg row; nullptr if absent
+
+  std::vector<BoundExprPtr> outputs;  ///< see pipeline contract above
+  Schema output_schema;
+  bool distinct = false;
+
+  std::vector<std::pair<BoundExprPtr, bool>> order_by;  ///< (expr, desc)
+  std::optional<int64_t> limit;
+
+  /// Schema of the intermediate post-aggregation row.
+  Schema PostAggSchema() const;
+};
+
+/// \brief Resolves a parsed SELECT against the schemas of its FROM tables.
+///
+/// `table_schemas[i]` must be the schema of `stmt.from[i]`'s resolved table
+/// (the caller — catalog or wrapper — performs nickname resolution).
+Result<BoundQuery> BindQuery(const SelectStmt& stmt,
+                             const std::vector<Schema>& table_schemas);
+
+}  // namespace fedcal

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief Token categories produced by the SQL lexer.
+enum class TokenType {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (stored upper-cased)
+  kIdentifier,  ///< table / column / alias names
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  ///< single-quoted, '' escapes a quote
+  kOperator,       ///< = <> != < <= > >= + - * / ( ) , .
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;     ///< keyword/operator text, identifier, raw literal
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  ///< byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// \brief Tokenizes a SQL string. Keywords are recognized
+/// case-insensitively and normalized to upper case; identifiers keep their
+/// original spelling.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace fedcal

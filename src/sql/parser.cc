@@ -1,0 +1,395 @@
+#include "sql/parser.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace fedcal {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectBody());
+    // Optional trailing semicolon would have been rejected by the lexer;
+    // just require end of input.
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchOperator(const char* op) {
+    if (Peek().IsOperator(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StringFormat("%s (near offset %zu, token '%s')",
+                                           msg.c_str(), Peek().position,
+                                           Peek().text.c_str()));
+  }
+
+  Result<SelectStmt> ParseSelectBody() {
+    SelectStmt stmt;
+    if (!MatchKeyword("SELECT")) return Err("expected SELECT");
+    if (MatchKeyword("DISTINCT")) stmt.distinct = true;
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (MatchOperator("*")) {
+        item.is_star = true;
+      } else {
+        FEDCAL_ASSIGN_OR_RETURN(item.expr, ParseExprTop());
+        if (MatchKeyword("AS")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Err("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!MatchOperator(",")) break;
+    }
+
+    if (!MatchKeyword("FROM")) return Err("expected FROM");
+    FEDCAL_RETURN_NOT_OK(ParseFromClause(&stmt));
+
+    if (MatchKeyword("WHERE")) {
+      FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr w, ParseExprTop());
+      stmt.where = stmt.where
+                       ? ParseExpr::MakeBinary(BinaryOp::kAnd, stmt.where, w)
+                       : w;
+    }
+
+    if (MatchKeyword("GROUP")) {
+      if (!MatchKeyword("BY")) return Err("expected BY after GROUP");
+      while (true) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr g, ParseExprTop());
+        stmt.group_by.push_back(std::move(g));
+        if (!MatchOperator(",")) break;
+      }
+    }
+
+    if (MatchKeyword("HAVING")) {
+      FEDCAL_ASSIGN_OR_RETURN(stmt.having, ParseExprTop());
+    }
+
+    if (MatchKeyword("ORDER")) {
+      if (!MatchKeyword("BY")) return Err("expected BY after ORDER");
+      while (true) {
+        OrderItem o;
+        FEDCAL_ASSIGN_OR_RETURN(o.expr, ParseExprTop());
+        if (MatchKeyword("DESC")) {
+          o.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(o));
+        if (!MatchOperator(",")) break;
+      }
+    }
+
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Err("expected integer after LIMIT");
+      }
+      stmt.limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  Status ParseFromClause(SelectStmt* stmt) {
+    FEDCAL_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (MatchOperator(",")) {
+        FEDCAL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt->from.push_back(std::move(t));
+        continue;
+      }
+      const bool inner = Peek().IsKeyword("INNER");
+      if (inner || Peek().IsKeyword("JOIN")) {
+        if (inner) {
+          Advance();
+          if (!Peek().IsKeyword("JOIN")) {
+            return Err("expected JOIN after INNER");
+          }
+        }
+        Advance();  // JOIN
+        FEDCAL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt->from.push_back(std::move(t));
+        if (!MatchKeyword("ON")) return Err("expected ON");
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr cond, ParseExprTop());
+        stmt->where =
+            stmt->where
+                ? ParseExpr::MakeBinary(BinaryOp::kAnd, stmt->where, cond)
+                : cond;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected table name");
+    }
+    TableRef t;
+    t.table = Advance().text;
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Err("expected alias after AS");
+      }
+      t.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      t.alias = Advance().text;
+    }
+    return t;
+  }
+
+  // expr := or
+  Result<ParseExprPtr> ParseExprTop() { return ParseOr(); }
+
+  Result<ParseExprPtr> ParseOr() {
+    FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr right, ParseAnd());
+      left = ParseExpr::MakeBinary(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ParseExprPtr> ParseAnd() {
+    FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr left, ParseNot());
+    while (MatchKeyword("AND")) {
+      FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr right, ParseNot());
+      left = ParseExpr::MakeBinary(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ParseExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr inner, ParseNot());
+      return ParseExpr::MakeUnary(UnaryOp::kNot, inner);
+    }
+    return ParseComparison();
+  }
+
+  Result<ParseExprPtr> ParseComparison() {
+    FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr left, ParseAdditive());
+    if (MatchKeyword("IS")) {
+      const bool negated = MatchKeyword("NOT");
+      if (!MatchKeyword("NULL")) return Err("expected NULL after IS");
+      return ParseExpr::MakeUnary(
+          negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull, left);
+    }
+    // x [NOT] BETWEEN a AND b / [NOT] IN (v, ...) / [NOT] LIKE 'pat'.
+    {
+      const bool negated = Peek().IsKeyword("NOT") &&
+                           (Peek(1).IsKeyword("BETWEEN") ||
+                            Peek(1).IsKeyword("IN") ||
+                            Peek(1).IsKeyword("LIKE"));
+      if (negated) Advance();  // NOT
+      if (MatchKeyword("BETWEEN")) {
+        // Desugars to (left >= lo AND left <= hi).
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr lo, ParseAdditive());
+        if (!MatchKeyword("AND")) {
+          return Err("expected AND in BETWEEN");
+        }
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr hi, ParseAdditive());
+        ParseExprPtr range = ParseExpr::MakeBinary(
+            BinaryOp::kAnd,
+            ParseExpr::MakeBinary(BinaryOp::kGe, left, lo),
+            ParseExpr::MakeBinary(BinaryOp::kLe, left, hi));
+        return negated ? ParseExpr::MakeUnary(UnaryOp::kNot, range)
+                       : range;
+      }
+      if (MatchKeyword("IN")) {
+        // Desugars to an OR chain of equalities.
+        if (!MatchOperator("(")) return Err("expected ( after IN");
+        ParseExprPtr chain;
+        while (true) {
+          FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr v, ParseAdditive());
+          ParseExprPtr eq = ParseExpr::MakeBinary(BinaryOp::kEq, left, v);
+          chain = chain ? ParseExpr::MakeBinary(BinaryOp::kOr, chain, eq)
+                        : eq;
+          if (!MatchOperator(",")) break;
+        }
+        if (!MatchOperator(")")) return Err("expected ) after IN list");
+        return negated ? ParseExpr::MakeUnary(UnaryOp::kNot, chain)
+                       : chain;
+      }
+      if (MatchKeyword("LIKE")) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr pattern, ParseAdditive());
+        ParseExprPtr like =
+            ParseExpr::MakeBinary(BinaryOp::kLike, left, pattern);
+        return negated ? ParseExpr::MakeUnary(UnaryOp::kNot, like) : like;
+      }
+      if (negated) return Err("expected BETWEEN, IN or LIKE after NOT");
+    }
+    static const std::pair<const char*, BinaryOp> cmps[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& [text, op] : cmps) {
+      if (MatchOperator(text)) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr right, ParseAdditive());
+        return ParseExpr::MakeBinary(op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<ParseExprPtr> ParseAdditive() {
+    FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (MatchOperator("+")) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr r, ParseMultiplicative());
+        left = ParseExpr::MakeBinary(BinaryOp::kAdd, left, r);
+      } else if (MatchOperator("-")) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr r, ParseMultiplicative());
+        left = ParseExpr::MakeBinary(BinaryOp::kSub, left, r);
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  Result<ParseExprPtr> ParseMultiplicative() {
+    FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr left, ParseUnary());
+    while (true) {
+      if (MatchOperator("*")) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr r, ParseUnary());
+        left = ParseExpr::MakeBinary(BinaryOp::kMul, left, r);
+      } else if (MatchOperator("/")) {
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr r, ParseUnary());
+        left = ParseExpr::MakeBinary(BinaryOp::kDiv, left, r);
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  Result<ParseExprPtr> ParseUnary() {
+    if (MatchOperator("-")) {
+      FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr inner, ParseUnary());
+      // Fold negation into numeric literals for cleaner fingerprints.
+      if (inner->kind == ParseExpr::Kind::kLiteral &&
+          inner->literal.is_numeric()) {
+        if (inner->literal.is_int64()) {
+          return ParseExpr::MakeLiteral(Value(-inner->literal.AsInt64()));
+        }
+        return ParseExpr::MakeLiteral(Value(-inner->literal.AsDouble()));
+      }
+      return ParseExpr::MakeUnary(UnaryOp::kNeg, inner);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ParseExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral:
+        Advance();
+        return ParseExpr::MakeLiteral(Value(t.int_value));
+      case TokenType::kDoubleLiteral:
+        Advance();
+        return ParseExpr::MakeLiteral(Value(t.double_value));
+      case TokenType::kStringLiteral:
+        Advance();
+        return ParseExpr::MakeLiteral(Value(t.text));
+      case TokenType::kKeyword: {
+        if (t.text == "NULL") {
+          Advance();
+          return ParseExpr::MakeLiteral(Value::Null_());
+        }
+        AggFunc f;
+        if (t.text == "COUNT") {
+          f = AggFunc::kCount;
+        } else if (t.text == "SUM") {
+          f = AggFunc::kSum;
+        } else if (t.text == "AVG") {
+          f = AggFunc::kAvg;
+        } else if (t.text == "MIN") {
+          f = AggFunc::kMin;
+        } else if (t.text == "MAX") {
+          f = AggFunc::kMax;
+        } else {
+          return Err("unexpected keyword in expression");
+        }
+        Advance();
+        if (!MatchOperator("(")) {
+          return Err("expected ( after aggregate function");
+        }
+        if (f == AggFunc::kCount && MatchOperator("*")) {
+          if (!MatchOperator(")")) return Err("expected )");
+          return ParseExpr::MakeAgg(f, nullptr, /*star=*/true);
+        }
+        FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr arg, ParseExprTop());
+        if (!MatchOperator(")")) return Err("expected )");
+        return ParseExpr::MakeAgg(f, std::move(arg), /*star=*/false);
+      }
+      case TokenType::kIdentifier: {
+        Advance();
+        if (MatchOperator(".")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Err("expected column name after '.'");
+          }
+          const std::string column = Advance().text;
+          return ParseExpr::MakeColumn(t.text, column);
+        }
+        return ParseExpr::MakeColumn("", t.text);
+      }
+      case TokenType::kOperator:
+        if (t.IsOperator("(")) {
+          Advance();
+          FEDCAL_ASSIGN_OR_RETURN(ParseExprPtr inner, ParseExprTop());
+          if (!MatchOperator(")")) return Err("expected )");
+          return inner;
+        }
+        return Err("unexpected operator in expression");
+      case TokenType::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  FEDCAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace fedcal

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace fedcal {
+
+/// \brief Parses one SELECT statement (optionally semicolon-terminated).
+///
+/// Supported grammar (a pragmatic SQL subset sufficient for the paper's
+/// workloads — multi-way equijoins, range/equality predicates, grouping and
+/// aggregation):
+///
+///   SELECT [DISTINCT] item (',' item)*
+///   FROM table [alias] ((',' table [alias]) | ([INNER] JOIN table [alias]
+///        ON expr))*
+///   [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT n]
+///
+/// item := '*' | expr [[AS] alias]
+/// expr  := disjunctions of conjunctions of (NOT)? comparisons over
+///          arithmetic (+ - * /) on columns, literals and aggregate calls
+///          (COUNT(*), COUNT/SUM/AVG/MIN/MAX(expr)), plus IS [NOT] NULL.
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace fedcal

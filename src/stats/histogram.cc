@@ -1,0 +1,92 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fedcal {
+
+Histogram Histogram::Build(std::vector<double> values, size_t num_buckets) {
+  Histogram h;
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+  num_buckets = std::max<size_t>(1, std::min(num_buckets, values.size()));
+  h.total_count_ = values.size();
+
+  const size_t n = values.size();
+  h.bounds_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    // Equi-depth boundary: round-robin the remainder across buckets.
+    size_t end = (n * (b + 1)) / num_buckets;
+    if (end <= start) continue;
+    // Extend the bucket so equal values never straddle a boundary; this
+    // keeps EstimateEquals consistent for heavy hitters.
+    while (end < n && values[end] == values[end - 1]) ++end;
+    size_t distinct = 1;
+    for (size_t i = start + 1; i < end; ++i) {
+      if (values[i] != values[i - 1]) ++distinct;
+    }
+    h.bounds_.push_back(values[end - 1]);
+    h.counts_.push_back(end - start);
+    h.distinct_.push_back(distinct);
+    start = end;
+    if (start >= n) break;
+  }
+  return h;
+}
+
+double Histogram::EstimateLessThan(double x) const {
+  if (empty()) return 0.0;
+  if (x <= bounds_.front()) return 0.0;
+  if (x > bounds_.back()) return 1.0;
+  double below = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double lo = bounds_[b];
+    const double hi = bounds_[b + 1];
+    if (x > hi) {
+      below += static_cast<double>(counts_[b]);
+      continue;
+    }
+    // x falls inside bucket b: interpolate.
+    const double width = hi - lo;
+    const double frac = width <= 0.0 ? 0.0 : (x - lo) / width;
+    below += frac * static_cast<double>(counts_[b]);
+    break;
+  }
+  return below / static_cast<double>(total_count_);
+}
+
+double Histogram::EstimateEquals(double x) const {
+  if (empty()) return 0.0;
+  if (x < bounds_.front() || x > bounds_.back()) return 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (x <= bounds_[b + 1]) {
+      const double d = std::max<size_t>(1, distinct_[b]);
+      return (static_cast<double>(counts_[b]) / d) /
+             static_cast<double>(total_count_);
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::EstimateBetween(double lo, double hi) const {
+  if (empty() || hi < lo) return 0.0;
+  const double below_hi = EstimateLessThan(std::nextafter(hi, 1e300));
+  const double below_lo = EstimateLessThan(lo);
+  return std::max(0.0, below_hi - below_lo);
+}
+
+std::string Histogram::ToString() const {
+  std::string out = StringFormat("Histogram(n=%zu, buckets=%zu)[",
+                                 total_count_, num_buckets());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out += StringFormat("%s(%g..%g]:%zu", b ? ", " : "", bounds_[b],
+                        bounds_[b + 1], counts_[b]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedcal {
+
+/// \brief Equi-depth histogram over numeric column values.
+///
+/// Built once at statistics-collection time (the federated system's analog
+/// of DB2 RUNSTATS) and used by the cost model for selectivity estimation.
+/// Buckets hold approximately equal row counts; estimates interpolate
+/// linearly within a bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Build from an unsorted sample of values. `num_buckets` is clamped to
+  /// [1, values.size()].
+  static Histogram Build(std::vector<double> values, size_t num_buckets);
+
+  bool empty() const { return total_count_ == 0; }
+  size_t num_buckets() const {
+    return bounds_.empty() ? 0 : bounds_.size() - 1;
+  }
+  size_t total_count() const { return total_count_; }
+
+  /// Estimated fraction of values strictly less than x, in [0, 1].
+  double EstimateLessThan(double x) const;
+
+  /// Estimated fraction equal to x (bucket density / distinct-in-bucket).
+  double EstimateEquals(double x) const;
+
+  /// Estimated fraction in [lo, hi].
+  double EstimateBetween(double lo, double hi) const;
+
+  double min() const { return bounds_.empty() ? 0.0 : bounds_.front(); }
+  double max() const { return bounds_.empty() ? 0.0 : bounds_.back(); }
+
+  std::string ToString() const;
+
+ private:
+  // bounds_[i], bounds_[i+1] delimit bucket i; counts_[i] rows in bucket i;
+  // distinct_[i] approximate distinct values in bucket i.
+  std::vector<double> bounds_;
+  std::vector<size_t> counts_;
+  std::vector<size_t> distinct_;
+  size_t total_count_ = 0;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "storage/table.h"
+
+namespace fedcal {
+
+/// \brief Comparison operators the selectivity estimator understands.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// \brief Per-column statistics: cardinality profile plus an equi-depth
+/// histogram for numeric columns.
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kInt64;
+  size_t num_values = 0;  ///< non-null values
+  size_t null_count = 0;
+  size_t num_distinct = 0;
+  Value min_value;
+  Value max_value;
+  Histogram histogram;  ///< numeric columns only
+
+  /// Estimated fraction of rows satisfying `col <op> literal`, in [0, 1].
+  double Selectivity(CompareOp op, const Value& literal) const;
+};
+
+/// \brief Statistics for a whole table, the substrate for the optimizer's
+/// cost model (the federated analog of the DB2 catalog statistics that II
+/// caches for nicknames).
+struct TableStats {
+  std::string table_name;
+  size_t num_rows = 0;
+  double avg_row_bytes = 0.0;
+  std::vector<ColumnStats> columns;
+  /// Columns with a hash index (access paths the planner may use).
+  std::vector<std::string> indexed_columns;
+
+  /// Collects exact statistics by scanning the table; histogram bucket
+  /// count is configurable (default 32).
+  static TableStats Compute(const Table& table, size_t histogram_buckets = 32);
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace fedcal {
+
+/// \brief CSV options shared by reader and writer.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Reader: does the first line carry column names? Writer: emit one?
+  bool header = true;
+  /// Cell text treated as NULL (case-sensitive, unquoted only).
+  std::string null_token = "";
+};
+
+/// \brief Parses CSV text into a table with the given schema.
+///
+/// Values are coerced per the schema column types (INT / DOUBLE parse,
+/// VARCHAR taken verbatim). Double-quoted cells may contain delimiters,
+/// newlines and doubled quotes. When `options.header` is set, the first
+/// record is validated against the schema's column names.
+Result<TablePtr> ReadCsv(const std::string& csv_text,
+                         const std::string& table_name, Schema schema,
+                         CsvOptions options = {});
+
+/// \brief Reads a CSV file from disk (convenience wrapper over ReadCsv).
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const std::string& table_name, Schema schema,
+                             CsvOptions options = {});
+
+/// \brief Serializes a table to CSV text.
+std::string WriteCsv(const Table& table, CsvOptions options = {});
+
+/// \brief Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    CsvOptions options = {});
+
+}  // namespace fedcal

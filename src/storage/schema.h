@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief A named, typed column.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+
+  bool operator==(const ColumnDef& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// \brief Ordered list of columns describing a table or an intermediate
+/// result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given (case-sensitive) name.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Appends a column; duplicate names are allowed in intermediate schemas
+  /// (e.g. join outputs) and disambiguated by position.
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "name:TYPE, name:TYPE, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,74 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace fedcal {
+
+size_t Table::RowBytes(const Row& row) {
+  size_t n = 0;
+  for (const Value& v : row) n += v.ByteSize();
+  return n;
+}
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StringFormat(
+        "table %s: row arity %zu != schema arity %zu", name_.c_str(),
+        row.size(), schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    const DataType t = schema_.column(i).type;
+    const bool ok = (t == DataType::kInt64 && v.is_int64()) ||
+                    (t == DataType::kDouble && v.is_numeric()) ||
+                    (t == DataType::kString && v.is_string());
+    if (!ok) {
+      return Status::InvalidArgument(StringFormat(
+          "table %s column %s: value %s does not match declared type %s",
+          name_.c_str(), schema_.column(i).name.c_str(),
+          v.ToString().c_str(), DataTypeName(t)));
+    }
+  }
+  AppendRowUnchecked(std::move(row));
+  return Status::OK();
+}
+
+std::shared_ptr<Table> Table::CloneAs(const std::string& new_name) const {
+  auto copy = std::make_shared<Table>(new_name, schema_);
+  copy->rows_ = rows_;
+  copy->bytes_ = bytes_;
+  for (const auto& [name, index] : indexes_) {
+    (void)copy->CreateIndex(name);
+  }
+  return copy;
+}
+
+Status Table::CreateIndex(const std::string& column_name) {
+  const auto col = schema_.IndexOf(column_name);
+  if (!col.has_value()) {
+    return Status::NotFound("table " + name_ + " has no column " +
+                            column_name);
+  }
+  indexes_.erase(column_name);
+  auto [it, inserted] =
+      indexes_.emplace(column_name, HashIndex(column_name, *col));
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    it->second.Insert(rows_[r], r);
+  }
+  return Status::OK();
+}
+
+const HashIndex* Table::GetIndex(const std::string& column_name) const {
+  auto it = indexes_.find(column_name);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Table::indexed_columns() const {
+  std::vector<std::string> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief An in-memory, row-oriented relational table.
+///
+/// Tables are owned by simulated remote servers; the execution engine scans
+/// them through this interface. Appends validate arity and type against the
+/// schema (nulls are accepted in any column).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row after checking arity and per-column type.
+  Status AppendRow(Row row);
+
+  /// Appends without validation (used by the generator on its own output).
+  void AppendRowUnchecked(Row row) {
+    bytes_ += RowBytes(row);
+    for (auto& [name, index] : indexes_) {
+      index.Insert(row, rows_.size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void Clear() {
+    rows_.clear();
+    bytes_ = 0;
+    for (auto& [name, index] : indexes_) index.Clear();
+  }
+
+  /// Approximate total payload bytes (drives network-transfer costs).
+  size_t byte_size() const { return bytes_; }
+  double avg_row_bytes() const {
+    return rows_.empty() ? 0.0
+                         : static_cast<double>(bytes_) / rows_.size();
+  }
+
+  /// Deep copy with a new name (replica creation). Indexes are rebuilt on
+  /// the clone.
+  std::shared_ptr<Table> CloneAs(const std::string& new_name) const;
+
+  // -- Indexes ---------------------------------------------------------------
+
+  /// Builds (or rebuilds) a hash index on the named column.
+  Status CreateIndex(const std::string& column_name);
+  /// The index on `column_name`, or nullptr.
+  const HashIndex* GetIndex(const std::string& column_name) const;
+  /// Names of indexed columns (sorted).
+  std::vector<std::string> indexed_columns() const;
+
+ private:
+  static size_t RowBytes(const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t bytes_ = 0;
+  std::map<std::string, HashIndex> indexes_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace fedcal

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fedcal {
+
+/// \brief Column data types supported by the storage and execution layers.
+enum class DataType { kInt64, kDouble, kString };
+
+const char* DataTypeName(DataType t);
+
+/// \brief A single (nullable) cell value.
+///
+/// Row-oriented storage: a row is a vector<Value>. Values order and compare
+/// within the same type; numeric cross-type comparison (int64 vs double) is
+/// supported because the SQL layer allows mixed numeric predicates.
+class Value {
+ public:
+  Value() : v_(Null{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null_() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<Null>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(std::get<int64_t>(v_))
+                      : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison: -1, 0, +1. Nulls sort first; numeric types
+  /// compare by value; comparing string with numeric is an error caught at
+  /// bind time, here it falls back to type-index ordering.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal-ish rendering ("NULL", 42, 3.5, 'abc').
+  std::string ToString() const;
+
+  /// Hash consistent with operator== for numeric cross-type equality.
+  size_t Hash() const;
+
+  /// Approximate in-memory footprint in bytes (used for shipping costs).
+  size_t ByteSize() const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  std::variant<Null, int64_t, double, std::string> v_;
+};
+
+using Row = std::vector<Value>;
+
+/// Hash of a full row (for hash joins / hash aggregation).
+size_t HashRow(const Row& row);
+
+}  // namespace fedcal

@@ -1,0 +1,173 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "sql/parser.h"
+
+namespace fedcal {
+
+size_t ForcedServerSelector::SelectPlan(
+    uint64_t query_id, const std::string& sql,
+    const std::vector<GlobalPlanOption>& options) {
+  (void)query_id;
+  std::string target = default_server_;
+  if (auto stmt = ParseSelect(sql); stmt.ok()) {
+    auto it = assignments_.find(SignatureOf(*stmt));
+    if (it != assignments_.end()) target = it->second;
+  }
+  if (target.empty()) return 0;
+  for (size_t i = 0; i < options.size(); ++i) {
+    const auto& set = options[i].server_set;
+    if (set.size() == 1 && set[0] == target) return i;
+  }
+  // The fixed target cannot run this query (e.g. down): fall back to the
+  // cheapest plan.
+  return 0;
+}
+
+double WorkloadResult::MeanResponse() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& m : measurements) {
+    if (m.failed) continue;
+    sum += m.response_seconds;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double WorkloadResult::MeanResponse(QueryType type) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& m : measurements) {
+    if (m.failed || m.type != type) continue;
+    sum += m.response_seconds;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::string WorkloadResult::DominantServer(QueryType type) const {
+  std::map<std::string, int> counts;
+  for (const auto& m : measurements) {
+    if (m.failed || m.type != type) continue;
+    ++counts[m.servers];
+  }
+  std::string best = "-";
+  int best_count = 0;
+  for (const auto& [server, count] : counts) {
+    if (count > best_count) {
+      best = server;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+size_t WorkloadResult::failures() const {
+  size_t n = 0;
+  for (const auto& m : measurements) n += m.failed ? 1 : 0;
+  return n;
+}
+
+size_t WorkloadResult::total_retries() const {
+  size_t n = 0;
+  for (const auto& m : measurements) n += m.retries;
+  return n;
+}
+
+Result<double> WorkloadRunner::RunQueryOn(const std::string& sql,
+                                          const std::string& server_id) {
+  Integrator& ii = scenario_->integrator();
+  PlanSelector* previous = ii.plan_selector();
+  ForcedServerSelector forced;
+  forced.set_default_server(server_id);
+  ii.SetPlanSelector(&forced);
+  auto outcome = ii.RunSync(sql);
+  ii.SetPlanSelector(previous);
+  if (!outcome.ok()) return outcome.status();
+  return outcome->response_seconds;
+}
+
+void WorkloadRunner::ExplorationPass(int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    for (QueryType type : AllQueryTypes()) {
+      const std::string sql = scenario_->MakeQuery(type);
+      for (const auto& server_id : scenario_->server_ids()) {
+        auto r = RunQueryOn(sql, server_id);
+        if (!r.ok()) {
+          FEDCAL_LOG_DEBUG << "exploration " << QueryTypeName(type) << " on "
+                           << server_id << ": " << r.status().ToString();
+        }
+      }
+    }
+  }
+}
+
+WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
+                                                int clients) {
+  // Uniformly mixed workload: instances_per_type of each type, shuffled.
+  struct Pending {
+    QueryType type;
+    std::string sql;
+  };
+  std::deque<Pending> queue;
+  for (QueryType type : AllQueryTypes()) {
+    for (int i = 0; i < instances_per_type; ++i) {
+      queue.push_back({type, scenario_->MakeQueryInstance(type, i)});
+    }
+  }
+  {
+    std::vector<Pending> shuffled(queue.begin(), queue.end());
+    rng_.Shuffle(&shuffled);
+    queue.assign(shuffled.begin(), shuffled.end());
+  }
+
+  WorkloadResult result;
+  Integrator& ii = scenario_->integrator();
+  Simulator& sim = scenario_->sim();
+
+  size_t in_flight = 0;
+  std::function<void()> pump = [&]() {
+    while (in_flight < static_cast<size_t>(clients) && !queue.empty()) {
+      Pending next = std::move(queue.front());
+      queue.pop_front();
+      auto compiled = ii.Compile(next.sql);
+      if (!compiled.ok()) {
+        result.measurements.push_back(
+            QueryMeasurement{next.type, "-", 0.0, /*failed=*/true});
+        continue;
+      }
+      ++in_flight;
+      ii.Execute(*compiled, [&, type = next.type](Result<QueryOutcome> r) {
+        --in_flight;
+        QueryMeasurement m;
+        m.type = type;
+        if (!r.ok()) {
+          m.failed = true;
+        } else {
+          m.response_seconds = r->response_seconds;
+          m.retries = r->retries;
+          std::vector<std::string> servers = r->executed_plan.server_set;
+          std::string joined;
+          for (size_t i = 0; i < servers.size(); ++i) {
+            if (i) joined += "+";
+            joined += servers[i];
+          }
+          m.servers = joined;
+        }
+        result.measurements.push_back(std::move(m));
+        pump();
+      });
+    }
+  };
+  pump();
+  while ((in_flight > 0 || !queue.empty()) && sim.Step()) {
+  }
+  return result;
+}
+
+}  // namespace fedcal

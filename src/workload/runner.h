@@ -1,0 +1,86 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace fedcal {
+
+/// \brief Routes queries to administratively fixed servers — the paper's
+/// baseline "typical federated information system in which how federated
+/// queries are distributed to remote servers is fixed and pre-determined
+/// at nickname definition registration".
+class ForcedServerSelector : public PlanSelector {
+ public:
+  /// Queries whose literal-normalized signature matches go to `server_id`.
+  void Assign(size_t signature, std::string server_id) {
+    assignments_[signature] = std::move(server_id);
+  }
+  /// Fallback server for unassigned queries (empty = cheapest plan).
+  void set_default_server(std::string server_id) {
+    default_server_ = std::move(server_id);
+  }
+
+  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+                    const std::vector<GlobalPlanOption>& options) override;
+
+ private:
+  std::map<size_t, std::string> assignments_;
+  std::string default_server_;
+};
+
+/// \brief One measured query execution.
+struct QueryMeasurement {
+  QueryType type = QueryType::kQT1;
+  std::string servers;  ///< "+"-joined server set the query ran on
+  double response_seconds = 0.0;
+  bool failed = false;
+  size_t retries = 0;  ///< failover re-executions the integrator needed
+};
+
+/// \brief All measurements from one workload run.
+struct WorkloadResult {
+  int phase = 0;
+  std::vector<QueryMeasurement> measurements;
+
+  double MeanResponse() const;
+  double MeanResponse(QueryType type) const;
+  /// The server most instances of `type` ran on ("-" when none).
+  std::string DominantServer(QueryType type) const;
+  size_t failures() const;
+  /// Total failover re-executions across all measured queries.
+  size_t total_retries() const;
+};
+
+/// \brief Drives workloads against a Scenario: closed-loop mixed
+/// workloads, §5.1-style exploration passes, and forced single-server
+/// probe runs.
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(Scenario* scenario)
+      : scenario_(scenario), rng_(scenario->config().seed ^ 0x9e37) {}
+
+  /// Runs one query forced to one server (closed loop, synchronous).
+  Result<double> RunQueryOn(const std::string& sql,
+                            const std::string& server_id);
+
+  /// Paper §5.1 step 3/4: re-forward one instance of every query type to
+  /// every server so the calibrator observes all of them under the
+  /// current load. No-op effects besides QCC observations.
+  void ExplorationPass(int rounds = 4);
+
+  /// Closed-loop mixed workload: `instances_per_type` instances of each
+  /// query type, shuffled uniformly, executed by `clients` concurrent
+  /// streams. Returns per-query measurements.
+  WorkloadResult RunMixedWorkload(int instances_per_type = 10,
+                                  int clients = 4);
+
+ private:
+  Scenario* scenario_;
+  Rng rng_;
+};
+
+}  // namespace fedcal

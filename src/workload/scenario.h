@@ -1,0 +1,102 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/global_catalog.h"
+#include "common/rng.h"
+#include "core/qcc.h"
+#include "federation/integrator.h"
+#include "metawrapper/meta_wrapper.h"
+#include "net/network.h"
+#include "server/remote_server.h"
+#include "sim/simulator.h"
+#include "wrapper/wrapper.h"
+
+namespace fedcal {
+
+/// \brief The four query-fragment types of §5.2.
+enum class QueryType { kQT1 = 1, kQT2 = 2, kQT3 = 3, kQT4 = 4 };
+
+const char* QueryTypeName(QueryType t);
+std::vector<QueryType> AllQueryTypes();
+
+/// \brief Knobs for the experiment testbed of §5.
+struct ScenarioConfig {
+  uint64_t seed = 42;
+  /// Large tables have ~this many rows (paper: on the order of 100000).
+  size_t large_rows = 100'000;
+  /// Small tables (paper: on the order of 1000).
+  size_t small_rows = 1'000;
+  /// Background utilization applied to a server during its "heavy update
+  /// load" phases.
+  double heavy_load = 0.6;
+  /// Replicate every table onto every server (the paper distributes
+  /// replicas so each server serves a diverse query mix; full replication
+  /// is the densest variant and exercises all routing choices).
+  bool full_replication = true;
+  /// Calibration window (short = recent-biased, suits phase changes).
+  size_t calibration_window = 4;
+};
+
+/// \brief The §5 information-integration testbed: one integrator, three
+/// remote servers (S3 the most powerful but update-load-sensitive on CPU),
+/// a sample-database-like schema with large (100k) and small (1k) tables
+/// replicated across the servers, and the QT1–QT4 workload generators.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config = {});
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return network_; }
+  GlobalCatalog& catalog() { return catalog_; }
+  MetaWrapper& meta_wrapper() { return *mw_; }
+  Integrator& integrator() { return *ii_; }
+  Rng& rng() { return rng_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  RemoteServer& server(const std::string& id) { return *servers_.at(id); }
+  std::vector<std::string> server_ids() const;
+
+  /// Creates (once) and returns the QCC wired to this scenario's MW; call
+  /// `qcc().AttachTo(&integrator())` to enable it.
+  QueryCostCalibrator& qcc(QccConfig config = {});
+  bool has_qcc() const { return qcc_ != nullptr; }
+
+  /// Applies a Table-1 load phase (1-based). Phase p loads S1 iff bit 2 of
+  /// (p-1) is set, S2 iff bit 1, S3 iff bit 0 — reproducing the paper's
+  /// eight combinations.
+  void ApplyPhase(int phase);
+  /// True when `server` carries heavy load in `phase`.
+  static bool LoadedInPhase(int phase, const std::string& server_id);
+
+  /// SQL text for one instance of a query type; the selection parameter is
+  /// drawn from the type's range using this scenario's RNG.
+  std::string MakeQuery(QueryType type);
+  /// Deterministic variant for a given instance number.
+  std::string MakeQueryInstance(QueryType type, int instance) const;
+
+  /// Literal-normalized signature of a query type (stable across
+  /// instances).
+  size_t QueryTypeSignature(QueryType type) const;
+
+ private:
+  void BuildServers();
+  void BuildData();
+  void BuildFederation();
+
+  ScenarioConfig config_;
+  Rng rng_;
+  Simulator sim_;
+  Network network_;
+  GlobalCatalog catalog_;
+  std::map<std::string, std::unique_ptr<RemoteServer>> servers_;
+  std::vector<std::unique_ptr<RelationalWrapper>> wrappers_;
+  std::unique_ptr<MetaWrapper> mw_;
+  std::unique_ptr<Integrator> ii_;
+  std::unique_ptr<QueryCostCalibrator> qcc_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "server/remote_server.h"
+#include "sim/simulator.h"
+#include "storage/datagen.h"
+
+namespace fedcal {
+
+/// \brief Tuning for a background update stream against one server.
+struct UpdateLoadConfig {
+  double period_s = 0.5;         ///< one insert batch per period
+  size_t rows_per_batch = 200;   ///< rows inserted per batch
+  /// Background utilization imposed on the server while the stream runs
+  /// (the contention side of a heavy update workload).
+  double background_load = 0.6;
+};
+
+/// \brief The §5.1 "heavy update load": a driver that really inserts rows
+/// into a remote server's table on a fixed cycle and occupies the machine.
+///
+/// Unlike a bare background_load knob, this drifts the table's contents
+/// away from its last-RUNSTATS statistics, so the wrapper's cost estimates
+/// degrade over time as well — the second error source QCC's calibration
+/// factor absorbs. Pair with StatsRefreshDaemon to model periodic catalog
+/// maintenance.
+class UpdateLoadDriver {
+ public:
+  /// `row_spec` describes how inserted rows are generated; its columns
+  /// must match the target table's schema.
+  UpdateLoadDriver(Simulator* sim, RemoteServer* server, std::string table,
+                   TableGenSpec row_spec, UpdateLoadConfig config, Rng rng);
+
+  /// Begins the stream: raises the server's background load and schedules
+  /// periodic batches.
+  void Start();
+  /// Stops inserting and releases the background load.
+  void Stop();
+  bool running() const { return task_ && task_->running(); }
+
+  size_t rows_inserted() const { return rows_inserted_; }
+  size_t batches() const { return task_ ? task_->firings() : 0; }
+
+ private:
+  void InsertBatch();
+
+  Simulator* sim_;
+  RemoteServer* server_;
+  std::string table_;
+  TableGenSpec row_spec_;
+  UpdateLoadConfig config_;
+  Rng rng_;
+  std::unique_ptr<PeriodicTask> task_;
+  size_t rows_inserted_ = 0;
+  double saved_load_ = 0.0;
+};
+
+}  // namespace fedcal

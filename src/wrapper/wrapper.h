@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/planner.h"
+#include "server/remote_server.h"
+#include "sql/parser.h"
+
+namespace fedcal {
+
+/// \brief One execution plan a wrapper offers for a query fragment, with
+/// the wrapper's cost estimate (the paper's "query fragments that can be
+/// executed at each remote server and their estimated costs").
+struct WrapperPlan {
+  std::string server_id;
+  std::string statement;  ///< fragment SQL as sent to the wrapper
+  PlanNodePtr plan;       ///< local physical plan at the remote server
+  Schema output_schema;
+  double estimated_work = 0.0;   ///< server work units
+  double estimated_rows = 0.0;
+  double estimated_bytes = 0.0;  ///< estimated result payload
+  /// Literal-normalized fingerprint: identical across parameterized
+  /// instances of the same fragment shape — QCC's per-fragment signature.
+  size_t signature = 0;
+  /// Exact structural fingerprint — distinguishes plans even across
+  /// replicas with different remote table names.
+  size_t identity = 0;
+  /// Table-name-agnostic, literal-normalized fingerprint — the §4.1
+  /// "identical plans" (exchangeable across replicas) test.
+  size_t shape = 0;
+};
+
+/// \brief Relational wrapper for one simulated remote server.
+///
+/// At compile time it parses/binds/plans fragments against the server's
+/// local catalog and returns alternative plans with estimated costs. At
+/// run time the meta-wrapper submits a chosen plan back through the
+/// wrapper for execution (see MetaWrapper).
+class RelationalWrapper {
+ public:
+  explicit RelationalWrapper(RemoteServer* server,
+                             PlannerOptions planner_options = {})
+      : server_(server),
+        planner_(&server->stats(), WorkCosts{}, planner_options) {}
+
+  const std::string& server_id() const { return server_->id(); }
+  RemoteServer* server() const { return server_; }
+
+  /// Returns up to `max_alternatives` plans for the fragment, cheapest
+  /// first. The fragment's FROM entries must name tables that exist on
+  /// this wrapper's server.
+  Result<std::vector<WrapperPlan>> PlanFragment(const SelectStmt& fragment,
+                                                size_t max_alternatives = 2);
+
+  /// Parses then plans (convenience for tests and probes).
+  Result<std::vector<WrapperPlan>> PlanFragmentSql(const std::string& sql,
+                                                   size_t max_alternatives = 2);
+
+ private:
+  RemoteServer* server_;
+  Planner planner_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,74 @@
+#include "catalog/global_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+Schema S1() { return Schema({{"x", DataType::kInt64}}); }
+
+TEST(GlobalCatalogTest, NicknameRegistration) {
+  GlobalCatalog cat;
+  ASSERT_OK(cat.RegisterNickname("orders", S1()));
+  EXPECT_TRUE(cat.HasNickname("orders"));
+  EXPECT_FALSE(cat.HasNickname("ghost"));
+  EXPECT_EQ(cat.RegisterNickname("orders", S1()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cat.nicknames().size(), 1u);
+}
+
+TEST(GlobalCatalogTest, LocationsAreReplicas) {
+  GlobalCatalog cat;
+  ASSERT_OK(cat.RegisterNickname("orders", S1()));
+  ASSERT_OK(cat.AddLocation("orders", "s1", "orders"));
+  ASSERT_OK(cat.AddLocation("orders", "s2", "orders_replica"));
+  ASSERT_OK_AND_ASSIGN(const NicknameEntry* e, cat.Lookup("orders"));
+  ASSERT_EQ(e->locations.size(), 2u);
+  EXPECT_EQ(e->locations[1].remote_table, "orders_replica");
+  // Duplicates rejected; unknown nickname rejected.
+  EXPECT_EQ(cat.AddLocation("orders", "s1", "orders").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cat.AddLocation("ghost", "s1", "t").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GlobalCatalogTest, StatsKeyedByNickname) {
+  GlobalCatalog cat;
+  TableStats ts;
+  ts.table_name = "whatever_remote_name";
+  ts.num_rows = 123;
+  cat.PutStats("orders", ts);
+  const TableStats* got = cat.GetStats("orders");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->num_rows, 123u);
+  EXPECT_EQ(got->table_name, "orders");  // rekeyed to the nickname
+  EXPECT_EQ(cat.GetStats("ghost"), nullptr);
+}
+
+TEST(GlobalCatalogTest, ServerProfiles) {
+  GlobalCatalog cat;
+  cat.SetServerProfile(ServerProfile{"s1", 100, 0.01, 1e6});
+  ASSERT_OK_AND_ASSIGN(const ServerProfile* p, cat.GetServerProfile("s1"));
+  EXPECT_DOUBLE_EQ(p->configured_speed, 100);
+  EXPECT_FALSE(cat.GetServerProfile("ghost").ok());
+  // Overwrite updates in place.
+  cat.SetServerProfile(ServerProfile{"s1", 999, 0.01, 1e6});
+  EXPECT_DOUBLE_EQ((*cat.GetServerProfile("s1"))->configured_speed, 999);
+  EXPECT_EQ(cat.server_ids().size(), 1u);
+}
+
+TEST(GlobalCatalogTest, CloneIsIndependent) {
+  GlobalCatalog cat;
+  ASSERT_OK(cat.RegisterNickname("orders", S1()));
+  GlobalCatalog copy = cat.Clone();
+  ASSERT_OK(copy.RegisterNickname("extra", S1()));
+  EXPECT_TRUE(copy.HasNickname("extra"));
+  EXPECT_FALSE(cat.HasNickname("extra"));
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal {
+namespace {
+
+TEST(LoggingTest, DefaultThresholdIsWarn) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+  logger.set_level(saved);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kError));
+  logger.set_level(saved);
+}
+
+TEST(LoggingTest, MacrosCompileAndRespectLevel) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kError);
+  // These must not crash and must be cheap no-ops below the threshold.
+  FEDCAL_LOG_DEBUG << "invisible " << 42;
+  FEDCAL_LOG_INFO << "invisible";
+  FEDCAL_LOG_WARN << "invisible";
+  logger.set_level(saved);
+}
+
+TEST(LoggingTest, SingletonIdentity) {
+  EXPECT_EQ(&Logger::Instance(), &Logger::Instance());
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,135 @@
+#include "common/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fedcal {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic textbook example
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_NEAR(s.coefficient_of_variation(), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  Rng rng(11);
+  RunningStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    values.push_back(x);
+    s.Add(x);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstantInput) {
+  Ewma e(0.3);
+  e.Add(0.0);
+  for (int i = 0; i < 100; ++i) e.Add(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-9);
+}
+
+TEST(EwmaTest, HigherAlphaTracksFaster) {
+  Ewma slow(0.1);
+  Ewma fast(0.9);
+  slow.Add(0.0);
+  fast.Add(0.0);
+  slow.Add(10.0);
+  fast.Add(10.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(SlidingWindowTest, MeanOverWindow) {
+  SlidingWindow w(3);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.Add(10.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.latest(), 10.0);
+}
+
+TEST(SlidingWindowTest, EvictionKeepsSumConsistent) {
+  SlidingWindow w(4);
+  for (int i = 0; i < 100; ++i) w.Add(i);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.sum(), 96 + 97 + 98 + 99);
+}
+
+TEST(SlidingWindowTest, VarianceOfConstantIsZero) {
+  SlidingWindow w(8);
+  for (int i = 0; i < 8; ++i) w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow w(2);
+  w.Add(1.0);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+/// Parameterized sweep: the recency property QCC relies on — after the
+/// regime shifts, a window of size W needs exactly W fresh samples before
+/// old history stops influencing the mean.
+class WindowRecencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowRecencyTest, FreshSamplesFlushOldRegime) {
+  const size_t window = GetParam();
+  SlidingWindow w(window);
+  for (size_t i = 0; i < window; ++i) w.Add(100.0);  // old regime
+  for (size_t i = 0; i < window; ++i) w.Add(1.0);    // new regime
+  EXPECT_DOUBLE_EQ(w.mean(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowRecencyTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 128));
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,108 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace fedcal {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_FALSE(Status::NotFound("x").IsUnavailable());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::Internal("boom").WithContext("while compiling");
+  EXPECT_EQ(st.message(), "while compiling: boom");
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // OK status is unchanged by context.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kNotImplemented); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).MoveValue();
+  EXPECT_EQ(s, "hello");
+}
+
+namespace helpers {
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+Result<int> Doubled(int x) {
+  FEDCAL_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+Status Validate(int x) {
+  FEDCAL_RETURN_NOT_OK(ParsePositive(x).status());
+  return Status::OK();
+}
+}  // namespace helpers
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_EQ(*helpers::Doubled(21), 42);
+  EXPECT_FALSE(helpers::Doubled(-1).ok());
+  EXPECT_EQ(helpers::Doubled(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(helpers::Validate(1).ok());
+  EXPECT_FALSE(helpers::Validate(0).ok());
+}
+
+TEST(ResultTest, ArrowOperatorOnStructs) {
+  struct P {
+    int x;
+  };
+  Result<P> r(P{7});
+  EXPECT_EQ(r->x, 7);
+}
+
+}  // namespace
+}  // namespace fedcal

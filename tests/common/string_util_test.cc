@@ -1,0 +1,133 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fedcal {
+namespace {
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_EQ(ToUpper("a1_b"), "A1_B");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+  EXPECT_TRUE(EndsWith("a.sql", ".sql"));
+  EXPECT_FALSE(EndsWith("a.sq", ".sql"));
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StringFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+  // Long output beyond any small stack buffer.
+  std::string long_out = StringFormat("%0512d", 7);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformDoubleRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(5);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const int64_t v = rng.Zipf(10, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Rank 1 must dominate rank 10 heavily for skew > 1.
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(5);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    ++counts[static_cast<size_t>(rng.Zipf(4, 0.0)) - 1];
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(counts[static_cast<size_t>(c)], 2'500, 350);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(9);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(9);
+  (void)b.UniformInt(0, 1 << 30);  // advance like the fork did
+  bool any_different = false;
+  for (int i = 0; i < 16; ++i) {
+    any_different |=
+        child.UniformInt(0, 1 << 30) != a.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,154 @@
+#include "core/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class AvailabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerConfig cfg;
+    cfg.id = "s1";
+    server_ = std::make_unique<RemoteServer>(cfg, &sim_, Rng(2));
+    Rng rng(3);
+    TableGenSpec spec;
+    spec.name = "t";
+    spec.num_rows = 100;
+    spec.columns = {{"k", DataType::kInt64}};
+    spec.generators = {ColumnGenSpec::Serial()};
+    ASSERT_OK(server_->AddTable(GenerateTable(spec, &rng).MoveValue()));
+    network_.AddLink("s1", LinkConfig{});
+    catalog_.SetServerProfile(ServerProfile{"s1", 200'000, 0.005, 12.5e6});
+    wrapper_ = std::make_unique<RelationalWrapper>(server_.get());
+    mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, &sim_);
+    mw_->RegisterWrapper(wrapper_.get());
+  }
+
+  AvailabilityMonitor MakeMonitor(AvailabilityConfig cfg = {}) {
+    return AvailabilityMonitor(&sim_, mw_.get(), &store_, cfg);
+  }
+
+  Simulator sim_;
+  Network network_;
+  GlobalCatalog catalog_;
+  CalibrationStore store_;
+  std::unique_ptr<RemoteServer> server_;
+  std::unique_ptr<RelationalWrapper> wrapper_;
+  std::unique_ptr<MetaWrapper> mw_;
+};
+
+TEST_F(AvailabilityTest, ProbesRunOnPeriod) {
+  AvailabilityConfig cfg;
+  cfg.probe_period_s = 2.0;
+  cfg.adapt_cycle = false;
+  auto monitor = MakeMonitor(cfg);
+  monitor.Watch("s1");
+  monitor.Start();
+  sim_.RunUntil(9.0);
+  EXPECT_EQ(monitor.ProbeCount("s1"), 5u);  // t = 0, 2, 4, 6, 8
+  monitor.Stop();
+  sim_.RunUntil(20.0);
+  EXPECT_EQ(monitor.ProbeCount("s1"), 5u);
+}
+
+TEST_F(AvailabilityTest, BootstrapCalibrationFromProbes) {
+  AvailabilityConfig cfg;
+  cfg.bootstrap_calibration = true;
+  auto monitor = MakeMonitor(cfg);
+  monitor.Watch("s1");
+  monitor.Start();
+  sim_.RunUntil(20.0);
+  EXPECT_GT(store_.ServerSamples("s1"), 0u);
+  // Idle correctly-profiled server: bootstrapped factor near 1.
+  EXPECT_NEAR(store_.ServerFactor("s1"), 1.0, 0.5);
+}
+
+TEST_F(AvailabilityTest, BootstrapDisabled) {
+  AvailabilityConfig cfg;
+  cfg.bootstrap_calibration = false;
+  auto monitor = MakeMonitor(cfg);
+  monitor.Watch("s1");
+  monitor.Start();
+  sim_.RunUntil(20.0);
+  EXPECT_EQ(store_.ServerSamples("s1"), 0u);
+}
+
+TEST_F(AvailabilityTest, DetectsOutageAndRecovery) {
+  auto monitor = MakeMonitor();
+  monitor.Watch("s1");
+  monitor.Start();
+  sim_.RunUntil(1.0);
+  EXPECT_FALSE(monitor.IsDown("s1"));
+  server_->SetAvailable(false);
+  sim_.RunUntil(12.0);
+  EXPECT_TRUE(monitor.IsDown("s1"));
+  server_->SetAvailable(true);
+  sim_.RunUntil(24.0);
+  EXPECT_FALSE(monitor.IsDown("s1"));
+}
+
+TEST_F(AvailabilityTest, RecoveryForgetsStaleCalibration) {
+  auto monitor = MakeMonitor();
+  monitor.Watch("s1");
+  store_.Record("s1", 1, 1.0, 40.0);  // stale outage-era ratio
+  monitor.MarkDown("s1");
+  monitor.MarkUp("s1");
+  EXPECT_EQ(store_.ServerSamples("s1"), 0u);
+}
+
+TEST_F(AvailabilityTest, MarkDownOnUnwatchedServerStartsWatching) {
+  auto monitor = MakeMonitor();
+  monitor.MarkDown("mystery");
+  EXPECT_TRUE(monitor.IsDown("mystery"));
+  EXPECT_EQ(monitor.watched().size(), 1u);
+}
+
+TEST_F(AvailabilityTest, WatchIsIdempotent) {
+  auto monitor = MakeMonitor();
+  monitor.Watch("s1");
+  monitor.Watch("s1");
+  EXPECT_EQ(monitor.watched().size(), 1u);
+}
+
+TEST_F(AvailabilityTest, AdaptiveCycleShortensUnderVolatility) {
+  AvailabilityConfig cfg;
+  cfg.probe_period_s = 5.0;
+  cfg.adapt_cycle = true;
+  CycleControllerConfig cycle;
+  cycle.base_period_s = 5.0;
+  cycle.min_period_s = 0.5;
+  cycle.max_period_s = 60.0;
+  AvailabilityMonitor monitor(&sim_, mw_.get(), &store_, cfg, cycle);
+  monitor.Watch("s1");
+  monitor.Start();
+  // Feed a violently volatile ratio history.
+  double obs[] = {0.1, 9.0, 0.2, 8.0, 0.1, 7.0};
+  for (double o : obs) store_.Record("s1", 1, 1.0, o);
+  sim_.RunUntil(11.0);  // at least two probes -> period adapted
+  EXPECT_LT(monitor.CurrentPeriod("s1"), 5.0);
+}
+
+TEST_F(AvailabilityTest, StablePeriodsLengthen) {
+  AvailabilityConfig cfg;
+  cfg.probe_period_s = 5.0;
+  cfg.adapt_cycle = true;
+  CycleControllerConfig cycle;
+  cycle.base_period_s = 5.0;
+  cycle.target_cv = 0.15;
+  cycle.max_period_s = 60.0;
+  AvailabilityMonitor monitor(&sim_, mw_.get(), &store_, cfg, cycle);
+  monitor.Watch("s1");
+  monitor.Start();
+  for (int i = 0; i < 8; ++i) store_.Record("s1", 1, 1.0, 1.001 + i * 1e-4);
+  sim_.RunUntil(11.0);
+  EXPECT_GT(monitor.CurrentPeriod("s1"), 5.0);
+}
+
+}  // namespace
+}  // namespace fedcal

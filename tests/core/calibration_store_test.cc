@@ -1,0 +1,147 @@
+#include "core/calibration_store.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal {
+namespace {
+
+TEST(CalibrationStoreTest, DefaultFactorIsOne) {
+  CalibrationStore store;
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s1"), 1.0);
+  EXPECT_DOUBLE_EQ(store.FragmentFactor("s1", 42), 1.0);
+  EXPECT_DOUBLE_EQ(store.Calibrate("s1", 42, 7.0), 7.0);
+}
+
+TEST(CalibrationStoreTest, PaperSection31WorkedExample) {
+  // §3.1: QF1_p1 estimated 5, observed 8 at S1 -> factor 8/5 = 1.6;
+  // QF2_p2 estimated 5, observed 7 at S2 -> factor 7/5 = 1.4. A new
+  // fragment QF3 at S2 estimated at 8 calibrates to 8 * 1.4 = 11.2.
+  CalibrationStore store;
+  store.Record("S1", /*signature=*/111, /*estimated=*/5.0, /*observed=*/8.0);
+  store.Record("S2", /*signature=*/222, /*estimated=*/5.0, /*observed=*/7.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("S1"), 1.6);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("S2"), 1.4);
+  // QF3 has no runtime record: the per-server factor applies.
+  EXPECT_DOUBLE_EQ(store.Calibrate("S2", /*signature=*/333, 8.0), 11.2);
+}
+
+TEST(CalibrationStoreTest, FactorIsRatioOfAverages) {
+  // The paper defines the factor as avg(observed)/avg(estimated), not
+  // avg(observed/estimated).
+  CalibrationStore store;
+  store.Record("s", 1, 1.0, 4.0);
+  store.Record("s", 1, 3.0, 4.0);
+  // avg obs = 4, avg est = 2 -> 2.0  (mean of ratios would be 2.67)
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 2.0);
+}
+
+TEST(CalibrationStoreTest, PerFragmentOverridesServerFactor) {
+  CalibrationStore store;
+  store.Record("s", 1, 1.0, 10.0);  // fragment 1 is 10x slower
+  store.Record("s", 2, 1.0, 1.0);   // fragment 2 is right on target
+  EXPECT_DOUBLE_EQ(store.FragmentFactor("s", 1), 10.0);
+  EXPECT_DOUBLE_EQ(store.FragmentFactor("s", 2), 1.0);
+  // Unseen fragment: server-wide mixture.
+  EXPECT_NEAR(store.FragmentFactor("s", 3), 5.5, 1e-9);
+}
+
+TEST(CalibrationStoreTest, PerFragmentDisabled) {
+  CalibrationConfig cfg;
+  cfg.per_fragment = false;
+  CalibrationStore store(cfg);
+  store.Record("s", 1, 1.0, 10.0);
+  store.Record("s", 2, 1.0, 1.0);
+  EXPECT_NEAR(store.FragmentFactor("s", 1), 5.5, 1e-9);
+  EXPECT_EQ(store.FragmentSamples("s", 1), 0u);
+}
+
+TEST(CalibrationStoreTest, WindowAgesOutOldRegime) {
+  CalibrationConfig cfg;
+  cfg.window = 4;
+  CalibrationStore store(cfg);
+  for (int i = 0; i < 4; ++i) store.Record("s", 1, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 10.0);
+  for (int i = 0; i < 4; ++i) store.Record("s", 1, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 1.0);
+}
+
+TEST(CalibrationStoreTest, FactorClamped) {
+  CalibrationConfig cfg;
+  cfg.min_factor = 0.1;
+  cfg.max_factor = 10.0;
+  CalibrationStore store(cfg);
+  store.Record("s", 1, 1.0, 1'000'000.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 10.0);
+  store.Forget("s");
+  store.Record("s", 1, 1'000'000.0, 0.001);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 0.1);
+}
+
+TEST(CalibrationStoreTest, InvalidSamplesIgnored) {
+  CalibrationStore store;
+  store.Record("s", 1, 0.0, 5.0);
+  store.Record("s", 1, -1.0, 5.0);
+  store.Record("s", 1, 5.0, -1.0);
+  EXPECT_EQ(store.ServerSamples("s"), 0u);
+}
+
+TEST(CalibrationStoreTest, MinSamplesGate) {
+  CalibrationConfig cfg;
+  cfg.min_samples = 3;
+  CalibrationStore store(cfg);
+  store.Record("s", 1, 1.0, 5.0);
+  store.Record("s", 1, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 1.0);  // not enough data yet
+  store.Record("s", 1, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(store.ServerFactor("s"), 5.0);
+}
+
+TEST(CalibrationStoreTest, ForgetDropsServerAndFragments) {
+  CalibrationStore store;
+  store.Record("a", 1, 1.0, 3.0);
+  store.Record("b", 1, 1.0, 3.0);
+  store.Forget("a");
+  EXPECT_EQ(store.ServerSamples("a"), 0u);
+  EXPECT_EQ(store.FragmentSamples("a", 1), 0u);
+  EXPECT_EQ(store.ServerSamples("b"), 1u);
+  store.Clear();
+  EXPECT_EQ(store.ServerSamples("b"), 0u);
+}
+
+TEST(CalibrationStoreTest, VolatilitySignal) {
+  CalibrationStore store;
+  for (int i = 0; i < 8; ++i) store.Record("steady", 1, 1.0, 2.0);
+  EXPECT_NEAR(store.RatioVolatility("steady"), 0.0, 1e-9);
+  double obs[] = {0.5, 4.0, 0.7, 5.0, 0.4, 6.0, 0.5, 4.5};
+  for (double o : obs) store.Record("noisy", 1, 1.0, o);
+  EXPECT_GT(store.RatioVolatility("noisy"), 0.5);
+  EXPECT_DOUBLE_EQ(store.RatioVolatility("unknown"), 0.0);
+}
+
+TEST(CalibrationStoreTest, ServerIds) {
+  CalibrationStore store;
+  store.Record("a", 1, 1.0, 1.0);
+  store.Record("b", 1, 1.0, 1.0);
+  EXPECT_EQ(store.server_ids().size(), 2u);
+}
+
+/// Property sweep: for any constant slowdown factor, the store learns it
+/// exactly regardless of the estimate magnitudes.
+class FactorRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FactorRecoveryTest, LearnsConstantSlowdown) {
+  const double slowdown = GetParam();
+  CalibrationStore store;
+  for (int i = 1; i <= 20; ++i) {
+    const double est = 0.1 * i;
+    store.Record("s", 7, est, est * slowdown);
+  }
+  EXPECT_NEAR(store.FragmentFactor("s", 7), slowdown, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, FactorRecoveryTest,
+                         ::testing::Values(0.5, 1.0, 1.4, 1.6, 2.0, 5.0,
+                                           20.0));
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,227 @@
+// Tests for the future-work extensions (paper §3.4 / §7): update-driven
+// statistics drift + catalog refresh, and the data-placement advisor.
+#include <gtest/gtest.h>
+
+#include "core/replica_advisor.h"
+#include "core/stats_refresh.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+#include "workload/update_driver.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'500;
+  cfg.small_rows = 150;
+  return cfg;
+}
+
+TableGenSpec SalesRowSpec() {
+  TableGenSpec spec;
+  spec.name = "sales_batch";
+  spec.columns = {{"salesid", DataType::kInt64},
+                  {"empno", DataType::kInt64},
+                  {"amount", DataType::kDouble},
+                  {"region", DataType::kString}};
+  spec.generators = {ColumnGenSpec::UniformInt(1'000'000, 2'000'000),
+                     ColumnGenSpec::UniformInt(0, 1'499),
+                     ColumnGenSpec::UniformDouble(0, 10'000),
+                     ColumnGenSpec::StringPool({"north", "south"})};
+  return spec;
+}
+
+TEST(UpdateDriverTest, InsertsRowsAndImposesLoad) {
+  Scenario sc(TinyConfig());
+  const size_t before =
+      sc.server("S1").GetTable("sales").MoveValue()->num_rows();
+  UpdateLoadConfig cfg;
+  cfg.period_s = 1.0;
+  cfg.rows_per_batch = 100;
+  UpdateLoadDriver driver(&sc.sim(), &sc.server("S1"), "sales",
+                          SalesRowSpec(), cfg, Rng(3));
+  driver.Start();
+  EXPECT_GT(sc.server("S1").background_load(), 0.0);
+  sc.sim().RunUntil(5.5);  // batches at t=0..5
+  driver.Stop();
+  EXPECT_DOUBLE_EQ(sc.server("S1").background_load(), 0.0);
+  EXPECT_EQ(driver.rows_inserted(), 600u);
+  EXPECT_EQ(sc.server("S1").GetTable("sales").MoveValue()->num_rows(),
+            before + 600);
+  // Stopped driver inserts nothing more.
+  sc.sim().RunUntil(10.0);
+  EXPECT_EQ(driver.rows_inserted(), 600u);
+}
+
+TEST(UpdateDriverTest, StatsGoStaleUntilRefresh) {
+  Scenario sc(TinyConfig());
+  RemoteServer& s1 = sc.server("S1");
+  const size_t stats_rows_before =
+      s1.stats().GetStats("sales")->num_rows;
+
+  UpdateLoadConfig cfg;
+  cfg.period_s = 0.5;
+  cfg.rows_per_batch = 500;
+  UpdateLoadDriver driver(&sc.sim(), &s1, "sales", SalesRowSpec(), cfg,
+                          Rng(4));
+  driver.Start();
+  sc.sim().RunUntil(3.0);
+  driver.Stop();
+
+  // The table grew but the server's statistics are still the old ones.
+  EXPECT_GT(s1.GetTable("sales").MoveValue()->num_rows(),
+            stats_rows_before + 2'000);
+  EXPECT_EQ(s1.stats().GetStats("sales")->num_rows, stats_rows_before);
+
+  // RUNSTATS brings them in line.
+  ASSERT_OK(s1.RefreshStats("sales"));
+  EXPECT_EQ(s1.stats().GetStats("sales")->num_rows,
+            s1.GetTable("sales").MoveValue()->num_rows());
+}
+
+TEST(StatsRefreshDaemonTest, PeriodicallyRefreshesServersAndCatalog) {
+  Scenario sc(TinyConfig());
+  UpdateLoadConfig ucfg;
+  ucfg.period_s = 0.5;
+  ucfg.rows_per_batch = 300;
+  UpdateLoadDriver driver(&sc.sim(), &sc.server("S2"), "sales",
+                          SalesRowSpec(), ucfg, Rng(5));
+  StatsRefreshDaemon daemon(&sc.sim(), &sc.catalog(), &sc.meta_wrapper(),
+                            /*period_s=*/4.0);
+  driver.Start();
+  daemon.Start();
+  sc.sim().RunUntil(9.0);
+  driver.Stop();
+  daemon.Stop();
+  EXPECT_GE(daemon.refreshes(), 2u);
+  // Server stats caught up to within one refresh period of inserts.
+  const size_t table_rows =
+      sc.server("S2").GetTable("sales").MoveValue()->num_rows();
+  const size_t stats_rows =
+      sc.server("S2").stats().GetStats("sales")->num_rows;
+  EXPECT_GT(stats_rows, 1'500u);      // refreshed at least once past base
+  EXPECT_LE(stats_rows, table_rows);  // never ahead of reality
+}
+
+TEST(StatsRefreshDaemonTest, ManualRefreshUpdatesNicknameStats) {
+  Scenario sc(TinyConfig());
+  // Drift all replicas of sales (updates land on every server).
+  for (const auto& sid : sc.server_ids()) {
+    auto batch = SalesRowSpec();
+    batch.num_rows = 400;
+    Rng rng(6);
+    auto rows = GenerateTable(batch, &rng).MoveValue();
+    ASSERT_OK(sc.server(sid).AppendRows("sales", rows->rows()));
+  }
+  const size_t before = sc.catalog().GetStats("sales")->num_rows;
+  StatsRefreshDaemon daemon(&sc.sim(), &sc.catalog(), &sc.meta_wrapper());
+  daemon.Refresh();
+  EXPECT_EQ(sc.catalog().GetStats("sales")->num_rows, before + 400);
+}
+
+class ReplicaAdvisorTest : public ::testing::Test {
+ protected:
+  // A skewed federation: "hot" lives only on s1; s2 sits idle.
+  void SetUp() override {
+    for (const std::string id : {"s1", "s2"}) {
+      ServerConfig cfg;
+      cfg.id = id;
+      servers_[id] = std::make_unique<RemoteServer>(cfg, &sim_, Rng(1));
+      network_.AddLink(id, LinkConfig{});
+      catalog_.SetServerProfile(ServerProfile{id, 200'000, 0.005, 12.5e6});
+    }
+    Rng rng(2);
+    TableGenSpec spec;
+    spec.name = "hot";
+    spec.num_rows = 3'000;
+    spec.columns = {{"k", DataType::kInt64}, {"v", DataType::kDouble}};
+    spec.generators = {ColumnGenSpec::UniformInt(0, 99),
+                       ColumnGenSpec::UniformDouble(0, 1)};
+    auto t = GenerateTable(spec, &rng).MoveValue();
+    ASSERT_OK(servers_["s1"]->AddTable(t));
+    ASSERT_OK(catalog_.RegisterNickname("hot", t->schema()));
+    ASSERT_OK(catalog_.AddLocation("hot", "s1", "hot"));
+    catalog_.PutStats("hot", TableStats::Compute(*t));
+
+    mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, &sim_);
+    for (auto& [id, s] : servers_) {
+      wrappers_.push_back(std::make_unique<RelationalWrapper>(s.get()));
+      mw_->RegisterWrapper(wrappers_.back().get());
+    }
+    ii_ = std::make_unique<Integrator>(&catalog_, mw_.get(), &sim_);
+  }
+
+  Simulator sim_;
+  Network network_;
+  GlobalCatalog catalog_;
+  std::map<std::string, std::unique_ptr<RemoteServer>> servers_;
+  std::vector<std::unique_ptr<RelationalWrapper>> wrappers_;
+  std::unique_ptr<MetaWrapper> mw_;
+  std::unique_ptr<Integrator> ii_;
+};
+
+TEST_F(ReplicaAdvisorTest, RecommendsHotNicknameOntoIdleServer) {
+  // Generate observed workload on the hot nickname.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(ii_->RunSync("SELECT k, COUNT(*) AS c FROM hot "
+                           "GROUP BY k")
+                  .status());
+  }
+  ReplicaAdvisor advisor(&catalog_, mw_.get());
+  auto recs = advisor.Analyze();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].nickname, "hot");
+  EXPECT_EQ(recs[0].source_server, "s1");
+  EXPECT_EQ(recs[0].target_server, "s2");
+  EXPECT_GT(recs[0].nickname_workload_seconds, 0.0);
+  EXPECT_FALSE(recs[0].rationale.empty());
+}
+
+TEST_F(ReplicaAdvisorTest, ApplyCreatesUsableReplica) {
+  ASSERT_OK(ii_->RunSync("SELECT k FROM hot WHERE v > 0.9").status());
+  ReplicaAdvisor advisor(&catalog_, mw_.get());
+  auto recs = advisor.Analyze();
+  ASSERT_FALSE(recs.empty());
+  ASSERT_OK(advisor.Apply(recs[0]));
+
+  // The new location exists physically and in the catalog ...
+  EXPECT_TRUE(servers_["s2"]->HasTable("hot"));
+  ASSERT_OK_AND_ASSIGN(const NicknameEntry* e, catalog_.Lookup("hot"));
+  EXPECT_EQ(e->locations.size(), 2u);
+
+  // ... and the optimizer can now route to it: force s1 down.
+  servers_["s1"]->SetAvailable(false);
+  auto outcome = ii_->RunSync("SELECT k FROM hot WHERE v > 0.9");
+  ASSERT_OK(outcome.status());
+  EXPECT_EQ(outcome->executed_plan.server_set.front(), "s2");
+}
+
+TEST_F(ReplicaAdvisorTest, NoRecommendationWhenFullyReplicated) {
+  ASSERT_OK(ii_->RunSync("SELECT k FROM hot").status());
+  ReplicaAdvisor advisor(&catalog_, mw_.get());
+  auto recs = advisor.Analyze();
+  ASSERT_FALSE(recs.empty());
+  ASSERT_OK(advisor.Apply(recs[0]));
+  // Replicated everywhere now: nothing left to recommend.
+  EXPECT_TRUE(advisor.Analyze().empty());
+}
+
+TEST_F(ReplicaAdvisorTest, WorkloadThresholdFilters) {
+  ASSERT_OK(ii_->RunSync("SELECT k FROM hot").status());
+  ReplicaAdvisorConfig cfg;
+  cfg.min_workload_seconds = 1e9;  // impossible bar
+  ReplicaAdvisor advisor(&catalog_, mw_.get(), cfg);
+  EXPECT_TRUE(advisor.Analyze().empty());
+}
+
+TEST_F(ReplicaAdvisorTest, NoObservationsNoRecommendations) {
+  ReplicaAdvisor advisor(&catalog_, mw_.get());
+  EXPECT_TRUE(advisor.Analyze().empty());
+}
+
+}  // namespace
+}  // namespace fedcal

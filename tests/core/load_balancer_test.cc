@@ -1,0 +1,167 @@
+#include "core/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+/// Builds a synthetic GlobalPlanOption for selector tests.
+GlobalPlanOption MakeOption(std::vector<std::string> servers, double cost,
+                            size_t shape = 1, size_t identity_salt = 0) {
+  GlobalPlanOption opt;
+  opt.total_calibrated_seconds = cost;
+  opt.total_raw_seconds = cost;
+  std::sort(servers.begin(), servers.end());
+  for (size_t i = 0; i < servers.size(); ++i) {
+    FragmentOption fc;
+    fc.wrapper_plan.server_id = servers[i];
+    fc.wrapper_plan.shape = shape;
+    fc.wrapper_plan.identity =
+        std::hash<std::string>{}(servers[i]) ^ (identity_salt + i);
+    fc.calibrated_seconds = cost / servers.size();
+    fc.raw_estimated_seconds = fc.calibrated_seconds;
+    opt.fragment_choices.push_back(std::move(fc));
+  }
+  opt.server_set = servers;
+  return opt;
+}
+
+const std::string kSql = "SELECT x FROM t WHERE v > 5";
+
+TEST(LoadBalancerTest, LevelNoneAlwaysPicksCheapest) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kNone;
+  LoadBalancer lb(&sim, cfg);
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.05)};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lb.SelectPlan(1, kSql, options), 0u);
+  }
+}
+
+TEST(LoadBalancerTest, GlobalRotatesWithinTolerance) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kGlobal;
+  cfg.cost_tolerance = 0.2;
+  LoadBalancer lb(&sim, cfg);
+  // a: 1.0, b: 1.1 (in), c: 1.5 (out).
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.1),
+                                        MakeOption({"c"}, 1.5)};
+  std::map<size_t, int> picks;
+  for (int i = 0; i < 6; ++i) ++picks[lb.SelectPlan(1, kSql, options)];
+  EXPECT_EQ(picks[0], 3);
+  EXPECT_EQ(picks[1], 3);
+  EXPECT_EQ(picks.count(2), 0u);
+}
+
+TEST(LoadBalancerTest, SameServerSetKeepsOnlyCheapest) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kGlobal;
+  cfg.cost_tolerance = 0.5;
+  LoadBalancer lb(&sim, cfg);
+  // Two plans on {a} (different join orders): only the cheaper rotates.
+  std::vector<GlobalPlanOption> options{
+      MakeOption({"a"}, 1.0, 1, 0), MakeOption({"a"}, 1.3, 2, 9),
+      MakeOption({"b"}, 1.2)};
+  std::set<size_t> picked;
+  for (int i = 0; i < 6; ++i) picked.insert(lb.SelectPlan(1, kSql, options));
+  EXPECT_TRUE(picked.count(0));
+  EXPECT_TRUE(picked.count(2));
+  EXPECT_FALSE(picked.count(1));  // dominated: same servers, higher cost
+}
+
+TEST(LoadBalancerTest, DifferentQueryTypesRotateIndependently) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kGlobal;
+  LoadBalancer lb(&sim, cfg);
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.05)};
+  const std::string other_sql = "SELECT y FROM u WHERE v > 5";
+  const size_t first_a = lb.SelectPlan(1, kSql, options);
+  const size_t first_b = lb.SelectPlan(2, other_sql, options);
+  // Both types start their own rotation at the same index.
+  EXPECT_EQ(first_a, first_b);
+}
+
+TEST(LoadBalancerTest, WorkloadThresholdGatesRotation) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kGlobal;
+  cfg.workload_threshold = 10.0;  // needs accumulated workload first
+  cfg.period_seconds = 1'000.0;
+  LoadBalancer lb(&sim, cfg);
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.05)};
+  // First 9 calls accumulate 1.0 workload each -> below threshold, always
+  // the cheapest.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(lb.SelectPlan(1, kSql, options), 0u) << i;
+  }
+  // Beyond the threshold rotation kicks in.
+  std::set<size_t> picked;
+  for (int i = 0; i < 4; ++i) picked.insert(lb.SelectPlan(1, kSql, options));
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(LoadBalancerTest, WorkloadPeriodResets) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kGlobal;
+  cfg.workload_threshold = 3.0;
+  cfg.period_seconds = 10.0;
+  LoadBalancer lb(&sim, cfg);
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.05)};
+  for (int i = 0; i < 5; ++i) lb.SelectPlan(1, kSql, options);
+  // Jump past the period: the accumulated workload decays away.
+  sim.RunUntil(20.0);
+  EXPECT_EQ(lb.SelectPlan(1, kSql, options), 0u);
+}
+
+TEST(LoadBalancerTest, FragmentLevelRequiresIdenticalShape) {
+  Simulator sim;
+  LoadBalanceConfig cfg;
+  cfg.level = LoadBalanceConfig::Level::kFragment;
+  cfg.cost_tolerance = 0.2;
+  LoadBalancer lb(&sim, cfg);
+  // Option 0: plan at a. Option 1: identical-shape plan at its replica.
+  // Option 2: same server set as 1 but a *different shape* -> excluded.
+  std::vector<GlobalPlanOption> options{
+      MakeOption({"a"}, 1.0, /*shape=*/7),
+      MakeOption({"a_r"}, 1.1, /*shape=*/7),
+      MakeOption({"b"}, 1.05, /*shape=*/8)};
+  std::set<size_t> picked;
+  for (int i = 0; i < 6; ++i) picked.insert(lb.SelectPlan(1, kSql, options));
+  EXPECT_TRUE(picked.count(0));
+  EXPECT_TRUE(picked.count(1));
+  EXPECT_FALSE(picked.count(2));
+}
+
+TEST(LoadBalancerTest, EmptyAndSingleOptionDegenerate) {
+  Simulator sim;
+  LoadBalancer lb(&sim);
+  std::vector<GlobalPlanOption> empty;
+  EXPECT_EQ(lb.SelectPlan(1, kSql, empty), 0u);
+  std::vector<GlobalPlanOption> one{MakeOption({"a"}, 1.0)};
+  EXPECT_EQ(lb.SelectPlan(1, kSql, one), 0u);
+}
+
+TEST(LoadBalancerTest, UnparseableSqlFallsBackToCheapest) {
+  Simulator sim;
+  LoadBalancer lb(&sim);
+  std::vector<GlobalPlanOption> options{MakeOption({"a"}, 1.0),
+                                        MakeOption({"b"}, 1.01)};
+  EXPECT_EQ(lb.SelectPlan(1, "not sql at all", options), 0u);
+}
+
+}  // namespace
+}  // namespace fedcal

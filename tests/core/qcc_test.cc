@@ -1,0 +1,192 @@
+// Integration tests of the Query Cost Calibrator against the full
+// simulated federation (small scale).
+#include "core/qcc.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 2'000;
+  cfg.small_rows = 200;
+  return cfg;
+}
+
+class QccScenarioTest : public ::testing::Test {
+ protected:
+  QccScenarioTest() : scenario_(TinyConfig()), runner_(&scenario_) {}
+
+  QueryCostCalibrator& Attach(QccConfig cfg = {}) {
+    auto& qcc = scenario_.qcc(cfg);
+    qcc.AttachTo(&scenario_.integrator());
+    return qcc;
+  }
+
+  Scenario scenario_;
+  WorkloadRunner runner_;
+};
+
+TEST_F(QccScenarioTest, FactorsNearOneWhenIdle) {
+  auto& qcc = Attach();
+  runner_.ExplorationPass(2);
+  for (const auto& sid : scenario_.server_ids()) {
+    EXPECT_GT(qcc.store().ServerSamples(sid), 0u);
+    EXPECT_NEAR(qcc.store().ServerFactor(sid), 1.0, 0.5) << sid;
+  }
+}
+
+TEST_F(QccScenarioTest, LoadRaisesFactorMonotonically) {
+  auto& qcc = Attach();
+  runner_.ExplorationPass(4);
+  const double idle_factor = qcc.store().ServerFactor("S3");
+  scenario_.server("S3").set_background_load(0.6);
+  runner_.ExplorationPass(4);
+  const double loaded_factor = qcc.store().ServerFactor("S3");
+  EXPECT_GT(loaded_factor, idle_factor * 1.5);
+  // Other servers' factors are unaffected by S3's load.
+  EXPECT_NEAR(qcc.store().ServerFactor("S1"), 1.0, 0.5);
+}
+
+TEST_F(QccScenarioTest, CalibrationChangesRouting) {
+  QccConfig cfg;
+  cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  Attach();
+  runner_.ExplorationPass(4);
+  // Idle: the powerful S3 wins the costly QT2.
+  auto before = scenario_.integrator().Compile(
+      scenario_.MakeQueryInstance(QueryType::kQT2, 0));
+  ASSERT_OK(before.status());
+  EXPECT_EQ(before->options[before->chosen_index].server_set.front(), "S3");
+
+  // Load S3 heavily and let QCC observe.
+  scenario_.server("S3").set_background_load(0.6);
+  runner_.ExplorationPass(4);
+  auto after = scenario_.integrator().Compile(
+      scenario_.MakeQueryInstance(QueryType::kQT2, 0));
+  ASSERT_OK(after.status());
+  EXPECT_NE(after->options[after->chosen_index].server_set.front(), "S3");
+}
+
+TEST_F(QccScenarioTest, DownServerPricedAtInfinity) {
+  auto& qcc = Attach();
+  qcc.availability().MarkDown("S2");
+  const double c = qcc.CalibrateFragmentCost("S2", 1, 0.5);
+  EXPECT_TRUE(std::isinf(c));
+  // Recovery restores finite costs.
+  qcc.availability().MarkUp("S2");
+  EXPECT_FALSE(std::isinf(qcc.CalibrateFragmentCost("S2", 1, 0.5)));
+}
+
+TEST_F(QccScenarioTest, UnavailableErrorMarksServerDown) {
+  auto& qcc = Attach();
+  EXPECT_FALSE(qcc.availability().IsDown("S1"));
+  qcc.RecordError("S1", Status::Unavailable("connection refused"));
+  EXPECT_TRUE(qcc.availability().IsDown("S1"));
+  // Non-availability errors do not mark servers down.
+  qcc.RecordError("S2", Status::ExecutionError("bad day"));
+  EXPECT_FALSE(qcc.availability().IsDown("S2"));
+}
+
+TEST_F(QccScenarioTest, ProbesRecoverDownServer) {
+  auto& qcc = Attach();
+  scenario_.server("S1").SetAvailable(false);
+  // A probe cycle discovers the outage...
+  scenario_.sim().RunUntil(scenario_.sim().Now() + 12.0);
+  EXPECT_TRUE(qcc.availability().IsDown("S1"));
+  // ... and recovery.
+  scenario_.server("S1").SetAvailable(true);
+  scenario_.sim().RunUntil(scenario_.sim().Now() + 12.0);
+  EXPECT_FALSE(qcc.availability().IsDown("S1"));
+  EXPECT_GE(qcc.availability().ProbeCount("S1"), 2u);
+}
+
+TEST_F(QccScenarioTest, QueriesAvoidDownServerEndToEnd) {
+  Attach();
+  scenario_.server("S3").SetAvailable(false);
+  scenario_.sim().RunUntil(scenario_.sim().Now() + 12.0);  // probes notice
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = scenario_.integrator().RunSync(
+        scenario_.MakeQueryInstance(QueryType::kQT1, i));
+    ASSERT_OK(outcome.status());
+    for (const auto& s : outcome->executed_plan.server_set) {
+      EXPECT_NE(s, "S3");
+    }
+    EXPECT_EQ(outcome->retries, 0u);  // avoided up-front, not by failover
+  }
+}
+
+TEST_F(QccScenarioTest, ReliabilityPenalizesFlakyServer) {
+  QccConfig cfg;
+  cfg.enable_reliability = true;
+  auto& qcc = Attach(cfg);
+  for (int i = 0; i < 20; ++i) {
+    qcc.RecordError("S3", Status::ExecutionError("flaky"));
+  }
+  const double flaky = qcc.CalibrateFragmentCost("S3", 1, 1.0);
+  const double clean = qcc.CalibrateFragmentCost("S1", 1, 1.0);
+  EXPECT_GT(flaky, clean * 2.0);
+}
+
+TEST_F(QccScenarioTest, DisabledCalibrationIsIdentity) {
+  QccConfig cfg;
+  cfg.enable_calibration = false;
+  auto& qcc = Attach(cfg);
+  qcc.store().Record("S1", 7, 1.0, 50.0);
+  EXPECT_DOUBLE_EQ(qcc.CalibrateFragmentCost("S1", 7, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(qcc.CalibrateIntegrationCost(3.0), 3.0);
+}
+
+TEST_F(QccScenarioTest, IntegrationFactorLearnsFromMergeObservations) {
+  auto& qcc = Attach();
+  for (int i = 0; i < 5; ++i) qcc.RecordIntegrationObservation(0.1, 0.3);
+  EXPECT_NEAR(qcc.CalibrateIntegrationCost(1.0), 3.0, 1e-9);
+}
+
+TEST_F(QccScenarioTest, DetachRestoresBaseline) {
+  auto& qcc = Attach();
+  qcc.store().Record("S1", 1, 1.0, 99.0);
+  qcc.Detach(&scenario_.integrator());
+  // The MW now runs the identity calibrator again.
+  auto compiled = scenario_.integrator().Compile(
+      scenario_.MakeQueryInstance(QueryType::kQT4, 0));
+  ASSERT_OK(compiled.status());
+  for (const auto& opt : compiled->options) {
+    for (const auto& fc : opt.fragment_choices) {
+      EXPECT_DOUBLE_EQ(fc.calibrated_seconds, fc.raw_estimated_seconds);
+    }
+  }
+}
+
+TEST_F(QccScenarioTest, WhatIfEnumeratesAllServerChoices) {
+  auto& qcc = Attach();
+  auto e = qcc.whatif().EnumerateAlternatives(
+      scenario_.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(e.status());
+  // Whole-query pushdown over 3 replicas: 3 explain runs, 3 plans.
+  EXPECT_EQ(e->explain_runs, 3u);
+  EXPECT_EQ(e->plans.size(), 3u);
+}
+
+TEST_F(QccScenarioTest, WhatIfExcludesHighFactorServers) {
+  auto& qcc = Attach();
+  for (int i = 0; i < 4; ++i) qcc.store().Record("S1", 1, 1.0, 50.0);
+  auto e = qcc.whatif().EnumerateAlternatives(
+      scenario_.MakeQueryInstance(QueryType::kQT1, 0), 2, &qcc.store(),
+      /*max_server_factor=*/10.0);
+  ASSERT_OK(e.status());
+  EXPECT_EQ(e->explain_runs, 2u);  // S1 excluded up-front
+  for (const auto& p : e->plans) {
+    for (const auto& s : p.server_set) EXPECT_NE(s, "S1");
+  }
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,109 @@
+#include "core/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cycle_controller.h"
+#include "core/ii_calibration.h"
+
+namespace fedcal {
+namespace {
+
+TEST(ReliabilityTest, UnknownServerIsPerfectlyReliable) {
+  ReliabilityTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.SuccessRate("s"), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.CostMultiplier("s"), 1.0);
+}
+
+TEST(ReliabilityTest, ErrorsLowerSuccessRate) {
+  ReliabilityTracker tracker;
+  for (int i = 0; i < 8; ++i) tracker.RecordSuccess("s");
+  const double before = tracker.SuccessRate("s");
+  for (int i = 0; i < 8; ++i) tracker.RecordError("s");
+  EXPECT_LT(tracker.SuccessRate("s"), before);
+  EXPECT_GT(tracker.CostMultiplier("s"), 1.5);
+}
+
+TEST(ReliabilityTest, MultiplierCapped) {
+  ReliabilityConfig cfg;
+  cfg.max_multiplier = 10.0;
+  ReliabilityTracker tracker(cfg);
+  for (int i = 0; i < 100; ++i) tracker.RecordError("s");
+  EXPECT_LE(tracker.CostMultiplier("s"), 10.0);
+}
+
+TEST(ReliabilityTest, SmoothingPreventsEarlyOverreaction) {
+  ReliabilityTracker tracker;
+  tracker.RecordError("s");  // a single error out of one outcome
+  // Smoothed: (0 + 1) / (1 + 1) = 0.5, not 0.
+  EXPECT_NEAR(tracker.SuccessRate("s"), 0.5, 1e-9);
+}
+
+TEST(ReliabilityTest, WindowForgetsOldOutcomes) {
+  ReliabilityConfig cfg;
+  cfg.window = 8;
+  ReliabilityTracker tracker(cfg);
+  for (int i = 0; i < 8; ++i) tracker.RecordError("s");
+  for (int i = 0; i < 8; ++i) tracker.RecordSuccess("s");
+  EXPECT_GT(tracker.SuccessRate("s"), 0.85);
+}
+
+TEST(ReliabilityTest, ForgetResets) {
+  ReliabilityTracker tracker;
+  tracker.RecordError("s");
+  tracker.Forget("s");
+  EXPECT_EQ(tracker.Outcomes("s"), 0u);
+  EXPECT_DOUBLE_EQ(tracker.SuccessRate("s"), 1.0);
+}
+
+TEST(IiCalibrationTest, LearnsWorkloadFactor) {
+  IiCalibration ii;
+  EXPECT_DOUBLE_EQ(ii.Factor(), 1.0);
+  // The integrator is twice as slow as its cost model believes (§3.2).
+  for (int i = 0; i < 10; ++i) ii.Record(0.1, 0.2);
+  EXPECT_NEAR(ii.Factor(), 2.0, 1e-9);
+  EXPECT_NEAR(ii.Calibrate(0.5), 1.0, 1e-9);
+  ii.Clear();
+  EXPECT_DOUBLE_EQ(ii.Factor(), 1.0);
+}
+
+TEST(IiCalibrationTest, IgnoresInvalidSamples) {
+  IiCalibration ii;
+  ii.Record(0.0, 1.0);
+  ii.Record(-1.0, 1.0);
+  EXPECT_EQ(ii.samples(), 0u);
+}
+
+TEST(CycleControllerTest, VolatileSourcesProbedFaster) {
+  CalibrationCycleController ctl;
+  const double stable = ctl.RecommendPeriod(0.01);
+  const double volatile_period = ctl.RecommendPeriod(1.0);
+  EXPECT_GT(stable, volatile_period);
+}
+
+TEST(CycleControllerTest, NoSignalMeansBasePeriod) {
+  CycleControllerConfig cfg;
+  cfg.base_period_s = 5.0;
+  CalibrationCycleController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.RecommendPeriod(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(ctl.RecommendPeriod(-1.0), 5.0);
+}
+
+TEST(CycleControllerTest, PeriodsClamped) {
+  CycleControllerConfig cfg;
+  cfg.min_period_s = 1.0;
+  cfg.max_period_s = 30.0;
+  CalibrationCycleController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.RecommendPeriod(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(ctl.RecommendPeriod(1e-6), 30.0);
+}
+
+TEST(CycleControllerTest, TargetCvYieldsBasePeriod) {
+  CycleControllerConfig cfg;
+  cfg.base_period_s = 7.0;
+  cfg.target_cv = 0.2;
+  CalibrationCycleController ctl(cfg);
+  EXPECT_NEAR(ctl.RecommendPeriod(0.2), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedcal

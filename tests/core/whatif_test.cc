@@ -1,0 +1,118 @@
+// Focused tests for the what-if simulated federated system (§2 / §4.2).
+#include "core/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+/// Two-source federation with replicas: frag1 candidates {s1, r1},
+/// frag2 candidates {s2}.
+class WhatIfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const std::string id : {"s1", "r1", "s2"}) {
+      ServerConfig cfg;
+      cfg.id = id;
+      servers_[id] = std::make_unique<RemoteServer>(cfg, &sim_, Rng(1));
+      network_.AddLink(id, LinkConfig{});
+      catalog_.SetServerProfile(ServerProfile{id, 200'000, 0.005, 12.5e6});
+    }
+    Rng rng(2);
+    TableGenSpec orders;
+    orders.name = "orders";
+    orders.num_rows = 2'000;
+    orders.columns = {{"okey", DataType::kInt64},
+                      {"ckey", DataType::kInt64}};
+    orders.generators = {ColumnGenSpec::Serial(),
+                         ColumnGenSpec::UniformInt(0, 199)};
+    TableGenSpec customer;
+    customer.name = "customer";
+    customer.num_rows = 200;
+    customer.columns = {{"ckey", DataType::kInt64},
+                        {"seg", DataType::kString}};
+    customer.generators = {ColumnGenSpec::Serial(),
+                           ColumnGenSpec::StringPool({"a", "b"})};
+
+    auto ot = GenerateTable(orders, &rng).MoveValue();
+    auto ct = GenerateTable(customer, &rng).MoveValue();
+    ASSERT_OK(servers_["s1"]->AddTable(ot));
+    ASSERT_OK(servers_["r1"]->AddTable(ot->CloneAs("orders")));
+    ASSERT_OK(servers_["s2"]->AddTable(ct));
+    ASSERT_OK(catalog_.RegisterNickname("orders", ot->schema()));
+    ASSERT_OK(catalog_.AddLocation("orders", "s1", "orders"));
+    ASSERT_OK(catalog_.AddLocation("orders", "r1", "orders"));
+    catalog_.PutStats("orders", TableStats::Compute(*ot));
+    ASSERT_OK(catalog_.RegisterNickname("customer", ct->schema()));
+    ASSERT_OK(catalog_.AddLocation("customer", "s2", "customer"));
+    catalog_.PutStats("customer", TableStats::Compute(*ct));
+
+    mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, &sim_);
+    for (auto& [id, s] : servers_) {
+      wrappers_.push_back(std::make_unique<RelationalWrapper>(s.get()));
+      mw_->RegisterWrapper(wrappers_.back().get());
+    }
+  }
+
+  const std::string query_ =
+      "SELECT c.seg, COUNT(*) AS n FROM orders o JOIN customer c "
+      "ON o.ckey = c.ckey GROUP BY c.seg";
+
+  Simulator sim_;
+  Network network_;
+  GlobalCatalog catalog_;
+  std::map<std::string, std::unique_ptr<RemoteServer>> servers_;
+  std::vector<std::unique_ptr<RelationalWrapper>> wrappers_;
+  std::unique_ptr<MetaWrapper> mw_;
+};
+
+TEST_F(WhatIfTest, ExplainRunsEqualSubsetProduct) {
+  WhatIfSimulator whatif(&catalog_, mw_.get());
+  ASSERT_OK_AND_ASSIGN(auto e, whatif.EnumerateAlternatives(query_));
+  // |{s1, r1}| x |{s2}| = 2 explain runs.
+  EXPECT_EQ(e.explain_runs, 2u);
+  EXPECT_EQ(e.plans.size(), 2u);
+}
+
+TEST_F(WhatIfTest, PlansSortedAndOnDistinctServerSets) {
+  WhatIfSimulator whatif(&catalog_, mw_.get());
+  ASSERT_OK_AND_ASSIGN(auto e, whatif.EnumerateAlternatives(query_));
+  std::set<std::vector<std::string>> sets;
+  for (size_t i = 0; i < e.plans.size(); ++i) {
+    EXPECT_TRUE(sets.insert(e.plans[i].server_set).second);
+    if (i > 0) {
+      EXPECT_LE(e.plans[i - 1].total_calibrated_seconds,
+                e.plans[i].total_calibrated_seconds);
+    }
+  }
+}
+
+TEST_F(WhatIfTest, ExclusionFallsBackWhenEverythingExcluded) {
+  CalibrationStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.Record("s1", 1, 1.0, 99.0);
+    store.Record("r1", 1, 1.0, 99.0);
+  }
+  WhatIfSimulator whatif(&catalog_, mw_.get());
+  // Both fragment-1 candidates exceed the threshold: the advisor must
+  // fall back to the full candidate set rather than failing.
+  ASSERT_OK_AND_ASSIGN(
+      auto e, whatif.EnumerateAlternatives(query_, 2, &store, 10.0));
+  EXPECT_EQ(e.explain_runs, 2u);
+  EXPECT_FALSE(e.plans.empty());
+}
+
+TEST_F(WhatIfTest, InvalidSqlFails) {
+  WhatIfSimulator whatif(&catalog_, mw_.get());
+  EXPECT_FALSE(whatif.EnumerateAlternatives("garbage").ok());
+  EXPECT_FALSE(
+      whatif.EnumerateAlternatives("SELECT x FROM ghost").ok());
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,170 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4);
+    TableGenSpec spec;
+    spec.name = "t";
+    spec.num_rows = 5'000;
+    spec.columns = {{"id", DataType::kInt64},
+                    {"k", DataType::kInt64},
+                    {"v", DataType::kDouble}};
+    spec.generators = {ColumnGenSpec::Serial(),
+                       ColumnGenSpec::UniformInt(0, 49),
+                       ColumnGenSpec::UniformDouble(0, 1000)};
+    table_ = GenerateTable(spec, &rng).MoveValue();
+    stats_.Put(TableStats::Compute(*table_));
+  }
+
+  PlanNodePtr Scan() { return PlanNode::Scan("t", table_->schema()); }
+
+  TablePtr table_;
+  StatsCatalog stats_;
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, ScanCardinalityFromStats) {
+  auto plan = Scan();
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_DOUBLE_EQ(plan->estimated_rows, 5'000.0);
+  EXPECT_GT(plan->estimated_work, 0.0);
+}
+
+TEST_F(CostModelTest, UnknownTableUsesDefaults) {
+  auto plan = PlanNode::Scan("mystery", table_->schema());
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_DOUBLE_EQ(plan->estimated_rows, CostModel::kDefaultTableRows);
+}
+
+TEST_F(CostModelTest, FilterSelectivityFromHistogram) {
+  auto pred = BoundExpr::Binary(
+      BinaryOp::kGt, BoundExpr::Column(2, "v", DataType::kDouble),
+      BoundExpr::Literal(Value(750.0)));
+  auto plan = PlanNode::Filter(Scan(), pred);
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_NEAR(plan->estimated_rows, 1'250.0, 200.0);
+}
+
+TEST_F(CostModelTest, EstimatedWorkTracksActualWorkOnGoodStats) {
+  // With exact statistics, the estimated work and the executor's actual
+  // charged work must agree closely (this is the invariant that makes
+  // QCC's calibration factor ~1.0 on an idle, well-profiled server).
+  auto pred = BoundExpr::Binary(
+      BinaryOp::kLt, BoundExpr::Column(2, "v", DataType::kDouble),
+      BoundExpr::Literal(Value(400.0)));
+  auto plan = PlanNode::Filter(Scan(), pred);
+  ASSERT_OK(model_.Annotate(plan, stats_));
+
+  Executor exec([this](const std::string&) -> Result<TablePtr> {
+    return table_;
+  });
+  ExecStats actual;
+  ASSERT_OK(exec.Execute(plan, &actual).status());
+  EXPECT_NEAR(plan->estimated_work / actual.work_units, 1.0, 0.05);
+}
+
+TEST_F(CostModelTest, JoinCardinalityUsesDistinctCounts) {
+  // Self-join on k (50 distinct values): |t|*|t| / 50 = 500k expected.
+  auto join = PlanNode::HashJoin(Scan(), Scan(), {1}, {1}, nullptr);
+  ASSERT_OK(model_.Annotate(join, stats_));
+  EXPECT_NEAR(join->estimated_rows, 5'000.0 * 5'000.0 / 50.0,
+              5'000.0 * 5'000.0 / 50.0 * 0.1);
+}
+
+TEST_F(CostModelTest, AggregateGroupEstimate) {
+  Schema out({{"k", DataType::kInt64}, {"c", DataType::kInt64}});
+  AggItem count;
+  count.func = AggFunc::kCount;
+  count.count_star = true;
+  count.name = "c";
+  auto plan = PlanNode::Aggregate(
+      Scan(), {BoundExpr::Column(1, "k", DataType::kInt64)}, {count}, out);
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_NEAR(plan->estimated_rows, 50.0, 1.0);
+}
+
+TEST_F(CostModelTest, GlobalAggregateIsOneRow) {
+  Schema out({{"c", DataType::kInt64}});
+  AggItem count;
+  count.func = AggFunc::kCount;
+  count.count_star = true;
+  count.name = "c";
+  auto plan = PlanNode::Aggregate(Scan(), {}, {count}, out);
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_DOUBLE_EQ(plan->estimated_rows, 1.0);
+}
+
+TEST_F(CostModelTest, LimitCapsCardinality) {
+  auto plan = PlanNode::Limit(Scan(), 10);
+  ASSERT_OK(model_.Annotate(plan, stats_));
+  EXPECT_DOUBLE_EQ(plan->estimated_rows, 10.0);
+}
+
+TEST_F(CostModelTest, CumulativeWorkGrowsUpTheTree) {
+  auto scan = Scan();
+  auto filter = PlanNode::Filter(
+      scan, BoundExpr::Binary(
+                BinaryOp::kGt, BoundExpr::Column(2, "v", DataType::kDouble),
+                BoundExpr::Literal(Value(10.0))));
+  auto sort = PlanNode::Sort(
+      filter, {{BoundExpr::Column(0, "id", DataType::kInt64), false}});
+  ASSERT_OK(model_.Annotate(sort, stats_));
+  EXPECT_GT(sort->estimated_work, filter->estimated_work);
+  EXPECT_GT(filter->estimated_work, scan->estimated_work);
+}
+
+TEST_F(CostModelTest, SelectivityOfConjunction) {
+  std::vector<const ColumnStats*> origins(3, nullptr);
+  const TableStats* ts = stats_.GetStats("t");
+  for (size_t i = 0; i < 3; ++i) origins[i] = &ts->columns[i];
+
+  auto half = BoundExpr::Binary(
+      BinaryOp::kLt, BoundExpr::Column(2, "v", DataType::kDouble),
+      BoundExpr::Literal(Value(500.0)));
+  auto conj = BoundExpr::Binary(BinaryOp::kAnd, half, half);
+  EXPECT_NEAR(model_.EstimateSelectivity(half, origins), 0.5, 0.05);
+  EXPECT_NEAR(model_.EstimateSelectivity(conj, origins), 0.25, 0.05);
+  auto disj = BoundExpr::Binary(BinaryOp::kOr, half, half);
+  EXPECT_NEAR(model_.EstimateSelectivity(disj, origins), 0.75, 0.05);
+  auto neg = BoundExpr::Unary(UnaryOp::kNot, half);
+  EXPECT_NEAR(model_.EstimateSelectivity(neg, origins), 0.5, 0.05);
+}
+
+TEST_F(CostModelTest, ColumnVsColumnEquality) {
+  std::vector<const ColumnStats*> origins(3, nullptr);
+  const TableStats* ts = stats_.GetStats("t");
+  for (size_t i = 0; i < 3; ++i) origins[i] = &ts->columns[i];
+  // id = k: distinct(id)=5000 dominates -> 1/5000.
+  auto eq = BoundExpr::Binary(
+      BinaryOp::kEq, BoundExpr::Column(0, "id", DataType::kInt64),
+      BoundExpr::Column(1, "k", DataType::kInt64));
+  EXPECT_NEAR(model_.EstimateSelectivity(eq, origins), 1.0 / 5000.0, 1e-4);
+}
+
+TEST_F(CostModelTest, ConstantPredicates) {
+  std::vector<const ColumnStats*> origins;
+  EXPECT_DOUBLE_EQ(
+      model_.EstimateSelectivity(BoundExpr::Literal(Value(int64_t{1})),
+                                 origins),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      model_.EstimateSelectivity(BoundExpr::Literal(Value(int64_t{0})),
+                                 origins),
+      0.0);
+  EXPECT_DOUBLE_EQ(model_.EstimateSelectivity(nullptr, origins), 1.0);
+}
+
+}  // namespace
+}  // namespace fedcal

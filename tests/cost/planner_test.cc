@@ -1,0 +1,192 @@
+#include "cost/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(6);
+    big_ = Gen("big", 4'000, 100, &rng);
+    small_ = Gen("small", 100, 100, &rng);
+    mid_ = Gen("mid", 800, 100, &rng);
+    for (const auto& t : {big_, small_, mid_}) {
+      stats_.Put(TableStats::Compute(*t));
+    }
+  }
+
+  static TablePtr Gen(const std::string& name, size_t rows, int64_t key_max,
+                      Rng* rng) {
+    TableGenSpec spec;
+    spec.name = name;
+    spec.num_rows = rows;
+    spec.columns = {{"k", DataType::kInt64}, {"v", DataType::kDouble}};
+    spec.generators = {ColumnGenSpec::UniformInt(0, key_max),
+                       ColumnGenSpec::UniformDouble(0, 100)};
+    return GenerateTable(spec, rng).MoveValue();
+  }
+
+  Result<BoundQuery> Bind(const std::string& sql) {
+    FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+    std::vector<Schema> schemas;
+    for (const auto& tr : stmt.from) {
+      FEDCAL_ASSIGN_OR_RETURN(TablePtr t, Resolve(tr.table));
+      schemas.push_back(t->schema());
+    }
+    return BindQuery(stmt, schemas);
+  }
+
+  Result<TablePtr> Resolve(const std::string& n) {
+    if (n == "big") return big_;
+    if (n == "small") return small_;
+    if (n == "mid") return mid_;
+    return Status::NotFound(n);
+  }
+
+  TablePtr big_, small_, mid_;
+  StatsCatalog stats_;
+};
+
+/// Finds a node of the given kind in the tree (preorder).
+const PlanNode* FindNode(const PlanNodePtr& plan, PlanKind kind) {
+  if (!plan) return nullptr;
+  if (plan->kind == kind) return plan.get();
+  if (auto* l = FindNode(plan->left, kind)) return l;
+  return FindNode(plan->right, kind);
+}
+
+TEST_F(PlannerTest, SingleTablePlanShape) {
+  ASSERT_OK_AND_ASSIGN(BoundQuery bq,
+                       Bind("SELECT k FROM big WHERE v > 50"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  // Project on top, Filter pushed onto the Scan.
+  EXPECT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_NE(FindNode(plan, PlanKind::kFilter), nullptr);
+  EXPECT_NE(FindNode(plan, PlanKind::kScan), nullptr);
+  EXPECT_GT(plan->estimated_work, 0.0);
+}
+
+TEST_F(PlannerTest, EquiJoinBecomesHashJoin) {
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT big.v FROM big, small WHERE big.k = small.k"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  EXPECT_NE(FindNode(plan, PlanKind::kHashJoin), nullptr);
+  EXPECT_EQ(FindNode(plan, PlanKind::kNestedLoopJoin), nullptr);
+}
+
+TEST_F(PlannerTest, NonEquiJoinFallsBackToNlj) {
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT big.v FROM big, small WHERE big.k < small.k"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  EXPECT_NE(FindNode(plan, PlanKind::kNestedLoopJoin), nullptr);
+}
+
+TEST_F(PlannerTest, AllJoinOrdersProduceSameResult) {
+  // Correctness must not depend on the chosen join order: execute every
+  // alternative and compare.
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT big.v, mid.v FROM big, small, mid "
+           "WHERE big.k = small.k AND small.k = mid.k AND big.v < 30"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(std::vector<PlanNodePtr> plans,
+                       planner.PlanAlternatives(bq, 8));
+  ASSERT_GE(plans.size(), 2u);
+
+  Executor exec([this](const std::string& n) { return Resolve(n); });
+  std::vector<Row> reference;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plans[i], nullptr));
+    auto rows = SortedRows(*result);
+    if (i == 0) {
+      reference = rows;
+    } else {
+      EXPECT_EQ(rows, reference) << "join order " << i << " diverged";
+    }
+  }
+}
+
+TEST_F(PlannerTest, AlternativesSortedByCostAndDistinct) {
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT big.v FROM big, small WHERE big.k = small.k"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(std::vector<PlanNodePtr> plans,
+                       planner.PlanAlternatives(bq, 8));
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1]->estimated_work, plans[i]->estimated_work);
+    EXPECT_NE(plans[i - 1]->Fingerprint(false),
+              plans[i]->Fingerprint(false));
+  }
+}
+
+TEST_F(PlannerTest, CheapestPlanBuildsOnSmallTable) {
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT big.v FROM big, small WHERE big.k = small.k"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(std::vector<PlanNodePtr> plans,
+                       planner.PlanAlternatives(bq, 8));
+  ASSERT_GE(plans.size(), 2u);
+  // The chosen (first) plan must be the one whose hash build side is the
+  // small table (left child subtree scans "small").
+  const PlanNode* join = FindNode(plans[0], PlanKind::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  const PlanNode* build_scan = FindNode(join->left, PlanKind::kScan);
+  ASSERT_NE(build_scan, nullptr);
+  EXPECT_EQ(build_scan->table_name, "small");
+}
+
+TEST_F(PlannerTest, AggregationOrderingLimitComposed) {
+  ASSERT_OK_AND_ASSIGN(
+      BoundQuery bq,
+      Bind("SELECT k, COUNT(*) AS c FROM big GROUP BY k "
+           "HAVING COUNT(*) > 5 ORDER BY c DESC LIMIT 3"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  EXPECT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->left->kind, PlanKind::kSort);
+  EXPECT_NE(FindNode(plan, PlanKind::kAggregate), nullptr);
+
+  Executor exec([this](const std::string& n) { return Resolve(n); });
+  ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plan, nullptr));
+  EXPECT_LE(result->num_rows(), 3u);
+  for (const Row& row : result->rows()) EXPECT_GT(row[1].AsInt64(), 5);
+}
+
+TEST_F(PlannerTest, CrossJoinWithoutPredicates) {
+  ASSERT_OK_AND_ASSIGN(BoundQuery bq,
+                       Bind("SELECT big.v FROM big, small"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  const PlanNode* nlj = FindNode(plan, PlanKind::kNestedLoopJoin);
+  ASSERT_NE(nlj, nullptr);
+  EXPECT_EQ(nlj->predicate, nullptr);
+}
+
+TEST_F(PlannerTest, ConstantPredicateAppliedOnTop) {
+  ASSERT_OK_AND_ASSIGN(BoundQuery bq,
+                       Bind("SELECT k FROM small WHERE 1 = 0"));
+  Planner planner(&stats_);
+  ASSERT_OK_AND_ASSIGN(PlanNodePtr plan, planner.Plan(bq));
+  Executor exec([this](const std::string& n) { return Resolve(n); });
+  ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plan, nullptr));
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace fedcal

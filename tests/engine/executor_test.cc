@@ -1,0 +1,197 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class ExecutorEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable(MakeTable(
+        "emp",
+        {{"id", DataType::kInt64},
+         {"dept", DataType::kInt64},
+         {"salary", DataType::kDouble},
+         {"name", DataType::kString}},
+        {{I(1), I(10), D(100.0), S("alice")},
+         {I(2), I(10), D(200.0), S("bob")},
+         {I(3), I(20), D(300.0), S("carol")},
+         {I(4), I(20), D(400.0), S("dave")},
+         {I(5), I(30), D(500.0), S("erin")}}));
+    db_.AddTable(MakeTable("dept",
+                           {{"id", DataType::kInt64},
+                            {"dname", DataType::kString}},
+                           {{I(10), S("eng")},
+                            {I(20), S("sales")},
+                            {I(30), S("hr")}}));
+  }
+
+  MiniDb db_;
+};
+
+TEST_F(ExecutorEndToEndTest, SimpleProjection) {
+  ASSERT_OK_AND_ASSIGN(TablePtr r, db_.Run("SELECT id FROM emp"));
+  EXPECT_EQ(r->num_rows(), 5u);
+  EXPECT_EQ(r->schema().num_columns(), 1u);
+  EXPECT_EQ(r->schema().column(0).name, "id");
+}
+
+TEST_F(ExecutorEndToEndTest, FilterGreaterThan) {
+  ASSERT_OK_AND_ASSIGN(TablePtr r,
+                       db_.Run("SELECT id FROM emp WHERE salary > 250"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 3);
+  EXPECT_EQ(rows[1][0].AsInt64(), 4);
+  EXPECT_EQ(rows[2][0].AsInt64(), 5);
+}
+
+TEST_F(ExecutorEndToEndTest, StringEquality) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r, db_.Run("SELECT id FROM emp WHERE name = 'carol'"));
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].AsInt64(), 3);
+}
+
+TEST_F(ExecutorEndToEndTest, EquiJoin) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT e.name, d.dname FROM emp e, dept d "
+              "WHERE e.dept = d.id AND e.salary >= 300"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsString(), "carol");
+  EXPECT_EQ(rows[0][1].AsString(), "sales");
+  EXPECT_EQ(rows[2][0].AsString(), "erin");
+  EXPECT_EQ(rows[2][1].AsString(), "hr");
+}
+
+TEST_F(ExecutorEndToEndTest, JoinSyntax) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT e.name FROM emp e JOIN dept d ON e.dept = d.id "
+              "WHERE d.dname = 'eng'"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsString(), "alice");
+  EXPECT_EQ(rows[1][0].AsString(), "bob");
+}
+
+TEST_F(ExecutorEndToEndTest, GroupByAggregates) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT dept, COUNT(*) AS c, SUM(salary) AS s, AVG(salary) "
+              "AS a, MIN(salary) AS lo, MAX(salary) AS hi FROM emp "
+              "GROUP BY dept ORDER BY dept"));
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->row(0)[0].AsInt64(), 10);
+  EXPECT_EQ(r->row(0)[1].AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(r->row(0)[2].AsDouble(), 300.0);
+  EXPECT_DOUBLE_EQ(r->row(0)[3].AsDouble(), 150.0);
+  EXPECT_DOUBLE_EQ(r->row(0)[4].AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(r->row(0)[5].AsDouble(), 200.0);
+  EXPECT_EQ(r->row(2)[0].AsInt64(), 30);
+  EXPECT_EQ(r->row(2)[1].AsInt64(), 1);
+}
+
+TEST_F(ExecutorEndToEndTest, GlobalAggregateOnEmptyInput) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT COUNT(*) AS c, SUM(salary) AS s FROM emp "
+              "WHERE salary > 10000"));
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].AsInt64(), 0);
+  EXPECT_TRUE(r->row(0)[1].is_null());
+}
+
+TEST_F(ExecutorEndToEndTest, Having) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT dept, COUNT(*) AS c FROM emp GROUP BY dept "
+              "HAVING COUNT(*) >= 2 ORDER BY dept"));
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->row(0)[0].AsInt64(), 10);
+  EXPECT_EQ(r->row(1)[0].AsInt64(), 20);
+}
+
+TEST_F(ExecutorEndToEndTest, OrderByDescAndLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2"));
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->row(0)[0].AsString(), "erin");
+  EXPECT_EQ(r->row(1)[0].AsString(), "dave");
+}
+
+TEST_F(ExecutorEndToEndTest, Distinct) {
+  ASSERT_OK_AND_ASSIGN(TablePtr r, db_.Run("SELECT DISTINCT dept FROM emp"));
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST_F(ExecutorEndToEndTest, ArithmeticInProjectionAndPredicate) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT id, salary * 2 AS dbl FROM emp "
+              "WHERE salary * 2 > 500 AND id < 5"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 600.0);
+}
+
+TEST_F(ExecutorEndToEndTest, ThreeWayJoin) {
+  MiniDb db;
+  db.AddTable(MakeTable("a", {{"x", DataType::kInt64}},
+                        {{I(1)}, {I(2)}, {I(3)}}));
+  db.AddTable(MakeTable("b",
+                        {{"x", DataType::kInt64}, {"y", DataType::kInt64}},
+                        {{I(1), I(10)}, {I(2), I(20)}, {I(9), I(90)}}));
+  db.AddTable(MakeTable("c", {{"y", DataType::kInt64}},
+                        {{I(10)}, {I(20)}, {I(30)}}));
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db.Run("SELECT a.x, c.y FROM a, b, c WHERE a.x = b.x AND b.y = c.y"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows[0][1].AsInt64(), 10);
+  EXPECT_EQ(rows[1][0].AsInt64(), 2);
+  EXPECT_EQ(rows[1][1].AsInt64(), 20);
+}
+
+TEST_F(ExecutorEndToEndTest, WorkUnitsAccumulate) {
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(TablePtr r, db_.Run("SELECT id FROM emp", &stats));
+  Unused(r);
+  EXPECT_GT(stats.work_units, 0.0);
+  EXPECT_EQ(stats.rows_scanned, 5u);
+  EXPECT_EQ(stats.rows_output, 5u);
+}
+
+TEST_F(ExecutorEndToEndTest, NullsNeverMatchJoins) {
+  MiniDb db;
+  db.AddTable(MakeTable("l", {{"k", DataType::kInt64}}, {{I(1)}, {N()}}));
+  db.AddTable(MakeTable("r", {{"k", DataType::kInt64}}, {{I(1)}, {N()}}));
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr out, db.Run("SELECT l.k FROM l, r WHERE l.k = r.k"));
+  EXPECT_EQ(out->num_rows(), 1u);
+}
+
+TEST_F(ExecutorEndToEndTest, UnknownTableFails) {
+  auto r = db_.Run("SELECT x FROM nosuch");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorEndToEndTest, UnknownColumnFails) {
+  auto r = db_.Run("SELECT bogus FROM emp");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,159 @@
+// Property tests: the optimized physical operators must agree with naive
+// reference implementations on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+TablePtr RandomTable(const std::string& name, size_t rows, int64_t key_max,
+                     Rng* rng) {
+  TableGenSpec spec;
+  spec.name = name;
+  spec.num_rows = rows;
+  spec.columns = {{"k", DataType::kInt64}, {"v", DataType::kDouble}};
+  auto key_gen = ColumnGenSpec::UniformInt(0, key_max);
+  key_gen.null_fraction = 0.05;
+  spec.generators = {key_gen, ColumnGenSpec::UniformDouble(0, 100)};
+  return GenerateTable(spec, rng).MoveValue();
+}
+
+class JoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinPropertyTest, HashJoinMatchesNestedLoopReference) {
+  Rng rng(GetParam());
+  TablePtr left = RandomTable("l", 120, 40, &rng);
+  TablePtr right = RandomTable("r", 150, 40, &rng);
+  auto resolver = [&](const std::string& n) -> Result<TablePtr> {
+    return n == "l" ? left : right;
+  };
+  Executor exec(resolver);
+
+  auto scan_l = PlanNode::Scan("l", left->schema());
+  auto scan_r = PlanNode::Scan("r", right->schema());
+  auto hash = PlanNode::HashJoin(scan_l, scan_r, {0}, {0}, nullptr);
+
+  auto pred = BoundExpr::Binary(
+      BinaryOp::kEq, BoundExpr::Column(0, "l.k", DataType::kInt64),
+      BoundExpr::Column(2, "r.k", DataType::kInt64));
+  auto nlj = PlanNode::NestedLoopJoin(scan_l, scan_r, pred);
+
+  ExecStats s1, s2;
+  ASSERT_OK_AND_ASSIGN(TablePtr hash_result, exec.Execute(hash, &s1));
+  ASSERT_OK_AND_ASSIGN(TablePtr nlj_result, exec.Execute(nlj, &s2));
+  EXPECT_EQ(hash_result->num_rows(), nlj_result->num_rows());
+  EXPECT_EQ(SortedRows(*hash_result), SortedRows(*nlj_result));
+  // The hash join must be charged less work than the quadratic loop.
+  EXPECT_LT(s1.work_units, s2.work_units);
+}
+
+TEST_P(JoinPropertyTest, AggregateMatchesReference) {
+  Rng rng(GetParam() ^ 0xabc);
+  TablePtr t = RandomTable("t", 300, 10, &rng);
+  auto resolver = [&](const std::string&) -> Result<TablePtr> { return t; };
+  Executor exec(resolver);
+
+  std::vector<AggItem> aggs;
+  AggItem count;
+  count.func = AggFunc::kCount;
+  count.count_star = true;
+  count.name = "COUNT(*)";
+  aggs.push_back(count);
+  AggItem sum;
+  sum.func = AggFunc::kSum;
+  sum.arg = BoundExpr::Column(1, "v", DataType::kDouble);
+  sum.result_type = DataType::kDouble;
+  sum.name = "SUM(v)";
+  aggs.push_back(sum);
+
+  Schema out({{"k", DataType::kInt64},
+              {"COUNT(*)", DataType::kInt64},
+              {"SUM(v)", DataType::kDouble}});
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Scan("t", t->schema()),
+      {BoundExpr::Column(0, "k", DataType::kInt64)}, aggs, out);
+  ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plan, nullptr));
+
+  // Reference aggregation.
+  std::map<std::string, std::pair<int64_t, double>> expected;
+  for (const Row& row : t->rows()) {
+    const std::string key = row[0].ToString();
+    auto& slot = expected[key];
+    slot.first += 1;
+    if (!row[1].is_null()) slot.second += row[1].AsDouble();
+  }
+  ASSERT_EQ(result->num_rows(), expected.size());
+  for (const Row& row : result->rows()) {
+    const auto it = expected.find(row[0].ToString());
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(row[1].AsInt64(), it->second.first);
+    EXPECT_NEAR(row[2].AsDouble(), it->second.second, 1e-6);
+  }
+}
+
+TEST_P(JoinPropertyTest, SortIsOrderedPermutation) {
+  Rng rng(GetParam() ^ 0xdef);
+  TablePtr t = RandomTable("t", 200, 1000, &rng);
+  auto resolver = [&](const std::string&) -> Result<TablePtr> { return t; };
+  Executor exec(resolver);
+  auto plan = PlanNode::Sort(
+      PlanNode::Scan("t", t->schema()),
+      {{BoundExpr::Column(1, "v", DataType::kDouble), /*desc=*/true}});
+  ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plan, nullptr));
+  ASSERT_EQ(result->num_rows(), t->num_rows());
+  for (size_t i = 1; i < result->num_rows(); ++i) {
+    EXPECT_GE(result->row(i - 1)[1].Compare(result->row(i)[1]), 0);
+  }
+  EXPECT_EQ(SortedRows(*result), SortedRows(*t));
+}
+
+TEST_P(JoinPropertyTest, DistinctRemovesExactDuplicates) {
+  Rng rng(GetParam() ^ 0x123);
+  TablePtr t = RandomTable("t", 400, 5, &rng);
+  // Project to the key column only so duplicates are plentiful.
+  auto resolver = [&](const std::string&) -> Result<TablePtr> { return t; };
+  Executor exec(resolver);
+  Schema key_only({{"k", DataType::kInt64}});
+  auto plan = PlanNode::Distinct(PlanNode::Project(
+      PlanNode::Scan("t", t->schema()),
+      {BoundExpr::Column(0, "k", DataType::kInt64)}, key_only));
+  ASSERT_OK_AND_ASSIGN(TablePtr result, exec.Execute(plan, nullptr));
+  std::set<std::string> seen;
+  for (const Row& row : result->rows()) {
+    EXPECT_TRUE(seen.insert(row[0].ToString()).second)
+        << "duplicate survived distinct";
+  }
+  // Every distinct input key (incl. null) appears exactly once.
+  std::set<std::string> expected;
+  for (const Row& row : t->rows()) expected.insert(row[0].ToString());
+  EXPECT_EQ(seen, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ExecutorLimitsTest, IntermediateBlowupRejected) {
+  Rng rng(1);
+  TablePtr t = RandomTable("t", 400, 1, &rng);
+  auto resolver = [&](const std::string&) -> Result<TablePtr> { return t; };
+  ExecConfig cfg;
+  cfg.max_intermediate_rows = 1'000;
+  Executor exec(resolver, cfg);
+  // Cross join: 160k rows, way over the limit.
+  auto plan = PlanNode::NestedLoopJoin(PlanNode::Scan("t", t->schema()),
+                                       PlanNode::Scan("t", t->schema()),
+                                       nullptr);
+  auto r = exec.Execute(plan, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,84 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+Schema OneCol() { return Schema({{"x", DataType::kInt64}}); }
+
+BoundExprPtr GtLit(int64_t v) {
+  return BoundExpr::Binary(BinaryOp::kGt,
+                           BoundExpr::Column(0, "x", DataType::kInt64),
+                           BoundExpr::Literal(Value(v)));
+}
+
+TEST(PlanTest, BuildersSetSchemas) {
+  auto scan = PlanNode::Scan("t", OneCol());
+  EXPECT_EQ(scan->kind, PlanKind::kScan);
+  EXPECT_EQ(scan->output_schema.num_columns(), 1u);
+
+  auto filter = PlanNode::Filter(scan, GtLit(1));
+  EXPECT_EQ(filter->output_schema.num_columns(), 1u);
+
+  auto join = PlanNode::HashJoin(PlanNode::Scan("a", OneCol()),
+                                 PlanNode::Scan("b", OneCol()), {0}, {0},
+                                 nullptr);
+  EXPECT_EQ(join->output_schema.num_columns(), 2u);
+
+  auto limit = PlanNode::Limit(PlanNode::Scan("t", OneCol()), 5);
+  EXPECT_EQ(limit->limit, 5);
+}
+
+TEST(PlanTest, ToStringShowsTree) {
+  auto plan = PlanNode::Filter(PlanNode::Scan("t", OneCol()), GtLit(1));
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t)"), std::string::npos);
+}
+
+TEST(PlanTest, FingerprintDistinguishesPlans) {
+  auto p1 = PlanNode::Filter(PlanNode::Scan("t", OneCol()), GtLit(5));
+  auto p2 = PlanNode::Filter(PlanNode::Scan("t", OneCol()), GtLit(5));
+  auto p3 = PlanNode::Filter(PlanNode::Scan("u", OneCol()), GtLit(5));
+  auto p4 = PlanNode::Scan("t", OneCol());
+  EXPECT_EQ(p1->Fingerprint(false), p2->Fingerprint(false));
+  EXPECT_NE(p1->Fingerprint(false), p3->Fingerprint(false));
+  EXPECT_NE(p1->Fingerprint(false), p4->Fingerprint(false));
+}
+
+TEST(PlanTest, NormalizedFingerprintIgnoresLiterals) {
+  auto p5 = PlanNode::Filter(PlanNode::Scan("t", OneCol()), GtLit(5));
+  auto p9 = PlanNode::Filter(PlanNode::Scan("t", OneCol()), GtLit(999));
+  EXPECT_EQ(p5->Fingerprint(true), p9->Fingerprint(true));
+  EXPECT_NE(p5->Fingerprint(false), p9->Fingerprint(false));
+}
+
+TEST(PlanTest, ShapeFingerprintIgnoresTableNames) {
+  // Same plan over a replica with a different remote table name: the §4.1
+  // exchangeability test must treat them as identical.
+  auto origin = PlanNode::Filter(PlanNode::Scan("orders", OneCol()),
+                                 GtLit(5));
+  auto replica = PlanNode::Filter(PlanNode::Scan("orders_r", OneCol()),
+                                  GtLit(7));
+  EXPECT_NE(origin->Fingerprint(true), replica->Fingerprint(true));
+  EXPECT_EQ(origin->ShapeFingerprint(), replica->ShapeFingerprint());
+  // Different shape (extra limit) still differs.
+  auto limited = PlanNode::Limit(origin, 3);
+  EXPECT_NE(limited->ShapeFingerprint(), origin->ShapeFingerprint());
+}
+
+TEST(PlanTest, JoinKeysAffectFingerprint) {
+  auto a = PlanNode::Scan("a", OneCol());
+  auto b = PlanNode::Scan("b", OneCol());
+  auto j1 = PlanNode::HashJoin(a, b, {0}, {0}, nullptr);
+  auto j2 = PlanNode::HashJoin(a, b, {0}, {0}, GtLit(1));
+  EXPECT_NE(j1->Fingerprint(false), j2->Fingerprint(false));
+}
+
+}  // namespace
+}  // namespace fedcal

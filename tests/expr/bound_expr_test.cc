@@ -1,0 +1,178 @@
+#include "expr/bound_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+BoundExprPtr Col(size_t i, DataType t = DataType::kInt64) {
+  return BoundExpr::Column(i, "c" + std::to_string(i), t);
+}
+BoundExprPtr Lit(Value v) { return BoundExpr::Literal(std::move(v)); }
+
+Value Eval(const BoundExprPtr& e, const Row& row) {
+  auto r = e->Eval(row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : Value();
+}
+
+TEST(BoundExprTest, LiteralAndColumn) {
+  Row row{I(10), S("x")};
+  EXPECT_EQ(Eval(Lit(I(5)), row).AsInt64(), 5);
+  EXPECT_EQ(Eval(Col(0), row).AsInt64(), 10);
+  EXPECT_EQ(Eval(Col(1, DataType::kString), row).AsString(), "x");
+}
+
+TEST(BoundExprTest, OutOfRangeColumnFails) {
+  Row row{I(1)};
+  EXPECT_FALSE(Col(3)->Eval(row).ok());
+}
+
+TEST(BoundExprTest, ComparisonSemantics) {
+  Row row{I(10), I(20)};
+  auto lt = BoundExpr::Binary(BinaryOp::kLt, Col(0), Col(1));
+  auto ge = BoundExpr::Binary(BinaryOp::kGe, Col(0), Col(1));
+  EXPECT_EQ(Eval(lt, row).AsInt64(), 1);
+  EXPECT_EQ(Eval(ge, row).AsInt64(), 0);
+}
+
+TEST(BoundExprTest, ArithmeticPromotion) {
+  Row row{I(7), I(2)};
+  auto add = BoundExpr::Binary(BinaryOp::kAdd, Col(0), Col(1));
+  auto div = BoundExpr::Binary(BinaryOp::kDiv, Col(0), Col(1));
+  auto mul = BoundExpr::Binary(BinaryOp::kMul, Col(0), Lit(D(0.5)));
+  EXPECT_TRUE(Eval(add, row).is_int64());
+  EXPECT_EQ(Eval(add, row).AsInt64(), 9);
+  EXPECT_TRUE(Eval(div, row).is_double());
+  EXPECT_DOUBLE_EQ(Eval(div, row).AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Eval(mul, row).AsDouble(), 3.5);
+}
+
+TEST(BoundExprTest, DivisionByZeroYieldsNull) {
+  Row row{I(7), I(0)};
+  auto div = BoundExpr::Binary(BinaryOp::kDiv, Col(0), Col(1));
+  EXPECT_TRUE(Eval(div, row).is_null());
+}
+
+TEST(BoundExprTest, NullPropagation) {
+  Row row{N(), I(1)};
+  auto cmp = BoundExpr::Binary(BinaryOp::kLt, Col(0), Col(1));
+  auto add = BoundExpr::Binary(BinaryOp::kAdd, Col(0), Col(1));
+  EXPECT_TRUE(Eval(cmp, row).is_null());
+  EXPECT_TRUE(Eval(add, row).is_null());
+  // AND/OR collapse NULL to false-ish behavior.
+  auto and_expr = BoundExpr::Binary(BinaryOp::kAnd, Col(0), Col(1));
+  EXPECT_EQ(Eval(and_expr, row).AsInt64(), 0);
+  auto or_expr = BoundExpr::Binary(BinaryOp::kOr, Col(0), Col(1));
+  EXPECT_EQ(Eval(or_expr, row).AsInt64(), 1);
+}
+
+TEST(BoundExprTest, UnaryOps) {
+  Row row{I(0), N(), I(5)};
+  EXPECT_EQ(Eval(BoundExpr::Unary(UnaryOp::kNot, Col(0)), row).AsInt64(), 1);
+  EXPECT_EQ(Eval(BoundExpr::Unary(UnaryOp::kNeg, Col(2)), row).AsInt64(),
+            -5);
+  EXPECT_EQ(Eval(BoundExpr::Unary(UnaryOp::kIsNull, Col(1)), row).AsInt64(),
+            1);
+  EXPECT_EQ(
+      Eval(BoundExpr::Unary(UnaryOp::kIsNotNull, Col(1)), row).AsInt64(),
+      0);
+  EXPECT_TRUE(Eval(BoundExpr::Unary(UnaryOp::kNot, Col(1)), row).is_null());
+}
+
+TEST(BoundExprTest, StringNumericComparisonErrors) {
+  Row row{S("a"), I(1)};
+  auto cmp = BoundExpr::Binary(
+      BinaryOp::kEq, Col(0, DataType::kString), Col(1));
+  EXPECT_FALSE(cmp->Eval(row).ok());
+}
+
+TEST(BoundExprTest, IsConstant) {
+  EXPECT_TRUE(Lit(I(1))->IsConstant());
+  EXPECT_TRUE(BoundExpr::Binary(BinaryOp::kAdd, Lit(I(1)), Lit(I(2)))
+                  ->IsConstant());
+  EXPECT_FALSE(Col(0)->IsConstant());
+}
+
+TEST(BoundExprTest, CollectColumnsDeduplicates) {
+  auto e = BoundExpr::Binary(
+      BinaryOp::kAnd, BoundExpr::Binary(BinaryOp::kLt, Col(2), Col(0)),
+      BoundExpr::Binary(BinaryOp::kGt, Col(2), Lit(I(1))));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<size_t>{0, 2}));
+}
+
+TEST(BoundExprTest, RemapColumns) {
+  auto e = BoundExpr::Binary(BinaryOp::kAdd, Col(1), Col(3));
+  std::vector<int> mapping{-1, 0, -1, 1};
+  ASSERT_OK_AND_ASSIGN(BoundExprPtr remapped, e->RemapColumns(mapping));
+  Row row{I(100), I(200)};
+  EXPECT_EQ(Eval(remapped, row).AsInt64(), 300);
+  // Unmapped slot fails.
+  auto bad = Col(2)->RemapColumns(mapping);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BoundExprTest, FingerprintNormalization) {
+  auto a = BoundExpr::Binary(BinaryOp::kGt, Col(0), Lit(I(5)));
+  auto b = BoundExpr::Binary(BinaryOp::kGt, Col(0), Lit(I(99)));
+  auto c = BoundExpr::Binary(BinaryOp::kLt, Col(0), Lit(I(5)));
+  EXPECT_EQ(a->Fingerprint(true), b->Fingerprint(true));
+  EXPECT_NE(a->Fingerprint(false), b->Fingerprint(false));
+  EXPECT_NE(a->Fingerprint(true), c->Fingerprint(true));
+}
+
+TEST(BoundExprTest, SplitAndCombineConjuncts) {
+  auto c1 = BoundExpr::Binary(BinaryOp::kGt, Col(0), Lit(I(1)));
+  auto c2 = BoundExpr::Binary(BinaryOp::kLt, Col(1), Lit(I(5)));
+  auto c3 = BoundExpr::Binary(BinaryOp::kEq, Col(2), Lit(I(3)));
+  auto tree = BoundExpr::Binary(
+      BinaryOp::kAnd, BoundExpr::Binary(BinaryOp::kAnd, c1, c2), c3);
+  std::vector<BoundExprPtr> parts;
+  SplitConjuncts(tree, &parts);
+  ASSERT_EQ(parts.size(), 3u);
+
+  BoundExprPtr rebuilt = CombineConjuncts(parts);
+  Row row{I(2), I(4), I(3)};
+  EXPECT_EQ(Eval(rebuilt, row).AsInt64(), 1);
+  Row row2{I(2), I(4), I(9)};
+  EXPECT_EQ(Eval(rebuilt, row2).AsInt64(), 0);
+  // An OR tree is a single conjunct.
+  auto or_tree = BoundExpr::Binary(BinaryOp::kOr, c1, c2);
+  parts.clear();
+  SplitConjuncts(or_tree, &parts);
+  EXPECT_EQ(parts.size(), 1u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+TEST(BoundExprTest, IsTruthy) {
+  EXPECT_FALSE(IsTruthy(Value()));
+  EXPECT_FALSE(IsTruthy(I(0)));
+  EXPECT_TRUE(IsTruthy(I(-1)));
+  EXPECT_FALSE(IsTruthy(D(0.0)));
+  EXPECT_TRUE(IsTruthy(D(0.1)));
+  EXPECT_FALSE(IsTruthy(S("")));
+  EXPECT_TRUE(IsTruthy(S("x")));
+}
+
+TEST(BoundExprTest, ToStringReadable) {
+  auto e = BoundExpr::Binary(BinaryOp::kAnd,
+                             BoundExpr::Binary(BinaryOp::kGt, Col(0),
+                                               Lit(I(5))),
+                             BoundExpr::Unary(UnaryOp::kIsNull, Col(1)));
+  EXPECT_EQ(e->ToString(), "((c0 > 5) AND (c1 IS NULL))");
+}
+
+TEST(BoundExprTest, FlipComparison) {
+  EXPECT_EQ(FlipComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGe), BinaryOp::kLe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kEq), BinaryOp::kEq);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,172 @@
+#include "federation/decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class DecomposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // a and b are co-located on s1 (b also replicated on s2); c lives on
+    // s2 only.
+    Schema sa({{"x", DataType::kInt64}, {"y", DataType::kInt64}});
+    Schema sb({{"x", DataType::kInt64}, {"z", DataType::kInt64}});
+    Schema sc({{"z", DataType::kInt64}, {"w", DataType::kDouble}});
+    ASSERT_OK(catalog_.RegisterNickname("a", sa));
+    ASSERT_OK(catalog_.AddLocation("a", "s1", "a_remote"));
+    ASSERT_OK(catalog_.RegisterNickname("b", sb));
+    ASSERT_OK(catalog_.AddLocation("b", "s1", "b_remote"));
+    ASSERT_OK(catalog_.AddLocation("b", "s2", "b_replica"));
+    ASSERT_OK(catalog_.RegisterNickname("c", sc));
+    ASSERT_OK(catalog_.AddLocation("c", "s2", "c_remote"));
+  }
+
+  Result<Decomposition> Decompose(const std::string& sql) {
+    FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+    Decomposer decomposer(&catalog_);
+    return decomposer.Decompose(stmt);
+  }
+
+  GlobalCatalog catalog_;
+};
+
+TEST_F(DecomposerTest, SingleTableIsWholeQueryPushdown) {
+  ASSERT_OK_AND_ASSIGN(Decomposition d,
+                       Decompose("SELECT x FROM a WHERE y > 3"));
+  EXPECT_TRUE(d.whole_query_pushdown);
+  ASSERT_EQ(d.fragments.size(), 1u);
+  EXPECT_EQ(d.fragments[0].candidate_servers,
+            std::vector<std::string>{"s1"});
+  // Merge is a passthrough over __frag0.
+  EXPECT_EQ(d.merge_query.tables.size(), 1u);
+  EXPECT_EQ(d.merge_query.tables[0].table_name, "__frag0");
+  EXPECT_FALSE(d.merge_query.has_aggregate);
+  EXPECT_EQ(d.merge_query.where, nullptr);
+}
+
+TEST_F(DecomposerTest, ColocatedJoinPushesWholeQuery) {
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition d,
+      Decompose("SELECT a.y, COUNT(*) AS c FROM a, b "
+                "WHERE a.x = b.x AND b.z > 1 GROUP BY a.y"));
+  EXPECT_TRUE(d.whole_query_pushdown);
+  EXPECT_EQ(d.fragments[0].candidate_servers,
+            std::vector<std::string>{"s1"});
+}
+
+TEST_F(DecomposerTest, CrossServerJoinSplits) {
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition d,
+      Decompose("SELECT a.y, c.w FROM a, c WHERE a.x = c.z AND a.y > 5 "
+                "AND c.w < 2.5"));
+  EXPECT_FALSE(d.whole_query_pushdown);
+  ASSERT_EQ(d.fragments.size(), 2u);
+  // Single-table predicates pushed into the right fragment.
+  const std::string f0 = d.fragments[0].statement.ToString();
+  const std::string f1 = d.fragments[1].statement.ToString();
+  EXPECT_NE(f0.find("a.y > 5"), std::string::npos);
+  EXPECT_EQ(f0.find("c.w"), std::string::npos);
+  EXPECT_NE(f1.find("c.w < 2.5"), std::string::npos);
+  // The cross-server join predicate stays at the integrator.
+  EXPECT_EQ(f0.find("a.x = c.z"), std::string::npos);
+  ASSERT_NE(d.merge_query.where, nullptr);
+  // Shipped columns cover the join keys and the outputs.
+  EXPECT_EQ(d.fragments[0].output_schema.num_columns(), 2u);  // a.x, a.y
+  EXPECT_EQ(d.fragments[1].output_schema.num_columns(), 2u);  // c.z, c.w
+}
+
+TEST_F(DecomposerTest, ThreeTablesGroupByColocation) {
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition d,
+      Decompose("SELECT a.y FROM a, b, c "
+                "WHERE a.x = b.x AND b.z = c.z"));
+  EXPECT_FALSE(d.whole_query_pushdown);
+  ASSERT_EQ(d.fragments.size(), 2u);
+  // {a, b} co-locate on s1; {c} on s2.
+  EXPECT_EQ(d.fragments[0].table_indices.size(), 2u);
+  EXPECT_EQ(d.fragments[1].table_indices.size(), 1u);
+  // The a-b join is pushed down.
+  EXPECT_NE(d.fragments[0].statement.ToString().find("a.x = b.x"),
+            std::string::npos);
+}
+
+TEST_F(DecomposerTest, NoCrossProductPushdownWithoutConnectingPredicate) {
+  // a and b share a server but with no join predicate between them they
+  // must not be combined into one fragment.
+  ASSERT_OK_AND_ASSIGN(Decomposition d,
+                       Decompose("SELECT a.y, b.z FROM a, b"));
+  EXPECT_FALSE(d.whole_query_pushdown);
+  EXPECT_EQ(d.fragments.size(), 2u);
+}
+
+TEST_F(DecomposerTest, AggregationStaysAtIntegratorForSplitQueries) {
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition d,
+      Decompose("SELECT a.y, SUM(c.w) AS s FROM a, c WHERE a.x = c.z "
+                "GROUP BY a.y"));
+  EXPECT_FALSE(d.whole_query_pushdown);
+  // Fragment statements carry no aggregation...
+  for (const auto& f : d.fragments) {
+    EXPECT_EQ(f.statement.group_by.size(), 0u);
+    for (const auto& item : f.statement.items) {
+      EXPECT_FALSE(item.expr->ContainsAggregate());
+    }
+  }
+  // ... the merge query does.
+  EXPECT_TRUE(d.merge_query.has_aggregate);
+  EXPECT_EQ(d.merge_query.aggs.size(), 1u);
+}
+
+TEST_F(DecomposerTest, InstantiateForServerSubstitutesRemoteNames) {
+  ASSERT_OK_AND_ASSIGN(Decomposition d, Decompose("SELECT z FROM b"));
+  Decomposer decomposer(&catalog_);
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt on_s1,
+      decomposer.InstantiateForServer(d.fragments[0], "s1"));
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt on_s2,
+      decomposer.InstantiateForServer(d.fragments[0], "s2"));
+  EXPECT_EQ(on_s1.from[0].table, "b_remote");
+  EXPECT_EQ(on_s2.from[0].table, "b_replica");
+  // The alias is pinned so column references keep working.
+  EXPECT_EQ(on_s1.from[0].effective_alias(), "b");
+  EXPECT_FALSE(
+      decomposer.InstantiateForServer(d.fragments[0], "nowhere").ok());
+}
+
+TEST_F(DecomposerTest, UnknownNicknameFails) {
+  EXPECT_FALSE(Decompose("SELECT q FROM nothere").ok());
+}
+
+TEST_F(DecomposerTest, NicknameWithoutLocationsFails) {
+  ASSERT_OK(catalog_.RegisterNickname("orphan",
+                                      Schema({{"x", DataType::kInt64}})));
+  EXPECT_FALSE(Decompose("SELECT x FROM orphan").ok());
+}
+
+TEST_F(DecomposerTest, OrderByAndLimitPushedOnlyForWholeQuery) {
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition whole,
+      Decompose("SELECT x FROM a ORDER BY x DESC LIMIT 3"));
+  EXPECT_TRUE(whole.whole_query_pushdown);
+  EXPECT_TRUE(whole.fragments[0].statement.limit.has_value());
+
+  ASSERT_OK_AND_ASSIGN(
+      Decomposition split,
+      Decompose("SELECT a.y FROM a, c WHERE a.x = c.z ORDER BY y LIMIT 3"));
+  EXPECT_FALSE(split.whole_query_pushdown);
+  for (const auto& f : split.fragments) {
+    EXPECT_FALSE(f.statement.limit.has_value());
+    EXPECT_TRUE(f.statement.order_by.empty());
+  }
+  EXPECT_TRUE(split.merge_query.limit.has_value());
+  EXPECT_EQ(split.merge_query.order_by.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fedcal

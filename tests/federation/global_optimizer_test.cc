@@ -1,0 +1,133 @@
+#include "federation/global_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+class GlobalOptimizerTest : public ::testing::Test {
+ protected:
+  GlobalOptimizerTest() : scenario_(TinyConfig()) {}
+
+  Result<std::vector<GlobalPlanOption>> Enumerate(const std::string& sql) {
+    FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+    Decomposer decomposer(&scenario_.catalog());
+    FEDCAL_ASSIGN_OR_RETURN(Decomposition d, decomposer.Decompose(stmt));
+    GlobalOptimizer optimizer(&scenario_.catalog(),
+                              &scenario_.meta_wrapper());
+    return optimizer.Enumerate(1, d);
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(GlobalOptimizerTest, EnumeratesAllReplicaChoices) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      Enumerate(scenario_.MakeQueryInstance(QueryType::kQT1, 0)));
+  // Full replication on 3 servers: at least 3 single-server plans.
+  std::set<std::string> servers;
+  for (const auto& p : plans) {
+    ASSERT_EQ(p.server_set.size(), 1u);
+    servers.insert(p.server_set[0]);
+  }
+  EXPECT_EQ(servers.size(), 3u);
+}
+
+TEST_F(GlobalOptimizerTest, SortedByCalibratedCost) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      Enumerate(scenario_.MakeQueryInstance(QueryType::kQT2, 0)));
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].total_calibrated_seconds,
+              plans[i].total_calibrated_seconds);
+  }
+  // Without QCC installed, calibrated == raw.
+  for (const auto& p : plans) {
+    EXPECT_DOUBLE_EQ(p.total_calibrated_seconds, p.total_raw_seconds);
+  }
+}
+
+TEST_F(GlobalOptimizerTest, MostPowerfulServerWinsUnloaded) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      Enumerate(scenario_.MakeQueryInstance(QueryType::kQT1, 0)));
+  EXPECT_EQ(plans[0].server_set[0], "S3");
+}
+
+TEST_F(GlobalOptimizerTest, PlansCarryMergePlanAndIdentity) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      Enumerate(scenario_.MakeQueryInstance(QueryType::kQT4, 0)));
+  std::set<size_t> identities;
+  for (const auto& p : plans) {
+    EXPECT_NE(p.merge_plan, nullptr);
+    EXPECT_GT(p.merge_estimated_seconds, 0.0);
+    identities.insert(p.identity);
+  }
+  EXPECT_EQ(identities.size(), plans.size());  // identities are distinct
+}
+
+TEST_F(GlobalOptimizerTest, DescribeIsHumanReadable) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      Enumerate(scenario_.MakeQueryInstance(QueryType::kQT1, 0)));
+  const std::string desc = plans[0].Describe();
+  EXPECT_NE(desc.find("S3"), std::string::npos);
+  EXPECT_NE(desc.find("calibrated"), std::string::npos);
+}
+
+TEST(PatrollerTest, LifecycleBookkeeping) {
+  Simulator sim;
+  QueryPatroller patroller(&sim);
+  const uint64_t q1 = patroller.RecordSubmission("SELECT 1 FROM t");
+  sim.RunUntil(2.5);
+  patroller.RecordCompletion(q1);
+  const uint64_t q2 = patroller.RecordSubmission("SELECT 2 FROM t");
+  sim.RunUntil(3.0);
+  patroller.RecordFailure(q2, "boom");
+
+  ASSERT_NE(patroller.Find(q1), nullptr);
+  EXPECT_TRUE(patroller.Find(q1)->completed);
+  EXPECT_FALSE(patroller.Find(q1)->failed);
+  EXPECT_DOUBLE_EQ(patroller.Find(q1)->response_seconds(), 2.5);
+  EXPECT_TRUE(patroller.Find(q2)->failed);
+  EXPECT_EQ(patroller.Find(q2)->error, "boom");
+  EXPECT_EQ(patroller.Find(999), nullptr);
+  // Mean covers only completed, non-failed queries.
+  EXPECT_DOUBLE_EQ(patroller.MeanResponseSeconds(), 2.5);
+  EXPECT_EQ(patroller.log().size(), 2u);
+  patroller.Clear();
+  EXPECT_TRUE(patroller.log().empty());
+}
+
+TEST(ExplainTableTest, StoresAndFindsWinners) {
+  ExplainTable table;
+  ExplainEntry e1;
+  e1.query_id = 1;
+  e1.sql = "q1";
+  table.Put(e1);
+  ExplainEntry e2;
+  e2.query_id = 1;  // re-compiled: latest entry wins lookups
+  e2.sql = "q1-recompiled";
+  table.Put(e2);
+  ASSERT_NE(table.Find(1), nullptr);
+  EXPECT_EQ(table.Find(1)->sql, "q1-recompiled");
+  EXPECT_EQ(table.Find(42), nullptr);
+  EXPECT_EQ(table.entries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fedcal

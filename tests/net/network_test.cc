@@ -1,0 +1,113 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+LinkConfig NoJitter() {
+  LinkConfig c;
+  c.base_latency_s = 0.010;
+  c.bandwidth_bytes_per_s = 1'000'000;
+  c.jitter_frac = 0.0;
+  return c;
+}
+
+TEST(NetworkLinkTest, TransferTimeIsLatencyPlusSerialization) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  // 1 MB over 1 MB/s + 10 ms latency.
+  EXPECT_NEAR(link.TransferTime(1'000'000, 0.0), 1.010, 1e-9);
+  // Tiny messages are latency-dominated.
+  EXPECT_NEAR(link.TransferTime(0, 0.0), 0.010, 1e-9);
+}
+
+TEST(NetworkLinkTest, TransferTimeMonotoneInBytes) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  double prev = 0.0;
+  for (size_t bytes = 0; bytes < 1'000'000; bytes += 100'000) {
+    const double t = link.TransferTime(bytes, 0.0);
+    EXPECT_GT(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+TEST(NetworkLinkTest, CongestionAppliesOnlyDuringEpisode) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  link.AddCongestion(
+      CongestionEpisode{.start = 10.0,
+                        .end = 20.0,
+                        .latency_multiplier = 4.0,
+                        .bandwidth_divisor = 2.0});
+  EXPECT_NEAR(link.LatencyAt(5.0), 0.010, 1e-12);
+  EXPECT_NEAR(link.LatencyAt(15.0), 0.040, 1e-12);
+  EXPECT_NEAR(link.LatencyAt(25.0), 0.010, 1e-12);
+  EXPECT_NEAR(link.BandwidthAt(15.0), 500'000.0, 1e-6);
+  // Transfer during congestion is slower.
+  EXPECT_GT(link.TransferTime(500'000, 15.0),
+            link.TransferTime(500'000, 5.0));
+}
+
+TEST(NetworkLinkTest, OverlappingEpisodesCompose) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  link.AddCongestion(CongestionEpisode{0.0, 100.0, 2.0, 1.0});
+  link.AddCongestion(CongestionEpisode{50.0, 100.0, 3.0, 1.0});
+  EXPECT_NEAR(link.LatencyAt(25.0), 0.020, 1e-12);
+  EXPECT_NEAR(link.LatencyAt(75.0), 0.060, 1e-12);
+}
+
+TEST(NetworkLinkTest, ClearCongestionRestores) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  link.AddCongestion(CongestionEpisode{0.0, 100.0, 5.0, 5.0});
+  link.ClearCongestion();
+  EXPECT_NEAR(link.LatencyAt(50.0), 0.010, 1e-12);
+}
+
+TEST(NetworkLinkTest, JitterVariesButStaysPositive) {
+  LinkConfig cfg = NoJitter();
+  cfg.jitter_frac = 0.2;
+  NetworkLink link("s", cfg, Rng(7));
+  double min_t = 1e9, max_t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double t = link.TransferTime(100'000, 0.0);
+    EXPECT_GT(t, 0.0);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_GT(max_t, min_t);  // jitter actually varies
+}
+
+TEST(NetworkLinkTest, ProbeRttIsRoundTrip) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  EXPECT_NEAR(link.ProbeRtt(0.0), 0.020, 1e-12);
+}
+
+TEST(NetworkTest, LinkRegistryAndLookup) {
+  Network net(3);
+  net.AddLink("a", NoJitter());
+  net.AddLink("b", NoJitter());
+  ASSERT_OK(net.GetLink("a").status());
+  EXPECT_FALSE(net.GetLink("zzz").ok());
+  EXPECT_EQ(net.server_ids().size(), 2u);
+}
+
+TEST(NetworkTest, TransferFallsBackForUnknownServer) {
+  Network net(3);
+  EXPECT_GT(net.TransferTime("ghost", 100, 0.0), 0.0);
+}
+
+TEST(NetworkTest, ReplacingLinkUpdatesConfig) {
+  Network net(3);
+  net.AddLink("a", NoJitter());
+  LinkConfig faster = NoJitter();
+  faster.base_latency_s = 0.001;
+  net.AddLink("a", faster);
+  ASSERT_OK_AND_ASSIGN(NetworkLink * link, net.GetLink("a"));
+  EXPECT_NEAR(link->LatencyAt(0.0), 0.001, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,168 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fedcal {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAfter(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAfter(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAfter(-5.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringEventsRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.ScheduleAfter(1.0, recurse);
+  };
+  sim.ScheduleAfter(1.0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.ScheduleAfter(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+  // Cancelling twice or cancelling an unknown id fails.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(99'999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.ScheduleAfter(t, [&, t] { fired.push_back(t); });
+  }
+  sim.RunUntil(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAfter(1.0, [&] { ++count; });
+  sim.ScheduleAfter(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, ClockNeverGoesBackward) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAfter((i * 37) % 10, [&, i] {
+      (void)i;
+      monotone &= sim.Now() >= last;
+      last = sim.Now();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 2.0, [&] { ++count; });
+  task.Start();
+  sim.RunUntil(9.0);
+  // Fires at t=0, 2, 4, 6, 8.
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(task.firings(), 5u);
+}
+
+TEST(PeriodicTaskTest, InitialDelayDefersFirstFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 2.0, [&] { ++count; }, /*initial_delay=*/5.0);
+  task.Start();
+  sim.RunUntil(4.9);
+  EXPECT_EQ(count, 0);
+  sim.RunUntil(5.1);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++count; });
+  task.Start();
+  sim.RunUntil(3.5);
+  task.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 4);  // t=0,1,2,3
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, PeriodChangeTakesEffectNextTick) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task(&sim, 1.0, [&] { times.push_back(sim.Now()); });
+  task.Start();
+  sim.RunUntil(2.5);  // fired at 0, 1, 2; the t=3 tick is already queued
+  task.set_period(5.0);
+  sim.RunUntil(12.5);  // t=3 fires as scheduled, then 8 with new period
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[3], 3.0);
+  EXPECT_DOUBLE_EQ(times[4], 8.0);
+}
+
+TEST(PeriodicTaskTest, StartIsIdempotent) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++count; });
+  task.Start();
+  task.Start();
+  sim.RunUntil(0.5);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,151 @@
+// Tests for the extended SQL surface: BETWEEN, IN, LIKE / NOT LIKE.
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class ExtendedSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable(MakeTable("items",
+                           {{"id", DataType::kInt64},
+                            {"price", DataType::kDouble},
+                            {"name", DataType::kString}},
+                           {{I(1), D(10.0), S("apple")},
+                            {I(2), D(20.0), S("apricot")},
+                            {I(3), D(30.0), S("banana")},
+                            {I(4), D(40.0), S("blueberry")},
+                            {I(5), D(50.0), S("cherry")},
+                            {I(6), D(60.0), N()}}));
+  }
+  MiniDb db_;
+};
+
+TEST_F(ExtendedSqlTest, BetweenDesugarsToRange) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s,
+                       ParseSelect("SELECT x FROM t WHERE v BETWEEN 2 "
+                                   "AND 8"));
+  EXPECT_EQ(s.where->ToString(), "((v >= 2) AND (v <= 8))");
+}
+
+TEST_F(ExtendedSqlTest, BetweenExecutes) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT id FROM items WHERE price BETWEEN 20 AND 40"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(rows[2][0].AsInt64(), 4);
+}
+
+TEST_F(ExtendedSqlTest, NotBetweenExecutes) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT id FROM items WHERE price NOT BETWEEN 20 AND 40"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(ExtendedSqlTest, InDesugarsToEqualityChain) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s,
+                       ParseSelect("SELECT x FROM t WHERE v IN (1, 2, 3)"));
+  EXPECT_EQ(s.where->ToString(),
+            "(((v = 1) OR (v = 2)) OR (v = 3))");
+}
+
+TEST_F(ExtendedSqlTest, InExecutes) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT name FROM items WHERE id IN (1, 3, 5)"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsString(), "apple");
+  EXPECT_EQ(rows[1][0].AsString(), "banana");
+  EXPECT_EQ(rows[2][0].AsString(), "cherry");
+}
+
+TEST_F(ExtendedSqlTest, InWithStringsAndNot) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db_.Run("SELECT id FROM items WHERE name NOT IN ('apple', 'cherry') "
+              "AND id < 5"));
+  auto rows = SortedRows(*r);
+  ASSERT_EQ(rows.size(), 3u);  // apricot, banana, blueberry
+}
+
+TEST_F(ExtendedSqlTest, LikePrefixAndContains) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r1, db_.Run("SELECT id FROM items WHERE name LIKE 'ap%'"));
+  EXPECT_EQ(r1->num_rows(), 2u);  // apple, apricot
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r2, db_.Run("SELECT id FROM items WHERE name LIKE '%err%'"));
+  EXPECT_EQ(r2->num_rows(), 2u);  // blueberry, cherry
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r3,
+      db_.Run("SELECT id FROM items WHERE name LIKE '_pple'"));
+  ASSERT_EQ(r3->num_rows(), 1u);
+  EXPECT_EQ(r3->row(0)[0].AsInt64(), 1);
+}
+
+TEST_F(ExtendedSqlTest, NotLikeAndNullSemantics) {
+  // NULL name: LIKE is NULL -> filtered out by both LIKE and NOT LIKE.
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr like, db_.Run("SELECT id FROM items WHERE name LIKE '%'"));
+  EXPECT_EQ(like->num_rows(), 5u);
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr notlike,
+      db_.Run("SELECT id FROM items WHERE name NOT LIKE 'a%'"));
+  EXPECT_EQ(notlike->num_rows(), 3u);  // banana, blueberry, cherry
+}
+
+TEST_F(ExtendedSqlTest, LikeRequiresStrings) {
+  auto r = db_.Run("SELECT id FROM items WHERE price LIKE 'x%'");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ExtendedSqlTest, MalformedVariantsRejected) {
+  for (const char* bad :
+       {"SELECT x FROM t WHERE v BETWEEN 1", "SELECT x FROM t WHERE v IN",
+        "SELECT x FROM t WHERE v IN (", "SELECT x FROM t WHERE v IN ()",
+        "SELECT x FROM t WHERE v NOT 5"}) {
+    EXPECT_FALSE(ParseSelect(bad).ok()) << bad;
+  }
+}
+
+TEST(LikeMatchTest, PatternSemantics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "help"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("a", "_"));
+  EXPECT_TRUE(LikeMatch("hello", "h%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ll%"));
+  EXPECT_FALSE(LikeMatch("hello", "%z%"));
+  EXPECT_TRUE(LikeMatch("hello", "_e_l_"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a"));
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_FALSE(LikeMatch("abcabd", "%abc"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%ss%"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%ss%ss%ss%"));
+}
+
+TEST(LikeMatchTest, BetweenInsideComplexPredicates) {
+  MiniDb db;
+  db.AddTable(MakeTable("t", {{"v", DataType::kInt64}},
+                        {{I(1)}, {I(5)}, {I(10)}, {I(15)}}));
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr r,
+      db.Run("SELECT v FROM t WHERE v BETWEEN 2 AND 12 OR v IN (1, 15)"));
+  EXPECT_EQ(r->num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,179 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+TEST(ParserTest, MinimalSelect) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s, ParseSelect("SELECT x FROM t"));
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_FALSE(s.items[0].is_star);
+  EXPECT_EQ(s.items[0].expr->column, "x");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s, ParseSelect("SELECT * FROM t"));
+  EXPECT_TRUE(s.items[0].is_star);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT a AS x, b y FROM t1 AS u, t2 v"));
+  EXPECT_EQ(s.items[0].alias, "x");
+  EXPECT_EQ(s.items[1].alias, "y");
+  EXPECT_EQ(s.from[0].alias, "u");
+  EXPECT_EQ(s.from[1].alias, "v");
+  EXPECT_EQ(s.from[1].effective_alias(), "v");
+}
+
+TEST(ParserTest, QualifiedColumns) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s, ParseSelect("SELECT t.x FROM t"));
+  EXPECT_EQ(s.items[0].expr->table, "t");
+  EXPECT_EQ(s.items[0].expr->column, "x");
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT a.x FROM a JOIN b ON a.k = b.k "
+                  "INNER JOIN c ON b.j = c.j WHERE a.x > 5"));
+  EXPECT_EQ(s.from.size(), 3u);
+  ASSERT_NE(s.where, nullptr);
+  // The WHERE tree must contain all three conjuncts.
+  const std::string w = s.where->ToString();
+  EXPECT_NE(w.find("a.k = b.k"), std::string::npos);
+  EXPECT_NE(w.find("b.j = c.j"), std::string::npos);
+  EXPECT_NE(w.find("a.x > 5"), std::string::npos);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s,
+                       ParseSelect("SELECT x FROM t WHERE a + b * c = d"));
+  // Multiplication binds tighter than addition, comparison last.
+  EXPECT_EQ(s.where->ToString(), "((a + (b * c)) = d)");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3"));
+  EXPECT_EQ(s.where->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, NotAndIsNull) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT x FROM t WHERE NOT a = 1 AND b IS NULL AND c IS "
+                  "NOT NULL"));
+  const std::string w = s.where->ToString();
+  EXPECT_NE(w.find("NOT"), std::string::npos);
+  EXPECT_NE(w.find("b IS NULL"), std::string::npos);
+  EXPECT_NE(w.find("c IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, NegativeNumbersFoldIntoLiterals) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s,
+                       ParseSelect("SELECT x FROM t WHERE a > -5"));
+  EXPECT_EQ(s.where->ToString(), "(a > -5)");
+}
+
+TEST(ParserTest, Aggregates) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT COUNT(*), SUM(x), AVG(x + y), MIN(x), MAX(x) "
+                  "FROM t"));
+  EXPECT_TRUE(s.items[0].expr->count_star);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::kSum);
+  EXPECT_EQ(s.items[2].expr->agg, AggFunc::kAvg);
+  EXPECT_TRUE(s.items[2].expr->agg_arg->kind == ParseExpr::Kind::kBinary);
+  EXPECT_TRUE(s.items[0].expr->ContainsAggregate());
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT k, COUNT(*) AS c FROM t GROUP BY k "
+                  "HAVING COUNT(*) > 3 ORDER BY c DESC, k ASC LIMIT 7"));
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+  EXPECT_EQ(*s.limit, 7);
+}
+
+TEST(ParserTest, Distinct) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt s,
+                       ParseSelect("SELECT DISTINCT x FROM t"));
+  EXPECT_TRUE(s.distinct);
+}
+
+TEST(ParserTest, StringAndDoubleLiterals) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt s,
+      ParseSelect("SELECT x FROM t WHERE s = 'abc' AND v >= 2.5"));
+  const std::string w = s.where->ToString();
+  EXPECT_NE(w.find("'abc'"), std::string::npos);
+  EXPECT_NE(w.find("2.5"), std::string::npos);
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const std::string sql =
+      "SELECT k, COUNT(*) AS c FROM t u WHERE (u.x > 5) GROUP BY k "
+      "ORDER BY c DESC LIMIT 3";
+  ASSERT_OK_AND_ASSIGN(SelectStmt s1, ParseSelect(sql));
+  ASSERT_OK_AND_ASSIGN(SelectStmt s2, ParseSelect(s1.ToString()));
+  EXPECT_EQ(s1.ToString(), s2.ToString());
+  EXPECT_EQ(SignatureOf(s1), SignatureOf(s2));
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  for (const char* bad :
+       {"", "SELECT", "SELECT FROM t", "SELECT x", "SELECT x FROM",
+        "SELECT x FROM t WHERE", "SELECT x FROM t GROUP k",
+        "SELECT x FROM t LIMIT y", "SELECT x FROM t trailing garbage (",
+        "SELECT COUNT( FROM t", "SELECT x FROM t JOIN u"}) {
+    auto r = ParseSelect(bad);
+    EXPECT_FALSE(r.ok()) << "should fail: " << bad;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(SignatureTest, LiteralsNormalizedByDefault) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt a,
+                       ParseSelect("SELECT x FROM t WHERE v > 5"));
+  ASSERT_OK_AND_ASSIGN(SelectStmt b,
+                       ParseSelect("SELECT x FROM t WHERE v > 99"));
+  EXPECT_EQ(SignatureOf(a), SignatureOf(b));
+  EXPECT_NE(SignatureOf(a, /*normalize_literals=*/false),
+            SignatureOf(b, /*normalize_literals=*/false));
+}
+
+TEST(SignatureTest, StructureMatters) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt a,
+                       ParseSelect("SELECT x FROM t WHERE v > 5"));
+  ASSERT_OK_AND_ASSIGN(SelectStmt b,
+                       ParseSelect("SELECT x FROM t WHERE v < 5"));
+  ASSERT_OK_AND_ASSIGN(SelectStmt c,
+                       ParseSelect("SELECT y FROM t WHERE v > 5"));
+  ASSERT_OK_AND_ASSIGN(SelectStmt d,
+                       ParseSelect("SELECT x FROM u WHERE v > 5"));
+  EXPECT_NE(SignatureOf(a), SignatureOf(b));
+  EXPECT_NE(SignatureOf(a), SignatureOf(c));
+  EXPECT_NE(SignatureOf(a), SignatureOf(d));
+}
+
+}  // namespace
+}  // namespace fedcal

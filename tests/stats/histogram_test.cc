@@ -1,0 +1,113 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fedcal {
+namespace {
+
+TEST(HistogramTest, EmptyInput) {
+  Histogram h = Histogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.EstimateLessThan(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEquals(5.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h = Histogram::Build({42.0, 42.0, 42.0}, 4);
+  EXPECT_DOUBLE_EQ(h.EstimateLessThan(42.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateLessThan(100.0), 1.0);
+  EXPECT_GT(h.EstimateEquals(42.0), 0.5);
+}
+
+TEST(HistogramTest, BoundsAndBucketCount) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  Histogram h = Histogram::Build(v, 10);
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_LE(h.num_buckets(), 10u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+}
+
+TEST(HistogramTest, LessThanMonotone) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.Normal(50, 20));
+  Histogram h = Histogram::Build(v, 32);
+  double prev = -1.0;
+  for (double x = -30; x <= 130; x += 2.5) {
+    const double est = h.EstimateLessThan(x);
+    EXPECT_GE(est, prev - 1e-12);
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 1.0);
+    prev = est;
+  }
+}
+
+TEST(HistogramTest, OutOfRangeEstimates) {
+  Histogram h = Histogram::Build({1, 2, 3, 4, 5}, 2);
+  EXPECT_DOUBLE_EQ(h.EstimateLessThan(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateLessThan(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEquals(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEquals(-1.0), 0.0);
+}
+
+TEST(HistogramTest, BetweenCoversWholeRange) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  Histogram h = Histogram::Build(v, 16);
+  EXPECT_NEAR(h.EstimateBetween(1, 1000), 1.0, 0.01);
+  EXPECT_NEAR(h.EstimateBetween(1, 500), 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(h.EstimateBetween(5, 4), 0.0);
+}
+
+/// Property: on uniform data the selectivity estimate of "< x" must be
+/// close to the true fraction, across bucket counts.
+class HistogramAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(HistogramAccuracyTest, UniformLessThanAccuracy) {
+  const auto [buckets, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> v;
+  for (int i = 0; i < 10'000; ++i) v.push_back(rng.UniformDouble(0, 1000));
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  Histogram h = Histogram::Build(v, buckets);
+  for (double x : {100.0, 250.0, 400.0, 750.0, 900.0}) {
+    const double truth =
+        static_cast<double>(std::lower_bound(sorted.begin(), sorted.end(),
+                                             x) -
+                            sorted.begin()) /
+        sorted.size();
+    EXPECT_NEAR(h.EstimateLessThan(x), truth, 0.03)
+        << "buckets=" << buckets << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramAccuracyTest,
+    ::testing::Combine(::testing::Values(4, 16, 64, 256),
+                       ::testing::Values(1, 7, 42)));
+
+TEST(HistogramTest, HeavyHitterEqualsEstimate) {
+  // 50% of the data is the single value 7.
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(7.0);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) v.push_back(rng.UniformDouble(100, 200));
+  Histogram h = Histogram::Build(v, 16);
+  EXPECT_NEAR(h.EstimateEquals(7.0), 0.5, 0.1);
+}
+
+TEST(HistogramTest, ToStringNonEmpty) {
+  Histogram h = Histogram::Build({1, 2, 3}, 2);
+  EXPECT_NE(h.ToString().find("Histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedcal

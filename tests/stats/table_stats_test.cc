@@ -1,0 +1,136 @@
+#include "stats/table_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+TEST(TableStatsTest, BasicProfile) {
+  auto t = MakeTable("t",
+                     {{"id", DataType::kInt64},
+                      {"name", DataType::kString}},
+                     {{I(1), S("a")},
+                      {I(2), S("b")},
+                      {I(2), N()},
+                      {I(3), S("a")}});
+  TableStats ts = TableStats::Compute(*t);
+  EXPECT_EQ(ts.num_rows, 4u);
+  ASSERT_EQ(ts.columns.size(), 2u);
+
+  const ColumnStats& id = ts.columns[0];
+  EXPECT_EQ(id.num_values, 4u);
+  EXPECT_EQ(id.null_count, 0u);
+  EXPECT_EQ(id.num_distinct, 3u);
+  EXPECT_EQ(id.min_value.AsInt64(), 1);
+  EXPECT_EQ(id.max_value.AsInt64(), 3);
+
+  const ColumnStats& name = ts.columns[1];
+  EXPECT_EQ(name.num_values, 3u);
+  EXPECT_EQ(name.null_count, 1u);
+  EXPECT_EQ(name.num_distinct, 2u);
+}
+
+TEST(TableStatsTest, FindColumn) {
+  auto t = MakeTable("t", {{"x", DataType::kInt64}}, {{I(1)}});
+  TableStats ts = TableStats::Compute(*t);
+  EXPECT_NE(ts.FindColumn("x"), nullptr);
+  EXPECT_EQ(ts.FindColumn("y"), nullptr);
+}
+
+TEST(TableStatsTest, EmptyTable) {
+  Table t("e", Schema({{"x", DataType::kInt64}}));
+  TableStats ts = TableStats::Compute(t);
+  EXPECT_EQ(ts.num_rows, 0u);
+  EXPECT_EQ(ts.columns[0].num_values, 0u);
+  EXPECT_DOUBLE_EQ(ts.columns[0].Selectivity(CompareOp::kEq, Value(I(1))),
+                   0.0);
+}
+
+TEST(SelectivityTest, EqualityUsesHistogram) {
+  Rng rng(1);
+  TableGenSpec spec;
+  spec.name = "u";
+  spec.num_rows = 10'000;
+  spec.columns = {{"k", DataType::kInt64}};
+  spec.generators = {ColumnGenSpec::UniformInt(0, 99)};
+  auto t = GenerateTable(spec, &rng).MoveValue();
+  TableStats ts = TableStats::Compute(*t);
+  // Each value holds ~1% of the rows.
+  EXPECT_NEAR(ts.columns[0].Selectivity(CompareOp::kEq, Value(I(50))), 0.01,
+              0.008);
+}
+
+TEST(SelectivityTest, RangePredicates) {
+  Rng rng(2);
+  TableGenSpec spec;
+  spec.name = "u";
+  spec.num_rows = 10'000;
+  spec.columns = {{"v", DataType::kDouble}};
+  spec.generators = {ColumnGenSpec::UniformDouble(0, 1000)};
+  auto t = GenerateTable(spec, &rng).MoveValue();
+  const TableStats ts = TableStats::Compute(*t);
+  const ColumnStats& c = ts.columns[0];
+  EXPECT_NEAR(c.Selectivity(CompareOp::kLt, Value(D(250))), 0.25, 0.03);
+  EXPECT_NEAR(c.Selectivity(CompareOp::kGt, Value(D(900))), 0.10, 0.03);
+  EXPECT_NEAR(c.Selectivity(CompareOp::kGe, Value(D(900))), 0.10, 0.03);
+  EXPECT_NEAR(c.Selectivity(CompareOp::kLe, Value(D(500))), 0.50, 0.03);
+  EXPECT_NEAR(c.Selectivity(CompareOp::kNe, Value(D(1.0))), 1.0, 0.02);
+}
+
+TEST(SelectivityTest, NullLiteralMatchesNothing) {
+  auto t = MakeTable("t", {{"x", DataType::kInt64}}, {{I(1)}, {I(2)}});
+  const TableStats ts = TableStats::Compute(*t);
+  const ColumnStats& c = ts.columns[0];
+  EXPECT_DOUBLE_EQ(c.Selectivity(CompareOp::kEq, Value()), 0.0);
+  EXPECT_DOUBLE_EQ(c.Selectivity(CompareOp::kLt, Value()), 0.0);
+}
+
+TEST(SelectivityTest, StringColumnsFallBackToUniform) {
+  auto t = MakeTable("t", {{"s", DataType::kString}},
+                     {{S("a")}, {S("b")}, {S("c")}, {S("d")}});
+  const TableStats ts = TableStats::Compute(*t);
+  const ColumnStats& c = ts.columns[0];
+  EXPECT_DOUBLE_EQ(c.Selectivity(CompareOp::kEq, Value(S("a"))), 0.25);
+  EXPECT_DOUBLE_EQ(c.Selectivity(CompareOp::kNe, Value(S("a"))), 0.75);
+  EXPECT_DOUBLE_EQ(c.Selectivity(CompareOp::kLt, Value(S("c"))), 1.0 / 3.0);
+}
+
+/// Property sweep: estimated "greater than" selectivity tracks the true
+/// fraction within a few points across thresholds and distributions.
+class SelectivitySweepTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(SelectivitySweepTest, GreaterThanTracksTruth) {
+  const auto [threshold, seed] = GetParam();
+  Rng rng(seed);
+  TableGenSpec spec;
+  spec.name = "u";
+  spec.num_rows = 20'000;
+  spec.columns = {{"v", DataType::kDouble}};
+  spec.generators = {ColumnGenSpec::UniformDouble(0, 10'000)};
+  auto t = GenerateTable(spec, &rng).MoveValue();
+  const TableStats ts = TableStats::Compute(*t);
+  const ColumnStats& c = ts.columns[0];
+
+  size_t matching = 0;
+  for (const Row& r : t->rows()) {
+    matching += r[0].AsDouble() > threshold ? 1 : 0;
+  }
+  const double truth = static_cast<double>(matching) / t->num_rows();
+  EXPECT_NEAR(c.Selectivity(CompareOp::kGt, Value(D(threshold))), truth,
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectivitySweepTest,
+    ::testing::Combine(::testing::Values(500.0, 2'500.0, 5'000.0, 9'000.0,
+                                         9'900.0),
+                       ::testing::Values(3, 17)));
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,131 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+Schema ThreeCols() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString}});
+}
+
+TEST(CsvTest, ReadBasic) {
+  const std::string csv =
+      "id,price,name\n"
+      "1,9.5,apple\n"
+      "2,3.25,pear\n";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv(csv, "t", ThreeCols()));
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(0)[0].AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(t->row(0)[1].AsDouble(), 9.5);
+  EXPECT_EQ(t->row(1)[2].AsString(), "pear");
+}
+
+TEST(CsvTest, QuotedCellsWithDelimitersAndNewlines) {
+  const std::string csv =
+      "id,price,name\n"
+      "1,1.0,\"a,b\"\n"
+      "2,2.0,\"line1\nline2\"\n"
+      "3,3.0,\"she said \"\"hi\"\"\"\n";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv(csv, "t", ThreeCols()));
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->row(0)[2].AsString(), "a,b");
+  EXPECT_EQ(t->row(1)[2].AsString(), "line1\nline2");
+  EXPECT_EQ(t->row(2)[2].AsString(), "she said \"hi\"");
+}
+
+TEST(CsvTest, NullTokenAndQuotedEmpty) {
+  const std::string csv =
+      "id,price,name\n"
+      "1,,\"\"\n";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv(csv, "t", ThreeCols()));
+  EXPECT_TRUE(t->row(0)[1].is_null());       // unquoted empty -> NULL
+  EXPECT_TRUE(t->row(0)[2].is_string());     // quoted empty -> ""
+  EXPECT_EQ(t->row(0)[2].AsString(), "");
+}
+
+TEST(CsvTest, CrlfAndMissingFinalNewline) {
+  const std::string csv = "id,price,name\r\n1,1.0,x\r\n2,2.0,y";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv(csv, "t", ThreeCols()));
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(1)[2].AsString(), "y");
+}
+
+TEST(CsvTest, HeaderValidation) {
+  EXPECT_FALSE(ReadCsv("id,wrong,name\n1,1.0,x\n", "t", ThreeCols()).ok());
+  EXPECT_FALSE(ReadCsv("id,price\n1,1.0\n", "t", ThreeCols()).ok());
+  // Headerless mode skips validation.
+  CsvOptions opts;
+  opts.header = false;
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       ReadCsv("5,1.5,z\n", "t", ThreeCols(), opts));
+  EXPECT_EQ(t->row(0)[0].AsInt64(), 5);
+}
+
+TEST(CsvTest, MalformedCellsRejected) {
+  EXPECT_FALSE(ReadCsv("id,price,name\nx,1.0,a\n", "t", ThreeCols()).ok());
+  EXPECT_FALSE(ReadCsv("id,price,name\n1,nope,a\n", "t", ThreeCols()).ok());
+  EXPECT_FALSE(ReadCsv("id,price,name\n1,1.0\n", "t", ThreeCols()).ok());
+  EXPECT_FALSE(
+      ReadCsv("id,price,name\n1,1.0,\"open\n", "t", ThreeCols()).ok());
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Rng rng(8);
+  TableGenSpec spec;
+  spec.name = "rt";
+  spec.num_rows = 200;
+  spec.columns = {{"id", DataType::kInt64},
+                  {"price", DataType::kDouble},
+                  {"name", DataType::kString}};
+  auto name_gen = ColumnGenSpec::StringPool({"plain", "wi,th", "qu\"ote"});
+  name_gen.null_fraction = 0.1;
+  spec.generators = {ColumnGenSpec::Serial(),
+                     ColumnGenSpec::UniformDouble(0, 100), name_gen};
+  TablePtr original = GenerateTable(spec, &rng).MoveValue();
+
+  const std::string csv = WriteCsv(*original);
+  ASSERT_OK_AND_ASSIGN(TablePtr parsed,
+                       ReadCsv(csv, "rt", original->schema()));
+  ASSERT_EQ(parsed->num_rows(), original->num_rows());
+  for (size_t r = 0; r < original->num_rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(parsed->row(r)[c].is_null(), original->row(r)[c].is_null());
+      if (!original->row(r)[c].is_null()) {
+        EXPECT_EQ(parsed->row(r)[c].Compare(original->row(r)[c]), 0)
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto t = MakeTable("f", {{"k", DataType::kInt64}}, {{I(1)}, {I(2)}});
+  const std::string path = ::testing::TempDir() + "/fedcal_csv_test.csv";
+  ASSERT_OK(WriteCsvFile(*t, path));
+  ASSERT_OK_AND_ASSIGN(TablePtr back, ReadCsvFile(path, "f", t->schema()));
+  EXPECT_EQ(back->num_rows(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv", "f", t->schema()).ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  const std::string csv = "id;price;name\n1;1.0;a\n";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv(csv, "t", ThreeCols(), opts));
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_NE(WriteCsv(*t, opts).find(';'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,158 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.IndexOf("id"), 0u);
+  EXPECT_EQ(s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, Concat) {
+  Schema joined = Schema::Concat(TwoColSchema(), TwoColSchema());
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.column(2).name, "id");
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoColSchema().ToString(), "id:INT, name:VARCHAR");
+}
+
+TEST(TableTest, AppendRowValidatesArity) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({I(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({I(1), S("a")}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendRowValidatesTypes) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({S("oops"), S("a")}).ok());
+  EXPECT_FALSE(t.AppendRow({I(1), I(2)}).ok());
+  // Nulls are allowed in any column.
+  EXPECT_TRUE(t.AppendRow({N(), N()}).ok());
+}
+
+TEST(TableTest, DoubleColumnAcceptsIntValues) {
+  Table t("t", Schema({{"v", DataType::kDouble}}));
+  EXPECT_TRUE(t.AppendRow({I(5)}).ok());
+  EXPECT_TRUE(t.AppendRow({D(5.5)}).ok());
+}
+
+TEST(TableTest, ByteSizeTracksAppends) {
+  Table t("t", TwoColSchema());
+  EXPECT_EQ(t.byte_size(), 0u);
+  t.AppendRowUnchecked({I(1), S("abcd")});
+  EXPECT_GT(t.byte_size(), 8u);
+  const size_t after_one = t.byte_size();
+  t.AppendRowUnchecked({I(2), S("abcd")});
+  EXPECT_EQ(t.byte_size(), 2 * after_one);
+  EXPECT_DOUBLE_EQ(t.avg_row_bytes(), static_cast<double>(after_one));
+}
+
+TEST(TableTest, CloneAsDeepCopies) {
+  Table t("orig", TwoColSchema());
+  t.AppendRowUnchecked({I(1), S("a")});
+  auto copy = t.CloneAs("copy");
+  EXPECT_EQ(copy->name(), "copy");
+  EXPECT_EQ(copy->num_rows(), 1u);
+  t.Clear();
+  EXPECT_EQ(copy->num_rows(), 1u);  // unaffected by source mutation
+}
+
+TEST(DatagenTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 500;
+  spec.columns = {{"id", DataType::kInt64},
+                  {"v", DataType::kDouble},
+                  {"tag", DataType::kString}};
+  spec.generators = {ColumnGenSpec::Serial(),
+                     ColumnGenSpec::UniformDouble(0, 1),
+                     ColumnGenSpec::StringTag("item", 1, 9)};
+  ASSERT_OK_AND_ASSIGN(TablePtr t, GenerateTable(spec, &rng));
+  EXPECT_EQ(t->num_rows(), 500u);
+  EXPECT_EQ(t->row(0)[0].AsInt64(), 0);
+  EXPECT_EQ(t->row(499)[0].AsInt64(), 499);
+  EXPECT_TRUE(t->row(7)[2].AsString().starts_with("item"));
+}
+
+TEST(DatagenTest, UniformIntWithinRange) {
+  Rng rng(2);
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 1000;
+  spec.columns = {{"k", DataType::kInt64}};
+  spec.generators = {ColumnGenSpec::UniformInt(10, 20)};
+  ASSERT_OK_AND_ASSIGN(TablePtr t, GenerateTable(spec, &rng));
+  for (const Row& r : t->rows()) {
+    ASSERT_GE(r[0].AsInt64(), 10);
+    ASSERT_LE(r[0].AsInt64(), 20);
+  }
+}
+
+TEST(DatagenTest, NullFractionProducesNulls) {
+  Rng rng(3);
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 2000;
+  spec.columns = {{"k", DataType::kInt64}};
+  auto gen = ColumnGenSpec::UniformInt(0, 9);
+  gen.null_fraction = 0.25;
+  spec.generators = {gen};
+  ASSERT_OK_AND_ASSIGN(TablePtr t, GenerateTable(spec, &rng));
+  size_t nulls = 0;
+  for (const Row& r : t->rows()) nulls += r[0].is_null() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(nulls), 500.0, 90.0);
+}
+
+TEST(DatagenTest, MismatchedGeneratorsRejected) {
+  Rng rng(4);
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 10;
+  spec.columns = {{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  spec.generators = {ColumnGenSpec::Serial()};
+  EXPECT_FALSE(GenerateTable(spec, &rng).ok());
+}
+
+TEST(DatagenTest, EmptyPoolRejected) {
+  Rng rng(4);
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 10;
+  spec.columns = {{"a", DataType::kString}};
+  spec.generators = {ColumnGenSpec::StringPool({})};
+  EXPECT_FALSE(GenerateTable(spec, &rng).ok());
+}
+
+TEST(DatagenTest, DeterministicForSameSeed) {
+  TableGenSpec spec;
+  spec.name = "g";
+  spec.num_rows = 50;
+  spec.columns = {{"v", DataType::kDouble}};
+  spec.generators = {ColumnGenSpec::UniformDouble(0, 100)};
+  Rng r1(9), r2(9);
+  auto t1 = GenerateTable(spec, &r1).MoveValue();
+  auto t2 = GenerateTable(spec, &r2).MoveValue();
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(t1->row(i)[0], t2->row(i)[0]);
+  }
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,172 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'500;
+  cfg.small_rows = 150;
+  return cfg;
+}
+
+TEST(ScenarioTest, BuildsThreeServersWithReplicatedTables) {
+  Scenario sc(TinyConfig());
+  EXPECT_EQ(sc.server_ids().size(), 3u);
+  for (const auto& sid : sc.server_ids()) {
+    EXPECT_TRUE(sc.server(sid).HasTable("employee"));
+    EXPECT_TRUE(sc.server(sid).HasTable("sales"));
+    EXPECT_TRUE(sc.server(sid).HasTable("department"));
+  }
+  EXPECT_TRUE(sc.catalog().HasNickname("employee"));
+  ASSERT_OK_AND_ASSIGN(const NicknameEntry* e,
+                       sc.catalog().Lookup("employee"));
+  EXPECT_EQ(e->locations.size(), 3u);
+}
+
+TEST(ScenarioTest, TableSizesMatchConfig) {
+  Scenario sc(TinyConfig());
+  EXPECT_EQ(sc.server("S1").GetTable("employee").MoveValue()->num_rows(),
+            1'500u);
+  EXPECT_EQ(sc.server("S1").GetTable("department").MoveValue()->num_rows(),
+            150u);
+}
+
+TEST(ScenarioTest, PhaseTableMatchesPaperTable1) {
+  // Table 1: S1 loaded in phases 5-8, S2 in 3,4,7,8, S3 in 2,4,6,8.
+  const bool s1[] = {false, false, false, false, true, true, true, true};
+  const bool s2[] = {false, false, true, true, false, false, true, true};
+  const bool s3[] = {false, true, false, true, false, true, false, true};
+  for (int p = 1; p <= 8; ++p) {
+    EXPECT_EQ(Scenario::LoadedInPhase(p, "S1"), s1[p - 1]) << p;
+    EXPECT_EQ(Scenario::LoadedInPhase(p, "S2"), s2[p - 1]) << p;
+    EXPECT_EQ(Scenario::LoadedInPhase(p, "S3"), s3[p - 1]) << p;
+  }
+}
+
+TEST(ScenarioTest, ApplyPhaseSetsBackgroundLoad) {
+  Scenario sc(TinyConfig());
+  sc.ApplyPhase(4);  // S2 and S3 loaded
+  EXPECT_DOUBLE_EQ(sc.server("S1").background_load(), 0.0);
+  EXPECT_GT(sc.server("S2").background_load(), 0.0);
+  EXPECT_GT(sc.server("S3").background_load(), 0.0);
+  sc.ApplyPhase(1);
+  EXPECT_DOUBLE_EQ(sc.server("S3").background_load(), 0.0);
+}
+
+TEST(ScenarioTest, QueriesParseAndHaveStableSignatures) {
+  Scenario sc(TinyConfig());
+  for (QueryType qt : AllQueryTypes()) {
+    for (int i = 0; i < 10; ++i) {
+      const std::string sql = sc.MakeQueryInstance(qt, i);
+      auto stmt = ParseSelect(sql);
+      ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+      EXPECT_EQ(SignatureOf(*stmt), sc.QueryTypeSignature(qt));
+    }
+  }
+  // The four types have four distinct signatures.
+  std::set<size_t> sigs;
+  for (QueryType qt : AllQueryTypes()) {
+    sigs.insert(sc.QueryTypeSignature(qt));
+  }
+  EXPECT_EQ(sigs.size(), 4u);
+}
+
+TEST(ScenarioTest, InstancesVaryOnlyInParameters) {
+  Scenario sc(TinyConfig());
+  EXPECT_NE(sc.MakeQueryInstance(QueryType::kQT1, 0),
+            sc.MakeQueryInstance(QueryType::kQT1, 5));
+}
+
+TEST(ScenarioTest, AllQueryTypesExecuteCorrectlyEverywhere) {
+  Scenario sc(TinyConfig());
+  WorkloadRunner runner(&sc);
+  for (QueryType qt : AllQueryTypes()) {
+    const std::string sql = sc.MakeQueryInstance(qt, 3);
+    // Results must agree across servers (identical replicas).
+    auto reference = sc.integrator().RunSync(sql);
+    ASSERT_TRUE(reference.ok())
+        << sql << ": " << reference.status().ToString();
+    EXPECT_GT(reference->table->num_rows(), 0u)
+        << QueryTypeName(qt) << " returned empty result";
+  }
+}
+
+TEST(ScenarioTest, QT3IsMoreSelectiveThanQT1) {
+  Scenario sc(TinyConfig());
+  // Compare fragment work: QT3 (selective) must be cheaper than QT1.
+  auto q1 = sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  auto q3 = sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT3, 0));
+  ASSERT_OK(q1.status());
+  ASSERT_OK(q3.status());
+  EXPECT_LT(q3->options[0].total_calibrated_seconds,
+            q1->options[0].total_calibrated_seconds);
+}
+
+TEST(RunnerTest, RunQueryOnForcesServer) {
+  Scenario sc(TinyConfig());
+  WorkloadRunner runner(&sc);
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT4, 1);
+  for (const auto& sid : sc.server_ids()) {
+    ASSERT_OK_AND_ASSIGN(double t, runner.RunQueryOn(sql, sid));
+    EXPECT_GT(t, 0.0);
+  }
+  // Forcing is temporary: the integrator's selector is restored.
+  auto compiled = sc.integrator().Compile(sql);
+  ASSERT_OK(compiled.status());
+}
+
+TEST(RunnerTest, MixedWorkloadRunsAllInstances) {
+  Scenario sc(TinyConfig());
+  WorkloadRunner runner(&sc);
+  WorkloadResult r = runner.RunMixedWorkload(3, 2);
+  EXPECT_EQ(r.measurements.size(), 12u);
+  EXPECT_EQ(r.failures(), 0u);
+  EXPECT_GT(r.MeanResponse(), 0.0);
+  for (QueryType qt : AllQueryTypes()) {
+    EXPECT_GT(r.MeanResponse(qt), 0.0);
+    EXPECT_NE(r.DominantServer(qt), "-");
+  }
+}
+
+TEST(RunnerTest, ForcedSelectorFallsBackWhenTargetUnavailable) {
+  Scenario sc(TinyConfig());
+  sc.server("S2").SetAvailable(false);
+  WorkloadRunner runner(&sc);
+  // Forcing to a down server falls back to another plan (failover).
+  auto t = runner.RunQueryOn(sc.MakeQueryInstance(QueryType::kQT1, 0), "S2");
+  ASSERT_OK(t.status());
+}
+
+/// End-to-end reproduction of the headline result at tiny scale: under a
+/// loaded preferred server, QCC-routed queries beat static routing.
+TEST(AdaptiveRoutingTest, QccBeatsStaticRoutingUnderLoad) {
+  Scenario fixed_sc(TinyConfig());
+  ForcedServerSelector fixed;
+  fixed.set_default_server("S3");
+  fixed_sc.integrator().SetPlanSelector(&fixed);
+  WorkloadRunner fixed_runner(&fixed_sc);
+  fixed_sc.ApplyPhase(2);  // S3 loaded
+  WorkloadResult fixed_result = fixed_runner.RunMixedWorkload(4, 1);
+
+  Scenario qcc_sc(TinyConfig());
+  qcc_sc.qcc().AttachTo(&qcc_sc.integrator());
+  WorkloadRunner qcc_runner(&qcc_sc);
+  qcc_sc.ApplyPhase(2);
+  qcc_runner.ExplorationPass(4);
+  WorkloadResult qcc_result = qcc_runner.RunMixedWorkload(4, 1);
+
+  EXPECT_LT(qcc_result.MeanResponse(), fixed_result.MeanResponse())
+      << "QCC failed to beat static routing under load";
+}
+
+}  // namespace
+}  // namespace fedcal

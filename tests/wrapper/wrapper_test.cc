@@ -1,0 +1,117 @@
+#include "wrapper/wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+class WrapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerConfig cfg;
+    cfg.id = "s1";
+    server_ = std::make_unique<RemoteServer>(cfg, &sim_, Rng(2));
+
+    Rng rng(5);
+    TableGenSpec fact;
+    fact.name = "fact";
+    fact.num_rows = 3'000;
+    fact.columns = {{"k", DataType::kInt64}, {"v", DataType::kDouble}};
+    fact.generators = {ColumnGenSpec::UniformInt(0, 49),
+                       ColumnGenSpec::UniformDouble(0, 100)};
+    ASSERT_OK(server_->AddTable(GenerateTable(fact, &rng).MoveValue()));
+    TableGenSpec dim;
+    dim.name = "dim";
+    dim.num_rows = 50;
+    dim.columns = {{"k", DataType::kInt64}, {"tag", DataType::kString}};
+    dim.generators = {ColumnGenSpec::Serial(),
+                      ColumnGenSpec::StringPool({"a", "b"})};
+    ASSERT_OK(server_->AddTable(GenerateTable(dim, &rng).MoveValue()));
+
+    wrapper_ = std::make_unique<RelationalWrapper>(server_.get());
+  }
+
+  Simulator sim_;
+  std::unique_ptr<RemoteServer> server_;
+  std::unique_ptr<RelationalWrapper> wrapper_;
+};
+
+TEST_F(WrapperTest, PlansSingleTableFragment) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans, wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 50"));
+  ASSERT_EQ(plans.size(), 1u);  // one sensible shape for a single table
+  const WrapperPlan& p = plans[0];
+  EXPECT_EQ(p.server_id, "s1");
+  EXPECT_GT(p.estimated_work, 0.0);
+  EXPECT_GT(p.estimated_rows, 0.0);
+  EXPECT_GT(p.estimated_bytes, 0.0);
+  EXPECT_EQ(p.output_schema.num_columns(), 1u);
+  EXPECT_NE(p.plan, nullptr);
+}
+
+TEST_F(WrapperTest, JoinFragmentOffersAlternatives) {
+  ASSERT_OK_AND_ASSIGN(
+      auto plans,
+      wrapper_->PlanFragmentSql(
+          "SELECT f.v FROM fact f, dim d WHERE f.k = d.k", 4));
+  EXPECT_GE(plans.size(), 2u);  // both join orders
+  // Cheapest first.
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].estimated_work, plans[i].estimated_work);
+  }
+  // Distinct identities, identical statements.
+  EXPECT_NE(plans[0].identity, plans[1].identity);
+  EXPECT_EQ(plans[0].statement, plans[1].statement);
+}
+
+TEST_F(WrapperTest, SignatureStableAcrossLiterals) {
+  ASSERT_OK_AND_ASSIGN(
+      auto p1, wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 10"));
+  ASSERT_OK_AND_ASSIGN(
+      auto p2, wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 90"));
+  EXPECT_EQ(p1[0].signature, p2[0].signature);
+  EXPECT_NE(p1[0].identity, p2[0].identity);
+}
+
+TEST_F(WrapperTest, ShapeStableAcrossReplicaNames) {
+  // Same query shape against a clone with a different table name: the
+  // shape fingerprint must match (the §4.1 exchangeability key).
+  ServerConfig cfg;
+  cfg.id = "replica";
+  RemoteServer replica(cfg, &sim_, Rng(8));
+  auto t = server_->GetTable("fact").MoveValue();
+  ASSERT_OK(replica.AddTable(t->CloneAs("fact_r")));
+  RelationalWrapper replica_wrapper(&replica);
+
+  ASSERT_OK_AND_ASSIGN(
+      auto origin, wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 10"));
+  ASSERT_OK_AND_ASSIGN(
+      auto rep,
+      replica_wrapper.PlanFragmentSql("SELECT k FROM fact_r WHERE v > 10"));
+  EXPECT_EQ(origin[0].shape, rep[0].shape);
+  EXPECT_NE(origin[0].identity, rep[0].identity);
+}
+
+TEST_F(WrapperTest, MissingTableFailsCleanly) {
+  auto r = wrapper_->PlanFragmentSql("SELECT x FROM nothere");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WrapperTest, EstimatesScaleWithSelectivity) {
+  ASSERT_OK_AND_ASSIGN(
+      auto wide, wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 5"));
+  ASSERT_OK_AND_ASSIGN(
+      auto narrow,
+      wrapper_->PlanFragmentSql("SELECT k FROM fact WHERE v > 95"));
+  EXPECT_GT(wide[0].estimated_rows, narrow[0].estimated_rows * 3);
+  EXPECT_GT(wide[0].estimated_bytes, narrow[0].estimated_bytes);
+}
+
+}  // namespace
+}  // namespace fedcal
