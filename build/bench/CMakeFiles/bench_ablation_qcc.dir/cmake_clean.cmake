@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qcc.dir/bench_ablation_qcc.cc.o"
+  "CMakeFiles/bench_ablation_qcc.dir/bench_ablation_qcc.cc.o.d"
+  "bench_ablation_qcc"
+  "bench_ablation_qcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

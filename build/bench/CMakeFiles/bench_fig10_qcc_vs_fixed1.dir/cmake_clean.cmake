@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_qcc_vs_fixed1.dir/bench_fig10_qcc_vs_fixed1.cc.o"
+  "CMakeFiles/bench_fig10_qcc_vs_fixed1.dir/bench_fig10_qcc_vs_fixed1.cc.o.d"
+  "bench_fig10_qcc_vs_fixed1"
+  "bench_fig10_qcc_vs_fixed1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_qcc_vs_fixed1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

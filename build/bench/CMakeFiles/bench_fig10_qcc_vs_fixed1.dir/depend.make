@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_qcc_vs_fixed1.
+# This may be replaced when dependencies are built.

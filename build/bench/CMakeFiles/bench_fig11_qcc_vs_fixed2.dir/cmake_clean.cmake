@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qcc_vs_fixed2.dir/bench_fig11_qcc_vs_fixed2.cc.o"
+  "CMakeFiles/bench_fig11_qcc_vs_fixed2.dir/bench_fig11_qcc_vs_fixed2.cc.o.d"
+  "bench_fig11_qcc_vs_fixed2"
+  "bench_fig11_qcc_vs_fixed2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qcc_vs_fixed2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_qcc.dir/bench_micro_qcc.cc.o"
+  "CMakeFiles/bench_micro_qcc.dir/bench_micro_qcc.cc.o.d"
+  "bench_micro_qcc"
+  "bench_micro_qcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_qcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_aware.dir/bench_network_aware.cc.o"
+  "CMakeFiles/bench_network_aware.dir/bench_network_aware.cc.o.d"
+  "bench_network_aware"
+  "bench_network_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_load_balance.dir/bench_sec4_load_balance.cc.o"
+  "CMakeFiles/bench_sec4_load_balance.dir/bench_sec4_load_balance.cc.o.d"
+  "bench_sec4_load_balance"
+  "bench_sec4_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_assignment.dir/bench_table2_assignment.cc.o"
+  "CMakeFiles/bench_table2_assignment.dir/bench_table2_assignment.cc.o.d"
+  "bench_table2_assignment"
+  "bench_table2_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_routing.cpp" "examples/CMakeFiles/adaptive_routing.dir/adaptive_routing.cpp.o" "gcc" "examples/CMakeFiles/adaptive_routing.dir/adaptive_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/fedcal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedcal_qcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/fedcal_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metawrapper/CMakeFiles/fedcal_metawrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedcal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/fedcal_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/fedcal_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedcal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fedcal_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fedcal_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fedcal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedcal_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fedcal_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fedcal_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fedcal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedcal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

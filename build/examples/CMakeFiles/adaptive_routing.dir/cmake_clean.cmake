@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_routing.dir/adaptive_routing.cpp.o"
+  "CMakeFiles/adaptive_routing.dir/adaptive_routing.cpp.o.d"
+  "adaptive_routing"
+  "adaptive_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_failover.dir/availability_failover.cpp.o"
+  "CMakeFiles/availability_failover.dir/availability_failover.cpp.o.d"
+  "availability_failover"
+  "availability_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for availability_failover.
+# This may be replaced when dependencies are built.

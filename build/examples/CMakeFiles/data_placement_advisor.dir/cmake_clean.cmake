@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_placement_advisor.dir/data_placement_advisor.cpp.o"
+  "CMakeFiles/data_placement_advisor.dir/data_placement_advisor.cpp.o.d"
+  "data_placement_advisor"
+  "data_placement_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_placement_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

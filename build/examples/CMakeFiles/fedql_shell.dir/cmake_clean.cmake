@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedql_shell.dir/fedql_shell.cpp.o"
+  "CMakeFiles/fedql_shell.dir/fedql_shell.cpp.o.d"
+  "fedql_shell"
+  "fedql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancing_replicas.dir/load_balancing_replicas.cpp.o"
+  "CMakeFiles/load_balancing_replicas.dir/load_balancing_replicas.cpp.o.d"
+  "load_balancing_replicas"
+  "load_balancing_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancing_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

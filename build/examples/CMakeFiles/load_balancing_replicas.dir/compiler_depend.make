@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for load_balancing_replicas.
+# This may be replaced when dependencies are built.

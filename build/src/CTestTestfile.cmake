@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("storage")
+subdirs("stats")
+subdirs("sql")
+subdirs("expr")
+subdirs("engine")
+subdirs("cost")
+subdirs("net")
+subdirs("server")
+subdirs("catalog")
+subdirs("wrapper")
+subdirs("federation")
+subdirs("metawrapper")
+subdirs("core")
+subdirs("workload")

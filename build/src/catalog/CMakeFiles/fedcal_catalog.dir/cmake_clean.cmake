@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_catalog.dir/global_catalog.cc.o"
+  "CMakeFiles/fedcal_catalog.dir/global_catalog.cc.o.d"
+  "libfedcal_catalog.a"
+  "libfedcal_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_common.dir/logging.cc.o"
+  "CMakeFiles/fedcal_common.dir/logging.cc.o.d"
+  "CMakeFiles/fedcal_common.dir/rng.cc.o"
+  "CMakeFiles/fedcal_common.dir/rng.cc.o.d"
+  "CMakeFiles/fedcal_common.dir/running_stats.cc.o"
+  "CMakeFiles/fedcal_common.dir/running_stats.cc.o.d"
+  "CMakeFiles/fedcal_common.dir/status.cc.o"
+  "CMakeFiles/fedcal_common.dir/status.cc.o.d"
+  "CMakeFiles/fedcal_common.dir/string_util.cc.o"
+  "CMakeFiles/fedcal_common.dir/string_util.cc.o.d"
+  "libfedcal_common.a"
+  "libfedcal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

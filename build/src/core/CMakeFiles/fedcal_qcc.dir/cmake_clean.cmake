@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_qcc.dir/availability.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/availability.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/calibration_store.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/calibration_store.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/load_balancer.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/load_balancer.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/qcc.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/qcc.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/reliability.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/reliability.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/replica_advisor.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/replica_advisor.cc.o.d"
+  "CMakeFiles/fedcal_qcc.dir/whatif.cc.o"
+  "CMakeFiles/fedcal_qcc.dir/whatif.cc.o.d"
+  "libfedcal_qcc.a"
+  "libfedcal_qcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_qcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_cost.dir/cost_model.cc.o"
+  "CMakeFiles/fedcal_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/fedcal_cost.dir/planner.cc.o"
+  "CMakeFiles/fedcal_cost.dir/planner.cc.o.d"
+  "libfedcal_cost.a"
+  "libfedcal_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_engine.dir/executor.cc.o"
+  "CMakeFiles/fedcal_engine.dir/executor.cc.o.d"
+  "CMakeFiles/fedcal_engine.dir/plan.cc.o"
+  "CMakeFiles/fedcal_engine.dir/plan.cc.o.d"
+  "libfedcal_engine.a"
+  "libfedcal_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

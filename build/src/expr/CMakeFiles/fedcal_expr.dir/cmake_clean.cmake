@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_expr.dir/bound_expr.cc.o"
+  "CMakeFiles/fedcal_expr.dir/bound_expr.cc.o.d"
+  "libfedcal_expr.a"
+  "libfedcal_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

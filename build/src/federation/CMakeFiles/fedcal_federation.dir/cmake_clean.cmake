@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_federation.dir/decomposer.cc.o"
+  "CMakeFiles/fedcal_federation.dir/decomposer.cc.o.d"
+  "CMakeFiles/fedcal_federation.dir/global_optimizer.cc.o"
+  "CMakeFiles/fedcal_federation.dir/global_optimizer.cc.o.d"
+  "CMakeFiles/fedcal_federation.dir/integrator.cc.o"
+  "CMakeFiles/fedcal_federation.dir/integrator.cc.o.d"
+  "CMakeFiles/fedcal_federation.dir/patroller.cc.o"
+  "CMakeFiles/fedcal_federation.dir/patroller.cc.o.d"
+  "libfedcal_federation.a"
+  "libfedcal_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

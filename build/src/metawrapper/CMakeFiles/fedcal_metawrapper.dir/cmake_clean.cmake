@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_metawrapper.dir/meta_wrapper.cc.o"
+  "CMakeFiles/fedcal_metawrapper.dir/meta_wrapper.cc.o.d"
+  "libfedcal_metawrapper.a"
+  "libfedcal_metawrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_metawrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

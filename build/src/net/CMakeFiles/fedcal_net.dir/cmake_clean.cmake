@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_net.dir/network.cc.o"
+  "CMakeFiles/fedcal_net.dir/network.cc.o.d"
+  "libfedcal_net.a"
+  "libfedcal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

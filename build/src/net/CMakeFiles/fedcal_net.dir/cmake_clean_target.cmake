@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedcal_net.a"
+)

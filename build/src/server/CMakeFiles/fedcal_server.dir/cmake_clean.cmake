@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_server.dir/remote_server.cc.o"
+  "CMakeFiles/fedcal_server.dir/remote_server.cc.o.d"
+  "libfedcal_server.a"
+  "libfedcal_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

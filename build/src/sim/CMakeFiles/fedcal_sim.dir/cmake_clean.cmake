@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_sim.dir/simulator.cc.o"
+  "CMakeFiles/fedcal_sim.dir/simulator.cc.o.d"
+  "libfedcal_sim.a"
+  "libfedcal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_sql.dir/ast.cc.o"
+  "CMakeFiles/fedcal_sql.dir/ast.cc.o.d"
+  "CMakeFiles/fedcal_sql.dir/binder.cc.o"
+  "CMakeFiles/fedcal_sql.dir/binder.cc.o.d"
+  "CMakeFiles/fedcal_sql.dir/lexer.cc.o"
+  "CMakeFiles/fedcal_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fedcal_sql.dir/parser.cc.o"
+  "CMakeFiles/fedcal_sql.dir/parser.cc.o.d"
+  "libfedcal_sql.a"
+  "libfedcal_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

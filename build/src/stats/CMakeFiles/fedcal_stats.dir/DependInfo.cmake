@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/fedcal_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/fedcal_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/stats/CMakeFiles/fedcal_stats.dir/table_stats.cc.o" "gcc" "src/stats/CMakeFiles/fedcal_stats.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedcal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fedcal_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_stats.dir/histogram.cc.o"
+  "CMakeFiles/fedcal_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/fedcal_stats.dir/table_stats.cc.o"
+  "CMakeFiles/fedcal_stats.dir/table_stats.cc.o.d"
+  "libfedcal_stats.a"
+  "libfedcal_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

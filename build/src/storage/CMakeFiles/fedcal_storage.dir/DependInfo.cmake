@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/fedcal_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/storage/CMakeFiles/fedcal_storage.dir/datagen.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/datagen.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/storage/CMakeFiles/fedcal_storage.dir/index.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/index.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/fedcal_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/fedcal_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/fedcal_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/fedcal_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedcal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

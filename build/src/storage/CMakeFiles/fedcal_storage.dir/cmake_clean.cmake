@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_storage.dir/csv.cc.o"
+  "CMakeFiles/fedcal_storage.dir/csv.cc.o.d"
+  "CMakeFiles/fedcal_storage.dir/datagen.cc.o"
+  "CMakeFiles/fedcal_storage.dir/datagen.cc.o.d"
+  "CMakeFiles/fedcal_storage.dir/index.cc.o"
+  "CMakeFiles/fedcal_storage.dir/index.cc.o.d"
+  "CMakeFiles/fedcal_storage.dir/schema.cc.o"
+  "CMakeFiles/fedcal_storage.dir/schema.cc.o.d"
+  "CMakeFiles/fedcal_storage.dir/table.cc.o"
+  "CMakeFiles/fedcal_storage.dir/table.cc.o.d"
+  "CMakeFiles/fedcal_storage.dir/value.cc.o"
+  "CMakeFiles/fedcal_storage.dir/value.cc.o.d"
+  "libfedcal_storage.a"
+  "libfedcal_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_workload.dir/runner.cc.o"
+  "CMakeFiles/fedcal_workload.dir/runner.cc.o.d"
+  "CMakeFiles/fedcal_workload.dir/scenario.cc.o"
+  "CMakeFiles/fedcal_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/fedcal_workload.dir/update_driver.cc.o"
+  "CMakeFiles/fedcal_workload.dir/update_driver.cc.o.d"
+  "libfedcal_workload.a"
+  "libfedcal_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

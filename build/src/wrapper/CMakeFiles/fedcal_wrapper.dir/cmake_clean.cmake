@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcal_wrapper.dir/wrapper.cc.o"
+  "CMakeFiles/fedcal_wrapper.dir/wrapper.cc.o.d"
+  "libfedcal_wrapper.a"
+  "libfedcal_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcal_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

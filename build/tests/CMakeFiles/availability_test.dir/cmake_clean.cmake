@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_test.dir/core/availability_test.cc.o"
+  "CMakeFiles/availability_test.dir/core/availability_test.cc.o.d"
+  "availability_test"
+  "availability_test.pdb"
+  "availability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/binder_test.cc" "tests/CMakeFiles/binder_test.dir/sql/binder_test.cc.o" "gcc" "tests/CMakeFiles/binder_test.dir/sql/binder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/fedcal_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fedcal_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fedcal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fedcal_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fedcal_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fedcal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedcal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

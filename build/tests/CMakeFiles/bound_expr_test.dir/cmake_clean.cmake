@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_expr_test.dir/expr/bound_expr_test.cc.o"
+  "CMakeFiles/bound_expr_test.dir/expr/bound_expr_test.cc.o.d"
+  "bound_expr_test"
+  "bound_expr_test.pdb"
+  "bound_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_store_test.dir/core/calibration_store_test.cc.o"
+  "CMakeFiles/calibration_store_test.dir/core/calibration_store_test.cc.o.d"
+  "calibration_store_test"
+  "calibration_store_test.pdb"
+  "calibration_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposer_test.dir/federation/decomposer_test.cc.o"
+  "CMakeFiles/decomposer_test.dir/federation/decomposer_test.cc.o.d"
+  "decomposer_test"
+  "decomposer_test.pdb"
+  "decomposer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

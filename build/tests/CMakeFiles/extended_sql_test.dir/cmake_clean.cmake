@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_sql_test.dir/sql/extended_sql_test.cc.o"
+  "CMakeFiles/extended_sql_test.dir/sql/extended_sql_test.cc.o.d"
+  "extended_sql_test"
+  "extended_sql_test.pdb"
+  "extended_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_correctness_test.dir/federation/federated_correctness_test.cc.o"
+  "CMakeFiles/federated_correctness_test.dir/federation/federated_correctness_test.cc.o.d"
+  "federated_correctness_test"
+  "federated_correctness_test.pdb"
+  "federated_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_catalog_test.dir/catalog/global_catalog_test.cc.o"
+  "CMakeFiles/global_catalog_test.dir/catalog/global_catalog_test.cc.o.d"
+  "global_catalog_test"
+  "global_catalog_test.pdb"
+  "global_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

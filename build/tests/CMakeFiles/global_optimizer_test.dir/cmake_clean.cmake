@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_optimizer_test.dir/federation/global_optimizer_test.cc.o"
+  "CMakeFiles/global_optimizer_test.dir/federation/global_optimizer_test.cc.o.d"
+  "global_optimizer_test"
+  "global_optimizer_test.pdb"
+  "global_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

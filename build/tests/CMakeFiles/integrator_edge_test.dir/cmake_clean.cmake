@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrator_edge_test.dir/federation/integrator_edge_test.cc.o"
+  "CMakeFiles/integrator_edge_test.dir/federation/integrator_edge_test.cc.o.d"
+  "integrator_edge_test"
+  "integrator_edge_test.pdb"
+  "integrator_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

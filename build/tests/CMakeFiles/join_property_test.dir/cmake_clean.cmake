@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_property_test.dir/engine/join_property_test.cc.o"
+  "CMakeFiles/join_property_test.dir/engine/join_property_test.cc.o.d"
+  "join_property_test"
+  "join_property_test.pdb"
+  "join_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_wrapper_test.dir/metawrapper/meta_wrapper_test.cc.o"
+  "CMakeFiles/meta_wrapper_test.dir/metawrapper/meta_wrapper_test.cc.o.d"
+  "meta_wrapper_test"
+  "meta_wrapper_test.pdb"
+  "meta_wrapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

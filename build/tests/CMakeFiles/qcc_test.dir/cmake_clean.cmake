@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_test.dir/core/qcc_test.cc.o"
+  "CMakeFiles/qcc_test.dir/core/qcc_test.cc.o.d"
+  "qcc_test"
+  "qcc_test.pdb"
+  "qcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

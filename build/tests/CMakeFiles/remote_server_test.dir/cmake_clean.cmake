@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_server_test.dir/server/remote_server_test.cc.o"
+  "CMakeFiles/remote_server_test.dir/server/remote_server_test.cc.o.d"
+  "remote_server_test"
+  "remote_server_test.pdb"
+  "remote_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_stats_test.dir/stats/table_stats_test.cc.o"
+  "CMakeFiles/table_stats_test.dir/stats/table_stats_test.cc.o.d"
+  "table_stats_test"
+  "table_stats_test.pdb"
+  "table_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
