@@ -1,0 +1,108 @@
+// Chaos bench: tail latency and success rate under a fail-slow brownout,
+// with and without the fault-tolerance layer.
+//
+// A mid-run fault window browns out S3 (the server every query type
+// prefers) and congests its network path. No hard errors are produced, so
+// the seed's error-triggered failover never fires: without the layer,
+// queries submitted inside the window crawl through the stall and the
+// p99 explodes. With deadlines on, the straggling fragments are cancelled
+// and retried on healthy replicas; with hedging on top, a speculative
+// twin usually rescues the query before the deadline even fires.
+//
+//   ./build/bench/bench_chaos_failover
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/fault_injector.h"
+
+namespace fedcal::bench {
+namespace {
+
+constexpr const char* kChaosScript = R"(# fail-slow window, 1.0s..2.5s
+at 1.0 brownout S3 0.98 for 1.5
+at 1.0 congest S3 2000 4000 for 1.5
+)";
+
+struct ChaosRun {
+  WorkloadResult result;
+  size_t retries = 0;
+};
+
+ChaosRun RunWorkload(bool deadlines, bool hedging) {
+  ScenarioConfig cfg = HarnessScenarioConfig();
+  Scenario sc(cfg);
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = deadlines;
+  ft.enable_hedging = hedging;
+  ft.deadline_multiplier = 4.0;
+  ft.deadline_floor_s = 0.1;
+
+  FaultSchedule chaos = FaultSchedule::Parse(kChaosScript).MoveValue();
+  Status armed = sc.fault_injector().Arm(chaos);
+  if (!armed.ok()) {
+    std::printf("arm failed: %s\n", armed.ToString().c_str());
+    return {};
+  }
+
+  WorkloadRunner runner(&sc);
+  ChaosRun run;
+  run.result = runner.RunMixedWorkload(/*instances_per_type=*/8,
+                                       /*clients=*/2);
+  run.retries = run.result.total_retries();
+  return run;
+}
+
+void PrintRow(const char* label, const ChaosRun& run) {
+  const WorkloadResult& r = run.result;
+  std::printf("  %-24s %7.1f%% %9.3f %9.3f %9zu %7zu %8zu\n", label,
+              r.SuccessRate() * 100.0, r.PercentileTotal(50.0),
+              r.PercentileTotal(99.0), r.total_timeouts(), r.total_hedges(),
+              run.retries);
+}
+
+int Main() {
+  std::printf("chaos schedule:\n%s\n", kChaosScript);
+
+  const ChaosRun base = RunWorkload(/*deadlines=*/false, /*hedging=*/false);
+  const ChaosRun ddl = RunWorkload(/*deadlines=*/true, /*hedging=*/false);
+  const ChaosRun hedged = RunWorkload(/*deadlines=*/true, /*hedging=*/true);
+
+  PrintRule();
+  std::printf("  %-24s %8s %9s %9s %9s %7s %8s\n", "configuration",
+              "success", "p50 (s)", "p99 (s)", "timeouts", "hedges",
+              "retries");
+  PrintRule();
+  PrintRow("layer off (seed)", base);
+  PrintRow("deadlines", ddl);
+  PrintRow("deadlines + hedging", hedged);
+  PrintRule();
+
+  ShapeCheck check;
+  check.Expect(base.result.SuccessRate() == 1.0,
+               "baseline completes every query (it just stalls)");
+  check.Expect(ddl.result.SuccessRate() == 1.0,
+               "deadline failover preserves every query");
+  check.Expect(hedged.result.SuccessRate() == 1.0,
+               "hedged execution preserves every query");
+  check.Expect(base.result.total_timeouts() == 0,
+               "layer off: nothing ever times out");
+  check.Expect(ddl.result.total_timeouts() >= 1,
+               "deadlines fire inside the fault window");
+  check.Expect(hedged.result.total_hedges() >= 1,
+               "hedges are issued inside the fault window");
+  check.Expect(ddl.result.PercentileTotal(99.0) * 2.0 <
+                   base.result.PercentileTotal(99.0),
+               "deadline failover at least halves the stalled p99");
+  check.Expect(hedged.result.PercentileTotal(99.0) * 2.0 <
+                   base.result.PercentileTotal(99.0),
+               "hedging at least halves the stalled p99");
+  check.Expect(ddl.result.PercentileTotal(50.0) <
+                   base.result.PercentileTotal(50.0) * 3.0,
+               "healthy-path p50 is not wrecked by the layer");
+  return check.Summary("bench_chaos_failover");
+}
+
+}  // namespace
+}  // namespace fedcal::bench
+
+int main() { return fedcal::bench::Main(); }

@@ -1,0 +1,105 @@
+#include "core/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fedcal {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+BreakerState CircuitBreaker::State(SimTime now) const {
+  if (state_ == BreakerState::kOpen &&
+      now >= opened_at_ + current_open_duration_) {
+    state_ = BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+void CircuitBreaker::Trip(SimTime now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  half_open_streak_ = 0;
+  consecutive_failures_ = 0;
+  if (times_opened_ > 0) {
+    current_open_duration_ = std::min(
+        config_.max_open_duration_s,
+        current_open_duration_ * config_.open_backoff_multiplier);
+  }
+  ++times_opened_;
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  switch (State(now)) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) Trip(now);
+      break;
+    case BreakerState::kHalfOpen:
+      // Probation failed: re-open with a longer cool-down.
+      Trip(now);
+      break;
+    case BreakerState::kOpen:
+      // Stragglers from before the trip carry no new signal.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordSuccess(SimTime now) {
+  switch (State(now)) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_streak_ >= config_.half_open_successes) Reset();
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::Reset() {
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  half_open_streak_ = 0;
+  times_opened_ = 0;
+  current_open_duration_ = config_.open_duration_s;
+}
+
+CircuitBreaker& CircuitBreakerBank::Get(const std::string& server_id) {
+  auto it = breakers_.find(server_id);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(server_id, CircuitBreaker(config_)).first;
+  }
+  return it->second;
+}
+
+const CircuitBreaker* CircuitBreakerBank::Find(
+    const std::string& server_id) const {
+  auto it = breakers_.find(server_id);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+BreakerState CircuitBreakerBank::State(const std::string& server_id,
+                                       SimTime now) const {
+  const CircuitBreaker* b = Find(server_id);
+  return b == nullptr ? BreakerState::kClosed : b->State(now);
+}
+
+std::vector<std::string> CircuitBreakerBank::server_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(breakers_.size());
+  for (const auto& [id, b] : breakers_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief Circuit-breaker lifecycle: closed (normal traffic), open (server
+/// priced at infinity), half-open (probation: probes may close it again).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+/// \brief Tuning for the per-server circuit breakers.
+struct CircuitBreakerConfig {
+  /// Consecutive failures (errors or timeouts) that trip the breaker.
+  size_t failure_threshold = 5;
+  /// Cool-down after tripping before the breaker turns half-open.
+  double open_duration_s = 10.0;
+  /// Every re-trip lengthens the cool-down by this factor (capped), so a
+  /// persistently sick server is probed less and less often.
+  double open_backoff_multiplier = 2.0;
+  double max_open_duration_s = 120.0;
+  /// Consecutive successes in half-open needed to close again.
+  size_t half_open_successes = 2;
+};
+
+/// \brief One server's breaker: a consecutive-failure counter with
+/// time-based open -> half-open decay.
+///
+/// Transitions are computed lazily against the simulated clock, so the
+/// breaker needs no timer events of its own: QCC asks for the state when
+/// pricing a plan, and the availability daemons' probes supply the
+/// half-open successes that close it (§3.3's probe machinery doubles as
+/// the breaker's trial traffic).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config), current_open_duration_(config.open_duration_s) {}
+
+  /// Current state at simulated time `now` (applies any pending
+  /// open -> half-open transition).
+  BreakerState State(SimTime now) const;
+
+  /// False only while fully open: half-open admits (trial) traffic.
+  bool Allows(SimTime now) const { return State(now) != BreakerState::kOpen; }
+
+  void RecordSuccess(SimTime now);
+  void RecordFailure(SimTime now);
+
+  void Reset();
+
+  size_t consecutive_failures() const { return consecutive_failures_; }
+  size_t times_opened() const { return times_opened_; }
+  SimTime opened_at() const { return opened_at_; }
+  double current_open_duration() const { return current_open_duration_; }
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  void Trip(SimTime now);
+
+  CircuitBreakerConfig config_;
+  // State decays with time (open -> half-open) even on const queries.
+  mutable BreakerState state_ = BreakerState::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t half_open_streak_ = 0;
+  SimTime opened_at_ = 0.0;
+  double current_open_duration_;
+  size_t times_opened_ = 0;
+};
+
+/// \brief All breakers of the federation, keyed by server id; servers are
+/// materialized lazily on first outcome.
+class CircuitBreakerBank {
+ public:
+  explicit CircuitBreakerBank(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  CircuitBreaker& Get(const std::string& server_id);
+  /// nullptr when the server has never recorded an outcome.
+  const CircuitBreaker* Find(const std::string& server_id) const;
+
+  /// kClosed for unknown servers.
+  BreakerState State(const std::string& server_id, SimTime now) const;
+  bool IsOpen(const std::string& server_id, SimTime now) const {
+    return State(server_id, now) == BreakerState::kOpen;
+  }
+
+  void RecordSuccess(const std::string& server_id, SimTime now) {
+    Get(server_id).RecordSuccess(now);
+  }
+  void RecordFailure(const std::string& server_id, SimTime now) {
+    Get(server_id).RecordFailure(now);
+  }
+
+  std::vector<std::string> server_ids() const;
+  void Clear() { breakers_.clear(); }
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  CircuitBreakerConfig config_;
+  std::map<std::string, CircuitBreaker> breakers_;
+};
+
+}  // namespace fedcal

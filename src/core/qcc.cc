@@ -13,6 +13,7 @@ QueryCostCalibrator::QueryCostCalibrator(Simulator* sim,
       availability_(sim, meta_wrapper, &store_, config.availability,
                     config.cycle),
       load_balancer_(sim, config.load_balance),
+      breakers_(config.breaker),
       whatif_(nullptr, meta_wrapper) {}
 
 void QueryCostCalibrator::AttachTo(Integrator* integrator) {
@@ -40,6 +41,13 @@ double QueryCostCalibrator::CalibrateFragmentCost(
   // A down server is priced at infinity so the optimizer never routes to
   // it (§3.3); the daemons restore it once it answers probes again.
   if (availability_.IsDown(server_id)) return kInfiniteCost;
+  // An open breaker is the fail-slow analog: the server answers probes
+  // but keeps erroring or timing out, so it is priced out until the
+  // half-open probation closes it again.
+  if (config_.enable_circuit_breaker &&
+      breakers_.IsOpen(server_id, sim_->Now())) {
+    return kInfiniteCost;
+  }
   if (!config_.enable_calibration) return estimated_seconds;
   double calibrated = store_.Calibrate(server_id, signature,
                                        estimated_seconds);
@@ -79,6 +87,9 @@ void QueryCostCalibrator::RecordIntegrationObservation(
 void QueryCostCalibrator::RecordError(const std::string& server_id,
                                       const Status& error) {
   reliability_.RecordError(server_id);
+  if (config_.enable_circuit_breaker) {
+    breakers_.RecordFailure(server_id, sim_->Now());
+  }
   if (config_.detect_down_from_logs && error.IsUnavailable()) {
     availability_.MarkDown(server_id);
   }
@@ -86,6 +97,12 @@ void QueryCostCalibrator::RecordError(const std::string& server_id,
 
 void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
   reliability_.RecordSuccess(server_id);
+  // Availability-daemon probes report through here too, so a half-open
+  // breaker accumulates its probation successes without any extra probe
+  // machinery.
+  if (config_.enable_circuit_breaker) {
+    breakers_.RecordSuccess(server_id, sim_->Now());
+  }
 }
 
 size_t QueryCostCalibrator::SelectPlan(

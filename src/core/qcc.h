@@ -6,6 +6,7 @@
 
 #include "core/availability.h"
 #include "core/calibration_store.h"
+#include "core/circuit_breaker.h"
 #include "core/cycle_controller.h"
 #include "core/ii_calibration.h"
 #include "core/load_balancer.h"
@@ -23,6 +24,7 @@ struct QccConfig {
   AvailabilityConfig availability;
   CycleControllerConfig cycle;
   LoadBalanceConfig load_balance;
+  CircuitBreakerConfig breaker;
 
   /// Master switch for transparent cost calibration (§3.1/§3.2). Off, QCC
   /// still observes but returns estimates unchanged — useful for A/B
@@ -34,6 +36,11 @@ struct QccConfig {
   bool enable_availability_daemon = true;
   /// Detect down events synchronously from MW/patroller error logs.
   bool detect_down_from_logs = true;
+  /// Per-server circuit breakers: repeated errors trip a server to
+  /// infinite calibrated cost until half-open probes succeed. Catches
+  /// fail-slow/error-burst servers that §3.3's binary up/down daemons
+  /// miss.
+  bool enable_circuit_breaker = true;
 };
 
 /// \brief The Query Cost Calibrator (the paper's contribution, §3–§4).
@@ -85,6 +92,8 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   AvailabilityMonitor& availability() { return availability_; }
   IiCalibration& ii_calibration() { return ii_calibration_; }
   LoadBalancer& load_balancer() { return load_balancer_; }
+  CircuitBreakerBank& breakers() { return breakers_; }
+  const CircuitBreakerBank& breakers() const { return breakers_; }
   WhatIfSimulator& whatif() { return whatif_; }
   QccConfig& config() { return config_; }
 
@@ -100,6 +109,7 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   AvailabilityMonitor availability_;
   IiCalibration ii_calibration_;
   LoadBalancer load_balancer_;
+  CircuitBreakerBank breakers_;
   WhatIfSimulator whatif_;
 };
 

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace fedcal {
+
+/// \brief Tuning for retry scheduling after failed or timed-out attempts.
+struct RetryPolicyConfig {
+  /// Total execution attempts per query (first attempt included).
+  size_t max_attempts = 4;
+  /// Backoff before the first retry; doubles (by `backoff_multiplier`) on
+  /// every further retry, capped at `max_backoff_s`.
+  double initial_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 5.0;
+  /// Multiplicative jitter: the delay is scaled by a deterministic uniform
+  /// draw from [1 - jitter_frac, 1 + jitter_frac], decorrelating retry
+  /// storms across concurrent queries.
+  double jitter_frac = 0.2;
+  /// Hard wall-clock budget for one query across all attempts and backoff
+  /// waits. Exceeding it fails the query with Status::Timeout.
+  double query_budget_s = std::numeric_limits<double>::infinity();
+};
+
+/// \brief Capped exponential backoff with deterministic jitter.
+///
+/// Header-only so the integrator (which the QCC library itself links
+/// against) can use it without a dependency cycle. All randomness comes
+/// from a caller-supplied Rng, keeping simulated retry schedules
+/// reproducible.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyConfig config = {}) : config_(config) {}
+
+  /// May another attempt start, given `attempts_so_far` completed attempts
+  /// and `elapsed_s` seconds spent on this query?
+  bool AllowRetry(size_t attempts_so_far, double elapsed_s) const {
+    return attempts_so_far < config_.max_attempts &&
+           elapsed_s < config_.query_budget_s;
+  }
+
+  /// Backoff before attempt `attempts_so_far + 1` (attempts_so_far >= 1).
+  /// Deterministic given the Rng state.
+  double BackoffDelay(size_t attempts_so_far, Rng* rng) const {
+    const double exponent =
+        attempts_so_far > 0 ? static_cast<double>(attempts_so_far - 1) : 0.0;
+    double delay = config_.initial_backoff_s *
+                   std::pow(config_.backoff_multiplier, exponent);
+    delay = std::min(delay, config_.max_backoff_s);
+    if (rng != nullptr && config_.jitter_frac > 0.0) {
+      delay *= rng->UniformDouble(1.0 - config_.jitter_frac,
+                                  1.0 + config_.jitter_frac);
+    }
+    return std::max(0.0, delay);
+  }
+
+  /// Budget left after `elapsed_s` seconds (never negative).
+  double RemainingBudget(double elapsed_s) const {
+    return std::max(0.0, config_.query_budget_s - elapsed_s);
+  }
+
+  const RetryPolicyConfig& config() const { return config_; }
+
+ private:
+  RetryPolicyConfig config_;
+};
+
+}  // namespace fedcal

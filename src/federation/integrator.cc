@@ -1,12 +1,31 @@
 #include "federation/integrator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "engine/executor.h"
 
 namespace fedcal {
+
+/// One global-plan option in flight: per-fragment tickets, timers, and the
+/// barrier bookkeeping that decides when the attempt succeeds, fails over,
+/// or waits for a hedge.
+struct Integrator::Attempt {
+  size_t remaining = 0;     ///< fragments not yet resolved
+  bool settled = false;     ///< merge started or failover initiated
+  bool failed = false;
+  Status first_error;
+  std::string failed_server;
+  std::vector<TablePtr> tables;
+  std::vector<FragmentTicketPtr> primary;
+  std::vector<FragmentTicketPtr> hedge;
+  std::vector<char> fragment_done;
+  std::vector<int> outstanding;  ///< live tickets per fragment
+  std::vector<Simulator::EventId> deadline_timers;
+  std::vector<Simulator::EventId> hedge_timers;
+};
 
 Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
                        Simulator* sim, IiConfig config)
@@ -38,6 +57,23 @@ double Integrator::effective_io_speed() const {
       std::max(config_.min_speed_fraction,
                1.0 - config_.io_load_sensitivity * background_load_);
   return config_.actual_io_speed * frac;
+}
+
+double Integrator::FragmentDeadline(const FragmentOption& choice) const {
+  const FaultToleranceConfig& ft = config_.fault;
+  return ft.deadline_multiplier * choice.calibrated_seconds +
+         ft.deadline_floor_s;
+}
+
+double Integrator::HedgeDelay(const FragmentOption& choice) const {
+  const FaultToleranceConfig& ft = config_.fault;
+  if (fragment_stats_.count() >= ft.hedge_min_samples) {
+    return std::max(ft.hedge_floor_s,
+                    fragment_stats_.mean() +
+                        ft.hedge_stddevs * fragment_stats_.stddev());
+  }
+  return std::max(ft.hedge_floor_s,
+                  ft.hedge_multiplier * choice.calibrated_seconds);
 }
 
 Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
@@ -90,88 +126,300 @@ Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
 
 void Integrator::Execute(const CompiledQuery& compiled, Callback done) {
   auto failed = std::make_shared<std::vector<std::string>>();
+  auto state = std::make_shared<ExecState>();
+  state->query_started_at = sim_->Now();
+  state->rng = Rng(config_.fault.rng_seed ^ compiled.query_id);
   ExecuteOption(compiled, compiled.chosen_index, failed, /*retries=*/0,
-                std::move(done));
+                std::move(state), std::move(done));
+}
+
+void Integrator::AbortAttempt(const std::shared_ptr<Attempt>& attempt,
+                              const Status& reason) {
+  for (auto& ev : attempt->deadline_timers) {
+    if (ev != 0) {
+      sim_->Cancel(ev);
+      ev = 0;
+    }
+  }
+  for (auto& ev : attempt->hedge_timers) {
+    if (ev != 0) {
+      sim_->Cancel(ev);
+      ev = 0;
+    }
+  }
+  for (size_t f = 0; f < attempt->primary.size(); ++f) {
+    for (FragmentTicketPtr* t : {&attempt->primary[f], &attempt->hedge[f]}) {
+      if (*t && !(*t)->finished()) {
+        // Sibling-fragment abort is no fault of that server's.
+        (*t)->Cancel(reason, /*count_as_error=*/false);
+      }
+    }
+  }
 }
 
 void Integrator::ExecuteOption(
     const CompiledQuery& compiled, size_t option_index,
     std::shared_ptr<std::vector<std::string>> failed_servers, size_t retries,
-    Callback done) {
+    std::shared_ptr<ExecState> state, Callback done) {
   const GlobalPlanOption& option = compiled.options[option_index];
   const SimTime started_at = sim_->Now();
   const size_t n = option.fragment_choices.size();
+  const bool deadlines_on = config_.fault.enable_deadlines;
+  const bool hedging_on = config_.fault.enable_hedging;
 
-  struct Pending {
-    size_t remaining;
-    bool failed = false;
-    Status first_error;
-    std::string failed_server;
-    std::vector<TablePtr> tables;
+  auto attempt = std::make_shared<Attempt>();
+  attempt->remaining = n;
+  attempt->tables.resize(n);
+  attempt->primary.resize(n);
+  attempt->hedge.resize(n);
+  attempt->fragment_done.assign(n, 0);
+  attempt->outstanding.assign(n, 0);
+  attempt->deadline_timers.assign(n, 0);
+  attempt->hedge_timers.assign(n, 0);
+
+  // Shared completion handler: every ticket (primary or hedge) of every
+  // fragment funnels through here exactly once.
+  auto on_fragment = std::make_shared<std::function<void(
+      size_t, const std::string&, bool, Result<FragmentExecution>)>>();
+  *on_fragment = [this, compiled, option_index, failed_servers, retries,
+                  state, done, attempt, started_at, deadlines_on](
+                     size_t f, const std::string& server_id, bool is_hedge,
+                     Result<FragmentExecution> result) {
+    if (attempt->settled) return;
+
+    if (result.ok()) {
+      if (attempt->fragment_done[f]) return;  // duplicate (loser raced win)
+      attempt->fragment_done[f] = 1;
+      attempt->tables[f] = result->table;
+      fragment_stats_.Add(result->response_seconds);
+      if (attempt->deadline_timers[f] != 0) {
+        sim_->Cancel(attempt->deadline_timers[f]);
+        attempt->deadline_timers[f] = 0;
+      }
+      if (attempt->hedge_timers[f] != 0) {
+        sim_->Cancel(attempt->hedge_timers[f]);
+        attempt->hedge_timers[f] = 0;
+      }
+      // Retire the losing side of a hedged pair; it was merely slower, so
+      // the cancellation does not count against its server.
+      FragmentTicketPtr& loser =
+          is_hedge ? attempt->primary[f] : attempt->hedge[f];
+      if (loser && !loser->finished()) {
+        loser->Cancel(
+            Status::Timeout("hedged sibling finished first"),
+            /*count_as_error=*/false);
+      }
+      if (is_hedge) ++state->hedge_wins;
+      if (--attempt->remaining > 0) return;
+      if (attempt->failed) {
+        // Legacy barrier mode: a fragment failed earlier; every other
+        // fragment has now resolved, so fail over.
+        attempt->settled = true;
+        HandleAttemptFailure(compiled, failed_servers, retries, state,
+                             attempt->first_error, attempt->failed_server,
+                             done);
+        return;
+      }
+      attempt->settled = true;
+      FinishWithMerge(compiled, option_index, std::move(attempt->tables),
+                      started_at, retries, state, done);
+      return;
+    }
+
+    // A ticket failed (error, timeout, or cancellation).
+    if (attempt->fragment_done[f]) return;  // loser cancelled after a win
+    if (--attempt->outstanding[f] > 0) return;  // sibling still in flight
+    if (!attempt->failed) {
+      attempt->failed = true;
+      attempt->first_error = result.status();
+      attempt->failed_server = server_id;
+    }
+    if (deadlines_on) {
+      // Eager failover: do not wait for healthy fragments to finish work
+      // that will be discarded anyway.
+      attempt->settled = true;
+      AbortAttempt(attempt,
+                   Status::Timeout("attempt aborted after failure of " +
+                                   attempt->failed_server));
+      HandleAttemptFailure(compiled, failed_servers, retries, state,
+                           attempt->first_error, attempt->failed_server,
+                           done);
+      return;
+    }
+    // Seed-compatible barrier mode: count the fragment as resolved and
+    // wait for the stragglers before retrying.
+    attempt->fragment_done[f] = 1;
+    if (--attempt->remaining > 0) return;
+    attempt->settled = true;
+    HandleAttemptFailure(compiled, failed_servers, retries, state,
+                         attempt->first_error, attempt->failed_server,
+                         done);
   };
-  auto pending = std::make_shared<Pending>();
-  pending->remaining = n;
-  pending->tables.resize(n);
 
   for (size_t f = 0; f < n; ++f) {
     const FragmentOption& choice = option.fragment_choices[f];
-    meta_wrapper_->ExecuteFragment(
+    const std::string server_id = choice.wrapper_plan.server_id;
+    attempt->outstanding[f] = 1;
+    attempt->primary[f] = meta_wrapper_->ExecuteFragment(
         compiled.query_id, choice,
-        [this, compiled, option_index, failed_servers, retries, done,
-         pending, f, started_at,
-         server_id = choice.wrapper_plan.server_id](
-            Result<FragmentExecution> result) {
-          if (!result.ok() && !pending->failed) {
-            pending->failed = true;
-            pending->first_error = result.status();
-            pending->failed_server = server_id;
-          } else if (result.ok()) {
-            pending->tables[f] = result->table;
-          }
-          if (--pending->remaining > 0) return;
+        [on_fragment, f, server_id](Result<FragmentExecution> result) {
+          (*on_fragment)(f, server_id, /*is_hedge=*/false,
+                         std::move(result));
+        });
 
-          if (pending->failed) {
-            failed_servers->push_back(pending->failed_server);
-            if (config_.retry_on_failure) {
-              // Next-cheapest plan avoiding every failed server.
-              for (size_t i = 0; i < compiled.options.size(); ++i) {
-                const auto& cand = compiled.options[i];
-                bool avoids = true;
-                for (const auto& s : cand.server_set) {
-                  if (std::find(failed_servers->begin(),
-                                failed_servers->end(),
-                                s) != failed_servers->end()) {
-                    avoids = false;
-                    break;
-                  }
-                }
-                if (avoids) {
-                  FEDCAL_LOG_INFO
-                      << "query " << compiled.query_id << ": retrying on "
-                      << cand.Describe() << " after failure of "
-                      << pending->failed_server;
-                  ExecuteOption(compiled, i, failed_servers, retries + 1,
-                                done);
-                  return;
+    if (deadlines_on) {
+      const double deadline = FragmentDeadline(choice);
+      if (std::isfinite(deadline)) {
+        attempt->deadline_timers[f] = sim_->ScheduleAfter(
+            deadline, [this, attempt, state, f, server_id, deadline,
+                       query_id = compiled.query_id] {
+              if (attempt->settled || attempt->fragment_done[f]) return;
+              attempt->deadline_timers[f] = 0;
+              ++state->timeouts;
+              FEDCAL_LOG_INFO << "query " << query_id << ": fragment " << f
+                              << " on " << server_id
+                              << " missed its deadline ("
+                              << deadline << "s), cancelling";
+              const Status timeout = Status::Timeout(
+                  "fragment deadline exceeded on server " + server_id);
+              // Cancelling delivers the timeout through the tickets'
+              // callbacks, which drive the failover.
+              for (FragmentTicketPtr* t :
+                   {&attempt->primary[f], &attempt->hedge[f]}) {
+                if (*t && !(*t)->finished()) {
+                  (*t)->Cancel(timeout, /*count_as_error=*/true);
                 }
               }
-            }
-            patroller_.RecordFailure(compiled.query_id,
-                                     pending->first_error.ToString());
-            done(pending->first_error);
-            return;
-          }
-          FinishWithMerge(compiled, option_index,
-                          std::move(pending->tables), started_at, retries,
-                          done);
-        });
+            });
+      }
+    }
+
+    if (hedging_on) {
+      const double hedge_delay = HedgeDelay(choice);
+      if (std::isfinite(hedge_delay)) {
+        attempt->hedge_timers[f] = sim_->ScheduleAfter(
+            hedge_delay, [this, attempt, state, on_fragment, compiled,
+                          failed_servers, f, server_id] {
+              if (attempt->settled || attempt->fragment_done[f]) return;
+              attempt->hedge_timers[f] = 0;
+              // Cheapest alternative for this fragment on another,
+              // non-failed server (options are sorted cheapest-first).
+              const FragmentOption* alt = nullptr;
+              for (const auto& cand : compiled.options) {
+                if (f >= cand.fragment_choices.size()) continue;
+                const FragmentOption& fc = cand.fragment_choices[f];
+                const std::string& sid = fc.wrapper_plan.server_id;
+                if (sid == server_id) continue;
+                if (std::find(failed_servers->begin(),
+                              failed_servers->end(),
+                              sid) != failed_servers->end()) {
+                  continue;
+                }
+                if (!std::isfinite(fc.calibrated_seconds)) continue;
+                alt = &fc;
+                break;
+              }
+              if (alt == nullptr) return;
+              ++state->hedges;
+              ++attempt->outstanding[f];
+              const std::string alt_server = alt->wrapper_plan.server_id;
+              FEDCAL_LOG_INFO << "query " << compiled.query_id
+                              << ": hedging straggler fragment " << f
+                              << " (" << server_id << ") on "
+                              << alt_server;
+              attempt->hedge[f] = meta_wrapper_->ExecuteFragment(
+                  compiled.query_id, *alt,
+                  [on_fragment, f, alt_server](
+                      Result<FragmentExecution> result) {
+                    (*on_fragment)(f, alt_server, /*is_hedge=*/true,
+                                   std::move(result));
+                  });
+            });
+      }
+    }
   }
+}
+
+void Integrator::HandleAttemptFailure(
+    const CompiledQuery& compiled,
+    std::shared_ptr<std::vector<std::string>> failed_servers, size_t retries,
+    std::shared_ptr<ExecState> state, const Status& error,
+    const std::string& failed_server, Callback done) {
+  failed_servers->push_back(failed_server);
+
+  auto fail = [&](const Status& st) {
+    patroller_.RecordFailure(compiled.query_id, st.ToString());
+    done(st);
+  };
+
+  if (!config_.retry_on_failure) {
+    fail(error);
+    return;
+  }
+
+  // Next-cheapest plan avoiding every failed server.
+  size_t next_index = compiled.options.size();
+  for (size_t i = 0; i < compiled.options.size(); ++i) {
+    const auto& cand = compiled.options[i];
+    bool avoids = true;
+    for (const auto& s : cand.server_set) {
+      if (std::find(failed_servers->begin(), failed_servers->end(), s) !=
+          failed_servers->end()) {
+        avoids = false;
+        break;
+      }
+    }
+    if (avoids) {
+      next_index = i;
+      break;
+    }
+  }
+  if (next_index == compiled.options.size()) {
+    fail(error);
+    return;
+  }
+
+  const size_t attempts_so_far = retries + 1;
+  if (!config_.fault.enable_deadlines) {
+    // Seed behaviour: immediate failover, no attempt cap beyond the number
+    // of distinct plans.
+    FEDCAL_LOG_INFO << "query " << compiled.query_id << ": retrying on "
+                    << compiled.options[next_index].Describe()
+                    << " after failure of " << failed_server;
+    ExecuteOption(compiled, next_index, failed_servers, retries + 1, state,
+                  done);
+    return;
+  }
+
+  const RetryPolicy policy(config_.fault.retry);
+  const double elapsed = sim_->Now() - state->query_started_at;
+  if (!policy.AllowRetry(attempts_so_far, elapsed)) {
+    fail(Status::Timeout("retry budget exhausted after " +
+                         std::to_string(attempts_so_far) +
+                         " attempts: " + error.ToString()));
+    return;
+  }
+  const double delay = policy.BackoffDelay(attempts_so_far, &state->rng);
+  if (elapsed + delay >= policy.config().query_budget_s) {
+    fail(Status::Timeout("query deadline budget exhausted: " +
+                         error.ToString()));
+    return;
+  }
+  FEDCAL_LOG_INFO << "query " << compiled.query_id << ": retrying on "
+                  << compiled.options[next_index].Describe() << " in "
+                  << delay << "s after " << error.ToString();
+  sim_->ScheduleAfter(delay, [this, compiled, next_index, failed_servers,
+                              retries, state, done] {
+    ExecuteOption(compiled, next_index, failed_servers, retries + 1, state,
+                  done);
+  });
 }
 
 void Integrator::FinishWithMerge(const CompiledQuery& compiled,
                                  size_t option_index,
                                  std::vector<TablePtr> fragment_tables,
                                  SimTime started_at, size_t retries,
+                                 std::shared_ptr<ExecState> state,
                                  Callback done) {
   const GlobalPlanOption& option = compiled.options[option_index];
 
@@ -200,15 +448,20 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
 
   sim_->ScheduleAfter(
       merge_seconds,
-      [this, compiled, option, retries, started_at, done,
+      [this, compiled, option, retries, started_at, state, done,
        table = merged.MoveValue()]() mutable {
         patroller_.RecordCompletion(compiled.query_id);
         QueryOutcome outcome;
         outcome.query_id = compiled.query_id;
         outcome.table = std::move(table);
         outcome.response_seconds = sim_->Now() - started_at;
+        outcome.total_response_seconds =
+            sim_->Now() - state->query_started_at;
         outcome.executed_plan = option;
         outcome.retries = retries;
+        outcome.timeouts = state->timeouts;
+        outcome.hedges = state->hedges;
+        outcome.hedge_wins = state->hedge_wins;
         done(std::move(outcome));
       });
 }

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "common/running_stats.h"
+#include "core/retry_policy.h"
 #include "federation/explain.h"
 #include "federation/global_optimizer.h"
 #include "federation/patroller.h"
@@ -29,6 +32,41 @@ class PlanSelector {
   }
 };
 
+/// \brief Mid-query fault tolerance: deadlines, backoff, hedging.
+///
+/// The §3.3 availability daemons only catch servers that are *down*; a
+/// fail-slow server (browned out, congested) never errors and would hold a
+/// federated query hostage. This layer derives a deadline per fragment
+/// from its calibrated cost, cancels and fails over on expiry, spaces
+/// retries with jittered exponential backoff, and can hedge stragglers on
+/// the cheapest alternative server.
+struct FaultToleranceConfig {
+  /// Master switch for deadline-driven cancellation, timeout failover, and
+  /// backoff between attempts. Off preserves the seed behaviour: only hard
+  /// errors trigger retry, immediately.
+  bool enable_deadlines = false;
+  /// Per-fragment deadline = multiplier x calibrated cost + floor.
+  double deadline_multiplier = 6.0;
+  double deadline_floor_s = 0.25;
+  /// Retry scheduling across attempts (max attempts, backoff, jitter,
+  /// per-query budget).
+  RetryPolicyConfig retry;
+
+  /// Speculative re-issue of a straggler fragment on the cheapest
+  /// alternative server; first completion wins, the loser is cancelled.
+  bool enable_hedging = false;
+  /// Hedge fires at mean + hedge_stddevs x stddev of observed fragment
+  /// response times (a p95-style threshold) once `hedge_min_samples`
+  /// observations exist; before that, at multiplier x calibrated cost.
+  double hedge_stddevs = 2.0;
+  size_t hedge_min_samples = 8;
+  double hedge_multiplier = 3.0;
+  double hedge_floor_s = 0.05;
+
+  /// Seed for the deterministic backoff jitter (combined with query id).
+  uint64_t rng_seed = 0xfedca1;
+};
+
 /// \brief Runtime behaviour of the integrator host.
 struct IiConfig {
   /// What the cost model divides merge work by (configured belief).
@@ -45,6 +83,8 @@ struct IiConfig {
   /// On fragment failure, re-execute using the next-cheapest plan that
   /// avoids every failed server.
   bool retry_on_failure = true;
+  /// Mid-query deadlines, retry backoff, and hedging.
+  FaultToleranceConfig fault;
 };
 
 /// \brief A compiled federated query: decomposition plus every enumerated
@@ -61,9 +101,15 @@ struct CompiledQuery {
 struct QueryOutcome {
   uint64_t query_id = 0;
   TablePtr table;
+  /// Duration of the successful attempt (seed-compatible metric).
   double response_seconds = 0.0;
+  /// Duration of the whole query including failed attempts and backoff.
+  double total_response_seconds = 0.0;
   GlobalPlanOption executed_plan;
   size_t retries = 0;
+  size_t timeouts = 0;    ///< fragment deadline expirations
+  size_t hedges = 0;      ///< speculative fragment re-issues
+  size_t hedge_wins = 0;  ///< hedged attempts that beat the primary
 };
 
 /// \brief The federated query processor (the paper's DB2 Information
@@ -83,6 +129,9 @@ class Integrator {
   QueryPatroller& patroller() { return patroller_; }
   ExplainTable& explain() { return explain_; }
   const IiConfig& config() const { return config_; }
+  /// Mutable access for toggling fault tolerance between runs (tests,
+  /// benches, chaos experiments).
+  IiConfig& mutable_config() { return config_; }
   GlobalCatalog* catalog() { return catalog_; }
   MetaWrapper* meta_wrapper() { return meta_wrapper_; }
 
@@ -113,14 +162,43 @@ class Integrator {
   double effective_cpu_speed() const;
   double effective_io_speed() const;
 
+  /// Deadline for one fragment attempt (infinity disables the timer).
+  double FragmentDeadline(const FragmentOption& choice) const;
+  /// Delay before hedging a straggler fragment (p95-style once observed
+  /// fragment response times accumulate).
+  double HedgeDelay(const FragmentOption& choice) const;
+  /// Observed fragment response times feeding the hedge threshold.
+  const RunningStats& fragment_stats() const { return fragment_stats_; }
+
  private:
+  /// Cross-attempt state of one executing query.
+  struct ExecState {
+    SimTime query_started_at = 0.0;
+    size_t timeouts = 0;
+    size_t hedges = 0;
+    size_t hedge_wins = 0;
+    Rng rng{0};
+  };
+  /// State of one attempt (one global plan option in flight).
   struct Attempt;
+
   void ExecuteOption(const CompiledQuery& compiled, size_t option_index,
                      std::shared_ptr<std::vector<std::string>> failed_servers,
-                     size_t retries, Callback done);
+                     size_t retries, std::shared_ptr<ExecState> state,
+                     Callback done);
+  /// Cancels every timer and outstanding ticket of a settled attempt.
+  void AbortAttempt(const std::shared_ptr<Attempt>& attempt,
+                    const Status& reason);
+  /// Failover: pick the next plan, apply retry policy / backoff, or fail.
+  void HandleAttemptFailure(
+      const CompiledQuery& compiled,
+      std::shared_ptr<std::vector<std::string>> failed_servers,
+      size_t retries, std::shared_ptr<ExecState> state, const Status& error,
+      const std::string& failed_server, Callback done);
   void FinishWithMerge(const CompiledQuery& compiled, size_t option_index,
                        std::vector<TablePtr> fragment_tables,
-                       SimTime started_at, size_t retries, Callback done);
+                       SimTime started_at, size_t retries,
+                       std::shared_ptr<ExecState> state, Callback done);
 
   GlobalCatalog* catalog_;
   MetaWrapper* meta_wrapper_;
@@ -132,6 +210,7 @@ class Integrator {
   PlanSelector default_selector_;
   PlanSelector* selector_ = &default_selector_;
   double background_load_ = 0.0;
+  RunningStats fragment_stats_;
 };
 
 }  // namespace fedcal

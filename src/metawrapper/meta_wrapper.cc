@@ -81,61 +81,125 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
   return options;
 }
 
-void MetaWrapper::ExecuteFragment(uint64_t query_id,
-                                  const FragmentOption& option,
-                                  ExecutionCallback done) {
-  const std::string server_id = option.wrapper_plan.server_id;
-  auto wrapper = GetWrapper(server_id);
-  if (!wrapper.ok()) {
-    sim_->ScheduleAfter(0.0, [done = std::move(done),
-                              st = wrapper.status()] { done(st); });
-    return;
+bool FragmentTicket::Cancel(const Status& reason, bool count_as_error) {
+  if (finished()) return false;
+  if (pending_event_ != 0) {
+    mw_->sim_->Cancel(pending_event_);
+    pending_event_ = 0;
   }
+  if (stage_ == Stage::kExecuting && server_ != nullptr &&
+      server_job_ != 0) {
+    server_->CancelFragment(server_job_);
+    server_job_ = 0;
+  }
+  stage_ = Stage::kDone;
+  mw_->OnTicketCancelled(*this, reason, count_as_error);
+  // Deliver asynchronously so cancellation never re-enters the caller.
+  if (done_) {
+    mw_->sim_->ScheduleAfter(
+        0.0, [done = std::move(done_), reason] { done(reason); });
+  }
+  return true;
+}
 
-  const SimTime submit_time = sim_->Now();
-  const double estimated = option.raw_estimated_seconds;
-  const size_t signature = option.wrapper_plan.signature;
+void MetaWrapper::OnTicketCancelled(const FragmentTicket& ticket,
+                                    const Status& reason,
+                                    bool count_as_error) {
+  const double elapsed = sim_->Now() - ticket.submit_time_;
+  runtime_log_.push_back(MwRuntimeRecord{ticket.query_id_, ticket.server_id_,
+                                         ticket.signature_,
+                                         ticket.estimated_, elapsed,
+                                         /*failed=*/true});
+  if (count_as_error) {
+    calibrator_->RecordError(ticket.server_id_, reason);
+  }
+  // Censored observation: the fragment took *at least* `elapsed` seconds.
+  // Recording it only when it already exceeds the estimate means it can
+  // push the calibration factor up (the straggler signal a browned-out
+  // server would otherwise never produce) but never drag it down.
+  if (elapsed > ticket.estimated_) {
+    calibrator_->RecordFragmentObservation(ticket.server_id_,
+                                           ticket.signature_,
+                                           ticket.estimated_, elapsed);
+  }
+}
+
+FragmentTicketPtr MetaWrapper::ExecuteFragment(uint64_t query_id,
+                                               const FragmentOption& option,
+                                               ExecutionCallback done) {
+  auto ticket = std::make_shared<FragmentTicket>();
+  ticket->mw_ = this;
+  ticket->server_id_ = option.wrapper_plan.server_id;
+  ticket->query_id_ = query_id;
+  ticket->signature_ = option.wrapper_plan.signature;
+  ticket->estimated_ = option.raw_estimated_seconds;
+  ticket->submit_time_ = sim_->Now();
+  ticket->done_ = std::move(done);
+
+  auto wrapper = GetWrapper(ticket->server_id_);
+  if (!wrapper.ok()) {
+    ticket->stage_ = FragmentTicket::Stage::kDone;
+    sim_->ScheduleAfter(0.0, [done = std::move(ticket->done_),
+                              st = wrapper.status()] { done(st); });
+    return ticket;
+  }
+  ticket->server_ = (*wrapper)->server();
+
   // Request message: a few hundred bytes of execution descriptor.
-  const double request_time = network_->TransferTime(server_id, 512,
-                                                     submit_time);
-
-  RemoteServer* server = (*wrapper)->server();
+  const double request_time =
+      network_->TransferTime(ticket->server_id_, 512, ticket->submit_time_);
   PlanNodePtr plan = option.wrapper_plan.plan;
-  sim_->ScheduleAfter(request_time, [this, server, plan, server_id,
-                                     signature, estimated, submit_time,
-                                     query_id, done = std::move(done)] {
-    server->SubmitFragment(plan, [this, server_id, signature, estimated,
-                                  submit_time, query_id, done](
-                                     Result<FragmentResult> result) {
-      if (!result.ok()) {
-        calibrator_->RecordError(server_id, result.status());
-        runtime_log_.push_back(MwRuntimeRecord{
-            query_id, server_id, signature, estimated,
-            sim_->Now() - submit_time, /*failed=*/true});
-        done(result.status());
-        return;
-      }
-      FragmentResult server_result = std::move(result).MoveValue();
-      const double reply_time = network_->TransferTime(
-          server_id, server_result.table->byte_size(), sim_->Now());
-      sim_->ScheduleAfter(
-          reply_time, [this, server_id, signature, estimated, submit_time,
-                       query_id, done,
-                       server_result = std::move(server_result)]() mutable {
-            FragmentExecution exec;
-            exec.table = server_result.table;
-            exec.response_seconds = sim_->Now() - submit_time;
-            exec.server_result = std::move(server_result);
-            calibrator_->RecordSuccess(server_id);
-            calibrator_->RecordFragmentObservation(
-                server_id, signature, estimated, exec.response_seconds);
+
+  ticket->pending_event_ = sim_->ScheduleAfter(request_time, [this, ticket,
+                                                             plan] {
+    if (ticket->finished()) return;
+    ticket->pending_event_ = 0;
+    ticket->stage_ = FragmentTicket::Stage::kExecuting;
+    ticket->server_job_ = ticket->server_->SubmitFragment(
+        plan, [this, ticket](Result<FragmentResult> result) {
+          if (ticket->finished()) return;
+          ticket->server_job_ = 0;
+          if (!result.ok()) {
+            ticket->stage_ = FragmentTicket::Stage::kDone;
+            calibrator_->RecordError(ticket->server_id_, result.status());
             runtime_log_.push_back(MwRuntimeRecord{
-                query_id, server_id, signature, estimated,
-                exec.response_seconds, /*failed=*/false});
-            done(std::move(exec));
-          });
-    });
+                ticket->query_id_, ticket->server_id_, ticket->signature_,
+                ticket->estimated_, sim_->Now() - ticket->submit_time_,
+                /*failed=*/true});
+            auto cb = std::move(ticket->done_);
+            cb(result.status());
+            return;
+          }
+          FragmentResult server_result = std::move(result).MoveValue();
+          ticket->stage_ = FragmentTicket::Stage::kReply;
+          const double reply_time = network_->TransferTime(
+              ticket->server_id_, server_result.table->byte_size(),
+              sim_->Now());
+          ticket->pending_event_ = sim_->ScheduleAfter(
+              reply_time,
+              [this, ticket,
+               server_result = std::move(server_result)]() mutable {
+                if (ticket->finished()) return;
+                ticket->pending_event_ = 0;
+                ticket->stage_ = FragmentTicket::Stage::kDone;
+                FragmentExecution exec;
+                exec.table = server_result.table;
+                exec.response_seconds = sim_->Now() - ticket->submit_time_;
+                exec.server_result = std::move(server_result);
+                calibrator_->RecordSuccess(ticket->server_id_);
+                calibrator_->RecordFragmentObservation(
+                    ticket->server_id_, ticket->signature_,
+                    ticket->estimated_, exec.response_seconds);
+                runtime_log_.push_back(MwRuntimeRecord{
+                    ticket->query_id_, ticket->server_id_,
+                    ticket->signature_, ticket->estimated_,
+                    exec.response_seconds, /*failed=*/false});
+                auto cb = std::move(ticket->done_);
+                cb(std::move(exec));
+              });
+        });
   });
+  return ticket;
 }
 
 Result<MetaWrapper::ProbeResult> MetaWrapper::ProbeServer(

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,47 @@ struct FragmentExecution {
   double response_seconds = 0.0;  ///< submit -> results fully received
   FragmentResult server_result;
 };
+
+class MetaWrapper;
+
+/// \brief Cancellable handle for one in-flight fragment execution.
+///
+/// The integrator's fault-tolerance layer uses tickets to enforce
+/// deadlines and to retire the losing side of a hedged pair. Cancel()
+/// aborts whichever stage is current (request hop, server execution, reply
+/// hop), guarantees the completion callback fires exactly once (with the
+/// cancellation status, on the next scheduler tick), and reports the
+/// outcome to QCC: a censored cost observation when the fragment already
+/// ran longer than its estimate, plus an error record when the
+/// cancellation should count against the server (deadline expiry).
+class FragmentTicket {
+ public:
+  /// Aborts the fragment. `count_as_error` feeds the reliability tracker
+  /// and circuit breaker; pass false for no-fault cancellations (hedge
+  /// loser, sibling-fragment abort). Returns false if already finished.
+  bool Cancel(const Status& reason, bool count_as_error = true);
+
+  bool finished() const { return stage_ == Stage::kDone; }
+  const std::string& server_id() const { return server_id_; }
+
+ private:
+  friend class MetaWrapper;
+  enum class Stage { kRequest, kExecuting, kReply, kDone };
+
+  MetaWrapper* mw_ = nullptr;
+  RemoteServer* server_ = nullptr;
+  std::string server_id_;
+  uint64_t query_id_ = 0;
+  size_t signature_ = 0;
+  double estimated_ = 0.0;
+  SimTime submit_time_ = 0.0;
+  Stage stage_ = Stage::kRequest;
+  Simulator::EventId pending_event_ = 0;  ///< request/reply hop in flight
+  uint64_t server_job_ = 0;               ///< valid during kExecuting
+  std::function<void(Result<FragmentExecution>)> done_;
+};
+
+using FragmentTicketPtr = std::shared_ptr<FragmentTicket>;
 
 /// \brief Compile-time record kept by MW (paper §2: statements, estimated
 /// costs, outgoing fragments, server mappings).
@@ -104,8 +146,11 @@ class MetaWrapper {
 
   /// Executes the chosen fragment option at its server. The callback runs
   /// through the simulator after results travel back across the network.
-  void ExecuteFragment(uint64_t query_id, const FragmentOption& option,
-                       ExecutionCallback done);
+  /// The returned ticket supports mid-flight cancellation (deadlines,
+  /// hedging); callers that never cancel may ignore it.
+  FragmentTicketPtr ExecuteFragment(uint64_t query_id,
+                                    const FragmentOption& option,
+                                    ExecutionCallback done);
 
   /// What an availability-daemon probe measured vs what the configured
   /// profile predicted — the ratio bootstraps initial calibration factors
@@ -134,6 +179,13 @@ class MetaWrapper {
   }
 
  private:
+  friend class FragmentTicket;
+
+  /// Bookkeeping for a ticket aborted mid-flight: runtime-log entry,
+  /// optional error record, censored cost observation.
+  void OnTicketCancelled(const FragmentTicket& ticket, const Status& reason,
+                         bool count_as_error);
+
   GlobalCatalog* catalog_;
   Network* network_;
   Simulator* sim_;

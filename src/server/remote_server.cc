@@ -104,16 +104,41 @@ Result<FragmentResult> RemoteServer::ExecuteNow(const PlanNodePtr& plan) {
   return result;
 }
 
-void RemoteServer::SubmitFragment(PlanNodePtr plan, CompletionCallback done) {
+uint64_t RemoteServer::SubmitFragment(PlanNodePtr plan,
+                                      CompletionCallback done) {
   if (!available_) {
     // Rejection still takes one scheduler tick so callers never reenter.
     sim_->ScheduleAfter(0.0, [this, done = std::move(done)] {
       done(Status::Unavailable("server " + config_.id + " is down"));
     });
-    return;
+    return 0;
   }
-  queue_.push_back(Job{std::move(plan), std::move(done), sim_->Now()});
+  const uint64_t id = next_job_id_++;
+  queue_.push_back(Job{id, std::move(plan), std::move(done), sim_->Now()});
   TryDispatch();
+  return id;
+}
+
+bool RemoteServer::CancelFragment(uint64_t job_id) {
+  if (job_id == 0) return false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == job_id) {
+      queue_.erase(it);
+      ++cancelled_;
+      return true;
+    }
+  }
+  auto it = running_.find(job_id);
+  if (it == running_.end()) return false;
+  sim_->Cancel(it->second.completion_event);
+  // Refund the service time the worker will no longer spend.
+  total_busy_seconds_ -=
+      std::max(0.0, it->second.scheduled_end - sim_->Now());
+  running_.erase(it);
+  --busy_workers_;
+  ++cancelled_;
+  TryDispatch();
+  return true;
 }
 
 void RemoteServer::TryDispatch() {
@@ -159,11 +184,13 @@ void RemoteServer::RunJob(Job job) {
   total_busy_seconds_ += service_time;
 
   const SimTime submitted = job.submitted_at;
-  sim_->ScheduleAfter(
+  const uint64_t job_id = job.id;
+  const Simulator::EventId event = sim_->ScheduleAfter(
       service_time,
-      [this, done = std::move(job.done), failure,
+      [this, job_id, done = std::move(job.done), failure,
        table = table.ok() ? table.MoveValue() : nullptr, stats, submitted,
        started = result.started_at]() mutable {
+        running_.erase(job_id);
         --busy_workers_;
         if (!failure.ok()) {
           ++failed_;
@@ -180,6 +207,7 @@ void RemoteServer::RunJob(Job job) {
         }
         TryDispatch();
       });
+  running_[job_id] = RunningJob{event, sim_->Now() + service_time};
 }
 
 }  // namespace fedcal

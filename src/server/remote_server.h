@@ -104,7 +104,14 @@ class RemoteServer {
   /// callback fires through the simulator once the fragment completes,
   /// fails, or is rejected (server down). The result's `server_seconds`
   /// covers queueing plus service time (transport is the Network's job).
-  void SubmitFragment(PlanNodePtr plan, CompletionCallback done);
+  /// Returns a job id usable with CancelFragment (0 when the fragment was
+  /// rejected outright and there is nothing to cancel).
+  uint64_t SubmitFragment(PlanNodePtr plan, CompletionCallback done);
+
+  /// Cancels a queued or in-flight fragment: the job is dequeued (or its
+  /// worker freed and its busy time refunded) and its callback never
+  /// fires. Returns false when the job already completed or is unknown.
+  bool CancelFragment(uint64_t job_id);
 
   /// Synchronous execution that charges no simulated time — used by the
   /// availability daemons' probes and by tests.
@@ -116,13 +123,19 @@ class RemoteServer {
   size_t queued_fragments() const { return queue_.size(); }
   size_t fragments_completed() const { return completed_; }
   size_t fragments_failed() const { return failed_; }
+  size_t fragments_cancelled() const { return cancelled_; }
   double total_busy_seconds() const { return total_busy_seconds_; }
 
  private:
   struct Job {
+    uint64_t id = 0;
     PlanNodePtr plan;
     CompletionCallback done;
     SimTime submitted_at;
+  };
+  struct RunningJob {
+    Simulator::EventId completion_event = 0;
+    SimTime scheduled_end = 0.0;
   };
 
   void TryDispatch();
@@ -141,8 +154,11 @@ class RemoteServer {
 
   int busy_workers_ = 0;
   std::deque<Job> queue_;
+  uint64_t next_job_id_ = 1;
+  std::map<uint64_t, RunningJob> running_;
   size_t completed_ = 0;
   size_t failed_ = 0;
+  size_t cancelled_ = 0;
   double total_busy_seconds_ = 0.0;
 };
 

@@ -1,0 +1,288 @@
+#include "sim/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fedcal {
+
+namespace {
+
+const char* KindVerb(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRecover:
+      return "recover";
+    case FaultEvent::Kind::kBrownout:
+      return "brownout";
+    case FaultEvent::Kind::kErrorBurst:
+      return "errors";
+    case FaultEvent::Kind::kCongestion:
+      return "congest";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+bool ParseNumber(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != token.c_str();
+}
+
+}  // namespace
+
+std::string FaultEvent::Describe() const {
+  std::string s = StringFormat("at %g %s %s", at, KindVerb(kind),
+                               target.c_str());
+  switch (kind) {
+    case Kind::kBrownout:
+    case Kind::kErrorBurst:
+      s += StringFormat(" %g", magnitude);
+      break;
+    case Kind::kCongestion:
+      s += StringFormat(" %g %g", magnitude, bandwidth_divisor);
+      break;
+    default:
+      break;
+  }
+  if (duration_s > 0.0) s += StringFormat(" for %g", duration_s);
+  return s;
+}
+
+FaultSchedule& FaultSchedule::Crash(SimTime at, std::string server,
+                                    double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kCrash, at, duration_s,
+                              std::move(server), 0.0, 1.0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Recover(SimTime at, std::string server) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kRecover, at, 0.0,
+                              std::move(server), 0.0, 1.0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Brownout(SimTime at, std::string server,
+                                       double load, double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kBrownout, at, duration_s,
+                              std::move(server), load, 1.0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::ErrorBurst(SimTime at, std::string server,
+                                         double rate, double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kErrorBurst, at, duration_s,
+                              std::move(server), rate, 1.0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Congestion(SimTime at, std::string link,
+                                         double latency_multiplier,
+                                         double bandwidth_divisor,
+                                         double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kCongestion, at, duration_s,
+                              std::move(link), latency_multiplier,
+                              bandwidth_divisor});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Partition(SimTime at, std::string link,
+                                        double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kPartition, at, duration_s,
+                              std::move(link),
+                              FaultInjector::kPartitionSeverity,
+                              FaultInjector::kPartitionSeverity});
+  return *this;
+}
+
+Result<FaultSchedule> FaultSchedule::Parse(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream in(line);
+    std::vector<std::string> tok;
+    for (std::string t; in >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError(StringFormat(
+          "fault schedule line %zu: %s", line_no, why.c_str()));
+    };
+    if (tok.size() < 4 || tok[0] != "at") {
+      return fail("expected 'at <time> <verb> <target> ...'");
+    }
+    double at = 0.0;
+    if (!ParseNumber(tok[1], &at) || at < 0.0) {
+      return fail("bad time '" + tok[1] + "'");
+    }
+    const std::string& verb = tok[2];
+    const std::string& target = tok[3];
+    size_t next = 4;
+
+    // Verb-specific positional magnitudes.
+    auto need_number = [&](const char* what, double* out) -> Status {
+      if (next >= tok.size() || !ParseNumber(tok[next], out)) {
+        return fail(std::string("expected ") + what);
+      }
+      ++next;
+      return Status::OK();
+    };
+
+    FaultEvent ev;
+    ev.at = at;
+    ev.target = target;
+    if (verb == "crash") {
+      ev.kind = FaultEvent::Kind::kCrash;
+    } else if (verb == "recover") {
+      ev.kind = FaultEvent::Kind::kRecover;
+    } else if (verb == "brownout") {
+      ev.kind = FaultEvent::Kind::kBrownout;
+      if (Status st = need_number("a load in [0,1)", &ev.magnitude);
+          !st.ok()) {
+        return st;
+      }
+    } else if (verb == "errors") {
+      ev.kind = FaultEvent::Kind::kErrorBurst;
+      if (Status st = need_number("an error rate", &ev.magnitude); !st.ok()) {
+        return st;
+      }
+    } else if (verb == "congest") {
+      ev.kind = FaultEvent::Kind::kCongestion;
+      if (Status st = need_number("a latency multiplier", &ev.magnitude);
+          !st.ok()) {
+        return st;
+      }
+      if (Status st =
+              need_number("a bandwidth divisor", &ev.bandwidth_divisor);
+          !st.ok()) {
+        return st;
+      }
+    } else if (verb == "partition") {
+      ev.kind = FaultEvent::Kind::kPartition;
+      ev.magnitude = FaultInjector::kPartitionSeverity;
+      ev.bandwidth_divisor = FaultInjector::kPartitionSeverity;
+    } else {
+      return fail("unknown fault verb '" + verb + "'");
+    }
+
+    if (next < tok.size()) {
+      if (tok[next] != "for" || next + 1 >= tok.size() ||
+          !ParseNumber(tok[next + 1], &ev.duration_s) ||
+          ev.duration_s <= 0.0) {
+        return fail("trailing tokens; expected 'for <duration>'");
+      }
+      next += 2;
+    }
+    if (next != tok.size()) return fail("unexpected trailing tokens");
+    schedule.events.push_back(std::move(ev));
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const auto& ev : events) {
+    out += ev.Describe();
+    out += '\n';
+  }
+  return out;
+}
+
+void FaultInjector::RegisterServer(const std::string& id, ServerHooks hooks) {
+  servers_[id] = std::move(hooks);
+}
+
+void FaultInjector::RegisterLink(const std::string& id, LinkHooks hooks) {
+  links_[id] = std::move(hooks);
+}
+
+Status FaultInjector::Arm(const FaultSchedule& schedule) {
+  for (const auto& ev : schedule.events) {
+    const bool is_link_fault = ev.kind == FaultEvent::Kind::kCongestion ||
+                               ev.kind == FaultEvent::Kind::kPartition;
+    if (is_link_fault) {
+      if (!links_.count(ev.target)) {
+        return Status::NotFound("fault schedule targets unregistered link " +
+                                ev.target);
+      }
+    } else if (!servers_.count(ev.target)) {
+      return Status::NotFound("fault schedule targets unregistered server " +
+                              ev.target);
+    }
+  }
+  for (const auto& ev : schedule.events) {
+    sim_->ScheduleAt(ev.at, [this, ev] { Apply(ev); });
+    ++armed_;
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  ++applied_;
+  log_.push_back(StringFormat("t=%.3f: %s", sim_->Now(),
+                              event.Describe().c_str()));
+  FEDCAL_LOG_INFO << "fault injector: " << log_.back();
+
+  switch (event.kind) {
+    case FaultEvent::Kind::kCrash: {
+      ServerHooks& s = servers_.at(event.target);
+      s.set_available(false);
+      if (event.duration_s > 0.0) {
+        sim_->ScheduleAfter(event.duration_s,
+                            [&s] { s.set_available(true); });
+      }
+      break;
+    }
+    case FaultEvent::Kind::kRecover:
+      servers_.at(event.target).set_available(true);
+      break;
+    case FaultEvent::Kind::kBrownout: {
+      ServerHooks& s = servers_.at(event.target);
+      const double previous = s.background_load();
+      s.set_background_load(event.magnitude);
+      if (event.duration_s > 0.0) {
+        sim_->ScheduleAfter(event.duration_s, [&s, previous] {
+          s.set_background_load(previous);
+        });
+      }
+      break;
+    }
+    case FaultEvent::Kind::kErrorBurst: {
+      ServerHooks& s = servers_.at(event.target);
+      const double previous = s.error_rate();
+      s.set_error_rate(event.magnitude);
+      if (event.duration_s > 0.0) {
+        sim_->ScheduleAfter(event.duration_s, [&s, previous] {
+          s.set_error_rate(previous);
+        });
+      }
+      break;
+    }
+    case FaultEvent::Kind::kCongestion:
+    case FaultEvent::Kind::kPartition: {
+      // Congestion is interval data, not a settable knob: hand the link an
+      // episode covering [now, now + duration) (effectively unbounded when
+      // the event is permanent).
+      const SimTime start = sim_->Now();
+      const SimTime end =
+          event.duration_s > 0.0 ? start + event.duration_s : 1e18;
+      links_.at(event.target)
+          .add_congestion(start, end, event.magnitude,
+                          event.bandwidth_divisor);
+      break;
+    }
+  }
+}
+
+}  // namespace fedcal

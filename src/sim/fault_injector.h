@@ -1,0 +1,120 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/simulator.h"
+
+namespace fedcal {
+
+/// \brief One timed fault: what happens, to whom, when, for how long.
+struct FaultEvent {
+  enum class Kind {
+    kCrash,      ///< server rejects everything (SetAvailable(false))
+    kRecover,    ///< server answers again (SetAvailable(true))
+    kBrownout,   ///< fail-slow: background load raised, no errors reported
+    kErrorBurst, ///< transient-error probability raised
+    kCongestion, ///< link latency multiplied / bandwidth divided
+    kPartition,  ///< link effectively severed (extreme congestion)
+  };
+
+  Kind kind = Kind::kCrash;
+  SimTime at = 0.0;
+  /// 0 = permanent (until a later event reverts it); otherwise the fault
+  /// auto-reverts `duration_s` seconds after `at`.
+  double duration_s = 0.0;
+  std::string target;  ///< server id (or link id for network faults)
+  /// Brownout: background load in [0,1). Error burst: error probability.
+  /// Congestion: latency multiplier.
+  double magnitude = 0.0;
+  double bandwidth_divisor = 1.0;  ///< congestion only
+
+  std::string Describe() const;
+};
+
+/// \brief A reproducible chaos scenario: an ordered list of fault events.
+///
+/// Build programmatically with the fluent helpers or parse from the
+/// line-oriented text format (one event per line, `#` comments):
+///
+///     at <time> crash <server> [for <duration>]
+///     at <time> recover <server>
+///     at <time> brownout <server> <load> [for <duration>]
+///     at <time> errors <server> <rate> [for <duration>]
+///     at <time> congest <link> <latency_mult> <bandwidth_div> [for <dur>]
+///     at <time> partition <link> [for <duration>]
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  FaultSchedule& Crash(SimTime at, std::string server,
+                       double duration_s = 0.0);
+  FaultSchedule& Recover(SimTime at, std::string server);
+  FaultSchedule& Brownout(SimTime at, std::string server, double load,
+                          double duration_s = 0.0);
+  FaultSchedule& ErrorBurst(SimTime at, std::string server, double rate,
+                            double duration_s = 0.0);
+  FaultSchedule& Congestion(SimTime at, std::string link,
+                            double latency_multiplier,
+                            double bandwidth_divisor,
+                            double duration_s = 0.0);
+  FaultSchedule& Partition(SimTime at, std::string link,
+                           double duration_s = 0.0);
+
+  static Result<FaultSchedule> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+/// \brief Applies a FaultSchedule through the simulator clock.
+///
+/// The injector never touches servers or links directly — callers register
+/// per-target hook bundles (Scenario wires every RemoteServer and
+/// NetworkLink automatically), which keeps this module free of
+/// server/network dependencies and lets tests inject against fakes.
+class FaultInjector {
+ public:
+  struct ServerHooks {
+    std::function<void(bool)> set_available;
+    std::function<void(double)> set_background_load;
+    std::function<double()> background_load;
+    std::function<void(double)> set_error_rate;
+    std::function<double()> error_rate;
+  };
+  struct LinkHooks {
+    /// Adds a congestion episode [start, end) with the given multipliers.
+    std::function<void(SimTime start, SimTime end, double latency_multiplier,
+                       double bandwidth_divisor)>
+        add_congestion;
+  };
+
+  /// Latency multiplier / bandwidth divisor used to model a partition.
+  static constexpr double kPartitionSeverity = 1e9;
+
+  explicit FaultInjector(Simulator* sim) : sim_(sim) {}
+
+  void RegisterServer(const std::string& id, ServerHooks hooks);
+  void RegisterLink(const std::string& id, LinkHooks hooks);
+
+  /// Validates every event's target and schedules the whole script on the
+  /// simulator. May be called multiple times (schedules compose).
+  Status Arm(const FaultSchedule& schedule);
+
+  size_t armed_events() const { return armed_; }
+  size_t applied_events() const { return applied_; }
+  /// Human-readable "t=...: <event>" lines, in application order.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  Simulator* sim_;
+  std::map<std::string, ServerHooks> servers_;
+  std::map<std::string, LinkHooks> links_;
+  size_t armed_ = 0;
+  size_t applied_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace fedcal

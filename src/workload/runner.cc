@@ -79,6 +79,40 @@ size_t WorkloadResult::total_retries() const {
   return n;
 }
 
+double WorkloadResult::SuccessRate() const {
+  if (measurements.empty()) return 1.0;
+  return 1.0 - static_cast<double>(failures()) /
+                   static_cast<double>(measurements.size());
+}
+
+double WorkloadResult::PercentileTotal(double p) const {
+  std::vector<double> totals;
+  for (const auto& m : measurements) {
+    if (!m.failed) totals.push_back(m.total_seconds);
+  }
+  if (totals.empty()) return 0.0;
+  std::sort(totals.begin(), totals.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(totals.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return totals[lo] + (totals[hi] - totals[lo]) * frac;
+}
+
+size_t WorkloadResult::total_timeouts() const {
+  size_t n = 0;
+  for (const auto& m : measurements) n += m.timeouts;
+  return n;
+}
+
+size_t WorkloadResult::total_hedges() const {
+  size_t n = 0;
+  for (const auto& m : measurements) n += m.hedges;
+  return n;
+}
+
 Result<double> WorkloadRunner::RunQueryOn(const std::string& sql,
                                           const std::string& server_id) {
   Integrator& ii = scenario_->integrator();
@@ -151,6 +185,9 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
         } else {
           m.response_seconds = r->response_seconds;
           m.retries = r->retries;
+          m.total_seconds = r->total_response_seconds;
+          m.timeouts = r->timeouts;
+          m.hedges = r->hedges;
           std::vector<std::string> servers = r->executed_plan.server_set;
           std::string joined;
           for (size_t i = 0; i < servers.size(); ++i) {

@@ -39,6 +39,11 @@ struct QueryMeasurement {
   double response_seconds = 0.0;
   bool failed = false;
   size_t retries = 0;  ///< failover re-executions the integrator needed
+  /// End-to-end duration including failed attempts and retry backoff
+  /// (equals response_seconds when the first attempt succeeded).
+  double total_seconds = 0.0;
+  size_t timeouts = 0;  ///< fragment deadline expirations
+  size_t hedges = 0;    ///< speculative fragment re-issues
 };
 
 /// \brief All measurements from one workload run.
@@ -53,6 +58,13 @@ struct WorkloadResult {
   size_t failures() const;
   /// Total failover re-executions across all measured queries.
   size_t total_retries() const;
+  /// Fraction of measured queries that succeeded (1.0 for an empty run).
+  double SuccessRate() const;
+  /// p-th percentile (p in [0,100]) of successful queries' end-to-end
+  /// durations (total_seconds); 0 when no query succeeded.
+  double PercentileTotal(double p) const;
+  size_t total_timeouts() const;
+  size_t total_hedges() const;
 };
 
 /// \brief Drives workloads against a Scenario: closed-loop mixed

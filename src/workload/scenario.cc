@@ -179,6 +179,35 @@ QueryCostCalibrator& Scenario::qcc(QccConfig config) {
   return *qcc_;
 }
 
+FaultInjector& Scenario::fault_injector() {
+  if (!injector_) {
+    injector_ = std::make_unique<FaultInjector>(&sim_);
+    for (auto& [id, server] : servers_) {
+      RemoteServer* s = server.get();
+      injector_->RegisterServer(
+          id, FaultInjector::ServerHooks{
+                  [s](bool up) { s->SetAvailable(up); },
+                  [s](double load) { s->set_background_load(load); },
+                  [s] { return s->background_load(); },
+                  [s](double rate) { s->set_error_rate(rate); },
+                  [s] { return s->error_rate(); }});
+      auto link = network_.GetLink(id);
+      if (link.ok()) {
+        NetworkLink* l = *link;
+        injector_->RegisterLink(
+            id, FaultInjector::LinkHooks{[l](SimTime start, SimTime end,
+                                             double latency_multiplier,
+                                             double bandwidth_divisor) {
+              l->AddCongestion(CongestionEpisode{start, end,
+                                                latency_multiplier,
+                                                bandwidth_divisor});
+            }});
+      }
+    }
+  }
+  return *injector_;
+}
+
 void Scenario::ApplyPhase(int phase) {
   for (auto& [id, server] : servers_) {
     server->set_background_load(

@@ -12,6 +12,7 @@
 #include "metawrapper/meta_wrapper.h"
 #include "net/network.h"
 #include "server/remote_server.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "wrapper/wrapper.h"
 
@@ -65,6 +66,11 @@ class Scenario {
   QueryCostCalibrator& qcc(QccConfig config = {});
   bool has_qcc() const { return qcc_ != nullptr; }
 
+  /// Creates (once) and returns a fault injector with every server and
+  /// link of this testbed pre-registered; `Arm()` a FaultSchedule on it to
+  /// run a chaos experiment.
+  FaultInjector& fault_injector();
+
   /// Applies a Table-1 load phase (1-based). Phase p loads S1 iff bit 2 of
   /// (p-1) is set, S2 iff bit 1, S3 iff bit 0 — reproducing the paper's
   /// eight combinations.
@@ -97,6 +103,7 @@ class Scenario {
   std::unique_ptr<MetaWrapper> mw_;
   std::unique_ptr<Integrator> ii_;
   std::unique_ptr<QueryCostCalibrator> qcc_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace fedcal

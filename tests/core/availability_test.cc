@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/qcc.h"
 #include "storage/datagen.h"
 #include "tests/test_util.h"
 
@@ -107,6 +110,40 @@ TEST_F(AvailabilityTest, MarkDownOnUnwatchedServerStartsWatching) {
   monitor.MarkDown("mystery");
   EXPECT_TRUE(monitor.IsDown("mystery"));
   EXPECT_EQ(monitor.watched().size(), 1u);
+}
+
+TEST_F(AvailabilityTest, MarkUpWithoutPriorMarkDownIsHarmless) {
+  auto monitor = MakeMonitor();
+  monitor.Watch("s1");
+  store_.Record("s1", 1, 1.0, 2.0);
+  monitor.MarkUp("s1");  // was never down
+  EXPECT_FALSE(monitor.IsDown("s1"));
+  // No spurious "recovery": the calibration history survives.
+  EXPECT_EQ(store_.ServerSamples("s1"), 1u);
+  // MarkUp on a server the monitor has never heard of is a no-op too.
+  monitor.MarkUp("mystery");
+  EXPECT_FALSE(monitor.IsDown("mystery"));
+  EXPECT_EQ(monitor.watched().size(), 1u);
+}
+
+TEST_F(AvailabilityTest, ProbeRecoveryRestoresFiniteCalibratedCost) {
+  // Down-marking drives QCC's calibrated cost to infinity; a successful
+  // probe after the outage must bring it back to a finite number.
+  QueryCostCalibrator qcc(&sim_, mw_.get(), QccConfig{});
+  qcc.availability().Watch("s1");
+  qcc.availability().Start();
+
+  server_->SetAvailable(false);
+  qcc.RecordError("s1", Status::Unavailable("fragment refused"));
+  EXPECT_TRUE(qcc.availability().IsDown("s1"));
+  EXPECT_TRUE(std::isinf(qcc.CalibrateFragmentCost("s1", 1, 0.5)));
+
+  server_->SetAvailable(true);
+  sim_.RunUntil(sim_.Now() + 15.0);  // at least one probe cycle
+  EXPECT_FALSE(qcc.availability().IsDown("s1"));
+  const double cost = qcc.CalibrateFragmentCost("s1", 1, 0.5);
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GT(cost, 0.0);
 }
 
 TEST_F(AvailabilityTest, WatchIsIdempotent) {

@@ -1,0 +1,104 @@
+#include "core/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal {
+namespace {
+
+CircuitBreakerConfig TestConfig() {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_duration_s = 10.0;
+  cfg.open_backoff_multiplier = 2.0;
+  cfg.max_open_duration_s = 30.0;
+  cfg.half_open_successes = 2;
+  return cfg;
+}
+
+TEST(CircuitBreakerTest, OpensAtFailureThreshold) {
+  CircuitBreaker b(TestConfig());
+  b.RecordFailure(0.0);
+  b.RecordFailure(0.0);
+  EXPECT_EQ(b.State(0.0), BreakerState::kClosed);
+  EXPECT_TRUE(b.Allows(0.0));
+  b.RecordFailure(0.0);
+  EXPECT_EQ(b.State(0.0), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allows(0.0));
+  EXPECT_EQ(b.times_opened(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureCounter) {
+  CircuitBreaker b(TestConfig());
+  b.RecordFailure(0.0);
+  b.RecordFailure(0.0);
+  b.RecordSuccess(0.0);  // streak broken
+  b.RecordFailure(0.0);
+  b.RecordFailure(0.0);
+  EXPECT_EQ(b.State(0.0), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenDecaysToHalfOpenWithTime) {
+  CircuitBreaker b(TestConfig());
+  for (int i = 0; i < 3; ++i) b.RecordFailure(100.0);
+  EXPECT_EQ(b.State(100.0), BreakerState::kOpen);
+  EXPECT_EQ(b.State(109.9), BreakerState::kOpen);
+  EXPECT_EQ(b.State(110.0), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.Allows(110.0));  // probation admits trial traffic
+}
+
+TEST(CircuitBreakerTest, HalfOpenClosesAfterSuccessStreak) {
+  CircuitBreaker b(TestConfig());
+  for (int i = 0; i < 3; ++i) b.RecordFailure(0.0);
+  b.RecordSuccess(10.0);  // half-open, streak 1
+  EXPECT_EQ(b.State(10.0), BreakerState::kHalfOpen);
+  b.RecordSuccess(10.5);
+  EXPECT_EQ(b.State(10.5), BreakerState::kClosed);
+  // Full reset: the open-duration backoff starts over.
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 10.0);
+  EXPECT_EQ(b.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensWithLongerCooldown) {
+  CircuitBreaker b(TestConfig());
+  for (int i = 0; i < 3; ++i) b.RecordFailure(0.0);
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 10.0);
+  b.RecordFailure(10.0);  // half-open -> re-trip
+  EXPECT_EQ(b.State(10.0), BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 20.0);
+  b.RecordFailure(30.0);  // half-open again at t=30 -> re-trip, capped
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 30.0);
+  b.RecordFailure(60.0);
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 30.0);  // stays at the cap
+}
+
+TEST(CircuitBreakerTest, OutcomesWhileOpenAreIgnored) {
+  CircuitBreaker b(TestConfig());
+  for (int i = 0; i < 3; ++i) b.RecordFailure(0.0);
+  b.RecordSuccess(1.0);  // straggler from before the trip
+  b.RecordFailure(2.0);
+  EXPECT_EQ(b.State(2.0), BreakerState::kOpen);
+  EXPECT_EQ(b.times_opened(), 1u);
+  EXPECT_DOUBLE_EQ(b.current_open_duration(), 10.0);
+}
+
+TEST(CircuitBreakerBankTest, UnknownServersAreClosed) {
+  CircuitBreakerBank bank(TestConfig());
+  EXPECT_EQ(bank.State("ghost", 0.0), BreakerState::kClosed);
+  EXPECT_FALSE(bank.IsOpen("ghost", 0.0));
+  EXPECT_EQ(bank.Find("ghost"), nullptr);
+  EXPECT_TRUE(bank.server_ids().empty());
+}
+
+TEST(CircuitBreakerBankTest, BreakersAreIndependentPerServer) {
+  CircuitBreakerBank bank(TestConfig());
+  for (int i = 0; i < 3; ++i) bank.RecordFailure("sick", 0.0);
+  bank.RecordFailure("fine", 0.0);
+  EXPECT_TRUE(bank.IsOpen("sick", 0.0));
+  EXPECT_FALSE(bank.IsOpen("fine", 0.0));
+  EXPECT_EQ(bank.server_ids().size(), 2u);
+  bank.Clear();
+  EXPECT_FALSE(bank.IsOpen("sick", 0.0));
+}
+
+}  // namespace
+}  // namespace fedcal

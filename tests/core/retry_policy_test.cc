@@ -1,0 +1,65 @@
+#include "core/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal {
+namespace {
+
+TEST(RetryPolicyTest, AllowsUpToMaxAttempts) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 3;
+  RetryPolicy policy(cfg);
+  EXPECT_TRUE(policy.AllowRetry(1, 0.0));
+  EXPECT_TRUE(policy.AllowRetry(2, 0.0));
+  EXPECT_FALSE(policy.AllowRetry(3, 0.0));
+  EXPECT_FALSE(policy.AllowRetry(4, 0.0));
+}
+
+TEST(RetryPolicyTest, BudgetCutsRetriesShort) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 10;
+  cfg.query_budget_s = 5.0;
+  RetryPolicy policy(cfg);
+  EXPECT_TRUE(policy.AllowRetry(1, 4.9));
+  EXPECT_FALSE(policy.AllowRetry(1, 5.0));
+  EXPECT_DOUBLE_EQ(policy.RemainingBudget(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(policy.RemainingBudget(7.0), 0.0);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff_s = 0.1;
+  cfg.backoff_multiplier = 2.0;
+  cfg.max_backoff_s = 0.5;
+  cfg.jitter_frac = 0.0;
+  RetryPolicy policy(cfg);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelay(1, nullptr), 0.1);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelay(2, nullptr), 0.2);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelay(3, nullptr), 0.4);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelay(4, nullptr), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffDelay(9, nullptr), 0.5);
+}
+
+TEST(RetryPolicyTest, JitterStaysInBandAndIsDeterministic) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff_s = 1.0;
+  cfg.jitter_frac = 0.25;
+  RetryPolicy policy(cfg);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  for (int i = 0; i < 100; ++i) {
+    const double a = policy.BackoffDelay(1, &rng_a);
+    EXPECT_GE(a, 0.75);
+    EXPECT_LE(a, 1.25);
+    EXPECT_DOUBLE_EQ(a, policy.BackoffDelay(1, &rng_b));
+  }
+}
+
+TEST(RetryPolicyTest, DefaultBudgetIsUnbounded) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.AllowRetry(1, 1e12));
+  EXPECT_GT(policy.RemainingBudget(1e12), 0.0);
+}
+
+}  // namespace
+}  // namespace fedcal

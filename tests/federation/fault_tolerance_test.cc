@@ -1,0 +1,354 @@
+// Integration tests for the fault-tolerant execution layer: deadline
+// failover out of a brownout, retry backoff and budget, hedged fragments,
+// and the QCC circuit breaker driven end to end through the §5 testbed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/fault_injector.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+/// Runs one pre-compiled query to completion, returning the outcome.
+Result<QueryOutcome> Drive(Scenario* sc, const CompiledQuery& compiled) {
+  Result<QueryOutcome> outcome = Status::Internal("never completed");
+  bool done = false;
+  sc->integrator().Execute(compiled, [&](Result<QueryOutcome> r) {
+    outcome = std::move(r);
+    done = true;
+  });
+  while (!done && sc->sim().Step()) {
+  }
+  EXPECT_TRUE(done);
+  return outcome;
+}
+
+// --- Deadlines -------------------------------------------------------------
+
+// The headline scenario: S3 browns out *mid-query* (no hard error, so the
+// seed's error-triggered failover never fires): its background load spikes
+// and its network path congests at once. With deadlines enabled the
+// fragment is cancelled on expiry and the query fails over to a healthy
+// server; without them it crawls through the brownout.
+//
+// S3 is deliberately the least load-sensitive server in the §5 testbed
+// (io sensitivity 0.35), so the load spike alone only drags it ~3x; the
+// congested reply path is what turns the slowdown into a proper stall.
+FaultSchedule BrownoutChaos() {
+  FaultSchedule chaos;
+  chaos.Brownout(0.001, "S3", 0.98);
+  chaos.Congestion(0.001, "S3", /*latency_multiplier=*/200.0,
+                   /*bandwidth_divisor=*/400.0);
+  return chaos;
+}
+
+TEST(FaultToleranceTest, DeadlineFailsOverOutOfBrownoutStall) {
+  double stalled_seconds = 0.0;
+  {
+    // Baseline: fault-tolerance layer off (seed behaviour).
+    Scenario sc(TinyConfig());
+    auto compiled =
+        sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+    ASSERT_OK(compiled.status());
+    ASSERT_EQ(compiled->options[compiled->chosen_index].server_set.front(),
+              "S3");
+    ASSERT_OK(sc.fault_injector().Arm(BrownoutChaos()));
+    ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+    EXPECT_EQ(outcome.retries, 0u);  // no error => no failover
+    stalled_seconds = outcome.total_response_seconds;
+  }
+
+  // Same chaos, deadlines on. Tight-ish deadlines so the expiry lands
+  // while the fragment is still executing at S3 (the cancel must reach the
+  // server), yet loose enough that the healthy-server rerun finishes well
+  // inside its own deadline.
+  Scenario sc(TinyConfig());
+  sc.integrator().mutable_config().fault.enable_deadlines = true;
+  sc.integrator().mutable_config().fault.deadline_multiplier = 2.5;
+  sc.integrator().mutable_config().fault.deadline_floor_s = 0.01;
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  const GlobalPlanOption& chosen = compiled->options[compiled->chosen_index];
+  ASSERT_EQ(chosen.server_set.front(), "S3");
+  // The per-query budget the deadline machinery must beat: every fragment
+  // deadline plus generous retry slack.
+  double deadline_budget = 1.0;
+  for (const auto& fc : chosen.fragment_choices) {
+    deadline_budget += sc.integrator().FragmentDeadline(fc);
+  }
+
+  ASSERT_OK(sc.fault_injector().Arm(BrownoutChaos()));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+
+  EXPECT_GE(outcome.timeouts, 1u);  // the deadline fired...
+  EXPECT_GE(outcome.retries, 1u);   // ...and triggered a failover
+  for (const auto& s : outcome.executed_plan.server_set) {
+    EXPECT_NE(s, "S3");  // the rerun avoided the browned-out server
+  }
+  // Recovered well within the deadline budget, and far faster than the
+  // stalled baseline.
+  EXPECT_LT(outcome.total_response_seconds, deadline_budget);
+  EXPECT_LT(outcome.total_response_seconds * 3.0, stalled_seconds);
+  // The cancelled fragment actually released its worker at S3.
+  EXPECT_GE(sc.server("S3").fragments_cancelled(), 1u);
+}
+
+TEST(FaultToleranceTest, RetryBudgetExhaustionFailsWithTimeout) {
+  Scenario sc(TinyConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = true;
+  ft.deadline_multiplier = 2.5;
+  ft.deadline_floor_s = 0.01;
+  ft.retry.max_attempts = 2;
+  ft.retry.jitter_frac = 0.0;
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  // Brown out every server: each attempt times out until the attempt cap.
+  // (S1/S2 are load-sensitive enough that the load spike alone stalls
+  // them; load-insensitive S3 additionally needs its link congested.)
+  FaultSchedule chaos;
+  chaos.Brownout(0.0005, "S1", 0.98)
+      .Brownout(0.0005, "S2", 0.98)
+      .Brownout(0.0005, "S3", 0.98)
+      .Congestion(0.0005, "S3", 200.0, 400.0);
+  ASSERT_OK(sc.fault_injector().Arm(chaos));
+  auto outcome = Drive(&sc, *compiled);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(outcome.status().ToString().find("retry budget exhausted"),
+            std::string::npos);
+  // The patroller saw the failure too.
+  EXPECT_TRUE(sc.integrator().patroller().log().back().failed);
+}
+
+TEST(FaultToleranceTest, BackoffSpacesAttempts) {
+  Scenario sc(TinyConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = true;
+  ft.retry.initial_backoff_s = 0.5;
+  ft.retry.jitter_frac = 0.0;
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  sc.server("S3").SetAvailable(false);  // hard error on attempt 1
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+  EXPECT_EQ(outcome.retries, 1u);
+  // The rerun waited out the 0.5 s backoff; the seed path would have
+  // retried immediately.
+  EXPECT_GE(outcome.total_response_seconds, 0.5);
+  EXPECT_GE(outcome.total_response_seconds,
+            outcome.response_seconds + 0.5 - 1e-9);
+}
+
+TEST(FaultToleranceTest, LegacyModeStillRetriesImmediately) {
+  // Regression guard: with the layer off, a hard failure still fails over
+  // with no backoff, exactly like the seed.
+  Scenario sc(TinyConfig());
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  sc.server("S3").SetAvailable(false);
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+  EXPECT_EQ(outcome.retries, 1u);
+  EXPECT_EQ(outcome.timeouts, 0u);
+  EXPECT_LT(outcome.total_response_seconds, 0.5);
+}
+
+// --- Hedging ---------------------------------------------------------------
+
+TEST(FaultToleranceTest, HedgeWinsAndLoserIsCancelledOnce) {
+  Scenario sc(TinyConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_hedging = true;
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  ASSERT_EQ(compiled->options[compiled->chosen_index].server_set.front(),
+            "S3");
+  // Slow S3 so the primary straggles past the hedge delay (but produce no
+  // error and no deadline: hedging alone must rescue the latency).
+  ASSERT_OK(sc.fault_injector().Arm(BrownoutChaos()));
+
+  int callbacks = 0;
+  Result<QueryOutcome> outcome = Status::Internal("never completed");
+  sc.integrator().Execute(*compiled, [&](Result<QueryOutcome> r) {
+    outcome = std::move(r);
+    ++callbacks;
+  });
+  while (sc.sim().Step()) {
+  }
+  EXPECT_EQ(callbacks, 1);  // no double-merge
+  ASSERT_OK(outcome.status());
+  EXPECT_GE(outcome->hedges, 1u);
+  EXPECT_GE(outcome->hedge_wins, 1u);
+  EXPECT_EQ(outcome->retries, 0u);  // hedge is not a failover
+  // The hedge rescued the latency: nowhere near the ~2 s stall the
+  // congested reply path would otherwise impose.
+  EXPECT_LT(outcome->total_response_seconds, 1.0);
+
+  // Calibration integrity: each fragment contributed exactly one
+  // *successful* runtime record (the winner); the loser shows up only as
+  // a failed/cancelled record against S3 (its job had already drained at
+  // the server; the ticket cancellation retired the in-flight reply).
+  size_t successes = 0;
+  size_t s3_cancelled = 0;
+  for (const auto& rec : sc.meta_wrapper().runtime_log()) {
+    if (rec.query_id != outcome->query_id) continue;
+    if (!rec.failed) {
+      ++successes;
+    } else if (rec.server_id == "S3") {
+      ++s3_cancelled;
+    }
+  }
+  EXPECT_EQ(successes,
+            outcome->executed_plan.fragment_choices.size());
+  EXPECT_GE(s3_cancelled, 1u);
+}
+
+TEST(FaultToleranceTest, HedgeDelayUsesObservedStatsOnceWarm) {
+  Scenario sc(TinyConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_hedging = true;
+  ft.hedge_min_samples = 4;
+  ft.hedge_stddevs = 2.0;
+  // Cold: the delay falls back to multiplier x calibrated cost.
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  const FragmentOption& choice =
+      compiled->options[compiled->chosen_index].fragment_choices.front();
+  EXPECT_DOUBLE_EQ(
+      sc.integrator().HedgeDelay(choice),
+      std::max(ft.hedge_floor_s,
+               ft.hedge_multiplier * choice.calibrated_seconds));
+  // Warm up the stats with a few successful queries.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(sc.integrator()
+                  .RunSync(sc.MakeQueryInstance(QueryType::kQT1, i))
+                  .status());
+  }
+  ASSERT_GE(sc.integrator().fragment_stats().count(), 4u);
+  const RunningStats& stats = sc.integrator().fragment_stats();
+  EXPECT_DOUBLE_EQ(sc.integrator().HedgeDelay(choice),
+                   std::max(ft.hedge_floor_s,
+                            stats.mean() + 2.0 * stats.stddev()));
+}
+
+// --- Circuit breaker -------------------------------------------------------
+
+TEST(FaultToleranceTest, BreakerOpensOnErrorBurstAndPricesServerOut) {
+  Scenario sc(TinyConfig());
+  QccConfig qcc_cfg;
+  qcc_cfg.breaker.failure_threshold = 3;
+  qcc_cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  // Isolate the breaker: the reliability multiplier would otherwise price
+  // S3 out after the very first error and starve the breaker of traffic.
+  qcc_cfg.enable_reliability = false;
+  QueryCostCalibrator& qcc = sc.qcc(qcc_cfg);
+  qcc.AttachTo(&sc.integrator());
+
+  // Every fragment sent to S3 now fails with a transient error. Each
+  // failed attempt records one breaker failure and fails over.
+  sc.server("S3").set_error_rate(1.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(sc.integrator()
+                  .RunSync(sc.MakeQueryInstance(QueryType::kQT1, i))
+                  .status());
+  }
+  const SimTime now = sc.sim().Now();
+  EXPECT_TRUE(qcc.breakers().IsOpen("S3", now));
+  EXPECT_TRUE(std::isinf(qcc.CalibrateFragmentCost("S3", 1, 0.01)));
+
+  // Plan selection prices S3 at infinity: a fresh compile routes around
+  // it without S3 ever going "down" in the availability sense.
+  EXPECT_FALSE(qcc.availability().IsDown("S3"));
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT2, 0));
+  ASSERT_OK(compiled.status());
+  for (const auto& s :
+       compiled->options[compiled->chosen_index].server_set) {
+    EXPECT_NE(s, "S3");
+  }
+}
+
+TEST(FaultToleranceTest, BreakerClosesViaHalfOpenProbes) {
+  Scenario sc(TinyConfig());
+  QccConfig qcc_cfg;
+  qcc_cfg.breaker.failure_threshold = 3;
+  qcc_cfg.breaker.open_duration_s = 8.0;
+  qcc_cfg.breaker.half_open_successes = 2;
+  qcc_cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  qcc_cfg.enable_reliability = false;
+  QueryCostCalibrator& qcc = sc.qcc(qcc_cfg);
+  qcc.AttachTo(&sc.integrator());
+
+  sc.server("S3").set_error_rate(1.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(sc.integrator()
+                  .RunSync(sc.MakeQueryInstance(QueryType::kQT1, i))
+                  .status());
+  }
+  ASSERT_TRUE(qcc.breakers().IsOpen("S3", sc.sim().Now()));
+
+  // The fault clears. The availability daemons keep probing S3 (probes
+  // bypass the breaker); once the cool-down elapses the breaker turns
+  // half-open and two probe successes close it — no bespoke probe path.
+  sc.server("S3").set_error_rate(0.0);
+  sc.sim().RunUntil(sc.sim().Now() + 60.0);
+  const SimTime later = sc.sim().Now();
+  EXPECT_FALSE(qcc.breakers().IsOpen("S3", later));
+  EXPECT_EQ(qcc.breakers().State("S3", later), BreakerState::kClosed);
+  EXPECT_TRUE(
+      std::isfinite(qcc.CalibrateFragmentCost("S3", 1, 0.01)));
+
+  // S3 is eligible for routing again.
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 5));
+  ASSERT_OK(compiled.status());
+  bool s3_offered = false;
+  for (const auto& opt : compiled->options) {
+    for (const auto& s : opt.server_set) s3_offered |= (s == "S3");
+  }
+  EXPECT_TRUE(s3_offered);
+}
+
+// --- Fault injector end-to-end --------------------------------------------
+
+TEST(FaultToleranceTest, ScenarioInjectorDrivesRealServersAndLinks) {
+  Scenario sc(TinyConfig());
+  FaultSchedule chaos;
+  chaos.Crash(1.0, "S1", /*duration_s=*/2.0)
+      .Brownout(1.0, "S2", 0.7, /*duration_s=*/2.0)
+      .Congestion(1.0, "S3", 10.0, 10.0, /*duration_s=*/2.0);
+  ASSERT_OK(sc.fault_injector().Arm(chaos));
+
+  ASSERT_OK_AND_ASSIGN(NetworkLink * link, sc.network().GetLink("S3"));
+  const double latency_before = link->LatencyAt(0.5);
+  sc.sim().RunUntil(2.0);
+  EXPECT_FALSE(sc.server("S1").available());
+  EXPECT_DOUBLE_EQ(sc.server("S2").background_load(), 0.7);
+  EXPECT_DOUBLE_EQ(link->LatencyAt(2.0), latency_before * 10.0);
+  sc.sim().RunUntil(4.0);
+  EXPECT_TRUE(sc.server("S1").available());
+  EXPECT_DOUBLE_EQ(sc.server("S2").background_load(), 0.0);
+  EXPECT_DOUBLE_EQ(link->LatencyAt(4.0), latency_before);
+  EXPECT_EQ(sc.fault_injector().applied_events(), 3u);
+}
+
+}  // namespace
+}  // namespace fedcal

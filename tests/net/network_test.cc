@@ -59,6 +59,39 @@ TEST(NetworkLinkTest, OverlappingEpisodesCompose) {
   EXPECT_NEAR(link.LatencyAt(75.0), 0.060, 1e-12);
 }
 
+TEST(NetworkLinkTest, OverlappingEpisodesComposeBandwidth) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  link.AddCongestion(CongestionEpisode{0.0, 100.0, 1.0, 2.0});
+  link.AddCongestion(CongestionEpisode{50.0, 100.0, 1.0, 4.0});
+  EXPECT_NEAR(link.BandwidthAt(25.0), 500'000.0, 1e-6);
+  // Overlap: divisors compose multiplicatively (1e6 / 2 / 4).
+  EXPECT_NEAR(link.BandwidthAt(75.0), 125'000.0, 1e-6);
+  EXPECT_NEAR(link.BandwidthAt(150.0), 1'000'000.0, 1e-6);
+}
+
+TEST(NetworkLinkTest, BandwidthNeverCollapsesToZero) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  // Partition-grade divisor: bandwidth floors at 1 byte/s instead of 0,
+  // so transfer times stay finite (huge, but schedulable).
+  link.AddCongestion(CongestionEpisode{0.0, 100.0, 1.0, 1e12});
+  EXPECT_GE(link.BandwidthAt(50.0), 1.0);
+  // A sub-1.0 divisor must not *boost* bandwidth.
+  NetworkLink boost("s", NoJitter(), Rng(1));
+  boost.AddCongestion(CongestionEpisode{0.0, 100.0, 1.0, 0.25});
+  EXPECT_NEAR(boost.BandwidthAt(50.0), 1'000'000.0, 1e-6);
+}
+
+TEST(NetworkLinkTest, EpisodeBoundariesStartInclusiveEndExclusive) {
+  NetworkLink link("s", NoJitter(), Rng(1));
+  link.AddCongestion(CongestionEpisode{10.0, 20.0, 4.0, 2.0});
+  EXPECT_NEAR(link.LatencyAt(10.0 - 1e-9), 0.010, 1e-12);
+  EXPECT_NEAR(link.LatencyAt(10.0), 0.040, 1e-12);  // start is inclusive
+  EXPECT_NEAR(link.LatencyAt(20.0 - 1e-9), 0.040, 1e-12);
+  EXPECT_NEAR(link.LatencyAt(20.0), 0.010, 1e-12);  // end is exclusive
+  EXPECT_NEAR(link.BandwidthAt(10.0), 500'000.0, 1e-6);
+  EXPECT_NEAR(link.BandwidthAt(20.0), 1'000'000.0, 1e-6);
+}
+
 TEST(NetworkLinkTest, ClearCongestionRestores) {
   NetworkLink link("s", NoJitter(), Rng(1));
   link.AddCongestion(CongestionEpisode{0.0, 100.0, 5.0, 5.0});

@@ -163,6 +163,62 @@ TEST_F(RemoteServerTest, BadPlanFailsFast) {
   EXPECT_TRUE(failed);
 }
 
+TEST_F(RemoteServerTest, CancelQueuedFragmentNeverRuns) {
+  // Fill both workers, then queue a third and cancel it.
+  int completions = 0;
+  bool cancelled_ran = false;
+  for (int i = 0; i < 2; ++i) {
+    server_->SubmitFragment(ScanPlan(),
+                            [&](Result<FragmentResult>) { ++completions; });
+  }
+  const uint64_t queued = server_->SubmitFragment(
+      ScanPlan(), [&](Result<FragmentResult>) { cancelled_ran = true; });
+  ASSERT_NE(queued, 0u);
+  EXPECT_EQ(server_->queued_fragments(), 1u);
+  EXPECT_TRUE(server_->CancelFragment(queued));
+  EXPECT_EQ(server_->queued_fragments(), 0u);
+  sim_.Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_EQ(server_->fragments_cancelled(), 1u);
+  EXPECT_EQ(server_->fragments_completed(), 2u);
+}
+
+TEST_F(RemoteServerTest, CancelRunningFragmentFreesWorkerAndRefundsTime) {
+  bool victim_ran = false;
+  bool queued_ran = false;
+  const uint64_t victim = server_->SubmitFragment(
+      ScanPlan(), [&](Result<FragmentResult>) { victim_ran = true; });
+  server_->SubmitFragment(ScanPlan(), [&](Result<FragmentResult>) {});
+  // Third job waits for a slot; cancelling a *running* job must free its
+  // worker so the queued job dispatches immediately.
+  server_->SubmitFragment(
+      ScanPlan(), [&](Result<FragmentResult>) { queued_ran = true; });
+  EXPECT_EQ(server_->busy_workers(), 2);
+  EXPECT_EQ(server_->queued_fragments(), 1u);
+  const double busy_before = server_->total_busy_seconds();
+  EXPECT_TRUE(server_->CancelFragment(victim));
+  // The worker was freed and its unspent service time refunded.
+  EXPECT_EQ(server_->busy_workers(), 2);  // queued job took the slot
+  EXPECT_EQ(server_->queued_fragments(), 0u);
+  EXPECT_LT(server_->total_busy_seconds(), busy_before + 1e-12);
+  sim_.Run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(queued_ran);
+  EXPECT_EQ(server_->fragments_cancelled(), 1u);
+  EXPECT_EQ(server_->fragments_completed(), 2u);
+}
+
+TEST_F(RemoteServerTest, CancelUnknownOrFinishedJobReturnsFalse) {
+  EXPECT_FALSE(server_->CancelFragment(0));
+  EXPECT_FALSE(server_->CancelFragment(12345));
+  const uint64_t id =
+      server_->SubmitFragment(ScanPlan(), [](Result<FragmentResult>) {});
+  sim_.Run();
+  EXPECT_FALSE(server_->CancelFragment(id));  // already completed
+  EXPECT_EQ(server_->fragments_cancelled(), 0u);
+}
+
 TEST_F(RemoteServerTest, EffectiveSpeedFloors) {
   server_->set_background_load(0.99);
   EXPECT_GE(server_->effective_cpu_speed(),

@@ -1,0 +1,180 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+/// Minimal in-memory stand-ins for a server and a link, wired through the
+/// injector's hook bundles.
+struct FakeServer {
+  bool available = true;
+  double load = 0.0;
+  double error_rate = 0.0;
+
+  FaultInjector::ServerHooks Hooks() {
+    return FaultInjector::ServerHooks{
+        [this](bool up) { available = up; },
+        [this](double l) { load = l; },
+        [this] { return load; },
+        [this](double r) { error_rate = r; },
+        [this] { return error_rate; }};
+  }
+};
+
+struct FakeLink {
+  struct Episode {
+    SimTime start, end;
+    double latency_multiplier, bandwidth_divisor;
+  };
+  std::vector<Episode> episodes;
+
+  FaultInjector::LinkHooks Hooks() {
+    return FaultInjector::LinkHooks{
+        [this](SimTime start, SimTime end, double lat, double bw) {
+          episodes.push_back(Episode{start, end, lat, bw});
+        }};
+  }
+};
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : injector_(&sim_) {
+    injector_.RegisterServer("S1", server_.Hooks());
+    injector_.RegisterLink("S1", link_.Hooks());
+  }
+
+  Simulator sim_;
+  FakeServer server_;
+  FakeLink link_;
+  FaultInjector injector_;
+};
+
+TEST_F(FaultInjectorTest, CrashAndTimedRecovery) {
+  FaultSchedule schedule;
+  schedule.Crash(1.0, "S1", /*duration_s=*/2.0);
+  ASSERT_OK(injector_.Arm(schedule));
+  EXPECT_EQ(injector_.armed_events(), 1u);
+
+  sim_.RunUntil(1.5);
+  EXPECT_FALSE(server_.available);
+  sim_.RunUntil(3.5);
+  EXPECT_TRUE(server_.available);
+  EXPECT_EQ(injector_.applied_events(), 1u);
+  ASSERT_EQ(injector_.log().size(), 1u);
+  EXPECT_NE(injector_.log()[0].find("crash S1"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, PermanentCrashNeedsExplicitRecover) {
+  FaultSchedule schedule;
+  schedule.Crash(1.0, "S1").Recover(5.0, "S1");
+  ASSERT_OK(injector_.Arm(schedule));
+  sim_.RunUntil(4.0);
+  EXPECT_FALSE(server_.available);
+  sim_.RunUntil(6.0);
+  EXPECT_TRUE(server_.available);
+}
+
+TEST_F(FaultInjectorTest, BrownoutRestoresPreviousLoad) {
+  server_.load = 0.2;  // pre-existing background work
+  FaultSchedule schedule;
+  schedule.Brownout(1.0, "S1", 0.9, /*duration_s=*/2.0);
+  ASSERT_OK(injector_.Arm(schedule));
+  sim_.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(server_.load, 0.9);
+  sim_.RunUntil(4.0);
+  EXPECT_DOUBLE_EQ(server_.load, 0.2);
+}
+
+TEST_F(FaultInjectorTest, ErrorBurstRevertsAfterDuration) {
+  FaultSchedule schedule;
+  schedule.ErrorBurst(0.5, "S1", 0.8, /*duration_s=*/1.0);
+  ASSERT_OK(injector_.Arm(schedule));
+  sim_.RunUntil(1.0);
+  EXPECT_DOUBLE_EQ(server_.error_rate, 0.8);
+  sim_.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(server_.error_rate, 0.0);
+}
+
+TEST_F(FaultInjectorTest, CongestionAndPartitionBecomeEpisodes) {
+  FaultSchedule schedule;
+  schedule.Congestion(1.0, "S1", 4.0, 8.0, /*duration_s=*/3.0)
+      .Partition(2.0, "S1", /*duration_s=*/1.0);
+  ASSERT_OK(injector_.Arm(schedule));
+  sim_.RunUntil(10.0);
+  ASSERT_EQ(link_.episodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(link_.episodes[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(link_.episodes[0].end, 4.0);
+  EXPECT_DOUBLE_EQ(link_.episodes[0].latency_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(link_.episodes[0].bandwidth_divisor, 8.0);
+  EXPECT_DOUBLE_EQ(link_.episodes[1].latency_multiplier,
+                   FaultInjector::kPartitionSeverity);
+}
+
+TEST_F(FaultInjectorTest, ArmRejectsUnknownTargets) {
+  FaultSchedule bad_server;
+  bad_server.Crash(1.0, "ghost");
+  EXPECT_EQ(injector_.Arm(bad_server).code(), StatusCode::kNotFound);
+  FaultSchedule bad_link;
+  bad_link.Partition(1.0, "ghostlink");
+  EXPECT_EQ(injector_.Arm(bad_link).code(), StatusCode::kNotFound);
+  // Nothing was scheduled by the rejected schedules.
+  EXPECT_EQ(injector_.armed_events(), 0u);
+}
+
+TEST(FaultScheduleTest, ParsesTheTextFormat) {
+  const char* text = R"(
+# warmup, then chaos
+at 1.0 crash S1 for 2.5
+at 2 recover S2
+at 3.5 brownout S3 0.8 for 10
+at 4 errors S1 0.25
+at 5 congest L1 4 8 for 2
+at 6 partition L2 for 1
+)";
+  ASSERT_OK_AND_ASSIGN(FaultSchedule schedule, FaultSchedule::Parse(text));
+  ASSERT_EQ(schedule.events.size(), 6u);
+  EXPECT_EQ(schedule.events[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_DOUBLE_EQ(schedule.events[0].at, 1.0);
+  EXPECT_DOUBLE_EQ(schedule.events[0].duration_s, 2.5);
+  EXPECT_EQ(schedule.events[0].target, "S1");
+  EXPECT_EQ(schedule.events[1].kind, FaultEvent::Kind::kRecover);
+  EXPECT_EQ(schedule.events[2].kind, FaultEvent::Kind::kBrownout);
+  EXPECT_DOUBLE_EQ(schedule.events[2].magnitude, 0.8);
+  EXPECT_EQ(schedule.events[3].kind, FaultEvent::Kind::kErrorBurst);
+  EXPECT_DOUBLE_EQ(schedule.events[3].duration_s, 0.0);  // permanent
+  EXPECT_EQ(schedule.events[4].kind, FaultEvent::Kind::kCongestion);
+  EXPECT_DOUBLE_EQ(schedule.events[4].magnitude, 4.0);
+  EXPECT_DOUBLE_EQ(schedule.events[4].bandwidth_divisor, 8.0);
+  EXPECT_EQ(schedule.events[5].kind, FaultEvent::Kind::kPartition);
+}
+
+TEST(FaultScheduleTest, RoundTripsThroughToString) {
+  FaultSchedule schedule;
+  schedule.Crash(1.0, "S1", 2.0).Brownout(3.0, "S2", 0.75).Congestion(
+      4.0, "S3", 2.0, 4.0, 5.0);
+  ASSERT_OK_AND_ASSIGN(FaultSchedule reparsed,
+                       FaultSchedule::Parse(schedule.ToString()));
+  EXPECT_EQ(reparsed.ToString(), schedule.ToString());
+}
+
+TEST(FaultScheduleTest, ParseErrorsNameTheLine) {
+  auto r1 = FaultSchedule::Parse("at x crash S1");
+  EXPECT_EQ(r1.status().code(), StatusCode::kParseError);
+  auto r2 = FaultSchedule::Parse("at 1 crash S1\nat 2 explode S1");
+  EXPECT_EQ(r2.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r2.status().ToString().find("line 2"), std::string::npos);
+  auto r3 = FaultSchedule::Parse("at 1 brownout S1");  // missing load
+  EXPECT_FALSE(r3.ok());
+  auto r4 = FaultSchedule::Parse("at 1 crash S1 for -2");
+  EXPECT_FALSE(r4.ok());
+  auto r5 = FaultSchedule::Parse("at 1 crash S1 bogus");
+  EXPECT_FALSE(r5.ok());
+}
+
+}  // namespace
+}  // namespace fedcal
