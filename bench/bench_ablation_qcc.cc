@@ -50,6 +50,7 @@ double CycleMeanResponse(size_t window, bool per_fragment,
 int main() {
   std::printf("=== QCC ablations ===\n");
   ShapeCheck check;
+  JsonReporter reporter("ablation_qcc");
 
   // -- A: calibration window size -------------------------------------------
   std::printf("\n[A] calibration window sweep (shifting load, fixed "
@@ -61,6 +62,7 @@ int main() {
     const double mean = CycleMeanResponse(window, true, 1);
     window_results.emplace_back(window, mean);
     std::printf("%-10zu %14.4f\n", window, mean);
+    reporter.AddScalar("window" + std::to_string(window) + "/mean_s", mean);
   }
   check.Expect(window_results.front().second <
                    window_results.back().second,
@@ -73,6 +75,8 @@ int main() {
   const double server_only = CycleMeanResponse(4, false, 4);
   std::printf("per-fragment factors:   %.4f s\n", with_fragment);
   std::printf("per-server only:        %.4f s\n", server_only);
+  reporter.AddScalar("per_fragment/mean_s", with_fragment);
+  reporter.AddScalar("per_server_only/mean_s", server_only);
   check.Expect(with_fragment <= server_only * 1.10,
                "per-fragment factors are at least competitive with "
                "server-only factors");
@@ -101,6 +105,9 @@ int main() {
                 "retries\n",
                 use_reliability ? "ON " : "OFF", r.MeanResponse(),
                 r.failures(), r.total_retries());
+    reporter.AddWorkload(
+        use_reliability ? "flaky/reliability_on" : "flaky/reliability_off",
+        r);
   }
   check.Expect(flaky_retries[1] < flaky_retries[0],
                "reliability factor steers work away from the flaky "
@@ -147,6 +154,11 @@ int main() {
     ++idx;
     std::printf("%-12.2f %14.4f %12zu\n", tolerance, r.MeanResponse(),
                 sets.size());
+    const std::string label =
+        "tolerance" + std::to_string(static_cast<int>(tolerance * 100));
+    reporter.AddScalar(label + "/mean_s", r.MeanResponse());
+    reporter.AddScalar(label + "/server_sets",
+                       static_cast<double>(sets.size()));
   }
   check.Expect(tol_sets[0] == 1,
                "zero tolerance never rotates (single server set)");
@@ -155,5 +167,5 @@ int main() {
   check.Expect(tol_mean[2] <= tol_mean[0],
                "rotation reduces queueing under concurrency");
 
-  return check.Summary("bench_ablation_qcc");
+  return reporter.Finish(check);
 }

@@ -77,6 +77,11 @@ int Main() {
   PrintRow("deadlines + hedging", hedged);
   PrintRule();
 
+  JsonReporter reporter("chaos_failover");
+  reporter.AddWorkload("layer_off", base.result);
+  reporter.AddWorkload("deadlines", ddl.result);
+  reporter.AddWorkload("deadlines_hedging", hedged.result);
+
   ShapeCheck check;
   check.Expect(base.result.SuccessRate() == 1.0,
                "baseline completes every query (it just stalls)");
@@ -99,7 +104,7 @@ int Main() {
   check.Expect(ddl.result.PercentileTotal(50.0) <
                    base.result.PercentileTotal(50.0) * 3.0,
                "healthy-path p50 is not wrecked by the layer");
-  return check.Summary("bench_chaos_failover");
+  return reporter.Finish(check);
 }
 
 }  // namespace

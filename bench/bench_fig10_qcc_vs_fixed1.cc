@@ -31,6 +31,7 @@ int main() {
   std::printf("%-8s %14s %14s %10s\n", "Phase", "Fixed1 (s)", "QCC (s)",
               "Gain");
   PrintRule(52);
+  JsonReporter reporter("fig10_qcc_vs_fixed1");
   double gain_sum = 0.0;
   double gain_all_loaded = 0.0;
   int positive_gain_phases = 0;
@@ -52,12 +53,18 @@ int main() {
     if (gain > 0) ++positive_gain_phases;
     std::printf("Phase%-3d %14.4f %14.4f %9.1f%%\n", phase,
                 fixed.MeanResponse(), dynamic.MeanResponse(), gain);
+    const std::string phase_label = "phase" + std::to_string(phase);
+    reporter.AddWorkload(phase_label + "/fixed1", fixed);
+    reporter.AddWorkload(phase_label + "/qcc", dynamic);
+    reporter.AddScalar(phase_label + "/gain_pct", gain);
   }
   const double avg_gain = gain_sum / 8.0;
   PrintRule(52);
   std::printf("average gain: %.1f%%   (paper reports ~50%%)\n", avg_gain);
   std::printf("all-servers-loaded (phase 8) gain: %.1f%%   (paper: ~60%%)\n",
               gain_all_loaded);
+  reporter.AddScalar("avg_gain_pct", avg_gain);
+  reporter.AddScalar("phase8_gain_pct", gain_all_loaded);
 
   ShapeCheck check;
   check.Expect(avg_gain > 20.0,
@@ -67,5 +74,5 @@ int main() {
                "phase");
   check.Expect(gain_all_loaded > 0.0,
                "QCC still wins when every server is heavily loaded");
-  return check.Summary("bench_fig10_qcc_vs_fixed1");
+  return reporter.Finish(check);
 }

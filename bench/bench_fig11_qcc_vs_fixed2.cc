@@ -31,6 +31,7 @@ int main() {
   std::printf("%-8s %6s %14s %14s %10s\n", "Phase", "S3", "Fixed2 (s)",
               "QCC (s)", "Gain");
   PrintRule(60);
+  JsonReporter reporter("fig11_qcc_vs_fixed2");
   std::vector<double> gains(9, 0.0);
   int big_gain_phases = 0;
   for (int phase = 1; phase <= 8; ++phase) {
@@ -51,6 +52,10 @@ int main() {
     std::printf("Phase%-3d %6s %14.4f %14.4f %9.1f%%\n", phase,
                 Scenario::LoadedInPhase(phase, "S3") ? "Load" : "Base",
                 fixed.MeanResponse(), dynamic.MeanResponse(), gain);
+    const std::string phase_label = "phase" + std::to_string(phase);
+    reporter.AddWorkload(phase_label + "/fixed2", fixed);
+    reporter.AddWorkload(phase_label + "/qcc", dynamic);
+    reporter.AddScalar(phase_label + "/gain_pct", gain);
   }
   PrintRule(60);
   std::printf(
@@ -69,5 +74,6 @@ int main() {
   // not be drastically worse.
   check.Expect(gains[1] > -15.0,
                "QCC is not substantially worse when always-S3 is optimal");
-  return check.Summary("bench_fig11_qcc_vs_fixed2");
+  reporter.AddScalar("big_gain_phases", big_gain_phases);
+  return reporter.Finish(check);
 }

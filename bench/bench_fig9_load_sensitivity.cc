@@ -62,6 +62,15 @@ int main() {
   }
   sc.ApplyPhase(1);
 
+  JsonReporter reporter("fig9_load_sensitivity");
+  for (QueryType qt : AllQueryTypes()) {
+    for (const auto& sid : servers) {
+      const std::string prefix = std::string(QueryTypeName(qt)) + "/" + sid;
+      reporter.AddScalar(prefix + "/low_mean_s", low_mean[qt][sid]);
+      reporter.AddScalar(prefix + "/high_mean_s", high_mean[qt][sid]);
+    }
+  }
+
   ShapeCheck check;
   // Load monotonicity: every (type, server) slows down under load.
   bool monotone = true;
@@ -91,5 +100,5 @@ int main() {
   check.Expect(high_mean[QueryType::kQT4]["S3"] <
                        low_mean[QueryType::kQT4]["S1"],
                "QT4: loaded S3 still beats unloaded S1");
-  return check.Summary("bench_fig9_load_sensitivity");
+  return reporter.Finish(check);
 }

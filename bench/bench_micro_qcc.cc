@@ -4,6 +4,8 @@
 // selection, and full federated compilation.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "core/calibration_store.h"
 #include "core/load_balancer.h"
 #include "workload/scenario.h"
@@ -85,4 +87,40 @@ BENCHMARK(BM_FederatedExecute);
 }  // namespace
 }  // namespace fedcal
 
-BENCHMARK_MAIN();
+/// Custom BENCHMARK_MAIN: the console output is unchanged, but every
+/// per-iteration timing also lands in BENCH_<name>.json via the shared
+/// reporter (timings are wall-clock, so unlike the simulation harnesses
+/// this file is not byte-stable across runs).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(fedcal::bench::JsonReporter* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      out_->AddScalar(run.benchmark_name() + "/real_time_per_iter_s",
+                      per_iter);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  fedcal::bench::JsonReporter* out_;
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fedcal::bench::JsonReporter reporter("micro_qcc");
+  JsonCollectingReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return reporter.Finish(fedcal::bench::ShapeCheck{});
+}
+

@@ -89,6 +89,15 @@ int main() {
           : "?";
   std::printf("\nrouting after recovery: QT1 -> %s\n", final_route.c_str());
 
+  JsonReporter reporter("network_aware");
+  reporter.AddScalar("clear/fixed_mean_s", clear_period.first);
+  reporter.AddScalar("clear/qcc_mean_s", clear_period.second);
+  reporter.AddScalar("congested/fixed_mean_s", congested.first);
+  reporter.AddScalar("congested/qcc_mean_s", congested.second);
+  reporter.AddScalar("recovered/fixed_mean_s", recovered.first);
+  reporter.AddScalar("recovered/qcc_mean_s", recovered.second);
+  reporter.AddScalar("final_route_is_s3", final_route == "S3" ? 1.0 : 0.0);
+
   ShapeCheck check;
   check.Expect(congested.first > clear_period.first * 2.0,
                "congestion substantially slows the static always-S3 "
@@ -99,5 +108,5 @@ int main() {
                "QCC recovers once the congestion clears");
   check.Expect(final_route == "S3",
                "routing returns to S3 after the network recovers");
-  return check.Summary("bench_network_aware");
+  return reporter.Finish(check);
 }

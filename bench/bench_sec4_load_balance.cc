@@ -229,6 +229,18 @@ int main() {
   print_run("cheapest-plan only (no load distribution)", no_balance);
   print_run("round-robin load distribution (tolerance 20%)", balanced);
 
+  JsonReporter reporter("sec4_load_balance");
+  reporter.AddScalar("explain_runs",
+                     static_cast<double>(enumeration->explain_runs));
+  reporter.AddScalar("nondominated_plans",
+                     static_cast<double>(enumeration->plans.size()));
+  reporter.AddScalar("no_balance/mean_response_s", no_balance.mean);
+  reporter.AddScalar("no_balance/server_sets",
+                     static_cast<double>(no_balance.server_sets.size()));
+  reporter.AddScalar("balanced/mean_response_s", balanced.mean);
+  reporter.AddScalar("balanced/server_sets",
+                     static_cast<double>(balanced.server_sets.size()));
+
   ShapeCheck check;
   check.Expect(enumeration->explain_runs == 4,
                "what-if needed exactly 4 explain runs (paper's Q6 "
@@ -251,5 +263,5 @@ int main() {
   check.Expect(balanced.mean < no_balance.mean,
                "load distribution reduces mean response under "
                "concurrency");
-  return check.Summary("bench_sec4_load_balance");
+  return reporter.Finish(check);
 }

@@ -75,6 +75,17 @@ int main() {
     std::printf("\n");
   }
 
+  JsonReporter reporter("table2_assignment");
+  for (QueryType qt : AllQueryTypes()) {
+    for (int p = 1; p <= 8; ++p) {
+      // Encode routing as a scalar: 1 when QCC deviates from the fixed
+      // nickname assignment in that phase.
+      reporter.AddScalar(std::string(QueryTypeName(qt)) + "/phase" +
+                             std::to_string(p) + "/deviates",
+                         dynamic[qt][p] != fixed.at(qt) ? 1.0 : 0.0);
+    }
+  }
+
   ShapeCheck check;
   // Phase 1 (nothing loaded): the powerful S3 should win all types.
   bool all_s3_phase1 = true;
@@ -100,5 +111,5 @@ int main() {
     for (int p = 1; p <= 8; ++p) differs |= dynamic[qt][p] != fixed.at(qt);
   }
   check.Expect(differs, "dynamic assignment deviates from fixed somewhere");
-  return check.Summary("bench_table2_assignment");
+  return reporter.Finish(check);
 }

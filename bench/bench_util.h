@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "workload/runner.h"
 #include "workload/scenario.h"
 
@@ -41,11 +44,13 @@ inline void ConfigureFixedAssignment2(ForcedServerSelector* selector) {
 struct ShapeCheck {
   int passed = 0;
   int failed = 0;
+  std::vector<std::pair<std::string, bool>> results;
 
   void Expect(bool ok, const std::string& what) {
     std::printf("  shape-check %-4s %s\n", ok ? "PASS" : "FAIL",
                 what.c_str());
     (ok ? passed : failed) += 1;
+    results.emplace_back(what, ok);
   }
 
   int Summary(const char* name) const {
@@ -59,5 +64,97 @@ inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// \brief Machine-readable bench results: every harness writes
+/// `BENCH_<name>.json` so the repo's perf trajectory is diffable run to
+/// run. Output is deterministic (no wall-clock, %.9g numbers) for the
+/// simulation harnesses; see EXPERIMENTS.md for the output-directory
+/// knob (`FEDCAL_BENCH_JSON_DIR`).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// Summarizes one workload run (latency percentiles over successful
+  /// queries' end-to-end seconds, success rate, fault-handling totals).
+  void AddWorkload(const std::string& label, const WorkloadResult& r) {
+    Item item;
+    item.label = label;
+    item.fields = {
+        {"queries", static_cast<double>(r.measurements.size())},
+        {"success_rate", r.SuccessRate()},
+        {"mean_response_s", r.MeanResponse()},
+        {"p50_total_s", r.PercentileTotal(50)},
+        {"p95_total_s", r.PercentileTotal(95)},
+        {"p99_total_s", r.PercentileTotal(99)},
+        {"retries", static_cast<double>(r.total_retries())},
+        {"timeouts", static_cast<double>(r.total_timeouts())},
+        {"hedges", static_cast<double>(r.total_hedges())},
+    };
+    workloads_.push_back(std::move(item));
+  }
+
+  /// One free-form numeric datum (a gain percentage, an ns/op, ...).
+  void AddScalar(const std::string& label, double value) {
+    scalars_.emplace_back(label, value);
+  }
+
+  /// Writes BENCH_<name>.json (including `checks`' named outcomes) and
+  /// returns the shape-check exit code, so a harness can end with
+  /// `return reporter.Finish(check);`.
+  int Finish(const ShapeCheck& checks) const {
+    const char* dir = std::getenv("FEDCAL_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
+        name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return checks.Summary(name_.c_str());
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"workloads\": [");
+    for (size_t i = 0; i < workloads_.size(); ++i) {
+      const Item& w = workloads_[i];
+      std::fprintf(f, "%s\n    {\"label\": \"%s\"", i ? "," : "",
+                   w.label.c_str());
+      for (const auto& [key, value] : w.fields) {
+        std::fprintf(f, ", \"%s\": %s", key.c_str(),
+                     obs::FormatMetricValue(value).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s],\n", workloads_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"scalars\": [");
+    for (size_t i = 0; i < scalars_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"label\": \"%s\", \"value\": %s}",
+                   i ? "," : "", scalars_[i].first.c_str(),
+                   obs::FormatMetricValue(scalars_[i].second).c_str());
+    }
+    std::fprintf(f, "%s],\n", scalars_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"checks\": [");
+    for (size_t i = 0; i < checks.results.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"pass\": %s}",
+                   i ? "," : "", checks.results[i].first.c_str(),
+                   checks.results[i].second ? "true" : "false");
+    }
+    std::fprintf(f, "%s],\n", checks.results.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"passed\": %d,\n  \"failed\": %d\n}\n",
+                 checks.passed, checks.failed);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return checks.Summary(name_.c_str());
+  }
+
+ private:
+  struct Item {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  std::string name_;
+  std::vector<Item> workloads_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
 
 }  // namespace fedcal::bench

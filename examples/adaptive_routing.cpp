@@ -74,9 +74,9 @@ int main() {
   for (size_t i = log.size() >= 3 ? log.size() - 3 : 0; i < log.size();
        ++i) {
     std::printf("  [%s] estimated %.4f s, observed %.4f s (ratio %.2f)\n",
-                log[i].server_id.c_str(), log[i].estimated_seconds,
-                log[i].observed_seconds,
-                log[i].observed_seconds / log[i].estimated_seconds);
+                log[i].server_id.c_str(),
+                log[i].cost.raw_estimated_seconds,
+                log[i].cost.observed_seconds, log[i].cost.ObservedRatio());
   }
   return 0;
 }

@@ -11,6 +11,9 @@
 //   \load <srv> <f>    set background load on a server (0..0.99)
 //   \down <srv>        take a server down        \up <srv>  bring it back
 //   \explain           show the explain-table entry of the last query
+//   \stats             live telemetry metrics snapshot (counters, gauges,
+//                      latency histograms with p50/p95/p99)
+//   \trace             span tree of the last query's lifecycle trace
 //   \qcc on|off        attach / detach the query cost calibrator
 //   \quit              exit
 #include <cstdio>
@@ -126,6 +129,16 @@ int main() {
                         f.calibrated_seconds, f.statement.c_str());
           }
           std::printf("  merge plan:\n%s\n", e->merge_plan_text.c_str());
+        }
+      } else if (cmd == "stats") {
+        const std::string text = sc.telemetry().metrics.ToText();
+        std::printf("%s", text.empty() ? "  no metrics yet\n" : text.c_str());
+      } else if (cmd == "trace") {
+        if (last_query_id == 0) {
+          std::printf("  no traced query yet\n");
+        } else {
+          std::printf("%s",
+                      sc.telemetry().tracer.ToText(last_query_id).c_str());
         }
       } else if (cmd == "qcc") {
         std::string mode;

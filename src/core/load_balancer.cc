@@ -78,8 +78,10 @@ std::vector<size_t> LoadBalancer::FragmentGroup(
         exchangeable = false;
         break;
       }
-      const double base_cost = base.fragment_choices[f].calibrated_seconds;
-      const double cand_cost = cand.fragment_choices[f].calibrated_seconds;
+      const double base_cost =
+          base.fragment_choices[f].cost.calibrated_seconds;
+      const double cand_cost =
+          cand.fragment_choices[f].cost.calibrated_seconds;
       if (cand_cost > base_cost * (1.0 + config_.cost_tolerance)) {
         exchangeable = false;
         break;

@@ -77,6 +77,12 @@ void QueryCostCalibrator::RecordFragmentObservation(
     const std::string& server_id, size_t signature, double estimated_seconds,
     double observed_seconds) {
   store_.Record(server_id, signature, estimated_seconds, observed_seconds);
+  obs::MetricsRegistry& metrics = meta_wrapper_->telemetry()->metrics;
+  metrics.counter("qcc.observations").Add();
+  if (estimated_seconds > 0.0) {
+    metrics.gauge("qcc.last_ratio." + server_id)
+        .Set(observed_seconds / estimated_seconds);
+  }
 }
 
 void QueryCostCalibrator::RecordIntegrationObservation(
@@ -86,11 +92,18 @@ void QueryCostCalibrator::RecordIntegrationObservation(
 
 void QueryCostCalibrator::RecordError(const std::string& server_id,
                                       const Status& error) {
+  obs::MetricsRegistry& metrics = meta_wrapper_->telemetry()->metrics;
+  metrics.counter("qcc.errors." + server_id).Add();
   reliability_.RecordError(server_id);
   if (config_.enable_circuit_breaker) {
+    const bool was_open = breakers_.IsOpen(server_id, sim_->Now());
     breakers_.RecordFailure(server_id, sim_->Now());
+    if (!was_open && breakers_.IsOpen(server_id, sim_->Now())) {
+      metrics.counter("qcc.breaker_trips." + server_id).Add();
+    }
   }
   if (config_.detect_down_from_logs && error.IsUnavailable()) {
+    metrics.counter("qcc.down_marked." + server_id).Add();
     availability_.MarkDown(server_id);
   }
 }

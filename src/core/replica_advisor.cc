@@ -36,8 +36,8 @@ std::vector<ReplicaRecommendation> ReplicaAdvisor::Analyze() const {
   std::map<std::string, double> nickname_workload;
   std::map<std::string, double> server_workload;
   for (const auto& rec : meta_wrapper_->runtime_log()) {
-    if (rec.failed) continue;
-    server_workload[rec.server_id] += rec.observed_seconds;
+    if (rec.cost.failed) continue;
+    server_workload[rec.server_id] += rec.cost.observed_seconds;
     auto it = statements.find({rec.server_id, rec.signature});
     if (it == statements.end()) continue;
     auto stmt = ParseSelect(it->second);
@@ -46,7 +46,7 @@ std::vector<ReplicaRecommendation> ReplicaAdvisor::Analyze() const {
     for (const auto& tr : stmt->from) {
       const std::string nickname = NicknameOf(rec.server_id, tr.table);
       if (!nickname.empty() && charged.insert(nickname).second) {
-        nickname_workload[nickname] += rec.observed_seconds;
+        nickname_workload[nickname] += rec.cost.observed_seconds;
       }
     }
   }

@@ -73,8 +73,8 @@ Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
     for (size_t f = 0; f < combo.size(); ++f) {
       const FragmentOption& choice = per_fragment[f][combo[f]];
       plan.fragment_choices.push_back(choice);
-      fragments_calibrated += choice.calibrated_seconds;
-      fragments_raw += choice.raw_estimated_seconds;
+      fragments_calibrated += choice.cost.calibrated_seconds;
+      fragments_raw += choice.cost.raw_estimated_seconds;
       mix(choice.wrapper_plan.identity);
       mix(std::hash<std::string>{}(choice.wrapper_plan.server_id));
 

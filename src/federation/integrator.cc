@@ -13,6 +13,7 @@ namespace fedcal {
 /// barrier bookkeeping that decides when the attempt succeeds, fails over,
 /// or waits for a hedge.
 struct Integrator::Attempt {
+  uint64_t span = 0;        ///< this attempt's trace span
   size_t remaining = 0;     ///< fragments not yet resolved
   bool settled = false;     ///< merge started or failover initiated
   bool failed = false;
@@ -61,7 +62,7 @@ double Integrator::effective_io_speed() const {
 
 double Integrator::FragmentDeadline(const FragmentOption& choice) const {
   const FaultToleranceConfig& ft = config_.fault;
-  return ft.deadline_multiplier * choice.calibrated_seconds +
+  return ft.deadline_multiplier * choice.cost.calibrated_seconds +
          ft.deadline_floor_s;
 }
 
@@ -73,7 +74,7 @@ double Integrator::HedgeDelay(const FragmentOption& choice) const {
                         ft.hedge_stddevs * fragment_stats_.stddev());
   }
   return std::max(ft.hedge_floor_s,
-                  ft.hedge_multiplier * choice.calibrated_seconds);
+                  ft.hedge_multiplier * choice.cost.calibrated_seconds);
 }
 
 Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
@@ -81,17 +82,32 @@ Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
   compiled.query_id = patroller_.RecordSubmission(sql);
   compiled.sql = sql;
 
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  tel.metrics.counter("query.submitted").Add();
+  tel.tracer.BeginQuery(compiled.query_id, sql);
+
   auto fail = [&](const Status& st) {
+    tel.metrics.counter("query.compile_failed").Add();
+    tel.tracer.EndQuery(compiled.query_id, /*failed=*/true, st.ToString());
     patroller_.RecordFailure(compiled.query_id, st.ToString());
     return st;
   };
 
+  const uint64_t parse_span =
+      tel.tracer.StartSpan(compiled.query_id, obs::SpanKind::kParse, "parse");
   auto stmt = ParseSelect(sql);
   if (!stmt.ok()) return fail(stmt.status());
+  tel.tracer.EndSpan(compiled.query_id, parse_span);
+
+  const uint64_t decompose_span = tel.tracer.StartSpan(
+      compiled.query_id, obs::SpanKind::kDecompose, "decompose");
   auto decomposition = optimizer_.decomposer().Decompose(*stmt);
   if (!decomposition.ok()) return fail(decomposition.status());
   compiled.decomposition = std::move(decomposition).MoveValue();
+  tel.tracer.EndSpan(compiled.query_id, decompose_span);
 
+  const uint64_t optimize_span = tel.tracer.StartSpan(
+      compiled.query_id, obs::SpanKind::kOptimize, "optimize");
   auto options = optimizer_.Enumerate(compiled.query_id,
                                       compiled.decomposition,
                                       config_.max_alternatives_per_server,
@@ -107,6 +123,7 @@ Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
   if (compiled.chosen_index >= compiled.options.size()) {
     compiled.chosen_index = 0;
   }
+  tel.tracer.EndSpan(compiled.query_id, optimize_span);
 
   // Record the winner in the explain table.
   const GlobalPlanOption& winner = compiled.options[compiled.chosen_index];
@@ -118,7 +135,7 @@ Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
   for (const auto& fc : winner.fragment_choices) {
     entry.fragments.push_back(ExplainEntry::FragmentRow{
         fc.wrapper_plan.server_id, fc.wrapper_plan.statement,
-        fc.raw_estimated_seconds, fc.calibrated_seconds});
+        fc.cost.raw_estimated_seconds, fc.cost.calibrated_seconds});
   }
   explain_.Put(std::move(entry));
   return compiled;
@@ -168,6 +185,11 @@ void Integrator::ExecuteOption(
   const bool hedging_on = config_.fault.enable_hedging;
 
   auto attempt = std::make_shared<Attempt>();
+  attempt->span = meta_wrapper_->telemetry()->tracer.StartSpan(
+      compiled.query_id, obs::SpanKind::kAttempt,
+      "attempt#" + std::to_string(retries));
+  meta_wrapper_->telemetry()->tracer.SetAttr(
+      compiled.query_id, attempt->span, "plan", option.Describe());
   attempt->remaining = n;
   attempt->tables.resize(n);
   attempt->primary.resize(n);
@@ -209,12 +231,19 @@ void Integrator::ExecuteOption(
             Status::Timeout("hedged sibling finished first"),
             /*count_as_error=*/false);
       }
-      if (is_hedge) ++state->hedge_wins;
+      if (is_hedge) {
+        ++state->hedge_wins;
+        meta_wrapper_->telemetry()->metrics.counter("fragment.hedge_wins")
+            .Add();
+      }
       if (--attempt->remaining > 0) return;
       if (attempt->failed) {
         // Legacy barrier mode: a fragment failed earlier; every other
         // fragment has now resolved, so fail over.
         attempt->settled = true;
+        meta_wrapper_->telemetry()->tracer.EndSpan(
+            compiled.query_id, attempt->span, /*failed=*/true,
+            attempt->first_error.ToString());
         HandleAttemptFailure(compiled, failed_servers, retries, state,
                              attempt->first_error, attempt->failed_server,
                              done);
@@ -222,7 +251,7 @@ void Integrator::ExecuteOption(
       }
       attempt->settled = true;
       FinishWithMerge(compiled, option_index, std::move(attempt->tables),
-                      started_at, retries, state, done);
+                      started_at, retries, state, attempt->span, done);
       return;
     }
 
@@ -241,6 +270,9 @@ void Integrator::ExecuteOption(
       AbortAttempt(attempt,
                    Status::Timeout("attempt aborted after failure of " +
                                    attempt->failed_server));
+      meta_wrapper_->telemetry()->tracer.EndSpan(
+          compiled.query_id, attempt->span, /*failed=*/true,
+          attempt->first_error.ToString());
       HandleAttemptFailure(compiled, failed_servers, retries, state,
                            attempt->first_error, attempt->failed_server,
                            done);
@@ -251,6 +283,9 @@ void Integrator::ExecuteOption(
     attempt->fragment_done[f] = 1;
     if (--attempt->remaining > 0) return;
     attempt->settled = true;
+    meta_wrapper_->telemetry()->tracer.EndSpan(
+        compiled.query_id, attempt->span, /*failed=*/true,
+        attempt->first_error.ToString());
     HandleAttemptFailure(compiled, failed_servers, retries, state,
                          attempt->first_error, attempt->failed_server,
                          done);
@@ -265,7 +300,8 @@ void Integrator::ExecuteOption(
         [on_fragment, f, server_id](Result<FragmentExecution> result) {
           (*on_fragment)(f, server_id, /*is_hedge=*/false,
                          std::move(result));
-        });
+        },
+        attempt->span);
 
     if (deadlines_on) {
       const double deadline = FragmentDeadline(choice);
@@ -276,6 +312,10 @@ void Integrator::ExecuteOption(
               if (attempt->settled || attempt->fragment_done[f]) return;
               attempt->deadline_timers[f] = 0;
               ++state->timeouts;
+              obs::Telemetry& tel = *meta_wrapper_->telemetry();
+              tel.metrics.counter("fragment.deadline_expired").Add();
+              tel.tracer.AddEvent(query_id, obs::SpanKind::kTimeout,
+                                  "deadline@" + server_id, attempt->span);
               FEDCAL_LOG_INFO << "query " << query_id << ": fragment " << f
                               << " on " << server_id
                               << " missed its deadline ("
@@ -315,7 +355,7 @@ void Integrator::ExecuteOption(
                               sid) != failed_servers->end()) {
                   continue;
                 }
-                if (!std::isfinite(fc.calibrated_seconds)) continue;
+                if (!std::isfinite(fc.cost.calibrated_seconds)) continue;
                 alt = &fc;
                 break;
               }
@@ -327,13 +367,19 @@ void Integrator::ExecuteOption(
                               << ": hedging straggler fragment " << f
                               << " (" << server_id << ") on "
                               << alt_server;
+              obs::Telemetry& tel = *meta_wrapper_->telemetry();
+              tel.metrics.counter("fragment.hedged").Add();
               attempt->hedge[f] = meta_wrapper_->ExecuteFragment(
                   compiled.query_id, *alt,
                   [on_fragment, f, alt_server](
                       Result<FragmentExecution> result) {
                     (*on_fragment)(f, alt_server, /*is_hedge=*/true,
                                    std::move(result));
-                  });
+                  },
+                  attempt->span);
+              tel.tracer.SetAttr(compiled.query_id,
+                                 attempt->hedge[f]->trace_span(), "hedge",
+                                 "1");
             });
       }
     }
@@ -348,6 +394,9 @@ void Integrator::HandleAttemptFailure(
   failed_servers->push_back(failed_server);
 
   auto fail = [&](const Status& st) {
+    obs::Telemetry& tel = *meta_wrapper_->telemetry();
+    tel.metrics.counter("query.failed").Add();
+    tel.tracer.EndQuery(compiled.query_id, /*failed=*/true, st.ToString());
     patroller_.RecordFailure(compiled.query_id, st.ToString());
     done(st);
   };
@@ -380,6 +429,7 @@ void Integrator::HandleAttemptFailure(
   }
 
   const size_t attempts_so_far = retries + 1;
+  meta_wrapper_->telemetry()->metrics.counter("query.retries").Add();
   if (!config_.fault.enable_deadlines) {
     // Seed behaviour: immediate failover, no attempt cap beyond the number
     // of distinct plans.
@@ -408,8 +458,11 @@ void Integrator::HandleAttemptFailure(
   FEDCAL_LOG_INFO << "query " << compiled.query_id << ": retrying on "
                   << compiled.options[next_index].Describe() << " in "
                   << delay << "s after " << error.ToString();
+  const uint64_t wait_span = meta_wrapper_->telemetry()->tracer.StartSpan(
+      compiled.query_id, obs::SpanKind::kRetryWait, "backoff");
   sim_->ScheduleAfter(delay, [this, compiled, next_index, failed_servers,
-                              retries, state, done] {
+                              retries, state, done, wait_span] {
+    meta_wrapper_->telemetry()->tracer.EndSpan(compiled.query_id, wait_span);
     ExecuteOption(compiled, next_index, failed_servers, retries + 1, state,
                   done);
   });
@@ -420,8 +473,11 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
                                  std::vector<TablePtr> fragment_tables,
                                  SimTime started_at, size_t retries,
                                  std::shared_ptr<ExecState> state,
-                                 Callback done) {
+                                 uint64_t attempt_span, Callback done) {
   const GlobalPlanOption& option = compiled.options[option_index];
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  const uint64_t merge_span = tel.tracer.StartSpan(
+      compiled.query_id, obs::SpanKind::kMerge, "merge", attempt_span);
 
   // Materialize fragment results as the merge plan's temp tables.
   auto temp = std::make_shared<std::map<std::string, TablePtr>>();
@@ -437,6 +493,9 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
   ExecStats stats;
   auto merged = merge_exec.Execute(option.merge_plan, &stats);
   if (!merged.ok()) {
+    tel.metrics.counter("query.failed").Add();
+    tel.tracer.EndQuery(compiled.query_id, /*failed=*/true,
+                        merged.status().ToString());
     patroller_.RecordFailure(compiled.query_id, merged.status().ToString());
     done(merged.status());
     return;
@@ -448,8 +507,8 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
 
   sim_->ScheduleAfter(
       merge_seconds,
-      [this, compiled, option, retries, started_at, state, done,
-       table = merged.MoveValue()]() mutable {
+      [this, compiled, option, retries, started_at, state, done, merge_span,
+       attempt_span, table = merged.MoveValue()]() mutable {
         patroller_.RecordCompletion(compiled.query_id);
         QueryOutcome outcome;
         outcome.query_id = compiled.query_id;
@@ -462,6 +521,23 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
         outcome.timeouts = state->timeouts;
         outcome.hedges = state->hedges;
         outcome.hedge_wins = state->hedge_wins;
+
+        obs::Telemetry& tel = *meta_wrapper_->telemetry();
+        tel.tracer.EndSpan(compiled.query_id, merge_span);
+        tel.tracer.EndSpan(compiled.query_id, attempt_span);
+        std::string joined;
+        for (size_t i = 0; i < option.server_set.size(); ++i) {
+          if (i) joined += "+";
+          joined += option.server_set[i];
+        }
+        tel.tracer.SetQueryAttr(compiled.query_id, "servers", joined);
+        tel.tracer.EndQuery(compiled.query_id, /*failed=*/false);
+        tel.metrics.counter("query.completed").Add();
+        tel.metrics.histogram("query.response_s")
+            .Record(outcome.response_seconds);
+        tel.metrics.histogram("query.total_s")
+            .Record(outcome.total_response_seconds);
+
         done(std::move(outcome));
       });
 }

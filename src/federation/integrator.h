@@ -198,7 +198,8 @@ class Integrator {
   void FinishWithMerge(const CompiledQuery& compiled, size_t option_index,
                        std::vector<TablePtr> fragment_tables,
                        SimTime started_at, size_t retries,
-                       std::shared_ptr<ExecState> state, Callback done);
+                       std::shared_ptr<ExecState> state,
+                       uint64_t attempt_span, Callback done);
 
   GlobalCatalog* catalog_;
   MetaWrapper* meta_wrapper_;

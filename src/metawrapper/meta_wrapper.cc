@@ -7,6 +7,9 @@
 
 namespace fedcal {
 
+using obs::CostObservation;
+using obs::SpanKind;
+
 Result<RelationalWrapper*> MetaWrapper::GetWrapper(
     const std::string& server_id) const {
   auto it = wrappers_.find(server_id);
@@ -38,6 +41,7 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
     uint64_t query_id, const SelectStmt& fragment,
     const std::vector<std::string>& candidate_servers,
     size_t max_alternatives_per_server) {
+  obs::Tracer& tracer = telemetry_->tracer;
   std::vector<FragmentOption> options;
   Status last_error = Status::OK();
   for (const auto& server_id : candidate_servers) {
@@ -57,18 +61,20 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
     }
     for (auto& wp : *plans) {
       FragmentOption opt;
-      opt.raw_estimated_seconds = RawEstimateSeconds(wp);
-      opt.calibrated_seconds = calibrator_->CalibrateFragmentCost(
-          server_id, wp.signature, opt.raw_estimated_seconds);
+      opt.cost.raw_estimated_seconds = RawEstimateSeconds(wp);
+      opt.cost.calibrated_seconds = calibrator_->CalibrateFragmentCost(
+          server_id, wp.signature, opt.cost.raw_estimated_seconds);
       calibrator_->RecordEstimate(server_id, wp.signature,
-                                  opt.raw_estimated_seconds);
-      compile_log_.push_back(MwCompileRecord{
-          query_id, wp.statement, server_id, wp.signature,
-          opt.raw_estimated_seconds, opt.calibrated_seconds});
+                                  opt.cost.raw_estimated_seconds);
+      const uint64_t span =
+          tracer.AddEvent(query_id, SpanKind::kFragmentPlan, wp.statement);
+      tracer.SetServer(query_id, span, server_id, wp.signature);
+      tracer.SetCost(query_id, span, opt.cost);
       opt.wrapper_plan = std::move(wp);
       options.push_back(std::move(opt));
     }
   }
+  telemetry_->metrics.counter("mw.plans_collected").Add(options.size());
   if (options.empty()) {
     return Status::PlanError("no server can execute fragment '" +
                              fragment.ToString() +
@@ -76,9 +82,61 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
   }
   std::stable_sort(options.begin(), options.end(),
                    [](const FragmentOption& a, const FragmentOption& b) {
-                     return a.calibrated_seconds < b.calibrated_seconds;
+                     return a.cost.calibrated_seconds <
+                            b.cost.calibrated_seconds;
                    });
   return options;
+}
+
+std::vector<MwCompileRecord> MetaWrapper::compile_log() const {
+  std::vector<MwCompileRecord> log;
+  for (const auto& trace : telemetry_->tracer.traces()) {
+    for (const auto& span : trace.spans) {
+      if (span.kind != SpanKind::kFragmentPlan) continue;
+      log.push_back(MwCompileRecord{trace.query_id, span.name,
+                                    span.server_id, span.signature,
+                                    span.cost});
+    }
+  }
+  return log;
+}
+
+std::vector<MwRuntimeRecord> MetaWrapper::runtime_log() const {
+  std::vector<MwRuntimeRecord> log;
+  for (const auto& trace : telemetry_->tracer.traces()) {
+    for (const auto& span : trace.spans) {
+      if (span.kind != SpanKind::kFragmentDispatch || span.open) continue;
+      log.push_back(MwRuntimeRecord{trace.query_id, span.server_id,
+                                    span.signature, span.cost});
+    }
+  }
+  return log;
+}
+
+void MetaWrapper::FinishTicketSpans(const FragmentTicket& ticket,
+                                    double observed, bool failed,
+                                    const std::string& detail) {
+  obs::Tracer& tracer = telemetry_->tracer;
+  CostObservation cost;
+  cost.raw_estimated_seconds = ticket.estimated_;
+  cost.calibrated_seconds = ticket.calibrated_;
+  cost.observed_seconds = observed;
+  cost.failed = failed;
+  if (ticket.stage_span_ != 0) {
+    tracer.EndSpan(ticket.query_id_, ticket.stage_span_, failed, detail);
+  }
+  tracer.SetCost(ticket.query_id_, ticket.span_, cost);
+  tracer.EndSpan(ticket.query_id_, ticket.span_, failed, detail);
+
+  obs::MetricsRegistry& metrics = telemetry_->metrics;
+  if (failed) {
+    metrics.counter("fragment.failed").Add();
+  } else {
+    metrics.counter("fragment.completed").Add();
+    metrics.histogram("fragment.response_s").Record(observed);
+    metrics.histogram("fragment.response_s." + ticket.server_id_)
+        .Record(observed);
+  }
 }
 
 bool FragmentTicket::Cancel(const Status& reason, bool count_as_error) {
@@ -106,10 +164,8 @@ void MetaWrapper::OnTicketCancelled(const FragmentTicket& ticket,
                                     const Status& reason,
                                     bool count_as_error) {
   const double elapsed = sim_->Now() - ticket.submit_time_;
-  runtime_log_.push_back(MwRuntimeRecord{ticket.query_id_, ticket.server_id_,
-                                         ticket.signature_,
-                                         ticket.estimated_, elapsed,
-                                         /*failed=*/true});
+  FinishTicketSpans(ticket, elapsed, /*failed=*/true, reason.ToString());
+  telemetry_->metrics.counter("fragment.cancelled").Add();
   if (count_as_error) {
     calibrator_->RecordError(ticket.server_id_, reason);
   }
@@ -126,24 +182,40 @@ void MetaWrapper::OnTicketCancelled(const FragmentTicket& ticket,
 
 FragmentTicketPtr MetaWrapper::ExecuteFragment(uint64_t query_id,
                                                const FragmentOption& option,
-                                               ExecutionCallback done) {
+                                               ExecutionCallback done,
+                                               uint64_t parent_span) {
   auto ticket = std::make_shared<FragmentTicket>();
   ticket->mw_ = this;
   ticket->server_id_ = option.wrapper_plan.server_id;
   ticket->query_id_ = query_id;
   ticket->signature_ = option.wrapper_plan.signature;
-  ticket->estimated_ = option.raw_estimated_seconds;
+  ticket->estimated_ = option.cost.raw_estimated_seconds;
+  ticket->calibrated_ = option.cost.calibrated_seconds;
   ticket->submit_time_ = sim_->Now();
   ticket->done_ = std::move(done);
 
   auto wrapper = GetWrapper(ticket->server_id_);
   if (!wrapper.ok()) {
+    // Rejected before any span opened: no runtime record, matching the
+    // pre-spine behaviour (nothing was dispatched).
     ticket->stage_ = FragmentTicket::Stage::kDone;
+    telemetry_->metrics.counter("fragment.rejected").Add();
     sim_->ScheduleAfter(0.0, [done = std::move(ticket->done_),
                               st = wrapper.status()] { done(st); });
     return ticket;
   }
   ticket->server_ = (*wrapper)->server();
+
+  obs::Tracer& tracer = telemetry_->tracer;
+  telemetry_->metrics.counter("fragment.dispatched").Add();
+  ticket->span_ =
+      tracer.StartSpan(query_id, SpanKind::kFragmentDispatch,
+                       "fragment@" + ticket->server_id_, parent_span);
+  tracer.SetServer(query_id, ticket->span_, ticket->server_id_,
+                   ticket->signature_);
+  tracer.SetCost(query_id, ticket->span_, option.cost);
+  ticket->stage_span_ = tracer.StartSpan(query_id, SpanKind::kNetworkHop,
+                                         "request", ticket->span_);
 
   // Request message: a few hundred bytes of execution descriptor.
   const double request_time =
@@ -153,25 +225,33 @@ FragmentTicketPtr MetaWrapper::ExecuteFragment(uint64_t query_id,
   ticket->pending_event_ = sim_->ScheduleAfter(request_time, [this, ticket,
                                                              plan] {
     if (ticket->finished()) return;
+    obs::Tracer& trc = telemetry_->tracer;
     ticket->pending_event_ = 0;
     ticket->stage_ = FragmentTicket::Stage::kExecuting;
+    trc.EndSpan(ticket->query_id_, ticket->stage_span_);
+    ticket->stage_span_ =
+        trc.StartSpan(ticket->query_id_, SpanKind::kServerExec,
+                      "exec@" + ticket->server_id_, ticket->span_);
     ticket->server_job_ = ticket->server_->SubmitFragment(
         plan, [this, ticket](Result<FragmentResult> result) {
           if (ticket->finished()) return;
+          obs::Tracer& tr = telemetry_->tracer;
           ticket->server_job_ = 0;
           if (!result.ok()) {
             ticket->stage_ = FragmentTicket::Stage::kDone;
             calibrator_->RecordError(ticket->server_id_, result.status());
-            runtime_log_.push_back(MwRuntimeRecord{
-                ticket->query_id_, ticket->server_id_, ticket->signature_,
-                ticket->estimated_, sim_->Now() - ticket->submit_time_,
-                /*failed=*/true});
+            FinishTicketSpans(*ticket, sim_->Now() - ticket->submit_time_,
+                              /*failed=*/true, result.status().ToString());
             auto cb = std::move(ticket->done_);
             cb(result.status());
             return;
           }
           FragmentResult server_result = std::move(result).MoveValue();
           ticket->stage_ = FragmentTicket::Stage::kReply;
+          tr.EndSpan(ticket->query_id_, ticket->stage_span_);
+          ticket->stage_span_ =
+              tr.StartSpan(ticket->query_id_, SpanKind::kReplyHop, "reply",
+                           ticket->span_);
           const double reply_time = network_->TransferTime(
               ticket->server_id_, server_result.table->byte_size(),
               sim_->Now());
@@ -190,10 +270,8 @@ FragmentTicketPtr MetaWrapper::ExecuteFragment(uint64_t query_id,
                 calibrator_->RecordFragmentObservation(
                     ticket->server_id_, ticket->signature_,
                     ticket->estimated_, exec.response_seconds);
-                runtime_log_.push_back(MwRuntimeRecord{
-                    ticket->query_id_, ticket->server_id_,
-                    ticket->signature_, ticket->estimated_,
-                    exec.response_seconds, /*failed=*/false});
+                FinishTicketSpans(*ticket, exec.response_seconds,
+                                  /*failed=*/false, "");
                 auto cb = std::move(ticket->done_);
                 cb(std::move(exec));
               });
@@ -206,6 +284,7 @@ Result<MetaWrapper::ProbeResult> MetaWrapper::ProbeServer(
     const std::string& server_id) {
   FEDCAL_ASSIGN_OR_RETURN(RelationalWrapper * wrapper, GetWrapper(server_id));
   RemoteServer* server = wrapper->server();
+  telemetry_->metrics.counter("mw.probes." + server_id).Add();
 
   ServerProfile profile;
   if (auto p = catalog_->GetServerProfile(server_id); p.ok()) profile = **p;
@@ -213,6 +292,7 @@ Result<MetaWrapper::ProbeResult> MetaWrapper::ProbeServer(
   if (!server->available()) {
     calibrator_->RecordError(server_id,
                              Status::Unavailable("probe: server down"));
+    telemetry_->metrics.counter("mw.probe_failures." + server_id).Add();
     return Status::Unavailable("server " + server_id + " did not answer");
   }
 
@@ -238,6 +318,7 @@ Result<MetaWrapper::ProbeResult> MetaWrapper::ProbeServer(
     auto result = server->ExecuteNow(probe_plan);
     if (!result.ok()) {
       calibrator_->RecordError(server_id, result.status());
+      telemetry_->metrics.counter("mw.probe_failures." + server_id).Add();
       return result.status();
     }
     observed_compute = result->server_seconds;

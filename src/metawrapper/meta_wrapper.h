@@ -10,21 +10,19 @@
 #include "common/result.h"
 #include "metawrapper/calibrator_interface.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "wrapper/wrapper.h"
 
 namespace fedcal {
 
 /// \brief A fragment plan as presented to the integrator: the wrapper's
-/// plan plus the meta-wrapper's raw and calibrated cost estimates, in
-/// integrator-seconds.
+/// plan plus the meta-wrapper's cost estimates (raw and calibrated, in
+/// integrator-seconds), carried in the telemetry spine's shared
+/// observation struct.
 struct FragmentOption {
   WrapperPlan wrapper_plan;
-  /// work/configured-speed + configured latency + bytes/configured
-  /// bandwidth — what a QCC-less federated system would use.
-  double raw_estimated_seconds = 0.0;
-  /// raw estimate after QCC calibration (equals raw when QCC is off).
-  double calibrated_seconds = 0.0;
+  obs::CostObservation cost;
 };
 
 /// \brief Outcome of a fragment execution as observed by the meta-wrapper.
@@ -55,6 +53,10 @@ class FragmentTicket {
 
   bool finished() const { return stage_ == Stage::kDone; }
   const std::string& server_id() const { return server_id_; }
+  /// The fragment-dispatch span this execution reports into (0 when the
+  /// dispatch was rejected before a span opened).
+  uint64_t trace_span() const { return span_; }
+  uint64_t query_id() const { return query_id_; }
 
  private:
   friend class MetaWrapper;
@@ -66,35 +68,36 @@ class FragmentTicket {
   uint64_t query_id_ = 0;
   size_t signature_ = 0;
   double estimated_ = 0.0;
+  double calibrated_ = 0.0;
   SimTime submit_time_ = 0.0;
   Stage stage_ = Stage::kRequest;
   Simulator::EventId pending_event_ = 0;  ///< request/reply hop in flight
   uint64_t server_job_ = 0;               ///< valid during kExecuting
+  uint64_t span_ = 0;        ///< fragment-dispatch span
+  uint64_t stage_span_ = 0;  ///< open child span of the current stage
   std::function<void(Result<FragmentExecution>)> done_;
 };
 
 using FragmentTicketPtr = std::shared_ptr<FragmentTicket>;
 
 /// \brief Compile-time record kept by MW (paper §2: statements, estimated
-/// costs, outgoing fragments, server mappings).
+/// costs, outgoing fragments, server mappings). A view derived from the
+/// telemetry spine's fragment-plan spans.
 struct MwCompileRecord {
   uint64_t query_id = 0;
   std::string statement;
   std::string server_id;
   size_t signature = 0;
-  double estimated_seconds = 0.0;
-  double calibrated_seconds = 0.0;
+  obs::CostObservation cost;
 };
 
 /// \brief Runtime record kept by MW (paper §2: per-fragment response
-/// times).
+/// times). A view derived from the spine's fragment-dispatch spans.
 struct MwRuntimeRecord {
   uint64_t query_id = 0;
   std::string server_id;
   size_t signature = 0;
-  double estimated_seconds = 0.0;
-  double observed_seconds = 0.0;
-  bool failed = false;
+  obs::CostObservation cost;
 };
 
 /// \brief The meta-wrapper: middleware between the integrator and the
@@ -106,10 +109,19 @@ struct MwRuntimeRecord {
 /// records everything. Run time: routes the chosen plan to its server,
 /// models request/response transfers over the network, measures response
 /// time, and feeds (estimate, observation) pairs back to QCC.
+///
+/// All measurement flows through the telemetry spine: compile-time plan
+/// prices become fragment-plan spans, executions become fragment-dispatch
+/// spans with network-hop / server-exec / reply-hop children, and the §2
+/// MW logs are compatibility views derived from those spans.
 class MetaWrapper {
  public:
   MetaWrapper(GlobalCatalog* catalog, Network* network, Simulator* sim)
-      : catalog_(catalog), network_(network), sim_(sim) {}
+      : catalog_(catalog),
+        network_(network),
+        sim_(sim),
+        own_telemetry_(std::make_unique<obs::Telemetry>(sim)),
+        telemetry_(own_telemetry_.get()) {}
 
   /// Registers the wrapper for a server. Wrappers are owned by the caller.
   void RegisterWrapper(RelationalWrapper* wrapper) {
@@ -124,6 +136,13 @@ class MetaWrapper {
     calibrator_ = calibrator ? calibrator : &null_calibrator_;
   }
   CostCalibrator* calibrator() const { return calibrator_; }
+
+  /// Redirects emission to a shared telemetry spine (a Scenario's);
+  /// nullptr restores the private fallback instance. Never null.
+  void SetTelemetry(obs::Telemetry* telemetry) {
+    telemetry_ = telemetry ? telemetry : own_telemetry_.get();
+  }
+  obs::Telemetry* telemetry() const { return telemetry_; }
 
   // -- Compile time ------------------------------------------------------------
 
@@ -147,10 +166,12 @@ class MetaWrapper {
   /// Executes the chosen fragment option at its server. The callback runs
   /// through the simulator after results travel back across the network.
   /// The returned ticket supports mid-flight cancellation (deadlines,
-  /// hedging); callers that never cancel may ignore it.
+  /// hedging); callers that never cancel may ignore it. `parent_span`
+  /// nests the dispatch span under the caller's span (0 = query root).
   FragmentTicketPtr ExecuteFragment(uint64_t query_id,
                                     const FragmentOption& option,
-                                    ExecutionCallback done);
+                                    ExecutionCallback done,
+                                    uint64_t parent_span = 0);
 
   /// What an availability-daemon probe measured vs what the configured
   /// profile predicted — the ratio bootstraps initial calibration factors
@@ -167,24 +188,24 @@ class MetaWrapper {
 
   // -- Logs ----------------------------------------------------------------
 
-  const std::vector<MwCompileRecord>& compile_log() const {
-    return compile_log_;
-  }
-  const std::vector<MwRuntimeRecord>& runtime_log() const {
-    return runtime_log_;
-  }
-  void ClearLogs() {
-    compile_log_.clear();
-    runtime_log_.clear();
-  }
+  /// Compile log derived from the spine's fragment-plan spans.
+  std::vector<MwCompileRecord> compile_log() const;
+  /// Runtime log derived from the spine's fragment-dispatch spans.
+  std::vector<MwRuntimeRecord> runtime_log() const;
+  /// Drops all traces (and with them both derived logs).
+  void ClearLogs() { telemetry_->tracer.Clear(); }
 
  private:
   friend class FragmentTicket;
 
-  /// Bookkeeping for a ticket aborted mid-flight: runtime-log entry,
-  /// optional error record, censored cost observation.
+  /// Bookkeeping for a ticket aborted mid-flight: span closure, optional
+  /// error record, censored cost observation.
   void OnTicketCancelled(const FragmentTicket& ticket, const Status& reason,
                          bool count_as_error);
+  /// Closes the ticket's dispatch (and open stage) spans with the final
+  /// observation and updates fragment metrics.
+  void FinishTicketSpans(const FragmentTicket& ticket, double observed,
+                         bool failed, const std::string& detail);
 
   GlobalCatalog* catalog_;
   Network* network_;
@@ -192,9 +213,8 @@ class MetaWrapper {
   std::map<std::string, RelationalWrapper*> wrappers_;
   NullCalibrator null_calibrator_;
   CostCalibrator* calibrator_ = &null_calibrator_;
-
-  std::vector<MwCompileRecord> compile_log_;
-  std::vector<MwRuntimeRecord> runtime_log_;
+  std::unique_ptr<obs::Telemetry> own_telemetry_;
+  obs::Telemetry* telemetry_;
 };
 
 }  // namespace fedcal

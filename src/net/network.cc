@@ -53,10 +53,16 @@ Result<NetworkLink*> Network::GetLink(const std::string& server_id) {
 double Network::TransferTime(const std::string& server_id, size_t bytes,
                              SimTime now) {
   auto it = links_.find(server_id);
-  if (it == links_.end()) {
-    return LinkConfig{}.base_latency_s;
+  const double t = it == links_.end()
+                       ? LinkConfig{}.base_latency_s
+                       : it->second.TransferTime(bytes, now);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("net.transfers").Add();
+    telemetry_->metrics.counter("net.bytes").Add(bytes);
+    telemetry_->metrics.histogram("net.transfer_s").Record(t);
+    telemetry_->metrics.histogram("net.transfer_s." + server_id).Record(t);
   }
-  return it->second.TransferTime(bytes, now);
+  return t;
 }
 
 std::vector<std::string> Network::server_ids() const {

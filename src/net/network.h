@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace fedcal {
@@ -74,6 +75,9 @@ class Network {
   /// Registers (or replaces) the link to `server_id`.
   void AddLink(const std::string& server_id, LinkConfig config);
 
+  /// Emits transfer metrics to `telemetry` (nullable; nullptr disables).
+  void SetTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   Result<NetworkLink*> GetLink(const std::string& server_id);
 
   /// Convenience: transfer time, or the bare config latency for unknown
@@ -86,6 +90,7 @@ class Network {
  private:
   std::map<std::string, NetworkLink> links_;
   Rng rng_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace fedcal

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fedcal::obs {
+
+std::string FormatMetricValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  if (std::isnan(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinValue)) return 0;  // underflow (and NaN) bucket
+  const double scaled = seconds / kMinValue;
+  const int decade = int(std::floor(std::log2(scaled)));
+  if (decade >= kDecades) return kNumBuckets - 1;  // overflow bucket
+  // Linear position inside [2^decade, 2^(decade+1)) * kMinValue.
+  const double lo = std::ldexp(1.0, decade);
+  const double frac = (scaled - lo) / lo;  // in [0, 1)
+  int sub = int(frac * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + size_t(decade) * kSubBuckets + size_t(sub);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index == 0) return kMinValue;
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const size_t decade = (index - 1) / kSubBuckets;
+  const size_t sub = (index - 1) % kSubBuckets;
+  const double lo = std::ldexp(1.0, int(decade)) * kMinValue;
+  return lo + lo * double(sub + 1) / kSubBuckets;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (std::isnan(seconds)) return;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[BucketIndex(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    if (seconds < min_) min_ = seconds;
+    if (seconds > max_) max_ = seconds;
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the sample answering this percentile (nearest-rank, 1-based).
+  uint64_t rank = uint64_t(std::ceil(p / 100.0 * double(count_)));
+  if (rank == 0) rank = 1;
+  // The extreme ranks are tracked exactly; only interior ranks need the
+  // bucket approximation.
+  if (rank <= 1) return min_;
+  if (rank >= count_) return max_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed range: p0 == min, p100 == max, a one-sample
+      // histogram answers with the sample itself, and the overflow
+      // bucket's +inf bound collapses to the recorded max.
+      double v = BucketUpperBound(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.p50 = Percentile(50);
+  s.p95 = Percentile(95);
+  s.p99 = Percentile(99);
+  return s;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h.Snapshot();
+  }
+  return s;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + FormatMetricValue(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + FormatMetricValue(h.mean()) +
+           ", \"min\": " + FormatMetricValue(h.min) +
+           ", \"max\": " + FormatMetricValue(h.max) +
+           ", \"p50\": " + FormatMetricValue(h.p50) +
+           ", \"p95\": " + FormatMetricValue(h.p95) +
+           ", \"p99\": " + FormatMetricValue(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%-44s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%-44s %12.6g\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-44s n=%-8llu mean=%-10.6g p50=%-10.6g p95=%-10.6g "
+                  "p99=%-10.6g max=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), h.p50, h.p95, h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fedcal::obs

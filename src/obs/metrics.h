@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedcal::obs {
+
+/// \brief Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Last-write-wins instantaneous value (queue depths, factors).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// \brief Aggregate view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+};
+
+/// \brief Log-linear latency histogram, cheap enough to update on every
+/// event.
+///
+/// Values in (0, +inf) map to one of `kSubBuckets` linear sub-buckets
+/// inside a power-of-two decade starting at `kMinValue` seconds; values
+/// below kMinValue share bucket 0 and values beyond the top decade land in
+/// a single overflow bucket. Percentile queries interpolate to the bucket
+/// upper bound, clamped to the recorded [min, max] so p0/p100 are exact
+/// and a one-sample histogram answers every percentile with that sample.
+class LatencyHistogram {
+ public:
+  static constexpr double kMinValue = 1e-6;  ///< 1 microsecond resolution
+  static constexpr int kDecades = 34;        ///< covers up to ~17e3 seconds
+  static constexpr int kSubBuckets = 8;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+
+  /// p in [0, 100]. Returns 0 for an empty histogram. Monotone in p.
+  double Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Total bucket count including underflow (index 0) and overflow (last).
+  static constexpr size_t kNumBuckets =
+      size_t(kDecades) * kSubBuckets + 2;
+
+  /// Index of the bucket `seconds` falls into (exposed for tests).
+  static size_t BucketIndex(double seconds);
+  /// Upper value bound of bucket `index` (inf for the overflow bucket).
+  static double BucketUpperBound(size_t index);
+
+ private:
+  std::vector<uint64_t> buckets_;  ///< sized lazily on first Record
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Everything a registry held at one instant. Plain values — a
+/// snapshot is isolated from later registry updates.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Deterministic machine-readable form: keys sorted (map order), doubles
+  /// formatted with %.9g, no timestamps.
+  std::string ToJson() const;
+  /// Human-readable form for shells and logs.
+  std::string ToText() const;
+};
+
+/// \brief Named counters, gauges, and latency histograms — the metrics
+/// half of the telemetry spine. Lookup creates on first use; references
+/// stay valid for the registry's lifetime (node-based map).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Point-in-time copy, safe to keep while the registry keeps updating.
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+  std::string ToText() const { return Snapshot().ToText(); }
+
+  void Clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Formats a double the way every telemetry JSON emitter must: shortest
+/// round-trippable-ish form, deterministic across runs.
+std::string FormatMetricValue(double v);
+
+}  // namespace fedcal::obs

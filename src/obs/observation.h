@@ -1,0 +1,34 @@
+#pragma once
+
+namespace fedcal::obs {
+
+/// \brief The one estimated/calibrated/observed-seconds record shared by
+/// every layer that reasons about fragment cost.
+///
+/// Before the telemetry spine, three parallel copies of this bookkeeping
+/// existed (the meta-wrapper's option struct, its compile log, and its
+/// runtime log), each with its own field names. QCC's calibrator, the
+/// meta-wrapper, and trace spans all carry this struct now, so an
+/// (estimate, observation) pair means the same thing everywhere.
+struct CostObservation {
+  /// work/configured-speed + configured latency + bytes/configured
+  /// bandwidth — what a QCC-less federated system would use.
+  double raw_estimated_seconds = 0.0;
+  /// Raw estimate after QCC calibration (equals raw when QCC is off).
+  double calibrated_seconds = 0.0;
+  /// Measured response seconds (0 until the fragment has run). For a
+  /// cancelled fragment this is the censored elapsed time at cancellation.
+  double observed_seconds = 0.0;
+  /// True when the execution failed, timed out, or was cancelled.
+  bool failed = false;
+
+  /// observed/raw — the signal QCC's calibration factor absorbs. Returns
+  /// 0 when no estimate exists.
+  double ObservedRatio() const {
+    return raw_estimated_seconds > 0.0
+               ? observed_seconds / raw_estimated_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace fedcal::obs

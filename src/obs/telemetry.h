@@ -1,0 +1,24 @@
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/observation.h"
+#include "obs/trace.h"
+
+namespace fedcal::obs {
+
+/// \brief The telemetry spine: one metrics registry plus one query
+/// tracer, shared by every layer of a federation.
+///
+/// A Scenario owns one Telemetry and injects it into the meta-wrapper,
+/// network, servers, and (through the meta-wrapper) the integrator and
+/// QCC, so all layers emit into a single feed. Components constructed
+/// standalone fall back to a private instance — emission is always
+/// unconditional and cheap.
+struct Telemetry {
+  explicit Telemetry(const Simulator* sim) : tracer(sim) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace fedcal::obs

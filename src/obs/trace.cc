@@ -1,0 +1,289 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"  // FormatMetricValue
+
+namespace fedcal::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kParse:
+      return "parse";
+    case SpanKind::kDecompose:
+      return "decompose";
+    case SpanKind::kOptimize:
+      return "optimize";
+    case SpanKind::kFragmentPlan:
+      return "fragment-plan";
+    case SpanKind::kAttempt:
+      return "attempt";
+    case SpanKind::kFragmentDispatch:
+      return "fragment-dispatch";
+    case SpanKind::kNetworkHop:
+      return "network-hop";
+    case SpanKind::kServerExec:
+      return "server-exec";
+    case SpanKind::kReplyHop:
+      return "reply-hop";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kRetryWait:
+      return "retry-wait";
+    case SpanKind::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+const Span* QueryTrace::Find(uint64_t span_id) const {
+  for (const auto& s : spans) {
+    if (s.id == span_id) return &s;
+  }
+  return nullptr;
+}
+
+size_t QueryTrace::CountKind(SpanKind kind) const {
+  return size_t(std::count_if(spans.begin(), spans.end(),
+                              [kind](const Span& s) {
+                                return s.kind == kind;
+                              }));
+}
+
+QueryTrace& Tracer::TraceFor(uint64_t query_id) {
+  auto it = index_.find(query_id);
+  if (it != index_.end()) return traces_[it->second - base_];
+  index_[query_id] = base_ + traces_.size();
+  traces_.emplace_back();
+  QueryTrace& trace = traces_.back();
+  trace.query_id = query_id;
+  EnforceRetention();
+  return traces_.back();
+}
+
+void Tracer::EnforceRetention() {
+  if (retention_ == 0) return;
+  while (traces_.size() > retention_) {
+    index_.erase(traces_.front().query_id);
+    traces_.pop_front();
+    ++base_;
+  }
+}
+
+void Tracer::set_retention(size_t max_traces) {
+  retention_ = max_traces;
+  EnforceRetention();
+}
+
+Span* Tracer::FindSpan(uint64_t query_id, uint64_t span_id) {
+  auto it = index_.find(query_id);
+  if (it == index_.end()) return nullptr;
+  QueryTrace& trace = traces_[it->second - base_];
+  for (auto& s : trace.spans) {
+    if (s.id == span_id) return &s;
+  }
+  return nullptr;
+}
+
+uint64_t Tracer::BeginQuery(uint64_t query_id, const std::string& sql) {
+  QueryTrace& trace = TraceFor(query_id);
+  if (trace.sql.empty()) trace.sql = sql;
+  if (!trace.spans.empty()) return trace.spans[0].id;
+  Span root;
+  root.id = next_span_id_++;
+  root.kind = SpanKind::kQuery;
+  root.name = "query";
+  root.start = Now();
+  trace.spans.push_back(std::move(root));
+  return trace.spans[0].id;
+}
+
+uint64_t Tracer::StartSpan(uint64_t query_id, SpanKind kind,
+                           const std::string& name, uint64_t parent_id) {
+  QueryTrace& trace = TraceFor(query_id);
+  if (trace.spans.empty()) {
+    // Layer below the integrator executing without a compiled query
+    // (tests, probes): synthesize a root so spans always nest somewhere.
+    Span root;
+    root.id = next_span_id_++;
+    root.kind = SpanKind::kQuery;
+    root.name = "query";
+    root.start = Now();
+    trace.spans.push_back(std::move(root));
+  }
+  Span span;
+  span.id = next_span_id_++;
+  span.parent_id = parent_id != 0 ? parent_id : trace.spans[0].id;
+  span.kind = kind;
+  span.name = name;
+  span.start = Now();
+  trace.spans.push_back(std::move(span));
+  return trace.spans.back().id;
+}
+
+void Tracer::EndSpan(uint64_t query_id, uint64_t span_id, bool failed,
+                     const std::string& detail) {
+  Span* span = FindSpan(query_id, span_id);
+  if (span == nullptr || !span->open) return;
+  span->open = false;
+  span->end = Now();
+  span->failed = failed;
+  if (!detail.empty()) span->detail = detail;
+}
+
+uint64_t Tracer::AddEvent(uint64_t query_id, SpanKind kind,
+                          const std::string& name, uint64_t parent_id) {
+  const uint64_t id = StartSpan(query_id, kind, name, parent_id);
+  EndSpan(query_id, id);
+  return id;
+}
+
+void Tracer::EndQuery(uint64_t query_id, bool failed,
+                      const std::string& detail) {
+  auto it = index_.find(query_id);
+  if (it == index_.end()) return;
+  QueryTrace& trace = traces_[it->second - base_];
+  // Close stragglers so the trace is self-consistent even on abort paths.
+  for (size_t i = trace.spans.size(); i > 1; --i) {
+    Span& s = trace.spans[i - 1];
+    if (s.open) {
+      s.open = false;
+      s.end = Now();
+    }
+  }
+  if (!trace.spans.empty()) {
+    Span& root = trace.spans[0];
+    if (root.open) {
+      root.open = false;
+      root.end = Now();
+      root.failed = failed;
+      if (!detail.empty()) root.detail = detail;
+    }
+  }
+}
+
+void Tracer::SetAttr(uint64_t query_id, uint64_t span_id,
+                     const std::string& key, const std::string& value) {
+  if (Span* span = FindSpan(query_id, span_id)) span->attrs[key] = value;
+}
+
+void Tracer::SetQueryAttr(uint64_t query_id, const std::string& key,
+                          const std::string& value) {
+  auto it = index_.find(query_id);
+  if (it == index_.end()) return;
+  QueryTrace& trace = traces_[it->second - base_];
+  if (!trace.spans.empty()) trace.spans[0].attrs[key] = value;
+}
+
+void Tracer::SetServer(uint64_t query_id, uint64_t span_id,
+                       const std::string& server_id, size_t signature) {
+  if (Span* span = FindSpan(query_id, span_id)) {
+    span->server_id = server_id;
+    span->signature = signature;
+  }
+}
+
+void Tracer::SetCost(uint64_t query_id, uint64_t span_id,
+                     const CostObservation& cost) {
+  if (Span* span = FindSpan(query_id, span_id)) {
+    span->cost = cost;
+    span->has_cost = true;
+  }
+}
+
+const QueryTrace* Tracer::Find(uint64_t query_id) const {
+  auto it = index_.find(query_id);
+  if (it == index_.end()) return nullptr;
+  return &traces_[it->second - base_];
+}
+
+void Tracer::Clear() {
+  traces_.clear();
+  index_.clear();
+  base_ = 0;
+}
+
+namespace {
+
+void RenderSpan(const QueryTrace& trace, const Span& span, int depth,
+                std::string* out) {
+  out->append(size_t(depth) * 2, ' ');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-18s [%0.6f, %0.6f] %0.6fs",
+                SpanKindName(span.kind), span.start, span.end,
+                span.duration());
+  *out += buf;
+  if (!span.name.empty() && span.name != SpanKindName(span.kind)) {
+    *out += " " + span.name;
+  }
+  if (!span.server_id.empty()) *out += " @" + span.server_id;
+  if (span.has_cost) {
+    std::snprintf(buf, sizeof(buf), " est=%.6g cal=%.6g obs=%.6g",
+                  span.cost.raw_estimated_seconds,
+                  span.cost.calibrated_seconds,
+                  span.cost.observed_seconds);
+    *out += buf;
+  }
+  for (const auto& [k, v] : span.attrs) *out += " " + k + "=" + v;
+  if (span.failed) *out += " FAILED(" + span.detail + ")";
+  if (span.open) *out += " OPEN";
+  *out += "\n";
+  for (const auto& child : trace.spans) {
+    if (child.parent_id == span.id) {
+      RenderSpan(trace, child, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToText(uint64_t query_id) const {
+  const QueryTrace* trace = Find(query_id);
+  if (trace == nullptr) return "no trace for query " +
+                               std::to_string(query_id) + "\n";
+  std::string out = "trace of query " + std::to_string(query_id);
+  if (!trace->sql.empty()) out += ": " + trace->sql;
+  out += "\n";
+  if (const Span* root = trace->root()) {
+    RenderSpan(*trace, *root, 1, &out);
+  }
+  return out;
+}
+
+std::string Tracer::ToJson(uint64_t query_id) const {
+  const QueryTrace* trace = Find(query_id);
+  if (trace == nullptr) return "{}\n";
+  std::string out = "{\"query_id\": " + std::to_string(query_id) +
+                    ", \"spans\": [";
+  bool first = true;
+  for (const auto& s : trace->spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent_id) +
+           ", \"kind\": \"" + SpanKindName(s.kind) + "\"" +
+           ", \"name\": \"" + s.name + "\"" +
+           ", \"start\": " + FormatMetricValue(s.start) +
+           ", \"end\": " + FormatMetricValue(s.end) +
+           ", \"failed\": " + (s.failed ? "true" : "false");
+    if (!s.server_id.empty()) {
+      out += ", \"server\": \"" + s.server_id + "\"";
+    }
+    if (s.has_cost) {
+      out += ", \"est\": " + FormatMetricValue(s.cost.raw_estimated_seconds) +
+             ", \"cal\": " + FormatMetricValue(s.cost.calibrated_seconds) +
+             ", \"obs\": " + FormatMetricValue(s.cost.observed_seconds);
+    }
+    for (const auto& [k, v] : s.attrs) {
+      out += ", \"" + k + "\": \"" + v + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace fedcal::obs

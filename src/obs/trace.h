@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "obs/observation.h"
+#include "sim/simulator.h"
+
+namespace fedcal::obs {
+
+/// \brief The typed stages of a federated query's lifecycle (§2's
+/// compile/run pipeline plus the fault-tolerance machinery layered on it).
+enum class SpanKind {
+  kQuery,            ///< root: submission -> final outcome
+  kParse,            ///< SQL text -> AST
+  kDecompose,        ///< AST -> nickname fragments
+  kOptimize,         ///< fragment planning + global plan enumeration
+  kFragmentPlan,     ///< one candidate (server, plan) priced at compile time
+  kAttempt,          ///< one global plan option in flight
+  kFragmentDispatch, ///< one fragment execution: submit -> results received
+  kNetworkHop,       ///< request descriptor travelling to the server
+  kServerExec,       ///< queueing + service time at the remote server
+  kReplyHop,         ///< result rows travelling back
+  kMerge,            ///< integrator-local merge/aggregation
+  kRetryWait,        ///< backoff delay between failover attempts
+  kTimeout,          ///< zero-length marker: a fragment deadline fired
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// \brief One typed span of a query trace. Times are virtual (SimTime).
+struct Span {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = child of the root span
+  SpanKind kind = SpanKind::kQuery;
+  std::string name;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  bool open = true;
+  bool failed = false;
+  std::string detail;  ///< status/error text when failed
+
+  /// Server this span ran against ("" for integrator-local spans).
+  std::string server_id;
+  /// Fragment signature (0 when not fragment-scoped).
+  size_t signature = 0;
+  /// Estimated vs calibrated vs observed cost, where meaningful.
+  CostObservation cost;
+  bool has_cost = false;
+
+  std::map<std::string, std::string> attrs;
+
+  double duration() const { return end - start; }
+  bool HasAttr(const std::string& key) const { return attrs.count(key) > 0; }
+  /// Attribute value or "" when absent.
+  std::string Attr(const std::string& key) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? std::string() : it->second;
+  }
+};
+
+/// \brief All spans of one query, in start order. spans[0] is the root.
+struct QueryTrace {
+  uint64_t query_id = 0;
+  std::string sql;
+  std::deque<Span> spans;
+
+  const Span* root() const { return spans.empty() ? nullptr : &spans[0]; }
+  bool finished() const { return !spans.empty() && !spans[0].open; }
+  bool failed() const { return !spans.empty() && spans[0].failed; }
+  const Span* Find(uint64_t span_id) const;
+  /// Number of (closed or open) spans of `kind`.
+  size_t CountKind(SpanKind kind) const;
+};
+
+/// \brief Query-lifecycle tracing: the per-query half of the telemetry
+/// spine. Every layer appends typed spans here instead of keeping loose
+/// private measurement state; compatibility views (the meta-wrapper logs,
+/// WorkloadResult) are derived from these traces.
+///
+/// Timestamps come from the simulator's virtual clock, so traces are
+/// deterministic and byte-identical across runs of the same seed.
+class Tracer {
+ public:
+  explicit Tracer(const Simulator* sim) : sim_(sim) {}
+
+  /// Opens the root span for a query. Reuses the existing trace if some
+  /// layer already touched this query id.
+  uint64_t BeginQuery(uint64_t query_id, const std::string& sql);
+  /// Closes the root span (and any span left open underneath it).
+  void EndQuery(uint64_t query_id, bool failed,
+                const std::string& detail = "");
+
+  /// Opens a child span. `parent_id` 0 parents to the root. Unknown query
+  /// ids get a trace created on the fly (for layers that execute
+  /// fragments without going through Compile).
+  uint64_t StartSpan(uint64_t query_id, SpanKind kind,
+                     const std::string& name, uint64_t parent_id = 0);
+  void EndSpan(uint64_t query_id, uint64_t span_id, bool failed = false,
+               const std::string& detail = "");
+  /// Zero-duration marker span (deadline fired, breaker opened, ...).
+  uint64_t AddEvent(uint64_t query_id, SpanKind kind,
+                    const std::string& name, uint64_t parent_id = 0);
+
+  void SetAttr(uint64_t query_id, uint64_t span_id, const std::string& key,
+               const std::string& value);
+  /// Attribute on the query's root span (no-op for unknown queries).
+  void SetQueryAttr(uint64_t query_id, const std::string& key,
+                    const std::string& value);
+  void SetServer(uint64_t query_id, uint64_t span_id,
+                 const std::string& server_id, size_t signature);
+  void SetCost(uint64_t query_id, uint64_t span_id,
+               const CostObservation& cost);
+
+  const QueryTrace* Find(uint64_t query_id) const;
+  const std::deque<QueryTrace>& traces() const { return traces_; }
+  size_t size() const { return traces_.size(); }
+  void Clear();
+
+  /// Oldest traces are dropped beyond this many (0 = unlimited, the
+  /// default: compatibility views need full history).
+  void set_retention(size_t max_traces);
+
+  /// Human-readable span tree of one query.
+  std::string ToText(uint64_t query_id) const;
+  /// Deterministic JSON of one query's spans.
+  std::string ToJson(uint64_t query_id) const;
+
+ private:
+  QueryTrace& TraceFor(uint64_t query_id);
+  Span* FindSpan(uint64_t query_id, uint64_t span_id);
+  SimTime Now() const { return sim_ ? sim_->Now() : 0.0; }
+  void EnforceRetention();
+
+  const Simulator* sim_;
+  uint64_t next_span_id_ = 1;
+  size_t retention_ = 0;
+  std::deque<QueryTrace> traces_;
+  std::unordered_map<uint64_t, size_t> index_;  ///< query_id -> pos + base_
+  size_t base_ = 0;  ///< number of traces dropped from the front
+};
+
+}  // namespace fedcal::obs

@@ -104,9 +104,16 @@ Result<FragmentResult> RemoteServer::ExecuteNow(const PlanNodePtr& plan) {
   return result;
 }
 
+void RemoteServer::Count(const std::string& what) {
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("server." + what + "." + config_.id).Add();
+  }
+}
+
 uint64_t RemoteServer::SubmitFragment(PlanNodePtr plan,
                                       CompletionCallback done) {
   if (!available_) {
+    Count("rejected");
     // Rejection still takes one scheduler tick so callers never reenter.
     sim_->ScheduleAfter(0.0, [this, done = std::move(done)] {
       done(Status::Unavailable("server " + config_.id + " is down"));
@@ -115,7 +122,12 @@ uint64_t RemoteServer::SubmitFragment(PlanNodePtr plan,
   }
   const uint64_t id = next_job_id_++;
   queue_.push_back(Job{id, std::move(plan), std::move(done), sim_->Now()});
+  Count("submitted");
   TryDispatch();
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.gauge("server.queue_depth." + config_.id)
+        .Set(double(queue_.size()));
+  }
   return id;
 }
 
@@ -125,6 +137,7 @@ bool RemoteServer::CancelFragment(uint64_t job_id) {
     if (it->id == job_id) {
       queue_.erase(it);
       ++cancelled_;
+      Count("cancelled");
       return true;
     }
   }
@@ -137,6 +150,7 @@ bool RemoteServer::CancelFragment(uint64_t job_id) {
   running_.erase(it);
   --busy_workers_;
   ++cancelled_;
+  Count("cancelled");
   TryDispatch();
   return true;
 }
@@ -154,6 +168,7 @@ void RemoteServer::RunJob(Job job) {
   // The server may have gone down while the job sat in the queue.
   if (!available_) {
     --busy_workers_;
+    Count("rejected");
     sim_->ScheduleAfter(0.0, [this, done = std::move(job.done)] {
       done(Status::Unavailable("server " + config_.id + " went down"));
     });
@@ -194,15 +209,21 @@ void RemoteServer::RunJob(Job job) {
         --busy_workers_;
         if (!failure.ok()) {
           ++failed_;
+          Count("failed");
           done(failure);
         } else {
           ++completed_;
+          Count("completed");
           FragmentResult r;
           r.table = std::move(table);
           r.exec_stats = stats;
           r.started_at = started;
           r.finished_at = sim_->Now();
           r.server_seconds = sim_->Now() - submitted;
+          if (telemetry_ != nullptr) {
+            telemetry_->metrics.histogram("server.exec_s." + config_.id)
+                .Record(r.server_seconds);
+          }
           done(std::move(r));
         }
         TryDispatch();

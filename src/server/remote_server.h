@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "cost/stats_provider.h"
 #include "engine/executor.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "storage/table.h"
 
@@ -88,6 +89,10 @@ class RemoteServer {
   void SetAvailable(bool available) { available_ = available; }
   bool available() const { return available_; }
 
+  /// Emits per-server execution metrics to `telemetry` (nullable; nullptr
+  /// disables emission — the introspection counters below always work).
+  void SetTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Probability that a fragment fails with a transient execution error.
   void set_error_rate(double rate) { error_rate_ = rate; }
   double error_rate() const { return error_rate_; }
@@ -140,9 +145,12 @@ class RemoteServer {
 
   void TryDispatch();
   void RunJob(Job job);
+  /// Bumps counter `server.<what>.<id>` when telemetry is attached.
+  void Count(const std::string& what);
 
   ServerConfig config_;
   Simulator* sim_;
+  obs::Telemetry* telemetry_ = nullptr;
   Rng rng_;
   std::map<std::string, TablePtr> tables_;
   StatsCatalog stats_;

@@ -17,7 +17,28 @@ bool Simulator::Cancel(EventId id) {
   // or were cancelled are rejected.
   if (live_.erase(id) == 0) return false;
   cancelled_.insert(id);
+  // Lazy cancellation leaks when a cancelled entry is never popped (a
+  // RunUntil that stops early, a drained run that leaves far-future
+  // timers queued). Compact once dead entries dominate the queue.
+  if (cancelled_.size() > 64 && cancelled_.size() > live_.size()) {
+    Compact();
+  }
   return true;
+}
+
+void Simulator::Compact() {
+  std::vector<Entry> kept;
+  kept.reserve(live_.size());
+  while (!queue_.empty()) {
+    // priority_queue exposes only const top(); the move is safe because
+    // the element is popped immediately after.
+    kept.push_back(std::move(const_cast<Entry&>(queue_.top())));
+    queue_.pop();
+  }
+  for (auto& e : kept) {
+    if (live_.count(e.id) != 0) queue_.push(std::move(e));
+  }
+  cancelled_.clear();
 }
 
 bool Simulator::Step() {

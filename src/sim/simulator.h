@@ -40,7 +40,11 @@ class Simulator {
   EventId ScheduleAt(SimTime when, Callback cb);
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. Cancellation is lazy: the entry stays queued but is skipped.
+  /// cancelled. Cancellation is lazy: the entry stays queued but is
+  /// skipped — except that once cancelled entries outnumber live ones the
+  /// queue is compacted, so a long-lived simulator whose far-future
+  /// timers keep getting cancelled (deadlines, hedges) and whose runs
+  /// stop early (RunUntil) cannot accumulate dead entries forever.
   bool Cancel(EventId id);
 
   /// Run until the queue drains. Returns the number of events fired.
@@ -55,6 +59,9 @@ class Simulator {
 
   size_t pending_events() const { return live_.size(); }
   size_t fired_events() const { return fired_; }
+  /// Cancelled entries still sitting in the queue (bounded by the live
+  /// count plus a small constant thanks to compaction).
+  size_t cancelled_backlog() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -63,6 +70,10 @@ class Simulator {
     EventId id;
     Callback cb;
   };
+
+  /// Rebuilds the queue without cancelled entries. Safe to call from
+  /// inside a firing callback: Step() holds the current entry by value.
+  void Compact();
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;

@@ -113,6 +113,58 @@ size_t WorkloadResult::total_hedges() const {
   return n;
 }
 
+WorkloadResult WorkloadResultFromTraces(
+    const obs::Tracer& tracer, const std::vector<uint64_t>& query_ids,
+    const std::vector<QueryType>& compile_failures) {
+  WorkloadResult result;
+  for (QueryType t : compile_failures) {
+    result.measurements.push_back(
+        QueryMeasurement{t, "-", 0.0, /*failed=*/true});
+  }
+  for (uint64_t id : query_ids) {
+    const obs::QueryTrace* trace = tracer.Find(id);
+    if (trace == nullptr || trace->root() == nullptr) continue;
+    const obs::Span& root = *trace->root();
+    QueryMeasurement m;
+    const std::string type_name = root.Attr("query_type");
+    for (QueryType t : AllQueryTypes()) {
+      if (type_name == QueryTypeName(t)) {
+        m.type = t;
+        break;
+      }
+    }
+    if (root.failed) {
+      m.failed = true;
+      result.measurements.push_back(std::move(m));
+      continue;
+    }
+    // The paper's response-time metric is the successful (final) attempt;
+    // the root span covers everything including failed attempts and
+    // backoff waits.
+    const obs::Span* last_attempt = nullptr;
+    size_t attempts = 0;
+    size_t hedges = 0;
+    for (const auto& s : trace->spans) {
+      if (s.kind == obs::SpanKind::kAttempt) {
+        last_attempt = &s;
+        ++attempts;
+      } else if (s.kind == obs::SpanKind::kFragmentDispatch &&
+                 s.HasAttr("hedge")) {
+        ++hedges;
+      }
+    }
+    m.response_seconds =
+        last_attempt != nullptr ? last_attempt->duration() : root.duration();
+    m.total_seconds = root.duration();
+    m.servers = root.Attr("servers");
+    m.retries = attempts > 0 ? attempts - 1 : 0;
+    m.timeouts = trace->CountKind(obs::SpanKind::kTimeout);
+    m.hedges = hedges;
+    result.measurements.push_back(std::move(m));
+  }
+  return result;
+}
+
 Result<double> WorkloadRunner::RunQueryOn(const std::string& sql,
                                           const std::string& server_id) {
   Integrator& ii = scenario_->integrator();
@@ -142,7 +194,8 @@ void WorkloadRunner::ExplorationPass(int rounds) {
 }
 
 WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
-                                                int clients) {
+                                                int clients,
+                                                WorkloadResult* legacy_out) {
   // Uniformly mixed workload: instances_per_type of each type, shuffled.
   struct Pending {
     QueryType type;
@@ -160,9 +213,12 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
     queue.assign(shuffled.begin(), shuffled.end());
   }
 
-  WorkloadResult result;
+  WorkloadResult legacy;
+  std::vector<uint64_t> executed_ids;
+  std::vector<QueryType> compile_failures;
   Integrator& ii = scenario_->integrator();
   Simulator& sim = scenario_->sim();
+  obs::Tracer& tracer = scenario_->telemetry().tracer;
 
   size_t in_flight = 0;
   std::function<void()> pump = [&]() {
@@ -171,10 +227,14 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
       queue.pop_front();
       auto compiled = ii.Compile(next.sql);
       if (!compiled.ok()) {
-        result.measurements.push_back(
+        compile_failures.push_back(next.type);
+        legacy.measurements.push_back(
             QueryMeasurement{next.type, "-", 0.0, /*failed=*/true});
         continue;
       }
+      executed_ids.push_back(compiled->query_id);
+      tracer.SetQueryAttr(compiled->query_id, "query_type",
+                          QueryTypeName(next.type));
       ++in_flight;
       ii.Execute(*compiled, [&, type = next.type](Result<QueryOutcome> r) {
         --in_flight;
@@ -196,7 +256,7 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
           }
           m.servers = joined;
         }
-        result.measurements.push_back(std::move(m));
+        legacy.measurements.push_back(std::move(m));
         pump();
       });
     }
@@ -204,7 +264,11 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
   pump();
   while ((in_flight > 0 || !queue.empty()) && sim.Step()) {
   }
-  return result;
+  if (legacy_out != nullptr) *legacy_out = legacy;
+  // The measurements handed back are the telemetry spine's view; the
+  // QueryOutcome-assembled `legacy` copy above exists so tests can prove
+  // both views agree.
+  return WorkloadResultFromTraces(tracer, executed_ids, compile_failures);
 }
 
 }  // namespace fedcal

@@ -67,6 +67,16 @@ struct WorkloadResult {
   size_t total_hedges() const;
 };
 
+/// \brief Derives a WorkloadResult from the telemetry spine's query
+/// traces — the compatibility view that replaces the runner's private
+/// bookkeeping. `query_ids` are the queries of one run, in submission
+/// order; each must carry a "query_type" root attribute (the runner's
+/// annotation). `compile_failures` are the types of queries that never
+/// produced an executable plan (their traces have no attempts).
+WorkloadResult WorkloadResultFromTraces(
+    const obs::Tracer& tracer, const std::vector<uint64_t>& query_ids,
+    const std::vector<QueryType>& compile_failures);
+
 /// \brief Drives workloads against a Scenario: closed-loop mixed
 /// workloads, §5.1-style exploration passes, and forced single-server
 /// probe runs.
@@ -86,9 +96,13 @@ class WorkloadRunner {
 
   /// Closed-loop mixed workload: `instances_per_type` instances of each
   /// query type, shuffled uniformly, executed by `clients` concurrent
-  /// streams. Returns per-query measurements.
+  /// streams. The returned measurements are derived from the telemetry
+  /// spine's query traces; `legacy_out`, when non-null, additionally
+  /// receives the result assembled from QueryOutcome callbacks the
+  /// pre-spine way (tests use it to prove the two views agree).
   WorkloadResult RunMixedWorkload(int instances_per_type = 10,
-                                  int clients = 4);
+                                  int clients = 4,
+                                  WorkloadResult* legacy_out = nullptr);
 
  private:
   Scenario* scenario_;

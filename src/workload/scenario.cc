@@ -70,7 +70,9 @@ void Scenario::BuildServers() {
   for (const auto& cfg : {s1, s2, s3}) {
     servers_[cfg.id] =
         std::make_unique<RemoteServer>(cfg, &sim_, rng_.Fork());
+    servers_[cfg.id]->SetTelemetry(&telemetry_);
   }
+  network_.SetTelemetry(&telemetry_);
 
   // Links: S3 slightly farther away; all reasonably fast LAN/WAN mix.
   network_.AddLink("S1", LinkConfig{.base_latency_s = 0.004,
@@ -160,6 +162,7 @@ void Scenario::BuildData() {
 
 void Scenario::BuildFederation() {
   mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, &sim_);
+  mw_->SetTelemetry(&telemetry_);
   for (auto& [id, server] : servers_) {
     wrappers_.push_back(std::make_unique<RelationalWrapper>(server.get()));
     mw_->RegisterWrapper(wrappers_.back().get());

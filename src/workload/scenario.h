@@ -11,6 +11,7 @@
 #include "federation/integrator.h"
 #include "metawrapper/meta_wrapper.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "server/remote_server.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
@@ -57,6 +58,8 @@ class Scenario {
   Integrator& integrator() { return *ii_; }
   Rng& rng() { return rng_; }
   const ScenarioConfig& config() const { return config_; }
+  /// The shared telemetry spine every layer of this testbed emits into.
+  obs::Telemetry& telemetry() { return telemetry_; }
 
   RemoteServer& server(const std::string& id) { return *servers_.at(id); }
   std::vector<std::string> server_ids() const;
@@ -96,6 +99,7 @@ class Scenario {
   ScenarioConfig config_;
   Rng rng_;
   Simulator sim_;
+  obs::Telemetry telemetry_{&sim_};
   Network network_;
   GlobalCatalog catalog_;
   std::map<std::string, std::unique_ptr<RemoteServer>> servers_;

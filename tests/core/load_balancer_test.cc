@@ -22,8 +22,8 @@ GlobalPlanOption MakeOption(std::vector<std::string> servers, double cost,
     fc.wrapper_plan.shape = shape;
     fc.wrapper_plan.identity =
         std::hash<std::string>{}(servers[i]) ^ (identity_salt + i);
-    fc.calibrated_seconds = cost / servers.size();
-    fc.raw_estimated_seconds = fc.calibrated_seconds;
+    fc.cost.calibrated_seconds = cost / servers.size();
+    fc.cost.raw_estimated_seconds = fc.cost.calibrated_seconds;
     opt.fragment_choices.push_back(std::move(fc));
   }
   opt.server_set = servers;

@@ -160,7 +160,8 @@ TEST_F(QccScenarioTest, DetachRestoresBaseline) {
   ASSERT_OK(compiled.status());
   for (const auto& opt : compiled->options) {
     for (const auto& fc : opt.fragment_choices) {
-      EXPECT_DOUBLE_EQ(fc.calibrated_seconds, fc.raw_estimated_seconds);
+      EXPECT_DOUBLE_EQ(fc.cost.calibrated_seconds,
+                       fc.cost.raw_estimated_seconds);
     }
   }
 }

@@ -209,7 +209,7 @@ TEST(FaultToleranceTest, HedgeWinsAndLoserIsCancelledOnce) {
   size_t s3_cancelled = 0;
   for (const auto& rec : sc.meta_wrapper().runtime_log()) {
     if (rec.query_id != outcome->query_id) continue;
-    if (!rec.failed) {
+    if (!rec.cost.failed) {
       ++successes;
     } else if (rec.server_id == "S3") {
       ++s3_cancelled;
@@ -235,7 +235,7 @@ TEST(FaultToleranceTest, HedgeDelayUsesObservedStatsOnceWarm) {
   EXPECT_DOUBLE_EQ(
       sc.integrator().HedgeDelay(choice),
       std::max(ft.hedge_floor_s,
-               ft.hedge_multiplier * choice.calibrated_seconds));
+               ft.hedge_multiplier * choice.cost.calibrated_seconds));
   // Warm up the stats with a few successful queries.
   for (int i = 0; i < 4; ++i) {
     ASSERT_OK(sc.integrator()

@@ -89,7 +89,8 @@ TEST_F(MetaWrapperTest, CollectsPlansFromAllCandidates) {
   ASSERT_EQ(options.size(), 2u);
   // Sorted cheapest first; "fast" must win (same work, higher speed).
   EXPECT_EQ(options[0].wrapper_plan.server_id, "fast");
-  EXPECT_LT(options[0].calibrated_seconds, options[1].calibrated_seconds);
+  EXPECT_LT(options[0].cost.calibrated_seconds,
+            options[1].cost.calibrated_seconds);
   EXPECT_EQ(mw_->compile_log().size(), 2u);
 }
 
@@ -103,10 +104,11 @@ TEST_F(MetaWrapperTest, CalibrationReordersOptions) {
       mw_->CollectFragmentPlans(1, Fragment(), {"fast", "slow"}));
   for (const auto& opt : options) {
     if (opt.wrapper_plan.server_id == "slow") {
-      EXPECT_NEAR(opt.calibrated_seconds, opt.raw_estimated_seconds * 2,
-                  1e-12);
+      EXPECT_NEAR(opt.cost.calibrated_seconds,
+                  opt.cost.raw_estimated_seconds * 2, 1e-12);
     } else {
-      EXPECT_NEAR(opt.calibrated_seconds, opt.raw_estimated_seconds, 1e-12);
+      EXPECT_NEAR(opt.cost.calibrated_seconds,
+                  opt.cost.raw_estimated_seconds, 1e-12);
     }
   }
 }
@@ -140,7 +142,7 @@ TEST_F(MetaWrapperTest, ExecuteFragmentMeasuresAndReports) {
   EXPECT_GT(calibrator.observations[0].obs, 0.0);
   ASSERT_EQ(mw_->runtime_log().size(), 1u);
   EXPECT_EQ(mw_->runtime_log()[0].query_id, 7u);
-  EXPECT_FALSE(mw_->runtime_log()[0].failed);
+  EXPECT_FALSE(mw_->runtime_log()[0].cost.failed);
   EXPECT_EQ(calibrator.successes.size(), 1u);
 }
 
@@ -159,7 +161,7 @@ TEST_F(MetaWrapperTest, ExecuteFragmentReportsErrors) {
   EXPECT_TRUE(failed);
   ASSERT_EQ(calibrator.errors.size(), 1u);
   ASSERT_EQ(mw_->runtime_log().size(), 1u);
-  EXPECT_TRUE(mw_->runtime_log()[0].failed);
+  EXPECT_TRUE(mw_->runtime_log()[0].cost.failed);
 }
 
 TEST_F(MetaWrapperTest, ResponseIncludesNetworkTransfer) {

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fedcal::obs {
+namespace {
+
+TEST(CounterTest, AddsAndDefaultsToOne) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramAnswersZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(LatencyHistogramTest, OneSampleAnswersEveryPercentileExactly) {
+  LatencyHistogram h;
+  h.Record(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 0.125) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.125);
+}
+
+TEST(LatencyHistogramTest, UnderflowSharesBucketZero) {
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::kMinValue / 8),
+            0u);
+  LatencyHistogram h;
+  h.Record(1e-9);
+  EXPECT_EQ(h.count(), 1u);
+  // Percentiles clamp to the recorded extremes, not the bucket bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1e-9);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketCatchesHugeValues) {
+  const size_t overflow = LatencyHistogram::kNumBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e300), overflow);
+  EXPECT_TRUE(std::isinf(LatencyHistogram::BucketUpperBound(overflow)));
+  LatencyHistogram h;
+  h.Record(1e300);
+  h.Record(1.0);
+  // The overflow sample cannot report an infinite latency: clamped to max.
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1e300);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneInValue) {
+  double prev = 0.0;
+  size_t prev_index = 0;
+  for (double v = 1e-7; v < 1e5; v *= 1.07) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, prev_index) << "value " << v << " after " << prev;
+    EXPECT_LT(index, LatencyHistogram::kNumBuckets);
+    prev = v;
+    prev_index = index;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInP) {
+  LatencyHistogram h;
+  // A spread of latencies across several decades.
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(1e-5 * i * i);
+  }
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), h.min());
+  EXPECT_DOUBLE_EQ(h.Percentile(100), h.max());
+}
+
+TEST(LatencyHistogramTest, PercentileBoundsTheTrueValueByOneBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.010 + 0.0001 * i);
+  // Every answer lies inside the recorded range and within one sub-bucket
+  // (12.5% relative at 8 sub-buckets per decade) of the true percentile.
+  const double p95 = h.Percentile(95);
+  EXPECT_GE(p95, 0.010);
+  EXPECT_LE(p95, 0.020 * 1.125);
+  EXPECT_NEAR(p95, 0.0195, 0.0195 * 0.15);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesAndReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  // Creating many more entries must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i)).Add();
+  }
+  c.Add(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry reg;
+  reg.counter("events").Add(3);
+  reg.gauge("depth").Set(2.0);
+  reg.histogram("lat").Record(0.5);
+
+  MetricsSnapshot snap = reg.Snapshot();
+
+  reg.counter("events").Add(100);
+  reg.gauge("depth").Set(9.0);
+  reg.histogram("lat").Record(50.0);
+  reg.counter("new_counter").Add();
+
+  EXPECT_EQ(snap.counters.at("events"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 2.0);
+  EXPECT_EQ(snap.histograms.at("lat").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("lat").max, 0.5);
+  EXPECT_EQ(snap.counters.count("new_counter"), 0u);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesEverything) {
+  MetricsRegistry reg;
+  reg.counter("a").Add();
+  reg.histogram("h").Record(1.0);
+  reg.Clear();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, JsonIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("zz").Add(1);
+  reg.counter("aa").Add(2);
+  reg.gauge("mid").Set(1.5);
+  reg.histogram("lat").Record(0.25);
+  const std::string a = reg.ToJson();
+  const std::string b = reg.ToJson();
+  EXPECT_EQ(a, b);
+  // Sorted keys: "aa" serialized before "zz".
+  EXPECT_LT(a.find("\"aa\""), a.find("\"zz\""));
+  EXPECT_NE(a.find("\"p95\""), std::string::npos);
+}
+
+TEST(FormatMetricValueTest, DeterministicAndFinite) {
+  EXPECT_EQ(FormatMetricValue(1.0), "1");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  // Non-finite values must not leak into JSON.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(FormatMetricValue(inf), "1e308");
+  EXPECT_EQ(FormatMetricValue(-inf), "-1e308");
+  EXPECT_EQ(FormatMetricValue(std::nan("")), "0");
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace fedcal::obs {
+namespace {
+
+// Drives a tracer through the span shape the integrator emits for a query
+// that times out, hedges, and retries — and checks nesting and ordering.
+TEST(TracerTest, RetryAndHedgeLifecycleNestsAndOrders) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  const uint64_t qid = 7;
+
+  const uint64_t root = tracer.BeginQuery(qid, "SELECT 1");
+  const uint64_t parse = tracer.StartSpan(qid, SpanKind::kParse, "parse");
+  tracer.EndSpan(qid, parse);
+  const uint64_t opt = tracer.StartSpan(qid, SpanKind::kOptimize, "optimize");
+  tracer.EndSpan(qid, opt);
+
+  // Attempt #0: the primary dispatch stalls; a deadline fires, a hedge is
+  // issued, and the attempt still fails.
+  const uint64_t attempt0 =
+      tracer.StartSpan(qid, SpanKind::kAttempt, "attempt#0");
+  const uint64_t primary = tracer.StartSpan(
+      qid, SpanKind::kFragmentDispatch, "fragment@S3", attempt0);
+  tracer.SetServer(qid, primary, "S3", 42);
+  sim.RunUntil(1.0);
+  tracer.AddEvent(qid, SpanKind::kTimeout, "deadline@S3", attempt0);
+  const uint64_t hedge = tracer.StartSpan(
+      qid, SpanKind::kFragmentDispatch, "fragment@S1", attempt0);
+  tracer.SetAttr(qid, hedge, "hedge", "1");
+  sim.RunUntil(1.5);
+  tracer.EndSpan(qid, primary, /*failed=*/true, "deadline");
+  tracer.EndSpan(qid, hedge, /*failed=*/true, "error");
+  tracer.EndSpan(qid, attempt0, /*failed=*/true, "all fragments failed");
+
+  // Backoff, then attempt #1 succeeds.
+  const uint64_t wait =
+      tracer.StartSpan(qid, SpanKind::kRetryWait, "backoff");
+  sim.RunUntil(2.0);
+  tracer.EndSpan(qid, wait);
+  const uint64_t attempt1 =
+      tracer.StartSpan(qid, SpanKind::kAttempt, "attempt#1");
+  const uint64_t retry_dispatch = tracer.StartSpan(
+      qid, SpanKind::kFragmentDispatch, "fragment@S1", attempt1);
+  sim.RunUntil(2.5);
+  tracer.EndSpan(qid, retry_dispatch);
+  const uint64_t merge =
+      tracer.StartSpan(qid, SpanKind::kMerge, "merge", attempt1);
+  sim.RunUntil(2.6);
+  tracer.EndSpan(qid, merge);
+  tracer.EndSpan(qid, attempt1);
+  tracer.EndQuery(qid, /*failed=*/false);
+
+  const QueryTrace* trace = tracer.Find(qid);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished());
+  EXPECT_FALSE(trace->failed());
+  EXPECT_EQ(trace->root()->id, root);
+  EXPECT_EQ(trace->CountKind(SpanKind::kAttempt), 2u);
+  EXPECT_EQ(trace->CountKind(SpanKind::kTimeout), 1u);
+  EXPECT_EQ(trace->CountKind(SpanKind::kFragmentDispatch), 3u);
+  EXPECT_EQ(trace->CountKind(SpanKind::kRetryWait), 1u);
+
+  // Nesting: dispatches hang off their attempt, stage spans off the root.
+  EXPECT_EQ(trace->Find(primary)->parent_id, attempt0);
+  EXPECT_EQ(trace->Find(hedge)->parent_id, attempt0);
+  EXPECT_EQ(trace->Find(retry_dispatch)->parent_id, attempt1);
+  EXPECT_EQ(trace->Find(merge)->parent_id, attempt1);
+  EXPECT_EQ(trace->Find(parse)->parent_id, root);
+  EXPECT_EQ(trace->Find(wait)->parent_id, root);
+
+  // Ordering: spans are stored in start order, times are monotone.
+  SimTime prev = -1.0;
+  for (const auto& s : trace->spans) {
+    EXPECT_GE(s.start, prev);
+    EXPECT_FALSE(s.open);
+    EXPECT_GE(s.end, s.start);
+    prev = s.start;
+  }
+
+  // The hedge dispatch is identifiable and the failed attempt is marked.
+  EXPECT_TRUE(trace->Find(hedge)->HasAttr("hedge"));
+  EXPECT_FALSE(trace->Find(primary)->HasAttr("hedge"));
+  EXPECT_TRUE(trace->Find(attempt0)->failed);
+  EXPECT_FALSE(trace->Find(attempt1)->failed);
+  EXPECT_EQ(trace->Find(primary)->server_id, "S3");
+  EXPECT_EQ(trace->Find(primary)->signature, 42u);
+
+  // Durations reflect virtual time.
+  EXPECT_DOUBLE_EQ(trace->Find(attempt0)->duration(), 1.5);
+  EXPECT_DOUBLE_EQ(trace->Find(wait)->duration(), 0.5);
+  EXPECT_DOUBLE_EQ(trace->root()->duration(), 2.6);
+}
+
+TEST(TracerTest, EndQueryClosesStragglersAndKeepsFailure) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.BeginQuery(1, "q");
+  const uint64_t a = tracer.StartSpan(1, SpanKind::kAttempt, "attempt#0");
+  tracer.StartSpan(1, SpanKind::kFragmentDispatch, "fragment@S1", a);
+  sim.RunUntil(3.0);
+  tracer.EndQuery(1, /*failed=*/true, "boom");
+
+  const QueryTrace* trace = tracer.Find(1);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->failed());
+  EXPECT_EQ(trace->root()->detail, "boom");
+  for (const auto& s : trace->spans) {
+    EXPECT_FALSE(s.open);
+    EXPECT_DOUBLE_EQ(s.end, 3.0);
+  }
+}
+
+TEST(TracerTest, StartSpanOnUnknownQuerySynthesizesRoot) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  const uint64_t span =
+      tracer.StartSpan(99, SpanKind::kFragmentDispatch, "probe@S1");
+  const QueryTrace* trace = tracer.Find(99);
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->root()->kind, SpanKind::kQuery);
+  EXPECT_EQ(trace->Find(span)->parent_id, trace->root()->id);
+}
+
+TEST(TracerTest, SetQueryAttrLandsOnRoot) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.BeginQuery(5, "q");
+  tracer.SetQueryAttr(5, "servers", "S1+S2");
+  tracer.SetQueryAttr(6, "servers", "ignored");  // unknown query: no-op
+  EXPECT_EQ(tracer.Find(5)->root()->Attr("servers"), "S1+S2");
+  EXPECT_EQ(tracer.Find(6), nullptr);
+}
+
+TEST(TracerTest, RetentionDropsOldestButIndexStaysValid) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.set_retention(3);
+  for (uint64_t q = 1; q <= 10; ++q) {
+    tracer.BeginQuery(q, "q" + std::to_string(q));
+    tracer.EndQuery(q, false);
+  }
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.Find(1), nullptr);
+  EXPECT_EQ(tracer.Find(7), nullptr);
+  for (uint64_t q = 8; q <= 10; ++q) {
+    ASSERT_NE(tracer.Find(q), nullptr) << "query " << q;
+    EXPECT_EQ(tracer.Find(q)->query_id, q);
+  }
+  // Updates through the index still reach the right (shifted) trace.
+  tracer.SetQueryAttr(9, "k", "v");
+  EXPECT_EQ(tracer.Find(9)->root()->Attr("k"), "v");
+}
+
+TEST(TracerTest, TextAndJsonRenderTheTrace) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.BeginQuery(3, "SELECT x");
+  const uint64_t a = tracer.StartSpan(3, SpanKind::kAttempt, "attempt#0");
+  tracer.SetServer(3, a, "S2", 0);
+  tracer.EndSpan(3, a);
+  tracer.EndQuery(3, false);
+
+  const std::string text = tracer.ToText(3);
+  EXPECT_NE(text.find("SELECT x"), std::string::npos);
+  EXPECT_NE(text.find("attempt"), std::string::npos);
+  EXPECT_NE(text.find("@S2"), std::string::npos);
+
+  const std::string json = tracer.ToJson(3);
+  EXPECT_NE(json.find("\"kind\": \"attempt\""), std::string::npos);
+  EXPECT_EQ(json, tracer.ToJson(3));  // deterministic
+  EXPECT_EQ(tracer.ToJson(999), "{}\n");
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace fedcal {
@@ -105,6 +106,79 @@ TEST(SimulatorTest, ClockNeverGoesBackward) {
   }
   sim.Run();
   EXPECT_TRUE(monotone);
+}
+
+TEST(SimulatorTest, ReentrantScheduleAndCancelFromFiringCallback) {
+  // Scheduling and cancelling from inside a firing callback must neither
+  // corrupt the queue nor fire the cancelled event — including cancelling
+  // an event due at the exact same instant.
+  Simulator sim;
+  int fired = 0;
+  bool victim_fired = false;
+  sim.ScheduleAt(1.0, [&] {
+    ++fired;
+    // An event due at this very instant, cancelled before Step returns.
+    const Simulator::EventId victim =
+        sim.ScheduleAt(1.0, [&] { victim_fired = true; });
+    sim.ScheduleAt(1.0, [&] { ++fired; });
+    EXPECT_TRUE(sim.Cancel(victim));
+    // A far-future event cancelled immediately, from inside the callback.
+    const Simulator::EventId far = sim.ScheduleAt(100.0, [&] { ++fired; });
+    EXPECT_TRUE(sim.Cancel(far));
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(SimulatorTest, CancelledBacklogStaysBoundedWhenEntriesAreNeverPopped) {
+  // The lazy-cancellation leak: far-future timers (deadlines, hedges) that
+  // are scheduled and cancelled over and over, while RunUntil never
+  // advances far enough to pop them. Compaction must bound the backlog.
+  Simulator sim;
+  int live_fired = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const Simulator::EventId deadline =
+        sim.ScheduleAt(1e9 + round, [] { FAIL() << "cancelled event fired"; });
+    sim.ScheduleAfter(0.001, [&] { ++live_fired; });
+    sim.RunUntil(sim.Now() + 0.01);  // never reaches the deadline entries
+    sim.Cancel(deadline);
+  }
+  EXPECT_EQ(live_fired, 1000);
+  // Without compaction the backlog would be ~1000; with it, the resting
+  // invariant is backlog <= max(threshold, live count).
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_LE(sim.cancelled_backlog(), 64u);
+  sim.Run();
+  EXPECT_EQ(live_fired, 1000);
+}
+
+TEST(SimulatorTest, CompactionPreservesOrderAndPendingEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  // Interleave keepers and victims (3 victims per keeper, so cancelled
+  // entries eventually outnumber live ones and compaction must rebuild a
+  // queue with survivors at many positions).
+  std::vector<Simulator::EventId> victims;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(10.0 + i, [&order, i] { order.push_back(i); });
+    for (int v = 0; v < 3; ++v) {
+      victims.push_back(sim.ScheduleAt(10.2 + i + 0.1 * v, [] {
+        FAIL() << "cancelled event fired";
+      }));
+    }
+  }
+  for (Simulator::EventId id : victims) sim.Cancel(id);
+  // Compaction ran at least once: the backlog is far below the 300
+  // cancellations issued, and within the resting invariant.
+  EXPECT_LE(sim.cancelled_backlog(),
+            std::max<size_t>(64, sim.pending_events()));
+  EXPECT_EQ(sim.pending_events(), 100u);
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[size_t(i)], i);
 }
 
 TEST(PeriodicTaskTest, FiresAtPeriod) {

@@ -1,0 +1,153 @@
+// Proves the acceptance criterion of the telemetry-spine refactor: a
+// WorkloadResult derived from query traces matches the legacy result
+// assembled from QueryOutcome callbacks, on a workload that exercises
+// retries, hedges, and deadline timeouts simultaneously.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/fault_injector.h"
+#include "workload/runner.h"
+
+namespace fedcal {
+namespace {
+
+// Stable sort key so the two views can be compared independently of
+// their ordering (derived = submission order, legacy = completion order).
+auto MeasurementKey(const QueryMeasurement& m) {
+  return std::make_tuple(static_cast<int>(m.type), m.failed, m.servers,
+                         m.response_seconds, m.total_seconds, m.retries,
+                         m.timeouts, m.hedges);
+}
+
+std::vector<QueryMeasurement> Sorted(std::vector<QueryMeasurement> ms) {
+  std::sort(ms.begin(), ms.end(),
+            [](const QueryMeasurement& a, const QueryMeasurement& b) {
+              return MeasurementKey(a) < MeasurementKey(b);
+            });
+  return ms;
+}
+
+TEST(TelemetryCompatTest, DerivedMatchesLegacyOnFaultyWorkload) {
+  // The chaos-failover setup: a fail-slow brownout plus congestion on S3
+  // triggers deadlines and hedges; an error rate adds genuine failover
+  // retries on top.
+  ScenarioConfig cfg;
+  cfg.large_rows = 8'000;
+  cfg.small_rows = 600;
+  Scenario sc(cfg);
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = true;
+  ft.enable_hedging = true;
+  ft.deadline_multiplier = 4.0;
+  ft.deadline_floor_s = 0.1;
+  sc.server("S2").set_error_rate(0.2);
+
+  FaultSchedule chaos = FaultSchedule::Parse(R"(
+at 1.0 brownout S3 0.98 for 1.5
+at 1.0 congest S3 2000 4000 for 1.5
+)")
+                            .MoveValue();
+  ASSERT_TRUE(sc.fault_injector().Arm(chaos).ok());
+
+  WorkloadRunner runner(&sc);
+  WorkloadResult legacy;
+  WorkloadResult derived = runner.RunMixedWorkload(
+      /*instances_per_type=*/8, /*clients=*/2, &legacy);
+
+  // The workload must actually exercise all three fault mechanisms, or
+  // this test proves nothing.
+  EXPECT_GE(legacy.total_retries(), 1u);
+  EXPECT_GE(legacy.total_timeouts(), 1u);
+  EXPECT_GE(legacy.total_hedges(), 1u);
+
+  ASSERT_EQ(derived.measurements.size(), legacy.measurements.size());
+  EXPECT_EQ(derived.failures(), legacy.failures());
+  EXPECT_EQ(derived.total_retries(), legacy.total_retries());
+  EXPECT_EQ(derived.total_timeouts(), legacy.total_timeouts());
+  EXPECT_EQ(derived.total_hedges(), legacy.total_hedges());
+  EXPECT_DOUBLE_EQ(derived.MeanResponse(), legacy.MeanResponse());
+  EXPECT_DOUBLE_EQ(derived.PercentileTotal(99), legacy.PercentileTotal(99));
+  EXPECT_DOUBLE_EQ(derived.SuccessRate(), legacy.SuccessRate());
+
+  const auto a = Sorted(derived.measurements);
+  const auto b = Sorted(legacy.measurements);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << "measurement " << i;
+    EXPECT_EQ(a[i].failed, b[i].failed) << "measurement " << i;
+    EXPECT_EQ(a[i].servers, b[i].servers) << "measurement " << i;
+    EXPECT_DOUBLE_EQ(a[i].response_seconds, b[i].response_seconds)
+        << "measurement " << i;
+    EXPECT_DOUBLE_EQ(a[i].total_seconds, b[i].total_seconds)
+        << "measurement " << i;
+    EXPECT_EQ(a[i].retries, b[i].retries) << "measurement " << i;
+    EXPECT_EQ(a[i].timeouts, b[i].timeouts) << "measurement " << i;
+    EXPECT_EQ(a[i].hedges, b[i].hedges) << "measurement " << i;
+  }
+
+  // Per-type means agree too (the figure harnesses' primary statistic).
+  for (QueryType qt : AllQueryTypes()) {
+    EXPECT_DOUBLE_EQ(derived.MeanResponse(qt), legacy.MeanResponse(qt));
+    EXPECT_EQ(derived.DominantServer(qt), legacy.DominantServer(qt));
+  }
+}
+
+TEST(TelemetryCompatTest, DerivedMatchesLegacyOnCleanWorkload) {
+  ScenarioConfig cfg;
+  cfg.large_rows = 4'000;
+  cfg.small_rows = 400;
+  Scenario sc(cfg);
+  WorkloadRunner runner(&sc);
+  WorkloadResult legacy;
+  WorkloadResult derived = runner.RunMixedWorkload(3, 2, &legacy);
+
+  ASSERT_EQ(derived.measurements.size(), legacy.measurements.size());
+  EXPECT_EQ(derived.failures(), 0u);
+  EXPECT_DOUBLE_EQ(derived.MeanResponse(), legacy.MeanResponse());
+  const auto a = Sorted(derived.measurements);
+  const auto b = Sorted(legacy.measurements);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(MeasurementKey(a[i]) == MeasurementKey(b[i]), true)
+        << "measurement " << i;
+  }
+}
+
+TEST(TelemetryCompatTest, CompileFailuresAppendLegacyShapedRows) {
+  Simulator sim;
+  obs::Tracer tracer(&sim);
+  WorkloadResult r = WorkloadResultFromTraces(
+      tracer, {}, {QueryType::kQT2, QueryType::kQT4});
+  ASSERT_EQ(r.measurements.size(), 2u);
+  EXPECT_EQ(r.measurements[0].type, QueryType::kQT2);
+  EXPECT_TRUE(r.measurements[0].failed);
+  EXPECT_EQ(r.measurements[0].servers, "-");
+  EXPECT_DOUBLE_EQ(r.measurements[0].response_seconds, 0.0);
+  EXPECT_EQ(r.measurements[1].type, QueryType::kQT4);
+  EXPECT_EQ(r.failures(), 2u);
+}
+
+TEST(TelemetryCompatTest, MetricsSpineCountsTheWorkload) {
+  ScenarioConfig cfg;
+  cfg.large_rows = 4'000;
+  cfg.small_rows = 400;
+  Scenario sc(cfg);
+  WorkloadRunner runner(&sc);
+  WorkloadResult r = runner.RunMixedWorkload(2, 1);
+
+  const obs::MetricsSnapshot snap = sc.telemetry().metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("query.submitted"), r.measurements.size());
+  EXPECT_EQ(snap.counters.at("query.completed"),
+            r.measurements.size() - r.failures());
+  const obs::HistogramSnapshot& lat = snap.histograms.at("query.response_s");
+  EXPECT_EQ(lat.count, r.measurements.size() - r.failures());
+  EXPECT_GT(lat.p50, 0.0);
+  EXPECT_GE(lat.p99, lat.p50);
+  // Fragment-level and server-level emissions flowed through the same
+  // spine.
+  EXPECT_GT(snap.counters.at("fragment.dispatched"), 0u);
+  EXPECT_GT(snap.histograms.at("fragment.response_s").count, 0u);
+}
+
+}  // namespace
+}  // namespace fedcal
