@@ -1,0 +1,174 @@
+// Micro-benchmarks of the observability hot paths: what one span, one
+// metric update, one flight-recorder append actually costs on the paths
+// every query crosses. The disabled-recorder baseline quantifies the
+// overhead of leaving the flight recorder on (it should be within noise
+// of a branch).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fedcal {
+namespace {
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::Counter& c = metrics.counter("qcc.decisions");
+  for (auto _ : state) {
+    c.Add();
+    benchmark::DoNotOptimize(c.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_CounterLookupAndIncrement(benchmark::State& state) {
+  // The common calling shape: look the counter up by name every time.
+  obs::MetricsRegistry metrics;
+  for (auto _ : state) {
+    metrics.counter("qcc.errors.S1").Add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterLookupAndIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::LatencyHistogram& h = metrics.histogram("query.total_s");
+  double v = 0.001;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v < 1.0 ? v * 1.001 : 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SpanEmit(benchmark::State& state) {
+  // One child span opened and closed under a live query trace, with the
+  // tracer's retention bounded the way a long-running federation would
+  // run it.
+  obs::Tracer tracer(/*sim=*/nullptr);
+  tracer.set_retention(64);
+  uint64_t query = 0;
+  tracer.BeginQuery(++query, "SELECT 1");
+  size_t spans_in_query = 0;
+  for (auto _ : state) {
+    const uint64_t span =
+        tracer.StartSpan(query, obs::SpanKind::kFragmentDispatch, "frag");
+    tracer.EndSpan(query, span);
+    // Roll to a fresh query every so often so retention keeps working
+    // instead of one trace growing without bound.
+    if (++spans_in_query == 128) {
+      tracer.EndQuery(query, /*failed=*/false);
+      tracer.BeginQuery(++query, "SELECT 1");
+      spans_in_query = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEmit);
+
+obs::DecisionRecord MakeDecision(uint64_t query_id) {
+  obs::DecisionRecord d;
+  d.query_id = query_id;
+  d.sql = "SELECT * FROM employee WHERE salary > 100";
+  d.balance_level = "global";
+  for (size_t i = 0; i < 3; ++i) {
+    obs::CandidatePlanRecord c;
+    c.option_index = i;
+    c.server_set = "S" + std::to_string(i + 1);
+    c.total_calibrated_seconds = 0.1 * static_cast<double>(i + 1);
+    c.chosen = (i == 0);
+    if (i != 0) c.rejection_reason = "calibrated cost exceeds tolerance";
+    obs::FragmentCostRecord f;
+    f.server_id = c.server_set;
+    f.raw_estimated_seconds = 0.1;
+    f.calibrated_seconds = c.total_calibrated_seconds;
+    c.fragments.push_back(f);
+    d.candidates.push_back(std::move(c));
+  }
+  return d;
+}
+
+void BM_FlightRecorderAppend(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  uint64_t query = 0;
+  for (auto _ : state) {
+    recorder.Record(MakeDecision(++query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderAppend);
+
+void BM_FlightRecorderAppendDisabled(benchmark::State& state) {
+  // Baseline: the same call with the recorder off. The delta to
+  // BM_FlightRecorderAppend is the true cost of recording (the record
+  // construction itself is shared by both).
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = false;
+  obs::FlightRecorder recorder(cfg);
+  uint64_t query = 0;
+  for (auto _ : state) {
+    recorder.Record(MakeDecision(++query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderAppendDisabled);
+
+void BM_TimeSeriesSample(benchmark::State& state) {
+  // The per-observation path: one calibration-factor sample, including
+  // the drift detector's trailing-window scan.
+  obs::FlightRecorder recorder;
+  double t = 0.0;
+  for (auto _ : state) {
+    recorder.Sample("S1", obs::ServerMetric::kCalibrationFactor, t, 1.0);
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesSample);
+
+}  // namespace
+}  // namespace fedcal
+
+/// Custom BENCHMARK_MAIN: console output unchanged, per-iteration timings
+/// additionally land in BENCH_micro_obs.json via the shared reporter
+/// (wall-clock timings, so not byte-stable across runs).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(fedcal::bench::JsonReporter* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      out_->AddScalar(run.benchmark_name() + "/real_time_per_iter_s",
+                      per_iter);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  fedcal::bench::JsonReporter* out_;
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fedcal::bench::JsonReporter reporter("micro_obs");
+  JsonCollectingReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return reporter.Finish(fedcal::bench::ShapeCheck{});
+}

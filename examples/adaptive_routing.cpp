@@ -10,6 +10,7 @@
 //   ./build/examples/adaptive_routing
 #include <cstdio>
 
+#include "obs/export.h"
 #include "workload/runner.h"
 #include "workload/scenario.h"
 
@@ -60,11 +61,24 @@ int main() {
   runner.ExplorationPass();  // QCC observes the new reality
   ShowRouting(sc, "S3 under heavy load");
 
+  // The flight recorder explains the last routing decision: every
+  // candidate plan with its calibrated cost and why the losers lost.
+  const obs::DecisionRecord* decision = sc.telemetry().recorder.Latest();
+  if (decision != nullptr) {
+    std::printf("\n--- flight recorder: last routing decision ---\n%s",
+                obs::ExplainText(*decision).c_str());
+  }
+
   // Load clears; daemon probes + fresh observations pull routing back.
   std::printf("\n>>> load on S3 clears\n");
   sc.server("S3").set_background_load(0.0);
   runner.ExplorationPass();
   ShowRouting(sc, "S3 recovered");
+
+  // How S3's calibration factor travelled through the whole episode —
+  // the drift detector marks both the load spike and the recovery.
+  std::printf("\n--- flight recorder: S3 calibration timeline ---\n%s",
+              obs::TimelineText(sc.telemetry().recorder, "S3", 24).c_str());
 
   // The meta-wrapper logs show every estimate/observation pair QCC used.
   const auto& log = sc.meta_wrapper().runtime_log();

@@ -10,22 +10,49 @@
 //   \servers           server status, load and calibration factors
 //   \load <srv> <f>    set background load on a server (0..0.99)
 //   \down <srv>        take a server down        \up <srv>  bring it back
-//   \explain           show the explain-table entry of the last query
+//   \explain [id]      flight-recorder routing decision (all candidate
+//                      plans + rejection reasons); defaults to the most
+//                      recent query
+//   \timeline <srv>    a server's calibration/reliability/availability/
+//                      breaker time-series with drift events
 //   \stats             live telemetry metrics snapshot (counters, gauges,
 //                      latency histograms with p50/p95/p99)
 //   \trace             span tree of the last query's lifecycle trace
 //   \qcc on|off        attach / detach the query cost calibrator
-//   \quit              exit
+//   \help              this list            \quit  exit
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/export.h"
 #include "workload/scenario.h"
 
 using namespace fedcal;  // NOLINT
 
 namespace {
+
+void PrintCommandList() {
+  std::printf(
+      "  commands:\n"
+      "    \\tables            list nicknames and replica locations\n"
+      "    \\servers           server status, load and calibration "
+      "factors\n"
+      "    \\load <srv> <f>    set background load on a server (0..0.99)\n"
+      "    \\down <srv>        take a server down\n"
+      "    \\up <srv>          bring a server back\n"
+      "    \\explain [id]      routing decision: candidate plans, "
+      "rejection reasons,\n"
+      "                       consulted server state (default: last "
+      "query)\n"
+      "    \\timeline <srv>    calibration/reliability/availability/"
+      "breaker series\n"
+      "    \\stats             telemetry metrics snapshot\n"
+      "    \\trace             span tree of the last query\n"
+      "    \\qcc on|off        attach / detach the query cost calibrator\n"
+      "    \\help              this list\n"
+      "    \\quit              exit\n");
+}
 
 void PrintTable(const Table& t, size_t max_rows = 20) {
   for (size_t c = 0; c < t.schema().num_columns(); ++c) {
@@ -63,7 +90,7 @@ int main() {
 
   std::printf(
       "fedql> ready. nicknames: employee, sales, department. "
-      "\\quit to exit.\n");
+      "\\help for commands, \\quit to exit.\n");
 
   uint64_t last_query_id = 0;
   std::string line;
@@ -116,11 +143,23 @@ int main() {
                       cmd == "up" ? "up" : "down");
         }
       } else if (cmd == "explain") {
-        const ExplainEntry* e =
-            sc.integrator().explain().Find(last_query_id);
-        if (!e) {
-          std::printf("  no explained query yet\n");
-        } else {
+        // With an argument: that query id; without: the last query (or,
+        // failing that, the most recent recorded decision).
+        uint64_t target_id = last_query_id;
+        if (!(iss >> target_id)) target_id = last_query_id;
+        const obs::FlightRecorder& rec = sc.telemetry().recorder;
+        const obs::DecisionRecord* d =
+            target_id != 0 ? rec.Find(target_id) : rec.Latest();
+        if (d != nullptr) {
+          std::printf("%s", obs::ExplainText(*d).c_str());
+        } else if (const ExplainEntry* e =
+                       target_id != 0
+                           ? sc.integrator().explain().Find(target_id)
+                           : sc.integrator().explain().Latest()) {
+          // No flight-recorder decision (QCC detached): fall back to the
+          // explain table's winner-only view.
+          std::printf("  (winner-only explain entry; attach qcc for full "
+                      "decisions)\n");
           std::printf("  total estimated: %.4f s\n",
                       e->total_estimated_seconds);
           for (const auto& f : e->fragments) {
@@ -129,7 +168,24 @@ int main() {
                         f.calibrated_seconds, f.statement.c_str());
           }
           std::printf("  merge plan:\n%s\n", e->merge_plan_text.c_str());
+        } else {
+          std::printf("  no explained query yet\n");
         }
+      } else if (cmd == "timeline") {
+        std::string sid;
+        if (iss >> sid) {
+          std::printf("%s",
+                      obs::TimelineText(sc.telemetry().recorder, sid)
+                          .c_str());
+        } else {
+          std::printf("  usage: \\timeline <server>  (servers:");
+          for (const auto& s : sc.server_ids()) {
+            std::printf(" %s", s.c_str());
+          }
+          std::printf(")\n");
+        }
+      } else if (cmd == "help" || cmd == "h" || cmd == "?") {
+        PrintCommandList();
       } else if (cmd == "stats") {
         const std::string text = sc.telemetry().metrics.ToText();
         std::printf("%s", text.empty() ? "  no metrics yet\n" : text.c_str());
@@ -152,7 +208,8 @@ int main() {
         }
         std::printf("  qcc is %s\n", qcc_attached ? "on" : "off");
       } else {
-        std::printf("  unknown command: %s\n", cmd.c_str());
+        std::printf("  unknown command: \\%s\n", cmd.c_str());
+        PrintCommandList();
       }
       continue;
     }

@@ -94,21 +94,31 @@ std::vector<size_t> LoadBalancer::FragmentGroup(
 
 size_t LoadBalancer::SelectPlan(uint64_t query_id, const std::string& sql,
                                 const std::vector<GlobalPlanOption>& options) {
+  return SelectPlanExplained(query_id, sql, options).chosen;
+}
+
+PlanSelection LoadBalancer::SelectPlanExplained(
+    uint64_t query_id, const std::string& sql,
+    const std::vector<GlobalPlanOption>& options) {
   (void)query_id;
-  if (options.empty()) return 0;
+  PlanSelection selection;
+  selection.level = config_.level;
+  if (options.empty()) return selection;
   if (config_.level == LoadBalanceConfig::Level::kNone || options.size() == 1) {
-    return 0;
+    return selection;
   }
 
   auto stmt = ParseSelect(sql);
-  if (!stmt.ok()) return 0;
+  if (!stmt.ok()) return selection;
   const size_t signature = SignatureOf(*stmt);
 
   QueryTypeState& st = StateFor(signature);
   st.workload_in_period += options[0].total_calibrated_seconds;
+  selection.workload_in_period = st.workload_in_period;
   if (st.workload_in_period < config_.workload_threshold) {
     st.last_group_size = 1;
-    return 0;
+    selection.workload_threshold_met = false;
+    return selection;
   }
 
   const std::vector<size_t> group =
@@ -116,8 +126,11 @@ size_t LoadBalancer::SelectPlan(uint64_t query_id, const std::string& sql,
           ? GlobalGroup(options)
           : FragmentGroup(options);
   st.last_group_size = group.size();
-  if (group.empty()) return 0;
-  return group[st.rotation++ % group.size()];
+  selection.group = group;
+  if (group.empty()) return selection;
+  selection.rotation_counter = st.rotation;
+  selection.chosen = group[st.rotation++ % group.size()];
+  return selection;
 }
 
 size_t LoadBalancer::LastGroupSize(size_t signature) const {

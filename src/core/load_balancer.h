@@ -30,6 +30,21 @@ struct LoadBalanceConfig {
   double period_seconds = 60.0;
 };
 
+/// \brief Everything the balancer knew and decided for one selection —
+/// the §4 half of a flight-recorder DecisionRecord.
+struct PlanSelection {
+  size_t chosen = 0;
+  LoadBalanceConfig::Level level = LoadBalanceConfig::Level::kNone;
+  /// Option indices deemed exchangeable (§4.1/§4.2 clustering outcome).
+  std::vector<size_t> group;
+  /// Round-robin position consumed by this selection.
+  uint64_t rotation_counter = 0;
+  /// False when the query type's period workload was below the threshold
+  /// (rotation skipped, cheapest taken).
+  bool workload_threshold_met = true;
+  double workload_in_period = 0.0;
+};
+
 /// \brief Round-robin plan rotation for load distribution (§4).
 ///
 /// Implements PlanSelector. Groups are recomputed on every selection from
@@ -43,6 +58,12 @@ class LoadBalancer : public PlanSelector {
 
   size_t SelectPlan(uint64_t query_id, const std::string& sql,
                     const std::vector<GlobalPlanOption>& options) override;
+
+  /// SelectPlan plus a full account of the decision (rotation group,
+  /// counter, threshold verdict) for the flight recorder.
+  PlanSelection SelectPlanExplained(
+      uint64_t query_id, const std::string& sql,
+      const std::vector<GlobalPlanOption>& options);
 
   const LoadBalanceConfig& config() const { return config_; }
   void set_level(LoadBalanceConfig::Level level) { config_.level = level; }

@@ -1,6 +1,40 @@
 #include "core/qcc.h"
 
+#include <cmath>
+#include <set>
+
 namespace fedcal {
+
+namespace {
+
+const char* LevelName(LoadBalanceConfig::Level level) {
+  switch (level) {
+    case LoadBalanceConfig::Level::kNone: return "none";
+    case LoadBalanceConfig::Level::kFragment: return "fragment";
+    case LoadBalanceConfig::Level::kGlobal: return "global";
+  }
+  return "unknown";
+}
+
+double BreakerStateValue(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return 0.0;
+    case BreakerState::kHalfOpen: return 1.0;
+    case BreakerState::kOpen: return 2.0;
+  }
+  return 0.0;
+}
+
+std::string JoinServerSet(const std::vector<std::string>& servers) {
+  std::string out;
+  for (const auto& s : servers) {
+    if (!out.empty()) out += "+";
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace
 
 QueryCostCalibrator::QueryCostCalibrator(Simulator* sim,
                                          MetaWrapper* meta_wrapper,
@@ -83,6 +117,24 @@ void QueryCostCalibrator::RecordFragmentObservation(
     metrics.gauge("qcc.last_ratio." + server_id)
         .Set(observed_seconds / estimated_seconds);
   }
+  // Flight-recorder time series: the calibration factor after absorbing
+  // this observation (the drift detector runs inside Sample), plus the
+  // raw observed/estimated ratio that moved it.
+  obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
+  if (recorder.enabled()) {
+    const uint64_t drift_before = recorder.total_drift_events();
+    recorder.Sample(server_id, obs::ServerMetric::kCalibrationFactor,
+                    sim_->Now(), store_.ServerFactor(server_id));
+    if (estimated_seconds > 0.0) {
+      recorder.Sample(server_id, obs::ServerMetric::kObservedRatio,
+                      sim_->Now(), observed_seconds / estimated_seconds);
+    }
+    const uint64_t drifts = recorder.total_drift_events() - drift_before;
+    if (drifts > 0) {
+      metrics.counter("recorder.drift_events").Add(drifts);
+      metrics.counter("recorder.drift_events." + server_id).Add(drifts);
+    }
+  }
 }
 
 void QueryCostCalibrator::RecordIntegrationObservation(
@@ -106,6 +158,7 @@ void QueryCostCalibrator::RecordError(const std::string& server_id,
     metrics.counter("qcc.down_marked." + server_id).Add();
     availability_.MarkDown(server_id);
   }
+  SampleServerState(server_id);
 }
 
 void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
@@ -116,12 +169,123 @@ void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
   if (config_.enable_circuit_breaker) {
     breakers_.RecordSuccess(server_id, sim_->Now());
   }
+  // A success is definitive evidence the server answers: clear a stale
+  // down mark right away instead of waiting for the probe loop to get
+  // around to it (the daemon's own MarkUp then finds nothing to do).
+  availability_.MarkUp(server_id);
+  SampleServerState(server_id);
 }
 
 size_t QueryCostCalibrator::SelectPlan(
     uint64_t query_id, const std::string& sql,
     const std::vector<GlobalPlanOption>& options) {
-  return load_balancer_.SelectPlan(query_id, sql, options);
+  const PlanSelection selection =
+      load_balancer_.SelectPlanExplained(query_id, sql, options);
+  RecordDecision(query_id, sql, options, selection);
+  return selection.chosen;
+}
+
+void QueryCostCalibrator::RecordDecision(
+    uint64_t query_id, const std::string& sql,
+    const std::vector<GlobalPlanOption>& options,
+    const PlanSelection& selection) {
+  obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
+  if (!recorder.enabled() || options.empty()) return;
+
+  obs::DecisionRecord record;
+  record.query_id = query_id;
+  record.sql = sql;
+  record.at = sim_->Now();
+  record.chosen_index = selection.chosen;
+  record.balance_level = LevelName(selection.level);
+  record.cost_tolerance = config_.load_balance.cost_tolerance;
+  record.rotation_group = selection.group;
+  record.rotation_counter = selection.rotation_counter;
+  record.workload_threshold_met = selection.workload_threshold_met;
+
+  std::set<size_t> in_group(selection.group.begin(), selection.group.end());
+  // Options arrive sorted cheapest first, so options[0] anchors the §4
+  // clustering tolerance.
+  const double tolerance_limit =
+      options[0].total_calibrated_seconds *
+      (1.0 + config_.load_balance.cost_tolerance);
+
+  record.candidates.reserve(options.size());
+  for (size_t i = 0; i < options.size(); ++i) {
+    const GlobalPlanOption& opt = options[i];
+    obs::CandidatePlanRecord cand;
+    cand.option_index = i;
+    cand.server_set = JoinServerSet(opt.server_set);
+    cand.total_calibrated_seconds = opt.total_calibrated_seconds;
+    cand.total_raw_seconds = opt.total_raw_seconds;
+    cand.chosen = (i == selection.chosen);
+    cand.in_rotation_group = in_group.count(i) > 0;
+    for (const FragmentOption& fc : opt.fragment_choices) {
+      cand.fragments.push_back(obs::FragmentCostRecord{
+          fc.wrapper_plan.server_id, fc.wrapper_plan.signature,
+          fc.cost.raw_estimated_seconds, fc.cost.calibrated_seconds});
+    }
+    if (!cand.chosen) {
+      if (!std::isfinite(opt.total_calibrated_seconds)) {
+        cand.rejection_reason =
+            "priced at infinity (server down or breaker open)";
+      } else if (selection.level == LoadBalanceConfig::Level::kNone) {
+        cand.rejection_reason = "load balancing off: cheapest plan taken";
+      } else if (!selection.workload_threshold_met) {
+        cand.rejection_reason =
+            "rotation skipped (below workload threshold): cheapest taken";
+      } else if (cand.in_rotation_group) {
+        cand.rejection_reason = "rotation alternate: round-robin picked #" +
+                                std::to_string(selection.chosen);
+      } else if (opt.total_calibrated_seconds > tolerance_limit) {
+        cand.rejection_reason =
+            "calibrated cost exceeds +" +
+            std::to_string(
+                static_cast<int>(config_.load_balance.cost_tolerance * 100)) +
+            "% tolerance of cheapest";
+      } else if (selection.level == LoadBalanceConfig::Level::kGlobal) {
+        cand.rejection_reason =
+            "dominated: cheaper plan exists on the same server set";
+      } else {
+        cand.rejection_reason =
+            "not exchangeable with the cheapest plan (shape or cost)";
+      }
+    }
+    record.candidates.push_back(std::move(cand));
+  }
+
+  // The calibration/reliability/availability/breaker state consulted for
+  // every server any candidate would touch.
+  std::set<std::string> servers;
+  for (const auto& opt : options) {
+    servers.insert(opt.server_set.begin(), opt.server_set.end());
+  }
+  for (const std::string& sid : servers) {
+    obs::ServerStateRecord state;
+    state.server_id = sid;
+    state.calibration_factor = store_.ServerFactor(sid);
+    state.calibration_samples = store_.ServerSamples(sid);
+    state.reliability_multiplier = reliability_.CostMultiplier(sid);
+    state.available = !availability_.IsDown(sid);
+    state.breaker_state =
+        BreakerStateName(breakers_.State(sid, sim_->Now()));
+    record.server_states.push_back(std::move(state));
+  }
+
+  recorder.Record(std::move(record));
+  meta_wrapper_->telemetry()->metrics.counter("recorder.decisions").Add();
+}
+
+void QueryCostCalibrator::SampleServerState(const std::string& server_id) {
+  obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
+  if (!recorder.enabled()) return;
+  const SimTime now = sim_->Now();
+  recorder.Sample(server_id, obs::ServerMetric::kReliabilityMultiplier, now,
+                  reliability_.CostMultiplier(server_id));
+  recorder.Sample(server_id, obs::ServerMetric::kAvailability, now,
+                  availability_.IsDown(server_id) ? 0.0 : 1.0);
+  recorder.Sample(server_id, obs::ServerMetric::kBreakerState, now,
+                  BreakerStateValue(breakers_.State(server_id, now)));
 }
 
 }  // namespace fedcal

@@ -101,6 +101,17 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
       std::numeric_limits<double>::infinity();
 
  private:
+  /// Assembles and records the flight-recorder DecisionRecord for one
+  /// plan selection: every candidate with raw vs calibrated costs and a
+  /// rejection reason, the §4 rotation outcome, and the per-server
+  /// calibration/reliability/availability/breaker state consulted.
+  void RecordDecision(uint64_t query_id, const std::string& sql,
+                      const std::vector<GlobalPlanOption>& options,
+                      const PlanSelection& selection);
+  /// Samples reliability/availability/breaker state into the recorder's
+  /// per-server time series (called on every outcome QCC learns from).
+  void SampleServerState(const std::string& server_id);
+
   Simulator* sim_;
   MetaWrapper* meta_wrapper_;
   QccConfig config_;

@@ -95,6 +95,18 @@ std::vector<ReplicaRecommendation> ReplicaAdvisor::Analyze() const {
         nickname.c_str(), workload, target.c_str(), target_load);
     recommendations.push_back(std::move(rec));
   }
+
+  // Leave the placement analysis in the flight recorder so a later
+  // `\explain` reader can see what the advisor believed and why.
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  const Simulator* sim = tel.tracer.sim();
+  const SimTime now = sim != nullptr ? sim->Now() : 0.0;
+  for (const auto& rec : recommendations) {
+    tel.recorder.AddNote(now, "replica_advisor",
+                         "replicate " + rec.nickname + " from " +
+                             rec.source_server + " to " + rec.target_server +
+                             ": " + rec.rationale);
+  }
   return recommendations;
 }
 

@@ -19,6 +19,8 @@ Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
 
   // Candidate servers per fragment, with high-factor servers excluded.
   std::vector<std::vector<std::string>> candidates(d.fragments.size());
+  size_t full_subsets = 1;
+  size_t kept_subsets = 1;
   for (size_t f = 0; f < d.fragments.size(); ++f) {
     for (const auto& s : d.fragments[f].candidate_servers) {
       if (store && store->ServerFactor(s) > max_server_factor) continue;
@@ -29,7 +31,10 @@ Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
       // than failing the query.
       candidates[f] = d.fragments[f].candidate_servers;
     }
+    full_subsets *= d.fragments[f].candidate_servers.size();
+    kept_subsets *= candidates[f].size();
   }
+  out.excluded_subsets = full_subsets - kept_subsets;
 
   // Cartesian product of per-fragment server choices = the explain-mode
   // subsets.
@@ -81,6 +86,17 @@ Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
             [](const GlobalPlanOption& a, const GlobalPlanOption& b) {
               return a.total_calibrated_seconds < b.total_calibrated_seconds;
             });
+
+  // Annotate the flight recorder: which alternatives the simulated
+  // federated system surfaced, and how much explain work it cost.
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  const Simulator* sim = tel.tracer.sim();
+  tel.recorder.AddNote(
+      sim != nullptr ? sim->Now() : 0.0, "whatif",
+      "enumerated " + std::to_string(out.plans.size()) +
+          " alternative plans in " + std::to_string(out.explain_runs) +
+          " explain runs (" + std::to_string(out.excluded_subsets) +
+          " subsets excluded by calibration factor)");
   return out;
 }
 

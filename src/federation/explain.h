@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace fedcal {
@@ -28,24 +30,72 @@ struct ExplainEntry {
 
 /// \brief The integrator's explain table. Only winner plans are stored —
 /// which is exactly why QCC needs its own simulated federated system to
-/// see the losers (§4.2).
+/// see the losers (§4.2); the flight recorder keeps the full candidate
+/// lists.
+///
+/// Entries are indexed by query id (O(1) Find; a recompile of the same id
+/// supersedes the older row) and retention is bounded: beyond `capacity`
+/// the oldest entries are evicted, so the table cannot grow without limit
+/// under a long-running workload.
 class ExplainTable {
  public:
-  void Put(ExplainEntry entry) { entries_.push_back(std::move(entry)); }
+  explicit ExplainTable(size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  const std::vector<ExplainEntry>& entries() const { return entries_; }
-
-  const ExplainEntry* Find(uint64_t query_id) const {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->query_id == query_id) return &*it;
+  void Put(ExplainEntry entry) {
+    ++total_recorded_;
+    index_[entry.query_id] = base_ + entries_.size();
+    entries_.push_back(std::move(entry));
+    while (entries_.size() > capacity_) {
+      auto it = index_.find(entries_.front().query_id);
+      // Keep the index entry when a newer row for the same id superseded
+      // the one being evicted.
+      if (it != index_.end() && it->second == base_) index_.erase(it);
+      entries_.pop_front();
+      ++base_;
     }
-    return nullptr;
   }
 
-  void Clear() { entries_.clear(); }
+  const std::deque<ExplainEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Lifetime Put count — exceeds size() once eviction has happened.
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (entries_.size() > capacity_) {
+      auto it = index_.find(entries_.front().query_id);
+      if (it != index_.end() && it->second == base_) index_.erase(it);
+      entries_.pop_front();
+      ++base_;
+    }
+  }
+
+  const ExplainEntry* Find(uint64_t query_id) const {
+    auto it = index_.find(query_id);
+    if (it == index_.end() || it->second < base_) return nullptr;
+    return &entries_[it->second - base_];
+  }
+
+  /// The most recently explained query (nullptr while empty).
+  const ExplainEntry* Latest() const {
+    return entries_.empty() ? nullptr : &entries_.back();
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    base_ = 0;
+    total_recorded_ = 0;
+  }
 
  private:
-  std::vector<ExplainEntry> entries_;
+  size_t capacity_;
+  std::deque<ExplainEntry> entries_;
+  std::unordered_map<uint64_t, size_t> index_;  ///< query_id -> pos + base_
+  size_t base_ = 0;  ///< entries evicted from the front
+  uint64_t total_recorded_ = 0;
 };
 
 }  // namespace fedcal

@@ -1,0 +1,278 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendCandidateJson(std::string* out, const CandidatePlanRecord& c) {
+  *out += "{\"option\": " + std::to_string(c.option_index) +
+          ", \"servers\": " + Quote(c.server_set) +
+          ", \"total_calibrated_s\": " +
+          FormatMetricValue(c.total_calibrated_seconds) +
+          ", \"total_raw_s\": " + FormatMetricValue(c.total_raw_seconds) +
+          ", \"chosen\": " + (c.chosen ? "true" : "false") +
+          ", \"in_rotation_group\": " +
+          (c.in_rotation_group ? "true" : "false") +
+          ", \"rejection_reason\": " + Quote(c.rejection_reason) +
+          ", \"fragments\": [";
+  for (size_t f = 0; f < c.fragments.size(); ++f) {
+    const FragmentCostRecord& fr = c.fragments[f];
+    *out += std::string(f ? ", " : "") + "{\"server\": " + Quote(fr.server_id) +
+            ", \"raw_s\": " + FormatMetricValue(fr.raw_estimated_seconds) +
+            ", \"calibrated_s\": " +
+            FormatMetricValue(fr.calibrated_seconds) + "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string DecisionToJson(const DecisionRecord& record) {
+  std::string out = "{\n";
+  out += "  \"query_id\": " + std::to_string(record.query_id) + ",\n";
+  out += "  \"sql\": " + Quote(record.sql) + ",\n";
+  out += "  \"at\": " + FormatMetricValue(record.at) + ",\n";
+  out += "  \"chosen_index\": " + std::to_string(record.chosen_index) + ",\n";
+  out += "  \"balance_level\": " + Quote(record.balance_level) + ",\n";
+  out += "  \"cost_tolerance\": " + FormatMetricValue(record.cost_tolerance) +
+         ",\n";
+  out += "  \"rotation_counter\": " + std::to_string(record.rotation_counter) +
+         ",\n";
+  out += std::string("  \"workload_threshold_met\": ") +
+         (record.workload_threshold_met ? "true" : "false") + ",\n";
+  out += "  \"rotation_group\": [";
+  for (size_t i = 0; i < record.rotation_group.size(); ++i) {
+    out += std::string(i ? ", " : "") + std::to_string(record.rotation_group[i]);
+  }
+  out += "],\n";
+  out += "  \"candidates_truncated\": " +
+         std::to_string(record.candidates_truncated) + ",\n";
+  out += "  \"candidates\": [";
+  for (size_t i = 0; i < record.candidates.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    AppendCandidateJson(&out, record.candidates[i]);
+  }
+  out += record.candidates.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"server_states\": [";
+  for (size_t i = 0; i < record.server_states.size(); ++i) {
+    const ServerStateRecord& s = record.server_states[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"server\": " + Quote(s.server_id) +
+           ", \"calibration_factor\": " +
+           FormatMetricValue(s.calibration_factor) +
+           ", \"calibration_samples\": " +
+           std::to_string(s.calibration_samples) +
+           ", \"reliability_multiplier\": " +
+           FormatMetricValue(s.reliability_multiplier) +
+           ", \"available\": " + (s.available ? "true" : "false") +
+           ", \"breaker\": " + Quote(s.breaker_state) + "}";
+  }
+  out += record.server_states.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RecorderToJson(const FlightRecorder& recorder) {
+  std::string out = "{\n\"decisions\": [";
+  bool first = true;
+  for (const DecisionRecord& d : recorder.decisions()) {
+    out += first ? "\n" : ",\n";
+    out += DecisionToJson(d);
+    first = false;
+  }
+  out += "],\n\"series\": {";
+  first = true;
+  for (const std::string& sid : recorder.SampledServers()) {
+    out += first ? "\n" : ",\n";
+    out += "  " + Quote(sid) + ": {";
+    bool first_metric = true;
+    for (size_t m = 0; m < kNumServerMetrics; ++m) {
+      const auto metric = static_cast<ServerMetric>(m);
+      const TimeSeriesRing* ring = recorder.Series(sid, metric);
+      if (ring == nullptr) continue;
+      out += first_metric ? "\n" : ",\n";
+      out += std::string("    \"") + ServerMetricName(metric) + "\": [";
+      for (size_t i = 0; i < ring->size(); ++i) {
+        const TimePoint& p = ring->at(i);
+        out += std::string(i ? ", " : "") + "[" + FormatMetricValue(p.t) +
+               ", " + FormatMetricValue(p.value) + "]";
+      }
+      out += "]";
+      first_metric = false;
+    }
+    out += first_metric ? "}" : "\n  }";
+    first = false;
+  }
+  out += first ? "},\n" : "\n},\n";
+  out += "\"drift_events\": [";
+  first = true;
+  for (const DriftEvent& e : recorder.drift_events()) {
+    out += first ? "\n" : ",\n";
+    out += "  {\"server\": " + Quote(e.server_id) +
+           ", \"at\": " + FormatMetricValue(e.at) +
+           ", \"reference\": " + FormatMetricValue(e.reference) +
+           ", \"current\": " + FormatMetricValue(e.current) +
+           ", \"change_fraction\": " + FormatMetricValue(e.change_fraction) +
+           "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"notes\": [";
+  first = true;
+  for (const RecorderNote& n : recorder.notes()) {
+    out += first ? "\n" : ",\n";
+    out += "  {\"at\": " + FormatMetricValue(n.at) +
+           ", \"source\": " + Quote(n.source) + ", \"text\": " + Quote(n.text) +
+           "}";
+    first = false;
+  }
+  out += first ? "]\n" : "\n]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ExplainText(const DecisionRecord& record) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "routing decision for query %llu at t=%.3fs\n",
+                static_cast<unsigned long long>(record.query_id), record.at);
+  out += line;
+  out += "  sql: " + record.sql + "\n";
+  std::snprintf(line, sizeof(line),
+                "  balance=%s tolerance=%.0f%% rotation_counter=%llu "
+                "group={",
+                record.balance_level.c_str(), record.cost_tolerance * 100.0,
+                static_cast<unsigned long long>(record.rotation_counter));
+  out += line;
+  for (size_t i = 0; i < record.rotation_group.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(record.rotation_group[i]);
+  }
+  out += "}";
+  if (!record.workload_threshold_met) out += " (below workload threshold)";
+  out += "\n\n";
+
+  out +=
+      "  opt  servers           calibrated    raw        verdict\n"
+      "  ---  ----------------  ----------  ----------  -------\n";
+  for (const CandidatePlanRecord& c : record.candidates) {
+    std::snprintf(line, sizeof(line), "  %-3zu  %-16s  %10.4f  %10.4f  %s\n",
+                  c.option_index, c.server_set.c_str(),
+                  c.total_calibrated_seconds, c.total_raw_seconds,
+                  c.chosen ? "CHOSEN"
+                           : (c.rejection_reason.empty()
+                                  ? "rejected"
+                                  : c.rejection_reason.c_str()));
+    out += line;
+  }
+  if (record.candidates_truncated > 0) {
+    out += "  ... (" + std::to_string(record.candidates_truncated) +
+           " more candidates not retained)\n";
+  }
+
+  const CandidatePlanRecord* chosen = record.Chosen();
+  if (chosen != nullptr && !chosen->fragments.empty()) {
+    out += "\n  chosen plan fragments:\n";
+    for (const FragmentCostRecord& f : chosen->fragments) {
+      std::snprintf(line, sizeof(line),
+                    "    [%s] raw=%.4f calibrated=%.4f (x%.2f)\n",
+                    f.server_id.c_str(), f.raw_estimated_seconds,
+                    f.calibrated_seconds,
+                    f.raw_estimated_seconds > 0.0
+                        ? f.calibrated_seconds / f.raw_estimated_seconds
+                        : 0.0);
+      out += line;
+    }
+  }
+
+  if (!record.server_states.empty()) {
+    out += "\n  consulted server state:\n";
+    for (const ServerStateRecord& s : record.server_states) {
+      std::snprintf(line, sizeof(line),
+                    "    %-4s factor=%.3f (%zu samples) reliability=x%.2f "
+                    "%s breaker=%s\n",
+                    s.server_id.c_str(), s.calibration_factor,
+                    s.calibration_samples, s.reliability_multiplier,
+                    s.available ? "up" : "DOWN", s.breaker_state.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string TimelineText(const FlightRecorder& recorder,
+                         const std::string& server_id, size_t max_rows) {
+  struct Row {
+    SimTime t;
+    int order;  ///< metric index for stable secondary ordering
+    std::string text;
+  };
+  std::vector<Row> rows;
+  bool any = false;
+  for (size_t m = 0; m < kNumServerMetrics; ++m) {
+    const auto metric = static_cast<ServerMetric>(m);
+    const TimeSeriesRing* ring = recorder.Series(server_id, metric);
+    if (ring == nullptr) continue;
+    any = true;
+    for (size_t i = 0; i < ring->size(); ++i) {
+      const TimePoint& p = ring->at(i);
+      char line[128];
+      std::snprintf(line, sizeof(line), "%-24s %.4f",
+                    ServerMetricName(metric), p.value);
+      rows.push_back(Row{p.t, static_cast<int>(m), line});
+    }
+  }
+  for (const DriftEvent& e : recorder.drift_events()) {
+    if (e.server_id != server_id) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "DRIFT calibration factor %.3f -> %.3f (%+.0f%%)",
+                  e.reference, e.current,
+                  (e.current >= e.reference ? 1.0 : -1.0) *
+                      e.change_fraction * 100.0);
+    rows.push_back(Row{e.at, static_cast<int>(kNumServerMetrics), line});
+  }
+  if (!any && rows.empty()) {
+    return "  no samples recorded for server " + server_id + "\n";
+  }
+
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.t != b.t ? a.t < b.t : a.order < b.order;
+  });
+  size_t start = 0;
+  std::string out = "timeline for " + server_id + " (" +
+                    std::to_string(rows.size()) + " samples";
+  if (max_rows > 0 && rows.size() > max_rows) {
+    start = rows.size() - max_rows;
+    out += ", last " + std::to_string(max_rows);
+  }
+  out += ")\n";
+  for (size_t i = start; i < rows.size(); ++i) {
+    char line[224];
+    std::snprintf(line, sizeof(line), "  t=%10.3f  %s\n", rows[i].t,
+                  rows[i].text.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fedcal::obs

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+
+namespace fedcal::obs {
+
+/// Deterministic exporters for the flight recorder: JSON for machines,
+/// ASCII tables/timelines for shells. All output is derived from virtual
+/// time and stable container orderings, so two identical runs render
+/// byte-identical text.
+
+/// One decision as a JSON object (candidates, rotation outcome, consulted
+/// server state).
+std::string DecisionToJson(const DecisionRecord& record);
+
+/// Full recorder dump: decisions + per-server time series + drift events
+/// + notes.
+std::string RecorderToJson(const FlightRecorder& recorder);
+
+/// The `\explain` view: an ASCII table of every candidate plan (winner
+/// marked, losers with rejection reasons), the rotation outcome, and the
+/// consulted per-server state.
+std::string ExplainText(const DecisionRecord& record);
+
+/// The `\timeline <server>` view: one server's sampled signals merged
+/// into a single time-ordered ASCII timeline, drift events inlined.
+/// `max_rows` bounds the rendered tail (0 = everything retained).
+std::string TimelineText(const FlightRecorder& recorder,
+                         const std::string& server_id, size_t max_rows = 40);
+
+}  // namespace fedcal::obs

@@ -1,0 +1,143 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedcal::obs {
+
+void FlightRecorder::Record(DecisionRecord record) {
+  if (!config_.enabled) return;
+  ++total_recorded_;
+
+  // Enforce the per-decision candidate cap: options arrive cheapest first,
+  // so keep the head of the list and make sure the chosen plan survives.
+  const size_t cap = std::max<size_t>(1, config_.max_candidates_per_decision);
+  if (record.candidates.size() > cap) {
+    size_t chosen_pos = record.candidates.size();
+    for (size_t i = 0; i < record.candidates.size(); ++i) {
+      if (record.candidates[i].chosen) {
+        chosen_pos = i;
+        break;
+      }
+    }
+    record.candidates_truncated = record.candidates.size() - cap;
+    if (chosen_pos >= cap && chosen_pos < record.candidates.size()) {
+      record.candidates[cap - 1] = std::move(record.candidates[chosen_pos]);
+    }
+    record.candidates.resize(cap);
+  }
+
+  index_[record.query_id] = base_ + decisions_.size();
+  decisions_.push_back(std::move(record));
+
+  while (decisions_.size() > std::max<size_t>(1, config_.max_decisions)) {
+    const DecisionRecord& oldest = decisions_.front();
+    auto it = index_.find(oldest.query_id);
+    // Only drop the index entry when it still points at the evicted
+    // record (a recompile of the same query id may have superseded it).
+    if (it != index_.end() && it->second == base_) index_.erase(it);
+    decisions_.pop_front();
+    ++base_;
+  }
+}
+
+const DecisionRecord* FlightRecorder::Find(uint64_t query_id) const {
+  auto it = index_.find(query_id);
+  if (it == index_.end() || it->second < base_) return nullptr;
+  return &decisions_[it->second - base_];
+}
+
+const DecisionRecord* FlightRecorder::Latest() const {
+  return decisions_.empty() ? nullptr : &decisions_.back();
+}
+
+void FlightRecorder::Sample(const std::string& server_id, ServerMetric metric,
+                            SimTime t, double value) {
+  if (!config_.enabled) return;
+  auto it = series_.find(server_id);
+  if (it == series_.end()) {
+    SeriesArray fresh{
+        TimeSeriesRing(config_.timeseries_capacity),
+        TimeSeriesRing(config_.timeseries_capacity),
+        TimeSeriesRing(config_.timeseries_capacity),
+        TimeSeriesRing(config_.timeseries_capacity),
+        TimeSeriesRing(config_.timeseries_capacity),
+    };
+    it = series_.emplace(server_id, std::move(fresh)).first;
+  }
+  TimeSeriesRing& ring = it->second[static_cast<size_t>(metric)];
+  if (metric == ServerMetric::kCalibrationFactor) {
+    CheckDrift(server_id, ring, t, value);
+  }
+  ring.Append(t, value);
+}
+
+void FlightRecorder::CheckDrift(const std::string& server_id,
+                                const TimeSeriesRing& ring, SimTime t,
+                                double value) {
+  // Reference = oldest retained calibration sample inside the trailing
+  // window (before this append). Scan in place: this runs on every
+  // observation, so no per-sample allocation.
+  const SimTime from = t - config_.drift.window_seconds;
+  const TimePoint* oldest = nullptr;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const TimePoint& p = ring.at(i);
+    if (p.t >= from && p.t <= t) {
+      oldest = &p;
+      break;
+    }
+  }
+  if (oldest == nullptr) return;
+  const double reference = oldest->value;
+  const double denom = std::max(std::abs(reference), 1e-12);
+  const double change = std::abs(value - reference) / denom;
+  if (change <= config_.drift.threshold_fraction) return;
+  auto last = last_drift_at_.find(server_id);
+  if (last != last_drift_at_.end() &&
+      t - last->second < config_.drift.cooldown_seconds) {
+    return;
+  }
+  last_drift_at_[server_id] = t;
+  ++total_drift_events_;
+  drift_events_.push_back(DriftEvent{server_id, t, reference, value, change});
+  while (drift_events_.size() > std::max<size_t>(1, config_.max_events)) {
+    drift_events_.pop_front();
+  }
+}
+
+const TimeSeriesRing* FlightRecorder::Series(const std::string& server_id,
+                                             ServerMetric metric) const {
+  auto it = series_.find(server_id);
+  if (it == series_.end()) return nullptr;
+  const TimeSeriesRing& ring = it->second[static_cast<size_t>(metric)];
+  return ring.empty() ? nullptr : &ring;
+}
+
+std::vector<std::string> FlightRecorder::SampledServers() const {
+  std::vector<std::string> out;
+  for (const auto& [sid, rings] : series_) out.push_back(sid);
+  return out;
+}
+
+void FlightRecorder::AddNote(SimTime t, std::string source,
+                             std::string text) {
+  if (!config_.enabled) return;
+  notes_.push_back(RecorderNote{t, std::move(source), std::move(text)});
+  while (notes_.size() > std::max<size_t>(1, config_.max_events)) {
+    notes_.pop_front();
+  }
+}
+
+void FlightRecorder::Clear() {
+  decisions_.clear();
+  index_.clear();
+  base_ = 0;
+  total_recorded_ = 0;
+  series_.clear();
+  drift_events_.clear();
+  total_drift_events_ = 0;
+  last_drift_at_.clear();
+  notes_.clear();
+}
+
+}  // namespace fedcal::obs

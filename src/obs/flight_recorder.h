@@ -1,0 +1,181 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace fedcal::obs {
+
+/// \brief One fragment of one candidate plan, with its raw vs calibrated
+/// price — the numbers the optimizer actually ranked by.
+struct FragmentCostRecord {
+  std::string server_id;
+  size_t signature = 0;
+  double raw_estimated_seconds = 0.0;
+  double calibrated_seconds = 0.0;
+};
+
+/// \brief One candidate global plan as seen at plan-selection time —
+/// winner or loser. Losers carry the reason they were not executed, which
+/// is the answer to "why did query Q *not* go to server S?".
+struct CandidatePlanRecord {
+  size_t option_index = 0;       ///< position in the enumerated options
+  std::string server_set;        ///< "+"-joined sorted server ids
+  double total_calibrated_seconds = 0.0;
+  double total_raw_seconds = 0.0;
+  std::vector<FragmentCostRecord> fragments;
+  bool chosen = false;
+  bool in_rotation_group = false;
+  /// Empty for the winner; otherwise why this plan lost ("priced at
+  /// infinity", "exceeds tolerance", "rotation alternate", ...).
+  std::string rejection_reason;
+};
+
+/// \brief The QCC-side state consulted for one server while pricing a
+/// query: everything that turned raw estimates into calibrated costs.
+struct ServerStateRecord {
+  std::string server_id;
+  double calibration_factor = 1.0;
+  size_t calibration_samples = 0;
+  double reliability_multiplier = 1.0;
+  bool available = true;
+  std::string breaker_state = "closed";
+};
+
+/// \brief The full routing decision for one query: every candidate plan
+/// (not just the explain table's winner), the per-server calibration /
+/// reliability / availability / breaker state consulted, and the §4
+/// rotation outcome. Emitted at plan-selection time.
+struct DecisionRecord {
+  uint64_t query_id = 0;
+  std::string sql;
+  SimTime at = 0.0;
+
+  std::vector<CandidatePlanRecord> candidates;
+  /// Enumerated options beyond the recorder's per-decision cap (0 = all
+  /// candidates were retained).
+  size_t candidates_truncated = 0;
+  size_t chosen_index = 0;  ///< option_index of the executed plan
+
+  // -- §4 load-distribution outcome -------------------------------------
+  std::string balance_level;          ///< "none" | "fragment" | "global"
+  double cost_tolerance = 0.0;        ///< §4.1/§4.2 clustering tolerance
+  std::vector<size_t> rotation_group; ///< option indices deemed exchangeable
+  uint64_t rotation_counter = 0;      ///< round-robin position consumed
+  bool workload_threshold_met = true; ///< below it, rotation is skipped
+
+  std::vector<ServerStateRecord> server_states;
+
+  const CandidatePlanRecord* Chosen() const {
+    for (const auto& c : candidates) {
+      if (c.chosen) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief Free-form annotation from an advisory component (what-if
+/// enumerations, replica-advisor recommendations) that contextualizes
+/// nearby decisions.
+struct RecorderNote {
+  SimTime at = 0.0;
+  std::string source;  ///< "whatif", "replica_advisor", ...
+  std::string text;
+};
+
+/// \brief Boundedness knobs: every retention class is a ring.
+struct FlightRecorderConfig {
+  bool enabled = true;
+  /// DecisionRecords retained (oldest evicted beyond this).
+  size_t max_decisions = 512;
+  /// Candidate plans embedded per decision; the cheapest are kept and the
+  /// chosen plan is always retained.
+  size_t max_candidates_per_decision = 16;
+  /// Samples retained per (server, metric) ring.
+  size_t timeseries_capacity = 256;
+  /// Drift events and notes retained.
+  size_t max_events = 128;
+  DriftDetectorConfig drift;
+};
+
+/// \brief The routing flight recorder: decision-level explain plus
+/// per-server calibration time-series.
+///
+/// PR 2's tracer answers "what happened to query Q"; this answers "why
+/// did the router send it there" (losing candidates, consulted state) and
+/// "how did the router's beliefs evolve" (bounded time-series of the
+/// calibration, reliability, availability, and breaker signals, sampled
+/// on every QCC update in virtual time, with a drift detector on the
+/// calibration factor). All state is strictly bounded.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {})
+      : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  void set_enabled(bool on) { config_.enabled = on; }
+  const FlightRecorderConfig& config() const { return config_; }
+
+  // -- Decisions ---------------------------------------------------------
+
+  /// Appends one decision, truncating its candidate list to the cap
+  /// (chosen always kept) and evicting the oldest decision past
+  /// max_decisions. No-op while disabled.
+  void Record(DecisionRecord record);
+
+  const DecisionRecord* Find(uint64_t query_id) const;
+  const DecisionRecord* Latest() const;
+  const std::deque<DecisionRecord>& decisions() const { return decisions_; }
+  size_t size() const { return decisions_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  // -- Time series -------------------------------------------------------
+
+  /// Appends one sample; kCalibrationFactor samples additionally run the
+  /// drift detector. No-op while disabled.
+  void Sample(const std::string& server_id, ServerMetric metric, SimTime t,
+              double value);
+
+  /// nullptr when the (server, metric) pair has never been sampled.
+  const TimeSeriesRing* Series(const std::string& server_id,
+                               ServerMetric metric) const;
+  std::vector<std::string> SampledServers() const;
+
+  const std::deque<DriftEvent>& drift_events() const { return drift_events_; }
+  uint64_t total_drift_events() const { return total_drift_events_; }
+
+  // -- Notes -------------------------------------------------------------
+
+  void AddNote(SimTime t, std::string source, std::string text);
+  const std::deque<RecorderNote>& notes() const { return notes_; }
+
+  void Clear();
+
+ private:
+  using SeriesArray = std::array<TimeSeriesRing, kNumServerMetrics>;
+
+  void CheckDrift(const std::string& server_id, const TimeSeriesRing& ring,
+                  SimTime t, double value);
+
+  FlightRecorderConfig config_;
+
+  std::deque<DecisionRecord> decisions_;
+  std::unordered_map<uint64_t, size_t> index_;  ///< query_id -> pos + base_
+  size_t base_ = 0;  ///< decisions evicted from the front
+  uint64_t total_recorded_ = 0;
+
+  std::map<std::string, SeriesArray> series_;
+  std::deque<DriftEvent> drift_events_;
+  uint64_t total_drift_events_ = 0;
+  std::map<std::string, SimTime> last_drift_at_;
+
+  std::deque<RecorderNote> notes_;
+};
+
+}  // namespace fedcal::obs

@@ -1,13 +1,15 @@
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/observation.h"
 #include "obs/trace.h"
 
 namespace fedcal::obs {
 
-/// \brief The telemetry spine: one metrics registry plus one query
-/// tracer, shared by every layer of a federation.
+/// \brief The telemetry spine: one metrics registry, one query tracer,
+/// and one routing flight recorder, shared by every layer of a
+/// federation.
 ///
 /// A Scenario owns one Telemetry and injects it into the meta-wrapper,
 /// network, servers, and (through the meta-wrapper) the integrator and
@@ -19,6 +21,7 @@ struct Telemetry {
 
   MetricsRegistry metrics;
   Tracer tracer;
+  FlightRecorder recorder;
 };
 
 }  // namespace fedcal::obs

@@ -1,0 +1,48 @@
+#include "obs/timeseries.h"
+
+#include <cassert>
+
+namespace fedcal::obs {
+
+void TimeSeriesRing::Append(SimTime t, double value) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(TimePoint{t, value});
+  } else {
+    buf_[head_] = TimePoint{t, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++appended_;
+}
+
+const TimePoint& TimeSeriesRing::at(size_t i) const {
+  assert(i < buf_.size() && "TimeSeriesRing index out of range");
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+std::vector<TimePoint> TimeSeriesRing::Range(SimTime from, SimTime to) const {
+  std::vector<TimePoint> out;
+  for (size_t i = 0; i < size(); ++i) {
+    const TimePoint& p = at(i);
+    if (p.t >= from && p.t <= to) out.push_back(p);
+  }
+  return out;
+}
+
+void TimeSeriesRing::Clear() {
+  buf_.clear();
+  head_ = 0;
+  appended_ = 0;
+}
+
+const char* ServerMetricName(ServerMetric metric) {
+  switch (metric) {
+    case ServerMetric::kCalibrationFactor: return "calibration_factor";
+    case ServerMetric::kReliabilityMultiplier: return "reliability_multiplier";
+    case ServerMetric::kAvailability: return "availability";
+    case ServerMetric::kBreakerState: return "breaker_state";
+    case ServerMetric::kObservedRatio: return "observed_ratio";
+  }
+  return "unknown";
+}
+
+}  // namespace fedcal::obs

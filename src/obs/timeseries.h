@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fedcal::obs {
+
+/// \brief One (virtual time, value) sample of a per-server signal.
+struct TimePoint {
+  SimTime t = 0.0;
+  double value = 0.0;
+};
+
+/// \brief Fixed-capacity ring buffer of time-stamped samples.
+///
+/// The flight recorder keeps one ring per (server, metric); appends are
+/// O(1) and memory never grows past the configured capacity, so the
+/// recorder stays safe under the ROADMAP's heavy-traffic goal no matter
+/// how long a federation runs.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Append(SimTime t, double value);
+
+  size_t size() const { return buf_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return buf_.empty(); }
+  /// Lifetime append count — exceeds size() once the ring has wrapped.
+  uint64_t total_appended() const { return appended_; }
+
+  /// i-th retained sample, 0 = oldest.
+  const TimePoint& at(size_t i) const;
+  const TimePoint& latest() const { return at(size() - 1); }
+
+  /// Retained samples with t in [from, to], oldest first.
+  std::vector<TimePoint> Range(SimTime from, SimTime to) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<TimePoint> buf_;  ///< grows to capacity_, then wraps
+  size_t head_ = 0;             ///< index of the oldest sample once full
+  uint64_t appended_ = 0;
+};
+
+/// \brief The per-server signals the flight recorder samples on every QCC
+/// update. Values are doubles so one ring type serves all of them
+/// (booleans are 0/1, breaker states 0/1/2).
+enum class ServerMetric {
+  kCalibrationFactor,      ///< CalibrationStore::ServerFactor
+  kReliabilityMultiplier,  ///< ReliabilityTracker::CostMultiplier
+  kAvailability,           ///< 1 = up, 0 = down (§3.3 daemons)
+  kBreakerState,           ///< 0 closed, 1 half-open, 2 open
+  kObservedRatio,          ///< observed/estimated cost of the last fragment
+};
+
+inline constexpr size_t kNumServerMetrics = 5;
+const char* ServerMetricName(ServerMetric metric);
+
+/// \brief Drift-detector tuning: raise an event when the calibration
+/// factor moves more than `threshold_fraction` relative to the oldest
+/// sample inside the trailing `window_seconds`.
+struct DriftDetectorConfig {
+  double threshold_fraction = 0.5;
+  double window_seconds = 30.0;
+  /// Minimum virtual-time gap between two events for the same server, so
+  /// a sustained swing raises one event, not one per sample.
+  double cooldown_seconds = 10.0;
+};
+
+/// \brief Typed event: a server's calibration factor moved sharply — the
+/// signal that routing is about to shift (load spike, recovery, flap).
+struct DriftEvent {
+  std::string server_id;
+  SimTime at = 0.0;
+  double reference = 0.0;  ///< factor at the start of the window
+  double current = 0.0;    ///< factor that triggered the event
+  double change_fraction = 0.0;  ///< |current - reference| / reference
+};
+
+}  // namespace fedcal::obs

@@ -87,6 +87,9 @@ class Tracer {
  public:
   explicit Tracer(const Simulator* sim) : sim_(sim) {}
 
+  /// The virtual clock this tracer stamps from (may be null in tests).
+  const Simulator* sim() const { return sim_; }
+
   /// Opens the root span for a query. Reuses the existing trace if some
   /// layer already touched this query id.
   uint64_t BeginQuery(uint64_t query_id, const std::string& sql);

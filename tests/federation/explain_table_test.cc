@@ -1,0 +1,92 @@
+#include "federation/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fedcal {
+namespace {
+
+ExplainEntry MakeEntry(uint64_t query_id, double cost = 1.0) {
+  ExplainEntry e;
+  e.query_id = query_id;
+  e.sql = "SELECT " + std::to_string(query_id);
+  e.total_estimated_seconds = cost;
+  return e;
+}
+
+TEST(ExplainTableTest, FindIsIndexedByQueryId) {
+  ExplainTable table;
+  table.Put(MakeEntry(7));
+  table.Put(MakeEntry(9));
+  ASSERT_NE(table.Find(7), nullptr);
+  EXPECT_EQ(table.Find(7)->query_id, 7u);
+  EXPECT_EQ(table.Find(8), nullptr);
+  ASSERT_NE(table.Latest(), nullptr);
+  EXPECT_EQ(table.Latest()->query_id, 9u);
+}
+
+TEST(ExplainTableTest, GrowthIsBoundedByCapacity) {
+  ExplainTable table(/*capacity=*/32);
+  for (uint64_t q = 1; q <= 10'000; ++q) table.Put(MakeEntry(q));
+  EXPECT_EQ(table.size(), 32u);
+  EXPECT_EQ(table.capacity(), 32u);
+  EXPECT_EQ(table.total_recorded(), 10'000u);
+  // The oldest rows (and their index entries) are gone; the newest
+  // `capacity` rows remain findable.
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_EQ(table.Find(9'968), nullptr);
+  ASSERT_NE(table.Find(9'969), nullptr);
+  ASSERT_NE(table.Find(10'000), nullptr);
+  EXPECT_EQ(table.entries().front().query_id, 9'969u);
+}
+
+TEST(ExplainTableTest, RecompileSupersedesOlderRowForSameId) {
+  ExplainTable table(/*capacity=*/4);
+  table.Put(MakeEntry(5, 1.0));
+  table.Put(MakeEntry(6, 1.0));
+  table.Put(MakeEntry(5, 2.0));  // recompile of query 5
+  ASSERT_NE(table.Find(5), nullptr);
+  EXPECT_DOUBLE_EQ(table.Find(5)->total_estimated_seconds, 2.0);
+  // Evicting the stale older row must not orphan the newer one's index.
+  table.Put(MakeEntry(7, 1.0));
+  table.Put(MakeEntry(8, 1.0));
+  ASSERT_NE(table.Find(5), nullptr);
+  EXPECT_DOUBLE_EQ(table.Find(5)->total_estimated_seconds, 2.0);
+}
+
+TEST(ExplainTableTest, SetCapacityShrinksRetainedRows) {
+  ExplainTable table(/*capacity=*/16);
+  for (uint64_t q = 1; q <= 16; ++q) table.Put(MakeEntry(q));
+  table.set_capacity(4);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.Find(12), nullptr);
+  ASSERT_NE(table.Find(13), nullptr);
+  ASSERT_NE(table.Find(16), nullptr);
+}
+
+TEST(ExplainTableTest, ZeroCapacityClampsToOne) {
+  ExplainTable table(/*capacity=*/0);
+  EXPECT_EQ(table.capacity(), 1u);
+  table.Put(MakeEntry(1));
+  table.Put(MakeEntry(2));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(1), nullptr);
+  ASSERT_NE(table.Find(2), nullptr);
+}
+
+TEST(ExplainTableTest, ClearEmptiesTableAndIndex) {
+  ExplainTable table;
+  table.Put(MakeEntry(1));
+  table.Put(MakeEntry(2));
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.total_recorded(), 0u);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_EQ(table.Latest(), nullptr);
+  table.Put(MakeEntry(3));
+  ASSERT_NE(table.Find(3), nullptr);
+}
+
+}  // namespace
+}  // namespace fedcal

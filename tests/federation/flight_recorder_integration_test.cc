@@ -1,0 +1,232 @@
+// End-to-end tests of the routing flight recorder under adversity: the
+// recorder's decision-level story must agree with the tracer's span-level
+// story while retries, hedges, breaker trips and availability flaps are
+// all in play, and its state must stay bounded and deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/export.h"
+#include "sim/fault_injector.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+/// The server set of the first attempt span of a query, as the tracer saw
+/// it: attempt spans carry attr "plan" = "[S1+S2] calibrated=... raw=...".
+std::string FirstAttemptServers(const obs::Tracer& tracer,
+                                uint64_t query_id) {
+  const obs::QueryTrace* trace = tracer.Find(query_id);
+  if (trace == nullptr) return "";
+  for (const auto& span : trace->spans) {
+    if (span.kind != obs::SpanKind::kAttempt) continue;
+    const std::string plan = span.Attr("plan");
+    const size_t open = plan.find('[');
+    const size_t close = plan.find(']');
+    if (open == std::string::npos || close == std::string::npos) return plan;
+    return plan.substr(open + 1, close - open - 1);
+  }
+  return "";
+}
+
+TEST(FlightRecorderIntegrationTest, DecisionMatchesTraceAttemptSpans) {
+  Scenario sc(TinyConfig());
+  sc.qcc().AttachTo(&sc.integrator());
+  for (int i = 0; i < 6; ++i) {
+    auto outcome =
+        sc.integrator().RunSync(sc.MakeQueryInstance(QueryType::kQT1, i));
+    ASSERT_OK(outcome.status());
+    const obs::DecisionRecord* d =
+        sc.telemetry().recorder.Find(outcome->query_id);
+    ASSERT_NE(d, nullptr) << "no decision for query " << outcome->query_id;
+    const obs::CandidatePlanRecord* chosen = d->Chosen();
+    ASSERT_NE(chosen, nullptr);
+    // What the router says it decided is what the executor then did.
+    EXPECT_EQ(chosen->server_set,
+              FirstAttemptServers(sc.telemetry().tracer, outcome->query_id));
+    EXPECT_EQ(chosen->option_index, d->chosen_index);
+    // The explain view answers "why not elsewhere": at least one loser
+    // with a calibrated cost and a rejection reason.
+    ASSERT_GE(d->candidates.size(), 2u);
+    bool loser_with_reason = false;
+    for (const auto& c : d->candidates) {
+      if (!c.chosen && !c.rejection_reason.empty() &&
+          c.total_calibrated_seconds > 0.0) {
+        loser_with_reason = true;
+      }
+    }
+    EXPECT_TRUE(loser_with_reason);
+  }
+}
+
+TEST(FlightRecorderIntegrationTest, AdversityScenarioIsFullyRecorded) {
+  // Retries + hedging + breaker trips + an availability flap, all at
+  // once; the recorder must capture the routing consequences of each.
+  Scenario sc(TinyConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_hedging = true;
+  QccConfig qcc_cfg;
+  qcc_cfg.breaker.failure_threshold = 3;
+  qcc_cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  qcc_cfg.enable_reliability = false;  // isolate the breaker, as elsewhere
+  QueryCostCalibrator& qcc = sc.qcc(qcc_cfg);
+  qcc.AttachTo(&sc.integrator());
+
+  // Phase 1: S3 errors on every fragment -> retries, then an open breaker.
+  sc.server("S3").set_error_rate(1.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(sc.integrator()
+                  .RunSync(sc.MakeQueryInstance(QueryType::kQT1, i))
+                  .status());
+  }
+  ASSERT_TRUE(qcc.breakers().IsOpen("S3", sc.sim().Now()));
+
+  // The breaker trip is in S3's time series (closed=0 ... open=2).
+  const obs::TimeSeriesRing* breaker =
+      sc.telemetry().recorder.Series("S3", obs::ServerMetric::kBreakerState);
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_DOUBLE_EQ(breaker->latest().value, 2.0);
+
+  // With S3 priced at infinity, the next decision shows it rejected for
+  // exactly that reason while the winner routes elsewhere.
+  auto outcome =
+      sc.integrator().RunSync(sc.MakeQueryInstance(QueryType::kQT1, 10));
+  ASSERT_OK(outcome.status());
+  const obs::DecisionRecord* d =
+      sc.telemetry().recorder.Find(outcome->query_id);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->Chosen()->server_set, "S3");
+  bool s3_priced_out = false;
+  for (const auto& c : d->candidates) {
+    if (c.server_set == "S3") {
+      EXPECT_TRUE(std::isinf(c.total_calibrated_seconds));
+      EXPECT_NE(c.rejection_reason.find("infinity"), std::string::npos)
+          << c.rejection_reason;
+      s3_priced_out = true;
+    }
+  }
+  EXPECT_TRUE(s3_priced_out);
+  // The consulted state snapshot names the open breaker.
+  bool s3_state_seen = false;
+  for (const auto& s : d->server_states) {
+    if (s.server_id == "S3") {
+      EXPECT_EQ(s.breaker_state, "open");
+      s3_state_seen = true;
+    }
+  }
+  EXPECT_TRUE(s3_state_seen);
+
+  // Phase 2: availability flap on S1 while S3 recovers.
+  sc.server("S3").set_error_rate(0.0);
+  sc.server("S1").SetAvailable(false);
+  sc.sim().RunUntil(sc.sim().Now() + 30.0);
+  sc.server("S1").SetAvailable(true);
+  // Adaptive probing backs off to 60 s on stable servers; run two full
+  // max periods so the recovery probe definitely lands.
+  sc.sim().RunUntil(sc.sim().Now() + 130.0);
+
+  // The daemons observed the flap: S1's availability series dipped to 0
+  // and recovered to 1.
+  const obs::TimeSeriesRing* avail =
+      sc.telemetry().recorder.Series("S1", obs::ServerMetric::kAvailability);
+  ASSERT_NE(avail, nullptr);
+  bool saw_down = false;
+  for (size_t i = 0; i < avail->size(); ++i) {
+    if (avail->at(i).value == 0.0) saw_down = true;
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_DOUBLE_EQ(avail->latest().value, 1.0);
+
+  // Phase 3: the trace story and the recorder story still agree after
+  // all of it, including across a retried query.
+  auto final_outcome =
+      sc.integrator().RunSync(sc.MakeQueryInstance(QueryType::kQT1, 20));
+  ASSERT_OK(final_outcome.status());
+  const obs::DecisionRecord* final_d =
+      sc.telemetry().recorder.Find(final_outcome->query_id);
+  ASSERT_NE(final_d, nullptr);
+  EXPECT_EQ(
+      final_d->Chosen()->server_set,
+      FirstAttemptServers(sc.telemetry().tracer, final_outcome->query_id));
+
+  // The timeline view renders S3's whole episode without touching the
+  // recorder's bounds.
+  const std::string timeline =
+      obs::TimelineText(sc.telemetry().recorder, "S3", /*max_rows=*/0);
+  EXPECT_NE(timeline.find("breaker_state"), std::string::npos);
+}
+
+TEST(FlightRecorderIntegrationTest, ExplainIsDeterministicAcrossRuns) {
+  auto run = [] {
+    Scenario sc(TinyConfig());
+    sc.qcc().AttachTo(&sc.integrator());
+    WorkloadRunner runner(&sc);
+    sc.ApplyPhase(1);
+    runner.ExplorationPass();
+    sc.server("S3").set_background_load(0.6);
+    runner.ExplorationPass();
+    std::string out;
+    for (const auto& d : sc.telemetry().recorder.decisions()) {
+      out += obs::ExplainText(d);
+      out += obs::DecisionToJson(d);
+    }
+    out += obs::TimelineText(sc.telemetry().recorder, "S3");
+    return out;
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FlightRecorderIntegrationTest, RecorderStaysBoundedUnderQccWorkload) {
+  // Drive >=10k plan selections + observations through the real QCC
+  // entry points and verify nothing grows past its ring.
+  Scenario sc(TinyConfig());
+  QueryCostCalibrator& qcc = sc.qcc();
+  qcc.AttachTo(&sc.integrator());
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  ASSERT_GE(compiled->options.size(), 2u);
+  for (uint64_t q = 1; q <= 10'000; ++q) {
+    const size_t chosen =
+        qcc.SelectPlan(q, "SELECT 1", compiled->options);
+    const auto& frag =
+        compiled->options[chosen].fragment_choices.front();
+    qcc.RecordFragmentObservation(frag.wrapper_plan.server_id,
+                                  frag.wrapper_plan.signature,
+                                  frag.cost.raw_estimated_seconds,
+                                  frag.cost.raw_estimated_seconds * 1.1);
+  }
+  const obs::FlightRecorder& rec = sc.telemetry().recorder;
+  EXPECT_EQ(rec.total_recorded(), 10'000u + 1u);  // + the Compile above
+  EXPECT_LE(rec.size(), rec.config().max_decisions);
+  for (const auto& sid : rec.SampledServers()) {
+    for (size_t m = 0; m < obs::kNumServerMetrics; ++m) {
+      const obs::TimeSeriesRing* ring =
+          rec.Series(sid, static_cast<obs::ServerMetric>(m));
+      if (ring != nullptr) {
+        EXPECT_LE(ring->size(), rec.config().timeseries_capacity);
+      }
+    }
+  }
+  EXPECT_LE(rec.drift_events().size(), rec.config().max_events);
+  EXPECT_LE(rec.notes().size(), rec.config().max_events);
+}
+
+}  // namespace
+}  // namespace fedcal

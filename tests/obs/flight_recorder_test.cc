@@ -1,0 +1,255 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+
+namespace fedcal::obs {
+namespace {
+
+DecisionRecord MakeDecision(uint64_t query_id, size_t candidates = 3,
+                            size_t chosen = 0) {
+  DecisionRecord d;
+  d.query_id = query_id;
+  d.sql = "SELECT * FROM employee";
+  d.at = static_cast<SimTime>(query_id) * 0.25;
+  d.balance_level = "global";
+  d.cost_tolerance = 0.2;
+  d.chosen_index = chosen;
+  for (size_t i = 0; i < candidates; ++i) {
+    CandidatePlanRecord c;
+    c.option_index = i;
+    c.server_set = "S" + std::to_string(i + 1);
+    c.total_calibrated_seconds = 0.1 * static_cast<double>(i + 1);
+    c.total_raw_seconds = 0.1;
+    c.chosen = (i == chosen);
+    if (!c.chosen) c.rejection_reason = "calibrated cost exceeds tolerance";
+    FragmentCostRecord f;
+    f.server_id = c.server_set;
+    f.signature = 7;
+    f.raw_estimated_seconds = 0.1;
+    f.calibrated_seconds = c.total_calibrated_seconds;
+    c.fragments.push_back(f);
+    d.candidates.push_back(std::move(c));
+  }
+  return d;
+}
+
+TEST(FlightRecorderTest, FindAndLatestByQueryId) {
+  FlightRecorder rec;
+  rec.Record(MakeDecision(10));
+  rec.Record(MakeDecision(11));
+  rec.Record(MakeDecision(12));
+  ASSERT_NE(rec.Find(11), nullptr);
+  EXPECT_EQ(rec.Find(11)->query_id, 11u);
+  EXPECT_EQ(rec.Find(999), nullptr);
+  ASSERT_NE(rec.Latest(), nullptr);
+  EXPECT_EQ(rec.Latest()->query_id, 12u);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total_recorded(), 3u);
+}
+
+TEST(FlightRecorderTest, DecisionsAreBoundedAndOldestEvicted) {
+  FlightRecorderConfig cfg;
+  cfg.max_decisions = 8;
+  FlightRecorder rec(cfg);
+  for (uint64_t q = 1; q <= 100; ++q) rec.Record(MakeDecision(q));
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 100u);
+  EXPECT_EQ(rec.Find(1), nullptr);   // evicted
+  EXPECT_EQ(rec.Find(92), nullptr);  // evicted
+  ASSERT_NE(rec.Find(93), nullptr);  // oldest retained
+  ASSERT_NE(rec.Find(100), nullptr);
+  EXPECT_EQ(rec.Latest()->query_id, 100u);
+}
+
+TEST(FlightRecorderTest, RecompileOfSameQueryIdSupersedesAndSurvivesEviction) {
+  FlightRecorderConfig cfg;
+  cfg.max_decisions = 4;
+  FlightRecorder rec(cfg);
+  rec.Record(MakeDecision(5, /*candidates=*/3, /*chosen=*/0));
+  for (uint64_t q = 6; q <= 8; ++q) rec.Record(MakeDecision(q));
+  // Re-record query 5 (a recompile), then push the *old* row for 5 out.
+  rec.Record(MakeDecision(5, /*candidates=*/3, /*chosen=*/1));
+  rec.Record(MakeDecision(9));
+  const DecisionRecord* d = rec.Find(5);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->chosen_index, 1u);  // the newer record won
+}
+
+TEST(FlightRecorderTest, CandidateListTruncationAlwaysKeepsChosen) {
+  FlightRecorderConfig cfg;
+  cfg.max_candidates_per_decision = 4;
+  FlightRecorder rec(cfg);
+  // Chosen plan sits past the cap (a rotation alternate, say).
+  rec.Record(MakeDecision(1, /*candidates=*/10, /*chosen=*/7));
+  const DecisionRecord* d = rec.Find(1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->candidates.size(), 4u);
+  EXPECT_EQ(d->candidates_truncated, 6u);
+  const CandidatePlanRecord* chosen = d->Chosen();
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->option_index, 7u);
+  // The cheapest candidates are still the head of the retained list.
+  EXPECT_EQ(d->candidates[0].option_index, 0u);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorderConfig cfg;
+  cfg.enabled = false;
+  FlightRecorder rec(cfg);
+  rec.Record(MakeDecision(1));
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 1.0, 2.0);
+  rec.AddNote(1.0, "test", "ignored");
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.Series("S1", ServerMetric::kCalibrationFactor), nullptr);
+  EXPECT_TRUE(rec.notes().empty());
+}
+
+TEST(FlightRecorderTest, MemoryStaysBoundedUnderTenThousandQueries) {
+  // The acceptance bar: a >=10k-query workload must not grow recorder
+  // state past its configured rings.
+  FlightRecorderConfig cfg;
+  cfg.max_decisions = 64;
+  cfg.timeseries_capacity = 32;
+  cfg.max_events = 16;
+  FlightRecorder rec(cfg);
+  for (uint64_t q = 1; q <= 10'000; ++q) {
+    rec.Record(MakeDecision(q, /*candidates=*/4));
+    const SimTime t = static_cast<SimTime>(q) * 0.01;
+    const std::string sid = "S" + std::to_string(q % 3 + 1);
+    rec.Sample(sid, ServerMetric::kCalibrationFactor, t,
+               1.0 + 0.1 * static_cast<double>(q % 7));
+    rec.Sample(sid, ServerMetric::kObservedRatio, t, 1.0);
+    rec.AddNote(t, "load", "note " + std::to_string(q));
+  }
+  EXPECT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.total_recorded(), 10'000u);
+  for (const auto& sid : rec.SampledServers()) {
+    for (size_t m = 0; m < kNumServerMetrics; ++m) {
+      const TimeSeriesRing* ring =
+          rec.Series(sid, static_cast<ServerMetric>(m));
+      if (ring != nullptr) {
+        EXPECT_LE(ring->size(), 32u) << sid;
+      }
+    }
+  }
+  EXPECT_EQ(rec.SampledServers().size(), 3u);
+  EXPECT_LE(rec.notes().size(), 16u);
+  EXPECT_LE(rec.drift_events().size(), 16u);
+}
+
+TEST(FlightRecorderTest, DriftDetectorFiresOnSharpFactorMove) {
+  FlightRecorderConfig cfg;
+  cfg.drift.threshold_fraction = 0.5;
+  cfg.drift.window_seconds = 30.0;
+  cfg.drift.cooldown_seconds = 10.0;
+  FlightRecorder rec(cfg);
+  // Stable factor: no events.
+  for (int i = 0; i < 5; ++i) {
+    rec.Sample("S3", ServerMetric::kCalibrationFactor, i * 1.0, 1.0);
+  }
+  EXPECT_EQ(rec.total_drift_events(), 0u);
+  // Load spike: the factor triples inside the window.
+  rec.Sample("S3", ServerMetric::kCalibrationFactor, 5.0, 3.0);
+  ASSERT_EQ(rec.total_drift_events(), 1u);
+  const DriftEvent& ev = rec.drift_events().back();
+  EXPECT_EQ(ev.server_id, "S3");
+  EXPECT_DOUBLE_EQ(ev.reference, 1.0);
+  EXPECT_DOUBLE_EQ(ev.current, 3.0);
+  EXPECT_DOUBLE_EQ(ev.change_fraction, 2.0);
+}
+
+TEST(FlightRecorderTest, DriftCooldownCollapsesSustainedSwings) {
+  FlightRecorderConfig cfg;
+  cfg.drift.threshold_fraction = 0.5;
+  cfg.drift.window_seconds = 100.0;
+  cfg.drift.cooldown_seconds = 10.0;
+  FlightRecorder rec(cfg);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 0.0, 1.0);
+  // A sustained spike: every sample is drifted vs the window start, but
+  // the cooldown admits one event per 10 virtual seconds.
+  for (int i = 1; i <= 9; ++i) {
+    rec.Sample("S1", ServerMetric::kCalibrationFactor, i * 1.0, 5.0);
+  }
+  EXPECT_EQ(rec.total_drift_events(), 1u);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 11.0, 5.0);
+  EXPECT_EQ(rec.total_drift_events(), 2u);
+}
+
+TEST(FlightRecorderTest, DriftIgnoresSamplesOutsideWindow) {
+  FlightRecorderConfig cfg;
+  cfg.drift.threshold_fraction = 0.5;
+  cfg.drift.window_seconds = 5.0;
+  FlightRecorder rec(cfg);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 0.0, 1.0);
+  // The only reference sample has aged out of the trailing window: a big
+  // move is a slow drift, not a spike, and raises nothing.
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 100.0, 4.0);
+  EXPECT_EQ(rec.total_drift_events(), 0u);
+}
+
+TEST(FlightRecorderTest, ExplainTextListsWinnerAndLosersWithReasons) {
+  FlightRecorder rec;
+  rec.Record(MakeDecision(42, /*candidates=*/3, /*chosen=*/0));
+  const DecisionRecord* d = rec.Find(42);
+  ASSERT_NE(d, nullptr);
+  const std::string text = ExplainText(*d);
+  EXPECT_NE(text.find("query 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("CHOSEN"), std::string::npos) << text;
+  EXPECT_NE(text.find("calibrated cost exceeds tolerance"),
+            std::string::npos)
+      << text;
+  // All three candidates are rendered, not just the winner.
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("S2"), std::string::npos);
+  EXPECT_NE(text.find("S3"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ExportsAreDeterministic) {
+  auto build = [] {
+    FlightRecorder rec;
+    for (uint64_t q = 1; q <= 5; ++q) rec.Record(MakeDecision(q));
+    for (int i = 0; i < 12; ++i) {
+      rec.Sample("S2", ServerMetric::kCalibrationFactor, i * 0.5,
+                 1.0 + (i >= 6 ? 2.0 : 0.0));
+      rec.Sample("S2", ServerMetric::kAvailability, i * 0.5, 1.0);
+    }
+    rec.AddNote(3.0, "whatif", "enumerated 4 alternative plans");
+    return rec;
+  };
+  const FlightRecorder a = build();
+  const FlightRecorder b = build();
+  EXPECT_EQ(RecorderToJson(a), RecorderToJson(b));
+  EXPECT_EQ(ExplainText(*a.Latest()), ExplainText(*b.Latest()));
+  EXPECT_EQ(TimelineText(a, "S2"), TimelineText(b, "S2"));
+  // The timeline carries the drift marker raised by the step at t=3.
+  EXPECT_NE(TimelineText(a, "S2").find("DRIFT"), std::string::npos);
+  // And the JSON dump covers every retention class.
+  const std::string json = RecorderToJson(a);
+  EXPECT_NE(json.find("\"decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"drift_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"notes\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearResetsAllRetentionClasses) {
+  FlightRecorder rec;
+  rec.Record(MakeDecision(1));
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 0.0, 1.0);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 1.0, 9.0);
+  rec.AddNote(1.0, "x", "y");
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.SampledServers().empty());
+  EXPECT_EQ(rec.total_drift_events(), 0u);
+  EXPECT_TRUE(rec.notes().empty());
+  EXPECT_EQ(rec.Latest(), nullptr);
+}
+
+}  // namespace
+}  // namespace fedcal::obs

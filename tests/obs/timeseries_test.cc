@@ -1,0 +1,94 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal::obs {
+namespace {
+
+TEST(TimeSeriesRingTest, FillsToCapacityThenWraps) {
+  TimeSeriesRing ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) ring.Append(static_cast<SimTime>(i), i * 10.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 4u);
+  EXPECT_DOUBLE_EQ(ring.at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(ring.latest().value, 30.0);
+
+  // Two more samples overwrite the two oldest; order stays oldest-first.
+  ring.Append(4.0, 40.0);
+  ring.Append(5.0, 50.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 6u);
+  EXPECT_DOUBLE_EQ(ring.at(0).value, 20.0);
+  EXPECT_DOUBLE_EQ(ring.at(1).value, 30.0);
+  EXPECT_DOUBLE_EQ(ring.at(2).value, 40.0);
+  EXPECT_DOUBLE_EQ(ring.latest().value, 50.0);
+}
+
+TEST(TimeSeriesRingTest, MemoryStaysBoundedUnderLongAppendStream) {
+  TimeSeriesRing ring(16);
+  for (int i = 0; i < 10'000; ++i) {
+    ring.Append(static_cast<SimTime>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.size(), 16u);
+  EXPECT_EQ(ring.capacity(), 16u);
+  EXPECT_EQ(ring.total_appended(), 10'000u);
+  // The retained window is exactly the 16 newest samples.
+  EXPECT_DOUBLE_EQ(ring.at(0).value, 9984.0);
+  EXPECT_DOUBLE_EQ(ring.latest().value, 9999.0);
+}
+
+TEST(TimeSeriesRingTest, RangeFiltersByVirtualTime) {
+  TimeSeriesRing ring(8);
+  for (int i = 0; i < 8; ++i) ring.Append(static_cast<SimTime>(i), i * 1.0);
+  const auto window = ring.Range(2.0, 5.0);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window.front().t, 2.0);
+  EXPECT_DOUBLE_EQ(window.back().t, 5.0);
+  EXPECT_TRUE(ring.Range(100.0, 200.0).empty());
+}
+
+TEST(TimeSeriesRingTest, RangeSurvivesWraparound) {
+  TimeSeriesRing ring(4);
+  for (int i = 0; i < 10; ++i) ring.Append(static_cast<SimTime>(i), i * 1.0);
+  // Retained: t = 6..9. A window straddling the evicted region only
+  // returns what is actually retained.
+  const auto window = ring.Range(0.0, 7.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window.front().t, 6.0);
+  EXPECT_DOUBLE_EQ(window.back().t, 7.0);
+}
+
+TEST(TimeSeriesRingTest, ZeroCapacityClampsToOne) {
+  TimeSeriesRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Append(1.0, 1.0);
+  ring.Append(2.0, 2.0);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_DOUBLE_EQ(ring.latest().value, 2.0);
+}
+
+TEST(TimeSeriesRingTest, ClearResetsEverything) {
+  TimeSeriesRing ring(4);
+  for (int i = 0; i < 6; ++i) ring.Append(static_cast<SimTime>(i), 1.0);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.total_appended(), 0u);
+  ring.Append(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(ring.latest().value, 7.0);
+}
+
+TEST(ServerMetricTest, EveryMetricHasAName) {
+  EXPECT_STREQ(ServerMetricName(ServerMetric::kCalibrationFactor),
+               "calibration_factor");
+  EXPECT_STREQ(ServerMetricName(ServerMetric::kReliabilityMultiplier),
+               "reliability_multiplier");
+  EXPECT_STREQ(ServerMetricName(ServerMetric::kAvailability), "availability");
+  EXPECT_STREQ(ServerMetricName(ServerMetric::kBreakerState),
+               "breaker_state");
+  EXPECT_STREQ(ServerMetricName(ServerMetric::kObservedRatio),
+               "observed_ratio");
+}
+
+}  // namespace
+}  // namespace fedcal::obs

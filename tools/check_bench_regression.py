@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh BENCH_<name>.json output against the
+committed baselines in bench/baselines/.
+
+Every bench harness writes a machine-readable BENCH_<name>.json (see
+bench/bench_util.h). The simulation harnesses are deterministic in virtual
+time, so their metrics are compared with a tight relative tolerance. The
+google-benchmark micro harnesses report wall-clock ns/op, which varies
+across machines; those metrics are only required to exist, be positive,
+and stay within a generous multiplier of the baseline.
+
+Usage:
+  tools/check_bench_regression.py --fresh-dir <dir> [--baseline-dir bench/baselines]
+
+Exit code 0 when every bench matches its baseline, 1 otherwise (with a
+per-violation report on stdout).
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+# Relative tolerance for deterministic (virtual-time) metrics. Slack is
+# intentional: legitimate PRs shift simulated latencies a little (a new
+# telemetry sample, a changed probe schedule); the gate is after routing
+# regressions, not byte equality.
+DETERMINISTIC_REL_TOL = 0.15
+
+# Deterministic metrics that must match *exactly* (counts of discrete
+# events drifting at all means behaviour changed).
+EXACT_FIELDS = {"queries"}
+
+# Absolute slack for deterministic metrics whose baseline is ~0 (retries,
+# timeouts, hedges on a healthy run): allow a handful before failing.
+NEAR_ZERO_ABS_TOL = 2.0
+
+# Wall-clock metrics (label suffix): must exist and be positive; flagged
+# only past a generous multiplier so a slower CI machine never trips it,
+# while an accidentally quadratic hot path still does.
+WALL_CLOCK_SUFFIX = "/real_time_per_iter_s"
+WALL_CLOCK_MAX_RATIO = 25.0
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fields_of(workload):
+    return {k: v for k, v in workload.items() if k != "label"}
+
+
+def check_deterministic(bench, where, key, base, fresh, problems):
+    if key in EXACT_FIELDS:
+        if fresh != base:
+            problems.append(
+                f"{bench}: {where}.{key} = {fresh}, baseline {base} "
+                f"(exact-match metric)")
+        return
+    if not math.isfinite(base) or not math.isfinite(fresh):
+        if repr(base) != repr(fresh):
+            problems.append(
+                f"{bench}: {where}.{key} = {fresh}, baseline {base}")
+        return
+    if abs(base) < 1e-9:
+        if abs(fresh) > NEAR_ZERO_ABS_TOL:
+            problems.append(
+                f"{bench}: {where}.{key} = {fresh}, baseline ~0 "
+                f"(allowed +/-{NEAR_ZERO_ABS_TOL})")
+        return
+    rel = abs(fresh - base) / abs(base)
+    if rel > DETERMINISTIC_REL_TOL:
+        problems.append(
+            f"{bench}: {where}.{key} = {fresh:.6g}, baseline {base:.6g} "
+            f"({rel * 100.0:.1f}% off, tolerance "
+            f"{DETERMINISTIC_REL_TOL * 100.0:.0f}%)")
+
+
+def check_wall_clock(bench, label, base, fresh, problems):
+    if fresh <= 0.0:
+        problems.append(f"{bench}: scalar '{label}' = {fresh} (must be > 0)")
+        return
+    if base > 0.0 and fresh > base * WALL_CLOCK_MAX_RATIO:
+        problems.append(
+            f"{bench}: scalar '{label}' = {fresh:.3g}s/iter, baseline "
+            f"{base:.3g}s/iter (> {WALL_CLOCK_MAX_RATIO:.0f}x slower)")
+
+
+def compare(bench, baseline, fresh, problems):
+    # 1. Shape checks: every named check in the baseline must still exist
+    # and pass. New checks in fresh output are fine (a growing suite).
+    fresh_checks = {c["name"]: c["pass"] for c in fresh.get("checks", [])}
+    for check in baseline.get("checks", []):
+        name = check["name"]
+        if name not in fresh_checks:
+            problems.append(f"{bench}: shape check '{name}' disappeared")
+        elif not fresh_checks[name]:
+            problems.append(f"{bench}: shape check '{name}' now FAILS")
+    if fresh.get("failed", 0) != 0:
+        problems.append(f"{bench}: {fresh['failed']} shape check(s) failing")
+
+    # 2. Workload metrics, matched by label.
+    fresh_workloads = {w["label"]: w for w in fresh.get("workloads", [])}
+    for workload in baseline.get("workloads", []):
+        label = workload["label"]
+        if label not in fresh_workloads:
+            problems.append(f"{bench}: workload '{label}' disappeared")
+            continue
+        fresh_fields = fields_of(fresh_workloads[label])
+        for key, base_value in fields_of(workload).items():
+            if key not in fresh_fields:
+                problems.append(
+                    f"{bench}: workload '{label}' lost metric '{key}'")
+                continue
+            check_deterministic(bench, f"workload '{label}'", key,
+                                base_value, fresh_fields[key], problems)
+
+    # 3. Scalars, matched by label; wall-clock ones get the loose rule.
+    fresh_scalars = {s["label"]: s["value"] for s in fresh.get("scalars", [])}
+    for scalar in baseline.get("scalars", []):
+        label, base_value = scalar["label"], scalar["value"]
+        if label not in fresh_scalars:
+            problems.append(f"{bench}: scalar '{label}' disappeared")
+            continue
+        fresh_value = fresh_scalars[label]
+        if label.endswith(WALL_CLOCK_SUFFIX):
+            check_wall_clock(bench, label, base_value, fresh_value, problems)
+        else:
+            check_deterministic(bench, "scalars", label, base_value,
+                                fresh_value, problems)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding freshly produced "
+                             "BENCH_<name>.json files")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}")
+        return 1
+
+    problems = []
+    compared = 0
+    for name in baselines:
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            problems.append(f"{name}: no fresh output in {args.fresh_dir} "
+                            f"(bench not run or renamed)")
+            continue
+        compare(name[len("BENCH_"):-len(".json")],
+                load(os.path.join(args.baseline_dir, name)),
+                load(fresh_path), problems)
+        compared += 1
+
+    if problems:
+        print(f"bench-regression gate: {len(problems)} problem(s) across "
+              f"{len(baselines)} baseline(s):")
+        for p in problems:
+            print(f"  FAIL  {p}")
+        return 1
+    print(f"bench-regression gate: {compared} bench(es) match their "
+          f"baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
