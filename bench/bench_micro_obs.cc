@@ -82,7 +82,8 @@ obs::DecisionRecord MakeDecision(uint64_t query_id) {
   for (size_t i = 0; i < 3; ++i) {
     obs::CandidatePlanRecord c;
     c.option_index = i;
-    c.server_set = "S" + std::to_string(i + 1);
+    c.server_set = "S";
+    c.server_set += std::to_string(i + 1);
     c.total_calibrated_seconds = 0.1 * static_cast<double>(i + 1);
     c.chosen = (i == 0);
     if (i != 0) c.rejection_reason = "calibrated cost exceeds tolerance";

@@ -1,0 +1,169 @@
+// Micro-benchmarks of the compile/route split: what a statement
+// fingerprint costs, what a prepared-plan cache hit saves over a cold
+// compile, and what an invalidation storm (epoch bump per statement)
+// costs when every lookup misses. The shape checks pin the contract that
+// makes the cache worth having: the hit path must be well under the full
+// parse/bind/decompose/enumerate pipeline.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+#include "federation/integrator.h"
+#include "sql/fingerprint.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+ScenarioConfig BenchScenarioConfig() {
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+// Iteration caps keep per-query bookkeeping (patroller, explain table,
+// flight recorder) from growing into the measurement.
+constexpr benchmark::IterationCount kCompileIters = 2'000;
+
+void BM_FingerprintSql(benchmark::State& state) {
+  Scenario sc(BenchScenarioConfig());
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT1, 3);
+  for (auto _ : state) {
+    QueryFingerprint fp = FingerprintSql(sql);
+    benchmark::DoNotOptimize(fp.canonical_sql.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FingerprintSql);
+
+void BM_ColdCompile(benchmark::State& state) {
+  // Full parse/bind/decompose/enumerate/price every iteration.
+  Scenario sc(BenchScenarioConfig());
+  sc.integrator().mutable_config().enable_plan_cache = false;
+  sc.telemetry().tracer.set_retention(16);
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT1, 3);
+  for (auto _ : state) {
+    auto compiled = sc.integrator().Compile(sql);
+    if (!compiled.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(compiled->chosen_index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdCompile)->Iterations(kCompileIters);
+
+void BM_CacheHitCompile(benchmark::State& state) {
+  // Same statement shape, same literals: pure hit + route.
+  Scenario sc(BenchScenarioConfig());
+  sc.telemetry().tracer.set_retention(16);
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT1, 3);
+  (void)sc.integrator().Compile(sql);  // warm the cache
+  for (auto _ : state) {
+    auto compiled = sc.integrator().Compile(sql);
+    if (!compiled.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(compiled->chosen_index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitCompile)->Iterations(kCompileIters);
+
+void BM_CacheHitNewParams(benchmark::State& state) {
+  // Hit + clone-on-write parameter substitution: the prepared-statement
+  // path a workload of same-shape, different-literal instances takes.
+  Scenario sc(BenchScenarioConfig());
+  sc.telemetry().tracer.set_retention(16);
+  (void)sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  int instance = 0;
+  for (auto _ : state) {
+    instance = (instance + 1) % 10;
+    auto compiled = sc.integrator().Compile(
+        sc.MakeQueryInstance(QueryType::kQT1, instance));
+    if (!compiled.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(compiled->chosen_index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitNewParams)->Iterations(kCompileIters);
+
+void BM_InvalidationStorm(benchmark::State& state) {
+  // Worst case for the lazy-invalidation design: the routing epoch moves
+  // before every statement, so each lookup finds a stale entry, drops it,
+  // and recompiles. Bounds the cost of calibration churn.
+  Scenario sc(BenchScenarioConfig());
+  sc.telemetry().tracer.set_retention(16);
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT1, 3);
+  (void)sc.integrator().Compile(sql);
+  for (auto _ : state) {
+    sc.integrator().plan_cache().BumpEpoch("bench-storm");
+    auto compiled = sc.integrator().Compile(sql);
+    if (!compiled.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(compiled->chosen_index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvalidationStorm)->Iterations(kCompileIters);
+
+}  // namespace
+}  // namespace fedcal
+
+/// Custom BENCHMARK_MAIN mirroring bench_micro_obs: console output
+/// unchanged, per-iteration wall-clock timings land in
+/// BENCH_plan_cache.json, and the collected values feed the shape checks.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonCollectingReporter(fedcal::bench::JsonReporter* out,
+                         std::map<std::string, double>* per_iter)
+      : out_(out), per_iter_(per_iter) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      out_->AddScalar(run.benchmark_name() + "/real_time_per_iter_s",
+                      per_iter);
+      // Index shape-check values by the bare benchmark name (the reported
+      // name carries an "/iterations:N" suffix for capped runs).
+      const std::string name = run.benchmark_name();
+      (*per_iter_)[name.substr(0, name.find('/'))] = per_iter;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  fedcal::bench::JsonReporter* out_;
+  std::map<std::string, double>* per_iter_;
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fedcal::bench::JsonReporter reporter("plan_cache");
+  std::map<std::string, double> per_iter;
+  JsonCollectingReporter display(&reporter, &per_iter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+
+  fedcal::bench::ShapeCheck check;
+  const double cold = per_iter["BM_ColdCompile"];
+  const double hit = per_iter["BM_CacheHitCompile"];
+  const double hit_params = per_iter["BM_CacheHitNewParams"];
+  const double storm = per_iter["BM_InvalidationStorm"];
+  check.Expect(cold > 0 && hit > 0, "cold and hit paths both measured");
+  check.Expect(hit * 2.0 < cold,
+               "cache hit at least 2x cheaper than a cold compile");
+  check.Expect(hit_params < cold,
+               "hit with param substitution still cheaper than cold");
+  check.Expect(storm < cold * 3.0,
+               "per-statement invalidation adds bounded overhead");
+  const int rc = check.Summary("plan_cache");
+  const int json_rc = reporter.Finish(check);
+  return rc != 0 ? rc : json_rc;
+}

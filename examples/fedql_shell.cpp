@@ -18,6 +18,8 @@
 //   \stats             live telemetry metrics snapshot (counters, gauges,
 //                      latency histograms with p50/p95/p99)
 //   \trace             span tree of the last query's lifecycle trace
+//   \cache             prepared-plan cache: entries, hit rate, routing
+//                      epoch and the last invalidation reason
 //   \qcc on|off        attach / detach the query cost calibrator
 //   \help              this list            \quit  exit
 #include <cstdio>
@@ -49,6 +51,8 @@ void PrintCommandList() {
       "breaker series\n"
       "    \\stats             telemetry metrics snapshot\n"
       "    \\trace             span tree of the last query\n"
+      "    \\cache             prepared-plan cache stats, routing epoch, "
+      "last invalidation\n"
       "    \\qcc on|off        attach / detach the query cost calibrator\n"
       "    \\help              this list\n"
       "    \\quit              exit\n");
@@ -196,6 +200,25 @@ int main() {
           std::printf("%s",
                       sc.telemetry().tracer.ToText(last_query_id).c_str());
         }
+      } else if (cmd == "cache") {
+        const PlanCache& cache = sc.integrator().plan_cache();
+        const PlanCache::Stats& st = cache.stats();
+        std::printf("  prepared-plan cache: %zu/%zu entries, routing epoch "
+                    "%llu (%llu bumps)\n",
+                    cache.size(), cache.capacity(),
+                    static_cast<unsigned long long>(cache.epoch()),
+                    static_cast<unsigned long long>(st.epoch_bumps));
+        std::printf("  hits=%llu misses=%llu hit_rate=%.1f%% "
+                    "invalidated=%llu evictions=%llu\n",
+                    static_cast<unsigned long long>(st.hits),
+                    static_cast<unsigned long long>(st.misses),
+                    st.HitRate() * 100.0,
+                    static_cast<unsigned long long>(st.invalidated),
+                    static_cast<unsigned long long>(st.evictions));
+        std::printf("  last invalidation: %s\n",
+                    cache.last_invalidation_reason().empty()
+                        ? "(none)"
+                        : cache.last_invalidation_reason().c_str());
       } else if (cmd == "qcc") {
         std::string mode;
         iss >> mode;

@@ -11,6 +11,7 @@ Status GlobalCatalog::RegisterNickname(const std::string& nickname,
   entry.nickname = nickname;
   entry.schema = std::move(schema);
   nicknames_[nickname] = std::move(entry);
+  ++version_;
   return Status::OK();
 }
 
@@ -28,6 +29,7 @@ Status GlobalCatalog::AddLocation(const std::string& nickname,
     }
   }
   it->second.locations.push_back({server_id, remote_table});
+  ++version_;
   return Status::OK();
 }
 
@@ -54,6 +56,7 @@ std::vector<std::string> GlobalCatalog::nicknames() const {
 void GlobalCatalog::PutStats(const std::string& nickname, TableStats stats) {
   stats.table_name = nickname;
   stats_[nickname] = std::move(stats);
+  ++version_;
 }
 
 const TableStats* GlobalCatalog::GetStats(const std::string& name) const {
@@ -63,6 +66,7 @@ const TableStats* GlobalCatalog::GetStats(const std::string& name) const {
 
 void GlobalCatalog::SetServerProfile(ServerProfile profile) {
   profiles_[profile.server_id] = std::move(profile);
+  ++version_;
 }
 
 Result<const ServerProfile*> GlobalCatalog::GetServerProfile(

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -72,10 +73,16 @@ class GlobalCatalog : public StatsProvider {
   /// Deep copy (used by the what-if simulated federated system, §2/§4.2).
   GlobalCatalog Clone() const { return *this; }
 
+  /// Monotonic edit counter, bumped by every mutator. The integrator
+  /// compares it against the value it last compiled under to invalidate
+  /// the prepared-plan cache on catalog/replica changes.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, NicknameEntry> nicknames_;
   std::map<std::string, TableStats> stats_;
   std::map<std::string, ServerProfile> profiles_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace fedcal

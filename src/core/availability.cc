@@ -51,6 +51,9 @@ void AvailabilityMonitor::MarkDown(const std::string& server_id) {
   if (!it->second.down) {
     FEDCAL_LOG_INFO << "server " << server_id << " marked DOWN at t="
                     << sim_->Now();
+    it->second.down = true;
+    if (transition_hook_) transition_hook_(server_id, /*down=*/true);
+    return;
   }
   it->second.down = true;
 }
@@ -64,6 +67,9 @@ void AvailabilityMonitor::MarkUp(const std::string& server_id) {
     // Ratios observed before the outage may describe a very different
     // regime; start fresh.
     store_->Forget(server_id);
+    it->second.down = false;
+    if (transition_hook_) transition_hook_(server_id, /*down=*/false);
+    return;
   }
   it->second.down = false;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -49,6 +50,15 @@ class AvailabilityMonitor {
   /// Manual recovery (normally a successful probe does this).
   void MarkUp(const std::string& server_id);
 
+  /// Fires on every *real* up/down transition (`down` is the new state),
+  /// whether it came from a daemon probe or log-based detection. QCC uses
+  /// this to bump the routing epoch so cached plans re-price.
+  using TransitionHook = std::function<void(const std::string& server_id,
+                                            bool down)>;
+  void SetTransitionHook(TransitionHook hook) {
+    transition_hook_ = std::move(hook);
+  }
+
   size_t ProbeCount(const std::string& server_id) const;
   double CurrentPeriod(const std::string& server_id) const;
   std::vector<std::string> watched() const;
@@ -73,6 +83,7 @@ class AvailabilityMonitor {
   CalibrationCycleController cycle_controller_;
   bool running_ = false;
   std::map<std::string, Watched> servers_;
+  TransitionHook transition_hook_;
 };
 
 }  // namespace fedcal

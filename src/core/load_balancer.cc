@@ -92,25 +92,46 @@ std::vector<size_t> LoadBalancer::FragmentGroup(
   return group;
 }
 
+size_t LoadBalancer::SelectPlan(const QueryContext& ctx,
+                                const std::vector<GlobalPlanOption>& options) {
+  return SelectPlanExplained(ctx, options).chosen;
+}
+
 size_t LoadBalancer::SelectPlan(uint64_t query_id, const std::string& sql,
                                 const std::vector<GlobalPlanOption>& options) {
   return SelectPlanExplained(query_id, sql, options).chosen;
 }
 
 PlanSelection LoadBalancer::SelectPlanExplained(
+    const QueryContext& ctx, const std::vector<GlobalPlanOption>& options) {
+  if (ctx.type_signature != 0) {
+    return SelectPlanExplained(ctx.type_signature, options);
+  }
+  return SelectPlanExplained(ctx.query_id, ctx.sql, options);
+}
+
+PlanSelection LoadBalancer::SelectPlanExplained(
     uint64_t query_id, const std::string& sql,
     const std::vector<GlobalPlanOption>& options) {
   (void)query_id;
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) {
+    // Unparseable statement: no query type to rotate on, take cheapest.
+    PlanSelection selection;
+    selection.level = config_.level;
+    return selection;
+  }
+  return SelectPlanExplained(SignatureOf(*stmt), options);
+}
+
+PlanSelection LoadBalancer::SelectPlanExplained(
+    size_t signature, const std::vector<GlobalPlanOption>& options) {
   PlanSelection selection;
   selection.level = config_.level;
   if (options.empty()) return selection;
   if (config_.level == LoadBalanceConfig::Level::kNone || options.size() == 1) {
     return selection;
   }
-
-  auto stmt = ParseSelect(sql);
-  if (!stmt.ok()) return selection;
-  const size_t signature = SignatureOf(*stmt);
 
   QueryTypeState& st = StateFor(signature);
   st.workload_in_period += options[0].total_calibrated_seconds;

@@ -56,14 +56,28 @@ class LoadBalancer : public PlanSelector {
   LoadBalancer(Simulator* sim, LoadBalanceConfig config = {})
       : sim_(sim), config_(config) {}
 
-  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+  /// Route-phase entry point: uses ctx.type_signature (falling back to
+  /// parsing ctx.sql only when the compile phase left it unset).
+  size_t SelectPlan(const QueryContext& ctx,
                     const std::vector<GlobalPlanOption>& options) override;
+
+  /// Convenience overload for callers without a QueryContext (tests,
+  /// benches): parses `sql` to derive the query-type signature.
+  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+                    const std::vector<GlobalPlanOption>& options);
 
   /// SelectPlan plus a full account of the decision (rotation group,
   /// counter, threshold verdict) for the flight recorder.
   PlanSelection SelectPlanExplained(
+      const QueryContext& ctx,
+      const std::vector<GlobalPlanOption>& options);
+  PlanSelection SelectPlanExplained(
       uint64_t query_id, const std::string& sql,
       const std::vector<GlobalPlanOption>& options);
+  /// The core path: no parsing, keyed directly by the query-type
+  /// signature.
+  PlanSelection SelectPlanExplained(
+      size_t signature, const std::vector<GlobalPlanOption>& options);
 
   const LoadBalanceConfig& config() const { return config_; }
   void set_level(LoadBalanceConfig::Level level) { config_.level = level; }

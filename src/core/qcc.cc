@@ -53,6 +53,13 @@ QueryCostCalibrator::QueryCostCalibrator(Simulator* sim,
 void QueryCostCalibrator::AttachTo(Integrator* integrator) {
   meta_wrapper_->SetCalibrator(this);
   integrator->SetPlanSelector(this);
+  plan_cache_ = &integrator->plan_cache();
+  // Any real up/down transition — daemon probe or log-based — changes
+  // which servers are priced at infinity, so cached pricing is stale.
+  availability_.SetTransitionHook(
+      [this](const std::string& server_id, bool down) {
+        BumpRoutingEpoch((down ? "server-down:" : "server-up:") + server_id);
+      });
   whatif_ = WhatIfSimulator(integrator->catalog(), meta_wrapper_,
                             IiProfile{integrator->config().configured_speed});
   for (const auto& server_id : meta_wrapper_->server_ids()) {
@@ -65,8 +72,19 @@ void QueryCostCalibrator::AttachTo(Integrator* integrator) {
 
 void QueryCostCalibrator::Detach(Integrator* integrator) {
   availability_.Stop();
+  availability_.SetTransitionHook(nullptr);
+  plan_cache_ = nullptr;
   meta_wrapper_->SetCalibrator(nullptr);
   integrator->SetPlanSelector(nullptr);
+}
+
+void QueryCostCalibrator::BumpRoutingEpoch(const std::string& reason) {
+  if (plan_cache_ == nullptr) return;
+  plan_cache_->BumpEpoch(reason);
+  obs::MetricsRegistry& metrics = meta_wrapper_->telemetry()->metrics;
+  metrics.counter("plan_cache.epoch_bumps").Add();
+  metrics.gauge("plan_cache.epoch")
+      .Set(static_cast<double>(plan_cache_->epoch()));
 }
 
 double QueryCostCalibrator::CalibrateFragmentCost(
@@ -133,6 +151,9 @@ void QueryCostCalibrator::RecordFragmentObservation(
     if (drifts > 0) {
       metrics.counter("recorder.drift_events").Add(drifts);
       metrics.counter("recorder.drift_events." + server_id).Add(drifts);
+      // A drift event means the calibration regime moved enough that
+      // cached plans may now be mis-ranked: force a re-price.
+      BumpRoutingEpoch("calibration-drift:" + server_id);
     }
   }
 }
@@ -152,6 +173,7 @@ void QueryCostCalibrator::RecordError(const std::string& server_id,
     breakers_.RecordFailure(server_id, sim_->Now());
     if (!was_open && breakers_.IsOpen(server_id, sim_->Now())) {
       metrics.counter("qcc.breaker_trips." + server_id).Add();
+      BumpRoutingEpoch("breaker-open:" + server_id);
     }
   }
   if (config_.detect_down_from_logs && error.IsUnavailable()) {
@@ -167,7 +189,11 @@ void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
   // breaker accumulates its probation successes without any extra probe
   // machinery.
   if (config_.enable_circuit_breaker) {
+    const bool was_open = breakers_.IsOpen(server_id, sim_->Now());
     breakers_.RecordSuccess(server_id, sim_->Now());
+    if (was_open && !breakers_.IsOpen(server_id, sim_->Now())) {
+      BumpRoutingEpoch("breaker-closed:" + server_id);
+    }
   }
   // A success is definitive evidence the server answers: clear a stale
   // down mark right away instead of waiting for the probe loop to get
@@ -177,25 +203,34 @@ void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
 }
 
 size_t QueryCostCalibrator::SelectPlan(
-    uint64_t query_id, const std::string& sql,
+    const QueryContext& ctx,
     const std::vector<GlobalPlanOption>& options) {
   const PlanSelection selection =
-      load_balancer_.SelectPlanExplained(query_id, sql, options);
-  RecordDecision(query_id, sql, options, selection);
+      load_balancer_.SelectPlanExplained(ctx, options);
+  obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
+  if (ctx.cache_hit && recorder.enabled()) {
+    recorder.AddNote(sim_->Now(), "plan_cache",
+                     "query " + std::to_string(ctx.query_id) +
+                         " served from prepared-plan cache (epoch " +
+                         std::to_string(ctx.routing_epoch) + ")");
+  }
+  RecordDecision(ctx, options, selection);
   return selection.chosen;
 }
 
 void QueryCostCalibrator::RecordDecision(
-    uint64_t query_id, const std::string& sql,
+    const QueryContext& ctx,
     const std::vector<GlobalPlanOption>& options,
     const PlanSelection& selection) {
   obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
   if (!recorder.enabled() || options.empty()) return;
 
   obs::DecisionRecord record;
-  record.query_id = query_id;
-  record.sql = sql;
+  record.query_id = ctx.query_id;
+  record.sql = ctx.sql;
   record.at = sim_->Now();
+  record.cache_hit = ctx.cache_hit;
+  record.routing_epoch = ctx.routing_epoch;
   record.chosen_index = selection.chosen;
   record.balance_level = LevelName(selection.level);
   record.cost_tolerance = config_.load_balance.cost_tolerance;

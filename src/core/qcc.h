@@ -81,7 +81,7 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
 
   // -- PlanSelector -------------------------------------------------------------
 
-  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+  size_t SelectPlan(const QueryContext& ctx,
                     const std::vector<GlobalPlanOption>& options) override;
 
   // -- Components ----------------------------------------------------------------
@@ -105,12 +105,15 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   /// plan selection: every candidate with raw vs calibrated costs and a
   /// rejection reason, the §4 rotation outcome, and the per-server
   /// calibration/reliability/availability/breaker state consulted.
-  void RecordDecision(uint64_t query_id, const std::string& sql,
+  void RecordDecision(const QueryContext& ctx,
                       const std::vector<GlobalPlanOption>& options,
                       const PlanSelection& selection);
   /// Samples reliability/availability/breaker state into the recorder's
   /// per-server time series (called on every outcome QCC learns from).
   void SampleServerState(const std::string& server_id);
+  /// Invalidates the attached integrator's prepared-plan cache: cached
+  /// compiles must re-price (drift) or re-enumerate under the new state.
+  void BumpRoutingEpoch(const std::string& reason);
 
   Simulator* sim_;
   MetaWrapper* meta_wrapper_;
@@ -122,6 +125,10 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   LoadBalancer load_balancer_;
   CircuitBreakerBank breakers_;
   WhatIfSimulator whatif_;
+  /// The attached integrator's prepared-plan cache (nullptr while
+  /// detached). QCC bumps its routing epoch on calibration drift,
+  /// availability transitions, and breaker state changes.
+  PlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace fedcal

@@ -66,6 +66,9 @@ Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
                                      max_alternatives_per_server,
                                      /*max_global_plans=*/8);
     if (!plans.ok() || plans->empty()) continue;
+    // Enumeration is raw-only since the compile/route split; what-if
+    // comparisons need the live calibrated view, so price here.
+    PriceGlobalPlans(meta_wrapper_->calibrator(), &*plans);
     winners.push_back(std::move(plans->front()));
   }
 

@@ -34,19 +34,30 @@ std::string PlanNode::Describe() const {
   std::string s = PlanKindName(kind);
   switch (kind) {
     case PlanKind::kScan:
-      s += "(" + table_name + ")";
+      s += "(";
+      s += table_name;
+      s += ")";
       break;
     case PlanKind::kIndexScan:
-      s += "(" + table_name + "." + index_column + " = " +
-           (index_value ? index_value->ToString() : "?") + ")";
+      s += "(";
+      s += table_name;
+      s += ".";
+      s += index_column;
+      s += " = ";
+      s += index_value ? index_value->ToString() : "?";
+      s += ")";
       break;
     case PlanKind::kFilter:
-      s += "(" + (predicate ? predicate->ToString() : "true") + ")";
+      s += "(";
+      s += predicate ? predicate->ToString() : "true";
+      s += ")";
       break;
     case PlanKind::kProject: {
       std::vector<std::string> parts;
       for (const auto& p : projections) parts.push_back(p->ToString());
-      s += "(" + Join(parts, ", ") + ")";
+      s += "(";
+      s += Join(parts, ", ");
+      s += ")";
       break;
     }
     case PlanKind::kHashJoin: {
@@ -55,29 +66,42 @@ std::string PlanNode::Describe() const {
         parts.push_back(StringFormat("$%zu=$%zu", left_keys[i],
                                      right_keys[i]));
       }
-      s += "(" + Join(parts, " AND ");
-      if (residual) s += " ; " + residual->ToString();
+      s += "(";
+      s += Join(parts, " AND ");
+      if (residual) {
+        s += " ; ";
+        s += residual->ToString();
+      }
       s += ")";
       break;
     }
     case PlanKind::kNestedLoopJoin:
-      s += "(" + (predicate ? predicate->ToString() : "true") + ")";
+      s += "(";
+      s += predicate ? predicate->ToString() : "true";
+      s += ")";
       break;
     case PlanKind::kAggregate: {
       std::vector<std::string> parts;
       for (const auto& g : group_by) parts.push_back(g->ToString());
       std::vector<std::string> aparts;
       for (const auto& a : aggs) aparts.push_back(a.name);
-      s += "(by: " + Join(parts, ", ") + "; aggs: " + Join(aparts, ", ") +
-           ")";
+      s += "(by: ";
+      s += Join(parts, ", ");
+      s += "; aggs: ";
+      s += Join(aparts, ", ");
+      s += ")";
       break;
     }
     case PlanKind::kSort: {
       std::vector<std::string> parts;
       for (const auto& [e, desc] : sort_keys) {
-        parts.push_back(e->ToString() + (desc ? " DESC" : ""));
+        std::string key = e->ToString();
+        if (desc) key += " DESC";
+        parts.push_back(std::move(key));
       }
-      s += "(" + Join(parts, ", ") + ")";
+      s += "(";
+      s += Join(parts, ", ");
+      s += ")";
       break;
     }
     case PlanKind::kDistinct:
@@ -96,8 +120,14 @@ std::string PlanNode::Describe() const {
 std::string PlanNode::ToString(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + Describe();
-  if (left) s += "\n" + left->ToString(indent + 1);
-  if (right) s += "\n" + right->ToString(indent + 1);
+  if (left) {
+    s += "\n";
+    s += left->ToString(indent + 1);
+  }
+  if (right) {
+    s += "\n";
+    s += right->ToString(indent + 1);
+  }
   return s;
 }
 
@@ -257,6 +287,54 @@ PlanNodePtr PlanNode::Limit(PlanNodePtr child, int64_t limit) {
   n->left = std::move(child);
   n->limit = limit;
   return n;
+}
+
+PlanNodePtr PlanNode::SubstituteParams(const PlanNodePtr& plan,
+                                       const std::vector<Value>& params) {
+  if (plan == nullptr) return nullptr;
+  bool changed = false;
+  auto sub_expr = [&](const BoundExprPtr& e) {
+    BoundExprPtr s = fedcal::SubstituteParams(e, params);
+    changed |= s != e;
+    return s;
+  };
+
+  PlanNodePtr left = SubstituteParams(plan->left, params);
+  PlanNodePtr right = SubstituteParams(plan->right, params);
+  changed |= left != plan->left || right != plan->right;
+
+  BoundExprPtr index_value = sub_expr(plan->index_value);
+  BoundExprPtr predicate = sub_expr(plan->predicate);
+  BoundExprPtr residual = sub_expr(plan->residual);
+  std::vector<BoundExprPtr> projections = plan->projections;
+  for (auto& p : projections) p = sub_expr(p);
+  std::vector<BoundExprPtr> group_by = plan->group_by;
+  for (auto& g : group_by) g = sub_expr(g);
+  std::vector<AggItem> aggs = plan->aggs;
+  for (auto& a : aggs) a.arg = sub_expr(a.arg);
+  std::vector<std::pair<BoundExprPtr, bool>> sort_keys = plan->sort_keys;
+  for (auto& k : sort_keys) k.first = sub_expr(k.first);
+
+  if (!changed) return plan;
+  auto node = std::make_shared<PlanNode>(*plan);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->index_value = std::move(index_value);
+  node->predicate = std::move(predicate);
+  node->residual = std::move(residual);
+  node->projections = std::move(projections);
+  node->group_by = std::move(group_by);
+  node->aggs = std::move(aggs);
+  node->sort_keys = std::move(sort_keys);
+  return node;
+}
+
+PlanNodePtr PlanNode::DeepClone(const PlanNodePtr& plan) {
+  if (plan == nullptr) return nullptr;
+  auto node = std::make_shared<PlanNode>(*plan);
+  node->left = DeepClone(plan->left);
+  node->right = DeepClone(plan->right);
+  return node;
 }
 
 }  // namespace fedcal

@@ -125,10 +125,11 @@ const char* UnaryOpName(UnaryOp op) {
   return "?";
 }
 
-BoundExprPtr BoundExpr::Literal(Value v) {
+BoundExprPtr BoundExpr::Literal(Value v, int param_index) {
   auto e = std::shared_ptr<BoundExpr>(new BoundExpr());
   e->kind_ = Kind::kLiteral;
   e->literal_ = std::move(v);
+  e->param_index_ = param_index;
   return e;
 }
 
@@ -325,7 +326,7 @@ Result<BoundExprPtr> BoundExpr::RemapColumns(
     const std::vector<int>& mapping) const {
   switch (kind_) {
     case Kind::kLiteral:
-      return Literal(literal_);
+      return Literal(literal_, param_index_);
     case Kind::kColumn: {
       if (column_index_ >= mapping.size() || mapping[column_index_] < 0) {
         return Status::PlanError(StringFormat(
@@ -355,15 +356,30 @@ std::string BoundExpr::ToString() const {
     case Kind::kColumn:
       return column_name_.empty() ? StringFormat("$%zu", column_index_)
                                   : column_name_;
-    case Kind::kBinary:
-      return "(" + left_->ToString() + " " + BinaryOpName(binary_op_) + " " +
-             right_->ToString() + ")";
-    case Kind::kUnary:
+    case Kind::kBinary: {
+      std::string out = "(";
+      out += left_->ToString();
+      out += " ";
+      out += BinaryOpName(binary_op_);
+      out += " ";
+      out += right_->ToString();
+      out += ")";
+      return out;
+    }
+    case Kind::kUnary: {
+      std::string out = "(";
       if (unary_op_ == UnaryOp::kIsNull || unary_op_ == UnaryOp::kIsNotNull) {
-        return "(" + left_->ToString() + " " + UnaryOpName(unary_op_) + ")";
+        out += left_->ToString();
+        out += " ";
+        out += UnaryOpName(unary_op_);
+      } else {
+        out += UnaryOpName(unary_op_);
+        out += " ";
+        out += left_->ToString();
       }
-      return std::string("(") + UnaryOpName(unary_op_) + " " +
-             left_->ToString() + ")";
+      out += ")";
+      return out;
+    }
   }
   return "?";
 }
@@ -426,6 +442,33 @@ BoundExprPtr CombineConjuncts(const std::vector<BoundExprPtr>& conjuncts) {
     acc = acc ? BoundExpr::Binary(BinaryOp::kAnd, acc, c) : c;
   }
   return acc;
+}
+
+BoundExprPtr SubstituteParams(const BoundExprPtr& expr,
+                              const std::vector<Value>& params) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind()) {
+    case BoundExpr::Kind::kLiteral: {
+      const int idx = expr->param_index();
+      if (idx < 0 || static_cast<size_t>(idx) >= params.size()) return expr;
+      if (params[idx] == expr->literal()) return expr;
+      return BoundExpr::Literal(params[idx], idx);
+    }
+    case BoundExpr::Kind::kColumn:
+      return expr;
+    case BoundExpr::Kind::kBinary: {
+      BoundExprPtr l = SubstituteParams(expr->left(), params);
+      BoundExprPtr r = SubstituteParams(expr->right(), params);
+      if (l == expr->left() && r == expr->right()) return expr;
+      return BoundExpr::Binary(expr->binary_op(), std::move(l), std::move(r));
+    }
+    case BoundExpr::Kind::kUnary: {
+      BoundExprPtr o = SubstituteParams(expr->operand(), params);
+      if (o == expr->operand()) return expr;
+      return BoundExpr::Unary(expr->unary_op(), std::move(o));
+    }
+  }
+  return expr;
 }
 
 bool IsTruthy(const Value& v) {

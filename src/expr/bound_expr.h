@@ -50,8 +50,9 @@ class BoundExpr {
  public:
   enum class Kind { kLiteral, kColumn, kBinary, kUnary };
 
-  /// Literal constant.
-  static std::shared_ptr<BoundExpr> Literal(Value v);
+  /// Literal constant. `param_index` is the fingerprint pass's parameter
+  /// ordinal (-1 = not parameterized); see SubstituteParams.
+  static std::shared_ptr<BoundExpr> Literal(Value v, int param_index = -1);
   /// Column slot reference; `name` is kept for display / SQL rendering.
   static std::shared_ptr<BoundExpr> Column(size_t index, std::string name,
                                            DataType type);
@@ -63,6 +64,8 @@ class BoundExpr {
 
   Kind kind() const { return kind_; }
   const Value& literal() const { return literal_; }
+  /// Parameter ordinal of a literal (-1 = not parameterized).
+  int param_index() const { return param_index_; }
   size_t column_index() const { return column_index_; }
   const std::string& column_name() const { return column_name_; }
   DataType column_type() const { return column_type_; }
@@ -105,6 +108,7 @@ class BoundExpr {
 
   Kind kind_ = Kind::kLiteral;
   Value literal_;
+  int param_index_ = -1;
   size_t column_index_ = 0;
   std::string column_name_;
   DataType column_type_ = DataType::kInt64;
@@ -121,6 +125,15 @@ void SplitConjuncts(const BoundExprPtr& expr, std::vector<BoundExprPtr>* out);
 
 /// Rebuilds a conjunction from conjuncts (nullptr if empty).
 BoundExprPtr CombineConjuncts(const std::vector<BoundExprPtr>& conjuncts);
+
+/// Clone-on-write parameter substitution: every literal whose param_index
+/// is a valid slot of `params` is replaced by that slot's value. Subtrees
+/// containing no parameterized literal are returned unchanged (shared),
+/// so the cost of re-instantiating a cached plan scales with the number
+/// of parameterized predicates, not plan size. Returns `expr` itself when
+/// nothing changed; nullptr in, nullptr out.
+BoundExprPtr SubstituteParams(const BoundExprPtr& expr,
+                              const std::vector<Value>& params);
 
 /// True when a value is "truthy" for filtering: non-null and non-zero.
 bool IsTruthy(const Value& v);

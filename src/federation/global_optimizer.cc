@@ -19,10 +19,29 @@ std::string GlobalPlanOption::Describe() const {
                       total_raw_seconds);
 }
 
+namespace {
+
+/// Fabricated statistics for a fragment's result table, as seen by the
+/// integrator-side merge planner. Shared between compile-time enumeration
+/// and route-time re-costing of substituted plans so the two can never
+/// disagree.
+TableStats FragmentResultStats(size_t fragment_index,
+                               const WrapperPlan& wp) {
+  TableStats ts;
+  ts.table_name = Decomposition::FragmentTableName(fragment_index);
+  ts.num_rows = static_cast<size_t>(std::max(1.0, wp.estimated_rows));
+  ts.avg_row_bytes = wp.estimated_rows > 0
+                         ? wp.estimated_bytes / wp.estimated_rows
+                         : 16.0;
+  return ts;
+}
+
+}  // namespace
+
 Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
     uint64_t query_id, const Decomposition& d,
     size_t max_alternatives_per_server, size_t max_global_plans) {
-  // 1. Per-fragment options from candidate servers (via MW, calibrated).
+  // 1. Per-fragment options from candidate servers (via MW, raw costs).
   std::vector<std::vector<FragmentOption>> per_fragment;
   for (const auto& frag : d.fragments) {
     std::vector<FragmentOption> options;
@@ -63,7 +82,6 @@ Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
   for (const auto& combo : combos) {
     GlobalPlanOption plan;
     StatsCatalog frag_stats;
-    double fragments_calibrated = 0.0;
     double fragments_raw = 0.0;
     size_t identity = 0x2545f4914f6cdd1dull;
     auto mix = [&identity](size_t v) {
@@ -73,21 +91,11 @@ Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
     for (size_t f = 0; f < combo.size(); ++f) {
       const FragmentOption& choice = per_fragment[f][combo[f]];
       plan.fragment_choices.push_back(choice);
-      fragments_calibrated += choice.cost.calibrated_seconds;
       fragments_raw += choice.cost.raw_estimated_seconds;
       mix(choice.wrapper_plan.identity);
       mix(std::hash<std::string>{}(choice.wrapper_plan.server_id));
 
-      TableStats ts;
-      ts.table_name = Decomposition::FragmentTableName(f);
-      ts.num_rows = static_cast<size_t>(
-          std::max(1.0, choice.wrapper_plan.estimated_rows));
-      ts.avg_row_bytes =
-          choice.wrapper_plan.estimated_rows > 0
-              ? choice.wrapper_plan.estimated_bytes /
-                    choice.wrapper_plan.estimated_rows
-              : 16.0;
-      frag_stats.Put(std::move(ts));
+      frag_stats.Put(FragmentResultStats(f, choice.wrapper_plan));
     }
 
     Planner merge_planner(&frag_stats);
@@ -95,12 +103,11 @@ Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
                             merge_planner.Plan(d.merge_query));
     plan.merge_estimated_seconds =
         plan.merge_plan->estimated_work / ii_profile_.configured_speed;
-    plan.calibrated_merge_seconds =
-        meta_wrapper_->calibrator()->CalibrateIntegrationCost(
-            plan.merge_estimated_seconds);
-    plan.total_calibrated_seconds =
-        fragments_calibrated + plan.calibrated_merge_seconds;
     plan.total_raw_seconds = fragments_raw + plan.merge_estimated_seconds;
+    // Identity pricing: callers that skip PriceGlobalPlans (tests, direct
+    // enumeration) see calibrated == raw, matching an uncalibrated QCC.
+    plan.calibrated_merge_seconds = plan.merge_estimated_seconds;
+    plan.total_calibrated_seconds = plan.total_raw_seconds;
     mix(plan.merge_plan->Fingerprint(/*normalize_literals=*/false));
     plan.identity = identity;
 
@@ -120,6 +127,61 @@ Result<std::vector<GlobalPlanOption>> GlobalOptimizer::Enumerate(
                    });
   if (plans.size() > max_global_plans) plans.resize(max_global_plans);
   return plans;
+}
+
+Status GlobalOptimizer::RecostSubstituted(GlobalPlanOption* plan) {
+  StatsCatalog frag_stats;
+  double fragments_raw = 0.0;
+  size_t identity = 0x2545f4914f6cdd1dull;
+  auto mix = [&identity](size_t v) {
+    identity ^= v + 0x9e3779b97f4a7c15ull + (identity << 6) +
+                (identity >> 2);
+  };
+  for (size_t f = 0; f < plan->fragment_choices.size(); ++f) {
+    FragmentOption& choice = plan->fragment_choices[f];
+    FEDCAL_RETURN_NOT_OK(meta_wrapper_->ReestimateOption(&choice));
+    fragments_raw += choice.cost.raw_estimated_seconds;
+    mix(choice.wrapper_plan.identity);
+    mix(std::hash<std::string>{}(choice.wrapper_plan.server_id));
+    frag_stats.Put(FragmentResultStats(f, choice.wrapper_plan));
+  }
+  // The substituted merge tree shares unchanged nodes with the cached
+  // template; clone it fully before re-annotating with instance
+  // cardinalities so the template's annotations are never overwritten.
+  plan->merge_plan = PlanNode::DeepClone(plan->merge_plan);
+  // Same default WorkCosts as Enumerate's merge planner.
+  FEDCAL_RETURN_NOT_OK(CostModel{}.Annotate(plan->merge_plan, frag_stats));
+  plan->merge_estimated_seconds =
+      plan->merge_plan->estimated_work / ii_profile_.configured_speed;
+  plan->total_raw_seconds = fragments_raw + plan->merge_estimated_seconds;
+  plan->calibrated_merge_seconds = plan->merge_estimated_seconds;
+  plan->total_calibrated_seconds = plan->total_raw_seconds;
+  mix(plan->merge_plan->Fingerprint(/*normalize_literals=*/false));
+  plan->identity = identity;
+  return Status::OK();
+}
+
+void PriceGlobalPlans(CostCalibrator* calibrator,
+                      std::vector<GlobalPlanOption>* plans) {
+  if (calibrator == nullptr || plans == nullptr) return;
+  for (auto& plan : *plans) {
+    double fragments_calibrated = 0.0;
+    for (auto& fc : plan.fragment_choices) {
+      fc.cost.calibrated_seconds = calibrator->CalibrateFragmentCost(
+          fc.wrapper_plan.server_id, fc.wrapper_plan.signature,
+          fc.cost.raw_estimated_seconds);
+      fragments_calibrated += fc.cost.calibrated_seconds;
+    }
+    plan.calibrated_merge_seconds = calibrator->CalibrateIntegrationCost(
+        plan.merge_estimated_seconds);
+    plan.total_calibrated_seconds =
+        fragments_calibrated + plan.calibrated_merge_seconds;
+  }
+  std::stable_sort(plans->begin(), plans->end(),
+                   [](const GlobalPlanOption& a, const GlobalPlanOption& b) {
+                     return a.total_calibrated_seconds <
+                            b.total_calibrated_seconds;
+                   });
 }
 
 }  // namespace fedcal

@@ -36,11 +36,14 @@ struct GlobalPlanOption {
 /// \brief Enumerates and costs global plans for a decomposed query
 /// (paper §1 runtime step 1: global query optimization).
 ///
-/// For every fragment it collects per-candidate-server plans through the
-/// meta-wrapper (whose estimates arrive already calibrated when QCC is
-/// installed), then forms the Cartesian product of fragment choices, plans
-/// the integrator-side merge for each combination, and ranks by total
-/// calibrated cost.
+/// Enumeration is the compile phase: a pure function of (catalog,
+/// statement). For every fragment it collects per-candidate-server plans
+/// through the meta-wrapper with *raw* (configured-profile) estimates,
+/// forms the Cartesian product of fragment choices, plans the
+/// integrator-side merge for each combination, and ranks by total raw
+/// cost. Calibration/reliability/availability/breaker state is applied
+/// later, in the route phase, by PriceGlobalPlans — which is what makes
+/// the enumerated options cacheable across calibration changes.
 class GlobalOptimizer {
  public:
   GlobalOptimizer(const GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
@@ -50,11 +53,22 @@ class GlobalOptimizer {
         decomposer_(catalog),
         ii_profile_(ii_profile) {}
 
-  /// Returns all viable global plans, cheapest (calibrated) first, capped
-  /// at `max_global_plans`.
+  /// Returns all viable global plans, cheapest (raw) first, capped at
+  /// `max_global_plans`. Calibrated fields are initialized to the raw
+  /// values (identity pricing) until PriceGlobalPlans runs.
   Result<std::vector<GlobalPlanOption>> Enumerate(
       uint64_t query_id, const Decomposition& decomposition,
       size_t max_alternatives_per_server = 2, size_t max_global_plans = 64);
+
+  /// Route-phase re-costing of a parameter-substituted plan: re-annotates
+  /// every fragment plan against its server's statistics, re-derives the
+  /// merge cost from the refreshed fragment cardinalities, and recomputes
+  /// raw totals and the identity fingerprint — reproducing exactly what
+  /// Enumerate would have computed for this instance's literals. Keeps
+  /// QCC's estimate/observation pairing (and therefore calibration
+  /// trajectories) identical whether a statement hit the plan cache or
+  /// compiled fresh.
+  Status RecostSubstituted(GlobalPlanOption* plan);
 
   const Decomposer& decomposer() const { return decomposer_; }
 
@@ -64,5 +78,13 @@ class GlobalOptimizer {
   Decomposer decomposer_;
   IiProfile ii_profile_;
 };
+
+/// \brief The route phase's pricing pass: applies the calibrator's
+/// *current* state (calibration factors, reliability multipliers, down
+/// servers and open breakers priced at infinity) to every fragment and
+/// merge cost, recomputes totals, and stable-sorts cheapest-calibrated
+/// first. Runs on a fresh copy of cached options on every submission.
+void PriceGlobalPlans(CostCalibrator* calibrator,
+                      std::vector<GlobalPlanOption>* plans);
 
 }  // namespace fedcal

@@ -36,7 +36,9 @@ Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
       config_(config),
       patroller_(sim),
       optimizer_(catalog, meta_wrapper,
-                 IiProfile{config.configured_speed}) {}
+                 IiProfile{config.configured_speed}),
+      plan_cache_(config.plan_cache_capacity),
+      last_catalog_version_(catalog != nullptr ? catalog->version() : 0) {}
 
 void Integrator::SetPlanSelector(PlanSelector* selector) {
   selector_ = selector ? selector : &default_selector_;
@@ -77,59 +79,150 @@ double Integrator::HedgeDelay(const FragmentOption& choice) const {
                   ft.hedge_multiplier * choice.cost.calibrated_seconds);
 }
 
-Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
-  CompiledQuery compiled;
-  compiled.query_id = patroller_.RecordSubmission(sql);
-  compiled.sql = sql;
+Result<PreparedPlanPtr> Integrator::Prepare(const std::string& sql,
+                                            QueryContext* ctx) {
+  ctx->sql = sql;
+  ctx->query_id = patroller_.RecordSubmission(sql);
 
   obs::Telemetry& tel = *meta_wrapper_->telemetry();
   tel.metrics.counter("query.submitted").Add();
-  tel.tracer.BeginQuery(compiled.query_id, sql);
+  tel.tracer.BeginQuery(ctx->query_id, sql);
+
+  // Catalog/replica edits since the last compile invalidate every cached
+  // entry: candidate servers or statistics may have changed.
+  if (catalog_ != nullptr && catalog_->version() != last_catalog_version_) {
+    plan_cache_.BumpEpoch("catalog-change");
+    last_catalog_version_ = catalog_->version();
+  }
 
   auto fail = [&](const Status& st) {
     tel.metrics.counter("query.compile_failed").Add();
-    tel.tracer.EndQuery(compiled.query_id, /*failed=*/true, st.ToString());
-    patroller_.RecordFailure(compiled.query_id, st.ToString());
+    tel.tracer.EndQuery(ctx->query_id, /*failed=*/true, st.ToString());
+    patroller_.RecordFailure(ctx->query_id, st.ToString());
     return st;
   };
 
+  ctx->fingerprint = FingerprintSql(sql);
+  const bool cacheable = config_.enable_plan_cache && ctx->fingerprint.ok;
+  if (cacheable) {
+    if (PreparedPlanPtr hit =
+            plan_cache_.Lookup(ctx->fingerprint.canonical_sql)) {
+      ctx->cache_hit = true;
+      ctx->type_signature = hit->type_signature;
+      tel.metrics.counter("plan_cache.hit").Add();
+      tel.metrics.gauge("plan_cache.hit_rate")
+          .Set(plan_cache_.stats().HitRate());
+      return hit;
+    }
+    tel.metrics.counter("plan_cache.miss").Add();
+  }
+
   const uint64_t parse_span =
-      tel.tracer.StartSpan(compiled.query_id, obs::SpanKind::kParse, "parse");
+      tel.tracer.StartSpan(ctx->query_id, obs::SpanKind::kParse, "parse");
   auto stmt = ParseSelect(sql);
   if (!stmt.ok()) return fail(stmt.status());
-  tel.tracer.EndSpan(compiled.query_id, parse_span);
+  ctx->type_signature = SignatureOf(*stmt);
+  tel.tracer.EndSpan(ctx->query_id, parse_span);
 
+  auto prepared = std::make_shared<PreparedPlan>();
   const uint64_t decompose_span = tel.tracer.StartSpan(
-      compiled.query_id, obs::SpanKind::kDecompose, "decompose");
+      ctx->query_id, obs::SpanKind::kDecompose, "decompose");
   auto decomposition = optimizer_.decomposer().Decompose(*stmt);
   if (!decomposition.ok()) return fail(decomposition.status());
-  compiled.decomposition = std::move(decomposition).MoveValue();
-  tel.tracer.EndSpan(compiled.query_id, decompose_span);
+  prepared->decomposition = std::move(decomposition).MoveValue();
+  tel.tracer.EndSpan(ctx->query_id, decompose_span);
 
   const uint64_t optimize_span = tel.tracer.StartSpan(
-      compiled.query_id, obs::SpanKind::kOptimize, "optimize");
-  auto options = optimizer_.Enumerate(compiled.query_id,
-                                      compiled.decomposition,
+      ctx->query_id, obs::SpanKind::kOptimize, "optimize");
+  auto options = optimizer_.Enumerate(ctx->query_id, prepared->decomposition,
                                       config_.max_alternatives_per_server,
                                       config_.max_global_plans);
   if (!options.ok()) return fail(options.status());
-  compiled.options = std::move(options).MoveValue();
-  if (compiled.options.empty()) {
+  prepared->options = std::move(options).MoveValue();
+  if (prepared->options.empty()) {
     return fail(Status::PlanError("global optimization found no plan"));
   }
+  tel.tracer.EndSpan(ctx->query_id, optimize_span);
 
-  compiled.chosen_index = selector_->SelectPlan(compiled.query_id, sql,
-                                                compiled.options);
+  prepared->canonical_sql =
+      cacheable ? ctx->fingerprint.canonical_sql : sql;
+  prepared->template_params = ctx->fingerprint.params;
+  prepared->type_signature = ctx->type_signature;
+  prepared->compiled_epoch = plan_cache_.epoch();
+  PreparedPlanPtr shared = std::move(prepared);
+  if (cacheable) {
+    plan_cache_.Insert(shared);
+    tel.metrics.gauge("plan_cache.size")
+        .Set(static_cast<double>(plan_cache_.size()));
+  }
+  return shared;
+}
+
+Result<CompiledQuery> Integrator::Route(const PreparedPlanPtr& prepared,
+                                        QueryContext* ctx) {
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  CompiledQuery compiled;
+  compiled.query_id = ctx->query_id;
+  compiled.sql = ctx->sql;
+  compiled.decomposition = prepared->decomposition;
+  compiled.options = prepared->options;
+  compiled.cache_hit = ctx->cache_hit;
+  ctx->routing_epoch = plan_cache_.epoch();
+  compiled.routing_epoch = ctx->routing_epoch;
+
+  const uint64_t route_span =
+      tel.tracer.StartSpan(ctx->query_id, obs::SpanKind::kRoute, "route");
+  tel.tracer.SetAttr(ctx->query_id, route_span, "cache",
+                     ctx->cache_hit ? "hit" : "miss");
+
+  // Prepared-statement semantics: when this instance's literals differ
+  // from the compiled template's, substitute them into clones of the
+  // execution plans and re-cost against current statistics. After this
+  // block the options are cost-identical to a fresh compile of the
+  // instance, so routing and QCC's estimate/observation pairing cannot
+  // tell a cache hit from a cold compile.
+  if (ctx->fingerprint.ok &&
+      !(ctx->fingerprint.params == prepared->template_params)) {
+    const std::vector<Value>& params = ctx->fingerprint.params;
+    for (auto& option : compiled.options) {
+      option.merge_plan = PlanNode::SubstituteParams(option.merge_plan,
+                                                     params);
+      for (auto& fc : option.fragment_choices) {
+        fc.wrapper_plan.plan =
+            PlanNode::SubstituteParams(fc.wrapper_plan.plan, params);
+      }
+      Status recost = optimizer_.RecostSubstituted(&option);
+      if (!recost.ok()) {
+        // Degraded but safe: the template's estimates still describe a
+        // valid plan; pricing below proceeds with those.
+        FEDCAL_LOG_DEBUG << "recost after substitution failed: "
+                         << recost.ToString();
+      }
+    }
+    // Mirror Enumerate's output order (cheapest raw first, stable) so a
+    // hit enters pricing in the same order a fresh compile would.
+    std::stable_sort(compiled.options.begin(), compiled.options.end(),
+                     [](const GlobalPlanOption& a,
+                        const GlobalPlanOption& b) {
+                       return a.total_raw_seconds < b.total_raw_seconds;
+                     });
+  }
+
+  // Pricing: the only point where calibration/reliability/availability
+  // state touches the plans.
+  PriceGlobalPlans(meta_wrapper_->calibrator(), &compiled.options);
+
+  compiled.chosen_index = selector_->SelectPlan(*ctx, compiled.options);
   if (compiled.chosen_index >= compiled.options.size()) {
     compiled.chosen_index = 0;
   }
-  tel.tracer.EndSpan(compiled.query_id, optimize_span);
+  tel.tracer.EndSpan(ctx->query_id, route_span);
 
   // Record the winner in the explain table.
   const GlobalPlanOption& winner = compiled.options[compiled.chosen_index];
   ExplainEntry entry;
   entry.query_id = compiled.query_id;
-  entry.sql = sql;
+  entry.sql = compiled.sql;
   entry.total_estimated_seconds = winner.total_calibrated_seconds;
   entry.merge_plan_text = winner.merge_plan->ToString();
   for (const auto& fc : winner.fragment_choices) {
@@ -139,6 +232,13 @@ Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
   }
   explain_.Put(std::move(entry));
   return compiled;
+}
+
+Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
+  QueryContext ctx;
+  auto prepared = Prepare(sql, &ctx);
+  if (!prepared.ok()) return prepared.status();
+  return Route(*prepared, &ctx);
 }
 
 void Integrator::Execute(const CompiledQuery& compiled, Callback done) {

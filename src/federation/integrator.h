@@ -11,22 +11,28 @@
 #include "federation/explain.h"
 #include "federation/global_optimizer.h"
 #include "federation/patroller.h"
+#include "federation/plan_cache.h"
+#include "federation/query_context.h"
 
 namespace fedcal {
 
 /// \brief Hook through which QCC can override the integrator's plan
 /// choice — the mechanism behind §4's round-robin load distribution. The
 /// default picks the cheapest (index 0).
+///
+/// Runs in the route phase: `ctx` carries the submission's identity
+/// (query id, sql, type signature — already computed, so implementations
+/// must not re-parse) and whether the compile was served from the
+/// prepared-plan cache.
 class PlanSelector {
  public:
   virtual ~PlanSelector() = default;
 
   /// `options` is sorted by calibrated cost, cheapest first. Returns the
   /// index of the plan to execute.
-  virtual size_t SelectPlan(uint64_t query_id, const std::string& sql,
+  virtual size_t SelectPlan(const QueryContext& ctx,
                             const std::vector<GlobalPlanOption>& options) {
-    (void)query_id;
-    (void)sql;
+    (void)ctx;
     (void)options;
     return 0;
   }
@@ -83,18 +89,27 @@ struct IiConfig {
   /// On fragment failure, re-execute using the next-cheapest plan that
   /// avoids every failed server.
   bool retry_on_failure = true;
+  /// Prepared-plan cache: repeated statement shapes skip
+  /// parse/decompose/enumerate and go straight to the route phase.
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 128;
   /// Mid-query deadlines, retry backoff, and hedging.
   FaultToleranceConfig fault;
 };
 
-/// \brief A compiled federated query: decomposition plus every enumerated
-/// global plan (cheapest first) and the selector's choice.
+/// \brief A routed federated query: decomposition plus every enumerated
+/// global plan (cheapest calibrated first, priced at route time) and the
+/// selector's choice.
 struct CompiledQuery {
   uint64_t query_id = 0;
   std::string sql;
   Decomposition decomposition;
   std::vector<GlobalPlanOption> options;
   size_t chosen_index = 0;
+  /// True when the compile phase was served from the prepared-plan cache.
+  bool cache_hit = false;
+  /// The routing epoch the plans were priced under.
+  uint64_t routing_epoch = 0;
 };
 
 /// \brief Outcome of one federated query execution.
@@ -115,11 +130,16 @@ struct QueryOutcome {
 /// \brief The federated query processor (the paper's DB2 Information
 /// Integrator analog).
 ///
-/// Compile time: patroller intercept -> decompose over nicknames ->
-/// collect calibrated fragment costs through the meta-wrapper -> global
-/// optimization -> explain-table entry. Run time: fragments execute in
-/// parallel at their servers, results ship back, the integrator merges
-/// locally (charging its own simulated time), and the patroller records
+/// The query lifecycle is two explicit phases. **Compile** (Prepare):
+/// patroller intercept -> fingerprint -> prepared-plan cache lookup; on a
+/// miss, parse -> decompose over nicknames -> collect raw fragment costs
+/// through the meta-wrapper -> global enumeration, then insert into the
+/// cache. **Route** (Route): substitute this instance's literals into the
+/// cached plans, price every candidate with the *current*
+/// calibration/reliability/availability state, let the selector choose,
+/// and write the explain entry. Run time: fragments execute in parallel
+/// at their servers, results ship back, the integrator merges locally
+/// (charging its own simulated time), and the patroller records
 /// completion.
 class Integrator {
  public:
@@ -144,9 +164,26 @@ class Integrator {
   void set_background_load(double load);
   double background_load() const { return background_load_; }
 
-  /// Compile a federated SQL statement: decomposition, plan enumeration,
-  /// selection, explain entry.
+  /// Compile phase: registers the submission, fingerprints the statement,
+  /// and serves the (decomposition, raw-costed candidate plans) bundle
+  /// from the prepared-plan cache — compiling and inserting on a miss.
+  /// Fills ctx's identity fields (query_id, fingerprint, type_signature,
+  /// cache_hit). No calibration state is consulted.
+  Result<PreparedPlanPtr> Prepare(const std::string& sql, QueryContext* ctx);
+
+  /// Route phase: copies the prepared candidates, substitutes this
+  /// instance's literal parameters, prices with the calibrator's current
+  /// state, lets the selector choose, and records the explain entry.
+  Result<CompiledQuery> Route(const PreparedPlanPtr& prepared,
+                              QueryContext* ctx);
+
+  /// Prepare + Route in one call (the pre-split API, kept for callers
+  /// that don't need the phases separately).
   Result<CompiledQuery> Compile(const std::string& sql);
+
+  /// The prepared-plan cache (epoch bumps, stats, `\cache` in the shell).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
   using Callback = std::function<void(Result<QueryOutcome>)>;
 
@@ -212,6 +249,10 @@ class Integrator {
   PlanSelector* selector_ = &default_selector_;
   double background_load_ = 0.0;
   RunningStats fragment_stats_;
+  PlanCache plan_cache_;
+  /// Catalog version the cache is known coherent with; a newer catalog at
+  /// Prepare time bumps the routing epoch.
+  uint64_t last_catalog_version_ = 0;
 };
 
 }  // namespace fedcal

@@ -1,0 +1,55 @@
+#include "federation/plan_cache.h"
+
+namespace fedcal {
+
+PreparedPlanPtr PlanCache::Lookup(const std::string& canonical_sql) {
+  auto it = entries_.find(canonical_sql);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->plan->compiled_epoch != epoch_) {
+    // Lazy invalidation: the entry predates the last epoch bump, so some
+    // pricing-relevant input changed structurally. Drop it; the caller
+    // recompiles and reinserts under the current epoch.
+    lru_.erase(it->second);
+    entries_.erase(it);
+    ++stats_.invalidated;
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Move to MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->plan;
+}
+
+void PlanCache::Insert(PreparedPlanPtr plan) {
+  if (plan == nullptr) return;
+  auto it = entries_.find(plan->canonical_sql);
+  if (it != entries_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{plan->canonical_sql, std::move(plan)});
+  entries_[lru_.front().key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::BumpEpoch(const std::string& reason) {
+  ++epoch_;
+  ++stats_.epoch_bumps;
+  last_invalidation_reason_ = reason;
+}
+
+void PlanCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace fedcal

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "federation/decomposer.h"
+#include "federation/global_optimizer.h"
+
+namespace fedcal {
+
+/// \brief The immutable product of the compile phase for one statement
+/// shape: decomposition plus raw-costed candidate global plans. Everything
+/// here is a pure function of (catalog, canonical statement) — no
+/// calibration, reliability, availability, or breaker state — so one
+/// entry serves every instance of the shape until the routing epoch moves.
+struct PreparedPlan {
+  /// Cache key (see sql/fingerprint.h).
+  std::string canonical_sql;
+  /// Literal values of the instance that was compiled. When a later
+  /// instance arrives with different values, the route phase substitutes
+  /// its parameters into clones of the plans and re-costs them against
+  /// current statistics (GlobalOptimizer::RecostSubstituted), so pricing
+  /// and QCC see exactly what a fresh compile of the instance would.
+  std::vector<Value> template_params;
+  /// AST-level literal-normalized SignatureOf of the statement.
+  size_t type_signature = 0;
+  Decomposition decomposition;
+  /// Candidate global plans, raw costs only, sorted cheapest-raw first.
+  std::vector<GlobalPlanOption> options;
+  /// The routing epoch this entry was compiled under; a mismatch at
+  /// lookup time means some pricing input changed structurally and the
+  /// entry re-enumerates lazily.
+  uint64_t compiled_epoch = 0;
+};
+
+using PreparedPlanPtr = std::shared_ptr<const PreparedPlan>;
+
+/// \brief Capacity-bounded LRU prepared-plan cache with epoch-based
+/// coherence.
+///
+/// The paper's II compiles a statement once and re-prices it at run time;
+/// this cache is that amortization. Coherence is a single monotonic
+/// **routing epoch**: QCC bumps it on calibration-drift events,
+/// availability transitions, and breaker state changes, and the
+/// integrator bumps it on catalog/replica edits. Entries are not evicted
+/// eagerly on a bump — a stale entry is detected on its next lookup
+/// (compiled_epoch != current epoch), dropped, and the statement
+/// recompiles, mirroring the paper's recompile-on-calibration-change
+/// behaviour without an invalidation scan.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Lookups that found an entry from an older epoch (counted as
+    /// misses too).
+    uint64_t invalidated = 0;
+    uint64_t evictions = 0;
+    /// Total epoch bumps.
+    uint64_t epoch_bumps = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  explicit PlanCache(size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the entry for `canonical_sql` and marks it most recently
+  /// used, or nullptr on a miss. An entry compiled under an older epoch
+  /// is erased and reported as a miss (lazy invalidation).
+  PreparedPlanPtr Lookup(const std::string& canonical_sql);
+
+  /// Inserts (or replaces) the entry under `plan->canonical_sql`,
+  /// evicting the least recently used entry beyond capacity.
+  void Insert(PreparedPlanPtr plan);
+
+  /// Advances the routing epoch, implicitly invalidating every current
+  /// entry. `reason` is kept for diagnostics (`\cache` in the shell).
+  void BumpEpoch(const std::string& reason);
+
+  uint64_t epoch() const { return epoch_; }
+  const std::string& last_invalidation_reason() const {
+    return last_invalidation_reason_;
+  }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    PreparedPlanPtr plan;
+  };
+
+  size_t capacity_;
+  /// MRU at front, LRU at back.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  uint64_t epoch_ = 0;
+  std::string last_invalidation_reason_;
+  Stats stats_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sql/fingerprint.h"
+
+namespace fedcal {
+
+/// \brief Per-submission state carried across the two phases of the query
+/// lifecycle: **compile** (parse, bind, decompose, enumerate — everything
+/// calibration-independent, cacheable under the statement's fingerprint)
+/// and **route** (price the candidates with the *current*
+/// calibration/reliability/availability/breaker state, run §4 load
+/// balancing, execute).
+struct QueryContext {
+  uint64_t query_id = 0;
+  /// The statement as submitted (with this instance's literal values).
+  std::string sql;
+  /// Literal-normalized identity + extracted parameter values.
+  QueryFingerprint fingerprint;
+  /// AST-level literal-normalized signature (SignatureOf) — the QCC
+  /// "query type" key for calibration and §4 workload accounting. Comes
+  /// from the prepared plan on a cache hit, so the route phase never
+  /// parses.
+  size_t type_signature = 0;
+  /// True when the compile phase was served from the prepared-plan cache.
+  bool cache_hit = false;
+  /// The routing epoch the plan was validated against at route time.
+  uint64_t routing_epoch = 0;
+};
+
+}  // namespace fedcal

@@ -62,8 +62,10 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
     for (auto& wp : *plans) {
       FragmentOption opt;
       opt.cost.raw_estimated_seconds = RawEstimateSeconds(wp);
-      opt.cost.calibrated_seconds = calibrator_->CalibrateFragmentCost(
-          server_id, wp.signature, opt.cost.raw_estimated_seconds);
+      // Compile phase stays calibration-free so fragment options can be
+      // cached; PriceGlobalPlans applies the live calibration at route
+      // time. Identity value keeps unpriced consumers consistent.
+      opt.cost.calibrated_seconds = opt.cost.raw_estimated_seconds;
       calibrator_->RecordEstimate(server_id, wp.signature,
                                   opt.cost.raw_estimated_seconds);
       const uint64_t span =
@@ -86,6 +88,17 @@ Result<std::vector<FragmentOption>> MetaWrapper::CollectFragmentPlans(
                             b.cost.calibrated_seconds;
                    });
   return options;
+}
+
+Status MetaWrapper::ReestimateOption(FragmentOption* option) const {
+  FEDCAL_ASSIGN_OR_RETURN(RelationalWrapper * wrapper,
+                          GetWrapper(option->wrapper_plan.server_id));
+  FEDCAL_RETURN_NOT_OK(wrapper->Reestimate(&option->wrapper_plan));
+  option->cost.raw_estimated_seconds =
+      RawEstimateSeconds(option->wrapper_plan);
+  // Identity pricing until PriceGlobalPlans runs (mirrors compile).
+  option->cost.calibrated_seconds = option->cost.raw_estimated_seconds;
+  return Status::OK();
 }
 
 std::vector<MwCompileRecord> MetaWrapper::compile_log() const {

@@ -159,6 +159,12 @@ class MetaWrapper {
   /// configured profiles (no calibration applied).
   double RawEstimateSeconds(const WrapperPlan& plan) const;
 
+  /// Refreshes a fragment option whose plan was parameter-substituted:
+  /// re-annotates it against the owning server's statistics and recomputes
+  /// the raw estimate, so the route phase prices (and QCC later pairs
+  /// observations with) the same numbers a fresh compile would produce.
+  Status ReestimateOption(FragmentOption* option) const;
+
   // -- Run time --------------------------------------------------------------
 
   using ExecutionCallback = std::function<void(Result<FragmentExecution>)>;

@@ -51,6 +51,11 @@ std::string DecisionToJson(const DecisionRecord& record) {
   out += "  \"query_id\": " + std::to_string(record.query_id) + ",\n";
   out += "  \"sql\": " + Quote(record.sql) + ",\n";
   out += "  \"at\": " + FormatMetricValue(record.at) + ",\n";
+  out += "  \"cache_hit\": ";
+  out += record.cache_hit ? "true" : "false";
+  out += ",\n";
+  out += "  \"routing_epoch\": " + std::to_string(record.routing_epoch) +
+         ",\n";
   out += "  \"chosen_index\": " + std::to_string(record.chosen_index) + ",\n";
   out += "  \"balance_level\": " + Quote(record.balance_level) + ",\n";
   out += "  \"cost_tolerance\": " + FormatMetricValue(record.cost_tolerance) +
@@ -159,13 +164,20 @@ std::string ExplainText(const DecisionRecord& record) {
   out += line;
   out += "  sql: " + record.sql + "\n";
   std::snprintf(line, sizeof(line),
+                "  compile: %s (routing epoch %llu)\n",
+                record.cache_hit ? "prepared-plan cache hit"
+                                 : "full compile",
+                static_cast<unsigned long long>(record.routing_epoch));
+  out += line;
+  std::snprintf(line, sizeof(line),
                 "  balance=%s tolerance=%.0f%% rotation_counter=%llu "
                 "group={",
                 record.balance_level.c_str(), record.cost_tolerance * 100.0,
                 static_cast<unsigned long long>(record.rotation_counter));
   out += line;
   for (size_t i = 0; i < record.rotation_group.size(); ++i) {
-    out += (i ? "," : "") + std::to_string(record.rotation_group[i]);
+    if (i) out += ",";
+    out += std::to_string(record.rotation_group[i]);
   }
   out += "}";
   if (!record.workload_threshold_met) out += " (below workload threshold)";

@@ -56,6 +56,11 @@ struct DecisionRecord {
   uint64_t query_id = 0;
   std::string sql;
   SimTime at = 0.0;
+  /// True when the compile phase was served from the prepared-plan cache
+  /// (candidates below were re-priced, not re-enumerated).
+  bool cache_hit = false;
+  /// The routing epoch the decision was priced under.
+  uint64_t routing_epoch = 0;
 
   std::vector<CandidatePlanRecord> candidates;
   /// Enumerated options beyond the recorder's per-decision cap (0 = all

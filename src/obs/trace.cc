@@ -19,6 +19,8 @@ const char* SpanKindName(SpanKind kind) {
       return "optimize";
     case SpanKind::kFragmentPlan:
       return "fragment-plan";
+    case SpanKind::kRoute:
+      return "route";
     case SpanKind::kAttempt:
       return "attempt";
     case SpanKind::kFragmentDispatch:

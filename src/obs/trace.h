@@ -19,6 +19,7 @@ enum class SpanKind {
   kDecompose,        ///< AST -> nickname fragments
   kOptimize,         ///< fragment planning + global plan enumeration
   kFragmentPlan,     ///< one candidate (server, plan) priced at compile time
+  kRoute,            ///< route phase: pricing cached candidates + selection
   kAttempt,          ///< one global plan option in flight
   kFragmentDispatch, ///< one fragment execution: submit -> results received
   kNetworkHop,       ///< request descriptor travelling to the server

@@ -81,15 +81,30 @@ std::string ParseExpr::ToString() const {
       return literal.ToString();
     case Kind::kColumnRef:
       return table.empty() ? column : table + "." + column;
-    case Kind::kBinary:
-      return "(" + left->ToString() + " " + BinaryOpName(bop) + " " +
-             right->ToString() + ")";
-    case Kind::kUnary:
+    case Kind::kBinary: {
+      std::string out = "(";
+      out += left->ToString();
+      out += " ";
+      out += BinaryOpName(bop);
+      out += " ";
+      out += right->ToString();
+      out += ")";
+      return out;
+    }
+    case Kind::kUnary: {
+      std::string out = "(";
       if (uop == UnaryOp::kIsNull || uop == UnaryOp::kIsNotNull) {
-        return "(" + left->ToString() + " " + UnaryOpName(uop) + ")";
+        out += left->ToString();
+        out += " ";
+        out += UnaryOpName(uop);
+      } else {
+        out += UnaryOpName(uop);
+        out += " ";
+        out += left->ToString();
       }
-      return std::string("(") + UnaryOpName(uop) + " " + left->ToString() +
-             ")";
+      out += ")";
+      return out;
+    }
     case Kind::kAggCall:
       if (count_star) return "COUNT(*)";
       return std::string(AggFuncName(agg)) + "(" + agg_arg->ToString() + ")";

@@ -26,6 +26,11 @@ struct ParseExpr {
 
   // kLiteral
   Value literal;
+  /// Parameter ordinal from the fingerprint pass (see
+  /// sql/fingerprint.h), or -1 when this literal is not parameterized.
+  /// Carried through binding into BoundExpr so a cached plan can be
+  /// re-instantiated with a new statement's literal values.
+  int param_index = -1;
 
   // kColumnRef: optional qualifier ("t.col" or "col")
   std::string table;

@@ -90,7 +90,7 @@ class Scope {
 Result<BoundExprPtr> BindScalar(const ParseExprPtr& e, const Scope& scope) {
   switch (e->kind) {
     case ParseExpr::Kind::kLiteral:
-      return BoundExpr::Literal(e->literal);
+      return BoundExpr::Literal(e->literal, e->param_index);
     case ParseExpr::Kind::kColumnRef: {
       FEDCAL_ASSIGN_OR_RETURN(Scope::Slot slot,
                               scope.Resolve(e->table, e->column));
@@ -154,7 +154,7 @@ class AggBinder {
     }
     switch (e->kind) {
       case ParseExpr::Kind::kLiteral:
-        return BoundExpr::Literal(e->literal);
+        return BoundExpr::Literal(e->literal, e->param_index);
       case ParseExpr::Kind::kColumnRef:
         return Status::BindError(
             "column " + key +

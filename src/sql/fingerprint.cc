@@ -1,0 +1,78 @@
+#include "sql/fingerprint.h"
+
+#include <functional>
+
+namespace fedcal {
+
+namespace {
+
+/// Re-quotes a string literal for canonical text ('' escapes a quote,
+/// mirroring the lexer).
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+bool IsLiteral(const Token& t) {
+  return t.type == TokenType::kIntLiteral ||
+         t.type == TokenType::kDoubleLiteral ||
+         t.type == TokenType::kStringLiteral;
+}
+
+}  // namespace
+
+std::vector<int> AssignParamOrdinals(const std::vector<Token>& tokens) {
+  std::vector<int> ordinals(tokens.size(), -1);
+  int next = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsLiteral(tokens[i])) continue;
+    if (i > 0 && tokens[i - 1].IsOperator("-")) continue;
+    if (i > 0 && tokens[i - 1].IsKeyword("LIMIT")) continue;
+    ordinals[i] = next++;
+  }
+  return ordinals;
+}
+
+QueryFingerprint FingerprintSql(const std::string& sql) {
+  QueryFingerprint fp;
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return fp;
+
+  const std::vector<int> ordinals = AssignParamOrdinals(*tokens);
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    const Token& t = (*tokens)[i];
+    if (t.type == TokenType::kEnd) break;
+    if (!fp.canonical_sql.empty()) fp.canonical_sql += " ";
+    if (ordinals[i] >= 0) {
+      switch (t.type) {
+        case TokenType::kIntLiteral:
+          fp.canonical_sql += "?int";
+          fp.params.emplace_back(t.int_value);
+          break;
+        case TokenType::kDoubleLiteral:
+          fp.canonical_sql += "?dbl";
+          fp.params.emplace_back(t.double_value);
+          break;
+        default:
+          fp.canonical_sql += "?str";
+          fp.params.emplace_back(t.text);
+          break;
+      }
+      continue;
+    }
+    // Unparameterized literals keep their value in the canonical text so
+    // instances with different excluded literals get distinct entries.
+    fp.canonical_sql +=
+        t.type == TokenType::kStringLiteral ? QuoteString(t.text) : t.text;
+  }
+  fp.hash = std::hash<std::string>{}(fp.canonical_sql);
+  fp.ok = true;
+  return fp;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief Literal-normalized identity of a SQL statement: the key of the
+/// prepared-plan cache.
+///
+/// Canonicalization is purely lexical — tokenize, upper-case keywords
+/// (the lexer already does), collapse whitespace, and replace
+/// parameterizable literal tokens with type-tagged markers (`?int`,
+/// `?dbl`, `?str`). Two statements of the same shape that differ only in
+/// literal values (e.g. QT1 instances with different selection
+/// parameters) produce the same `canonical_sql`; statements of different
+/// shape can never collide because the key is the full canonical text,
+/// not a hash.
+struct QueryFingerprint {
+  /// False when the input could not be tokenized (the statement is about
+  /// to fail parsing anyway; such statements bypass the cache).
+  bool ok = false;
+  /// Canonical text, literals replaced by markers. Cache key.
+  std::string canonical_sql;
+  /// The literal values extracted during canonicalization, in token
+  /// order. `params[i]` corresponds to the i-th marker.
+  std::vector<Value> params;
+  /// std::hash of canonical_sql (display / metrics convenience only; the
+  /// cache compares full strings).
+  size_t hash = 0;
+};
+
+/// \brief Parameter ordinal per token: `result[i]` is the parameter slot
+/// of `tokens[i]`, or -1 when that token is not parameterized.
+///
+/// This single function defines which literals become parameters; the
+/// parser consults the same assignment when tagging literal ParseExprs,
+/// so token-order ordinals stay consistent with AST positions even when
+/// the parser reorders clauses (JOIN ON conditions fold into WHERE).
+///
+/// Rules: int/double/string literal tokens are parameterized EXCEPT
+///   - a literal immediately preceded by a `-` operator token (the parser
+///     folds unary minus into the literal value, so substituting the
+///     unsigned token would flip signs; binary minus is excluded too —
+///     always safe, merely less sharing), and
+///   - the integer after LIMIT (stored as a plain int64 on the statement,
+///     not as an expression, so it cannot be substituted at route time).
+std::vector<int> AssignParamOrdinals(const std::vector<Token>& tokens);
+
+/// Computes the fingerprint of a SQL string. Never fails: a statement the
+/// lexer rejects yields `ok == false`.
+QueryFingerprint FingerprintSql(const std::string& sql);
+
+}  // namespace fedcal

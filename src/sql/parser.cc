@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "sql/fingerprint.h"
 #include "sql/lexer.h"
 
 namespace fedcal {
@@ -11,7 +12,9 @@ namespace {
 /// Recursive-descent parser over the token stream.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)),
+        param_ordinals_(AssignParamOrdinals(tokens_)) {}
 
   Result<SelectStmt> ParseStatement() {
     FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectBody());
@@ -312,18 +315,27 @@ class Parser {
     return ParsePrimary();
   }
 
+  /// Literal expression tagged with the fingerprint pass's parameter
+  /// ordinal for the token at `tok_idx` (-1 when not parameterized).
+  ParseExprPtr MakeTaggedLiteral(Value v, size_t tok_idx) const {
+    ParseExprPtr e = ParseExpr::MakeLiteral(std::move(v));
+    e->param_index = param_ordinals_[tok_idx];
+    return e;
+  }
+
   Result<ParseExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    const size_t tok_idx = pos_;
     switch (t.type) {
       case TokenType::kIntLiteral:
         Advance();
-        return ParseExpr::MakeLiteral(Value(t.int_value));
+        return MakeTaggedLiteral(Value(t.int_value), tok_idx);
       case TokenType::kDoubleLiteral:
         Advance();
-        return ParseExpr::MakeLiteral(Value(t.double_value));
+        return MakeTaggedLiteral(Value(t.double_value), tok_idx);
       case TokenType::kStringLiteral:
         Advance();
-        return ParseExpr::MakeLiteral(Value(t.text));
+        return MakeTaggedLiteral(Value(t.text), tok_idx);
       case TokenType::kKeyword: {
         if (t.text == "NULL") {
           Advance();
@@ -381,6 +393,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  std::vector<int> param_ordinals_;
   size_t pos_ = 0;
 };
 

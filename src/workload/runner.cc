@@ -10,13 +10,19 @@
 namespace fedcal {
 
 size_t ForcedServerSelector::SelectPlan(
-    uint64_t query_id, const std::string& sql,
+    const QueryContext& ctx,
     const std::vector<GlobalPlanOption>& options) {
-  (void)query_id;
   std::string target = default_server_;
-  if (auto stmt = ParseSelect(sql); stmt.ok()) {
-    auto it = assignments_.find(SignatureOf(*stmt));
-    if (it != assignments_.end()) target = it->second;
+  size_t signature = ctx.type_signature;
+  if (signature == 0) {
+    // Compile phase left the signature unset (shouldn't happen on the
+    // normal path) — recover it from the statement text.
+    if (auto stmt = ParseSelect(ctx.sql); stmt.ok()) {
+      signature = SignatureOf(*stmt);
+    }
+  }
+  if (auto it = assignments_.find(signature); it != assignments_.end()) {
+    target = it->second;
   }
   if (target.empty()) return 0;
   for (size_t i = 0; i < options.size(); ++i) {

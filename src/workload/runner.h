@@ -24,7 +24,7 @@ class ForcedServerSelector : public PlanSelector {
     default_server_ = std::move(server_id);
   }
 
-  size_t SelectPlan(uint64_t query_id, const std::string& sql,
+  size_t SelectPlan(const QueryContext& ctx,
                     const std::vector<GlobalPlanOption>& options) override;
 
  private:

@@ -45,4 +45,16 @@ Result<std::vector<WrapperPlan>> RelationalWrapper::PlanFragmentSql(
   return PlanFragment(stmt, max_alternatives);
 }
 
+Status RelationalWrapper::Reestimate(WrapperPlan* wp) const {
+  FEDCAL_RETURN_NOT_OK(
+      planner_.cost_model().Annotate(wp->plan, server_->stats()));
+  wp->estimated_work = wp->plan->estimated_work;
+  wp->estimated_rows = wp->plan->estimated_rows;
+  wp->estimated_bytes =
+      wp->plan->estimated_rows *
+      (8.0 * static_cast<double>(wp->output_schema.num_columns()));
+  wp->identity = wp->plan->Fingerprint(/*normalize_literals=*/false);
+  return Status::OK();
+}
+
 }  // namespace fedcal

@@ -58,6 +58,13 @@ class RelationalWrapper {
   Result<std::vector<WrapperPlan>> PlanFragmentSql(const std::string& sql,
                                                    size_t max_alternatives = 2);
 
+  /// Re-annotates `wp->plan` against this server's current statistics and
+  /// refreshes the plan-derived estimate fields (work/rows/bytes and the
+  /// literal-sensitive identity fingerprint). Used by the route phase
+  /// after parameter substitution so a cached plan carries the same
+  /// estimates a fresh compile of the instance would produce.
+  Status Reestimate(WrapperPlan* wp) const;
+
  private:
   RemoteServer* server_;
   Planner planner_;

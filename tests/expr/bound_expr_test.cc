@@ -10,7 +10,9 @@ namespace {
 using namespace fedcal::testing;  // NOLINT
 
 BoundExprPtr Col(size_t i, DataType t = DataType::kInt64) {
-  return BoundExpr::Column(i, "c" + std::to_string(i), t);
+  std::string name = "c";
+  name += std::to_string(i);
+  return BoundExpr::Column(i, name, t);
 }
 BoundExprPtr Lit(Value v) { return BoundExpr::Literal(std::move(v)); }
 

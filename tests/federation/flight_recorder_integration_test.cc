@@ -203,8 +203,10 @@ TEST(FlightRecorderIntegrationTest, RecorderStaysBoundedUnderQccWorkload) {
   ASSERT_OK(compiled.status());
   ASSERT_GE(compiled->options.size(), 2u);
   for (uint64_t q = 1; q <= 10'000; ++q) {
-    const size_t chosen =
-        qcc.SelectPlan(q, "SELECT 1", compiled->options);
+    QueryContext ctx;
+    ctx.query_id = q;
+    ctx.sql = "SELECT 1";
+    const size_t chosen = qcc.SelectPlan(ctx, compiled->options);
     const auto& frag =
         compiled->options[chosen].fragment_choices.front();
     qcc.RecordFragmentObservation(frag.wrapper_plan.server_id,

@@ -115,7 +115,7 @@ TEST(IntegratorEdgeTest, ChosenIndexOutOfRangeFallsBackToCheapest) {
   Scenario sc(TinyConfig());
   class WildSelector : public PlanSelector {
    public:
-    size_t SelectPlan(uint64_t, const std::string&,
+    size_t SelectPlan(const QueryContext&,
                       const std::vector<GlobalPlanOption>&) override {
       return 999'999;  // nonsense
     }

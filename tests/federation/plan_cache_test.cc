@@ -1,0 +1,113 @@
+// Unit tests for the LRU prepared-plan cache: boundedness, recency
+// ordering, replace-on-insert, and lazy epoch invalidation.
+#include "federation/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fedcal {
+namespace {
+
+PreparedPlanPtr MakePlan(const std::string& key, uint64_t epoch = 0,
+                         uint64_t type_signature = 0) {
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->canonical_sql = key;
+  plan->compiled_epoch = epoch;
+  plan->type_signature = type_signature;
+  return plan;
+}
+
+TEST(PlanCacheTest, HitAndMissAccounting) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert(MakePlan("a"));
+  PreparedPlanPtr hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->canonical_sql, "a");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+TEST(PlanCacheTest, StaysBoundedUnderTenThousandDistinctStatements) {
+  PlanCache cache(64);
+  for (int i = 0; i < 10'000; ++i) {
+    std::string key = "stmt-";
+    key += std::to_string(i);
+    cache.Insert(MakePlan(key));
+    ASSERT_LE(cache.size(), cache.capacity());
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.stats().evictions, 10'000u - 64u);
+  // The most recent 64 survive; everything older is gone.
+  EXPECT_NE(cache.Lookup("stmt-9999"), nullptr);
+  EXPECT_NE(cache.Lookup("stmt-9936"), nullptr);
+  EXPECT_EQ(cache.Lookup("stmt-9935"), nullptr);
+  EXPECT_EQ(cache.Lookup("stmt-0"), nullptr);
+}
+
+TEST(PlanCacheTest, LookupRefreshesRecency) {
+  PlanCache cache(2);
+  cache.Insert(MakePlan("a"));
+  cache.Insert(MakePlan("b"));
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // a is now most recently used
+  cache.Insert(MakePlan("c"));            // evicts b, not a
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+TEST(PlanCacheTest, InsertReplacesExistingKey) {
+  PlanCache cache(4);
+  cache.Insert(MakePlan("a"));
+  cache.Insert(MakePlan("a", 0, 99));
+  EXPECT_EQ(cache.size(), 1u);
+  PreparedPlanPtr hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->type_signature, 99u);
+}
+
+TEST(PlanCacheTest, EpochBumpInvalidatesLazily) {
+  PlanCache cache(4);
+  cache.Insert(MakePlan("a", cache.epoch()));
+  cache.Insert(MakePlan("b", cache.epoch()));
+  cache.BumpEpoch("test-reason");
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.last_invalidation_reason(), "test-reason");
+  EXPECT_EQ(cache.stats().epoch_bumps, 1u);
+  // No eager scan: both entries still occupy the cache...
+  EXPECT_EQ(cache.size(), 2u);
+  // ...but a lookup detects the stale epoch, drops the entry, and
+  // reports a miss.
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // A recompiled entry at the new epoch hits again.
+  cache.Insert(MakePlan("a", cache.epoch()));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroCapacityClampsToOne) {
+  PlanCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Insert(MakePlan("a"));
+  cache.Insert(MakePlan("b"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+TEST(PlanCacheTest, ClearEmptiesEntriesButKeepsEpoch) {
+  PlanCache cache(4);
+  cache.Insert(MakePlan("a", cache.epoch()));
+  cache.BumpEpoch("before-clear");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -21,7 +21,8 @@ DecisionRecord MakeDecision(uint64_t query_id, size_t candidates = 3,
   for (size_t i = 0; i < candidates; ++i) {
     CandidatePlanRecord c;
     c.option_index = i;
-    c.server_set = "S" + std::to_string(i + 1);
+    c.server_set = "S";
+    c.server_set += std::to_string(i + 1);
     c.total_calibrated_seconds = 0.1 * static_cast<double>(i + 1);
     c.total_raw_seconds = 0.1;
     c.chosen = (i == chosen);
@@ -120,7 +121,8 @@ TEST(FlightRecorderTest, MemoryStaysBoundedUnderTenThousandQueries) {
   for (uint64_t q = 1; q <= 10'000; ++q) {
     rec.Record(MakeDecision(q, /*candidates=*/4));
     const SimTime t = static_cast<SimTime>(q) * 0.01;
-    const std::string sid = "S" + std::to_string(q % 3 + 1);
+    std::string sid = "S";
+    sid += std::to_string(q % 3 + 1);
     rec.Sample(sid, ServerMetric::kCalibrationFactor, t,
                1.0 + 0.1 * static_cast<double>(q % 7));
     rec.Sample(sid, ServerMetric::kObservedRatio, t, 1.0);

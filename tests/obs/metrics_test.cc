@@ -112,7 +112,9 @@ TEST(MetricsRegistryTest, LookupCreatesAndReferencesAreStable) {
   Counter& c = reg.counter("a");
   // Creating many more entries must not invalidate the reference.
   for (int i = 0; i < 100; ++i) {
-    reg.counter("c" + std::to_string(i)).Add();
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name).Add();
   }
   c.Add(7);
   EXPECT_EQ(reg.counter("a").value(), 7u);

@@ -142,7 +142,9 @@ TEST(TracerTest, RetentionDropsOldestButIndexStaysValid) {
   Tracer tracer(&sim);
   tracer.set_retention(3);
   for (uint64_t q = 1; q <= 10; ++q) {
-    tracer.BeginQuery(q, "q" + std::to_string(q));
+    std::string sql = "q";
+    sql += std::to_string(q);
+    tracer.BeginQuery(q, sql);
     tracer.EndQuery(q, false);
   }
   EXPECT_EQ(tracer.size(), 3u);

@@ -1,0 +1,130 @@
+// Tests for the literal-normalized SQL fingerprint (the prepared-plan
+// cache key): same-shape statements must share a canonical text with the
+// literals extracted as typed parameters; different shapes must never
+// collide; and the two substitution-safety exclusions (unary minus,
+// LIMIT) must keep their literals in the canonical text.
+#include "sql/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fedcal {
+namespace {
+
+TEST(FingerprintTest, SameShapeDifferentLiteralsShareCanonicalText) {
+  const auto a = FingerprintSql(
+      "SELECT empno FROM employee WHERE salary > 90000 AND workdept = 'A01'");
+  const auto b = FingerprintSql(
+      "SELECT empno FROM employee WHERE salary > 123 AND workdept = 'D21'");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.canonical_sql, b.canonical_sql);
+  EXPECT_EQ(a.hash, b.hash);
+  // Literals extracted in token order, typed.
+  ASSERT_EQ(a.params.size(), 2u);
+  EXPECT_EQ(a.params[0], Value(int64_t{90'000}));
+  EXPECT_EQ(a.params[1], Value("A01"));
+  ASSERT_EQ(b.params.size(), 2u);
+  EXPECT_EQ(b.params[0], Value(int64_t{123}));
+  EXPECT_EQ(b.params[1], Value("D21"));
+}
+
+TEST(FingerprintTest, WhitespaceIsCollapsed) {
+  const auto a = FingerprintSql("SELECT   x\n FROM\tt WHERE x > 1");
+  const auto b = FingerprintSql("SELECT x FROM t WHERE x > 2");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.canonical_sql, b.canonical_sql);
+}
+
+TEST(FingerprintTest, DifferentShapesNeverCollide) {
+  const auto a = FingerprintSql("SELECT x FROM t WHERE x > 1");
+  const auto b = FingerprintSql("SELECT x FROM t WHERE x >= 1");
+  const auto c = FingerprintSql("SELECT x FROM t WHERE y > 1");
+  const auto d = FingerprintSql("SELECT x FROM u WHERE x > 1");
+  ASSERT_TRUE(a.ok && b.ok && c.ok && d.ok);
+  EXPECT_NE(a.canonical_sql, b.canonical_sql);
+  EXPECT_NE(a.canonical_sql, c.canonical_sql);
+  EXPECT_NE(a.canonical_sql, d.canonical_sql);
+}
+
+TEST(FingerprintTest, TypeTagsKeepIntDoubleAndStringDistinct) {
+  const auto i = FingerprintSql("SELECT x FROM t WHERE x > 5");
+  const auto d = FingerprintSql("SELECT x FROM t WHERE x > 5.0");
+  const auto s = FingerprintSql("SELECT x FROM t WHERE x > 'five'");
+  ASSERT_TRUE(i.ok && d.ok && s.ok);
+  EXPECT_NE(i.canonical_sql, d.canonical_sql);
+  EXPECT_NE(i.canonical_sql, s.canonical_sql);
+  EXPECT_NE(d.canonical_sql, s.canonical_sql);
+  EXPECT_NE(i.canonical_sql.find("?int"), std::string::npos);
+  EXPECT_NE(d.canonical_sql.find("?dbl"), std::string::npos);
+  EXPECT_NE(s.canonical_sql.find("?str"), std::string::npos);
+}
+
+TEST(FingerprintTest, UnaryMinusLiteralIsNotParameterized) {
+  // The parser folds unary minus into the literal, so the unsigned token
+  // must stay in the canonical text: `-5` and `-9` are different shapes.
+  const auto a = FingerprintSql("SELECT x FROM t WHERE x > -5");
+  const auto b = FingerprintSql("SELECT x FROM t WHERE x > -9");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_NE(a.canonical_sql, b.canonical_sql);
+  EXPECT_TRUE(a.params.empty());
+  EXPECT_EQ(a.canonical_sql.find("?int"), std::string::npos);
+}
+
+TEST(FingerprintTest, LimitCountIsNotParameterized) {
+  // LIMIT is stored as a plain int on the statement, not an expression,
+  // so it cannot be substituted at route time and must key separately.
+  const auto a = FingerprintSql("SELECT x FROM t ORDER BY x LIMIT 10");
+  const auto b = FingerprintSql("SELECT x FROM t ORDER BY x LIMIT 20");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_NE(a.canonical_sql, b.canonical_sql);
+  EXPECT_TRUE(a.params.empty());
+}
+
+TEST(FingerprintTest, MixedParameterizedAndExcludedLiterals) {
+  const auto a =
+      FingerprintSql("SELECT x FROM t WHERE x > 100 AND y > -3 LIMIT 5");
+  const auto b =
+      FingerprintSql("SELECT x FROM t WHERE x > 999 AND y > -3 LIMIT 5");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.canonical_sql, b.canonical_sql);
+  ASSERT_EQ(a.params.size(), 1u);
+  EXPECT_EQ(a.params[0], Value(int64_t{100}));
+  EXPECT_EQ(b.params[0], Value(int64_t{999}));
+}
+
+TEST(FingerprintTest, UnlexableStatementIsNotOk) {
+  const auto fp = FingerprintSql("SELECT x FROM t WHERE s = 'unterminated");
+  EXPECT_FALSE(fp.ok);
+  EXPECT_TRUE(fp.canonical_sql.empty());
+}
+
+TEST(FingerprintTest, OrdinalsAgreeWithParserParamIndexes) {
+  // The parser tags literal expressions with the same token-order
+  // ordinals AssignParamOrdinals hands out, even though the JOIN ON
+  // condition folds into WHERE (AST reordering). Substituting params by
+  // those indexes must therefore reproduce the statement's own literals.
+  const std::string sql =
+      "SELECT e.workdept, COUNT(*) AS cnt "
+      "FROM employee e JOIN sales s ON s.empno = e.empno "
+      "WHERE s.amount > 750.0 GROUP BY e.workdept";
+  const auto fp = FingerprintSql(sql);
+  ASSERT_TRUE(fp.ok);
+  ASSERT_EQ(fp.params.size(), 1u);
+  EXPECT_EQ(fp.params[0], Value(750.0));
+
+  auto tokens = Tokenize(sql);
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<int> ordinals = AssignParamOrdinals(*tokens);
+  int max_ordinal = -1;
+  for (int o : ordinals) max_ordinal = std::max(max_ordinal, o);
+  EXPECT_EQ(max_ordinal + 1, static_cast<int>(fp.params.size()));
+}
+
+}  // namespace
+}  // namespace fedcal

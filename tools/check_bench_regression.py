@@ -11,15 +11,22 @@ and stay within a generous multiplier of the baseline.
 
 Usage:
   tools/check_bench_regression.py --fresh-dir <dir> [--baseline-dir bench/baselines]
+  tools/check_bench_regression.py --fresh-dir <dir> --update-baselines
 
 Exit code 0 when every bench matches its baseline, 1 otherwise (with a
 per-violation report on stdout).
+
+--update-baselines copies every fresh BENCH_<name>.json over its
+committed baseline (adding files for new benches) instead of comparing,
+and refuses to accept output with failing shape checks. Use it after an
+intentional perf-affecting change; see EXPERIMENTS.md.
 """
 
 import argparse
 import json
 import math
 import os
+import shutil
 import sys
 
 # Relative tolerance for deterministic (virtual-time) metrics. Slack is
@@ -132,13 +139,50 @@ def compare(bench, baseline, fresh, problems):
                                 fresh_value, problems)
 
 
+def update_baselines(fresh_dir, baseline_dir):
+    """Adopts every fresh BENCH_*.json as the new committed baseline."""
+    fresh = sorted(
+        f for f in os.listdir(fresh_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not fresh:
+        print(f"no BENCH_*.json files under {fresh_dir}; run the benches "
+              f"with FEDCAL_BENCH_JSON_DIR={fresh_dir} first")
+        return 1
+    problems = []
+    for name in fresh:
+        data = load(os.path.join(fresh_dir, name))
+        if data.get("failed", 0) != 0:
+            problems.append(
+                f"{name}: {data['failed']} shape check(s) failing; fix the "
+                f"bench (or the code) before adopting it as a baseline")
+    if problems:
+        for p in problems:
+            print(f"  FAIL  {p}")
+        return 1
+    os.makedirs(baseline_dir, exist_ok=True)
+    for name in fresh:
+        dst = os.path.join(baseline_dir, name)
+        verb = "updated" if os.path.exists(dst) else "added"
+        shutil.copyfile(os.path.join(fresh_dir, name), dst)
+        print(f"  {verb}  {dst}")
+    print(f"{len(fresh)} baseline(s) written to {baseline_dir}; review the "
+          f"diff and commit them with the change that moved the numbers")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--fresh-dir", required=True,
                         help="directory holding freshly produced "
                              "BENCH_<name>.json files")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="adopt the fresh output as the new baselines "
+                             "instead of comparing against them")
     args = parser.parse_args()
+
+    if args.update_baselines:
+        return update_baselines(args.fresh_dir, args.baseline_dir)
 
     baselines = sorted(
         f for f in os.listdir(args.baseline_dir)
