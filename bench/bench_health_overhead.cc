@@ -1,0 +1,213 @@
+// Micro-benchmarks of the health-engine hot paths: what one structured
+// event, one log-line forward, and one SLO sample actually cost on the
+// paths every query crosses. The disabled variants quantify the price of
+// leaving the health engine compiled in but switched off — that delta is
+// the number the bench gate holds to tens of nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+#include "common/logging.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace fedcal {
+namespace {
+
+void BM_EventEmitEnabled(benchmark::State& state) {
+  obs::EventLog log(/*sim=*/nullptr);
+  uint64_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Emit(
+        obs::EventType::kRetry, obs::EventSeverity::kWarn, "S1", ++query,
+        "retrying on S2 in 0.05s"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventEmitEnabled);
+
+void BM_EventEmitDisabled(benchmark::State& state) {
+  // Baseline: the same call with the log off. The delta to
+  // BM_EventEmitEnabled is the true cost of structured event capture.
+  obs::EventLogConfig cfg;
+  cfg.enabled = false;
+  obs::EventLog log(/*sim=*/nullptr, cfg);
+  uint64_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Emit(
+        obs::EventType::kRetry, obs::EventSeverity::kWarn, "S1", ++query,
+        "retrying on S2 in 0.05s"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventEmitDisabled);
+
+void BM_LogLineForwarded(benchmark::State& state) {
+  // A FEDCAL_LOG line with an event sink installed: the message is
+  // formatted and forwarded as a kLog event, but stays below the stderr
+  // threshold so nothing is printed.
+  obs::EventLog log(/*sim=*/nullptr);
+  Logger::Instance().set_level(LogLevel::kOff);
+  obs::ScopedLogSink sink(&log, LogLevel::kInfo);
+  for (auto _ : state) {
+    FEDCAL_LOG_INFO << "availability daemon marked S1 down";
+  }
+  Logger::Instance().set_level(LogLevel::kWarn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogLineForwarded);
+
+void BM_LogLineSuppressed(benchmark::State& state) {
+  // Baseline: the same line with no sink and stderr off — Enabled() is
+  // false, so the stream never materializes. This is the seed's cost of a
+  // dormant log statement.
+  Logger::Instance().set_level(LogLevel::kOff);
+  for (auto _ : state) {
+    FEDCAL_LOG_INFO << "availability daemon marked S1 down";
+  }
+  Logger::Instance().set_level(LogLevel::kWarn);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogLineSuppressed);
+
+void BM_HealthRecordQuery(benchmark::State& state) {
+  // The per-query ingestion path: one end-to-end latency sample into the
+  // fleet SLO window, including the throttled rule-evaluation check.
+  obs::EventLog log(/*sim=*/nullptr);
+  obs::FlightRecorder recorder;
+  obs::MetricsRegistry metrics;
+  obs::HealthEngine health(&log, &recorder, &metrics);
+  double t = 0.0;
+  for (auto _ : state) {
+    health.RecordQuery(t, 0.02, /*ok=*/true);
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthRecordQuery);
+
+void BM_HealthRecordQueryDisabled(benchmark::State& state) {
+  obs::EventLog log(/*sim=*/nullptr);
+  obs::FlightRecorder recorder;
+  obs::MetricsRegistry metrics;
+  obs::HealthConfig cfg;
+  cfg.enabled = false;
+  obs::HealthEngine health(&log, &recorder, &metrics, cfg);
+  double t = 0.0;
+  for (auto _ : state) {
+    health.RecordQuery(t, 0.02, /*ok=*/true);
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthRecordQueryDisabled);
+
+void BM_HealthEvaluate(benchmark::State& state) {
+  // One full rule pass over a populated engine: three servers with error
+  // and latency windows, fleet window, flap/drift state.
+  obs::EventLog log(/*sim=*/nullptr);
+  obs::FlightRecorder recorder;
+  obs::MetricsRegistry metrics;
+  obs::HealthEngine health(&log, &recorder, &metrics);
+  double t = 0.0;
+  for (const char* sid : {"S1", "S2", "S3"}) {
+    for (int i = 0; i < 100; ++i) {
+      health.RecordServerOutcome(sid, t, i % 10 != 0);
+      health.RecordServerLatency(sid, t, 0.02, 0.025);
+      health.RecordQuery(t, 0.02, /*ok=*/true);
+      t += 0.05;
+    }
+  }
+  for (auto _ : state) {
+    health.Evaluate(t);
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthEvaluate);
+
+void BM_SloWindowRecord(benchmark::State& state) {
+  // One good/bad sample into a rolling burn-rate window.
+  obs::SloWindow window{obs::BurnRateConfig{}};
+  double t = 0.0;
+  bool good = true;
+  for (auto _ : state) {
+    window.Record(t, good);
+    good = !good;
+    t += 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloWindowRecord);
+
+}  // namespace
+}  // namespace fedcal
+
+/// Custom BENCHMARK_MAIN: console output unchanged, per-iteration timings
+/// additionally land in BENCH_health_overhead.json via the shared reporter
+/// (wall-clock timings, so not byte-stable across runs).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(fedcal::bench::JsonReporter* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      out_->AddScalar(run.benchmark_name() + "/real_time_per_iter_s",
+                      per_iter);
+      per_iter_[run.benchmark_name()] = per_iter;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double at(const std::string& name) const {
+    auto it = per_iter_.find(name);
+    return it != per_iter_.end() ? it->second : 0.0;
+  }
+
+ private:
+  fedcal::bench::JsonReporter* out_;
+  std::map<std::string, double> per_iter_;
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fedcal::bench::JsonReporter reporter("health_overhead");
+  JsonCollectingReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+
+  fedcal::bench::ShapeCheck check;
+  const double emit_on = display.at("BM_EventEmitEnabled");
+  const double emit_off = display.at("BM_EventEmitDisabled");
+  const double log_fwd = display.at("BM_LogLineForwarded");
+  const double log_off = display.at("BM_LogLineSuppressed");
+  const double rec_on = display.at("BM_HealthRecordQuery");
+  const double rec_off = display.at("BM_HealthRecordQueryDisabled");
+  check.Expect(emit_on > 0 && emit_off > 0 && log_fwd > 0 && rec_on > 0,
+               "all hot paths measured");
+  check.Expect(emit_off < emit_on,
+               "disabled event log is cheaper than enabled");
+  check.Expect(log_off * 10.0 < log_fwd,
+               "a suppressed log line costs an order less than a forward");
+  check.Expect(rec_off * 2.0 < rec_on,
+               "disabled health engine skips SLO ingestion work");
+  check.Expect(emit_on < 2e-6,
+               "one structured event stays under 2 microseconds");
+  const int rc = check.Summary("health_overhead");
+  const int json_rc = reporter.Finish(check);
+  return rc != 0 ? rc : json_rc;
+}

@@ -20,6 +20,9 @@
 //   \trace             span tree of the last query's lifecycle trace
 //   \cache             prepared-plan cache: entries, hit rate, routing
 //                      epoch and the last invalidation reason
+//   \health            single-screen fleet health dashboard (fedtop)
+//   \alerts            active and recently resolved SLO/rule alerts
+//   \events [n]        last n structured health events (default 20)
 //   \qcc on|off        attach / detach the query cost calibrator
 //   \help              this list            \quit  exit
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "obs/export.h"
+#include "obs/snapshot.h"
 #include "workload/scenario.h"
 
 using namespace fedcal;  // NOLINT
@@ -36,23 +40,31 @@ namespace {
 
 void PrintCommandList() {
   std::printf(
-      "  commands:\n"
+      "  query:\n"
       "    \\tables            list nicknames and replica locations\n"
-      "    \\servers           server status, load and calibration "
-      "factors\n"
-      "    \\load <srv> <f>    set background load on a server (0..0.99)\n"
-      "    \\down <srv>        take a server down\n"
-      "    \\up <srv>          bring a server back\n"
       "    \\explain [id]      routing decision: candidate plans, "
       "rejection reasons,\n"
       "                       consulted server state (default: last "
       "query)\n"
+      "    \\trace             span tree of the last query\n"
+      "  observe:\n"
+      "    \\servers           server status, load and calibration "
+      "factors\n"
       "    \\timeline <srv>    calibration/reliability/availability/"
       "breaker series\n"
       "    \\stats             telemetry metrics snapshot\n"
-      "    \\trace             span tree of the last query\n"
+      "  cache:\n"
       "    \\cache             prepared-plan cache stats, routing epoch, "
       "last invalidation\n"
+      "  health:\n"
+      "    \\health            fleet health dashboard (grades, alerts, "
+      "events)\n"
+      "    \\alerts            active and recently resolved alerts\n"
+      "    \\events [n]        last n structured events (default 20)\n"
+      "  control:\n"
+      "    \\load <srv> <f>    set background load on a server (0..0.99)\n"
+      "    \\down <srv>        take a server down\n"
+      "    \\up <srv>          bring a server back\n"
       "    \\qcc on|off        attach / detach the query cost calibrator\n"
       "    \\help              this list\n"
       "    \\quit              exit\n");
@@ -143,6 +155,13 @@ int main() {
         std::string sid;
         if (iss >> sid) {
           sc.server(sid).SetAvailable(cmd == "up");
+          sc.telemetry().events.Emit(
+              cmd == "up" ? obs::EventType::kServerUp
+                          : obs::EventType::kServerDown,
+              cmd == "up" ? obs::EventSeverity::kInfo
+                          : obs::EventSeverity::kError,
+              sid, /*query_id=*/0,
+              std::string("operator \\") + cmd + " from shell");
           std::printf("  %s is now %s\n", sid.c_str(),
                       cmd == "up" ? "up" : "down");
         }
@@ -219,6 +238,18 @@ int main() {
                     cache.last_invalidation_reason().empty()
                         ? "(none)"
                         : cache.last_invalidation_reason().c_str());
+      } else if (cmd == "health") {
+        const obs::HealthSnapshot snap = obs::BuildHealthSnapshot(
+            sc.telemetry().health, sc.telemetry().recorder,
+            sc.telemetry().events, sc.sim().Now(), sc.server_ids());
+        std::printf("%s", obs::FedtopText(snap).c_str());
+      } else if (cmd == "alerts") {
+        std::printf("%s", obs::AlertsText(sc.telemetry().health).c_str());
+      } else if (cmd == "events") {
+        size_t n = 20;
+        iss >> n;
+        std::printf("%s",
+                    obs::EventsText(sc.telemetry().events, n).c_str());
       } else if (cmd == "qcc") {
         std::string mode;
         iss >> mode;

@@ -1,0 +1,266 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fedcal {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  if (type == Type::kNumber) return number_value;
+  if (type == Type::kBool) return bool_value ? 1.0 : 0.0;
+  return fallback;
+}
+
+uint64_t JsonValue::AsU64(uint64_t fallback) const {
+  if (type != Type::kNumber) return fallback;
+  if (number_value < 0.0) return fallback;
+  return static_cast<uint64_t>(number_value);
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  if (type == Type::kBool) return bool_value;
+  if (type == Type::kNumber) return number_value != 0.0;
+  return fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over the raw byte string.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    Status s = ParseValue(root, /*depth=*/0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string_value);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        return ParseKeyword(out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseKeyword(JsonValue& out) {
+    auto match = [&](const char* word) {
+      size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return Status::OK();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return Error("invalid number");
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    out.type = JsonValue::Type::kNumber;
+    out.number_value = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= unsigned(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= unsigned(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= unsigned(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (our exporters never emit
+          // surrogate pairs).
+          if (code < 0x80) {
+            out.push_back(char(code));
+          } else if (code < 0x800) {
+            out.push_back(char(0xC0 | (code >> 6)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(char(0xE0 | (code >> 12)));
+            out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    Consume('{');
+    out.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status s = ParseString(key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      s = ParseValue(value, depth + 1);
+      if (!s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    Consume('[');
+    out.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(value, depth + 1);
+      if (!s.ok()) return s;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace fedcal

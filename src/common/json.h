@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fedcal {
+
+/// \brief A parsed JSON document node.
+///
+/// Minimal by design: the repo only needs to re-read its own deterministic
+/// exporters (health snapshots, bench JSON) in tools and tests, so this is
+/// a plain value tree — no allocator tricks, no SAX mode. Object member
+/// order is preserved as parsed.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+
+  /// Typed accessors with defaults — tolerant of missing/mistyped nodes so
+  /// snapshot readers degrade gracefully.
+  double AsDouble(double fallback = 0.0) const;
+  uint64_t AsU64(uint64_t fallback = 0) const;
+  bool AsBool(bool fallback = false) const;
+  const std::string& AsString() const { return string_value; }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). Returns InvalidArgument with a byte offset on failure.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace fedcal

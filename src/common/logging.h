@@ -8,11 +8,25 @@ namespace fedcal {
 /// \brief Severity levels for the fedcal logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// \brief Receiver for structured log delivery. Installing a sink turns
+/// every FEDCAL_LOG line at or above the sink's level into a callback in
+/// addition to (not instead of) the stderr line — the observability layer
+/// uses this to convert legacy log call sites into typed events without
+/// touching them.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void OnLog(LogLevel level, const std::string& file, int line,
+                     const std::string& message) = 0;
+};
+
 /// \brief Minimal process-wide logger.
 ///
 /// Log lines go to stderr. The default threshold is kWarn so that library
 /// consumers (tests, benches) are quiet unless something is wrong; harness
-/// code may lower it for tracing.
+/// code may lower it for tracing. An installed LogSink has its own
+/// threshold, so a sink can observe kInfo traffic while stderr stays
+/// quiet.
 class Logger {
  public:
   static Logger& Instance();
@@ -20,8 +34,19 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Routes subsequent Write calls at or above `sink_level` to `sink`
+  /// (nullptr uninstalls). The stderr threshold is unaffected.
+  void SetSink(LogSink* sink, LogLevel sink_level = LogLevel::kInfo) {
+    sink_ = sink;
+    sink_level_ = sink_level;
+  }
+  LogSink* sink() const { return sink_; }
+  LogLevel sink_level() const { return sink_level_; }
+
   bool Enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(level_) ||
+           (sink_ != nullptr &&
+            static_cast<int>(level) >= static_cast<int>(sink_level_));
   }
 
   void Write(LogLevel level, const std::string& file, int line,
@@ -30,6 +55,8 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
+  LogSink* sink_ = nullptr;
+  LogLevel sink_level_ = LogLevel::kOff;
 };
 
 /// \brief Stream-style helper that emits one log line on destruction.

@@ -1,6 +1,7 @@
 #include "core/qcc.h"
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 namespace fedcal {
@@ -56,8 +57,16 @@ void QueryCostCalibrator::AttachTo(Integrator* integrator) {
   plan_cache_ = &integrator->plan_cache();
   // Any real up/down transition — daemon probe or log-based — changes
   // which servers are priced at infinity, so cached pricing is stale.
+  // The same transition is the availability event the health engine's
+  // §3.3 alerting keys off.
   availability_.SetTransitionHook(
       [this](const std::string& server_id, bool down) {
+        meta_wrapper_->telemetry()->events.Emit(
+            down ? obs::EventType::kServerDown : obs::EventType::kServerUp,
+            down ? obs::EventSeverity::kError : obs::EventSeverity::kInfo,
+            server_id, /*query_id=*/0,
+            down ? "availability daemons marked " + server_id + " down"
+                 : "availability daemons marked " + server_id + " up");
         BumpRoutingEpoch((down ? "server-down:" : "server-up:") + server_id);
       });
   whatif_ = WhatIfSimulator(integrator->catalog(), meta_wrapper_,
@@ -151,11 +160,23 @@ void QueryCostCalibrator::RecordFragmentObservation(
     if (drifts > 0) {
       metrics.counter("recorder.drift_events").Add(drifts);
       metrics.counter("recorder.drift_events." + server_id).Add(drifts);
+      const obs::DriftEvent& drift = recorder.drift_events().back();
+      char what[96];
+      std::snprintf(what, sizeof(what),
+                    "calibration factor %.3f -> %.3f (%+.0f%%)",
+                    drift.reference, drift.current,
+                    (drift.current >= drift.reference ? 1.0 : -1.0) *
+                        drift.change_fraction * 100.0);
+      meta_wrapper_->telemetry()->events.Emit(
+          obs::EventType::kCalibrationDrift, obs::EventSeverity::kWarn,
+          server_id, /*query_id=*/0, what);
       // A drift event means the calibration regime moved enough that
       // cached plans may now be mis-ranked: force a re-price.
       BumpRoutingEpoch("calibration-drift:" + server_id);
     }
   }
+  meta_wrapper_->telemetry()->health.RecordServerLatency(
+      server_id, sim_->Now(), estimated_seconds, observed_seconds);
 }
 
 void QueryCostCalibrator::RecordIntegrationObservation(
@@ -180,6 +201,8 @@ void QueryCostCalibrator::RecordError(const std::string& server_id,
     metrics.counter("qcc.down_marked." + server_id).Add();
     availability_.MarkDown(server_id);
   }
+  meta_wrapper_->telemetry()->health.RecordServerOutcome(server_id,
+                                                         sim_->Now(), false);
   SampleServerState(server_id);
 }
 
@@ -199,6 +222,8 @@ void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
   // down mark right away instead of waiting for the probe loop to get
   // around to it (the daemon's own MarkUp then finds nothing to do).
   availability_.MarkUp(server_id);
+  meta_wrapper_->telemetry()->health.RecordServerOutcome(server_id,
+                                                         sim_->Now(), true);
   SampleServerState(server_id);
 }
 
@@ -312,15 +337,38 @@ void QueryCostCalibrator::RecordDecision(
 }
 
 void QueryCostCalibrator::SampleServerState(const std::string& server_id) {
+  const SimTime now = sim_->Now();
+  const BreakerState breaker = breakers_.State(server_id, now);
+  // Breaker transitions become events here — the single observation
+  // point that sees all three moves, including the lazy open->half-open
+  // flip that only materializes on a time check.
+  auto it = last_breaker_.find(server_id);
+  const BreakerState previous =
+      it == last_breaker_.end() ? BreakerState::kClosed : it->second;
+  if (breaker != previous) {
+    obs::EventType type = obs::EventType::kBreakerClosed;
+    obs::EventSeverity severity = obs::EventSeverity::kInfo;
+    if (breaker == BreakerState::kOpen) {
+      type = obs::EventType::kBreakerOpen;
+      severity = obs::EventSeverity::kError;
+    } else if (breaker == BreakerState::kHalfOpen) {
+      type = obs::EventType::kBreakerHalfOpen;
+    }
+    meta_wrapper_->telemetry()->events.Emit(
+        type, severity, server_id, /*query_id=*/0,
+        std::string("circuit breaker ") + BreakerStateName(previous) +
+            " -> " + BreakerStateName(breaker));
+  }
+  last_breaker_[server_id] = breaker;
+
   obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
   if (!recorder.enabled()) return;
-  const SimTime now = sim_->Now();
   recorder.Sample(server_id, obs::ServerMetric::kReliabilityMultiplier, now,
                   reliability_.CostMultiplier(server_id));
   recorder.Sample(server_id, obs::ServerMetric::kAvailability, now,
                   availability_.IsDown(server_id) ? 0.0 : 1.0);
   recorder.Sample(server_id, obs::ServerMetric::kBreakerState, now,
-                  BreakerStateValue(breakers_.State(server_id, now)));
+                  BreakerStateValue(breaker));
 }
 
 }  // namespace fedcal

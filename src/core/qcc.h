@@ -1,6 +1,7 @@
 #pragma once
 
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -109,7 +110,8 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
                       const std::vector<GlobalPlanOption>& options,
                       const PlanSelection& selection);
   /// Samples reliability/availability/breaker state into the recorder's
-  /// per-server time series (called on every outcome QCC learns from).
+  /// per-server time series and emits breaker-transition events (called
+  /// on every outcome QCC learns from).
   void SampleServerState(const std::string& server_id);
   /// Invalidates the attached integrator's prepared-plan cache: cached
   /// compiles must re-price (drift) or re-enumerate under the new state.
@@ -129,6 +131,10 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   /// detached). QCC bumps its routing epoch on calibration drift,
   /// availability transitions, and breaker state changes.
   PlanCache* plan_cache_ = nullptr;
+  /// Last breaker state emitted per server, so SampleServerState raises
+  /// one transition event per change even when the open->half-open move
+  /// happens lazily on a time check.
+  std::map<std::string, BreakerState> last_breaker_;
 };
 
 }  // namespace fedcal

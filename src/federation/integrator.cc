@@ -22,6 +22,7 @@ struct Integrator::Attempt {
   std::vector<TablePtr> tables;
   std::vector<FragmentTicketPtr> primary;
   std::vector<FragmentTicketPtr> hedge;
+  std::vector<std::string> hedge_servers;  ///< server per issued hedge
   std::vector<char> fragment_done;
   std::vector<int> outstanding;  ///< live tickets per fragment
   std::vector<Simulator::EventId> deadline_timers;
@@ -38,7 +39,17 @@ Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
       optimizer_(catalog, meta_wrapper,
                  IiProfile{config.configured_speed}),
       plan_cache_(config.plan_cache_capacity),
-      last_catalog_version_(catalog != nullptr ? catalog->version() : 0) {}
+      last_catalog_version_(catalog != nullptr ? catalog->version() : 0) {
+  // Every epoch bump — QCC-driven or catalog-driven — surfaces as one
+  // structured event from the cache itself.
+  plan_cache_.SetEpochObserver([this](uint64_t epoch,
+                                      const std::string& reason) {
+    meta_wrapper_->telemetry()->events.Emit(
+        obs::EventType::kCacheEpochBump, obs::EventSeverity::kInfo,
+        /*server_id=*/"", /*query_id=*/0,
+        "routing epoch -> " + std::to_string(epoch) + " (" + reason + ")");
+  });
+}
 
 void Integrator::SetPlanSelector(PlanSelector* selector) {
   selector_ = selector ? selector : &default_selector_;
@@ -294,6 +305,7 @@ void Integrator::ExecuteOption(
   attempt->tables.resize(n);
   attempt->primary.resize(n);
   attempt->hedge.resize(n);
+  attempt->hedge_servers.assign(n, "");
   attempt->fragment_done.assign(n, 0);
   attempt->outstanding.assign(n, 0);
   attempt->deadline_timers.assign(n, 0);
@@ -330,6 +342,17 @@ void Integrator::ExecuteOption(
         loser->Cancel(
             Status::Timeout("hedged sibling finished first"),
             /*count_as_error=*/false);
+        const std::string loser_server =
+            is_hedge ? compiled.options[option_index]
+                           .fragment_choices[f]
+                           .wrapper_plan.server_id
+                     : attempt->hedge_servers[f];
+        meta_wrapper_->telemetry()->events.Emit(
+            obs::EventType::kHedgeCancelled, obs::EventSeverity::kInfo,
+            loser_server, compiled.query_id,
+            "fragment " + std::to_string(f) + " settled on " + server_id +
+                "; cancelling slower twin",
+            attempt->span);
       }
       if (is_hedge) {
         ++state->hedge_wins;
@@ -416,6 +439,13 @@ void Integrator::ExecuteOption(
               tel.metrics.counter("fragment.deadline_expired").Add();
               tel.tracer.AddEvent(query_id, obs::SpanKind::kTimeout,
                                   "deadline@" + server_id, attempt->span);
+              tel.events.Emit(obs::EventType::kDeadlineExpired,
+                              obs::EventSeverity::kWarn, server_id, query_id,
+                              "fragment " + std::to_string(f) +
+                                  " missed its " +
+                                  obs::FormatMetricValue(deadline) +
+                                  "s deadline",
+                              attempt->span);
               FEDCAL_LOG_INFO << "query " << query_id << ": fragment " << f
                               << " on " << server_id
                               << " missed its deadline ("
@@ -469,6 +499,14 @@ void Integrator::ExecuteOption(
                               << alt_server;
               obs::Telemetry& tel = *meta_wrapper_->telemetry();
               tel.metrics.counter("fragment.hedged").Add();
+              tel.events.Emit(obs::EventType::kHedgeFired,
+                              obs::EventSeverity::kInfo, alt_server,
+                              compiled.query_id,
+                              "hedging straggler fragment " +
+                                  std::to_string(f) + " (primary " +
+                                  server_id + ")",
+                              attempt->span);
+              attempt->hedge_servers[f] = alt_server;
               attempt->hedge[f] = meta_wrapper_->ExecuteFragment(
                   compiled.query_id, *alt,
                   [on_fragment, f, alt_server](
@@ -497,8 +535,16 @@ void Integrator::HandleAttemptFailure(
     obs::Telemetry& tel = *meta_wrapper_->telemetry();
     tel.metrics.counter("query.failed").Add();
     tel.tracer.EndQuery(compiled.query_id, /*failed=*/true, st.ToString());
+    tel.health.RecordQuery(sim_->Now(),
+                           sim_->Now() - state->query_started_at,
+                           /*ok=*/false);
     patroller_.RecordFailure(compiled.query_id, st.ToString());
     done(st);
+  };
+  auto exhausted = [&](const std::string& why) {
+    meta_wrapper_->telemetry()->events.Emit(
+        obs::EventType::kRetryExhausted, obs::EventSeverity::kError,
+        failed_server, compiled.query_id, why);
   };
 
   if (!config_.retry_on_failure) {
@@ -524,6 +570,7 @@ void Integrator::HandleAttemptFailure(
     }
   }
   if (next_index == compiled.options.size()) {
+    exhausted("no surviving plan avoids the failed servers");
     fail(error);
     return;
   }
@@ -536,6 +583,10 @@ void Integrator::HandleAttemptFailure(
     FEDCAL_LOG_INFO << "query " << compiled.query_id << ": retrying on "
                     << compiled.options[next_index].Describe()
                     << " after failure of " << failed_server;
+    meta_wrapper_->telemetry()->events.Emit(
+        obs::EventType::kRetry, obs::EventSeverity::kWarn, failed_server,
+        compiled.query_id,
+        "failing over to " + compiled.options[next_index].Describe());
     ExecuteOption(compiled, next_index, failed_servers, retries + 1, state,
                   done);
     return;
@@ -544,6 +595,8 @@ void Integrator::HandleAttemptFailure(
   const RetryPolicy policy(config_.fault.retry);
   const double elapsed = sim_->Now() - state->query_started_at;
   if (!policy.AllowRetry(attempts_so_far, elapsed)) {
+    exhausted("retry budget exhausted after " +
+              std::to_string(attempts_so_far) + " attempts");
     fail(Status::Timeout("retry budget exhausted after " +
                          std::to_string(attempts_so_far) +
                          " attempts: " + error.ToString()));
@@ -551,6 +604,7 @@ void Integrator::HandleAttemptFailure(
   }
   const double delay = policy.BackoffDelay(attempts_so_far, &state->rng);
   if (elapsed + delay >= policy.config().query_budget_s) {
+    exhausted("query deadline budget exhausted");
     fail(Status::Timeout("query deadline budget exhausted: " +
                          error.ToString()));
     return;
@@ -558,6 +612,11 @@ void Integrator::HandleAttemptFailure(
   FEDCAL_LOG_INFO << "query " << compiled.query_id << ": retrying on "
                   << compiled.options[next_index].Describe() << " in "
                   << delay << "s after " << error.ToString();
+  meta_wrapper_->telemetry()->events.Emit(
+      obs::EventType::kRetry, obs::EventSeverity::kWarn, failed_server,
+      compiled.query_id,
+      "retrying on " + compiled.options[next_index].Describe() + " in " +
+          obs::FormatMetricValue(delay) + "s");
   const uint64_t wait_span = meta_wrapper_->telemetry()->tracer.StartSpan(
       compiled.query_id, obs::SpanKind::kRetryWait, "backoff");
   sim_->ScheduleAfter(delay, [this, compiled, next_index, failed_servers,
@@ -596,6 +655,9 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
     tel.metrics.counter("query.failed").Add();
     tel.tracer.EndQuery(compiled.query_id, /*failed=*/true,
                         merged.status().ToString());
+    tel.health.RecordQuery(sim_->Now(),
+                           sim_->Now() - state->query_started_at,
+                           /*ok=*/false);
     patroller_.RecordFailure(compiled.query_id, merged.status().ToString());
     done(merged.status());
     return;
@@ -637,6 +699,8 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
             .Record(outcome.response_seconds);
         tel.metrics.histogram("query.total_s")
             .Record(outcome.total_response_seconds);
+        tel.health.RecordQuery(sim_->Now(), outcome.total_response_seconds,
+                               /*ok=*/true);
 
         done(std::move(outcome));
       });

@@ -45,6 +45,7 @@ void PlanCache::BumpEpoch(const std::string& reason) {
   ++epoch_;
   ++stats_.epoch_bumps;
   last_invalidation_reason_ = reason;
+  if (epoch_observer_) epoch_observer_(epoch_, reason);
 }
 
 void PlanCache::Clear() {

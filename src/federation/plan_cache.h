@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -87,6 +88,16 @@ class PlanCache {
   /// entry. `reason` is kept for diagnostics (`\cache` in the shell).
   void BumpEpoch(const std::string& reason);
 
+  /// Observes every epoch bump with its reason — the integrator wires
+  /// this to the structured event log, so all invalidations (QCC drift /
+  /// availability / breaker bumps and catalog edits alike) surface as one
+  /// event stream from their single source of truth.
+  using EpochObserver =
+      std::function<void(uint64_t epoch, const std::string& reason)>;
+  void SetEpochObserver(EpochObserver observer) {
+    epoch_observer_ = std::move(observer);
+  }
+
   uint64_t epoch() const { return epoch_; }
   const std::string& last_invalidation_reason() const {
     return last_invalidation_reason_;
@@ -109,6 +120,7 @@ class PlanCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
   uint64_t epoch_ = 0;
   std::string last_invalidation_reason_;
+  EpochObserver epoch_observer_;
   Stats stats_;
 };
 

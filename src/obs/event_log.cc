@@ -1,0 +1,163 @@
+#include "obs/event_log.h"
+
+#include <utility>
+
+namespace fedcal::obs {
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "debug";
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kLog:
+      return "log";
+    case EventType::kServerDown:
+      return "server_down";
+    case EventType::kServerUp:
+      return "server_up";
+    case EventType::kBreakerOpen:
+      return "breaker_open";
+    case EventType::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case EventType::kBreakerClosed:
+      return "breaker_closed";
+    case EventType::kCalibrationDrift:
+      return "calibration_drift";
+    case EventType::kRetry:
+      return "retry";
+    case EventType::kRetryExhausted:
+      return "retry_exhausted";
+    case EventType::kDeadlineExpired:
+      return "deadline_expired";
+    case EventType::kHedgeFired:
+      return "hedge_fired";
+    case EventType::kHedgeCancelled:
+      return "hedge_cancelled";
+    case EventType::kCacheEpochBump:
+      return "cache_epoch_bump";
+    case EventType::kFaultInjected:
+      return "fault_injected";
+    case EventType::kFaultReverted:
+      return "fault_reverted";
+    case EventType::kAlertFiring:
+      return "alert_firing";
+    case EventType::kAlertResolved:
+      return "alert_resolved";
+  }
+  return "?";
+}
+
+bool EventTypeFromName(const std::string& name, EventType* out) {
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    auto type = static_cast<EventType>(i);
+    if (name == EventTypeName(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventSeverityFromName(const std::string& name, EventSeverity* out) {
+  for (int i = 0; i < 4; ++i) {
+    auto severity = static_cast<EventSeverity>(i);
+    if (name == EventSeverityName(severity)) {
+      *out = severity;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t EventLog::Emit(EventType type, EventSeverity severity,
+                        std::string server_id, uint64_t query_id,
+                        std::string message, uint64_t span_id) {
+  if (!config_.enabled) return 0;
+  HealthEvent event;
+  event.seq = ++total_emitted_;
+  event.at = sim_ != nullptr ? sim_->Now() : 0.0;
+  event.type = type;
+  event.severity = severity;
+  event.server_id = std::move(server_id);
+  event.query_id = query_id;
+  event.span_id = span_id;
+  event.message = std::move(message);
+  severity_counts_[static_cast<size_t>(severity)]++;
+  events_.push_back(event);
+  while (events_.size() > config_.capacity) events_.pop_front();
+  if (observer_) observer_(events_.back());
+  return events_.back().seq;
+}
+
+std::vector<const HealthEvent*> EventLog::Tail(size_t n) const {
+  std::vector<const HealthEvent*> out;
+  size_t count = n < events_.size() ? n : events_.size();
+  out.reserve(count);
+  for (size_t i = events_.size() - count; i < events_.size(); ++i) {
+    out.push_back(&events_[i]);
+  }
+  return out;
+}
+
+const HealthEvent* EventLog::Find(uint64_t seq) const {
+  if (events_.empty()) return nullptr;
+  uint64_t first = events_.front().seq;
+  if (seq < first || seq > events_.back().seq) return nullptr;
+  // Seqs are contiguous within the ring, so index directly.
+  return &events_[static_cast<size_t>(seq - first)];
+}
+
+void EventLog::Clear() {
+  events_.clear();
+  total_emitted_ = 0;
+  for (auto& c : severity_counts_) c = 0;
+}
+
+void LoggerEventSink::OnLog(LogLevel level, const std::string& file, int line,
+                            const std::string& message) {
+  if (log_ == nullptr) return;
+  EventSeverity severity = EventSeverity::kInfo;
+  switch (level) {
+    case LogLevel::kDebug:
+      severity = EventSeverity::kDebug;
+      break;
+    case LogLevel::kInfo:
+      severity = EventSeverity::kInfo;
+      break;
+    case LogLevel::kWarn:
+      severity = EventSeverity::kWarn;
+      break;
+    case LogLevel::kError:
+    case LogLevel::kOff:
+      severity = EventSeverity::kError;
+      break;
+  }
+  log_->Emit(EventType::kLog, severity, /*server_id=*/"", /*query_id=*/0,
+             file + ":" + std::to_string(line) + " " + message);
+}
+
+ScopedLogSink::ScopedLogSink(EventLog* log, LogLevel sink_level)
+    : sink_(log),
+      previous_sink_(Logger::Instance().sink()),
+      previous_level_(Logger::Instance().sink_level()) {
+  Logger::Instance().SetSink(&sink_, sink_level);
+}
+
+ScopedLogSink::~ScopedLogSink() {
+  if (Logger::Instance().sink() == &sink_) {
+    Logger::Instance().SetSink(previous_sink_, previous_level_);
+  }
+}
+
+}  // namespace fedcal::obs

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace fedcal::obs {
+
+/// \brief Operator-facing severity of a health event. Deliberately mirrors
+/// LogLevel so retargeted FEDCAL_LOG lines map 1:1.
+enum class EventSeverity { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* EventSeverityName(EventSeverity severity);
+
+/// \brief Every kind of state transition the health layer understands.
+///
+/// Typed events (everything except kLog) are emitted at the exact call
+/// site that makes the transition — breaker trips in the QCC, hedges in
+/// the integrator, fault activations in the injector — so each carries
+/// first-hand correlation ids. kLog events are FEDCAL_LOG lines forwarded
+/// by an installed LoggerEventSink; they cover call sites the typed
+/// taxonomy has not reached.
+enum class EventType {
+  kLog,               ///< retargeted FEDCAL_LOG line
+  kServerDown,        ///< §3.3 availability daemon marked a server down
+  kServerUp,          ///< server recovered
+  kBreakerOpen,       ///< circuit breaker tripped
+  kBreakerHalfOpen,   ///< breaker began probing
+  kBreakerClosed,     ///< breaker closed after successful probes
+  kCalibrationDrift,  ///< flight-recorder drift detector fired (§3.4)
+  kRetry,             ///< fragment failure triggered a re-route
+  kRetryExhausted,    ///< retry/deadline budget ran out; query failed
+  kDeadlineExpired,   ///< per-fragment deadline fired
+  kHedgeFired,        ///< backup fragment issued to an alternate server
+  kHedgeCancelled,    ///< hedge race settled; loser cancelled
+  kCacheEpochBump,    ///< plan-cache routing epoch invalidated
+  kFaultInjected,     ///< fault-injection schedule applied an event
+  kFaultReverted,     ///< timed fault auto-reverted
+  kAlertFiring,       ///< health engine raised an alert
+  kAlertResolved,     ///< health engine resolved an alert
+};
+
+inline constexpr size_t kNumEventTypes = 17;
+
+const char* EventTypeName(EventType type);
+/// Inverse of EventTypeName / EventSeverityName (snapshot readers).
+bool EventTypeFromName(const std::string& name, EventType* out);
+bool EventSeverityFromName(const std::string& name, EventSeverity* out);
+
+/// \brief One entry of the structured event log.
+///
+/// `seq` is a lifetime-monotonic id (1-based) that survives ring
+/// eviction, so alerts can cross-reference events that may have already
+/// scrolled out of the ring. Correlation fields are best-effort: events
+/// raised outside any query carry query_id == 0, fleet-wide events carry
+/// an empty server_id.
+struct HealthEvent {
+  uint64_t seq = 0;
+  SimTime at = 0.0;
+  EventType type = EventType::kLog;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string server_id;
+  uint64_t query_id = 0;
+  uint64_t span_id = 0;  ///< tracer span active at emission, 0 = none
+  std::string message;
+};
+
+struct EventLogConfig {
+  bool enabled = true;
+  size_t capacity = 512;  ///< events retained; oldest evicted beyond this
+};
+
+/// \brief Bounded ring of typed, severity-tagged health events stamped in
+/// virtual time.
+///
+/// Like the flight recorder, the log is passive: emitting never schedules
+/// simulator work, never draws randomness, and is O(1), so enabling it
+/// cannot perturb a deterministic run. An optional observer sees every
+/// event as it is emitted — the health engine hangs off this hook.
+class EventLog {
+ public:
+  using Observer = std::function<void(const HealthEvent&)>;
+
+  explicit EventLog(const Simulator* sim, EventLogConfig config = {})
+      : sim_(sim), config_(config) {
+    if (config_.capacity == 0) config_.capacity = 1;
+  }
+
+  bool enabled() const { return config_.enabled; }
+  void set_enabled(bool on) { config_.enabled = on; }
+  const EventLogConfig& config() const { return config_; }
+
+  /// Appends one event stamped at the simulator's current virtual time
+  /// and returns its seq (0 when the log is disabled). The observer, if
+  /// installed, runs synchronously after the append.
+  uint64_t Emit(EventType type, EventSeverity severity, std::string server_id,
+                uint64_t query_id, std::string message, uint64_t span_id = 0);
+
+  const std::deque<HealthEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  uint64_t total_emitted() const { return total_emitted_; }
+  /// Lifetime count per severity (indexed by EventSeverity).
+  uint64_t severity_count(EventSeverity severity) const {
+    return severity_counts_[static_cast<size_t>(severity)];
+  }
+
+  /// The most recent `n` retained events, oldest first.
+  std::vector<const HealthEvent*> Tail(size_t n) const;
+
+  /// nullptr when `seq` has been evicted (or never emitted).
+  const HealthEvent* Find(uint64_t seq) const;
+
+  /// The health engine (or anything else) can watch emissions live.
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  void Clear();
+
+ private:
+  const Simulator* sim_;
+  EventLogConfig config_;
+  std::deque<HealthEvent> events_;
+  uint64_t total_emitted_ = 0;
+  uint64_t severity_counts_[4] = {0, 0, 0, 0};
+  Observer observer_;
+};
+
+/// \brief LogSink adapter: forwards FEDCAL_LOG lines into an EventLog as
+/// kLog events, preserving severity and pointing at the file:line.
+class LoggerEventSink : public LogSink {
+ public:
+  explicit LoggerEventSink(EventLog* log) : log_(log) {}
+
+  void OnLog(LogLevel level, const std::string& file, int line,
+             const std::string& message) override;
+
+ private:
+  EventLog* log_;
+};
+
+/// \brief RAII installer for a LoggerEventSink on the process-wide Logger.
+/// Restores the previous sink on destruction (only if still installed, so
+/// overlapping scopes unwind safely).
+class ScopedLogSink {
+ public:
+  ScopedLogSink(EventLog* log, LogLevel sink_level = LogLevel::kInfo);
+  ~ScopedLogSink();
+
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LoggerEventSink sink_;
+  LogSink* previous_sink_;
+  LogLevel previous_level_;
+};
+
+}  // namespace fedcal::obs

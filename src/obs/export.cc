@@ -7,9 +7,7 @@
 
 namespace fedcal::obs {
 
-namespace {
-
-std::string Quote(const std::string& s) {
+std::string JsonQuote(const std::string& s) {
   std::string out = "\"";
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';
@@ -22,6 +20,10 @@ std::string Quote(const std::string& s) {
   out += '"';
   return out;
 }
+
+namespace {
+
+std::string Quote(const std::string& s) { return JsonQuote(s); }
 
 void AppendCandidateJson(std::string* out, const CandidatePlanRecord& c) {
   *out += "{\"option\": " + std::to_string(c.option_index) +
@@ -284,6 +286,165 @@ std::string TimelineText(const FlightRecorder& recorder,
                   rows[i].text.c_str());
     out += line;
   }
+  return out;
+}
+
+std::string EventToJson(const HealthEvent& event) {
+  std::string out = "{\"seq\": " + std::to_string(event.seq) +
+                    ", \"at\": " + FormatMetricValue(event.at) +
+                    ", \"type\": " + Quote(EventTypeName(event.type)) +
+                    ", \"severity\": " +
+                    Quote(EventSeverityName(event.severity)) +
+                    ", \"server\": " + Quote(event.server_id) +
+                    ", \"query_id\": " + std::to_string(event.query_id) +
+                    ", \"span_id\": " + std::to_string(event.span_id) +
+                    ", \"message\": " + Quote(event.message) + "}";
+  return out;
+}
+
+std::string EventLogToJson(const EventLog& log) {
+  std::string out = "{\n";
+  out += "\"total_emitted\": " + std::to_string(log.total_emitted()) + ",\n";
+  out += "\"by_severity\": {";
+  for (int s = 0; s < 4; ++s) {
+    auto severity = static_cast<EventSeverity>(s);
+    out += std::string(s ? ", " : "") + Quote(EventSeverityName(severity)) +
+           ": " + std::to_string(log.severity_count(severity));
+  }
+  out += "},\n";
+  out += "\"events\": [";
+  bool first = true;
+  for (const HealthEvent& e : log.events()) {
+    out += first ? "\n  " : ",\n  ";
+    out += EventToJson(e);
+    first = false;
+  }
+  out += first ? "]\n" : "\n]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string EventsText(const EventLog& log, size_t max_rows) {
+  auto tail = log.Tail(max_rows == 0 ? log.size() : max_rows);
+  std::string out = "event log: " + std::to_string(log.total_emitted()) +
+                    " emitted, " + std::to_string(log.size()) + " retained";
+  if (tail.size() < log.size()) {
+    out += ", last " + std::to_string(tail.size());
+  }
+  out += "\n";
+  if (tail.empty()) {
+    out += "  (no events)\n";
+    return out;
+  }
+  for (const HealthEvent* e : tail) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  #%-5llu t=%9.3f %-5s %-18s %-4s ",
+                  static_cast<unsigned long long>(e->seq), e->at,
+                  EventSeverityName(e->severity), EventTypeName(e->type),
+                  e->server_id.empty() ? "-" : e->server_id.c_str());
+    out += line;
+    if (e->query_id != 0) {
+      out += "q" + std::to_string(e->query_id) + " ";
+    }
+    out += e->message + "\n";
+  }
+  return out;
+}
+
+std::string AlertToJson(const AlertRecord& alert) {
+  std::string out = "{\"id\": " + std::to_string(alert.id) +
+                    ", \"rule\": " + Quote(alert.rule) +
+                    ", \"severity\": " +
+                    Quote(EventSeverityName(alert.severity)) +
+                    ", \"server\": " + Quote(alert.server_id) +
+                    ", \"fired_at\": " + FormatMetricValue(alert.fired_at) +
+                    ", \"resolved_at\": " +
+                    FormatMetricValue(alert.resolved_at) +
+                    ", \"active\": " + (alert.active() ? "true" : "false") +
+                    ", \"value\": " + FormatMetricValue(alert.value) +
+                    ", \"threshold\": " + FormatMetricValue(alert.threshold) +
+                    ", \"message\": " + Quote(alert.message) +
+                    ", \"event_seqs\": [";
+  for (size_t i = 0; i < alert.event_seqs.size(); ++i) {
+    out += std::string(i ? ", " : "") + std::to_string(alert.event_seqs[i]);
+  }
+  out += "], \"decision_query_ids\": [";
+  for (size_t i = 0; i < alert.decision_query_ids.size(); ++i) {
+    out += std::string(i ? ", " : "") +
+           std::to_string(alert.decision_query_ids[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AlertsToJson(const HealthEngine& health) {
+  std::string out = "{\n";
+  out += "\"total_fired\": " + std::to_string(health.total_fired()) + ",\n";
+  out += "\"total_resolved\": " + std::to_string(health.total_resolved()) +
+         ",\n";
+  out += "\"alerts\": [";
+  bool first = true;
+  for (const AlertRecord& a : health.alerts()) {
+    out += first ? "\n  " : ",\n  ";
+    out += AlertToJson(a);
+    first = false;
+  }
+  out += first ? "]\n" : "\n]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void AppendAlertLine(std::string* out, const AlertRecord& a) {
+  char line[160];
+  if (a.active()) {
+    std::snprintf(line, sizeof(line), "  [%-5s] #%llu %s since t=%.3f: ",
+                  EventSeverityName(a.severity),
+                  static_cast<unsigned long long>(a.id), a.rule.c_str(),
+                  a.fired_at);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "  [ok   ] #%llu %s t=%.3f..%.3f: ",
+                  static_cast<unsigned long long>(a.id), a.rule.c_str(),
+                  a.fired_at, a.resolved_at);
+  }
+  *out += line;
+  *out += a.message;
+  if (!a.event_seqs.empty()) {
+    *out += " (events";
+    for (uint64_t seq : a.event_seqs) *out += " #" + std::to_string(seq);
+    if (!a.decision_query_ids.empty()) {
+      *out += "; decisions";
+      for (uint64_t q : a.decision_query_ids) {
+        *out += " q" + std::to_string(q);
+      }
+    }
+    *out += ")";
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string AlertsText(const HealthEngine& health, size_t max_rows) {
+  auto active = health.ActiveAlerts();
+  std::string out = "alerts: " + std::to_string(active.size()) + " active, " +
+                    std::to_string(health.total_fired()) + " fired, " +
+                    std::to_string(health.total_resolved()) +
+                    " resolved lifetime\n";
+  for (const AlertRecord* a : active) AppendAlertLine(&out, *a);
+  size_t resolved_shown = 0;
+  for (auto it = health.alerts().rbegin();
+       it != health.alerts().rend() &&
+       (max_rows == 0 || resolved_shown < max_rows);
+       ++it) {
+    if (it->active()) continue;
+    if (resolved_shown == 0) out += "  recently resolved:\n";
+    AppendAlertLine(&out, *it);
+    resolved_shown++;
+  }
+  if (active.empty() && resolved_shown == 0) out += "  (no alerts)\n";
   return out;
 }
 

@@ -2,14 +2,19 @@
 
 #include <string>
 
+#include "obs/event_log.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 
 namespace fedcal::obs {
 
-/// Deterministic exporters for the flight recorder: JSON for machines,
-/// ASCII tables/timelines for shells. All output is derived from virtual
-/// time and stable container orderings, so two identical runs render
-/// byte-identical text.
+/// Deterministic exporters for the flight recorder, event log, and health
+/// engine: JSON for machines, ASCII tables/timelines for shells. All
+/// output is derived from virtual time and stable container orderings, so
+/// two identical runs render byte-identical text.
+
+/// JSON string literal with the escaping every exporter here uses.
+std::string JsonQuote(const std::string& s);
 
 /// One decision as a JSON object (candidates, rotation outcome, consulted
 /// server state).
@@ -29,5 +34,26 @@ std::string ExplainText(const DecisionRecord& record);
 /// `max_rows` bounds the rendered tail (0 = everything retained).
 std::string TimelineText(const FlightRecorder& recorder,
                          const std::string& server_id, size_t max_rows = 40);
+
+/// One structured event as a JSON object.
+std::string EventToJson(const HealthEvent& event);
+
+/// Full event-log dump (retained ring, oldest first) with lifetime
+/// counters.
+std::string EventLogToJson(const EventLog& log);
+
+/// The `\events [n]` view: the most recent events, oldest first.
+std::string EventsText(const EventLog& log, size_t max_rows = 20);
+
+/// One alert (firing or resolved) as a JSON object, including its
+/// cross-references into the event log and flight recorder.
+std::string AlertToJson(const AlertRecord& alert);
+
+/// Full alert dump (retained records, oldest first) with lifetime
+/// counters.
+std::string AlertsToJson(const HealthEngine& health);
+
+/// The `\alerts` view: active alerts first, then recently resolved ones.
+std::string AlertsText(const HealthEngine& health, size_t max_rows = 20);
 
 }  // namespace fedcal::obs

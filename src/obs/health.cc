@@ -1,0 +1,397 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace fedcal::obs {
+
+namespace {
+
+/// Max transition timestamps kept per server for the flap/drift rules.
+constexpr size_t kMaxTransitionTimes = 32;
+
+void PushBounded(std::deque<SimTime>& times, SimTime t) {
+  times.push_back(t);
+  while (times.size() > kMaxTransitionTimes) times.pop_front();
+}
+
+size_t CountWithin(const std::deque<SimTime>& times, SimTime now,
+                   double window_s) {
+  size_t n = 0;
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    if (now - *it > window_s) break;
+    n++;
+  }
+  return n;
+}
+
+/// True when `server_id` is one of the "+"-joined segments of
+/// `server_set` (exact segment match, so "S1" never matches "S10").
+bool ServerSetContains(const std::string& server_set,
+                       const std::string& server_id) {
+  size_t pos = 0;
+  while (pos <= server_set.size()) {
+    size_t end = server_set.find('+', pos);
+    if (end == std::string::npos) end = server_set.size();
+    if (server_set.compare(pos, end - pos, server_id) == 0) return true;
+    pos = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* HealthGradeName(HealthGrade grade) {
+  switch (grade) {
+    case HealthGrade::kHealthy:
+      return "healthy";
+    case HealthGrade::kDegraded:
+      return "degraded";
+    case HealthGrade::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+void HealthEngine::Configure(HealthConfig config) {
+  config_ = std::move(config);
+  fleet_latency_ = SloWindow(config_.fleet_latency);
+  server_error_.clear();
+  server_latency_.clear();
+  rule_state_.clear();
+  last_eval_ = -1.0;
+}
+
+void HealthEngine::AddRule(ThresholdRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+SloWindow& HealthEngine::ServerErrorWindow(const std::string& server_id) {
+  auto it = server_error_.find(server_id);
+  if (it == server_error_.end()) {
+    it = server_error_.emplace(server_id, SloWindow(config_.server_error))
+             .first;
+  }
+  return it->second;
+}
+
+SloWindow& HealthEngine::ServerLatencyWindow(const std::string& server_id) {
+  auto it = server_latency_.find(server_id);
+  if (it == server_latency_.end()) {
+    it = server_latency_.emplace(server_id, SloWindow(config_.server_latency))
+             .first;
+  }
+  return it->second;
+}
+
+void HealthEngine::RecordQuery(SimTime t, double total_seconds, bool ok) {
+  if (!config_.enabled) return;
+  bool good = ok && total_seconds <= config_.fleet_latency_threshold_s;
+  fleet_latency_.Record(t, good);
+  MaybeEvaluate(t);
+}
+
+void HealthEngine::RecordServerOutcome(const std::string& server_id, SimTime t,
+                                       bool ok) {
+  if (!config_.enabled) return;
+  servers_[server_id];  // a server we heard from gets a panel entry
+  ServerErrorWindow(server_id).Record(t, ok);
+  MaybeEvaluate(t);
+}
+
+void HealthEngine::RecordServerLatency(const std::string& server_id, SimTime t,
+                                       double estimated_seconds,
+                                       double observed_seconds) {
+  if (!config_.enabled) return;
+  servers_[server_id];
+  double allowed = std::max(config_.server_latency_floor_s,
+                            config_.server_latency_ratio * estimated_seconds);
+  ServerLatencyWindow(server_id).Record(t, observed_seconds <= allowed);
+  MaybeEvaluate(t);
+}
+
+void HealthEngine::OnEvent(const HealthEvent& event) {
+  if (!config_.enabled) return;
+  bool transition = true;
+  switch (event.type) {
+    case EventType::kServerDown:
+      servers_[event.server_id].down = true;
+      break;
+    case EventType::kServerUp:
+      servers_[event.server_id].down = false;
+      break;
+    case EventType::kBreakerOpen: {
+      ServerState& s = servers_[event.server_id];
+      s.breaker = "open";
+      PushBounded(s.breaker_opens, event.at);
+      break;
+    }
+    case EventType::kBreakerHalfOpen:
+      servers_[event.server_id].breaker = "half-open";
+      break;
+    case EventType::kBreakerClosed:
+      servers_[event.server_id].breaker = "closed";
+      break;
+    case EventType::kCalibrationDrift: {
+      ServerState& s = servers_[event.server_id];
+      s.last_drift_at = event.at;
+      PushBounded(s.drift_times, event.at);
+      break;
+    }
+    default:
+      transition = false;
+      break;
+  }
+  // Transitions evaluate immediately (they are rare and operators expect
+  // e.g. the availability alert to fire at the down-mark, not at the next
+  // sample); everything else is just context for later evaluation.
+  if (transition && !evaluating_) Evaluate(event.at);
+}
+
+void HealthEngine::MaybeEvaluate(SimTime t) {
+  if (evaluating_) return;
+  if (last_eval_ >= 0.0 && t - last_eval_ < config_.eval_min_interval_s) {
+    return;
+  }
+  Evaluate(t);
+}
+
+void HealthEngine::Evaluate(SimTime now) {
+  if (!config_.enabled || evaluating_) return;
+  evaluating_ = true;
+  last_eval_ = now;
+
+  EvaluateSlo("slo:fleet-latency", "", fleet_latency_, EventSeverity::kWarn,
+              "fleet latency", now);
+  for (const auto& [sid, window] : server_error_) {
+    EvaluateSlo("slo:errors:" + sid, sid, window, EventSeverity::kError,
+                "error rate", now);
+  }
+  for (const auto& [sid, window] : server_latency_) {
+    EvaluateSlo("slo:latency:" + sid, sid, window, EventSeverity::kWarn,
+                "fragment latency", now);
+  }
+  for (const auto& [sid, state] : servers_) {
+    SetFiring("availability:" + sid, sid, EventSeverity::kError, state.down,
+              state.down ? 0.0 : 1.0, 1.0, /*for_s=*/0.0,
+              state.down ? "server " + sid + " is down"
+                         : "server " + sid + " recovered",
+              now);
+    size_t flaps = CountWithin(state.breaker_opens, now, config_.flap_window_s);
+    SetFiring("breaker-flap:" + sid, sid, EventSeverity::kWarn,
+              flaps >= config_.flap_threshold, double(flaps),
+              double(config_.flap_threshold), /*for_s=*/0.0,
+              "breaker opened " + std::to_string(flaps) + "x within " +
+                  FormatMetricValue(config_.flap_window_s) + "s on " + sid,
+              now);
+    size_t drifts = CountWithin(state.drift_times, now, config_.drift_window_s);
+    SetFiring("calibration-drift:" + sid, sid, EventSeverity::kWarn,
+              drifts >= config_.drift_episodes_threshold, double(drifts),
+              double(config_.drift_episodes_threshold), /*for_s=*/0.0,
+              "calibration drifted " + std::to_string(drifts) + "x within " +
+                  FormatMetricValue(config_.drift_window_s) + "s on " + sid,
+              now);
+  }
+  for (const auto& rule : rules_) {
+    if (!rule.value) continue;
+    double v = rule.value(now);
+    bool breach = rule.fire_above ? v >= rule.threshold : v <= rule.threshold;
+    std::string message = rule.description.empty()
+                              ? rule.name + " at " + FormatMetricValue(v)
+                              : rule.description;
+    SetFiring("rule:" + rule.name, rule.server_id, rule.severity, breach, v,
+              rule.threshold, rule.for_s, message, now);
+  }
+
+  evaluating_ = false;
+}
+
+void HealthEngine::EvaluateSlo(const std::string& key,
+                               const std::string& server_id,
+                               const SloWindow& window, EventSeverity severity,
+                               const char* what, SimTime now) {
+  BurnRate burn = window.Evaluate(now);
+  bool breach = window.ShouldFire(burn);
+  std::ostringstream msg;
+  msg << what << " SLO (objective " << FormatMetricValue(
+             window.config().objective)
+      << ") burn rate fast=" << FormatMetricValue(burn.fast)
+      << " slow=" << FormatMetricValue(burn.slow);
+  if (!server_id.empty()) msg << " on " << server_id;
+  SetFiring(key, server_id, severity, breach, burn.fast,
+            window.config().fast_burn_threshold, /*for_s=*/0.0, msg.str(),
+            now);
+}
+
+void HealthEngine::SetFiring(const std::string& key,
+                             const std::string& server_id,
+                             EventSeverity severity, bool breach, double value,
+                             double threshold, double for_s,
+                             const std::string& message, SimTime now) {
+  RuleState& state = rule_state_[key];
+  if (breach) {
+    if (state.breached_since < 0.0) state.breached_since = now;
+    if (!state.firing && now - state.breached_since >= for_s) {
+      Fire(state, key, server_id, severity, value, threshold, message, now);
+    }
+  } else {
+    state.breached_since = -1.0;
+    if (state.firing) Resolve(state, key, now);
+  }
+}
+
+void HealthEngine::Fire(RuleState& state, const std::string& key,
+                        const std::string& server_id, EventSeverity severity,
+                        double value, double threshold,
+                        const std::string& message, SimTime now) {
+  AlertRecord alert;
+  alert.id = ++next_alert_id_;
+  alert.rule = key;
+  alert.severity = severity;
+  alert.server_id = server_id;
+  alert.fired_at = now;
+  alert.value = value;
+  alert.threshold = threshold;
+  alert.message = message;
+  CorrelateEvidence(alert);
+
+  state.firing = true;
+  state.alert_id = alert.id;
+  total_fired_++;
+  alerts_.push_back(std::move(alert));
+  while (alerts_.size() > config_.max_alerts) alerts_.pop_front();
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("health.alerts_fired").Add();
+    metrics_->gauge("health.active_alerts").Set(double(ActiveCount()));
+  }
+  if (events_ != nullptr) {
+    events_->Emit(EventType::kAlertFiring, severity, server_id,
+                  /*query_id=*/0, key + ": " + message);
+  }
+}
+
+void HealthEngine::Resolve(RuleState& state, const std::string& key,
+                           SimTime now) {
+  std::string server_id;
+  for (auto it = alerts_.rbegin(); it != alerts_.rend(); ++it) {
+    if (it->id == state.alert_id) {
+      it->resolved_at = now;
+      server_id = it->server_id;
+      break;
+    }
+  }
+  state.firing = false;
+  state.alert_id = 0;
+  total_resolved_++;
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("health.alerts_resolved").Add();
+    metrics_->gauge("health.active_alerts").Set(double(ActiveCount()));
+  }
+  if (events_ != nullptr) {
+    events_->Emit(EventType::kAlertResolved, EventSeverity::kInfo, server_id,
+                  /*query_id=*/0, key + " resolved");
+  }
+}
+
+void HealthEngine::CorrelateEvidence(AlertRecord& alert) const {
+  if (events_ != nullptr) {
+    const auto& events = events_->events();
+    for (auto it = events.rbegin();
+         it != events.rend() &&
+         alert.event_seqs.size() < config_.correlate_events;
+         ++it) {
+      if (it->type == EventType::kAlertFiring ||
+          it->type == EventType::kAlertResolved) {
+        continue;
+      }
+      if (!alert.server_id.empty() && it->server_id != alert.server_id) {
+        continue;
+      }
+      alert.event_seqs.push_back(it->seq);
+    }
+    std::reverse(alert.event_seqs.begin(), alert.event_seqs.end());
+  }
+  if (recorder_ != nullptr) {
+    const auto& decisions = recorder_->decisions();
+    for (auto it = decisions.rbegin();
+         it != decisions.rend() &&
+         alert.decision_query_ids.size() < config_.correlate_decisions;
+         ++it) {
+      if (!alert.server_id.empty()) {
+        const CandidatePlanRecord* chosen = it->Chosen();
+        if (chosen == nullptr ||
+            !ServerSetContains(chosen->server_set, alert.server_id)) {
+          continue;
+        }
+      }
+      alert.decision_query_ids.push_back(it->query_id);
+    }
+    std::reverse(alert.decision_query_ids.begin(),
+                 alert.decision_query_ids.end());
+  }
+}
+
+size_t HealthEngine::ActiveCount() const {
+  size_t n = 0;
+  for (const auto& a : alerts_) {
+    if (a.active()) n++;
+  }
+  return n;
+}
+
+HealthGrade HealthEngine::ServerGrade(const std::string& server_id,
+                                      SimTime now) const {
+  HealthGrade grade = HealthGrade::kHealthy;
+  auto it = servers_.find(server_id);
+  if (it != servers_.end()) {
+    const ServerState& s = it->second;
+    if (s.down || s.breaker == "open") return HealthGrade::kCritical;
+    if (s.breaker == "half-open" ||
+        (s.last_drift_at >= 0.0 && now - s.last_drift_at <=
+                                       config_.drift_window_s)) {
+      grade = HealthGrade::kDegraded;
+    }
+  }
+  for (const auto& a : alerts_) {
+    if (!a.active() || a.server_id != server_id) continue;
+    if (a.severity == EventSeverity::kError) return HealthGrade::kCritical;
+    grade = HealthGrade::kDegraded;
+  }
+  return grade;
+}
+
+HealthGrade HealthEngine::FleetGrade(SimTime now) const {
+  HealthGrade grade = HealthGrade::kHealthy;
+  for (const auto& [sid, state] : servers_) {
+    (void)state;
+    grade = std::max(grade, ServerGrade(sid, now));
+  }
+  for (const auto& a : alerts_) {
+    if (!a.active() || !a.server_id.empty()) continue;
+    HealthGrade g = a.severity == EventSeverity::kError
+                        ? HealthGrade::kCritical
+                        : HealthGrade::kDegraded;
+    grade = std::max(grade, g);
+  }
+  return grade;
+}
+
+std::vector<const AlertRecord*> HealthEngine::ActiveAlerts() const {
+  std::vector<const AlertRecord*> out;
+  for (const auto& a : alerts_) {
+    if (a.active()) out.push_back(&a);
+  }
+  return out;
+}
+
+const AlertRecord* HealthEngine::FindAlert(uint64_t id) const {
+  for (const auto& a : alerts_) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace fedcal::obs

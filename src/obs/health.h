@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace fedcal::obs {
+
+/// \brief Operator-facing health grade of one server (or the fleet).
+enum class HealthGrade { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthGradeName(HealthGrade grade);
+
+/// \brief One firing (or resolved) alert.
+///
+/// Alerts cross-reference the evidence that triggered them: `event_seqs`
+/// are EventLog sequence numbers and `decision_query_ids` are
+/// FlightRecorder DecisionRecord ids, both captured at fire time, so an
+/// operator can jump from "latency SLO burning" to the exact routing
+/// decisions and state transitions involved.
+struct AlertRecord {
+  uint64_t id = 0;
+  std::string rule;     ///< stable rule key, e.g. "slo:fleet-latency"
+  EventSeverity severity = EventSeverity::kWarn;
+  std::string server_id;  ///< empty = fleet scope
+  SimTime fired_at = 0.0;
+  SimTime resolved_at = -1.0;  ///< < 0 while still firing
+  double value = 0.0;          ///< signal value at fire time
+  double threshold = 0.0;      ///< threshold it crossed
+  std::string message;
+  std::vector<uint64_t> event_seqs;
+  std::vector<uint64_t> decision_query_ids;
+
+  bool active() const { return resolved_at < 0.0; }
+};
+
+/// \brief A declarative threshold rule over any scalar signal (metrics,
+/// recorder series, custom probes). Evaluated on every engine pass.
+struct ThresholdRule {
+  std::string name;       ///< unique; alert rule key becomes "rule:<name>"
+  std::string server_id;  ///< scope for correlation; empty = fleet
+  EventSeverity severity = EventSeverity::kWarn;
+  std::function<double(SimTime now)> value;
+  double threshold = 0.0;
+  bool fire_above = true;  ///< false fires when value <= threshold
+  /// Breach must hold this long (virtual seconds) before firing.
+  double for_s = 0.0;
+  std::string description;
+};
+
+struct HealthConfig {
+  bool enabled = true;
+
+  /// Fleet latency objective: a query is "good" when it succeeds within
+  /// fleet_latency_threshold_s.
+  BurnRateConfig fleet_latency{};
+  double fleet_latency_threshold_s = 1.0;
+
+  /// Per-server error objective: a fragment outcome is "good" on success.
+  BurnRateConfig server_error{};
+
+  /// Per-server latency objective: a fragment is "good" when its observed
+  /// cost stays within server_latency_ratio x the calibrated estimate
+  /// (with an absolute floor so microscopic estimates don't trip it).
+  BurnRateConfig server_latency{};
+  double server_latency_ratio = 4.0;
+  double server_latency_floor_s = 0.05;
+
+  /// Calibration-drift episode rule: fire when at least
+  /// drift_episodes_threshold detector events land inside drift_window_s.
+  double drift_window_s = 60.0;
+  size_t drift_episodes_threshold = 2;
+
+  /// Breaker flap rule: fire when the breaker opened at least
+  /// flap_threshold times inside flap_window_s.
+  double flap_window_s = 120.0;
+  size_t flap_threshold = 3;
+
+  /// Minimum virtual-time gap between rule evaluations triggered by
+  /// sample ingestion (state-transition events always evaluate).
+  double eval_min_interval_s = 0.5;
+
+  size_t max_alerts = 256;        ///< alert records retained
+  size_t correlate_events = 8;    ///< event seqs captured per alert
+  size_t correlate_decisions = 4; ///< decision ids captured per alert
+};
+
+/// \brief The health engine: SLO trackers + alert rules over the event
+/// log, flight recorder, and live ingestion hooks.
+///
+/// The engine is wired as the EventLog's observer, so state transitions
+/// (server down, breaker open, drift) reach it with zero extra plumbing;
+/// latency/error samples are pushed by the integrator and QCC. Rule
+/// evaluation is deterministic: fixed rule order, virtual-time windows,
+/// no randomness, no simulator scheduling.
+class HealthEngine {
+ public:
+  struct ServerState {
+    bool down = false;
+    std::string breaker = "closed";
+    SimTime last_drift_at = -1.0;
+    std::deque<SimTime> breaker_opens;  ///< recent kBreakerOpen times
+    std::deque<SimTime> drift_times;    ///< recent kCalibrationDrift times
+  };
+
+  HealthEngine(EventLog* events, const FlightRecorder* recorder,
+               MetricsRegistry* metrics, HealthConfig config = {})
+      : events_(events), recorder_(recorder), metrics_(metrics),
+        config_(config), fleet_latency_(config.fleet_latency) {}
+
+  bool enabled() const { return config_.enabled; }
+  void set_enabled(bool on) { config_.enabled = on; }
+  const HealthConfig& config() const { return config_; }
+
+  /// Replaces the configuration and resets all windows and rule state
+  /// (alert history is kept). Call before traffic starts.
+  void Configure(HealthConfig config);
+
+  void AddRule(ThresholdRule rule);
+
+  // -- Ingestion ---------------------------------------------------------
+
+  /// One completed (or failed) query, end to end.
+  void RecordQuery(SimTime t, double total_seconds, bool ok);
+  /// One fragment outcome on one server.
+  void RecordServerOutcome(const std::string& server_id, SimTime t, bool ok);
+  /// One fragment's calibrated estimate vs observed cost on one server.
+  void RecordServerLatency(const std::string& server_id, SimTime t,
+                           double estimated_seconds, double observed_seconds);
+  /// EventLog observer entry point (installed by Telemetry).
+  void OnEvent(const HealthEvent& event);
+
+  /// Runs every rule once at `now`. Normally driven by ingestion; exposed
+  /// for shells/tools that want a fresh pass before rendering.
+  void Evaluate(SimTime now);
+
+  // -- Introspection -----------------------------------------------------
+
+  HealthGrade ServerGrade(const std::string& server_id, SimTime now) const;
+  HealthGrade FleetGrade(SimTime now) const;
+
+  const std::map<std::string, ServerState>& servers() const {
+    return servers_;
+  }
+  const std::deque<AlertRecord>& alerts() const { return alerts_; }
+  std::vector<const AlertRecord*> ActiveAlerts() const;
+  const AlertRecord* FindAlert(uint64_t id) const;
+  uint64_t total_fired() const { return total_fired_; }
+  uint64_t total_resolved() const { return total_resolved_; }
+
+ private:
+  struct RuleState {
+    bool firing = false;
+    SimTime breached_since = -1.0;  ///< for_s tracking; < 0 = not breached
+    uint64_t alert_id = 0;          ///< active AlertRecord while firing
+  };
+
+  SloWindow& ServerErrorWindow(const std::string& server_id);
+  SloWindow& ServerLatencyWindow(const std::string& server_id);
+  void MaybeEvaluate(SimTime t);
+  void EvaluateSlo(const std::string& key, const std::string& server_id,
+                   const SloWindow& window, EventSeverity severity,
+                   const char* what, SimTime now);
+  void SetFiring(const std::string& key, const std::string& server_id,
+                 EventSeverity severity, bool breach, double value,
+                 double threshold, double for_s, const std::string& message,
+                 SimTime now);
+  void Fire(RuleState& state, const std::string& key,
+            const std::string& server_id, EventSeverity severity,
+            double value, double threshold, const std::string& message,
+            SimTime now);
+  void Resolve(RuleState& state, const std::string& key, SimTime now);
+  void CorrelateEvidence(AlertRecord& alert) const;
+  size_t ActiveCount() const;
+
+  EventLog* events_;
+  const FlightRecorder* recorder_;
+  MetricsRegistry* metrics_;
+  HealthConfig config_;
+
+  SloWindow fleet_latency_{};
+  std::map<std::string, SloWindow> server_error_;
+  std::map<std::string, SloWindow> server_latency_;
+  std::map<std::string, ServerState> servers_;
+  std::vector<ThresholdRule> rules_;
+
+  std::map<std::string, RuleState> rule_state_;
+  std::deque<AlertRecord> alerts_;
+  uint64_t next_alert_id_ = 0;
+  uint64_t total_fired_ = 0;
+  uint64_t total_resolved_ = 0;
+  SimTime last_eval_ = -1.0;
+  bool evaluating_ = false;
+};
+
+}  // namespace fedcal::obs

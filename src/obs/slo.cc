@@ -1,0 +1,39 @@
+#include "obs/slo.h"
+
+namespace fedcal::obs {
+
+void SloWindow::Record(SimTime t, bool good) {
+  samples_.Append(t, good ? 0.0 : 1.0);
+  total_++;
+  if (!good) total_bad_++;
+}
+
+BurnRate SloWindow::Evaluate(SimTime now) const {
+  BurnRate burn;
+  double budget = 1.0 - config_.objective;
+  if (budget <= 0.0) budget = 1e-9;  // a 100% objective burns instantly
+  size_t fast_bad = 0;
+  size_t slow_bad = 0;
+  // Scan newest to oldest; stop once past the slow window.
+  for (size_t i = samples_.size(); i-- > 0;) {
+    const TimePoint& p = samples_.at(i);
+    double age = now - p.t;
+    if (age > config_.slow_window_s) break;
+    bool bad = p.value != 0.0;
+    burn.slow_samples++;
+    if (bad) slow_bad++;
+    if (age <= config_.fast_window_s) {
+      burn.fast_samples++;
+      if (bad) fast_bad++;
+    }
+  }
+  if (burn.fast_samples > 0) {
+    burn.fast = (double(fast_bad) / double(burn.fast_samples)) / budget;
+  }
+  if (burn.slow_samples > 0) {
+    burn.slow = (double(slow_bad) / double(burn.slow_samples)) / budget;
+  }
+  return burn;
+}
+
+}  // namespace fedcal::obs

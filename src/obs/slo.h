@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/timeseries.h"
+
+namespace fedcal::obs {
+
+/// \brief One service-level objective evaluated with multi-window burn
+/// rates, scaled to simulated time.
+///
+/// `objective` is the target good-fraction (0.95 = "95% of samples must
+/// be good"); the error budget is 1 - objective. The burn rate over a
+/// window is bad_fraction / budget: 1.0 means the budget is being spent
+/// exactly as fast as allowed, N means N times too fast. Following the
+/// classic fast+slow multi-window rule, an SLO fires only when *both*
+/// windows burn too fast — the fast window gives quick detection and
+/// quick resolution, the slow window filters one-off blips. Production
+/// 5m/1h/6h windows are scaled down to simulator seconds.
+struct BurnRateConfig {
+  double objective = 0.95;
+  double fast_window_s = 20.0;
+  double slow_window_s = 60.0;
+  double fast_burn_threshold = 2.0;
+  double slow_burn_threshold = 1.0;
+  /// Minimum samples inside the fast window before the SLO may fire, so
+  /// one bad sample at startup cannot trip an objective on its own.
+  size_t min_samples = 5;
+  /// Samples retained (ring capacity); must cover the slow window at the
+  /// expected sample rate.
+  size_t capacity = 1024;
+};
+
+/// \brief Burn rates of one SLO at one instant.
+struct BurnRate {
+  double fast = 0.0;
+  double slow = 0.0;
+  size_t fast_samples = 0;
+  size_t slow_samples = 0;
+};
+
+/// \brief Rolling good/bad sample window for one objective.
+///
+/// Samples are (virtual time, good?) pairs in a bounded ring; evaluation
+/// scans backwards over at most `capacity` samples, so both ingestion and
+/// evaluation are cheap and memory never grows.
+class SloWindow {
+ public:
+  explicit SloWindow(BurnRateConfig config = {})
+      : config_(config), samples_(config.capacity) {}
+
+  void Record(SimTime t, bool good);
+
+  BurnRate Evaluate(SimTime now) const;
+
+  /// The multi-window rule: fast AND slow burn above their thresholds,
+  /// with at least min_samples in the fast window.
+  bool ShouldFire(const BurnRate& burn) const {
+    return burn.fast_samples >= config_.min_samples &&
+           burn.fast >= config_.fast_burn_threshold &&
+           burn.slow >= config_.slow_burn_threshold;
+  }
+
+  const BurnRateConfig& config() const { return config_; }
+  uint64_t total() const { return total_; }
+  uint64_t total_bad() const { return total_bad_; }
+
+ private:
+  BurnRateConfig config_;
+  TimeSeriesRing samples_;  ///< value: 1.0 = bad, 0.0 = good
+  uint64_t total_ = 0;
+  uint64_t total_bad_ = 0;
+};
+
+}  // namespace fedcal::obs

@@ -1,0 +1,275 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+
+namespace {
+
+double LatestSeriesValue(const FlightRecorder& recorder,
+                         const std::string& server_id, ServerMetric metric,
+                         double fallback) {
+  const TimeSeriesRing* ring = recorder.Series(server_id, metric);
+  if (ring == nullptr || ring->empty()) return fallback;
+  return ring->latest().value;
+}
+
+}  // namespace
+
+HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
+                                   const FlightRecorder& recorder,
+                                   const EventLog& events, SimTime now,
+                                   const std::vector<std::string>& server_ids,
+                                   size_t max_alerts, size_t max_events) {
+  HealthSnapshot snap;
+  snap.at = now;
+  snap.fleet_grade = HealthGradeName(health.FleetGrade(now));
+  snap.total_events = events.total_emitted();
+  snap.total_alerts_fired = health.total_fired();
+  snap.total_alerts_resolved = health.total_resolved();
+
+  std::set<std::string> ids(server_ids.begin(), server_ids.end());
+  for (const auto& [sid, state] : health.servers()) {
+    (void)state;
+    ids.insert(sid);
+  }
+  for (const std::string& sid : recorder.SampledServers()) ids.insert(sid);
+
+  for (const std::string& sid : ids) {
+    ServerPanel panel;
+    panel.server_id = sid;
+    panel.grade = HealthGradeName(health.ServerGrade(sid, now));
+    auto it = health.servers().find(sid);
+    if (it != health.servers().end()) {
+      panel.down = it->second.down;
+      panel.breaker = it->second.breaker;
+    }
+    panel.calibration_factor = LatestSeriesValue(
+        recorder, sid, ServerMetric::kCalibrationFactor, 1.0);
+    panel.reliability_multiplier = LatestSeriesValue(
+        recorder, sid, ServerMetric::kReliabilityMultiplier, 1.0);
+    for (const AlertRecord& a : health.alerts()) {
+      if (a.active() && a.server_id == sid) panel.active_alerts++;
+    }
+    snap.servers.push_back(std::move(panel));
+  }
+
+  const auto& alerts = health.alerts();
+  size_t alert_start =
+      max_alerts != 0 && alerts.size() > max_alerts ? alerts.size() - max_alerts
+                                                    : 0;
+  for (size_t i = alert_start; i < alerts.size(); ++i) {
+    snap.alerts.push_back(alerts[i]);
+  }
+
+  for (const HealthEvent* e : events.Tail(max_events)) {
+    snap.events.push_back(*e);
+  }
+  return snap;
+}
+
+std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += "\"at\": " + FormatMetricValue(snapshot.at) + ",\n";
+  out += "\"fleet_grade\": " + JsonQuote(snapshot.fleet_grade) + ",\n";
+  out += "\"total_events\": " + std::to_string(snapshot.total_events) + ",\n";
+  out += "\"total_alerts_fired\": " +
+         std::to_string(snapshot.total_alerts_fired) + ",\n";
+  out += "\"total_alerts_resolved\": " +
+         std::to_string(snapshot.total_alerts_resolved) + ",\n";
+  out += "\"servers\": [";
+  for (size_t i = 0; i < snapshot.servers.size(); ++i) {
+    const ServerPanel& p = snapshot.servers[i];
+    out += i ? ",\n  " : "\n  ";
+    out += "{\"server\": " + JsonQuote(p.server_id) +
+           ", \"grade\": " + JsonQuote(p.grade) +
+           ", \"down\": " + (p.down ? "true" : "false") +
+           ", \"breaker\": " + JsonQuote(p.breaker) +
+           ", \"calibration_factor\": " +
+           FormatMetricValue(p.calibration_factor) +
+           ", \"reliability_multiplier\": " +
+           FormatMetricValue(p.reliability_multiplier) +
+           ", \"active_alerts\": " + std::to_string(p.active_alerts) + "}";
+  }
+  out += snapshot.servers.empty() ? "],\n" : "\n],\n";
+  out += "\"alerts\": [";
+  for (size_t i = 0; i < snapshot.alerts.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += AlertToJson(snapshot.alerts[i]);
+  }
+  out += snapshot.alerts.empty() ? "],\n" : "\n],\n";
+  out += "\"events\": [";
+  for (size_t i = 0; i < snapshot.events.size(); ++i) {
+    out += i ? ",\n  " : "\n  ";
+    out += EventToJson(snapshot.events[i]);
+  }
+  out += snapshot.events.empty() ? "]\n" : "\n]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+AlertRecord AlertFromJson(const JsonValue& v) {
+  AlertRecord a;
+  if (const JsonValue* f = v.Get("id")) a.id = f->AsU64();
+  if (const JsonValue* f = v.Get("rule")) a.rule = f->AsString();
+  if (const JsonValue* f = v.Get("severity")) {
+    EventSeverityFromName(f->AsString(), &a.severity);
+  }
+  if (const JsonValue* f = v.Get("server")) a.server_id = f->AsString();
+  if (const JsonValue* f = v.Get("fired_at")) a.fired_at = f->AsDouble();
+  if (const JsonValue* f = v.Get("resolved_at")) {
+    a.resolved_at = f->AsDouble(-1.0);
+  }
+  if (const JsonValue* f = v.Get("value")) a.value = f->AsDouble();
+  if (const JsonValue* f = v.Get("threshold")) a.threshold = f->AsDouble();
+  if (const JsonValue* f = v.Get("message")) a.message = f->AsString();
+  if (const JsonValue* f = v.Get("event_seqs")) {
+    for (const JsonValue& e : f->array) a.event_seqs.push_back(e.AsU64());
+  }
+  if (const JsonValue* f = v.Get("decision_query_ids")) {
+    for (const JsonValue& e : f->array) {
+      a.decision_query_ids.push_back(e.AsU64());
+    }
+  }
+  return a;
+}
+
+HealthEvent EventFromJson(const JsonValue& v) {
+  HealthEvent e;
+  if (const JsonValue* f = v.Get("seq")) e.seq = f->AsU64();
+  if (const JsonValue* f = v.Get("at")) e.at = f->AsDouble();
+  if (const JsonValue* f = v.Get("type")) {
+    EventTypeFromName(f->AsString(), &e.type);
+  }
+  if (const JsonValue* f = v.Get("severity")) {
+    EventSeverityFromName(f->AsString(), &e.severity);
+  }
+  if (const JsonValue* f = v.Get("server")) e.server_id = f->AsString();
+  if (const JsonValue* f = v.Get("query_id")) e.query_id = f->AsU64();
+  if (const JsonValue* f = v.Get("span_id")) e.span_id = f->AsU64();
+  if (const JsonValue* f = v.Get("message")) e.message = f->AsString();
+  return e;
+}
+
+}  // namespace
+
+Result<HealthSnapshot> HealthSnapshotFromJson(const std::string& json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("health snapshot: root is not an object");
+  }
+  HealthSnapshot snap;
+  if (const JsonValue* f = root.Get("at")) snap.at = f->AsDouble();
+  if (const JsonValue* f = root.Get("fleet_grade")) {
+    snap.fleet_grade = f->AsString();
+  }
+  if (const JsonValue* f = root.Get("total_events")) {
+    snap.total_events = f->AsU64();
+  }
+  if (const JsonValue* f = root.Get("total_alerts_fired")) {
+    snap.total_alerts_fired = f->AsU64();
+  }
+  if (const JsonValue* f = root.Get("total_alerts_resolved")) {
+    snap.total_alerts_resolved = f->AsU64();
+  }
+  if (const JsonValue* f = root.Get("servers")) {
+    for (const JsonValue& v : f->array) {
+      ServerPanel p;
+      if (const JsonValue* g = v.Get("server")) p.server_id = g->AsString();
+      if (const JsonValue* g = v.Get("grade")) p.grade = g->AsString();
+      if (const JsonValue* g = v.Get("down")) p.down = g->AsBool();
+      if (const JsonValue* g = v.Get("breaker")) p.breaker = g->AsString();
+      if (const JsonValue* g = v.Get("calibration_factor")) {
+        p.calibration_factor = g->AsDouble(1.0);
+      }
+      if (const JsonValue* g = v.Get("reliability_multiplier")) {
+        p.reliability_multiplier = g->AsDouble(1.0);
+      }
+      if (const JsonValue* g = v.Get("active_alerts")) {
+        p.active_alerts = g->AsU64();
+      }
+      snap.servers.push_back(std::move(p));
+    }
+  }
+  if (const JsonValue* f = root.Get("alerts")) {
+    for (const JsonValue& v : f->array) snap.alerts.push_back(AlertFromJson(v));
+  }
+  if (const JsonValue* f = root.Get("events")) {
+    for (const JsonValue& v : f->array) snap.events.push_back(EventFromJson(v));
+  }
+  return snap;
+}
+
+std::string FedtopText(const HealthSnapshot& snapshot) {
+  std::string out;
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "fedtop — federation health at t=%.3fs   fleet: %s\n",
+                snapshot.at, snapshot.fleet_grade.c_str());
+  out += line;
+  size_t active = 0;
+  for (const AlertRecord& a : snapshot.alerts) {
+    if (a.active()) active++;
+  }
+  std::snprintf(line, sizeof(line),
+                "alerts: %zu active (%llu fired / %llu resolved lifetime)   "
+                "events: %llu\n",
+                active,
+                static_cast<unsigned long long>(snapshot.total_alerts_fired),
+                static_cast<unsigned long long>(
+                    snapshot.total_alerts_resolved),
+                static_cast<unsigned long long>(snapshot.total_events));
+  out += line;
+  out += "\n";
+  out +=
+      "  server  grade     avail  breaker    calib   reliab  alerts\n"
+      "  ------  --------  -----  ---------  ------  ------  ------\n";
+  for (const ServerPanel& p : snapshot.servers) {
+    std::snprintf(line, sizeof(line),
+                  "  %-6s  %-8s  %-5s  %-9s  %6.3f  x%5.2f  %6zu\n",
+                  p.server_id.c_str(), p.grade.c_str(),
+                  p.down ? "DOWN" : "up", p.breaker.c_str(),
+                  p.calibration_factor, p.reliability_multiplier,
+                  p.active_alerts);
+    out += line;
+  }
+  if (snapshot.servers.empty()) out += "  (no servers)\n";
+
+  out += "\nactive alerts:\n";
+  bool any_active = false;
+  for (const AlertRecord& a : snapshot.alerts) {
+    if (!a.active()) continue;
+    any_active = true;
+    std::snprintf(line, sizeof(line), "  [%-5s] %s since t=%.3f: ",
+                  EventSeverityName(a.severity), a.rule.c_str(), a.fired_at);
+    out += line;
+    out += a.message + "\n";
+  }
+  if (!any_active) out += "  (none)\n";
+
+  out += "\nrecent events:\n";
+  if (snapshot.events.empty()) {
+    out += "  (none)\n";
+  }
+  for (const HealthEvent& e : snapshot.events) {
+    std::snprintf(line, sizeof(line), "  #%-5llu t=%9.3f %-5s %-18s %-4s ",
+                  static_cast<unsigned long long>(e.seq), e.at,
+                  EventSeverityName(e.severity), EventTypeName(e.type),
+                  e.server_id.empty() ? "-" : e.server_id.c_str());
+    out += line;
+    out += e.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace fedcal::obs

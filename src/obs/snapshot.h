@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+
+namespace fedcal::obs {
+
+/// \brief One server's row on the fedtop dashboard.
+struct ServerPanel {
+  std::string server_id;
+  std::string grade = "healthy";  ///< HealthGradeName
+  bool down = false;
+  std::string breaker = "closed";
+  double calibration_factor = 1.0;
+  double reliability_multiplier = 1.0;
+  size_t active_alerts = 0;
+};
+
+/// \brief A self-contained, serializable picture of fleet health at one
+/// instant: what `fedtop` renders and what CI archives as an artifact.
+///
+/// The snapshot is decoupled from the live engine so it can round-trip
+/// through JSON — `fedtop saved.json` renders the exact same screen the
+/// live run showed.
+struct HealthSnapshot {
+  SimTime at = 0.0;
+  std::string fleet_grade = "healthy";
+  uint64_t total_events = 0;
+  uint64_t total_alerts_fired = 0;
+  uint64_t total_alerts_resolved = 0;
+  std::vector<ServerPanel> servers;   ///< sorted by server id
+  std::vector<AlertRecord> alerts;    ///< recent tail, oldest first
+  std::vector<HealthEvent> events;    ///< recent tail, oldest first
+};
+
+/// Assembles a snapshot from the live health engine + flight recorder +
+/// event log. `server_ids` seeds the panel list so servers that have not
+/// produced telemetry yet still appear (merged with every server the
+/// engine or recorder knows about).
+HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
+                                   const FlightRecorder& recorder,
+                                   const EventLog& events, SimTime now,
+                                   const std::vector<std::string>& server_ids =
+                                       {},
+                                   size_t max_alerts = 16,
+                                   size_t max_events = 16);
+
+/// Deterministic JSON form (stable ordering, FormatMetricValue doubles).
+std::string HealthSnapshotToJson(const HealthSnapshot& snapshot);
+
+/// Parses a snapshot produced by HealthSnapshotToJson.
+Result<HealthSnapshot> HealthSnapshotFromJson(const std::string& json);
+
+/// The single-screen fedtop dashboard: fleet banner, per-server health
+/// table, active alerts, recent events.
+std::string FedtopText(const HealthSnapshot& snapshot);
+
+}  // namespace fedcal::obs

@@ -1,6 +1,8 @@
 #pragma once
 
+#include "obs/event_log.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/observation.h"
 #include "obs/trace.h"
@@ -8,20 +10,32 @@
 namespace fedcal::obs {
 
 /// \brief The telemetry spine: one metrics registry, one query tracer,
-/// and one routing flight recorder, shared by every layer of a
-/// federation.
+/// one routing flight recorder, one structured event log, and one health
+/// engine, shared by every layer of a federation.
 ///
 /// A Scenario owns one Telemetry and injects it into the meta-wrapper,
 /// network, servers, and (through the meta-wrapper) the integrator and
 /// QCC, so all layers emit into a single feed. Components constructed
 /// standalone fall back to a private instance — emission is always
-/// unconditional and cheap.
+/// unconditional and cheap. The health engine observes the event log, so
+/// a typed Emit anywhere in the stack doubles as health-engine input.
 struct Telemetry {
-  explicit Telemetry(const Simulator* sim) : tracer(sim) {}
+  explicit Telemetry(const Simulator* sim)
+      : tracer(sim), events(sim), health(&events, &recorder, &metrics) {
+    events.SetObserver(
+        [this](const HealthEvent& event) { health.OnEvent(event); });
+  }
+
+  // Telemetry is shared by raw pointer everywhere; the observer above
+  // captures `this`, so the struct must stay put.
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
 
   MetricsRegistry metrics;
   Tracer tracer;
   FlightRecorder recorder;
+  EventLog events;
+  HealthEngine health;
 };
 
 }  // namespace fedcal::obs

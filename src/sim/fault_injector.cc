@@ -233,14 +233,20 @@ void FaultInjector::Apply(const FaultEvent& event) {
   log_.push_back(StringFormat("t=%.3f: %s", sim_->Now(),
                               event.Describe().c_str()));
   FEDCAL_LOG_INFO << "fault injector: " << log_.back();
+  if (event_hook_) event_hook_(event, /*reverting=*/false);
+  auto notify_revert = [this, event] {
+    if (event_hook_) event_hook_(event, /*reverting=*/true);
+  };
 
   switch (event.kind) {
     case FaultEvent::Kind::kCrash: {
       ServerHooks& s = servers_.at(event.target);
       s.set_available(false);
       if (event.duration_s > 0.0) {
-        sim_->ScheduleAfter(event.duration_s,
-                            [&s] { s.set_available(true); });
+        sim_->ScheduleAfter(event.duration_s, [&s, notify_revert] {
+          s.set_available(true);
+          notify_revert();
+        });
       }
       break;
     }
@@ -252,8 +258,9 @@ void FaultInjector::Apply(const FaultEvent& event) {
       const double previous = s.background_load();
       s.set_background_load(event.magnitude);
       if (event.duration_s > 0.0) {
-        sim_->ScheduleAfter(event.duration_s, [&s, previous] {
+        sim_->ScheduleAfter(event.duration_s, [&s, previous, notify_revert] {
           s.set_background_load(previous);
+          notify_revert();
         });
       }
       break;
@@ -263,8 +270,9 @@ void FaultInjector::Apply(const FaultEvent& event) {
       const double previous = s.error_rate();
       s.set_error_rate(event.magnitude);
       if (event.duration_s > 0.0) {
-        sim_->ScheduleAfter(event.duration_s, [&s, previous] {
+        sim_->ScheduleAfter(event.duration_s, [&s, previous, notify_revert] {
           s.set_error_rate(previous);
+          notify_revert();
         });
       }
       break;
@@ -273,13 +281,17 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultEvent::Kind::kPartition: {
       // Congestion is interval data, not a settable knob: hand the link an
       // episode covering [now, now + duration) (effectively unbounded when
-      // the event is permanent).
+      // the event is permanent). The revert notification mirrors the
+      // episode's end so operators see timed congestion clear.
       const SimTime start = sim_->Now();
       const SimTime end =
           event.duration_s > 0.0 ? start + event.duration_s : 1e18;
       links_.at(event.target)
           .add_congestion(start, end, event.magnitude,
                           event.bandwidth_divisor);
+      if (event.duration_s > 0.0 && event_hook_) {
+        sim_->ScheduleAfter(event.duration_s, notify_revert);
+      }
       break;
     }
   }

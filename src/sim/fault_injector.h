@@ -97,6 +97,13 @@ class FaultInjector {
   void RegisterServer(const std::string& id, ServerHooks hooks);
   void RegisterLink(const std::string& id, LinkHooks hooks);
 
+  /// Observes every applied event and every timed auto-revert. The sim
+  /// layer cannot depend on the observability layer, so this is a generic
+  /// callback; Scenario wires it into the structured event log.
+  using EventHook = std::function<void(const FaultEvent& event,
+                                       bool reverting)>;
+  void SetEventHook(EventHook hook) { event_hook_ = std::move(hook); }
+
   /// Validates every event's target and schedules the whole script on the
   /// simulator. May be called multiple times (schedules compose).
   Status Arm(const FaultSchedule& schedule);
@@ -112,6 +119,7 @@ class FaultInjector {
   Simulator* sim_;
   std::map<std::string, ServerHooks> servers_;
   std::map<std::string, LinkHooks> links_;
+  EventHook event_hook_;
   size_t armed_ = 0;
   size_t applied_ = 0;
   std::vector<std::string> log_;

@@ -185,6 +185,23 @@ QueryCostCalibrator& Scenario::qcc(QccConfig config) {
 FaultInjector& Scenario::fault_injector() {
   if (!injector_) {
     injector_ = std::make_unique<FaultInjector>(&sim_);
+    // Injected faults (and their timed reverts) land in the structured
+    // event log — the sim layer cannot depend on obs, so the bridge lives
+    // here.
+    injector_->SetEventHook([this](const FaultEvent& event, bool reverting) {
+      obs::EventSeverity severity = obs::EventSeverity::kWarn;
+      if (reverting || event.kind == FaultEvent::Kind::kRecover) {
+        severity = obs::EventSeverity::kInfo;
+      } else if (event.kind == FaultEvent::Kind::kCrash ||
+                 event.kind == FaultEvent::Kind::kPartition) {
+        severity = obs::EventSeverity::kError;
+      }
+      telemetry_.events.Emit(
+          reverting ? obs::EventType::kFaultReverted
+                    : obs::EventType::kFaultInjected,
+          severity, event.target, /*query_id=*/0,
+          reverting ? "reverted: " + event.Describe() : event.Describe());
+    });
     for (auto& [id, server] : servers_) {
       RemoteServer* s = server.get();
       injector_->RegisterServer(

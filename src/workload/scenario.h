@@ -100,6 +100,9 @@ class Scenario {
   Rng rng_;
   Simulator sim_;
   obs::Telemetry telemetry_{&sim_};
+  /// Routes FEDCAL_LOG lines (kInfo and up) into the event log for this
+  /// scenario's lifetime, so legacy log call sites show up in `\events`.
+  obs::ScopedLogSink log_sink_{&telemetry_.events, LogLevel::kInfo};
   Network network_;
   GlobalCatalog catalog_;
   std::map<std::string, std::unique_ptr<RemoteServer>> servers_;

@@ -1,0 +1,107 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fedcal {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto v = ParseJson("42.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type, JsonValue::Type::kNumber);
+  EXPECT_DOUBLE_EQ(v->number_value, 42.5);
+
+  v = ParseJson("-1e-3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number_value, -1e-3);
+
+  v = ParseJson("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+
+  v = ParseJson("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = ParseJson("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "hello");
+}
+
+TEST(JsonTest, ParsesNestedStructurePreservingMemberOrder) {
+  auto v = ParseJson(R"({"b": [1, 2, {"x": null}], "a": {"k": "v"}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object.size(), 2u);
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  const JsonValue* b = v->Get("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->array[1].AsDouble(), 2.0);
+  EXPECT_TRUE(b->array[2].Get("x")->is_null());
+  EXPECT_EQ(v->Get("a")->Get("k")->AsString(), "v");
+  EXPECT_EQ(v->Get("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = ParseJson(R"("line\nbreak \"quoted\" back\\slash A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nbreak \"quoted\" back\\slash A");
+  // Non-ASCII \u escapes become UTF-8.
+  v = ParseJson("\"\\u00e9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xc3\xa9");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  auto v = ParseJson("{}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_object());
+  EXPECT_TRUE(v->object.empty());
+  v = ParseJson("[]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_array());
+  EXPECT_TRUE(v->array.empty());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());     // trailing garbage
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonTest, TypedAccessorFallbacks) {
+  auto v = ParseJson(R"({"n": 3, "s": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("n")->AsU64(), 3u);
+  EXPECT_DOUBLE_EQ(v->Get("s")->AsDouble(7.0), 7.0);  // mistyped -> fallback
+  EXPECT_FALSE(v->Get("s")->AsBool(false));
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  auto v = ParseJson("[1, @]");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().ToString().find("byte"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,215 @@
+// End-to-end health-engine test: drives congestion and an outage through
+// the fault injector against steady open-loop traffic and asserts the
+// deterministic alert sequence — the latency-SLO burn alert fires during
+// congestion, the availability alert fires on the outage, both resolve
+// after recovery, and every alert cross-references event-log entries and
+// flight-recorder decisions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+#include "sim/fault_injector.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+using obs::EventType;
+
+constexpr double kCongestStart = 30.0;
+constexpr double kCongestEnd = 60.0;
+constexpr double kCrashStart = 65.0;
+constexpr double kCrashEnd = 80.0;
+constexpr double kHorizon = 150.0;
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+/// Alert windows scaled to this test's timeline: congestion lasts 30s, so
+/// a 10s/30s fast/slow pair detects it quickly and resolves within the
+/// recovery phase.
+obs::HealthConfig TestHealthConfig() {
+  obs::HealthConfig cfg;
+  cfg.fleet_latency.objective = 0.9;
+  cfg.fleet_latency.fast_window_s = 10.0;
+  cfg.fleet_latency.slow_window_s = 30.0;
+  cfg.fleet_latency.min_samples = 5;
+  // Uncongested queries complete in ~0.03s; under 40x congestion they take
+  // 0.4-0.8s. 0.2s separates the regimes cleanly.
+  cfg.fleet_latency_threshold_s = 0.2;
+  return cfg;
+}
+
+/// "fire:<rule>" / "resolve:<rule>" in emission order, filtered to the two
+/// rules this scenario exercises.
+std::vector<std::string> AlertSequence(const obs::EventLog& log) {
+  std::vector<std::string> seq;
+  for (const obs::HealthEvent& e : log.events()) {
+    // Firing messages are "<rule-key>: <detail>", resolutions are
+    // "<rule-key> resolved"; rule keys contain no spaces.
+    std::string entry;
+    if (e.type == EventType::kAlertFiring) {
+      entry = "fire:" + e.message.substr(0, e.message.find(": "));
+    } else if (e.type == EventType::kAlertResolved) {
+      entry = "resolve:" + e.message.substr(0, e.message.find(' '));
+    } else {
+      continue;
+    }
+    if (entry.find("slo:fleet-latency") != std::string::npos ||
+        entry.find("availability:S2") != std::string::npos) {
+      seq.push_back(entry);
+    }
+  }
+  return seq;
+}
+
+std::string Join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) out += s + "\n";
+  return out;
+}
+
+TEST(HealthE2eTest, CongestionAndOutageProduceDeterministicAlertLifecycle) {
+  Scenario sc(TinyConfig());
+  sc.qcc().AttachTo(&sc.integrator());
+  sc.telemetry().health.Configure(TestHealthConfig());
+
+  FaultSchedule chaos;
+  for (const char* link : {"S1", "S2", "S3"}) {
+    chaos.Congestion(kCongestStart, link, /*latency_multiplier=*/40.0,
+                     /*bandwidth_divisor=*/40.0,
+                     kCongestEnd - kCongestStart);
+  }
+  chaos.Crash(kCrashStart, "S2", kCrashEnd - kCrashStart);
+  ASSERT_OK(sc.fault_injector().Arm(chaos));
+
+  // Steady open-loop traffic: one QT1/QT2 query every half virtual
+  // second, fire-and-forget (failures during the outage are part of the
+  // scenario).
+  int instance = 0;
+  for (double t = 0.5; t < kHorizon; t += 0.5) {
+    const QueryType type =
+        (instance % 2 == 0) ? QueryType::kQT1 : QueryType::kQT2;
+    const std::string sql = sc.MakeQueryInstance(type, instance++);
+    sc.sim().ScheduleAt(t, [&sc, sql] {
+      auto compiled = sc.integrator().Compile(sql);
+      if (!compiled.ok()) return;
+      sc.integrator().Execute(*compiled, [](Result<QueryOutcome>) {});
+    });
+  }
+  sc.sim().RunUntil(kHorizon);
+
+  const obs::EventLog& log = sc.telemetry().events;
+  const obs::HealthEngine& health = sc.telemetry().health;
+
+  // --- The alert sequence, exactly -------------------------------------
+  const std::vector<std::string> seq = AlertSequence(log);
+  // The latency alert's slow window is still burning congestion-era
+  // samples when the crash lands at t=65, so the availability alert fires
+  // before the latency alert resolves.
+  EXPECT_EQ(seq, (std::vector<std::string>{
+                     "fire:slo:fleet-latency",
+                     "fire:availability:S2",
+                     "resolve:slo:fleet-latency",
+                     "resolve:availability:S2",
+                 }))
+      << "observed sequence:\n"
+      << Join(seq);
+
+  // --- Latency-SLO alert: fired during congestion, resolved after ------
+  const obs::AlertRecord* latency = nullptr;
+  const obs::AlertRecord* availability = nullptr;
+  for (const obs::AlertRecord& a : health.alerts()) {
+    if (a.rule == "slo:fleet-latency") latency = &a;
+    if (a.rule == "availability:S2") availability = &a;
+  }
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->fired_at, kCongestStart);
+  EXPECT_LT(latency->fired_at, kCongestEnd + 5.0);
+  EXPECT_FALSE(latency->active());
+  EXPECT_GT(latency->resolved_at, kCongestEnd);
+
+  // --- Availability alert: fired on the outage, resolved on recovery ---
+  ASSERT_NE(availability, nullptr);
+  EXPECT_GE(availability->fired_at, kCrashStart);
+  EXPECT_LT(availability->fired_at, kCrashEnd);
+  EXPECT_FALSE(availability->active());
+  EXPECT_GT(availability->resolved_at, kCrashEnd);
+  EXPECT_EQ(availability->severity, obs::EventSeverity::kError);
+  EXPECT_EQ(availability->server_id, "S2");
+
+  // --- Nothing is left firing at the horizon ----------------------------
+  EXPECT_TRUE(health.ActiveAlerts().empty());
+  EXPECT_EQ(health.FleetGrade(sc.sim().Now()), obs::HealthGrade::kHealthy);
+
+  // --- Cross-references: every alert points at real evidence ------------
+  for (const obs::AlertRecord* a : {latency, availability}) {
+    EXPECT_FALSE(a->event_seqs.empty()) << a->rule;
+    for (uint64_t seq_id : a->event_seqs) {
+      const obs::HealthEvent* e = log.Find(seq_id);
+      ASSERT_NE(e, nullptr) << a->rule << " references evicted event #"
+                            << seq_id;
+      if (!a->server_id.empty()) {
+        EXPECT_EQ(e->server_id, a->server_id);
+      }
+      EXPECT_LE(e->at, a->fired_at);
+    }
+    EXPECT_FALSE(a->decision_query_ids.empty()) << a->rule;
+    for (uint64_t qid : a->decision_query_ids) {
+      const obs::DecisionRecord* d = sc.telemetry().recorder.Find(qid);
+      ASSERT_NE(d, nullptr) << a->rule << " references evicted decision q"
+                            << qid;
+      if (!a->server_id.empty()) {
+        const obs::CandidatePlanRecord* chosen = d->Chosen();
+        ASSERT_NE(chosen, nullptr);
+        EXPECT_NE(chosen->server_set.find(a->server_id), std::string::npos);
+      }
+    }
+  }
+
+  // --- The injected faults themselves are in the event log --------------
+  size_t injected = 0;
+  size_t reverted = 0;
+  for (const obs::HealthEvent& e : log.events()) {
+    if (e.type == EventType::kFaultInjected) injected++;
+    if (e.type == EventType::kFaultReverted) reverted++;
+  }
+  EXPECT_EQ(injected, 4u);  // 3 congestions + 1 crash
+  EXPECT_EQ(reverted, 4u);
+
+  // --- Down/up transitions surfaced as typed events ---------------------
+  bool saw_down = false;
+  bool saw_up_after_down = false;
+  for (const obs::HealthEvent& e : log.events()) {
+    if (e.type == EventType::kServerDown && e.server_id == "S2") {
+      saw_down = true;
+    }
+    if (saw_down && e.type == EventType::kServerUp && e.server_id == "S2") {
+      saw_up_after_down = true;
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_up_after_down);
+
+  // --- The operator view agrees with the engine -------------------------
+  const obs::HealthSnapshot snap = obs::BuildHealthSnapshot(
+      health, sc.telemetry().recorder, log, sc.sim().Now(), sc.server_ids());
+  EXPECT_EQ(snap.fleet_grade, "healthy");
+  ASSERT_EQ(snap.servers.size(), 3u);
+  for (const obs::ServerPanel& p : snap.servers) {
+    EXPECT_EQ(p.grade, "healthy") << p.server_id;
+    EXPECT_EQ(p.active_alerts, 0u) << p.server_id;
+  }
+  EXPECT_EQ(snap.total_alerts_fired, snap.total_alerts_resolved);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,172 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace fedcal::obs {
+namespace {
+
+TEST(EventLogTest, EmitStampsVirtualTimeAndMonotonicSeq) {
+  Simulator sim;
+  EventLog log(&sim);
+  sim.ScheduleAt(2.5, [&] {
+    log.Emit(EventType::kServerDown, EventSeverity::kError, "S2", 7,
+             "availability daemon marked S2 down");
+  });
+  while (sim.Step()) {
+  }
+  const uint64_t seq = log.Emit(EventType::kServerUp, EventSeverity::kInfo,
+                                "S2", 0, "back");
+  ASSERT_EQ(log.size(), 2u);
+  const HealthEvent& down = log.events().front();
+  EXPECT_EQ(down.seq, 1u);
+  EXPECT_DOUBLE_EQ(down.at, 2.5);
+  EXPECT_EQ(down.type, EventType::kServerDown);
+  EXPECT_EQ(down.severity, EventSeverity::kError);
+  EXPECT_EQ(down.server_id, "S2");
+  EXPECT_EQ(down.query_id, 7u);
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(log.total_emitted(), 2u);
+  EXPECT_EQ(log.severity_count(EventSeverity::kError), 1u);
+  EXPECT_EQ(log.severity_count(EventSeverity::kInfo), 1u);
+}
+
+TEST(EventLogTest, NullSimulatorStampsZero) {
+  EventLog log(/*sim=*/nullptr);
+  log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 1, "m");
+  EXPECT_DOUBLE_EQ(log.events().front().at, 0.0);
+}
+
+TEST(EventLogTest, RingEvictsOldestButSeqAndTotalsSurvive) {
+  EventLogConfig cfg;
+  cfg.capacity = 4;
+  EventLog log(/*sim=*/nullptr, cfg);
+  for (int i = 0; i < 10; ++i) {
+    std::string msg = "e";
+    msg += std::to_string(i);
+    log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, msg);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_emitted(), 10u);
+  EXPECT_EQ(log.events().front().seq, 7u);
+  EXPECT_EQ(log.events().back().seq, 10u);
+  // Evicted seqs are gone; retained ones resolve directly.
+  EXPECT_EQ(log.Find(3), nullptr);
+  ASSERT_NE(log.Find(8), nullptr);
+  EXPECT_EQ(log.Find(8)->message, "e7");
+  EXPECT_EQ(log.Find(11), nullptr);
+}
+
+TEST(EventLogTest, DisabledEmitsNothingAndReturnsZero) {
+  EventLogConfig cfg;
+  cfg.enabled = false;
+  EventLog log(/*sim=*/nullptr, cfg);
+  EXPECT_EQ(log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 1, "m"),
+            0u);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_emitted(), 0u);
+}
+
+TEST(EventLogTest, TailReturnsNewestOldestFirst) {
+  EventLog log(/*sim=*/nullptr);
+  for (int i = 0; i < 5; ++i) {
+    std::string msg = "e";
+    msg += std::to_string(i);
+    log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, msg);
+  }
+  const auto tail = log.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0]->message, "e3");
+  EXPECT_EQ(tail[1]->message, "e4");
+  EXPECT_EQ(log.Tail(100).size(), 5u);
+}
+
+TEST(EventLogTest, ObserverSeesEveryEmission) {
+  EventLog log(/*sim=*/nullptr);
+  std::vector<uint64_t> seen;
+  log.SetObserver([&](const HealthEvent& e) { seen.push_back(e.seq); });
+  log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, "a");
+  log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, "b");
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(EventLogTest, TypeAndSeverityNamesRoundTrip) {
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    const EventType type = static_cast<EventType>(i);
+    EventType parsed = EventType::kLog;
+    ASSERT_TRUE(EventTypeFromName(EventTypeName(type), &parsed))
+        << EventTypeName(type);
+    EXPECT_EQ(parsed, type);
+  }
+  EventType t = EventType::kLog;
+  EXPECT_FALSE(EventTypeFromName("no_such_event", &t));
+  for (EventSeverity s : {EventSeverity::kDebug, EventSeverity::kInfo,
+                          EventSeverity::kWarn, EventSeverity::kError}) {
+    EventSeverity parsed = EventSeverity::kDebug;
+    ASSERT_TRUE(EventSeverityFromName(EventSeverityName(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+}
+
+// The logging satellite: a FEDCAL_LOG warning becomes a structured kLog
+// event while the sink is installed, and stops when the scope unwinds.
+TEST(LoggerEventSinkTest, WarnLogLineBecomesStructuredEvent) {
+  EventLog log(/*sim=*/nullptr);
+  {
+    ScopedLogSink sink(&log, LogLevel::kInfo);
+    FEDCAL_LOG_WARN << "retry budget exhausted after " << 3 << " attempts";
+  }
+  FEDCAL_LOG_WARN << "after the scope; must not be captured";
+  ASSERT_EQ(log.size(), 1u);
+  const HealthEvent& e = log.events().front();
+  EXPECT_EQ(e.type, EventType::kLog);
+  EXPECT_EQ(e.severity, EventSeverity::kWarn);
+  // Message carries the originating file:line plus the formatted text.
+  EXPECT_NE(e.message.find("event_log_test.cc"), std::string::npos);
+  EXPECT_NE(e.message.find("retry budget exhausted after 3 attempts"),
+            std::string::npos);
+}
+
+TEST(LoggerEventSinkTest, SinkLevelFiltersBelowThreshold) {
+  EventLog log(/*sim=*/nullptr);
+  ScopedLogSink sink(&log, LogLevel::kWarn);
+  FEDCAL_LOG_INFO << "below the sink threshold";
+  EXPECT_EQ(log.size(), 0u);
+  FEDCAL_LOG_ERROR << "above it";
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events().front().severity, EventSeverity::kError);
+}
+
+TEST(LoggerEventSinkTest, NestedScopesRestoreOuterSink) {
+  EventLog outer(/*sim=*/nullptr);
+  EventLog inner(/*sim=*/nullptr);
+  {
+    ScopedLogSink a(&outer, LogLevel::kInfo);
+    {
+      ScopedLogSink b(&inner, LogLevel::kInfo);
+      FEDCAL_LOG_WARN << "to inner";
+    }
+    FEDCAL_LOG_WARN << "to outer";
+  }
+  EXPECT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer.size(), 1u);
+  EXPECT_EQ(Logger::Instance().sink(), nullptr);
+}
+
+TEST(EventLogTest, ClearResetsRetentionButKeepsConfig) {
+  EventLog log(/*sim=*/nullptr);
+  log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, "a");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_emitted(), 0u);
+  EXPECT_EQ(log.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 0, "b"),
+            1u);
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -182,6 +182,36 @@ TEST(FlightRecorderTest, DriftCooldownCollapsesSustainedSwings) {
   EXPECT_EQ(rec.total_drift_events(), 2u);
 }
 
+TEST(FlightRecorderTest, DriftCooldownFiresAtExpiryNotBefore) {
+  // Default cooldown is 10s. A qualifying swing 9.9s after the last event
+  // is still suppressed; one at exactly 10.0s fires — the boundary is
+  // inclusive (t - last < cooldown suppresses, == does not).
+  FlightRecorder rec;
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 0.0, 1.0);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 1.0, 2.0);
+  ASSERT_EQ(rec.total_drift_events(), 1u);
+  ASSERT_DOUBLE_EQ(rec.drift_events().back().at, 1.0);
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 10.9, 4.0);
+  EXPECT_EQ(rec.total_drift_events(), 1u);  // 9.9s elapsed: suppressed
+  rec.Sample("S1", ServerMetric::kCalibrationFactor, 11.0, 8.0);
+  EXPECT_EQ(rec.total_drift_events(), 2u);  // exactly 10.0s: fires
+  EXPECT_DOUBLE_EQ(rec.drift_events().back().at, 11.0);
+}
+
+TEST(FlightRecorderTest, TimelineOfUnsampledServerSaysSo) {
+  // Empty-series exporter output: a server with no samples renders a
+  // definite "nothing here" line, not an empty string or a crash.
+  FlightRecorder rec;
+  const std::string text = TimelineText(rec, "S9");
+  EXPECT_NE(text.find("no samples recorded for server S9"),
+            std::string::npos);
+  // A sampled server is unaffected.
+  rec.Sample("S1", ServerMetric::kAvailability, 0.0, 1.0);
+  EXPECT_NE(TimelineText(rec, "S1").find("timeline for S1"),
+            std::string::npos);
+  EXPECT_NE(TimelineText(rec, "S9").find("no samples"), std::string::npos);
+}
+
 TEST(FlightRecorderTest, DriftIgnoresSamplesOutsideWindow) {
   FlightRecorderConfig cfg;
   cfg.drift.threshold_fraction = 0.5;

@@ -1,0 +1,247 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+namespace {
+
+/// Engine + dependencies with windows tuned so a handful of samples can
+/// trip an SLO.
+struct Rig {
+  EventLog events{/*sim=*/nullptr};
+  FlightRecorder recorder;
+  MetricsRegistry metrics;
+  HealthEngine health{&events, &recorder, &metrics, TightConfig()};
+
+  Rig() {
+    events.SetObserver([this](const HealthEvent& e) { health.OnEvent(e); });
+  }
+
+  static HealthConfig TightConfig() {
+    HealthConfig cfg;
+    cfg.fleet_latency.objective = 0.9;
+    cfg.fleet_latency.fast_window_s = 10.0;
+    cfg.fleet_latency.slow_window_s = 30.0;
+    cfg.fleet_latency.min_samples = 3;
+    cfg.fleet_latency_threshold_s = 1.0;
+    cfg.server_error.objective = 0.9;
+    cfg.server_error.fast_window_s = 10.0;
+    cfg.server_error.slow_window_s = 30.0;
+    cfg.server_error.min_samples = 3;
+    cfg.eval_min_interval_s = 0.0;  // evaluate on every sample in tests
+    return cfg;
+  }
+};
+
+TEST(HealthEngineTest, AvailabilityAlertFiresOnDownAndResolvesOnUp) {
+  Rig rig;
+  rig.events.Emit(EventType::kServerDown, EventSeverity::kError, "S2", 0,
+                  "availability daemons marked S2 down");
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->rule, "availability:S2");
+  EXPECT_EQ(active[0]->server_id, "S2");
+  EXPECT_EQ(active[0]->severity, EventSeverity::kError);
+  EXPECT_EQ(rig.health.ServerGrade("S2", 0.0), HealthGrade::kCritical);
+  EXPECT_EQ(rig.health.FleetGrade(0.0), HealthGrade::kCritical);
+
+  rig.events.Emit(EventType::kServerUp, EventSeverity::kInfo, "S2", 0, "up");
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  EXPECT_EQ(rig.health.ServerGrade("S2", 0.0), HealthGrade::kHealthy);
+  EXPECT_EQ(rig.health.total_fired(), 1u);
+  EXPECT_EQ(rig.health.total_resolved(), 1u);
+  // The full lifecycle is itself in the event log.
+  const auto& log = rig.events.events();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[1].type, EventType::kAlertFiring);
+  EXPECT_EQ(log[3].type, EventType::kAlertResolved);
+}
+
+TEST(HealthEngineTest, FleetLatencySloFiresAndResolves) {
+  Rig rig;
+  // Healthy traffic.
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    rig.health.RecordQuery(t, 0.1, /*ok=*/true);
+    t += 1.0;
+  }
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  // Congestion: queries blow past the threshold.
+  for (int i = 0; i < 10; ++i) {
+    rig.health.RecordQuery(t, 5.0, /*ok=*/true);
+    t += 1.0;
+  }
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->rule, "slo:fleet-latency");
+  EXPECT_TRUE(active[0]->server_id.empty());
+  // Recovery: fast window clears first, then the alert resolves.
+  for (int i = 0; i < 40; ++i) {
+    rig.health.RecordQuery(t, 0.1, /*ok=*/true);
+    t += 1.0;
+  }
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  const AlertRecord* alert = rig.health.FindAlert(active[0]->id);
+  ASSERT_NE(alert, nullptr);
+  EXPECT_GE(alert->resolved_at, alert->fired_at);
+}
+
+TEST(HealthEngineTest, ServerErrorSloIsPerServer) {
+  Rig rig;
+  double t = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    rig.health.RecordServerOutcome("S1", t, /*ok=*/false);
+    rig.health.RecordServerOutcome("S2", t, /*ok=*/true);
+    t += 1.0;
+  }
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->rule, "slo:errors:S1");
+  EXPECT_EQ(rig.health.ServerGrade("S1", t), HealthGrade::kCritical);
+  EXPECT_EQ(rig.health.ServerGrade("S2", t), HealthGrade::kHealthy);
+}
+
+TEST(HealthEngineTest, BreakerFlapRuleCountsOpensInWindow) {
+  Rig rig;
+  // Three opens inside the 120s flap window (threshold 3).
+  for (int i = 0; i < 3; ++i) {
+    rig.events.Emit(EventType::kBreakerOpen, EventSeverity::kError, "S3", 0,
+                    "circuit breaker closed -> open");
+    rig.events.Emit(EventType::kBreakerClosed, EventSeverity::kInfo, "S3", 0,
+                    "circuit breaker open -> closed");
+  }
+  bool found = false;
+  for (const auto* a : rig.health.ActiveAlerts()) {
+    if (a->rule == "breaker-flap:S3") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HealthEngineTest, DriftEpisodesGradeDegradedThenAlert) {
+  Rig rig;
+  rig.events.Emit(EventType::kCalibrationDrift, EventSeverity::kWarn, "S1", 0,
+                  "calibration factor 1.0 -> 2.1");
+  // One drift: degraded (within drift window) but below the episode
+  // threshold of 2, so no alert.
+  EXPECT_EQ(rig.health.ServerGrade("S1", 1.0), HealthGrade::kDegraded);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  rig.events.Emit(EventType::kCalibrationDrift, EventSeverity::kWarn, "S1", 0,
+                  "calibration factor 2.1 -> 4.4");
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->rule, "calibration-drift:S1");
+}
+
+TEST(HealthEngineTest, ThresholdRuleWithForDurationAndCustomSignal) {
+  Rig rig;
+  double signal = 0.0;
+  ThresholdRule rule;
+  rule.name = "queue-depth";
+  rule.server_id = "S1";
+  rule.severity = EventSeverity::kWarn;
+  rule.value = [&signal](SimTime) { return signal; };
+  rule.threshold = 10.0;
+  rule.for_s = 5.0;
+  rule.description = "dispatch queue too deep";
+  rig.health.AddRule(rule);
+
+  signal = 50.0;
+  rig.health.Evaluate(0.0);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());  // breach must hold for_s
+  rig.health.Evaluate(4.9);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  rig.health.Evaluate(5.0);
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->rule, "rule:queue-depth");
+  EXPECT_EQ(active[0]->message, "dispatch queue too deep");
+  // Dip below: resolves and the for_s clock restarts.
+  signal = 0.0;
+  rig.health.Evaluate(6.0);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  signal = 50.0;
+  rig.health.Evaluate(7.0);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+}
+
+TEST(HealthEngineTest, AlertsCrossReferenceEventsAndDecisions) {
+  Rig rig;
+  // Context the alert should pick up: an S2-scoped event and a decision
+  // whose chosen plan ran on S2.
+  rig.events.Emit(EventType::kRetry, EventSeverity::kWarn, "S2", 41,
+                  "failing over to S1");
+  DecisionRecord d;
+  d.query_id = 41;
+  CandidatePlanRecord c;
+  c.server_set = "S1+S2";
+  c.chosen = true;
+  d.candidates.push_back(c);
+  rig.recorder.Record(d);
+  DecisionRecord other;  // S10 must NOT match the S1 segment filter for S2
+  other.query_id = 42;
+  CandidatePlanRecord oc;
+  oc.server_set = "S10";
+  oc.chosen = true;
+  other.candidates.push_back(oc);
+  rig.recorder.Record(other);
+
+  rig.events.Emit(EventType::kServerDown, EventSeverity::kError, "S2", 0,
+                  "down");
+  auto active = rig.health.ActiveAlerts();
+  ASSERT_EQ(active.size(), 1u);
+  const AlertRecord& alert = *active[0];
+  // Both S2-scoped events (retry + down) are referenced, in seq order.
+  ASSERT_EQ(alert.event_seqs.size(), 2u);
+  EXPECT_LT(alert.event_seqs[0], alert.event_seqs[1]);
+  for (uint64_t seq : alert.event_seqs) {
+    ASSERT_NE(rig.events.Find(seq), nullptr);
+    EXPECT_EQ(rig.events.Find(seq)->server_id, "S2");
+  }
+  ASSERT_EQ(alert.decision_query_ids.size(), 1u);
+  EXPECT_EQ(alert.decision_query_ids[0], 41u);
+}
+
+TEST(HealthEngineTest, MetricsCountersTrackAlertLifecycle) {
+  Rig rig;
+  rig.events.Emit(EventType::kServerDown, EventSeverity::kError, "S1", 0,
+                  "down");
+  rig.events.Emit(EventType::kServerUp, EventSeverity::kInfo, "S1", 0, "up");
+  EXPECT_EQ(rig.metrics.counter("health.alerts_fired").value(), 1u);
+  EXPECT_EQ(rig.metrics.counter("health.alerts_resolved").value(), 1u);
+  EXPECT_DOUBLE_EQ(rig.metrics.gauge("health.active_alerts").value(), 0.0);
+}
+
+TEST(HealthEngineTest, DisabledEngineIgnoresEverything) {
+  Rig rig;
+  HealthConfig cfg = Rig::TightConfig();
+  cfg.enabled = false;
+  rig.health.Configure(cfg);
+  rig.events.Emit(EventType::kServerDown, EventSeverity::kError, "S1", 0,
+                  "down");
+  rig.health.RecordQuery(0.0, 100.0, false);
+  rig.health.Evaluate(1.0);
+  EXPECT_TRUE(rig.health.ActiveAlerts().empty());
+  EXPECT_EQ(rig.health.total_fired(), 0u);
+}
+
+TEST(HealthEngineTest, ConfigureResetsWindowsButKeepsAlertHistory) {
+  Rig rig;
+  rig.events.Emit(EventType::kServerDown, EventSeverity::kError, "S1", 0,
+                  "down");
+  EXPECT_EQ(rig.health.alerts().size(), 1u);
+  rig.health.Configure(Rig::TightConfig());
+  // History survives; rule state was reset, so the next evaluation
+  // re-fires for the still-down server.
+  EXPECT_EQ(rig.health.alerts().size(), 1u);
+  rig.health.Evaluate(1.0);
+  EXPECT_EQ(rig.health.total_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -1,0 +1,108 @@
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+namespace fedcal::obs {
+namespace {
+
+BurnRateConfig TestConfig() {
+  BurnRateConfig cfg;
+  cfg.objective = 0.9;  // budget = 0.1
+  cfg.fast_window_s = 10.0;
+  cfg.slow_window_s = 30.0;
+  cfg.fast_burn_threshold = 2.0;
+  cfg.slow_burn_threshold = 1.0;
+  cfg.min_samples = 3;
+  return cfg;
+}
+
+TEST(SloWindowTest, AllGoodBurnsNothing) {
+  SloWindow w(TestConfig());
+  for (int i = 0; i < 20; ++i) w.Record(i * 1.0, /*good=*/true);
+  const BurnRate burn = w.Evaluate(20.0);
+  EXPECT_DOUBLE_EQ(burn.fast, 0.0);
+  EXPECT_DOUBLE_EQ(burn.slow, 0.0);
+  EXPECT_FALSE(w.ShouldFire(burn));
+  EXPECT_EQ(w.total(), 20u);
+  EXPECT_EQ(w.total_bad(), 0u);
+}
+
+TEST(SloWindowTest, BurnRateIsBadFractionOverBudget) {
+  SloWindow w(TestConfig());
+  // 10 samples in the fast window, 7 bad: bad fraction 0.7 over a 0.1
+  // budget is a burn rate of 7.
+  for (int i = 0; i < 10; ++i) w.Record(10.0 + i, /*good=*/i < 3);
+  const BurnRate burn = w.Evaluate(20.0);
+  EXPECT_EQ(burn.fast_samples, 10u);
+  EXPECT_NEAR(burn.fast, 7.0, 1e-12);
+  EXPECT_EQ(w.total_bad(), 7u);
+}
+
+TEST(SloWindowTest, FastAndSlowWindowsDisagree) {
+  SloWindow w(TestConfig());
+  // Old bad burst (t=0..5) now outside the fast window but inside the
+  // slow one; recent samples all good.
+  for (int i = 0; i < 6; ++i) w.Record(i * 1.0, /*good=*/false);
+  for (int i = 0; i < 6; ++i) w.Record(15.0 + i, /*good=*/true);
+  const BurnRate burn = w.Evaluate(21.0);
+  EXPECT_EQ(burn.fast_samples, 6u);      // t in [11, 21]
+  EXPECT_EQ(burn.slow_samples, 12u);     // everything
+  EXPECT_DOUBLE_EQ(burn.fast, 0.0);
+  EXPECT_NEAR(burn.slow, 5.0, 1e-12);    // 6/12 bad over 0.1 budget
+  // Fast window healthy -> multi-window rule does not fire.
+  EXPECT_FALSE(w.ShouldFire(burn));
+}
+
+TEST(SloWindowTest, ShouldFireNeedsBothWindowsAndMinSamples) {
+  SloWindow w(TestConfig());
+  // Two bad samples: both burns are sky-high but below min_samples.
+  w.Record(19.0, false);
+  w.Record(19.5, false);
+  BurnRate burn = w.Evaluate(20.0);
+  EXPECT_EQ(burn.fast_samples, 2u);
+  EXPECT_FALSE(w.ShouldFire(burn));
+  // A third bad sample crosses min_samples; both windows burn.
+  w.Record(19.8, false);
+  burn = w.Evaluate(20.0);
+  EXPECT_TRUE(w.ShouldFire(burn));
+}
+
+TEST(SloWindowTest, SamplesPastSlowWindowAreIgnored) {
+  SloWindow w(TestConfig());
+  for (int i = 0; i < 5; ++i) w.Record(i * 1.0, /*good=*/false);
+  // At t=100 everything is ancient: no samples in either window.
+  const BurnRate burn = w.Evaluate(100.0);
+  EXPECT_EQ(burn.fast_samples, 0u);
+  EXPECT_EQ(burn.slow_samples, 0u);
+  EXPECT_DOUBLE_EQ(burn.fast, 0.0);
+  EXPECT_FALSE(w.ShouldFire(burn));
+}
+
+TEST(SloWindowTest, PerfectObjectiveBurnsOnAnyBadSample) {
+  BurnRateConfig cfg = TestConfig();
+  cfg.objective = 1.0;  // zero budget, clamped internally
+  SloWindow w(cfg);
+  for (int i = 0; i < 4; ++i) w.Record(10.0 + i, i != 3);
+  const BurnRate burn = w.Evaluate(14.0);
+  EXPECT_GT(burn.fast, cfg.fast_burn_threshold);
+  EXPECT_TRUE(w.ShouldFire(burn));
+}
+
+TEST(SloWindowTest, RingCapacityBoundsRetainedSamples) {
+  BurnRateConfig cfg = TestConfig();
+  cfg.capacity = 8;
+  SloWindow w(cfg);
+  // 100 bad then 8 good within the window: only the 8 newest survive the
+  // ring, so the windows see a clean bill.
+  for (int i = 0; i < 100; ++i) w.Record(10.0, /*good=*/false);
+  for (int i = 0; i < 8; ++i) w.Record(11.0 + 0.1 * i, /*good=*/true);
+  const BurnRate burn = w.Evaluate(12.0);
+  EXPECT_EQ(burn.slow_samples, 8u);
+  EXPECT_DOUBLE_EQ(burn.slow, 0.0);
+  // Lifetime counters still remember everything.
+  EXPECT_EQ(w.total(), 108u);
+  EXPECT_EQ(w.total_bad(), 100u);
+}
+
+}  // namespace
+}  // namespace fedcal::obs

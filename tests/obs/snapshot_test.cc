@@ -1,0 +1,114 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+namespace {
+
+/// A populated engine: S2 down (one active alert), S1 sampled by the
+/// recorder, a few events in the log.
+struct Rig {
+  EventLog events{/*sim=*/nullptr};
+  FlightRecorder recorder;
+  MetricsRegistry metrics;
+  HealthEngine health{&events, &recorder, &metrics};
+
+  Rig() {
+    events.SetObserver([this](const HealthEvent& e) { health.OnEvent(e); });
+    recorder.Sample("S1", ServerMetric::kCalibrationFactor, 1.0, 1.7);
+    recorder.Sample("S1", ServerMetric::kReliabilityMultiplier, 1.0, 1.2);
+    events.Emit(EventType::kRetry, EventSeverity::kWarn, "S1", 3,
+                "failing over to S2");
+    events.Emit(EventType::kServerDown, EventSeverity::kError, "S2", 0,
+                "availability daemons marked S2 down");
+  }
+};
+
+TEST(HealthSnapshotTest, BuildMergesServersFromAllSources) {
+  Rig rig;
+  const HealthSnapshot snap = BuildHealthSnapshot(
+      rig.health, rig.recorder, rig.events, /*now=*/5.0,
+      /*server_ids=*/{"S3"});
+  EXPECT_DOUBLE_EQ(snap.at, 5.0);
+  EXPECT_EQ(snap.fleet_grade, "critical");
+  // S1 from the recorder, S2 from the health engine, S3 from the caller —
+  // sorted by id.
+  ASSERT_EQ(snap.servers.size(), 3u);
+  EXPECT_EQ(snap.servers[0].server_id, "S1");
+  EXPECT_DOUBLE_EQ(snap.servers[0].calibration_factor, 1.7);
+  EXPECT_DOUBLE_EQ(snap.servers[0].reliability_multiplier, 1.2);
+  EXPECT_EQ(snap.servers[1].server_id, "S2");
+  EXPECT_TRUE(snap.servers[1].down);
+  EXPECT_EQ(snap.servers[1].grade, "critical");
+  EXPECT_EQ(snap.servers[1].active_alerts, 1u);
+  EXPECT_EQ(snap.servers[2].server_id, "S3");
+  EXPECT_EQ(snap.servers[2].grade, "healthy");
+  EXPECT_DOUBLE_EQ(snap.servers[2].calibration_factor, 1.0);
+  ASSERT_EQ(snap.alerts.size(), 1u);
+  EXPECT_EQ(snap.alerts[0].rule, "availability:S2");
+  // retry + down + alert_firing.
+  EXPECT_EQ(snap.total_events, 3u);
+  EXPECT_EQ(snap.events.size(), 3u);
+}
+
+TEST(HealthSnapshotTest, JsonRoundTripIsLossless) {
+  Rig rig;
+  const HealthSnapshot snap = BuildHealthSnapshot(
+      rig.health, rig.recorder, rig.events, 5.0, {"S3"});
+  const std::string json = HealthSnapshotToJson(snap);
+  auto parsed = HealthSnapshotFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The re-serialized form is byte-identical — the strongest round-trip
+  // statement and exactly what `fedtop saved.json` relies on.
+  EXPECT_EQ(HealthSnapshotToJson(*parsed), json);
+  EXPECT_EQ(parsed->fleet_grade, snap.fleet_grade);
+  ASSERT_EQ(parsed->servers.size(), snap.servers.size());
+  EXPECT_EQ(parsed->servers[1].down, true);
+  ASSERT_EQ(parsed->alerts.size(), 1u);
+  EXPECT_EQ(parsed->alerts[0].rule, "availability:S2");
+  EXPECT_TRUE(parsed->alerts[0].active());
+  ASSERT_EQ(parsed->events.size(), 3u);
+  EXPECT_EQ(parsed->events[1].type, EventType::kServerDown);
+  EXPECT_EQ(parsed->events[1].severity, EventSeverity::kError);
+}
+
+TEST(HealthSnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(HealthSnapshotFromJson("not json").ok());
+  EXPECT_FALSE(HealthSnapshotFromJson("[1, 2]").ok());
+}
+
+TEST(HealthSnapshotTest, FedtopTextShowsGradesAlertsAndEvents) {
+  Rig rig;
+  const HealthSnapshot snap = BuildHealthSnapshot(
+      rig.health, rig.recorder, rig.events, 5.0, {"S3"});
+  const std::string text = FedtopText(snap);
+  EXPECT_NE(text.find("fleet: critical"), std::string::npos);
+  EXPECT_NE(text.find("alerts: 1 active"), std::string::npos);
+  EXPECT_NE(text.find("DOWN"), std::string::npos);
+  EXPECT_NE(text.find("availability:S2"), std::string::npos);
+  EXPECT_NE(text.find("server_down"), std::string::npos);
+  // Rendering a parsed snapshot gives the same screen.
+  auto parsed = HealthSnapshotFromJson(HealthSnapshotToJson(snap));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(FedtopText(*parsed), text);
+}
+
+TEST(HealthSnapshotTest, EmptySnapshotRendersPlaceholders) {
+  const HealthSnapshot empty;
+  const std::string text = FedtopText(empty);
+  EXPECT_NE(text.find("(no servers)"), std::string::npos);
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+  auto parsed = HealthSnapshotFromJson(HealthSnapshotToJson(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(HealthSnapshotToJson(*parsed), HealthSnapshotToJson(empty));
+}
+
+}  // namespace
+}  // namespace fedcal::obs

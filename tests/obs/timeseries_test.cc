@@ -25,6 +25,24 @@ TEST(TimeSeriesRingTest, FillsToCapacityThenWraps) {
   EXPECT_DOUBLE_EQ(ring.latest().value, 50.0);
 }
 
+TEST(TimeSeriesRingTest, ExactCapacityBoundaryKeepsEverySampleInOrder) {
+  // The wrap boundary itself: exactly `capacity` appends must retain all
+  // samples untouched; the very next append evicts exactly the oldest.
+  TimeSeriesRing ring(4);
+  for (int i = 0; i < 4; ++i) ring.Append(static_cast<SimTime>(i), i * 1.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(ring.at(i).t, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(ring.at(i).value, static_cast<double>(i));
+  }
+  ring.Append(4.0, 4.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_appended(), 5u);
+  EXPECT_DOUBLE_EQ(ring.at(0).t, 1.0);  // t=0 was evicted, order intact
+  EXPECT_DOUBLE_EQ(ring.at(3).t, 4.0);
+}
+
 TEST(TimeSeriesRingTest, MemoryStaysBoundedUnderLongAppendStream) {
   TimeSeriesRing ring(16);
   for (int i = 0; i < 10'000; ++i) {

@@ -13,8 +13,9 @@ Usage:
   tools/check_bench_regression.py --fresh-dir <dir> [--baseline-dir bench/baselines]
   tools/check_bench_regression.py --fresh-dir <dir> --update-baselines
 
-Exit code 0 when every bench matches its baseline, 1 otherwise (with a
-per-violation report on stdout).
+Every baseline is checked even after the first failure, every violated
+metric is listed, and the run ends with a per-bench PASS/FAIL summary
+table. Exit code 0 when every bench matches its baseline, 1 otherwise.
 
 --update-baselines copies every fresh BENCH_<name>.json over its
 committed baseline (adding files for new benches) instead of comparing,
@@ -191,28 +192,39 @@ def main():
         print(f"no BENCH_*.json baselines under {args.baseline_dir}")
         return 1
 
-    problems = []
-    compared = 0
+    # Check every baseline (never stop at the first failure) and bucket
+    # the violations per bench for the summary table.
+    per_bench = {}
     for name in baselines:
+        bench = name[len("BENCH_"):-len(".json")]
+        problems = per_bench.setdefault(bench, [])
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(fresh_path):
-            problems.append(f"{name}: no fresh output in {args.fresh_dir} "
+            problems.append(f"{bench}: no fresh output in {args.fresh_dir} "
                             f"(bench not run or renamed)")
             continue
-        compare(name[len("BENCH_"):-len(".json")],
-                load(os.path.join(args.baseline_dir, name)),
+        compare(bench, load(os.path.join(args.baseline_dir, name)),
                 load(fresh_path), problems)
-        compared += 1
 
-    if problems:
-        print(f"bench-regression gate: {len(problems)} problem(s) across "
+    total = sum(len(p) for p in per_bench.values())
+    if total:
+        print(f"bench-regression gate: {total} problem(s) across "
               f"{len(baselines)} baseline(s):")
-        for p in problems:
-            print(f"  FAIL  {p}")
-        return 1
-    print(f"bench-regression gate: {compared} bench(es) match their "
-          f"baselines")
-    return 0
+        for bench in sorted(per_bench):
+            for p in per_bench[bench]:
+                print(f"  FAIL  {p}")
+
+    width = max(len(b) for b in per_bench)
+    print(f"\n  {'bench':<{width}}  result  problems")
+    print(f"  {'-' * width}  ------  --------")
+    for bench in sorted(per_bench):
+        n = len(per_bench[bench])
+        print(f"  {bench:<{width}}  {'FAIL' if n else 'PASS':<6}  "
+              f"{n if n else '-'}")
+    failed = sum(1 for p in per_bench.values() if p)
+    print(f"\nbench-regression gate: {len(per_bench) - failed}/"
+          f"{len(per_bench)} bench(es) match their baselines")
+    return 1 if total else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,213 @@
+// fedtop — single-screen operations console for the federation testbed.
+//
+// Live mode (no file argument) builds the §5 scenario with the QCC
+// attached, arms a demonstration fault schedule (fleet-wide congestion,
+// then an S2 outage), drives an open-loop QT1/QT2 workload through it,
+// and renders a dashboard frame at fixed virtual-time intervals: per-server
+// health grade, calibration factor, breaker/availability state, active
+// alerts and the recent event tail. Everything runs on the virtual clock,
+// so the output is deterministic run-to-run.
+//
+// Snapshot mode renders a saved snapshot file (as written by --json)
+// without running anything — `fedtop saved.json` shows the exact screen
+// the live run showed at capture time.
+//
+//   fedtop [options]            live demo run
+//   fedtop <snapshot.json>      render a saved snapshot
+//
+// Options (live mode):
+//   --frames N        dashboard frames to render (default 5)
+//   --horizon S       virtual seconds to simulate (default 150)
+//   --json PATH       write the final health snapshot as JSON
+//   --metrics PATH    write the final metrics snapshot as JSON
+//   --events PATH     write the full event log as JSON
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/snapshot.h"
+#include "sim/fault_injector.h"
+#include "workload/scenario.h"
+
+using namespace fedcal;  // NOLINT
+
+namespace {
+
+// Congestion chokes every server's network path mid-run; S2 then crashes
+// outright and recovers. Both faults auto-revert, so the final frames show
+// the alerts resolving as the fleet returns to healthy.
+constexpr const char* kDemoSchedule = R"(# fedtop demo faults
+at 30 congest S1 40 40 for 30
+at 30 congest S2 40 40 for 30
+at 30 congest S3 40 40 for 30
+at 65 crash S2 for 15
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "fedtop: %s\n", message.c_str());
+  return 1;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return out.good();
+}
+
+int RenderSnapshotFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto snapshot = obs::HealthSnapshotFromJson(buffer.str());
+  if (!snapshot.ok()) {
+    return Fail(path + ": " + snapshot.status().ToString());
+  }
+  std::printf("%s", obs::FedtopText(*snapshot).c_str());
+  return 0;
+}
+
+struct Options {
+  int frames = 5;
+  double horizon_s = 150.0;
+  std::string json_path;
+  std::string metrics_path;
+  std::string events_path;
+  std::string snapshot_file;  ///< non-empty = render-only mode
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        *error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--frames") {
+      const char* v = value("--frames");
+      if (v == nullptr) return false;
+      opts->frames = std::atoi(v);
+      if (opts->frames < 1) {
+        *error = "--frames must be >= 1";
+        return false;
+      }
+    } else if (arg == "--horizon") {
+      const char* v = value("--horizon");
+      if (v == nullptr) return false;
+      opts->horizon_s = std::atof(v);
+      if (opts->horizon_s <= 0.0) {
+        *error = "--horizon must be positive";
+        return false;
+      }
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return false;
+      opts->json_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = value("--metrics");
+      if (v == nullptr) return false;
+      opts->metrics_path = v;
+    } else if (arg == "--events") {
+      const char* v = value("--events");
+      if (v == nullptr) return false;
+      opts->events_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      *error = "unknown option " + arg;
+      return false;
+    } else if (opts->snapshot_file.empty()) {
+      opts->snapshot_file = arg;
+    } else {
+      *error = "at most one snapshot file";
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunLive(const Options& opts) {
+  ScenarioConfig cfg;
+  cfg.large_rows = 20'000;
+  cfg.small_rows = 1'000;
+  Scenario sc(cfg);
+  sc.qcc().AttachTo(&sc.integrator());
+
+  auto schedule = FaultSchedule::Parse(kDemoSchedule);
+  if (!schedule.ok()) return Fail(schedule.status().ToString());
+  if (Status s = sc.fault_injector().Arm(*schedule); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  // Alert windows tuned to the demo's time scale so the congestion phase
+  // produces a visible latency-SLO burn and the crash an availability
+  // alert, both resolving before the horizon.
+  obs::HealthConfig health;
+  health.fleet_latency.objective = 0.9;
+  health.fleet_latency.fast_window_s = 10.0;
+  health.fleet_latency.slow_window_s = 30.0;
+  health.fleet_latency_threshold_s = 0.5;
+  sc.telemetry().health.Configure(health);
+
+  // Open-loop workload: one QT1 or QT2 query every half virtual second.
+  // Fire-and-forget — failures during the outage are exactly what the
+  // dashboard is there to show.
+  int instance = 0;
+  for (double t = 0.5; t < opts.horizon_s; t += 0.5) {
+    const QueryType type =
+        (instance % 2 == 0) ? QueryType::kQT1 : QueryType::kQT2;
+    const std::string sql = sc.MakeQueryInstance(type, instance++);
+    sc.sim().ScheduleAt(t, [&sc, sql] {
+      auto compiled = sc.integrator().Compile(sql);
+      if (!compiled.ok()) return;
+      sc.integrator().Execute(*compiled, [](Result<QueryOutcome>) {});
+    });
+  }
+
+  const double interval = opts.horizon_s / opts.frames;
+  for (int frame = 1; frame <= opts.frames; ++frame) {
+    sc.sim().RunUntil(interval * frame);
+    const obs::HealthSnapshot snap = obs::BuildHealthSnapshot(
+        sc.telemetry().health, sc.telemetry().recorder, sc.telemetry().events,
+        sc.sim().Now(), sc.server_ids());
+    std::printf("%s", obs::FedtopText(snap).c_str());
+    if (frame < opts.frames) std::printf("\n");
+  }
+
+  const obs::HealthSnapshot final_snap = obs::BuildHealthSnapshot(
+      sc.telemetry().health, sc.telemetry().recorder, sc.telemetry().events,
+      sc.sim().Now(), sc.server_ids());
+  if (!opts.json_path.empty() &&
+      !WriteFile(opts.json_path, obs::HealthSnapshotToJson(final_snap))) {
+    return Fail("cannot write " + opts.json_path);
+  }
+  if (!opts.metrics_path.empty() &&
+      !WriteFile(opts.metrics_path, sc.telemetry().metrics.ToJson())) {
+    return Fail("cannot write " + opts.metrics_path);
+  }
+  if (!opts.events_path.empty() &&
+      !WriteFile(opts.events_path,
+                 obs::EventLogToJson(sc.telemetry().events))) {
+    return Fail("cannot write " + opts.events_path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::string error;
+  if (!ParseArgs(argc, argv, &opts, &error)) return Fail(error);
+  if (!opts.snapshot_file.empty()) {
+    return RenderSnapshotFile(opts.snapshot_file);
+  }
+  return RunLive(opts);
+}
