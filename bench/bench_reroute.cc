@@ -1,0 +1,107 @@
+// Chaos bench: query survival under a hard mid-run outage, with and
+// without mid-query adaptive re-routing.
+//
+// A fault window takes S3 (the server every query type prefers) hard
+// down at t=1.0s: queued AND running fragments are aborted, and new
+// submissions are rejected until the revert. The per-server retry budget
+// is deliberately tight (one attempt), so the fault-tolerance layer's
+// plain retry cannot save a victim. Without re-routing, every query
+// caught by the outage dies on "retry budget exhausted" even though
+// S1/S2 hold replicas of every table; with it, the integrator spends a
+// switch and retries the survivor plan elsewhere.
+//
+//   ./build/bench/bench_reroute
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/fault_injector.h"
+
+namespace fedcal::bench {
+namespace {
+
+constexpr const char* kChaosScript = R"(# hard outage window, 1.0s..2.5s
+at 1.0 outage S3 for 1.5
+)";
+
+struct ChaosRun {
+  WorkloadResult result;
+  size_t reroutes = 0;
+};
+
+ChaosRun RunWorkload(bool reroute) {
+  ScenarioConfig cfg = HarnessScenarioConfig();
+  Scenario sc(cfg);
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = true;
+  ft.deadline_multiplier = 4.0;
+  ft.deadline_floor_s = 0.1;
+  ft.retry.max_attempts = 1;  // no second chance on the same plan
+  sc.integrator().mutable_config().reroute.enable = reroute;
+
+  FaultSchedule chaos = FaultSchedule::Parse(kChaosScript).MoveValue();
+  Status armed = sc.fault_injector().Arm(chaos);
+  if (!armed.ok()) {
+    std::printf("arm failed: %s\n", armed.ToString().c_str());
+    return {};
+  }
+
+  WorkloadRunner runner(&sc);
+  ChaosRun run;
+  run.result = runner.RunMixedWorkload(/*instances_per_type=*/8,
+                                       /*clients=*/2);
+  run.reroutes = run.result.total_reroutes();
+  return run;
+}
+
+void PrintRow(const char* label, const ChaosRun& run) {
+  const WorkloadResult& r = run.result;
+  std::printf("  %-24s %7.1f%% %9.3f %9.3f %9zu %8zu\n", label,
+              r.SuccessRate() * 100.0, r.PercentileTotal(50.0),
+              r.PercentileTotal(99.0), r.failures(), run.reroutes);
+}
+
+int Main() {
+  std::printf("chaos schedule:\n%s\n", kChaosScript);
+
+  const ChaosRun off = RunWorkload(/*reroute=*/false);
+  const ChaosRun on = RunWorkload(/*reroute=*/true);
+
+  PrintRule();
+  std::printf("  %-24s %8s %9s %9s %9s %8s\n", "configuration", "success",
+              "p50 (s)", "p99 (s)", "failures", "reroutes");
+  PrintRule();
+  PrintRow("re-routing off", off);
+  PrintRow("re-routing on", on);
+  PrintRule();
+
+  JsonReporter reporter("reroute");
+  reporter.AddWorkload("reroute_off", off.result);
+  reporter.AddWorkload("reroute_on", on.result);
+  reporter.AddScalar("reroutes_off", static_cast<double>(off.reroutes));
+  reporter.AddScalar("reroutes_on", static_cast<double>(on.reroutes));
+  reporter.AddScalar("failures_off",
+                     static_cast<double>(off.result.failures()));
+  reporter.AddScalar("failures_on",
+                     static_cast<double>(on.result.failures()));
+
+  ShapeCheck check;
+  check.Expect(off.result.failures() >= 1,
+               "outage victims die when the retry budget is spent");
+  check.Expect(off.result.SuccessRate() < 1.0,
+               "re-routing off: success rate dips below 100%");
+  check.Expect(off.reroutes == 0,
+               "re-routing off: the controller never runs");
+  check.Expect(on.result.SuccessRate() == 1.0,
+               "re-routing on: every outage victim completes elsewhere");
+  check.Expect(on.reroutes >= 1,
+               "re-routing on: at least one switch was executed");
+  check.Expect(on.result.PercentileTotal(50.0) <
+                   off.result.PercentileTotal(50.0) * 3.0,
+               "healthy-path p50 is not wrecked by the controller");
+  return reporter.Finish(check);
+}
+
+}  // namespace
+}  // namespace fedcal::bench
+
+int main() { return fedcal::bench::Main(); }

@@ -11,9 +11,16 @@
 // the query fails over to a healthy-but-slower replica, finishing in a
 // small multiple of its normal latency instead of the full stall.
 //
+// A second schedule goes further: a hard outage takes S3 down while a
+// query is already executing there, with the retry budget too tight for
+// a same-plan retry. Without mid-query re-routing the victim dies on
+// "retry budget exhausted"; with it, the integrator spends a switch and
+// finishes the remainder on a surviving replica.
+//
 //   ./build/examples/chaos_failover
 #include <cstdio>
 
+#include "obs/export.h"
 #include "sim/fault_injector.h"
 #include "workload/scenario.h"
 
@@ -29,6 +36,13 @@ namespace {
 constexpr const char* kChaosScript = R"(# chaos: S3 browns out 50 ms in
 at 0.05 brownout S3 0.98
 at 0.2 congest S3 2000 4000
+)";
+
+// Hard mid-query outage: by t=0.05 the QT1 fragment is already running on
+// S3; the outage aborts it in flight and rejects resubmission until the
+// revert at t=0.55.
+constexpr const char* kOutageScript = R"(# chaos: S3 drops mid-query
+at 0.05 outage S3 for 0.5
 )";
 
 ScenarioConfig DemoConfig() {
@@ -58,10 +72,11 @@ void Report(const char* label, const Result<QueryOutcome>& outcome) {
                 outcome.status().ToString().c_str());
     return;
   }
-  std::printf("%-32s -> %-3s %8.3f s   timeouts=%zu retries=%zu\n", label,
-              outcome->executed_plan.server_set.front().c_str(),
+  std::printf("%-32s -> %-3s %8.3f s   timeouts=%zu retries=%zu "
+              "reroutes=%zu\n",
+              label, outcome->executed_plan.server_set.front().c_str(),
               outcome->total_response_seconds, outcome->timeouts,
-              outcome->retries);
+              outcome->retries, outcome->reroutes);
 }
 
 /// One experiment phase on a fresh testbed: optionally arm the chaos
@@ -95,6 +110,33 @@ void RunPhase(const char* label, const FaultSchedule* chaos, bool layer_on,
   }
 }
 
+/// Mid-query outage phase: the query is submitted healthy and S3 dies
+/// under it. The retry budget is one attempt, so survival hinges on the
+/// re-routing controller spending a switch on a surviving replica plan.
+void RunOutagePhase(const char* label, const FaultSchedule& chaos,
+                    bool reroute_on) {
+  Scenario sc(DemoConfig());
+  FaultToleranceConfig& ft = sc.integrator().mutable_config().fault;
+  ft.enable_deadlines = true;
+  ft.deadline_multiplier = 4.0;
+  ft.deadline_floor_s = 0.1;
+  ft.retry.max_attempts = 1;  // no second chance on the same plan
+  sc.integrator().mutable_config().reroute.enable = reroute_on;
+  if (Status s = sc.fault_injector().Arm(chaos); !s.ok()) {
+    std::printf("arm failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  // Submit immediately: the outage fires while the fragment is in flight.
+  auto outcome = Drive(&sc, sc.MakeQueryInstance(QueryType::kQT1, 0));
+  Report(label, outcome);
+  if (outcome.ok() && outcome->reroutes > 0) {
+    std::printf("%s",
+                obs::ReRouteChainText(sc.telemetry().recorder,
+                                      outcome->query_id)
+                    .c_str());
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -109,5 +151,14 @@ int main() {
   RunPhase("brownout, layer off (stalls)", &*schedule, false);
   RunPhase("brownout, deadlines on", &*schedule, true,
            /*print_injector_state=*/true);
+
+  std::printf("\nmid-query outage schedule:\n%s\n", kOutageScript);
+  auto outage = FaultSchedule::Parse(kOutageScript);
+  if (!outage.ok()) {
+    std::printf("parse failed: %s\n", outage.status().ToString().c_str());
+    return 1;
+  }
+  RunOutagePhase("outage, re-routing off", *outage, /*reroute_on=*/false);
+  RunOutagePhase("outage, re-routing on", *outage, /*reroute_on=*/true);
   return 0;
 }

@@ -11,8 +11,9 @@
 //   \load <srv> <f>    set background load on a server (0..0.99)
 //   \down <srv>        take a server down        \up <srv>  bring it back
 //   \explain [id]      flight-recorder routing decision (all candidate
-//                      plans + rejection reasons); defaults to the most
-//                      recent query
+//                      plans + rejection reasons), plus the mid-query
+//                      re-route chain when the query was re-evaluated in
+//                      flight; defaults to the most recent query
 //   \timeline <srv>    a server's calibration/reliability/availability/
 //                      breaker time-series with drift events
 //   \stats             live telemetry metrics snapshot (counters, gauges,
@@ -44,8 +45,9 @@ void PrintCommandList() {
       "    \\tables            list nicknames and replica locations\n"
       "    \\explain [id]      routing decision: candidate plans, "
       "rejection reasons,\n"
-      "                       consulted server state (default: last "
-      "query)\n"
+      "                       consulted server state, mid-query re-route "
+      "chain\n"
+      "                       (default: last query)\n"
       "    \\trace             span tree of the last query\n"
       "  observe:\n"
       "    \\servers           server status, load and calibration "
@@ -175,6 +177,10 @@ int main() {
             target_id != 0 ? rec.Find(target_id) : rec.Latest();
         if (d != nullptr) {
           std::printf("%s", obs::ExplainText(*d).c_str());
+          // Queries that were re-evaluated in flight get the mid-query
+          // tail: trigger, gap vs hysteresis bar, verdict per evaluation.
+          std::printf("%s",
+                      obs::ReRouteChainText(rec, d->query_id).c_str());
         } else if (const ExplainEntry* e =
                        target_id != 0
                            ? sc.integrator().explain().Find(target_id)

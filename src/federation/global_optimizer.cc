@@ -161,8 +161,8 @@ Status GlobalOptimizer::RecostSubstituted(GlobalPlanOption* plan) {
   return Status::OK();
 }
 
-void PriceGlobalPlans(CostCalibrator* calibrator,
-                      std::vector<GlobalPlanOption>* plans) {
+void RepriceGlobalPlansInPlace(CostCalibrator* calibrator,
+                               std::vector<GlobalPlanOption>* plans) {
   if (calibrator == nullptr || plans == nullptr) return;
   for (auto& plan : *plans) {
     double fragments_calibrated = 0.0;
@@ -177,6 +177,22 @@ void PriceGlobalPlans(CostCalibrator* calibrator,
     plan.total_calibrated_seconds =
         fragments_calibrated + plan.calibrated_merge_seconds;
   }
+}
+
+double RemainderCalibratedSeconds(const GlobalPlanOption& plan,
+                                  const std::vector<char>& include) {
+  double total = plan.calibrated_merge_seconds;
+  for (size_t f = 0; f < plan.fragment_choices.size(); ++f) {
+    if (f >= include.size() || !include[f]) continue;
+    total += plan.fragment_choices[f].cost.calibrated_seconds;
+  }
+  return total;
+}
+
+void PriceGlobalPlans(CostCalibrator* calibrator,
+                      std::vector<GlobalPlanOption>* plans) {
+  if (calibrator == nullptr || plans == nullptr) return;
+  RepriceGlobalPlansInPlace(calibrator, plans);
   std::stable_sort(plans->begin(), plans->end(),
                    [](const GlobalPlanOption& a, const GlobalPlanOption& b) {
                      return a.total_calibrated_seconds <

@@ -87,4 +87,18 @@ class GlobalOptimizer {
 void PriceGlobalPlans(CostCalibrator* calibrator,
                       std::vector<GlobalPlanOption>* plans);
 
+/// \brief The same pricing pass without the sort: plans keep their
+/// positions, so callers that hold indices into the vector (the mid-query
+/// re-route controller re-pricing a query's surviving candidates) can
+/// correlate fresh prices with the in-flight option they came from.
+void RepriceGlobalPlansInPlace(CostCalibrator* calibrator,
+                               std::vector<GlobalPlanOption>* plans);
+
+/// \brief Calibrated cost of `plan` restricted to a subset of its
+/// fragments (`include[f]` != 0 selects fragment f) plus its calibrated
+/// merge: the "remainder" price a mid-query switch is judged by.
+/// Infinity as soon as any included fragment prices at infinity.
+double RemainderCalibratedSeconds(const GlobalPlanOption& plan,
+                                  const std::vector<char>& include);
+
 }  // namespace fedcal

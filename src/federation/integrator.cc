@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/string_util.h"
 #include "engine/executor.h"
 
 namespace fedcal {
@@ -12,19 +14,39 @@ namespace fedcal {
 /// One global-plan option in flight: per-fragment tickets, timers, and the
 /// barrier bookkeeping that decides when the attempt succeeds, fails over,
 /// or waits for a hedge.
+///
+/// The attempt also carries its full execution context (compiled query,
+/// current option index, retry/exec state, completion callback) so the
+/// mid-query re-route controller can re-enter it from a deferred epoch
+/// notification without a captured closure. `compiled.options` holds the
+/// *current* prices: a switch refreshes them, so re-dispatched fragments
+/// derive deadlines from what the calibrator believes now.
 struct Integrator::Attempt {
+  CompiledQuery compiled;
+  size_t option_index = 0;  ///< option the remainder currently follows
+  std::shared_ptr<std::vector<std::string>> failed_servers;
+  size_t retries = 0;
+  std::shared_ptr<ExecState> state;
+  Callback done;
+  SimTime started_at = 0.0;
+  bool deadlines_on = false;
+  bool hedging_on = false;
+
   uint64_t span = 0;        ///< this attempt's trace span
   size_t remaining = 0;     ///< fragments not yet resolved
   bool settled = false;     ///< merge started or failover initiated
   bool failed = false;
+  bool epoch_eval_pending = false;  ///< coalesces same-instant epoch bumps
   Status first_error;
   std::string failed_server;
   std::vector<TablePtr> tables;
   std::vector<FragmentTicketPtr> primary;
   std::vector<FragmentTicketPtr> hedge;
-  std::vector<std::string> hedge_servers;  ///< server per issued hedge
+  std::vector<std::string> primary_servers;  ///< server per live primary
+  std::vector<std::string> hedge_servers;    ///< server per issued hedge
   std::vector<char> fragment_done;
-  std::vector<int> outstanding;  ///< live tickets per fragment
+  std::vector<int> outstanding;   ///< live tickets per fragment
+  std::vector<int> dispatch_gen;  ///< bumped when a switch re-dispatches
   std::vector<Simulator::EventId> deadline_timers;
   std::vector<Simulator::EventId> hedge_timers;
 };
@@ -41,13 +63,15 @@ Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
       plan_cache_(config.plan_cache_capacity),
       last_catalog_version_(catalog != nullptr ? catalog->version() : 0) {
   // Every epoch bump — QCC-driven or catalog-driven — surfaces as one
-  // structured event from the cache itself.
+  // structured event from the cache itself, and wakes the re-route
+  // controller for every in-flight query.
   plan_cache_.SetEpochObserver([this](uint64_t epoch,
                                       const std::string& reason) {
     meta_wrapper_->telemetry()->events.Emit(
         obs::EventType::kCacheEpochBump, obs::EventSeverity::kInfo,
         /*server_id=*/"", /*query_id=*/0,
         "routing epoch -> " + std::to_string(epoch) + " (" + reason + ")");
+    OnRoutingEpochBump(reason);
   });
 }
 
@@ -290,12 +314,18 @@ void Integrator::ExecuteOption(
     std::shared_ptr<std::vector<std::string>> failed_servers, size_t retries,
     std::shared_ptr<ExecState> state, Callback done) {
   const GlobalPlanOption& option = compiled.options[option_index];
-  const SimTime started_at = sim_->Now();
   const size_t n = option.fragment_choices.size();
-  const bool deadlines_on = config_.fault.enable_deadlines;
-  const bool hedging_on = config_.fault.enable_hedging;
 
   auto attempt = std::make_shared<Attempt>();
+  attempt->compiled = compiled;
+  attempt->option_index = option_index;
+  attempt->failed_servers = std::move(failed_servers);
+  attempt->retries = retries;
+  attempt->state = std::move(state);
+  attempt->done = std::move(done);
+  attempt->started_at = sim_->Now();
+  attempt->deadlines_on = config_.fault.enable_deadlines;
+  attempt->hedging_on = config_.fault.enable_hedging;
   attempt->span = meta_wrapper_->telemetry()->tracer.StartSpan(
       compiled.query_id, obs::SpanKind::kAttempt,
       "attempt#" + std::to_string(retries));
@@ -305,223 +335,512 @@ void Integrator::ExecuteOption(
   attempt->tables.resize(n);
   attempt->primary.resize(n);
   attempt->hedge.resize(n);
+  attempt->primary_servers.assign(n, "");
   attempt->hedge_servers.assign(n, "");
   attempt->fragment_done.assign(n, 0);
   attempt->outstanding.assign(n, 0);
+  attempt->dispatch_gen.assign(n, 0);
   attempt->deadline_timers.assign(n, 0);
   attempt->hedge_timers.assign(n, 0);
 
-  // Shared completion handler: every ticket (primary or hedge) of every
-  // fragment funnels through here exactly once.
-  auto on_fragment = std::make_shared<std::function<void(
-      size_t, const std::string&, bool, Result<FragmentExecution>)>>();
-  *on_fragment = [this, compiled, option_index, failed_servers, retries,
-                  state, done, attempt, started_at, deadlines_on](
-                     size_t f, const std::string& server_id, bool is_hedge,
-                     Result<FragmentExecution> result) {
-    if (attempt->settled) return;
+  if (config_.reroute.enable) {
+    inflight_[compiled.query_id] = attempt;
+  }
 
-    if (result.ok()) {
-      if (attempt->fragment_done[f]) return;  // duplicate (loser raced win)
-      attempt->fragment_done[f] = 1;
-      attempt->tables[f] = result->table;
-      fragment_stats_.Add(result->response_seconds);
-      if (attempt->deadline_timers[f] != 0) {
-        sim_->Cancel(attempt->deadline_timers[f]);
-        attempt->deadline_timers[f] = 0;
+  for (size_t f = 0; f < n; ++f) {
+    DispatchFragment(attempt, f);
+  }
+}
+
+void Integrator::DispatchFragment(const std::shared_ptr<Attempt>& attempt,
+                                  size_t f) {
+  const CompiledQuery& compiled = attempt->compiled;
+  const FragmentOption& choice =
+      compiled.options[attempt->option_index].fragment_choices[f];
+  const std::string server_id = choice.wrapper_plan.server_id;
+  const int gen = attempt->dispatch_gen[f];
+  attempt->outstanding[f] = 1;
+  attempt->primary_servers[f] = server_id;
+  attempt->primary[f] = meta_wrapper_->ExecuteFragment(
+      compiled.query_id, choice,
+      [this, attempt, f, server_id, gen](Result<FragmentExecution> result) {
+        OnFragmentResult(attempt, f, server_id, /*is_hedge=*/false, gen,
+                         std::move(result));
+      },
+      attempt->span);
+
+  if (attempt->deadlines_on) {
+    const double deadline = FragmentDeadline(choice);
+    if (std::isfinite(deadline)) {
+      attempt->deadline_timers[f] = sim_->ScheduleAfter(
+          deadline, [this, attempt, f, server_id, deadline, gen] {
+            if (attempt->settled || attempt->fragment_done[f]) return;
+            if (attempt->dispatch_gen[f] != gen) return;  // superseded
+            const uint64_t query_id = attempt->compiled.query_id;
+            attempt->deadline_timers[f] = 0;
+            ++attempt->state->timeouts;
+            obs::Telemetry& tel = *meta_wrapper_->telemetry();
+            tel.metrics.counter("fragment.deadline_expired").Add();
+            tel.tracer.AddEvent(query_id, obs::SpanKind::kTimeout,
+                                "deadline@" + server_id, attempt->span);
+            tel.events.Emit(obs::EventType::kDeadlineExpired,
+                            obs::EventSeverity::kWarn, server_id, query_id,
+                            "fragment " + std::to_string(f) +
+                                " missed its " +
+                                obs::FormatMetricValue(deadline) +
+                                "s deadline",
+                            attempt->span);
+            FEDCAL_LOG_INFO << "query " << query_id << ": fragment " << f
+                            << " on " << server_id
+                            << " missed its deadline ("
+                            << deadline << "s), cancelling";
+            const Status timeout = Status::Timeout(
+                "fragment deadline exceeded on server " + server_id);
+            // Cancelling delivers the timeout through the tickets'
+            // callbacks, which drive the failover.
+            for (FragmentTicketPtr* t :
+                 {&attempt->primary[f], &attempt->hedge[f]}) {
+              if (*t && !(*t)->finished()) {
+                (*t)->Cancel(timeout, /*count_as_error=*/true);
+              }
+            }
+            // A switch here outruns the abort: the cancellations just
+            // issued arrive with a stale generation and are dropped while
+            // the remainder moves off the stalled server. When no
+            // alternative survives, the timeout proceeds to the legacy
+            // attempt failover instead.
+            if (config_.reroute.enable) {
+              MaybeReroute(attempt, ReRouteTrigger::kFragmentTimeout,
+                           "fragment-timeout(" + server_id + ")", server_id);
+            }
+          });
+    }
+  }
+
+  if (attempt->hedging_on) {
+    const double hedge_delay = HedgeDelay(choice);
+    if (std::isfinite(hedge_delay)) {
+      attempt->hedge_timers[f] = sim_->ScheduleAfter(
+          hedge_delay, [this, attempt, f, server_id, gen] {
+            if (attempt->settled || attempt->fragment_done[f]) return;
+            if (attempt->dispatch_gen[f] != gen) return;  // superseded
+            attempt->hedge_timers[f] = 0;
+            const CompiledQuery& compiled = attempt->compiled;
+            // Cheapest alternative for this fragment on another,
+            // non-failed server (options are sorted cheapest-first).
+            const FragmentOption* alt = nullptr;
+            for (const auto& cand : compiled.options) {
+              if (f >= cand.fragment_choices.size()) continue;
+              const FragmentOption& fc = cand.fragment_choices[f];
+              const std::string& sid = fc.wrapper_plan.server_id;
+              if (sid == server_id) continue;
+              if (std::find(attempt->failed_servers->begin(),
+                            attempt->failed_servers->end(),
+                            sid) != attempt->failed_servers->end()) {
+                continue;
+              }
+              if (!std::isfinite(fc.cost.calibrated_seconds)) continue;
+              alt = &fc;
+              break;
+            }
+            if (alt == nullptr) return;
+            ++attempt->state->hedges;
+            ++attempt->outstanding[f];
+            const std::string alt_server = alt->wrapper_plan.server_id;
+            FEDCAL_LOG_INFO << "query " << compiled.query_id
+                            << ": hedging straggler fragment " << f
+                            << " (" << server_id << ") on "
+                            << alt_server;
+            obs::Telemetry& tel = *meta_wrapper_->telemetry();
+            tel.metrics.counter("fragment.hedged").Add();
+            tel.events.Emit(obs::EventType::kHedgeFired,
+                            obs::EventSeverity::kInfo, alt_server,
+                            compiled.query_id,
+                            "hedging straggler fragment " +
+                                std::to_string(f) + " (primary " +
+                                server_id + ")",
+                            attempt->span);
+            attempt->hedge_servers[f] = alt_server;
+            attempt->hedge[f] = meta_wrapper_->ExecuteFragment(
+                compiled.query_id, *alt,
+                [this, attempt, f, alt_server, gen](
+                    Result<FragmentExecution> result) {
+                  OnFragmentResult(attempt, f, alt_server, /*is_hedge=*/true,
+                                   gen, std::move(result));
+                },
+                attempt->span);
+            tel.tracer.SetAttr(compiled.query_id,
+                               attempt->hedge[f]->trace_span(), "hedge",
+                               "1");
+          });
+    }
+  }
+}
+
+void Integrator::OnFragmentResult(const std::shared_ptr<Attempt>& attempt,
+                                  size_t f, const std::string& server_id,
+                                  bool is_hedge, int gen,
+                                  Result<FragmentExecution> result) {
+  if (attempt->settled) return;
+  // A mid-query switch re-dispatched this fragment after the ticket was
+  // issued: whatever it carries — a success, an error, or the
+  // cancellation the switch itself triggered — belongs to a superseded
+  // generation. Only the current generation may settle the fragment, so a
+  // stale result can never leak rows into the merge.
+  if (gen != attempt->dispatch_gen[f]) return;
+  const CompiledQuery& compiled = attempt->compiled;
+
+  if (result.ok()) {
+    if (attempt->fragment_done[f]) return;  // duplicate (loser raced win)
+    attempt->fragment_done[f] = 1;
+    attempt->tables[f] = result->table;
+    fragment_stats_.Add(result->response_seconds);
+    if (attempt->deadline_timers[f] != 0) {
+      sim_->Cancel(attempt->deadline_timers[f]);
+      attempt->deadline_timers[f] = 0;
+    }
+    if (attempt->hedge_timers[f] != 0) {
+      sim_->Cancel(attempt->hedge_timers[f]);
+      attempt->hedge_timers[f] = 0;
+    }
+    // Retire the losing side of a hedged pair; it was merely slower, so
+    // the cancellation does not count against its server.
+    FragmentTicketPtr& loser =
+        is_hedge ? attempt->primary[f] : attempt->hedge[f];
+    if (loser && !loser->finished()) {
+      loser->Cancel(
+          Status::Timeout("hedged sibling finished first"),
+          /*count_as_error=*/false);
+      const std::string loser_server =
+          is_hedge ? attempt->primary_servers[f] : attempt->hedge_servers[f];
+      meta_wrapper_->telemetry()->events.Emit(
+          obs::EventType::kHedgeCancelled, obs::EventSeverity::kInfo,
+          loser_server, compiled.query_id,
+          "fragment " + std::to_string(f) + " settled on " + server_id +
+              "; cancelling slower twin",
+          attempt->span);
+    }
+    if (is_hedge) {
+      ++attempt->state->hedge_wins;
+      meta_wrapper_->telemetry()->metrics.counter("fragment.hedge_wins")
+          .Add();
+    }
+    if (--attempt->remaining > 0) {
+      // A hedge win means the primary ran slower than priced — grounds to
+      // re-examine where the rest of the plan should run.
+      if (is_hedge && config_.reroute.enable) {
+        MaybeReroute(attempt, ReRouteTrigger::kHedgeLoss,
+                     "hedge-loss(" + attempt->primary_servers[f] + ")",
+                     /*exclude_server=*/"");
       }
-      if (attempt->hedge_timers[f] != 0) {
-        sim_->Cancel(attempt->hedge_timers[f]);
-        attempt->hedge_timers[f] = 0;
-      }
-      // Retire the losing side of a hedged pair; it was merely slower, so
-      // the cancellation does not count against its server.
-      FragmentTicketPtr& loser =
-          is_hedge ? attempt->primary[f] : attempt->hedge[f];
-      if (loser && !loser->finished()) {
-        loser->Cancel(
-            Status::Timeout("hedged sibling finished first"),
-            /*count_as_error=*/false);
-        const std::string loser_server =
-            is_hedge ? compiled.options[option_index]
-                           .fragment_choices[f]
-                           .wrapper_plan.server_id
-                     : attempt->hedge_servers[f];
-        meta_wrapper_->telemetry()->events.Emit(
-            obs::EventType::kHedgeCancelled, obs::EventSeverity::kInfo,
-            loser_server, compiled.query_id,
-            "fragment " + std::to_string(f) + " settled on " + server_id +
-                "; cancelling slower twin",
-            attempt->span);
-      }
-      if (is_hedge) {
-        ++state->hedge_wins;
-        meta_wrapper_->telemetry()->metrics.counter("fragment.hedge_wins")
-            .Add();
-      }
-      if (--attempt->remaining > 0) return;
-      if (attempt->failed) {
-        // Legacy barrier mode: a fragment failed earlier; every other
-        // fragment has now resolved, so fail over.
-        attempt->settled = true;
-        meta_wrapper_->telemetry()->tracer.EndSpan(
-            compiled.query_id, attempt->span, /*failed=*/true,
-            attempt->first_error.ToString());
-        HandleAttemptFailure(compiled, failed_servers, retries, state,
-                             attempt->first_error, attempt->failed_server,
-                             done);
-        return;
-      }
-      attempt->settled = true;
-      FinishWithMerge(compiled, option_index, std::move(attempt->tables),
-                      started_at, retries, state, attempt->span, done);
       return;
     }
-
-    // A ticket failed (error, timeout, or cancellation).
-    if (attempt->fragment_done[f]) return;  // loser cancelled after a win
-    if (--attempt->outstanding[f] > 0) return;  // sibling still in flight
-    if (!attempt->failed) {
-      attempt->failed = true;
-      attempt->first_error = result.status();
-      attempt->failed_server = server_id;
-    }
-    if (deadlines_on) {
-      // Eager failover: do not wait for healthy fragments to finish work
-      // that will be discarded anyway.
+    if (attempt->failed) {
+      // Legacy barrier mode: a fragment failed earlier; every other
+      // fragment has now resolved, so fail over.
       attempt->settled = true;
-      AbortAttempt(attempt,
-                   Status::Timeout("attempt aborted after failure of " +
-                                   attempt->failed_server));
+      inflight_.erase(compiled.query_id);
       meta_wrapper_->telemetry()->tracer.EndSpan(
           compiled.query_id, attempt->span, /*failed=*/true,
           attempt->first_error.ToString());
-      HandleAttemptFailure(compiled, failed_servers, retries, state,
+      HandleAttemptFailure(compiled, attempt->failed_servers,
+                           attempt->retries, attempt->state,
                            attempt->first_error, attempt->failed_server,
-                           done);
+                           std::move(attempt->done));
       return;
     }
-    // Seed-compatible barrier mode: count the fragment as resolved and
-    // wait for the stragglers before retrying.
-    attempt->fragment_done[f] = 1;
-    if (--attempt->remaining > 0) return;
     attempt->settled = true;
+    inflight_.erase(compiled.query_id);
+    FinishWithMerge(compiled, attempt->option_index,
+                    std::move(attempt->tables), attempt->started_at,
+                    attempt->retries, attempt->state, attempt->span,
+                    std::move(attempt->done));
+    return;
+  }
+
+  // A ticket failed (error, timeout, or cancellation).
+  if (attempt->fragment_done[f]) return;  // loser cancelled after a win
+  if (--attempt->outstanding[f] > 0) return;  // sibling still in flight
+  if (!attempt->failed) {
+    attempt->failed = true;
+    attempt->first_error = result.status();
+    attempt->failed_server = server_id;
+  }
+  if (attempt->deadlines_on) {
+    // Eager failover: do not wait for healthy fragments to finish work
+    // that will be discarded anyway.
+    attempt->settled = true;
+    inflight_.erase(compiled.query_id);
+    AbortAttempt(attempt,
+                 Status::Timeout("attempt aborted after failure of " +
+                                 attempt->failed_server));
     meta_wrapper_->telemetry()->tracer.EndSpan(
         compiled.query_id, attempt->span, /*failed=*/true,
         attempt->first_error.ToString());
-    HandleAttemptFailure(compiled, failed_servers, retries, state,
-                         attempt->first_error, attempt->failed_server,
-                         done);
-  };
+    HandleAttemptFailure(compiled, attempt->failed_servers, attempt->retries,
+                         attempt->state, attempt->first_error,
+                         attempt->failed_server, std::move(attempt->done));
+    return;
+  }
+  // Seed-compatible barrier mode: count the fragment as resolved and
+  // wait for the stragglers before retrying.
+  attempt->fragment_done[f] = 1;
+  if (--attempt->remaining > 0) return;
+  attempt->settled = true;
+  inflight_.erase(compiled.query_id);
+  meta_wrapper_->telemetry()->tracer.EndSpan(
+      compiled.query_id, attempt->span, /*failed=*/true,
+      attempt->first_error.ToString());
+  HandleAttemptFailure(compiled, attempt->failed_servers, attempt->retries,
+                       attempt->state, attempt->first_error,
+                       attempt->failed_server, std::move(attempt->done));
+}
 
+bool Integrator::MaybeReroute(const std::shared_ptr<Attempt>& attempt,
+                              ReRouteTrigger trigger,
+                              const std::string& trigger_detail,
+                              const std::string& exclude_server) {
+  if (!config_.reroute.enable || attempt->settled) return false;
+  const CompiledQuery& compiled = attempt->compiled;
+  const size_t n = attempt->fragment_done.size();
+  std::vector<char> remaining(n, 0);
+  size_t n_remaining = 0;
   for (size_t f = 0; f < n; ++f) {
-    const FragmentOption& choice = option.fragment_choices[f];
-    const std::string server_id = choice.wrapper_plan.server_id;
-    attempt->outstanding[f] = 1;
-    attempt->primary[f] = meta_wrapper_->ExecuteFragment(
-        compiled.query_id, choice,
-        [on_fragment, f, server_id](Result<FragmentExecution> result) {
-          (*on_fragment)(f, server_id, /*is_hedge=*/false,
-                         std::move(result));
-        },
-        attempt->span);
-
-    if (deadlines_on) {
-      const double deadline = FragmentDeadline(choice);
-      if (std::isfinite(deadline)) {
-        attempt->deadline_timers[f] = sim_->ScheduleAfter(
-            deadline, [this, attempt, state, f, server_id, deadline,
-                       query_id = compiled.query_id] {
-              if (attempt->settled || attempt->fragment_done[f]) return;
-              attempt->deadline_timers[f] = 0;
-              ++state->timeouts;
-              obs::Telemetry& tel = *meta_wrapper_->telemetry();
-              tel.metrics.counter("fragment.deadline_expired").Add();
-              tel.tracer.AddEvent(query_id, obs::SpanKind::kTimeout,
-                                  "deadline@" + server_id, attempt->span);
-              tel.events.Emit(obs::EventType::kDeadlineExpired,
-                              obs::EventSeverity::kWarn, server_id, query_id,
-                              "fragment " + std::to_string(f) +
-                                  " missed its " +
-                                  obs::FormatMetricValue(deadline) +
-                                  "s deadline",
-                              attempt->span);
-              FEDCAL_LOG_INFO << "query " << query_id << ": fragment " << f
-                              << " on " << server_id
-                              << " missed its deadline ("
-                              << deadline << "s), cancelling";
-              const Status timeout = Status::Timeout(
-                  "fragment deadline exceeded on server " + server_id);
-              // Cancelling delivers the timeout through the tickets'
-              // callbacks, which drive the failover.
-              for (FragmentTicketPtr* t :
-                   {&attempt->primary[f], &attempt->hedge[f]}) {
-                if (*t && !(*t)->finished()) {
-                  (*t)->Cancel(timeout, /*count_as_error=*/true);
-                }
-              }
-            });
-      }
-    }
-
-    if (hedging_on) {
-      const double hedge_delay = HedgeDelay(choice);
-      if (std::isfinite(hedge_delay)) {
-        attempt->hedge_timers[f] = sim_->ScheduleAfter(
-            hedge_delay, [this, attempt, state, on_fragment, compiled,
-                          failed_servers, f, server_id] {
-              if (attempt->settled || attempt->fragment_done[f]) return;
-              attempt->hedge_timers[f] = 0;
-              // Cheapest alternative for this fragment on another,
-              // non-failed server (options are sorted cheapest-first).
-              const FragmentOption* alt = nullptr;
-              for (const auto& cand : compiled.options) {
-                if (f >= cand.fragment_choices.size()) continue;
-                const FragmentOption& fc = cand.fragment_choices[f];
-                const std::string& sid = fc.wrapper_plan.server_id;
-                if (sid == server_id) continue;
-                if (std::find(failed_servers->begin(),
-                              failed_servers->end(),
-                              sid) != failed_servers->end()) {
-                  continue;
-                }
-                if (!std::isfinite(fc.cost.calibrated_seconds)) continue;
-                alt = &fc;
-                break;
-              }
-              if (alt == nullptr) return;
-              ++state->hedges;
-              ++attempt->outstanding[f];
-              const std::string alt_server = alt->wrapper_plan.server_id;
-              FEDCAL_LOG_INFO << "query " << compiled.query_id
-                              << ": hedging straggler fragment " << f
-                              << " (" << server_id << ") on "
-                              << alt_server;
-              obs::Telemetry& tel = *meta_wrapper_->telemetry();
-              tel.metrics.counter("fragment.hedged").Add();
-              tel.events.Emit(obs::EventType::kHedgeFired,
-                              obs::EventSeverity::kInfo, alt_server,
-                              compiled.query_id,
-                              "hedging straggler fragment " +
-                                  std::to_string(f) + " (primary " +
-                                  server_id + ")",
-                              attempt->span);
-              attempt->hedge_servers[f] = alt_server;
-              attempt->hedge[f] = meta_wrapper_->ExecuteFragment(
-                  compiled.query_id, *alt,
-                  [on_fragment, f, alt_server](
-                      Result<FragmentExecution> result) {
-                    (*on_fragment)(f, alt_server, /*is_hedge=*/true,
-                                   std::move(result));
-                  },
-                  attempt->span);
-              tel.tracer.SetAttr(compiled.query_id,
-                                 attempt->hedge[f]->trace_span(), "hedge",
-                                 "1");
-            });
-      }
+    if (!attempt->fragment_done[f]) {
+      remaining[f] = 1;
+      ++n_remaining;
     }
   }
+  if (n_remaining == 0) return false;  // merge is imminent; nothing to move
+
+  const bool forced = trigger == ReRouteTrigger::kFragmentTimeout ||
+                      trigger == ReRouteTrigger::kRetryExhausted;
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+
+  obs::ReRouteRecord rec;
+  rec.query_id = compiled.query_id;
+  rec.sequence = ++attempt->state->reroute_evals;
+  rec.at = sim_->Now();
+  rec.trigger = trigger_detail;
+  rec.routing_epoch = plan_cache_.epoch();
+  rec.remaining_fragments = n_remaining;
+  rec.completed_fragments = n - n_remaining;
+  rec.forced = forced;
+  rec.from_servers =
+      Join(compiled.options[attempt->option_index].server_set, "+");
+
+  auto held = [&](const std::string& why) {
+    rec.switched = false;
+    rec.outcome = why;
+    tel.recorder.RecordReRoute(rec);
+    tel.events.Emit(obs::EventType::kReRouteHeld, obs::EventSeverity::kInfo,
+                    exclude_server, compiled.query_id,
+                    trigger_detail + ": " + why, attempt->span);
+    return false;
+  };
+
+  if (attempt->state->reroutes >= config_.reroute.max_switches_per_query) {
+    return held("ignored: switch budget exhausted (" +
+                std::to_string(attempt->state->reroutes) + " of " +
+                std::to_string(config_.reroute.max_switches_per_query) +
+                " switches spent)");
+  }
+
+  // Fresh prices for every surviving candidate, index-stable so the
+  // in-flight option keeps its position.
+  std::vector<GlobalPlanOption> priced = compiled.options;
+  RepriceGlobalPlansInPlace(meta_wrapper_->calibrator(), &priced);
+  const double current =
+      RemainderCalibratedSeconds(priced[attempt->option_index], remaining);
+  rec.current_remainder_seconds = current;
+
+  size_t best = priced.size();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < priced.size(); ++i) {
+    if (i == attempt->option_index) continue;
+    const GlobalPlanOption& cand = priced[i];
+    if (cand.fragment_choices.size() != n) continue;
+    bool viable = true;
+    for (size_t f = 0; f < n && viable; ++f) {
+      if (!remaining[f]) continue;
+      const std::string& sid = cand.fragment_choices[f].wrapper_plan.server_id;
+      if (sid == exclude_server ||
+          std::find(attempt->failed_servers->begin(),
+                    attempt->failed_servers->end(),
+                    sid) != attempt->failed_servers->end()) {
+        viable = false;
+      }
+    }
+    if (!viable) continue;
+    const double cost = RemainderCalibratedSeconds(cand, remaining);
+    if (!std::isfinite(cost) || cost >= best_cost) continue;
+    best_cost = cost;
+    best = i;
+  }
+  if (best == priced.size()) {
+    return held("held: no viable alternative for the remainder");
+  }
+  rec.best_alternative_seconds = best_cost;
+  rec.to_servers = Join(priced[best].server_set, "+");
+
+  const ReRouteDecision verdict =
+      EvaluateHysteresis(config_.reroute, current, best_cost, forced);
+  rec.gap_seconds = verdict.gap_seconds;
+  rec.threshold_seconds = verdict.threshold_seconds;
+  if (!verdict.switched) return held(verdict.outcome);
+
+  // Execute the switch: the winner becomes the attempt's plan (with the
+  // fresh prices, so re-dispatched fragments get honest deadlines and the
+  // merge records the plan that actually ran), superseded tickets are
+  // cancelled blamelessly, and the remainder re-dispatches.
+  ++attempt->state->reroutes;
+  rec.switched = true;
+  rec.outcome = verdict.outcome;
+  tel.recorder.RecordReRoute(rec);
+  tel.metrics.counter("query.reroutes").Add();
+  tel.events.Emit(
+      obs::EventType::kReRouted, obs::EventSeverity::kWarn, exclude_server,
+      compiled.query_id,
+      "mid-query re-route #" + std::to_string(attempt->state->reroutes) +
+          " (" + trigger_detail + "): remainder " + rec.from_servers +
+          " -> " + rec.to_servers,
+      attempt->span);
+  FEDCAL_LOG_INFO << "query " << compiled.query_id
+                  << ": re-routing remainder (" << trigger_detail << ") "
+                  << rec.from_servers << " -> " << rec.to_servers;
+  if (!exclude_server.empty()) {
+    attempt->failed_servers->push_back(exclude_server);
+  }
+
+  attempt->compiled.options = std::move(priced);
+  attempt->option_index = best;
+  tel.tracer.SetAttr(compiled.query_id, attempt->span, "reroute",
+                     attempt->compiled.options[best].Describe());
+
+  const Status superseded = Status::Timeout(
+      "superseded by mid-query re-route to " + rec.to_servers);
+  for (size_t f = 0; f < n; ++f) {
+    if (!remaining[f]) continue;
+    const std::string& new_server = attempt->compiled.options[best]
+                                        .fragment_choices[f]
+                                        .wrapper_plan.server_id;
+    const bool live_primary =
+        attempt->primary[f] && !attempt->primary[f]->finished();
+    if (new_server == attempt->primary_servers[f] && live_primary) {
+      continue;  // the new plan keeps this fragment where it already runs
+    }
+    if (attempt->deadline_timers[f] != 0) {
+      sim_->Cancel(attempt->deadline_timers[f]);
+      attempt->deadline_timers[f] = 0;
+    }
+    if (attempt->hedge_timers[f] != 0) {
+      sim_->Cancel(attempt->hedge_timers[f]);
+      attempt->hedge_timers[f] = 0;
+    }
+    for (FragmentTicketPtr* t : {&attempt->primary[f], &attempt->hedge[f]}) {
+      if (*t && !(*t)->finished()) {
+        (*t)->Cancel(superseded, /*count_as_error=*/false);
+      }
+      t->reset();
+    }
+    attempt->hedge_servers[f] = "";
+    ++attempt->dispatch_gen[f];
+    DispatchFragment(attempt, f);
+  }
+  return true;
+}
+
+void Integrator::OnRoutingEpochBump(const std::string& reason) {
+  if (!config_.reroute.enable || inflight_.empty()) return;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    std::shared_ptr<Attempt> attempt = it->second.lock();
+    if (!attempt || attempt->settled) {
+      it = inflight_.erase(it);
+      continue;
+    }
+    if (!attempt->epoch_eval_pending) {
+      attempt->epoch_eval_pending = true;
+      // Deferred one tick: bumps fire from inside QCC observation and
+      // error hooks, mid fragment-completion; evaluating synchronously
+      // would re-enter the attempt's bookkeeping.
+      sim_->ScheduleAfter(0.0, [this, attempt, reason] {
+        attempt->epoch_eval_pending = false;
+        MaybeReroute(attempt, ReRouteTrigger::kEpochBump,
+                     "epoch-bump(" + reason + ")", /*exclude_server=*/"");
+      });
+    }
+    ++it;
+  }
+}
+
+bool Integrator::TryRetryElsewhere(
+    const CompiledQuery& compiled, size_t next_index,
+    std::shared_ptr<std::vector<std::string>> failed, size_t retries,
+    std::shared_ptr<ExecState> state, const std::string& failed_server,
+    Callback& done) {
+  if (!config_.reroute.enable) return false;
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+
+  obs::ReRouteRecord rec;
+  rec.query_id = compiled.query_id;
+  rec.sequence = ++state->reroute_evals;
+  rec.at = sim_->Now();
+  rec.trigger = "retry-exhausted(" + failed_server + ")";
+  rec.routing_epoch = plan_cache_.epoch();
+  rec.remaining_fragments = compiled.decomposition.fragments.size();
+  rec.completed_fragments = 0;
+  rec.forced = true;
+  rec.from_servers = failed_server;
+
+  if (state->reroutes >= config_.reroute.max_switches_per_query) {
+    rec.outcome = "ignored: switch budget exhausted (" +
+                  std::to_string(state->reroutes) + " of " +
+                  std::to_string(config_.reroute.max_switches_per_query) +
+                  " switches spent)";
+    tel.recorder.RecordReRoute(rec);
+    tel.events.Emit(obs::EventType::kReRouteHeld, obs::EventSeverity::kInfo,
+                    failed_server, compiled.query_id,
+                    rec.trigger + ": " + rec.outcome);
+    return false;
+  }
+
+  // Price the survivor fresh so the record (and the fallback attempt's
+  // deadlines) reflect what the calibrator believes now.
+  std::vector<GlobalPlanOption> priced = compiled.options;
+  RepriceGlobalPlansInPlace(meta_wrapper_->calibrator(), &priced);
+  rec.current_remainder_seconds = std::numeric_limits<double>::infinity();
+  rec.best_alternative_seconds = priced[next_index].total_calibrated_seconds;
+  rec.gap_seconds =
+      rec.current_remainder_seconds - rec.best_alternative_seconds;
+  rec.threshold_seconds = config_.reroute.hysteresis_floor_s;
+  rec.to_servers = Join(priced[next_index].server_set, "+");
+  if (!std::isfinite(rec.best_alternative_seconds)) {
+    rec.outcome = "held: surviving plan prices at infinity";
+    tel.recorder.RecordReRoute(rec);
+    tel.events.Emit(obs::EventType::kReRouteHeld, obs::EventSeverity::kInfo,
+                    failed_server, compiled.query_id,
+                    rec.trigger + ": " + rec.outcome);
+    return false;
+  }
+
+  ++state->reroutes;
+  rec.switched = true;
+  rec.outcome = "switched";
+  tel.recorder.RecordReRoute(rec);
+  tel.metrics.counter("query.reroutes").Add();
+  tel.events.Emit(obs::EventType::kReRouted, obs::EventSeverity::kWarn,
+                  failed_server, compiled.query_id,
+                  "retry budget exhausted on " + failed_server +
+                      "; retrying elsewhere on " + rec.to_servers);
+  FEDCAL_LOG_INFO << "query " << compiled.query_id
+                  << ": retry budget exhausted on " << failed_server
+                  << ", spending a switch to retry on " << rec.to_servers;
+
+  CompiledQuery repriced = compiled;
+  repriced.options = std::move(priced);
+  ExecuteOption(repriced, next_index, std::move(failed), retries + 1,
+                std::move(state), std::move(done));
+  return true;
 }
 
 void Integrator::HandleAttemptFailure(
@@ -595,6 +914,13 @@ void Integrator::HandleAttemptFailure(
   const RetryPolicy policy(config_.fault.retry);
   const double elapsed = sim_->Now() - state->query_started_at;
   if (!policy.AllowRetry(attempts_so_far, elapsed)) {
+    // "Retry elsewhere": a replica plan avoiding every failed server still
+    // exists, so with re-routing enabled the query spends a switch on it
+    // instead of failing on an exhausted per-server retry budget.
+    if (TryRetryElsewhere(compiled, next_index, failed_servers, retries,
+                          state, failed_server, done)) {
+      return;
+    }
     exhausted("retry budget exhausted after " +
               std::to_string(attempts_so_far) + " attempts");
     fail(Status::Timeout("retry budget exhausted after " +
@@ -683,6 +1009,7 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
         outcome.timeouts = state->timeouts;
         outcome.hedges = state->hedges;
         outcome.hedge_wins = state->hedge_wins;
+        outcome.reroutes = state->reroutes;
 
         obs::Telemetry& tel = *meta_wrapper_->telemetry();
         tel.tracer.EndSpan(compiled.query_id, merge_span);
@@ -693,6 +1020,10 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
           joined += option.server_set[i];
         }
         tel.tracer.SetQueryAttr(compiled.query_id, "servers", joined);
+        if (state->reroutes > 0) {
+          tel.tracer.SetQueryAttr(compiled.query_id, "reroutes",
+                                  std::to_string(state->reroutes));
+        }
         tel.tracer.EndQuery(compiled.query_id, /*failed=*/false);
         tel.metrics.counter("query.completed").Add();
         tel.metrics.histogram("query.response_s")

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "federation/patroller.h"
 #include "federation/plan_cache.h"
 #include "federation/query_context.h"
+#include "federation/reroute.h"
 
 namespace fedcal {
 
@@ -95,6 +97,8 @@ struct IiConfig {
   size_t plan_cache_capacity = 128;
   /// Mid-query deadlines, retry backoff, and hedging.
   FaultToleranceConfig fault;
+  /// Mid-query adaptive re-routing of the not-yet-settled remainder.
+  ReRouteConfig reroute;
 };
 
 /// \brief A routed federated query: decomposition plus every enumerated
@@ -125,6 +129,7 @@ struct QueryOutcome {
   size_t timeouts = 0;    ///< fragment deadline expirations
   size_t hedges = 0;      ///< speculative fragment re-issues
   size_t hedge_wins = 0;  ///< hedged attempts that beat the primary
+  size_t reroutes = 0;    ///< mid-query plan switches executed
 };
 
 /// \brief The federated query processor (the paper's DB2 Information
@@ -214,6 +219,8 @@ class Integrator {
     size_t timeouts = 0;
     size_t hedges = 0;
     size_t hedge_wins = 0;
+    size_t reroutes = 0;       ///< executed switches (budget-capped)
+    size_t reroute_evals = 0;  ///< evaluations, switched or held
     Rng rng{0};
   };
   /// State of one attempt (one global plan option in flight).
@@ -223,6 +230,35 @@ class Integrator {
                      std::shared_ptr<std::vector<std::string>> failed_servers,
                      size_t retries, std::shared_ptr<ExecState> state,
                      Callback done);
+  /// Issues fragment f's primary ticket plus its deadline and hedge timers
+  /// on the attempt's *current* option. Called at attempt start and again
+  /// whenever a mid-query switch re-dispatches the fragment.
+  void DispatchFragment(const std::shared_ptr<Attempt>& attempt, size_t f);
+  /// Single funnel for every ticket completion (primary or hedge).
+  /// Results whose dispatch generation is stale — the fragment was
+  /// re-dispatched by a switch after this ticket was issued — are dropped.
+  void OnFragmentResult(const std::shared_ptr<Attempt>& attempt, size_t f,
+                        const std::string& server_id, bool is_hedge, int gen,
+                        Result<FragmentExecution> result);
+  /// Re-route controller: re-prices the surviving candidates restricted to
+  /// the not-yet-settled remainder, applies hysteresis and the switch
+  /// budget, and on a switch cancels superseded tickets and re-dispatches
+  /// the remainder on the winner. Returns true when a switch happened.
+  /// Every evaluation — switched, held, or budget-ignored — leaves a
+  /// ReRouteRecord in the flight recorder and a structured event.
+  bool MaybeReroute(const std::shared_ptr<Attempt>& attempt,
+                    ReRouteTrigger trigger, const std::string& trigger_detail,
+                    const std::string& exclude_server);
+  /// Fans an epoch bump out to every in-flight re-routable query
+  /// (deferred one tick: bumps fire inside QCC callbacks mid-completion).
+  void OnRoutingEpochBump(const std::string& reason);
+  /// Last-resort "retry elsewhere": when the retry budget is exhausted but
+  /// a plan avoiding every failed server survives, spend a switch instead
+  /// of failing the query. Returns true when the fallback attempt started.
+  bool TryRetryElsewhere(const CompiledQuery& compiled, size_t next_index,
+                         std::shared_ptr<std::vector<std::string>> failed,
+                         size_t retries, std::shared_ptr<ExecState> state,
+                         const std::string& failed_server, Callback& done);
   /// Cancels every timer and outstanding ticket of a settled attempt.
   void AbortAttempt(const std::shared_ptr<Attempt>& attempt,
                     const Status& reason);
@@ -253,6 +289,10 @@ class Integrator {
   /// Catalog version the cache is known coherent with; a newer catalog at
   /// Prepare time bumps the routing epoch.
   uint64_t last_catalog_version_ = 0;
+  /// In-flight attempts eligible for mid-query re-routing, keyed by query
+  /// id (only populated while config_.reroute.enable). Weak: the attempt
+  /// dies with its last ticket/timer, entries are pruned on the next bump.
+  std::map<uint64_t, std::weak_ptr<Attempt>> inflight_;
 };
 
 }  // namespace fedcal

@@ -1,0 +1,49 @@
+#include "federation/reroute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fedcal {
+
+const char* ReRouteTriggerName(ReRouteTrigger trigger) {
+  switch (trigger) {
+    case ReRouteTrigger::kEpochBump:
+      return "epoch-bump";
+    case ReRouteTrigger::kFragmentTimeout:
+      return "fragment-timeout";
+    case ReRouteTrigger::kHedgeLoss:
+      return "hedge-loss";
+    case ReRouteTrigger::kRetryExhausted:
+      return "retry-exhausted";
+  }
+  return "?";
+}
+
+ReRouteDecision EvaluateHysteresis(const ReRouteConfig& config,
+                                   double current_remainder_seconds,
+                                   double best_alternative_seconds,
+                                   bool forced) {
+  ReRouteDecision d;
+  d.gap_seconds = current_remainder_seconds - best_alternative_seconds;
+  // An unpriceable current plan (down server, open breaker) prices at
+  // infinity; the bar falls back to the floor so the infinite gap clears
+  // it instead of chasing an infinite ratio bar.
+  const double ratio_base = std::isfinite(current_remainder_seconds)
+                                ? current_remainder_seconds
+                                : 0.0;
+  d.threshold_seconds = std::max(config.hysteresis_ratio * ratio_base,
+                                 config.hysteresis_floor_s);
+  if (forced || d.gap_seconds > d.threshold_seconds) {
+    d.switched = true;
+    d.outcome = "switched";
+    return d;
+  }
+  d.switched = false;
+  d.outcome = StringFormat("held: gap %.4fs within hysteresis bar %.4fs",
+                           d.gap_seconds, d.threshold_seconds);
+  return d;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fedcal {
+
+/// \brief Knobs for the integrator's mid-query re-routing layer.
+///
+/// The paper's QCC makes routing load- and network-aware at
+/// plan-selection time only; this layer (ADQUEX-style intra-query
+/// adaptation) re-evaluates the surviving candidate plans *while*
+/// fragments execute, restricted to the not-yet-settled remainder. All
+/// knobs exist to stop the obvious failure mode — thrash: hysteresis
+/// keeps marginal gaps from flipping plans, and the per-query switch
+/// budget caps how often one query may change its mind.
+struct ReRouteConfig {
+  /// Master switch. Off (the default) leaves every existing code path —
+  /// and every committed deterministic baseline — byte-identical.
+  bool enable = false;
+  /// A switch requires gap > max(hysteresis_ratio x current remainder,
+  /// hysteresis_floor_s). Strictly greater: a gap exactly at the bar
+  /// holds, so estimate noise at the boundary cannot flip plans.
+  double hysteresis_ratio = 0.25;
+  double hysteresis_floor_s = 0.02;
+  /// Executed switches allowed per query (evaluations are free and always
+  /// recorded; only switches consume budget). Further triggers are
+  /// recorded-but-ignored.
+  size_t max_switches_per_query = 2;
+};
+
+/// \brief What woke the re-route controller for an in-flight query.
+enum class ReRouteTrigger {
+  kEpochBump,       ///< routing epoch moved (drift/availability/breaker/
+                    ///< catalog) — hysteresis-gated evaluation
+  kFragmentTimeout, ///< a fragment deadline fired — forced switch of the
+                    ///< remainder off the stalled server
+  kHedgeLoss,       ///< a hedge beat its primary — the primary's server is
+                    ///< slower than priced; hysteresis-gated evaluation
+  kRetryExhausted,  ///< retry budget gone but a replica plan survives —
+                    ///< forced "retry elsewhere" fallback
+};
+
+const char* ReRouteTriggerName(ReRouteTrigger trigger);
+
+/// \brief Verdict of one hysteresis evaluation.
+struct ReRouteDecision {
+  bool switched = false;
+  double gap_seconds = 0.0;        ///< current remainder - best alternative
+  double threshold_seconds = 0.0;  ///< bar the gap had to strictly exceed
+  std::string outcome;             ///< "switched" | "held: <why>"
+};
+
+/// Pure hysteresis check: switch only when the calibrated gap between the
+/// current plan's remainder and the best alternative strictly exceeds
+/// both the ratio bar and the absolute floor. Forced triggers (timeout,
+/// retry exhaustion) bypass the bar — the current plan is already known
+/// bad — but still produce an honest gap/threshold record.
+ReRouteDecision EvaluateHysteresis(const ReRouteConfig& config,
+                                   double current_remainder_seconds,
+                                   double best_alternative_seconds,
+                                   bool forced);
+
+}  // namespace fedcal

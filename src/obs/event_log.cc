@@ -54,6 +54,10 @@ const char* EventTypeName(EventType type) {
       return "alert_firing";
     case EventType::kAlertResolved:
       return "alert_resolved";
+    case EventType::kReRouted:
+      return "rerouted";
+    case EventType::kReRouteHeld:
+      return "reroute_held";
   }
   return "?";
 }

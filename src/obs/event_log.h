@@ -44,9 +44,11 @@ enum class EventType {
   kFaultReverted,     ///< timed fault auto-reverted
   kAlertFiring,       ///< health engine raised an alert
   kAlertResolved,     ///< health engine resolved an alert
+  kReRouted,          ///< mid-query re-route switched the remainder plan
+  kReRouteHeld,       ///< re-route trigger evaluated but no switch happened
 };
 
-inline constexpr size_t kNumEventTypes = 17;
+inline constexpr size_t kNumEventTypes = 19;
 
 const char* EventTypeName(EventType type);
 /// Inverse of EventTypeName / EventSeverityName (snapshot readers).

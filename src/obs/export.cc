@@ -143,6 +143,14 @@ std::string RecorderToJson(const FlightRecorder& recorder) {
     first = false;
   }
   out += first ? "],\n" : "\n],\n";
+  out += "\"reroutes\": [";
+  first = true;
+  for (const ReRouteRecord& r : recorder.reroutes()) {
+    out += first ? "\n  " : ",\n  ";
+    out += ReRouteToJson(r);
+    first = false;
+  }
+  out += first ? "],\n" : "\n],\n";
   out += "\"notes\": [";
   first = true;
   for (const RecorderNote& n : recorder.notes()) {
@@ -229,6 +237,59 @@ std::string ExplainText(const DecisionRecord& record) {
                     s.available ? "up" : "DOWN", s.breaker_state.c_str());
       out += line;
     }
+  }
+  return out;
+}
+
+std::string ReRouteToJson(const ReRouteRecord& r) {
+  std::string out = "{\"query_id\": " + std::to_string(r.query_id) +
+                    ", \"sequence\": " + std::to_string(r.sequence) +
+                    ", \"at\": " + FormatMetricValue(r.at) +
+                    ", \"trigger\": " + Quote(r.trigger) +
+                    ", \"routing_epoch\": " + std::to_string(r.routing_epoch) +
+                    ", \"remaining_fragments\": " +
+                    std::to_string(r.remaining_fragments) +
+                    ", \"completed_fragments\": " +
+                    std::to_string(r.completed_fragments) +
+                    ", \"from_servers\": " + Quote(r.from_servers) +
+                    ", \"to_servers\": " + Quote(r.to_servers) +
+                    ", \"current_remainder_s\": " +
+                    FormatMetricValue(r.current_remainder_seconds) +
+                    ", \"best_alternative_s\": " +
+                    FormatMetricValue(r.best_alternative_seconds) +
+                    ", \"gap_s\": " + FormatMetricValue(r.gap_seconds) +
+                    ", \"threshold_s\": " +
+                    FormatMetricValue(r.threshold_seconds) +
+                    ", \"forced\": " + (r.forced ? "true" : "false") +
+                    ", \"switched\": " + (r.switched ? "true" : "false") +
+                    ", \"outcome\": " + Quote(r.outcome) + "}";
+  return out;
+}
+
+std::string ReRouteChainText(const FlightRecorder& recorder,
+                             uint64_t query_id) {
+  auto chain = recorder.ReRoutesFor(query_id);
+  if (chain.empty()) return "";
+  std::string out = "\n  mid-query re-route chain (" +
+                    std::to_string(chain.size()) + " evaluation" +
+                    (chain.size() == 1 ? "" : "s") + "):\n";
+  char line[288];
+  for (const ReRouteRecord* r : chain) {
+    std::snprintf(line, sizeof(line),
+                  "    #%zu t=%.3f epoch=%llu %s%s\n", r->sequence, r->at,
+                  static_cast<unsigned long long>(r->routing_epoch),
+                  r->trigger.c_str(), r->forced ? " [forced]" : "");
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "       remainder %zu frag(s): %s %.4fs vs best %s %.4fs "
+                  "(gap %.4fs, bar %.4fs)\n",
+                  r->remaining_fragments, r->from_servers.c_str(),
+                  r->current_remainder_seconds,
+                  r->to_servers.empty() ? "-" : r->to_servers.c_str(),
+                  r->best_alternative_seconds, r->gap_seconds,
+                  r->threshold_seconds);
+    out += line;
+    out += "       -> " + r->outcome + "\n";
   }
   return out;
 }

@@ -29,6 +29,15 @@ std::string RecorderToJson(const FlightRecorder& recorder);
 /// consulted per-server state.
 std::string ExplainText(const DecisionRecord& record);
 
+/// One mid-query re-route evaluation as a JSON object.
+std::string ReRouteToJson(const ReRouteRecord& record);
+
+/// The mid-query tail of `\explain`: the query's re-route chain (trigger,
+/// gap vs hysteresis bar, verdict per evaluation), or "" when the query
+/// was never re-evaluated in flight.
+std::string ReRouteChainText(const FlightRecorder& recorder,
+                             uint64_t query_id);
+
 /// The `\timeline <server>` view: one server's sampled signals merged
 /// into a single time-ordered ASCII timeline, drift events inlined.
 /// `max_rows` bounds the rendered tail (0 = everything retained).

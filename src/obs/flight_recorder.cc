@@ -119,6 +119,24 @@ std::vector<std::string> FlightRecorder::SampledServers() const {
   return out;
 }
 
+void FlightRecorder::RecordReRoute(ReRouteRecord record) {
+  if (!config_.enabled) return;
+  ++total_reroutes_;
+  reroutes_.push_back(std::move(record));
+  while (reroutes_.size() > std::max<size_t>(1, config_.max_reroutes)) {
+    reroutes_.pop_front();
+  }
+}
+
+std::vector<const ReRouteRecord*> FlightRecorder::ReRoutesFor(
+    uint64_t query_id) const {
+  std::vector<const ReRouteRecord*> out;
+  for (const ReRouteRecord& r : reroutes_) {
+    if (r.query_id == query_id) out.push_back(&r);
+  }
+  return out;
+}
+
 void FlightRecorder::AddNote(SimTime t, std::string source,
                              std::string text) {
   if (!config_.enabled) return;
@@ -138,6 +156,8 @@ void FlightRecorder::Clear() {
   total_drift_events_ = 0;
   last_drift_at_.clear();
   notes_.clear();
+  reroutes_.clear();
+  total_reroutes_ = 0;
 }
 
 }  // namespace fedcal::obs

@@ -94,6 +94,33 @@ struct RecorderNote {
   std::string text;
 };
 
+/// \brief One mid-query re-route evaluation, chained to the query's
+/// original DecisionRecord by query_id. Every trigger produces a record —
+/// switches, hysteresis holds, and budget-exhausted ignores alike — so
+/// `\explain` can show the full decision chain, not just the turns taken.
+struct ReRouteRecord {
+  uint64_t query_id = 0;
+  size_t sequence = 0;  ///< 1-based position in this query's chain
+  SimTime at = 0.0;
+  /// What woke the controller: "epoch-bump(<reason>)",
+  /// "fragment-timeout(<server>)", "hedge-loss(<server>)",
+  /// "retry-exhausted(<server>)".
+  std::string trigger;
+  uint64_t routing_epoch = 0;       ///< epoch at evaluation time
+  size_t remaining_fragments = 0;   ///< not yet settled when triggered
+  size_t completed_fragments = 0;   ///< results kept across a switch
+  std::string from_servers;         ///< "+"-joined server set, current plan
+  std::string to_servers;           ///< winner's server set ("" = no switch)
+  double current_remainder_seconds = 0.0;  ///< calibrated, remaining work
+  double best_alternative_seconds = 0.0;
+  double gap_seconds = 0.0;        ///< current - best alternative
+  double threshold_seconds = 0.0;  ///< hysteresis bar the gap had to clear
+  bool forced = false;             ///< trigger bypassed hysteresis
+  bool switched = false;
+  /// "switched" | "held: ..." | "ignored: ..." — the one-line verdict.
+  std::string outcome;
+};
+
 /// \brief Boundedness knobs: every retention class is a ring.
 struct FlightRecorderConfig {
   bool enabled = true;
@@ -106,6 +133,8 @@ struct FlightRecorderConfig {
   size_t timeseries_capacity = 256;
   /// Drift events and notes retained.
   size_t max_events = 128;
+  /// ReRouteRecords retained (oldest evicted beyond this).
+  size_t max_reroutes = 256;
   DriftDetectorConfig drift;
 };
 
@@ -155,6 +184,18 @@ class FlightRecorder {
   const std::deque<DriftEvent>& drift_events() const { return drift_events_; }
   uint64_t total_drift_events() const { return total_drift_events_; }
 
+  // -- Mid-query re-routes ------------------------------------------------
+
+  /// Appends one re-route evaluation, evicting the oldest past
+  /// max_reroutes. No-op while disabled.
+  void RecordReRoute(ReRouteRecord record);
+
+  /// This query's chain, oldest first (empty when never re-evaluated or
+  /// already evicted).
+  std::vector<const ReRouteRecord*> ReRoutesFor(uint64_t query_id) const;
+  const std::deque<ReRouteRecord>& reroutes() const { return reroutes_; }
+  uint64_t total_reroutes_recorded() const { return total_reroutes_; }
+
   // -- Notes -------------------------------------------------------------
 
   void AddNote(SimTime t, std::string source, std::string text);
@@ -181,6 +222,9 @@ class FlightRecorder {
   std::map<std::string, SimTime> last_drift_at_;
 
   std::deque<RecorderNote> notes_;
+
+  std::deque<ReRouteRecord> reroutes_;
+  uint64_t total_reroutes_ = 0;
 };
 
 }  // namespace fedcal::obs

@@ -59,6 +59,7 @@ void HealthEngine::Configure(HealthConfig config) {
   fleet_latency_ = SloWindow(config_.fleet_latency);
   server_error_.clear();
   server_latency_.clear();
+  reroute_times_.clear();
   rule_state_.clear();
   last_eval_ = -1.0;
 }
@@ -139,6 +140,9 @@ void HealthEngine::OnEvent(const HealthEvent& event) {
       PushBounded(s.drift_times, event.at);
       break;
     }
+    case EventType::kReRouted:
+      PushBounded(reroute_times_, event.at);
+      break;
     default:
       transition = false;
       break;
@@ -193,6 +197,14 @@ void HealthEngine::Evaluate(SimTime now) {
                   FormatMetricValue(config_.drift_window_s) + "s on " + sid,
               now);
   }
+  size_t reroutes = CountWithin(reroute_times_, now, config_.reroute_window_s);
+  SetFiring("reroute-storm", /*server_id=*/"", EventSeverity::kWarn,
+            reroutes >= config_.reroute_storm_threshold, double(reroutes),
+            double(config_.reroute_storm_threshold), /*for_s=*/0.0,
+            "mid-query re-routing switched plans " + std::to_string(reroutes) +
+                "x within " + FormatMetricValue(config_.reroute_window_s) +
+                "s (thrash risk; widen the hysteresis)",
+            now);
   for (const auto& rule : rules_) {
     if (!rule.value) continue;
     double v = rule.value(now);

@@ -85,6 +85,13 @@ struct HealthConfig {
   double flap_window_s = 120.0;
   size_t flap_threshold = 3;
 
+  /// Switch-storm rule: fire when mid-query re-routes executed at least
+  /// reroute_storm_threshold switches (fleet-wide) inside
+  /// reroute_window_s — plans thrashing usually means the hysteresis knobs
+  /// are too tight for the current churn.
+  double reroute_window_s = 30.0;
+  size_t reroute_storm_threshold = 4;
+
   /// Minimum virtual-time gap between rule evaluations triggered by
   /// sample ingestion (state-transition events always evaluate).
   double eval_min_interval_s = 0.5;
@@ -191,6 +198,7 @@ class HealthEngine {
   std::map<std::string, SloWindow> server_error_;
   std::map<std::string, SloWindow> server_latency_;
   std::map<std::string, ServerState> servers_;
+  std::deque<SimTime> reroute_times_;  ///< recent kReRouted switch times
   std::vector<ThresholdRule> rules_;
 
   std::map<std::string, RuleState> rule_state_;

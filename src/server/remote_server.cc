@@ -202,10 +202,12 @@ void RemoteServer::RunJob(Job job) {
   const uint64_t job_id = job.id;
   const Simulator::EventId event = sim_->ScheduleAfter(
       service_time,
-      [this, job_id, done = std::move(job.done), failure,
+      [this, job_id, failure,
        table = table.ok() ? table.MoveValue() : nullptr, stats, submitted,
        started = result.started_at]() mutable {
-        running_.erase(job_id);
+        auto run_it = running_.find(job_id);
+        CompletionCallback done = std::move(run_it->second.done);
+        running_.erase(run_it);
         --busy_workers_;
         if (!failure.ok()) {
           ++failed_;
@@ -228,7 +230,47 @@ void RemoteServer::RunJob(Job job) {
         }
         TryDispatch();
       });
-  running_[job_id] = RunningJob{event, sim_->Now() + service_time};
+  running_[job_id] =
+      RunningJob{event, sim_->Now() + service_time, std::move(job.done)};
+}
+
+size_t RemoteServer::AbortInFlight(const std::string& why) {
+  const Status failure =
+      Status::Unavailable("server " + config_.id + " " + why);
+  size_t aborted = 0;
+  // Queued jobs never reached a worker; running jobs lose theirs and the
+  // unspent service time is refunded (the machine is gone, nobody pays).
+  std::deque<Job> queued;
+  queued.swap(queue_);
+  for (Job& job : queued) {
+    ++failed_;
+    Count("failed");
+    sim_->ScheduleAfter(0.0, [done = std::move(job.done), failure] {
+      done(failure);
+    });
+    ++aborted;
+  }
+  std::map<uint64_t, RunningJob> running;
+  running.swap(running_);
+  for (auto& [job_id, job] : running) {
+    sim_->Cancel(job.completion_event);
+    total_busy_seconds_ -= std::max(0.0, job.scheduled_end - sim_->Now());
+    --busy_workers_;
+    ++failed_;
+    Count("failed");
+    sim_->ScheduleAfter(0.0, [done = std::move(job.done), failure] {
+      done(failure);
+    });
+    ++aborted;
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.gauge("server.queue_depth." + config_.id).Set(0.0);
+  }
+  if (aborted > 0) {
+    FEDCAL_LOG_INFO << "server " << config_.id << ": outage aborted "
+                    << aborted << " in-flight fragment(s)";
+  }
+  return aborted;
 }
 
 }  // namespace fedcal

@@ -118,6 +118,14 @@ class RemoteServer {
   /// fires. Returns false when the job already completed or is unknown.
   bool CancelFragment(uint64_t job_id);
 
+  /// Hard outage: fails every queued *and* running fragment with
+  /// Unavailable. SetAvailable(false) only rejects new submissions and
+  /// lets running jobs finish — the right model for a graceful drain, but
+  /// not for a crash mid-flight. Callbacks fire through the simulator on
+  /// the next tick; refunded worker time is not charged. Returns the
+  /// number of jobs aborted.
+  size_t AbortInFlight(const std::string& why);
+
   /// Synchronous execution that charges no simulated time — used by the
   /// availability daemons' probes and by tests.
   Result<FragmentResult> ExecuteNow(const PlanNodePtr& plan);
@@ -141,6 +149,9 @@ class RemoteServer {
   struct RunningJob {
     Simulator::EventId completion_event = 0;
     SimTime scheduled_end = 0.0;
+    /// Held here (not in the completion closure) so CancelFragment drops
+    /// it silently and AbortInFlight can deliver the outage through it.
+    CompletionCallback done;
   };
 
   void TryDispatch();

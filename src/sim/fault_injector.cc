@@ -24,6 +24,8 @@ const char* KindVerb(FaultEvent::Kind kind) {
       return "congest";
     case FaultEvent::Kind::kPartition:
       return "partition";
+    case FaultEvent::Kind::kOutage:
+      return "outage";
   }
   return "?";
 }
@@ -100,6 +102,13 @@ FaultSchedule& FaultSchedule::Partition(SimTime at, std::string link,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::Outage(SimTime at, std::string server,
+                                     double duration_s) {
+  events.push_back(FaultEvent{FaultEvent::Kind::kOutage, at, duration_s,
+                              std::move(server), 0.0, 1.0});
+  return *this;
+}
+
 Result<FaultSchedule> FaultSchedule::Parse(const std::string& text) {
   FaultSchedule schedule;
   std::istringstream lines(text);
@@ -172,6 +181,8 @@ Result<FaultSchedule> FaultSchedule::Parse(const std::string& text) {
       ev.kind = FaultEvent::Kind::kPartition;
       ev.magnitude = FaultInjector::kPartitionSeverity;
       ev.bandwidth_divisor = FaultInjector::kPartitionSeverity;
+    } else if (verb == "outage") {
+      ev.kind = FaultEvent::Kind::kOutage;
     } else {
       return fail("unknown fault verb '" + verb + "'");
     }
@@ -242,6 +253,21 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultEvent::Kind::kCrash: {
       ServerHooks& s = servers_.at(event.target);
       s.set_available(false);
+      if (event.duration_s > 0.0) {
+        sim_->ScheduleAfter(event.duration_s, [&s, notify_revert] {
+          s.set_available(true);
+          notify_revert();
+        });
+      }
+      break;
+    }
+    case FaultEvent::Kind::kOutage: {
+      // Order matters: go unavailable first so the aborted fragments'
+      // failure deliveries cannot be raced by a resubmission landing on a
+      // still-"up" server.
+      ServerHooks& s = servers_.at(event.target);
+      s.set_available(false);
+      if (s.abort_inflight) s.abort_inflight();
       if (event.duration_s > 0.0) {
         sim_->ScheduleAfter(event.duration_s, [&s, notify_revert] {
           s.set_available(true);

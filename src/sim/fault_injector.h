@@ -19,6 +19,8 @@ struct FaultEvent {
     kErrorBurst, ///< transient-error probability raised
     kCongestion, ///< link latency multiplied / bandwidth divided
     kPartition,  ///< link effectively severed (extreme congestion)
+    kOutage,     ///< hard crash: also aborts queued and *running* fragments
+                 ///< (kCrash lets running work finish — a graceful drain)
   };
 
   Kind kind = Kind::kCrash;
@@ -46,6 +48,7 @@ struct FaultEvent {
 ///     at <time> errors <server> <rate> [for <duration>]
 ///     at <time> congest <link> <latency_mult> <bandwidth_div> [for <dur>]
 ///     at <time> partition <link> [for <duration>]
+///     at <time> outage <server> [for <duration>]
 struct FaultSchedule {
   std::vector<FaultEvent> events;
 
@@ -62,6 +65,8 @@ struct FaultSchedule {
                             double duration_s = 0.0);
   FaultSchedule& Partition(SimTime at, std::string link,
                            double duration_s = 0.0);
+  FaultSchedule& Outage(SimTime at, std::string server,
+                        double duration_s = 0.0);
 
   static Result<FaultSchedule> Parse(const std::string& text);
   std::string ToString() const;
@@ -81,6 +86,9 @@ class FaultInjector {
     std::function<double()> background_load;
     std::function<void(double)> set_error_rate;
     std::function<double()> error_rate;
+    /// Fails queued and running fragments (kOutage). Optional: when unset,
+    /// an outage degrades to kCrash semantics.
+    std::function<void()> abort_inflight;
   };
   struct LinkHooks {
     /// Adds a congestion episode [start, end) with the given multipliers.

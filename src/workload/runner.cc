@@ -113,6 +113,12 @@ size_t WorkloadResult::total_timeouts() const {
   return n;
 }
 
+size_t WorkloadResult::total_reroutes() const {
+  size_t n = 0;
+  for (const auto& m : measurements) n += m.reroutes;
+  return n;
+}
+
 size_t WorkloadResult::total_hedges() const {
   size_t n = 0;
   for (const auto& m : measurements) n += m.hedges;
@@ -164,6 +170,9 @@ WorkloadResult WorkloadResultFromTraces(
     m.total_seconds = root.duration();
     m.servers = root.Attr("servers");
     m.retries = attempts > 0 ? attempts - 1 : 0;
+    if (root.HasAttr("reroutes")) {
+      m.reroutes = static_cast<size_t>(std::stoul(root.Attr("reroutes")));
+    }
     m.timeouts = trace->CountKind(obs::SpanKind::kTimeout);
     m.hedges = hedges;
     result.measurements.push_back(std::move(m));
@@ -254,6 +263,7 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
           m.total_seconds = r->total_response_seconds;
           m.timeouts = r->timeouts;
           m.hedges = r->hedges;
+          m.reroutes = r->reroutes;
           std::vector<std::string> servers = r->executed_plan.server_set;
           std::string joined;
           for (size_t i = 0; i < servers.size(); ++i) {

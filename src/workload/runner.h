@@ -44,6 +44,7 @@ struct QueryMeasurement {
   double total_seconds = 0.0;
   size_t timeouts = 0;  ///< fragment deadline expirations
   size_t hedges = 0;    ///< speculative fragment re-issues
+  size_t reroutes = 0;  ///< mid-query plan switches executed
 };
 
 /// \brief All measurements from one workload run.
@@ -65,6 +66,8 @@ struct WorkloadResult {
   double PercentileTotal(double p) const;
   size_t total_timeouts() const;
   size_t total_hedges() const;
+  /// Total executed mid-query re-routes across all measured queries.
+  size_t total_reroutes() const;
 };
 
 /// \brief Derives a WorkloadResult from the telemetry spine's query

@@ -149,7 +149,15 @@ void Scenario::BuildData() {
 
     for (auto& [id, server] : servers_) {
       // Full replication: same table name everywhere; the catalog records
-      // every location as an equivalent data source.
+      // every location as an equivalent data source. The partial layout
+      // keeps employee exclusively on S3 and sales off it, so joins
+      // decompose into cross-server fragments that merge at the II.
+      if (!config_.full_replication) {
+        const bool hosted = (spec.name == "employee" && id == "S3") ||
+                            (spec.name == "sales" && id != "S3") ||
+                            spec.name == "department";
+        if (!hosted) continue;
+      }
       const Status add = server->AddTable(t->CloneAs(spec.name));
       assert(add.ok());
       (void)add;
@@ -193,7 +201,8 @@ FaultInjector& Scenario::fault_injector() {
       if (reverting || event.kind == FaultEvent::Kind::kRecover) {
         severity = obs::EventSeverity::kInfo;
       } else if (event.kind == FaultEvent::Kind::kCrash ||
-                 event.kind == FaultEvent::Kind::kPartition) {
+                 event.kind == FaultEvent::Kind::kPartition ||
+                 event.kind == FaultEvent::Kind::kOutage) {
         severity = obs::EventSeverity::kError;
       }
       telemetry_.events.Emit(
@@ -210,7 +219,8 @@ FaultInjector& Scenario::fault_injector() {
                   [s](double load) { s->set_background_load(load); },
                   [s] { return s->background_load(); },
                   [s](double rate) { s->set_error_rate(rate); },
-                  [s] { return s->error_rate(); }});
+                  [s] { return s->error_rate(); },
+                  [s] { s->AbortInFlight("suffered an outage"); }});
       auto link = network_.GetLink(id);
       if (link.ok()) {
         NetworkLink* l = *link;

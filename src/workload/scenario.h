@@ -37,7 +37,10 @@ struct ScenarioConfig {
   double heavy_load = 0.6;
   /// Replicate every table onto every server (the paper distributes
   /// replicas so each server serves a diverse query mix; full replication
-  /// is the densest variant and exercises all routing choices).
+  /// is the densest variant and exercises all routing choices). When
+  /// false, a fixed partial layout is used — employee only on S3, sales
+  /// only on S1/S2, department everywhere — so the workload's joins
+  /// decompose into cross-server fragments that merge at the integrator.
   bool full_replication = true;
   /// Calibration window (short = recent-biased, suits phase changes).
   size_t calibration_window = 4;

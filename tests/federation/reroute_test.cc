@@ -1,0 +1,392 @@
+// Integration tests for the mid-query adaptive re-routing layer: the
+// hysteresis bar, the "retry elsewhere" fallback off a dead server, an
+// epoch-bump switch that keeps already-completed fragments, and the
+// per-query switch budget — all driven deterministically through the §5
+// testbed with ReRouteRecords as the decision ledger.
+#include "federation/reroute.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/qcc.h"
+#include "sim/fault_injector.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+ScenarioConfig TinyConfig() {
+  ScenarioConfig cfg;
+  cfg.large_rows = 1'200;
+  cfg.small_rows = 120;
+  return cfg;
+}
+
+/// Runs one pre-compiled query to completion, returning the outcome.
+Result<QueryOutcome> Drive(Scenario* sc, const CompiledQuery& compiled) {
+  Result<QueryOutcome> outcome = Status::Internal("never completed");
+  bool done = false;
+  sc->integrator().Execute(compiled, [&](Result<QueryOutcome> r) {
+    outcome = std::move(r);
+    done = true;
+  });
+  while (!done && sc->sim().Step()) {
+  }
+  EXPECT_TRUE(done);
+  return outcome;
+}
+
+std::vector<const obs::HealthEvent*> EventsOfType(Scenario* sc,
+                                                  obs::EventType type,
+                                                  uint64_t query_id) {
+  std::vector<const obs::HealthEvent*> out;
+  for (const auto& ev : sc->telemetry().events.events()) {
+    if (ev.type == type && ev.query_id == query_id) out.push_back(&ev);
+  }
+  return out;
+}
+
+// --- Hysteresis (pure) -----------------------------------------------------
+
+TEST(ReRouteHysteresisTest, GapExactlyAtTheBarHolds) {
+  ReRouteConfig cfg;
+  cfg.hysteresis_ratio = 0.2;
+  cfg.hysteresis_floor_s = 0.02;
+  // threshold = max(0.2 * 1.25, 0.02) = 0.25 == gap: strictly-greater
+  // means estimate noise sitting exactly on the bar cannot flip the plan.
+  ReRouteDecision at_bar = EvaluateHysteresis(cfg, 1.25, 1.0, false);
+  EXPECT_FALSE(at_bar.switched);
+  EXPECT_DOUBLE_EQ(at_bar.gap_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(at_bar.threshold_seconds, 0.25);
+  EXPECT_NE(at_bar.outcome.find("held"), std::string::npos);
+
+  // One hair past the bar switches.
+  ReRouteDecision past = EvaluateHysteresis(cfg, 1.25, 0.99, false);
+  EXPECT_TRUE(past.switched);
+  EXPECT_EQ(past.outcome, "switched");
+}
+
+TEST(ReRouteHysteresisTest, AbsoluteFloorVetoesTinyQueries) {
+  ReRouteConfig cfg;  // ratio 0.25, floor 0.02
+  // Gap 0.012 clears the ratio bar (0.25 * 0.012 = 0.003) but not the
+  // floor: moving a 12ms remainder is never worth the cancel/re-dispatch.
+  ReRouteDecision d = EvaluateHysteresis(cfg, 0.012, 0.0, false);
+  EXPECT_FALSE(d.switched);
+  EXPECT_DOUBLE_EQ(d.threshold_seconds, 0.02);
+}
+
+TEST(ReRouteHysteresisTest, InfiniteRemainderClearsTheBar) {
+  ReRouteConfig cfg;
+  // The current plan prices at infinity (server believed down): the ratio
+  // term must collapse to the floor, not to an unbeatable infinite bar.
+  ReRouteDecision d = EvaluateHysteresis(
+      cfg, std::numeric_limits<double>::infinity(), 1.0, false);
+  EXPECT_TRUE(d.switched);
+  EXPECT_DOUBLE_EQ(d.threshold_seconds, cfg.hysteresis_floor_s);
+}
+
+TEST(ReRouteHysteresisTest, ForcedTriggersBypassTheBarButRecordIt) {
+  ReRouteConfig cfg;
+  // Gap far below the bar, but the trigger (timeout / retry exhaustion)
+  // already proved the current plan bad.
+  ReRouteDecision d = EvaluateHysteresis(cfg, 1.0, 0.999, true);
+  EXPECT_TRUE(d.switched);
+  EXPECT_GT(d.threshold_seconds, d.gap_seconds);
+}
+
+// --- Retry-elsewhere off a hard outage -------------------------------------
+
+// The headline robustness scenario: S3 suffers a hard outage (queued AND
+// running fragments aborted) while the chosen plan executes there, and
+// the per-server retry budget is already spent (max_attempts = 1).
+// Without re-routing the query dies on "retry budget exhausted" even
+// though S1/S2 hold replicas of every table; with it, the integrator
+// spends a switch and retries elsewhere.
+TEST(ReRouteTest, OutageWithExhaustedRetriesFailsOffButSurvivesOn) {
+  FaultSchedule chaos;
+  chaos.Outage(0.005, "S3");  // permanent, mid-flight
+
+  auto configure = [](Scenario* sc, bool reroute_on) {
+    auto& cfg = sc->integrator().mutable_config();
+    cfg.fault.enable_deadlines = true;
+    cfg.fault.deadline_multiplier = 2.5;
+    cfg.fault.deadline_floor_s = 0.01;
+    cfg.fault.retry.max_attempts = 1;  // no second attempt on any server
+    cfg.reroute.enable = reroute_on;
+  };
+
+  {
+    Scenario sc(TinyConfig());
+    configure(&sc, /*reroute_on=*/false);
+    auto compiled =
+        sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+    ASSERT_OK(compiled.status());
+    ASSERT_EQ(compiled->options[compiled->chosen_index].server_set.front(),
+              "S3");
+    ASSERT_OK(sc.fault_injector().Arm(chaos));
+    Result<QueryOutcome> outcome = Drive(&sc, *compiled);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_NE(outcome.status().ToString().find("retry budget exhausted"),
+              std::string::npos)
+        << outcome.status().ToString();
+    // Nothing was recorded: the controller never ran.
+    EXPECT_EQ(sc.telemetry().recorder.total_reroutes_recorded(), 0u);
+  }
+
+  Scenario sc(TinyConfig());
+  configure(&sc, /*reroute_on=*/true);
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  const uint64_t qid = compiled->query_id;
+  ASSERT_EQ(compiled->options[compiled->chosen_index].server_set.front(),
+            "S3");
+  ASSERT_OK(sc.fault_injector().Arm(chaos));
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+
+  EXPECT_EQ(outcome.reroutes, 1u);
+  EXPECT_EQ(outcome.retries, 1u);
+  for (const auto& s : outcome.executed_plan.server_set) {
+    EXPECT_NE(s, "S3");
+  }
+
+  // The decision ledger: exactly one forced, executed switch.
+  auto records = sc.telemetry().recorder.ReRoutesFor(qid);
+  ASSERT_EQ(records.size(), 1u);
+  const obs::ReRouteRecord& rec = *records[0];
+  EXPECT_EQ(rec.sequence, 1u);
+  EXPECT_EQ(rec.trigger, "retry-exhausted(S3)");
+  EXPECT_TRUE(rec.forced);
+  EXPECT_TRUE(rec.switched);
+  EXPECT_EQ(rec.outcome, "switched");
+  EXPECT_EQ(rec.from_servers, "S3");
+  EXPECT_EQ(rec.to_servers.find("S3"), std::string::npos);
+  // The fully-replicated testbed pushes QT1 down whole: one fragment,
+  // and the fallback re-runs all of it.
+  EXPECT_EQ(rec.remaining_fragments, 1u);
+  EXPECT_EQ(rec.completed_fragments, 0u);
+  EXPECT_TRUE(std::isinf(rec.current_remainder_seconds));
+  EXPECT_TRUE(std::isfinite(rec.best_alternative_seconds));
+
+  auto rerouted = EventsOfType(&sc, obs::EventType::kReRouted, qid);
+  ASSERT_EQ(rerouted.size(), 1u);
+  EXPECT_NE(rerouted[0]->message.find("retry budget exhausted on S3"),
+            std::string::npos);
+  EXPECT_NE(rerouted[0]->message.find("retrying elsewhere"),
+            std::string::npos);
+  // The success means retry exhaustion never became a query failure.
+  EXPECT_TRUE(
+      EventsOfType(&sc, obs::EventType::kRetryExhausted, qid).empty());
+}
+
+// --- Epoch-bump switch of the in-flight remainder --------------------------
+
+// Drift mid-query: under the partial-replication layout QT1 splits into
+// an employee fragment (S3 only) and a sales fragment (S1 or S2). The
+// sales fragment's server is marked down (a routing-epoch bump) after
+// the other fragment has settled but while sales still executes. The
+// controller must move only the remainder, keep the settled fragment's
+// rows across the switch, cancel the superseded ticket blamelessly, and
+// produce a merge identical to an undisturbed run (oracle equivalence).
+TEST(ReRouteTest, EpochBumpSwitchesRemainderAndKeepsSettledFragments) {
+  ScenarioConfig scenario_cfg = TinyConfig();
+  scenario_cfg.full_replication = false;  // cross-server fragments
+  QccConfig qcc_cfg;
+  qcc_cfg.enable_availability_daemon = false;  // manual MarkDown only
+  qcc_cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  qcc_cfg.enable_reliability = false;
+
+  // Both runs carry the same background load on the sales replicas so
+  // the sales fragment is deterministically the straggler (employee on
+  // the fast, idle S3 settles first). Load slows execution without
+  // touching compile-time estimates — exactly the drift the controller
+  // exists to absorb.
+  auto weigh_down_sales_hosts = [](Scenario* sc) {
+    sc->server("S1").set_background_load(0.6);
+    sc->server("S2").set_background_load(0.6);
+  };
+
+  // Dry run, no drift: the oracle rows, the fragment settle times, and
+  // which server hosts the last fragment still in flight.
+  std::vector<Row> oracle_rows;
+  SimTime first_settle = 0.0, second_settle = 0.0;
+  std::string victim;
+  {
+    Scenario sc(scenario_cfg);
+    weigh_down_sales_hosts(&sc);
+    sc.integrator().mutable_config().reroute.enable = true;
+    sc.qcc(qcc_cfg).AttachTo(&sc.integrator());
+    auto compiled =
+        sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+    ASSERT_OK(compiled.status());
+    ASSERT_FALSE(compiled->decomposition.whole_query_pushdown);
+    ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+    EXPECT_EQ(outcome.reroutes, 0u);  // no drift, no triggers, no switches
+    oracle_rows = SortedRows(*outcome.table);
+
+    const obs::QueryTrace* trace =
+        sc.telemetry().tracer.Find(compiled->query_id);
+    ASSERT_NE(trace, nullptr);
+    std::vector<std::pair<SimTime, std::string>> settles;
+    for (const auto& span : trace->spans) {
+      if (span.kind == obs::SpanKind::kFragmentDispatch && !span.failed) {
+        settles.emplace_back(span.end, span.server_id);
+      }
+    }
+    ASSERT_EQ(settles.size(), 2u);  // QT1 = employee + sales fragments
+    std::sort(settles.begin(), settles.end());
+    first_settle = settles[0].first;
+    second_settle = settles[1].first;
+    ASSERT_LT(first_settle, second_settle);
+    victim = settles[1].second;
+    // The straggler must be the sales fragment: it has a replica to flee
+    // to (employee exists only on S3).
+    ASSERT_NE(victim, "S3");
+  }
+
+  // Same deterministic run, but the straggler's server is believed down
+  // strictly between the two settle points: exactly one fragment is
+  // done, one is in flight.
+  Scenario sc(scenario_cfg);
+  weigh_down_sales_hosts(&sc);
+  sc.integrator().mutable_config().reroute.enable = true;
+  auto& qcc = sc.qcc(qcc_cfg);
+  qcc.AttachTo(&sc.integrator());
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  const uint64_t qid = compiled->query_id;
+  sc.sim().ScheduleAt(
+      (first_settle + second_settle) / 2.0,
+      [&qcc, victim] { qcc.availability().MarkDown(victim); });
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+
+  EXPECT_EQ(outcome.retries, 0u);  // same attempt end to end
+  EXPECT_EQ(outcome.reroutes, 1u);
+
+  auto records = sc.telemetry().recorder.ReRoutesFor(qid);
+  ASSERT_EQ(records.size(), 1u);
+  const obs::ReRouteRecord& rec = *records[0];
+  EXPECT_EQ(rec.trigger, "epoch-bump(server-down:" + victim + ")");
+  EXPECT_FALSE(rec.forced);
+  EXPECT_TRUE(rec.switched);
+  EXPECT_EQ(rec.completed_fragments, 1u);  // kept across the switch
+  EXPECT_EQ(rec.remaining_fragments, 1u);  // the only thing that moved
+  EXPECT_NE(rec.from_servers.find(victim), std::string::npos);
+  EXPECT_EQ(rec.to_servers.find(victim), std::string::npos);
+  EXPECT_NE(rec.to_servers, rec.from_servers);
+  EXPECT_TRUE(std::isinf(rec.current_remainder_seconds));
+  EXPECT_TRUE(std::isfinite(rec.best_alternative_seconds));
+
+  ASSERT_EQ(EventsOfType(&sc, obs::EventType::kReRouted, qid).size(), 1u);
+
+  // Tracer: the superseded ticket closed as a blameless cancellation, and
+  // its rows never reached the merge — the result is byte-identical to
+  // the undisturbed run.
+  const obs::QueryTrace* trace = sc.telemetry().tracer.Find(qid);
+  ASSERT_NE(trace, nullptr);
+  size_t superseded_spans = 0;
+  for (const auto& span : trace->spans) {
+    if (span.detail.find("superseded by mid-query re-route") !=
+        std::string::npos) {
+      EXPECT_TRUE(span.failed);
+      EXPECT_FALSE(span.open);
+      ++superseded_spans;
+    }
+  }
+  EXPECT_GE(superseded_spans, 1u);
+  EXPECT_EQ(SortedRows(*outcome.table), oracle_rows);
+}
+
+// --- Switch budget ---------------------------------------------------------
+
+// Three believed-outage waves in one query. The default budget allows two
+// switches; the third trigger must be recorded-but-ignored, and the query
+// still completes (belief is not reality — the last server is healthy).
+TEST(ReRouteTest, ThirdTriggerIsRecordedButIgnoredOnceBudgetIsSpent) {
+  QccConfig qcc_cfg;
+  qcc_cfg.enable_availability_daemon = false;
+  qcc_cfg.load_balance.level = LoadBalanceConfig::Level::kNone;
+  qcc_cfg.enable_reliability = false;
+
+  Scenario sc(TinyConfig());
+  sc.integrator().mutable_config().reroute.enable = true;
+  ASSERT_EQ(sc.integrator().config().reroute.max_switches_per_query, 2u);
+  auto& qcc = sc.qcc(qcc_cfg);
+  qcc.AttachTo(&sc.integrator());
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  const uint64_t qid = compiled->query_id;
+  ASSERT_EQ(compiled->options[compiled->chosen_index].server_set.front(),
+            "S3");
+
+  // Wave 1 (t=0.1ms): S3 (the plan) and S1 believed down -> S2 is the
+  // only finite refuge. Wave 2: S2 down, S1 back up -> S1. Wave 3: S1
+  // down, S2 back up -> would switch, but the budget is spent. Each
+  // wave's transitions land in the same instant, so the deferred
+  // evaluation coalesces them into one record.
+  sc.sim().ScheduleAt(1e-4, [&qcc] {
+    qcc.availability().MarkDown("S3");
+    qcc.availability().MarkDown("S1");
+  });
+  sc.sim().ScheduleAt(2e-4, [&qcc] {
+    qcc.availability().MarkDown("S2");
+    qcc.availability().MarkUp("S1");
+  });
+  sc.sim().ScheduleAt(3e-4, [&qcc] {
+    qcc.availability().MarkDown("S1");
+    qcc.availability().MarkUp("S2");
+  });
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+
+  EXPECT_EQ(outcome.reroutes, 2u);  // the third switch never executed
+  EXPECT_EQ(outcome.retries, 0u);
+
+  auto records = sc.telemetry().recorder.ReRoutesFor(qid);
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records[0]->trigger, "epoch-bump(server-down:S3)");
+  EXPECT_TRUE(records[0]->switched);
+  EXPECT_EQ(records[0]->to_servers, "S2");
+  EXPECT_EQ(records[1]->trigger, "epoch-bump(server-down:S2)");
+  EXPECT_TRUE(records[1]->switched);
+  EXPECT_EQ(records[1]->to_servers, "S1");
+  EXPECT_EQ(records[2]->trigger, "epoch-bump(server-down:S1)");
+  EXPECT_FALSE(records[2]->switched);
+  EXPECT_EQ(records[2]->to_servers, "");  // vetoed before pricing
+  EXPECT_NE(records[2]->outcome.find("ignored: switch budget exhausted"),
+            std::string::npos);
+  // Only the executed switches consumed budget or raised kReRouted.
+  EXPECT_EQ(EventsOfType(&sc, obs::EventType::kReRouted, qid).size(), 2u);
+  EXPECT_GE(EventsOfType(&sc, obs::EventType::kReRouteHeld, qid).size(),
+            1u);
+}
+
+// --- Baseline invariance ---------------------------------------------------
+
+// With the master switch off (the default), the controller must be
+// invisible: no records, no events, no outcome-field drift. This guards
+// the committed deterministic baselines.
+TEST(ReRouteTest, DisabledControllerLeavesRunsUntouched) {
+  Scenario sc(TinyConfig());
+  ASSERT_FALSE(sc.integrator().config().reroute.enable);
+  auto compiled =
+      sc.integrator().Compile(sc.MakeQueryInstance(QueryType::kQT1, 0));
+  ASSERT_OK(compiled.status());
+  ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, Drive(&sc, *compiled));
+  EXPECT_EQ(outcome.reroutes, 0u);
+  EXPECT_EQ(sc.telemetry().recorder.total_reroutes_recorded(), 0u);
+  EXPECT_TRUE(
+      EventsOfType(&sc, obs::EventType::kReRouted, compiled->query_id)
+          .empty());
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -15,6 +15,7 @@ struct FakeServer {
   bool available = true;
   double load = 0.0;
   double error_rate = 0.0;
+  size_t inflight_aborts = 0;
 
   FaultInjector::ServerHooks Hooks() {
     return FaultInjector::ServerHooks{
@@ -22,7 +23,8 @@ struct FakeServer {
         [this](double l) { load = l; },
         [this] { return load; },
         [this](double r) { error_rate = r; },
-        [this] { return error_rate; }};
+        [this] { return error_rate; },
+        [this] { ++inflight_aborts; }};
   }
 };
 
@@ -67,6 +69,32 @@ TEST_F(FaultInjectorTest, CrashAndTimedRecovery) {
   EXPECT_EQ(injector_.applied_events(), 1u);
   ASSERT_EQ(injector_.log().size(), 1u);
   EXPECT_NE(injector_.log()[0].find("crash S1"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, OutageAbortsInFlightBeforeTimedRecovery) {
+  FaultSchedule schedule;
+  schedule.Outage(1.0, "S1", /*duration_s=*/2.0);
+  ASSERT_OK(injector_.Arm(schedule));
+
+  sim_.RunUntil(1.5);
+  EXPECT_FALSE(server_.available);
+  EXPECT_EQ(server_.inflight_aborts, 1u);
+  sim_.RunUntil(3.5);
+  EXPECT_TRUE(server_.available);
+  ASSERT_EQ(injector_.log().size(), 1u);
+  EXPECT_NE(injector_.log()[0].find("outage S1"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, OutageDegradesToCrashWithoutAbortHook) {
+  FaultInjector::ServerHooks hooks = server_.Hooks();
+  hooks.abort_inflight = nullptr;
+  injector_.RegisterServer("S2", std::move(hooks));
+  FaultSchedule schedule;
+  schedule.Outage(1.0, "S2");
+  ASSERT_OK(injector_.Arm(schedule));
+  sim_.RunUntil(2.0);
+  EXPECT_FALSE(server_.available);
+  EXPECT_EQ(server_.inflight_aborts, 0u);
 }
 
 TEST_F(FaultInjectorTest, PermanentCrashNeedsExplicitRecover) {
@@ -157,6 +185,7 @@ TEST(FaultScheduleTest, RoundTripsThroughToString) {
   FaultSchedule schedule;
   schedule.Crash(1.0, "S1", 2.0).Brownout(3.0, "S2", 0.75).Congestion(
       4.0, "S3", 2.0, 4.0, 5.0);
+  schedule.Outage(6.0, "S1", 1.5);
   ASSERT_OK_AND_ASSIGN(FaultSchedule reparsed,
                        FaultSchedule::Parse(schedule.ToString()));
   EXPECT_EQ(reparsed.ToString(), schedule.ToString());

@@ -206,6 +206,20 @@ def main():
         compare(bench, load(os.path.join(args.baseline_dir, name)),
                 load(fresh_path), problems)
 
+    # A fresh result with no committed baseline means a new bench landed
+    # without its reference numbers: nothing would ever gate it. Fail
+    # loudly and point at the adoption path.
+    for name in sorted(
+            f for f in os.listdir(args.fresh_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")):
+        if name in baselines:
+            continue
+        bench = name[len("BENCH_"):-len(".json")]
+        per_bench.setdefault(bench, []).append(
+            f"{bench}: fresh {name} has no committed baseline under "
+            f"{args.baseline_dir}; adopt it with --update-baselines and "
+            f"commit the result")
+
     total = sum(len(p) for p in per_bench.values())
     if total:
         print(f"bench-regression gate: {total} problem(s) across "
