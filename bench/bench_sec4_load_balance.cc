@@ -12,6 +12,7 @@
 //   4. round-robin rotation over near-optimal plans, and its effect on
 //      response time under a concurrent workload versus always picking
 //      the single cheapest plan.
+#include "sim/simulator.h"
 #include <cstdio>
 #include <deque>
 #include <algorithm>

@@ -8,6 +8,7 @@
 // rejoins the candidate set.
 //
 //   ./build/examples/availability_failover
+#include "sim/simulator.h"
 #include <cstdio>
 #include <memory>
 

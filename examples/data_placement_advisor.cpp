@@ -8,6 +8,7 @@
 // under concurrency improves without touching a single query.
 //
 //   ./build/examples/data_placement_advisor
+#include "sim/simulator.h"
 #include <cstdio>
 #include <deque>
 #include <functional>

@@ -25,8 +25,11 @@
 //   \alerts            active and recently resolved SLO/rule alerts
 //   \events [n]        last n structured health events (default 20)
 //   \qcc on|off        attach / detach the query cost calibrator
+//   \mode [m [n]]      show or switch execution mode (sim | serving [n]);
+//                      switching rebuilds the federation
 //   \help              this list            \quit  exit
 #include <cstdio>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -68,6 +71,9 @@ void PrintCommandList() {
       "    \\down <srv>        take a server down\n"
       "    \\up <srv>          bring a server back\n"
       "    \\qcc on|off        attach / detach the query cost calibrator\n"
+      "    \\mode [m [n]]      show or switch execution mode: sim, or\n"
+      "                       serving with n worker threads (rebuilds the\n"
+      "                       federation; calibration starts fresh)\n"
       "    \\help              this list\n"
       "    \\quit              exit\n");
 }
@@ -102,15 +108,30 @@ int main() {
   cfg.small_rows = 1'000;
   std::printf("building federation (3 servers, %zu-row large tables)...\n",
               cfg.large_rows);
-  Scenario sc(cfg);
+  auto sc = std::make_unique<Scenario>(cfg);
   bool qcc_attached = true;
-  sc.qcc().AttachTo(&sc.integrator());
+  sc->qcc().AttachTo(&sc->integrator());
+  uint64_t last_query_id = 0;
+
+  // \mode rebuilds the federation on the requested execution context —
+  // mode is fixed at Scenario construction, so calibration state and
+  // telemetry start fresh after a switch.
+  auto rebuild = [&](ExecMode mode, int workers) {
+    cfg.exec_mode = mode;
+    cfg.serving_workers = workers;
+    sc.reset();  // joins serving threads before the rebuild
+    sc = std::make_unique<Scenario>(cfg);
+    sc->qcc().AttachTo(&sc->integrator());
+    qcc_attached = true;
+    last_query_id = 0;
+    std::printf("  rebuilt federation in %s mode (%d worker%s)\n",
+                ExecModeName(mode), workers, workers == 1 ? "" : "s");
+  };
 
   std::printf(
       "fedql> ready. nicknames: employee, sales, department. "
       "\\help for commands, \\quit to exit.\n");
 
-  uint64_t last_query_id = 0;
   std::string line;
   while (true) {
     std::printf("fedql> ");
@@ -124,8 +145,8 @@ int main() {
       iss >> cmd;
       if (cmd == "quit" || cmd == "q") break;
       if (cmd == "tables") {
-        for (const auto& nickname : sc.catalog().nicknames()) {
-          auto entry = sc.catalog().Lookup(nickname);
+        for (const auto& nickname : sc->catalog().nicknames()) {
+          auto entry = sc->catalog().Lookup(nickname);
           std::printf("  %-12s", nickname.c_str());
           for (const auto& loc : (*entry)->locations) {
             std::printf(" %s:%s", loc.server_id.c_str(),
@@ -134,21 +155,21 @@ int main() {
           std::printf("\n");
         }
       } else if (cmd == "servers") {
-        for (const auto& sid : sc.server_ids()) {
-          const RemoteServer& s = sc.server(sid);
+        for (const auto& sid : sc->server_ids()) {
+          const RemoteServer& s = sc->server(sid);
           std::printf(
               "  %-4s %-5s load=%.2f factor=%.2f busy=%d queued=%zu "
               "done=%zu\n",
               sid.c_str(), s.available() ? "up" : "DOWN",
               s.background_load(),
-              sc.qcc().store().ServerFactor(sid), s.busy_workers(),
+              sc->qcc().store().ServerFactor(sid), s.busy_workers(),
               s.queued_fragments(), s.fragments_completed());
         }
       } else if (cmd == "load") {
         std::string sid;
         double f = 0.0;
         if (iss >> sid >> f) {
-          sc.server(sid).set_background_load(f);
+          sc->server(sid).set_background_load(f);
           std::printf("  %s background load = %.2f\n", sid.c_str(), f);
         } else {
           std::printf("  usage: \\load <server> <fraction>\n");
@@ -156,8 +177,8 @@ int main() {
       } else if (cmd == "down" || cmd == "up") {
         std::string sid;
         if (iss >> sid) {
-          sc.server(sid).SetAvailable(cmd == "up");
-          sc.telemetry().events.Emit(
+          sc->server(sid).SetAvailable(cmd == "up");
+          sc->telemetry().events.Emit(
               cmd == "up" ? obs::EventType::kServerUp
                           : obs::EventType::kServerDown,
               cmd == "up" ? obs::EventSeverity::kInfo
@@ -172,7 +193,7 @@ int main() {
         // failing that, the most recent recorded decision).
         uint64_t target_id = last_query_id;
         if (!(iss >> target_id)) target_id = last_query_id;
-        const obs::FlightRecorder& rec = sc.telemetry().recorder;
+        const obs::FlightRecorder& rec = sc->telemetry().recorder;
         const obs::DecisionRecord* d =
             target_id != 0 ? rec.Find(target_id) : rec.Latest();
         if (d != nullptr) {
@@ -183,8 +204,8 @@ int main() {
                       obs::ReRouteChainText(rec, d->query_id).c_str());
         } else if (const ExplainEntry* e =
                        target_id != 0
-                           ? sc.integrator().explain().Find(target_id)
-                           : sc.integrator().explain().Latest()) {
+                           ? sc->integrator().explain().Find(target_id)
+                           : sc->integrator().explain().Latest()) {
           // No flight-recorder decision (QCC detached): fall back to the
           // explain table's winner-only view.
           std::printf("  (winner-only explain entry; attach qcc for full "
@@ -204,11 +225,11 @@ int main() {
         std::string sid;
         if (iss >> sid) {
           std::printf("%s",
-                      obs::TimelineText(sc.telemetry().recorder, sid)
+                      obs::TimelineText(sc->telemetry().recorder, sid)
                           .c_str());
         } else {
           std::printf("  usage: \\timeline <server>  (servers:");
-          for (const auto& s : sc.server_ids()) {
+          for (const auto& s : sc->server_ids()) {
             std::printf(" %s", s.c_str());
           }
           std::printf(")\n");
@@ -216,17 +237,22 @@ int main() {
       } else if (cmd == "help" || cmd == "h" || cmd == "?") {
         PrintCommandList();
       } else if (cmd == "stats") {
-        const std::string text = sc.telemetry().metrics.ToText();
+        std::printf("  mode: %s (%d worker%s), virtual t=%.3f s\n",
+                    ExecModeName(sc->exec_mode()),
+                    sc->ctx().worker_count(),
+                    sc->ctx().worker_count() == 1 ? "" : "s",
+                    sc->ctx().Now());
+        const std::string text = sc->telemetry().metrics.ToText();
         std::printf("%s", text.empty() ? "  no metrics yet\n" : text.c_str());
       } else if (cmd == "trace") {
         if (last_query_id == 0) {
           std::printf("  no traced query yet\n");
         } else {
           std::printf("%s",
-                      sc.telemetry().tracer.ToText(last_query_id).c_str());
+                      sc->telemetry().tracer.ToText(last_query_id).c_str());
         }
       } else if (cmd == "cache") {
-        const PlanCache& cache = sc.integrator().plan_cache();
+        const PlanCache& cache = sc->integrator().plan_cache();
         const PlanCache::Stats& st = cache.stats();
         std::printf("  prepared-plan cache: %zu/%zu entries, routing epoch "
                     "%llu (%llu bumps)\n",
@@ -246,24 +272,43 @@ int main() {
                         : cache.last_invalidation_reason().c_str());
       } else if (cmd == "health") {
         const obs::HealthSnapshot snap = obs::BuildHealthSnapshot(
-            sc.telemetry().health, sc.telemetry().recorder,
-            sc.telemetry().events, sc.sim().Now(), sc.server_ids());
+            sc->telemetry().health, sc->telemetry().recorder,
+            sc->telemetry().events, sc->ctx().Now(), sc->server_ids());
         std::printf("%s", obs::FedtopText(snap).c_str());
       } else if (cmd == "alerts") {
-        std::printf("%s", obs::AlertsText(sc.telemetry().health).c_str());
+        std::printf("%s", obs::AlertsText(sc->telemetry().health).c_str());
       } else if (cmd == "events") {
         size_t n = 20;
         iss >> n;
         std::printf("%s",
-                    obs::EventsText(sc.telemetry().events, n).c_str());
+                    obs::EventsText(sc->telemetry().events, n).c_str());
+      } else if (cmd == "mode") {
+        std::string mode;
+        if (iss >> mode) {
+          if (mode == "serving") {
+            int workers = 2;
+            iss >> workers;
+            if (workers < 1) workers = 1;
+            rebuild(ExecMode::kServing, workers);
+          } else if (mode == "sim") {
+            rebuild(ExecMode::kSimulation, 1);
+          } else {
+            std::printf("  usage: \\mode [sim | serving [workers]]\n");
+          }
+        } else {
+          std::printf("  mode: %s (%d worker%s)\n",
+                      ExecModeName(sc->exec_mode()),
+                      sc->ctx().worker_count(),
+                      sc->ctx().worker_count() == 1 ? "" : "s");
+        }
       } else if (cmd == "qcc") {
         std::string mode;
         iss >> mode;
         if (mode == "off" && qcc_attached) {
-          sc.qcc().Detach(&sc.integrator());
+          sc->qcc().Detach(&sc->integrator());
           qcc_attached = false;
         } else if (mode == "on" && !qcc_attached) {
-          sc.qcc().AttachTo(&sc.integrator());
+          sc->qcc().AttachTo(&sc->integrator());
           qcc_attached = true;
         }
         std::printf("  qcc is %s\n", qcc_attached ? "on" : "off");
@@ -274,7 +319,7 @@ int main() {
       continue;
     }
 
-    auto outcome = sc.integrator().RunSync(line);
+    auto outcome = sc->integrator().RunSync(line);
     if (!outcome.ok()) {
       std::printf("error: %s\n", outcome.status().ToString().c_str());
       continue;

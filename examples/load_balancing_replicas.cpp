@@ -8,6 +8,7 @@
 // were derived with a handful of explain runs.
 //
 //   ./build/examples/load_balancing_replicas
+#include "sim/simulator.h"
 #include <cstdio>
 #include <map>
 #include <memory>

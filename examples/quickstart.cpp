@@ -3,6 +3,7 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+#include "sim/simulator.h"
 #include <cstdio>
 #include <memory>
 

@@ -35,11 +35,12 @@ const char* Basename(const std::string& path) {
 
 void Logger::Write(LogLevel level, const std::string& file, int line,
                    const std::string& message) {
-  if (sink_ != nullptr &&
-      static_cast<int>(level) >= static_cast<int>(sink_level_)) {
-    sink_->OnLog(level, Basename(file), line, message);
+  LogSink* s = sink();
+  if (s != nullptr &&
+      static_cast<int>(level) >= static_cast<int>(sink_level())) {
+    s->OnLog(level, Basename(file), line, message);
   }
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
                line, message.c_str());
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -31,22 +32,38 @@ class Logger {
  public:
   static Logger& Instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Routes subsequent Write calls at or above `sink_level` to `sink`
   /// (nullptr uninstalls). The stderr threshold is unaffected.
+  ///
+  /// Install/uninstall is safe against concurrent emitters: the level is
+  /// published before the pointer (and the pointer cleared before the
+  /// level on uninstall), so a racing Write either skips the sink or
+  /// delivers to a fully-installed one. The sink object itself must
+  /// outlive every thread that may emit through it — ScopedLogSink
+  /// holders tear down their threads first.
   void SetSink(LogSink* sink, LogLevel sink_level = LogLevel::kInfo) {
-    sink_ = sink;
-    sink_level_ = sink_level;
+    if (sink == nullptr) {
+      sink_.store(nullptr, std::memory_order_release);
+      sink_level_.store(LogLevel::kOff, std::memory_order_release);
+      return;
+    }
+    sink_level_.store(sink_level, std::memory_order_release);
+    sink_.store(sink, std::memory_order_release);
   }
-  LogSink* sink() const { return sink_; }
-  LogLevel sink_level() const { return sink_level_; }
+  LogSink* sink() const { return sink_.load(std::memory_order_acquire); }
+  LogLevel sink_level() const {
+    return sink_level_.load(std::memory_order_acquire);
+  }
 
   bool Enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_) ||
-           (sink_ != nullptr &&
-            static_cast<int>(level) >= static_cast<int>(sink_level_));
+    return static_cast<int>(level) >= static_cast<int>(this->level()) ||
+           (sink() != nullptr &&
+            static_cast<int>(level) >= static_cast<int>(sink_level()));
   }
 
   void Write(LogLevel level, const std::string& file, int line,
@@ -54,9 +71,9 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  LogSink* sink_ = nullptr;
-  LogLevel sink_level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<LogSink*> sink_{nullptr};
+  std::atomic<LogLevel> sink_level_{LogLevel::kOff};
 };
 
 /// \brief Stream-style helper that emits one log line on destruction.

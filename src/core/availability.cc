@@ -4,7 +4,7 @@
 
 namespace fedcal {
 
-AvailabilityMonitor::AvailabilityMonitor(Simulator* sim,
+AvailabilityMonitor::AvailabilityMonitor(ExecutionContext* sim,
                                          MetaWrapper* meta_wrapper,
                                          CalibrationStore* store,
                                          AvailabilityConfig config,
@@ -15,7 +15,7 @@ AvailabilityMonitor::AvailabilityMonitor(Simulator* sim,
       config_(config),
       cycle_controller_(cycle_config) {}
 
-void AvailabilityMonitor::Watch(const std::string& server_id) {
+void AvailabilityMonitor::WatchLocked(const std::string& server_id) {
   if (servers_.count(server_id)) return;
   Watched w;
   w.task = std::make_unique<PeriodicTask>(
@@ -25,67 +25,84 @@ void AvailabilityMonitor::Watch(const std::string& server_id) {
   if (running_ && inserted) it->second.task->Start();
 }
 
+void AvailabilityMonitor::Watch(const std::string& server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WatchLocked(server_id);
+}
+
 void AvailabilityMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (running_) return;
   running_ = true;
   for (auto& [id, w] : servers_) w.task->Start();
 }
 
 void AvailabilityMonitor::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!running_) return;
   running_ = false;
   for (auto& [id, w] : servers_) w.task->Stop();
 }
 
 bool AvailabilityMonitor::IsDown(const std::string& server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = servers_.find(server_id);
   return it != servers_.end() && it->second.down;
 }
 
 void AvailabilityMonitor::MarkDown(const std::string& server_id) {
-  auto it = servers_.find(server_id);
-  if (it == servers_.end()) {
-    Watch(server_id);
-    it = servers_.find(server_id);
+  bool transitioned = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(server_id);
+    if (it == servers_.end()) {
+      WatchLocked(server_id);
+      it = servers_.find(server_id);
+    }
+    transitioned = !it->second.down;
+    it->second.down = true;
   }
-  if (!it->second.down) {
+  if (transitioned) {
     FEDCAL_LOG_INFO << "server " << server_id << " marked DOWN at t="
                     << sim_->Now();
-    it->second.down = true;
     if (transition_hook_) transition_hook_(server_id, /*down=*/true);
-    return;
   }
-  it->second.down = true;
 }
 
 void AvailabilityMonitor::MarkUp(const std::string& server_id) {
-  auto it = servers_.find(server_id);
-  if (it == servers_.end()) return;
-  if (it->second.down) {
+  bool transitioned = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(server_id);
+    if (it == servers_.end()) return;
+    transitioned = it->second.down;
+    it->second.down = false;
+  }
+  if (transitioned) {
     FEDCAL_LOG_INFO << "server " << server_id << " back UP at t="
                     << sim_->Now();
     // Ratios observed before the outage may describe a very different
     // regime; start fresh.
     store_->Forget(server_id);
-    it->second.down = false;
     if (transition_hook_) transition_hook_(server_id, /*down=*/false);
-    return;
   }
-  it->second.down = false;
 }
 
 size_t AvailabilityMonitor::ProbeCount(const std::string& server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = servers_.find(server_id);
   return it == servers_.end() ? 0 : it->second.probes;
 }
 
 double AvailabilityMonitor::CurrentPeriod(
     const std::string& server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = servers_.find(server_id);
   return it == servers_.end() ? 0.0 : it->second.task->period();
 }
 
 std::vector<std::string> AvailabilityMonitor::watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(servers_.size());
   for (const auto& [id, w] : servers_) ids.push_back(id);
@@ -93,10 +110,15 @@ std::vector<std::string> AvailabilityMonitor::watched() const {
 }
 
 void AvailabilityMonitor::Probe(const std::string& server_id) {
-  auto it = servers_.find(server_id);
-  if (it == servers_.end()) return;
-  ++it->second.probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(server_id);
+    if (it == servers_.end()) return;
+    ++it->second.probes;
+  }
 
+  // The probe itself runs without the lock: it flows through the
+  // meta-wrapper and ends in MarkDown/MarkUp, which relock.
   auto result = meta_wrapper_->ProbeServer(server_id);
   if (!result.ok()) {
     MarkDown(server_id);
@@ -112,7 +134,11 @@ void AvailabilityMonitor::Probe(const std::string& server_id) {
   // signal (§3.4); early on, keep the configured cadence.
   if (config_.adapt_cycle && store_->ServerSamples(server_id) >= 4) {
     const double cv = store_->RatioVolatility(server_id);
-    it->second.task->set_period(cycle_controller_.RecommendPeriod(cv));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(server_id);
+    if (it != servers_.end()) {
+      it->second.task->set_period(cycle_controller_.RecommendPeriod(cv));
+    }
   }
 }
 

@@ -3,13 +3,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/calibration_store.h"
 #include "core/cycle_controller.h"
 #include "metawrapper/meta_wrapper.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 
@@ -31,7 +32,7 @@ struct AvailabilityConfig {
 /// (from MW/patroller error logs) via MarkDown().
 class AvailabilityMonitor {
  public:
-  AvailabilityMonitor(Simulator* sim, MetaWrapper* meta_wrapper,
+  AvailabilityMonitor(ExecutionContext* sim, MetaWrapper* meta_wrapper,
                       CalibrationStore* store,
                       AvailabilityConfig config = {},
                       CycleControllerConfig cycle_config = {});
@@ -75,12 +76,19 @@ class AvailabilityMonitor {
   };
 
   void Probe(const std::string& server_id);
+  /// Watch() body; caller holds mu_.
+  void WatchLocked(const std::string& server_id);
 
-  Simulator* sim_;
+  ExecutionContext* sim_;
   MetaWrapper* meta_wrapper_;
   CalibrationStore* store_;
   AvailabilityConfig config_;
   CalibrationCycleController cycle_controller_;
+  /// Guards servers_ (structure, down flags, probe counts) and running_:
+  /// daemons and log-based marks write on the event thread while pricing
+  /// threads read IsDown. The transition hook always fires *outside* this
+  /// lock — it re-enters pricing (epoch bump -> re-route -> IsDown).
+  mutable std::mutex mu_;
   bool running_ = false;
   std::map<std::string, Watched> servers_;
   TransitionHook transition_hook_;

@@ -13,20 +13,27 @@ void CalibrationStore::Record(const std::string& server_id, size_t signature,
     w.observed.Add(observed);
     w.ratios.Add(observed / estimated);
   };
-  auto sit = per_server_.find(server_id);
-  if (sit == per_server_.end()) {
-    sit = per_server_.emplace(server_id, PairedWindow(config_.window)).first;
-  }
-  record(sit->second);
-
-  if (config_.per_fragment) {
-    const auto key = std::make_pair(server_id, signature);
-    auto fit = per_fragment_.find(key);
-    if (fit == per_fragment_.end()) {
-      fit = per_fragment_.emplace(key, PairedWindow(config_.window)).first;
+  Shard& shard = ShardFor(server_id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto sit = shard.per_server.find(server_id);
+    if (sit == shard.per_server.end()) {
+      sit = shard.per_server.emplace(server_id, PairedWindow(config_.window))
+                .first;
     }
-    record(fit->second);
+    record(sit->second);
+
+    if (config_.per_fragment) {
+      const auto key = std::make_pair(server_id, signature);
+      auto fit = shard.per_fragment.find(key);
+      if (fit == shard.per_fragment.end()) {
+        fit = shard.per_fragment.emplace(key, PairedWindow(config_.window))
+                  .first;
+      }
+      record(fit->second);
+    }
   }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 double CalibrationStore::FactorOf(const PairedWindow& w) const {
@@ -38,20 +45,25 @@ double CalibrationStore::FactorOf(const PairedWindow& w) const {
 }
 
 double CalibrationStore::ServerFactor(const std::string& server_id) const {
-  auto it = per_server_.find(server_id);
-  return it == per_server_.end() ? 1.0 : FactorOf(it->second);
+  const Shard& shard = ShardFor(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.per_server.find(server_id);
+  return it == shard.per_server.end() ? 1.0 : FactorOf(it->second);
 }
 
 double CalibrationStore::FragmentFactor(const std::string& server_id,
                                         size_t signature) const {
+  const Shard& shard = ShardFor(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   if (config_.per_fragment) {
-    auto it = per_fragment_.find(std::make_pair(server_id, signature));
-    if (it != per_fragment_.end() &&
+    auto it = shard.per_fragment.find(std::make_pair(server_id, signature));
+    if (it != shard.per_fragment.end() &&
         it->second.estimated.size() >= config_.min_samples) {
       return FactorOf(it->second);
     }
   }
-  return ServerFactor(server_id);
+  auto sit = shard.per_server.find(server_id);
+  return sit == shard.per_server.end() ? 1.0 : FactorOf(sit->second);
 }
 
 double CalibrationStore::Calibrate(const std::string& server_id,
@@ -61,45 +73,98 @@ double CalibrationStore::Calibrate(const std::string& server_id,
 }
 
 size_t CalibrationStore::ServerSamples(const std::string& server_id) const {
-  auto it = per_server_.find(server_id);
-  return it == per_server_.end() ? 0 : it->second.estimated.size();
+  const Shard& shard = ShardFor(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.per_server.find(server_id);
+  return it == shard.per_server.end() ? 0 : it->second.estimated.size();
 }
 
 size_t CalibrationStore::FragmentSamples(const std::string& server_id,
                                          size_t signature) const {
-  auto it = per_fragment_.find(std::make_pair(server_id, signature));
-  return it == per_fragment_.end() ? 0 : it->second.estimated.size();
+  const Shard& shard = ShardFor(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.per_fragment.find(std::make_pair(server_id, signature));
+  return it == shard.per_fragment.end() ? 0 : it->second.estimated.size();
 }
 
 double CalibrationStore::RatioVolatility(const std::string& server_id) const {
-  auto it = per_server_.find(server_id);
-  if (it == per_server_.end() || it->second.ratios.size() < 2) return 0.0;
+  const Shard& shard = ShardFor(server_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.per_server.find(server_id);
+  if (it == shard.per_server.end() || it->second.ratios.size() < 2) {
+    return 0.0;
+  }
   const double mean = it->second.ratios.mean();
   if (mean <= 0.0) return 0.0;
   return std::sqrt(it->second.ratios.variance()) / mean;
 }
 
 void CalibrationStore::Forget(const std::string& server_id) {
-  per_server_.erase(server_id);
-  for (auto it = per_fragment_.begin(); it != per_fragment_.end();) {
-    if (it->first.first == server_id) {
-      it = per_fragment_.erase(it);
-    } else {
-      ++it;
+  Shard& shard = ShardFor(server_id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.per_server.erase(server_id);
+    for (auto it = shard.per_fragment.begin();
+         it != shard.per_fragment.end();) {
+      if (it->first.first == server_id) {
+        it = shard.per_fragment.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void CalibrationStore::Clear() {
-  per_server_.clear();
-  per_fragment_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.per_server.clear();
+    shard.per_fragment.clear();
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::vector<std::string> CalibrationStore::server_ids() const {
   std::vector<std::string> ids;
-  ids.reserve(per_server_.size());
-  for (const auto& [id, w] : per_server_) ids.push_back(id);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, w] : shard.per_server) ids.push_back(id);
+  }
+  // Shard order is hash order; restore the sorted order the single-map
+  // store used to produce.
+  std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+CalibrationSnapshotPtr CalibrationStore::Snapshot() const {
+  const uint64_t current = version_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> cache_lock(snapshot_mu_);
+  if (cached_snapshot_ != nullptr && cached_snapshot_->version == current) {
+    return cached_snapshot_;
+  }
+  auto snap = std::make_shared<CalibrationSnapshot>();
+  // Versions recorded between the load above and the shard walks below
+  // are picked up by the *next* Snapshot call: the snapshot is tagged
+  // with the version read first, so it can only understate what it has
+  // absorbed, never claim observations it missed.
+  snap->version = current;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, w] : shard.per_server) {
+      snap->server_factor.emplace(id, FactorOf(w));
+    }
+    for (const auto& [key, w] : shard.per_fragment) {
+      // Mirror the live fallback rule: the per-fragment factor only
+      // exists once its window met min_samples.
+      if (config_.per_fragment &&
+          w.estimated.size() >= config_.min_samples) {
+        snap->fragment_factor.emplace(key, FactorOf(w));
+      }
+    }
+  }
+  cached_snapshot_ = std::move(snap);
+  return cached_snapshot_;
 }
 
 }  // namespace fedcal

@@ -1,8 +1,13 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/running_stats.h"
@@ -25,6 +30,43 @@ struct CalibrationConfig {
   bool per_fragment = true;
 };
 
+/// \brief Immutable point-in-time view of every resolved calibration
+/// factor — the read path of concurrent plan pricing.
+///
+/// A snapshot stores the *resolved* factors (min-samples and clamping
+/// already applied), so answering a factor query is one map lookup with
+/// no locks and no arithmetic. Route pins one snapshot for the duration
+/// of a pricing pass: every fragment of every candidate plan is priced
+/// against the same factors even while workers keep recording fresh
+/// observations into the store.
+struct CalibrationSnapshot {
+  /// The store version this snapshot was built from.
+  uint64_t version = 0;
+  /// server_id -> resolved per-server factor (servers with history only).
+  std::map<std::string, double> server_factor;
+  /// (server_id, signature) -> resolved per-fragment factor; entries
+  /// exist only when the fragment window met min_samples, mirroring the
+  /// live fallback rule exactly.
+  std::map<std::pair<std::string, size_t>, double> fragment_factor;
+
+  double ServerFactorOf(const std::string& server_id) const {
+    auto it = server_factor.find(server_id);
+    return it == server_factor.end() ? 1.0 : it->second;
+  }
+  double FragmentFactorOf(const std::string& server_id,
+                          size_t signature) const {
+    auto it = fragment_factor.find(std::make_pair(server_id, signature));
+    return it == fragment_factor.end() ? ServerFactorOf(server_id)
+                                       : it->second;
+  }
+  double Calibrate(const std::string& server_id, size_t signature,
+                   double estimated) const {
+    return estimated * FragmentFactorOf(server_id, signature);
+  }
+};
+
+using CalibrationSnapshotPtr = std::shared_ptr<const CalibrationSnapshot>;
+
 /// \brief The query fragment processing cost calibration factors (§3.1).
 ///
 /// For every remote server (and, when runtime statistics are available,
@@ -33,8 +75,17 @@ struct CalibrationConfig {
 /// factor is the ratio of the average runtime cost to the average
 /// estimated cost — the paper's exact definition — and multiplies future
 /// estimates for yet-unseen fragments of the same server.
+///
+/// Concurrency: state is sharded by server id behind per-shard mutexes,
+/// so N workers recording observations for different servers never
+/// contend, and a pricing pass reading one server's factor only touches
+/// that server's shard. Snapshot() additionally provides a lock-free read
+/// path: an immutable copy of all resolved factors, cached and rebuilt
+/// only when the store's version has moved.
 class CalibrationStore {
  public:
+  static constexpr size_t kShards = 8;
+
   explicit CalibrationStore(CalibrationConfig config = {})
       : config_(config) {}
 
@@ -72,6 +123,17 @@ class CalibrationStore {
   std::vector<std::string> server_ids() const;
   const CalibrationConfig& config() const { return config_; }
 
+  /// Monotonic change counter: every Record/Forget/Clear advances it.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Immutable view of all resolved factors at this instant. Cached:
+  /// repeated calls while the version is unchanged return the same
+  /// object, so a pricing pass in steady state costs one atomic load and
+  /// one shared_ptr copy.
+  CalibrationSnapshotPtr Snapshot() const;
+
  private:
   struct PairedWindow {
     SlidingWindow estimated;
@@ -82,11 +144,31 @@ class CalibrationStore {
         : estimated(capacity), observed(capacity), ratios(capacity) {}
   };
 
+  /// One lock domain: the servers hashing here and their fragment
+  /// windows. Forget(server) therefore touches exactly one shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, PairedWindow> per_server;
+    std::map<std::pair<std::string, size_t>, PairedWindow> per_fragment;
+  };
+
+  Shard& ShardFor(const std::string& server_id) {
+    return shards_[std::hash<std::string>{}(server_id) % kShards];
+  }
+  const Shard& ShardFor(const std::string& server_id) const {
+    return shards_[std::hash<std::string>{}(server_id) % kShards];
+  }
+
   double FactorOf(const PairedWindow& w) const;
 
   CalibrationConfig config_;
-  std::map<std::string, PairedWindow> per_server_;
-  std::map<std::pair<std::string, size_t>, PairedWindow> per_fragment_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> version_{0};
+
+  /// Snapshot cache: rebuilt lazily when version_ has moved past the
+  /// cached snapshot's version.
+  mutable std::mutex snapshot_mu_;
+  mutable CalibrationSnapshotPtr cached_snapshot_;
 };
 
 }  // namespace fedcal

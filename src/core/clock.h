@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fedcal {
+
+/// Simulated time, in seconds since simulation start. In serving mode the
+/// same axis is a *virtual* clock that advances only through event due
+/// times, so timestamps (and everything derived from them: observed
+/// costs, calibration factors, routing decisions) are identical between
+/// the discrete-event simulator and a single-worker serving run.
+using SimTime = double;
+
+/// \brief How a federation executes: the deterministic discrete-event
+/// simulator (the oracle) or the wall-clock serving runtime.
+enum class ExecMode { kSimulation, kServing };
+
+inline const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kSimulation ? "sim" : "serving";
+}
+
+/// \brief The execution-mode seam: a clock plus a timer queue.
+///
+/// Every component of the federation (meta-wrapper, servers, network,
+/// integrator, QCC daemons, telemetry) schedules its work through this
+/// interface instead of a concrete simulator, so the same engine runs
+/// either on the discrete-event `Simulator` (single-threaded,
+/// deterministic, virtual time) or on a `ServingRuntime` (real threads,
+/// real timers). Components must not assume which one they are on beyond
+/// what `mode()` tells them.
+class ExecutionContext {
+ public:
+  using EventId = uint64_t;
+  using Callback = std::function<void()>;
+
+  virtual ~ExecutionContext() = default;
+
+  /// Current time on this context's clock.
+  virtual SimTime Now() const = 0;
+
+  /// Schedule `cb` at absolute time `when` (clamped to >= Now()). Events
+  /// with equal `when` fire in scheduling order.
+  virtual EventId ScheduleAt(SimTime when, Callback cb) = 0;
+
+  /// Schedule `cb` to run `delay` seconds from now (delay clamped >= 0).
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(Now() + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled.
+  virtual bool Cancel(EventId id) = 0;
+
+  virtual ExecMode mode() const = 0;
+
+  /// Number of client worker threads (1 in simulation).
+  virtual int worker_count() const { return 1; }
+
+  /// Run `fn` mutually excluded against event callbacks (and other
+  /// exclusive sections). This is the dispatcher-ownership boundary: all
+  /// engine state that event callbacks mutate (attempts, tickets, server
+  /// queues, network links) may only be touched inside an exclusive
+  /// section or an event callback. In simulation everything is one
+  /// thread, so this is just a call; the serving runtime takes the
+  /// dispatch lock. Reentrant: safe to call from inside an event
+  /// callback or another exclusive section.
+  virtual void RunExclusive(const std::function<void()>& fn) { fn(); }
+
+  /// Block until `pred()` holds. `pred` is evaluated inside an exclusive
+  /// section. In simulation this steps the event loop (and gives up when
+  /// the queue drains); in serving mode it waits on event progress.
+  virtual void AwaitCondition(const std::function<bool()>& pred) = 0;
+};
+
+/// \brief A repeating timer built on an ExecutionContext, used by QCC
+/// daemons (availability probes, recalibration cycles, catalog refresh).
+///
+/// The period may be changed between firings; the change takes effect when
+/// the next tick is scheduled. Stop() prevents further firings. Start,
+/// Stop, and the tick itself must run on the dispatcher (event callbacks
+/// or an exclusive section) — the task holds no lock of its own.
+class PeriodicTask {
+ public:
+  /// `task` runs every `period` seconds, first firing after `initial_delay`.
+  PeriodicTask(ExecutionContext* ctx, SimTime period,
+               ExecutionContext::Callback task, SimTime initial_delay = 0.0)
+      : ctx_(ctx),
+        period_(period <= 0 ? 1.0 : period),
+        initial_delay_(initial_delay < 0 ? 0.0 : initial_delay),
+        task_(std::move(task)) {}
+
+  void Start() {
+    if (running_) return;
+    running_ = true;
+    pending_ = ctx_->ScheduleAfter(initial_delay_, [this] { Tick(); });
+  }
+
+  void Stop() {
+    if (!running_) return;
+    running_ = false;
+    ctx_->Cancel(pending_);
+    pending_ = 0;
+  }
+
+  bool running() const { return running_; }
+
+  SimTime period() const { return period_; }
+  /// Adjust the interval for subsequent firings (clamped to > 0).
+  void set_period(SimTime period) {
+    if (period > 0) period_ = period;
+  }
+
+  size_t firings() const { return firings_; }
+
+ private:
+  void Tick() {
+    if (!running_) return;
+    ++firings_;
+    task_();
+    if (!running_) return;  // the task may have stopped us
+    pending_ = ctx_->ScheduleAfter(period_, [this] { Tick(); });
+  }
+
+  ExecutionContext* ctx_;
+  SimTime period_;
+  SimTime initial_delay_;
+  ExecutionContext::Callback task_;
+  bool running_ = false;
+  size_t firings_ = 0;
+  ExecutionContext::EventId pending_ = 0;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,227 @@
+#include "core/executor_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fedcal {
+
+namespace {
+/// The runtime whose dispatch lock the current thread holds (reentrancy
+/// guard for RunExclusive, also set while event callbacks run).
+thread_local const ServingRuntime* tls_dispatch_owner = nullptr;
+}  // namespace
+
+ServingRuntime::ServingRuntime(ServingConfig config) : config_(config) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.time_scale < 0) config_.time_scale = 0;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  pool_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    pool_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingRuntime::~ServingRuntime() { Shutdown(); }
+
+ServingRuntime::EventId ServingRuntime::ScheduleAt(SimTime when, Callback cb) {
+  const SimTime now = Now();
+  if (when < now) when = now;
+  const EventId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(heap_mutex_);
+    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+    live_.insert(id);
+  }
+  heap_cv_.notify_all();
+  return id;
+}
+
+bool ServingRuntime::Cancel(EventId id) {
+  std::lock_guard<std::mutex> lk(heap_mutex_);
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void ServingRuntime::RunEvent(SimTime when, const Callback& cb) {
+  // Caller holds dispatch_mutex_.
+  tls_dispatch_owner = this;
+  // The clock only ever moves forward, to the due time of the event
+  // being started. No other thread advances it (they would need the
+  // dispatch lock), so a plain store is enough.
+  if (when > vnow_.load(std::memory_order_relaxed)) {
+    vnow_.store(when, std::memory_order_release);
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  cb();
+  tls_dispatch_owner = nullptr;
+}
+
+void ServingRuntime::DispatchLoop() {
+  using Clock = std::chrono::steady_clock;
+  // Wall time of the previous event pop: the next event's wall deadline
+  // is this plus its *virtual gap* times time_scale, so gaps cost
+  // proportional wall time no matter how far virtual time lags the wall
+  // clock (an absolute virtual->wall mapping would collapse to zero wait
+  // whenever the runtime idles waiting for submissions).
+  Clock::time_point last_pop = Clock::now();
+  for (;;) {
+    // Phase 1: under the heap lock alone, find a due head (waiting out
+    // the scaled gap if configured).
+    EventId head_id = 0;
+    {
+      std::unique_lock<std::mutex> lk(heap_mutex_);
+      for (;;) {
+        if (stop_) return;
+        // Drop cancelled entries sitting at the head.
+        while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+          cancelled_.erase(heap_.top().id);
+          heap_.pop();
+        }
+        if (heap_.empty()) {
+          heap_cv_.wait(lk);
+          last_pop = Clock::now();  // idle time never counts toward a gap
+          continue;
+        }
+        const SimTime when = heap_.top().when;
+        head_id = heap_.top().id;
+        if (config_.time_scale > 0) {
+          const double gap =
+              std::max(0.0, when - vnow_.load(std::memory_order_relaxed));
+          const auto deadline =
+              last_pop +
+              std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(gap * config_.time_scale));
+          if (Clock::now() < deadline) {
+            // Interruptible: an earlier event, a cancellation of the
+            // head, or shutdown re-evaluates the wait.
+            heap_cv_.wait_until(lk, deadline, [&] {
+              return stop_ || heap_.empty() ||
+                     heap_.top().id != head_id ||
+                     cancelled_.count(head_id) != 0;
+            });
+            continue;
+          }
+        }
+        break;  // head_id is due
+      }
+    }
+    // Phase 2: take the dispatch lock *before* popping, then re-validate.
+    // An event callback or exclusive section that cancels the head or
+    // schedules an earlier event must win over a dispatcher that merely
+    // peeked — the simulator's strict one-at-a-time pop order, which the
+    // differential oracle depends on.
+    {
+      Entry e;
+      std::lock_guard<std::mutex> dl(dispatch_mutex_);
+      {
+        std::lock_guard<std::mutex> hl(heap_mutex_);
+        if (stop_) return;
+        if (heap_.empty() || heap_.top().id != head_id ||
+            cancelled_.count(head_id) != 0) {
+          continue;  // the head changed under us: re-evaluate
+        }
+        // priority_queue exposes only const top(); the move is safe
+        // because the element is popped immediately after.
+        e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        live_.erase(e.id);
+        last_pop = Clock::now();
+      }
+      RunEvent(e.when, e.cb);
+    }
+    {
+      std::lock_guard<std::mutex> pg(progress_mutex_);
+    }
+    progress_cv_.notify_all();
+  }
+}
+
+void ServingRuntime::RunExclusive(const std::function<void()>& fn) {
+  if (tls_dispatch_owner == this) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(dispatch_mutex_);
+    tls_dispatch_owner = this;
+    fn();
+    tls_dispatch_owner = nullptr;
+  }
+  // An exclusive section can complete a query synchronously (e.g. a
+  // compile-time failure invoking the done callback inline), so waiters
+  // must re-check their predicates.
+  {
+    std::lock_guard<std::mutex> pg(progress_mutex_);
+  }
+  progress_cv_.notify_all();
+}
+
+void ServingRuntime::AwaitCondition(const std::function<bool()>& pred) {
+  // Not RunExclusive: its notify tail re-locks progress_mutex_, which the
+  // wait below already holds. Take the dispatch lock directly — the
+  // predicate still runs mutually excluded against event callbacks.
+  auto eval = [&] {
+    std::lock_guard<std::mutex> dl(dispatch_mutex_);
+    tls_dispatch_owner = this;
+    const bool done = pred();
+    tls_dispatch_owner = nullptr;
+    return done;
+  };
+  std::unique_lock<std::mutex> lk(progress_mutex_);
+  progress_cv_.wait(lk, eval);
+}
+
+void ServingRuntime::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(jobs_mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void ServingRuntime::WaitIdle() {
+  std::unique_lock<std::mutex> lk(jobs_mutex_);
+  idle_cv_.wait(lk, [&] { return jobs_.empty() && active_jobs_ == 0; });
+}
+
+void ServingRuntime::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(jobs_mutex_);
+      jobs_cv_.wait(lk, [&] { return pool_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // pool_stop_ with a drained queue
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++active_jobs_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lk(jobs_mutex_);
+      --active_jobs_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ServingRuntime::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(jobs_mutex_);
+    if (pool_stop_ && pool_.empty() && !dispatcher_.joinable()) return;
+    pool_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (auto& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  {
+    std::lock_guard<std::mutex> lk(heap_mutex_);
+    stop_ = true;
+  }
+  heap_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace fedcal

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "federation/integrator.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 
@@ -53,7 +53,7 @@ struct PlanSelection {
 /// of the same query type land on different servers.
 class LoadBalancer : public PlanSelector {
  public:
-  LoadBalancer(Simulator* sim, LoadBalanceConfig config = {})
+  LoadBalancer(ExecutionContext* sim, LoadBalanceConfig config = {})
       : sim_(sim), config_(config) {}
 
   /// Route-phase entry point: uses ctx.type_signature (falling back to
@@ -106,7 +106,7 @@ class LoadBalancer : public PlanSelector {
 
   QueryTypeState& StateFor(size_t signature);
 
-  Simulator* sim_;
+  ExecutionContext* sim_;
   LoadBalanceConfig config_;
   std::map<size_t, QueryTypeState> per_type_;
 };

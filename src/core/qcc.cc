@@ -35,9 +35,15 @@ std::string JoinServerSet(const std::vector<std::string>& servers) {
   return out;
 }
 
+// The pricing view pinned by BeginPricing for the current thread.
+// Owner-tagged so interleaved pricing by two calibrator instances on one
+// thread (tests build several federations) cannot cross wires.
+thread_local const QueryCostCalibrator* tls_pricing_owner = nullptr;
+thread_local std::shared_ptr<const QccPricingView> tls_pricing_view;
+
 }  // namespace
 
-QueryCostCalibrator::QueryCostCalibrator(Simulator* sim,
+QueryCostCalibrator::QueryCostCalibrator(ExecutionContext* sim,
                                          MetaWrapper* meta_wrapper,
                                          QccConfig config)
     : sim_(sim),
@@ -96,12 +102,62 @@ void QueryCostCalibrator::BumpRoutingEpoch(const std::string& reason) {
       .Set(static_cast<double>(plan_cache_->epoch()));
 }
 
+std::shared_ptr<const QccPricingView> QueryCostCalibrator::BuildPricingView() {
+  auto view = std::make_shared<QccPricingView>();
+  view->calibration = store_.Snapshot();
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
+  const SimTime now = sim_->Now();
+  for (const std::string& sid : meta_wrapper_->server_ids()) {
+    QccPricingView::ServerAux aux;
+    aux.down = availability_.IsDown(sid);
+    aux.breaker_open =
+        config_.enable_circuit_breaker && breakers_.IsOpen(sid, now);
+    aux.reliability_multiplier = reliability_.CostMultiplier(sid);
+    view->aux.emplace(sid, aux);
+  }
+  view->ii_factor = ii_calibration_.Factor();
+  return view;
+}
+
+void QueryCostCalibrator::BeginPricing() {
+  tls_pricing_owner = this;
+  tls_pricing_view = BuildPricingView();
+}
+
+void QueryCostCalibrator::EndPricing() {
+  if (tls_pricing_owner == this) {
+    tls_pricing_owner = nullptr;
+    tls_pricing_view.reset();
+  }
+}
+
 double QueryCostCalibrator::CalibrateFragmentCost(
     const std::string& server_id, size_t signature,
     double estimated_seconds) {
+  // Inside a Begin/EndPricing bracket: price against the pinned immutable
+  // view, lock-free, so every candidate of one query sees one consistent
+  // state no matter what other threads record meanwhile.
+  if (tls_pricing_owner == this && tls_pricing_view != nullptr) {
+    const QccPricingView& view = *tls_pricing_view;
+    auto it = view.aux.find(server_id);
+    if (it != view.aux.end() &&
+        (it->second.down || it->second.breaker_open)) {
+      return kInfiniteCost;
+    }
+    if (!config_.enable_calibration) return estimated_seconds;
+    double calibrated =
+        view.calibration->Calibrate(server_id, signature, estimated_seconds);
+    if (config_.enable_reliability && it != view.aux.end()) {
+      calibrated *= it->second.reliability_multiplier;
+    }
+    return calibrated;
+  }
+
+  // Live path (callers outside the route phase: probes, tools).
   // A down server is priced at infinity so the optimizer never routes to
   // it (§3.3); the daemons restore it once it answers probes again.
   if (availability_.IsDown(server_id)) return kInfiniteCost;
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   // An open breaker is the fail-slow analog: the server answers probes
   // but keeps erroring or timing out, so it is priced out until the
   // half-open probation closes it again.
@@ -121,6 +177,10 @@ double QueryCostCalibrator::CalibrateFragmentCost(
 double QueryCostCalibrator::CalibrateIntegrationCost(
     double estimated_seconds) {
   if (!config_.enable_calibration) return estimated_seconds;
+  if (tls_pricing_owner == this && tls_pricing_view != nullptr) {
+    return estimated_seconds * tls_pricing_view->ii_factor;
+  }
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   return ii_calibration_.Calibrate(estimated_seconds);
 }
 
@@ -181,11 +241,13 @@ void QueryCostCalibrator::RecordFragmentObservation(
 
 void QueryCostCalibrator::RecordIntegrationObservation(
     double estimated_seconds, double observed_seconds) {
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   ii_calibration_.Record(estimated_seconds, observed_seconds);
 }
 
 void QueryCostCalibrator::RecordError(const std::string& server_id,
                                       const Status& error) {
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   obs::MetricsRegistry& metrics = meta_wrapper_->telemetry()->metrics;
   metrics.counter("qcc.errors." + server_id).Add();
   reliability_.RecordError(server_id);
@@ -207,6 +269,7 @@ void QueryCostCalibrator::RecordError(const std::string& server_id,
 }
 
 void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   reliability_.RecordSuccess(server_id);
   // Availability-daemon probes report through here too, so a half-open
   // breaker accumulates its probation successes without any extra probe
@@ -230,6 +293,9 @@ void QueryCostCalibrator::RecordSuccess(const std::string& server_id) {
 size_t QueryCostCalibrator::SelectPlan(
     const QueryContext& ctx,
     const std::vector<GlobalPlanOption>& options) {
+  // Covers the load balancer's rotation counters and the server-state
+  // reads inside RecordDecision.
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   const PlanSelection selection =
       load_balancer_.SelectPlanExplained(ctx, options);
   obs::FlightRecorder& recorder = meta_wrapper_->telemetry()->recorder;
@@ -337,6 +403,7 @@ void QueryCostCalibrator::RecordDecision(
 }
 
 void QueryCostCalibrator::SampleServerState(const std::string& server_id) {
+  std::lock_guard<std::recursive_mutex> lock(state_mu_);
   const SimTime now = sim_->Now();
   const BreakerState breaker = breakers_.State(server_id, now);
   // Breaker transitions become events here — the single observation

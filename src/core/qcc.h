@@ -3,7 +3,9 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/availability.h"
 #include "core/calibration_store.h"
@@ -44,6 +46,24 @@ struct QccConfig {
   bool enable_circuit_breaker = true;
 };
 
+/// \brief Immutable per-pricing-pass view of everything QCC consults to
+/// turn a raw estimate into a calibrated cost: the calibration snapshot
+/// plus each server's availability / breaker / reliability state, all
+/// captured at BeginPricing time. One query's candidates are priced
+/// against one view, so concurrent observation recording can never make
+/// a plan comparison internally inconsistent.
+struct QccPricingView {
+  CalibrationSnapshotPtr calibration;
+  struct ServerAux {
+    bool down = false;
+    bool breaker_open = false;
+    double reliability_multiplier = 1.0;
+  };
+  std::unordered_map<std::string, ServerAux> aux;
+  /// §3.2 integration (merge) factor.
+  double ii_factor = 1.0;
+};
+
 /// \brief The Query Cost Calibrator (the paper's contribution, §3–§4).
 ///
 /// QCC plugs into the meta-wrapper as its CostCalibrator and into the
@@ -53,7 +73,7 @@ struct QccConfig {
 /// transparent design the paper argues for.
 class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
  public:
-  QueryCostCalibrator(Simulator* sim, MetaWrapper* meta_wrapper,
+  QueryCostCalibrator(ExecutionContext* sim, MetaWrapper* meta_wrapper,
                       QccConfig config = {});
 
   /// Wires QCC into an integrator's meta-wrapper and plan selection,
@@ -64,6 +84,11 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   void Detach(Integrator* integrator);
 
   // -- CostCalibrator ---------------------------------------------------------
+
+  /// Pins an immutable QccPricingView for the calling thread; every
+  /// Calibrate* call until EndPricing prices against it lock-free.
+  void BeginPricing() override;
+  void EndPricing() override;
 
   double CalibrateFragmentCost(const std::string& server_id,
                                size_t signature,
@@ -117,7 +142,20 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   /// compiles must re-price (drift) or re-enumerate under the new state.
   void BumpRoutingEpoch(const std::string& reason);
 
-  Simulator* sim_;
+  /// Builds the pricing view for the servers the meta-wrapper knows,
+  /// under state_mu_.
+  std::shared_ptr<const QccPricingView> BuildPricingView();
+
+  /// Guards the small mutable aggregates that are not individually
+  /// thread-safe: reliability_, breakers_ (whose reads mutate lazily on
+  /// time checks), ii_calibration_, load_balancer_ rotation counters, and
+  /// last_breaker_. The calibration store shards its own locking and the
+  /// availability monitor has its own mutex. Recursive because an epoch
+  /// bump raised while holding it can re-enter pricing on the same thread
+  /// (the re-route controller re-prices synchronously).
+  mutable std::recursive_mutex state_mu_;
+
+  ExecutionContext* sim_;
   MetaWrapper* meta_wrapper_;
   QccConfig config_;
   CalibrationStore store_;

@@ -99,7 +99,7 @@ std::vector<ReplicaRecommendation> ReplicaAdvisor::Analyze() const {
   // Leave the placement analysis in the flight recorder so a later
   // `\explain` reader can see what the advisor believed and why.
   obs::Telemetry& tel = *meta_wrapper_->telemetry();
-  const Simulator* sim = tel.tracer.sim();
+  const ExecutionContext* sim = tel.tracer.sim();
   const SimTime now = sim != nullptr ? sim->Now() : 0.0;
   for (const auto& rec : recommendations) {
     tel.recorder.AddNote(now, "replica_advisor",

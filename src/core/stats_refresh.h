@@ -4,7 +4,7 @@
 
 #include "catalog/global_catalog.h"
 #include "metawrapper/meta_wrapper.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 
@@ -19,7 +19,7 @@ namespace fedcal {
 /// QCC's calibration factors.
 class StatsRefreshDaemon {
  public:
-  StatsRefreshDaemon(Simulator* sim, GlobalCatalog* catalog,
+  StatsRefreshDaemon(ExecutionContext* sim, GlobalCatalog* catalog,
                      MetaWrapper* meta_wrapper, double period_s = 30.0)
       : catalog_(catalog), meta_wrapper_(meta_wrapper) {
     task_ = std::make_unique<PeriodicTask>(

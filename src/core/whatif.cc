@@ -93,7 +93,7 @@ Result<WhatIfSimulator::Enumeration> WhatIfSimulator::EnumerateAlternatives(
   // Annotate the flight recorder: which alternatives the simulated
   // federated system surfaced, and how much explain work it cost.
   obs::Telemetry& tel = *meta_wrapper_->telemetry();
-  const Simulator* sim = tel.tracer.sim();
+  const ExecutionContext* sim = tel.tracer.sim();
   tel.recorder.AddNote(
       sim != nullptr ? sim->Now() : 0.0, "whatif",
       "enumerated " + std::to_string(out.plans.size()) +

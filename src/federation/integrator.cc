@@ -47,12 +47,12 @@ struct Integrator::Attempt {
   std::vector<char> fragment_done;
   std::vector<int> outstanding;   ///< live tickets per fragment
   std::vector<int> dispatch_gen;  ///< bumped when a switch re-dispatches
-  std::vector<Simulator::EventId> deadline_timers;
-  std::vector<Simulator::EventId> hedge_timers;
+  std::vector<ExecutionContext::EventId> deadline_timers;
+  std::vector<ExecutionContext::EventId> hedge_timers;
 };
 
 Integrator::Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
-                       Simulator* sim, IiConfig config)
+                       ExecutionContext* sim, IiConfig config)
     : catalog_(catalog),
       meta_wrapper_(meta_wrapper),
       sim_(sim),
@@ -244,10 +244,16 @@ Result<CompiledQuery> Integrator::Route(const PreparedPlanPtr& prepared,
   }
 
   // Pricing: the only point where calibration/reliability/availability
-  // state touches the plans.
-  PriceGlobalPlans(meta_wrapper_->calibrator(), &compiled.options);
+  // state touches the plans. The Begin/EndPricing bracket pins one
+  // immutable snapshot of the calibrator's state for this thread, so all
+  // candidates are priced consistently even while concurrent workers
+  // record fresh observations.
+  CostCalibrator* calibrator = meta_wrapper_->calibrator();
+  calibrator->BeginPricing();
+  PriceGlobalPlans(calibrator, &compiled.options);
 
   compiled.chosen_index = selector_->SelectPlan(*ctx, compiled.options);
+  calibrator->EndPricing();
   if (compiled.chosen_index >= compiled.options.size()) {
     compiled.chosen_index = 0;
   }
@@ -271,18 +277,28 @@ Result<CompiledQuery> Integrator::Route(const PreparedPlanPtr& prepared,
 
 Result<CompiledQuery> Integrator::Compile(const std::string& sql) {
   QueryContext ctx;
-  auto prepared = Prepare(sql, &ctx);
+  Result<PreparedPlanPtr> prepared = Status::Internal("prepare never ran");
+  // Prepare mutates event-thread-owned state (patroller, planner caches);
+  // a serving worker joins the dispatcher's exclusion for it. Route stays
+  // outside — pricing and plan selection run concurrently across workers.
+  sim_->RunExclusive([&] { prepared = Prepare(sql, &ctx); });
   if (!prepared.ok()) return prepared.status();
   return Route(*prepared, &ctx);
 }
 
 void Integrator::Execute(const CompiledQuery& compiled, Callback done) {
-  auto failed = std::make_shared<std::vector<std::string>>();
-  auto state = std::make_shared<ExecState>();
-  state->query_started_at = sim_->Now();
-  state->rng = Rng(config_.fault.rng_seed ^ compiled.query_id);
-  ExecuteOption(compiled, compiled.chosen_index, failed, /*retries=*/0,
-                std::move(state), std::move(done));
+  // Engine internals (attempts, fragment tickets, server queues, network
+  // links) are event-thread-owned; a serving worker submits by joining
+  // the dispatcher's mutual exclusion. In simulation mode RunExclusive
+  // is a plain call.
+  sim_->RunExclusive([&] {
+    auto failed = std::make_shared<std::vector<std::string>>();
+    auto state = std::make_shared<ExecState>();
+    state->query_started_at = sim_->Now();
+    state->rng = Rng(config_.fault.rng_seed ^ compiled.query_id);
+    ExecuteOption(compiled, compiled.chosen_index, failed, /*retries=*/0,
+                  std::move(state), std::move(done));
+  });
 }
 
 void Integrator::AbortAttempt(const std::shared_ptr<Attempt>& attempt,
@@ -751,26 +767,32 @@ bool Integrator::MaybeReroute(const std::shared_ptr<Attempt>& attempt,
 }
 
 void Integrator::OnRoutingEpochBump(const std::string& reason) {
-  if (!config_.reroute.enable || inflight_.empty()) return;
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    std::shared_ptr<Attempt> attempt = it->second.lock();
-    if (!attempt || attempt->settled) {
-      it = inflight_.erase(it);
-      continue;
+  // inflight_ and the per-attempt flags are event-thread-owned; bumps can
+  // originate from any thread (a catalog-change bump inside a worker's
+  // Prepare), so join the dispatcher's mutual exclusion — reentrant when
+  // the bump already fired on the event thread.
+  sim_->RunExclusive([&] {
+    if (!config_.reroute.enable || inflight_.empty()) return;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      std::shared_ptr<Attempt> attempt = it->second.lock();
+      if (!attempt || attempt->settled) {
+        it = inflight_.erase(it);
+        continue;
+      }
+      if (!attempt->epoch_eval_pending) {
+        attempt->epoch_eval_pending = true;
+        // Deferred one tick: bumps fire from inside QCC observation and
+        // error hooks, mid fragment-completion; evaluating synchronously
+        // would re-enter the attempt's bookkeeping.
+        sim_->ScheduleAfter(0.0, [this, attempt, reason] {
+          attempt->epoch_eval_pending = false;
+          MaybeReroute(attempt, ReRouteTrigger::kEpochBump,
+                       "epoch-bump(" + reason + ")", /*exclude_server=*/"");
+        });
+      }
+      ++it;
     }
-    if (!attempt->epoch_eval_pending) {
-      attempt->epoch_eval_pending = true;
-      // Deferred one tick: bumps fire from inside QCC observation and
-      // error hooks, mid fragment-completion; evaluating synchronously
-      // would re-enter the attempt's bookkeeping.
-      sim_->ScheduleAfter(0.0, [this, attempt, reason] {
-        attempt->epoch_eval_pending = false;
-        MaybeReroute(attempt, ReRouteTrigger::kEpochBump,
-                     "epoch-bump(" + reason + ")", /*exclude_server=*/"");
-      });
-    }
-    ++it;
-  }
+  });
 }
 
 bool Integrator::TryRetryElsewhere(
@@ -1045,8 +1067,7 @@ Result<QueryOutcome> Integrator::RunSync(const std::string& sql) {
     outcome = std::move(r);
     finished = true;
   });
-  while (!finished && sim_->Step()) {
-  }
+  sim_->AwaitCondition([&] { return finished; });
   if (!finished) {
     return Status::Internal("simulation drained before query completion");
   }

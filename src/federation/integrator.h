@@ -146,10 +146,19 @@ struct QueryOutcome {
 /// at their servers, results ship back, the integrator merges locally
 /// (charging its own simulated time), and the patroller records
 /// completion.
+/// Threading contract (serving mode): Route is safe to call from any
+/// worker thread — it prices against a calibrator snapshot pinned by
+/// BeginPricing/EndPricing, and every structure it touches (plan cache,
+/// tracer, metrics, explain table) locks internally. Prepare mutates
+/// event-thread-owned state (patroller, optimizer/meta-wrapper planning)
+/// and must run inside ExecutionContext::RunExclusive when called off the
+/// event thread. Execute and OnRoutingEpochBump take that exclusion
+/// themselves. In simulation mode everything is single-threaded and the
+/// contract is vacuous.
 class Integrator {
  public:
   Integrator(GlobalCatalog* catalog, MetaWrapper* meta_wrapper,
-             Simulator* sim, IiConfig config = {});
+             ExecutionContext* sim, IiConfig config = {});
 
   QueryPatroller& patroller() { return patroller_; }
   ExplainTable& explain() { return explain_; }
@@ -276,7 +285,7 @@ class Integrator {
 
   GlobalCatalog* catalog_;
   MetaWrapper* meta_wrapper_;
-  Simulator* sim_;
+  ExecutionContext* sim_;
   IiConfig config_;
   QueryPatroller patroller_;
   ExplainTable explain_;

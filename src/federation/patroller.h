@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 
@@ -29,7 +29,7 @@ struct PatrollerRecord {
 /// server-down events and compute reliability statistics.
 class QueryPatroller {
  public:
-  explicit QueryPatroller(Simulator* sim) : sim_(sim) {}
+  explicit QueryPatroller(ExecutionContext* sim) : sim_(sim) {}
 
   /// Returns the new query's id.
   uint64_t RecordSubmission(const std::string& sql);
@@ -45,7 +45,7 @@ class QueryPatroller {
   double MeanResponseSeconds() const;
 
  private:
-  Simulator* sim_;
+  ExecutionContext* sim_;
   uint64_t next_id_ = 1;
   std::vector<PatrollerRecord> log_;
 };

@@ -3,12 +3,14 @@
 namespace fedcal {
 
 PreparedPlanPtr PlanCache::Lookup(const std::string& canonical_sql) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(canonical_sql);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  if (it->second->plan->compiled_epoch != epoch_) {
+  if (it->second->plan->compiled_epoch !=
+      epoch_.load(std::memory_order_acquire)) {
     // Lazy invalidation: the entry predates the last epoch bump, so some
     // pricing-relevant input changed structurally. Drop it; the caller
     // recompiles and reinserts under the current epoch.
@@ -26,6 +28,7 @@ PreparedPlanPtr PlanCache::Lookup(const std::string& canonical_sql) {
 
 void PlanCache::Insert(PreparedPlanPtr plan) {
   if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(plan->canonical_sql);
   if (it != entries_.end()) {
     it->second->plan = std::move(plan);
@@ -42,13 +45,22 @@ void PlanCache::Insert(PreparedPlanPtr plan) {
 }
 
 void PlanCache::BumpEpoch(const std::string& reason) {
-  ++epoch_;
-  ++stats_.epoch_bumps;
-  last_invalidation_reason_ = reason;
-  if (epoch_observer_) epoch_observer_(epoch_, reason);
+  uint64_t bumped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // fetch_add under the lock so the epoch, the bump counter, and the
+    // reason advance together (concurrent bumps must never lose one).
+    bumped = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    ++stats_.epoch_bumps;
+    last_invalidation_reason_ = reason;
+  }
+  // Outside the lock: the observer emits into the event log, which takes
+  // its own lock — never hold both.
+  if (epoch_observer_) epoch_observer_(bumped, reason);
 }
 
 void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }

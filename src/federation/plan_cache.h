@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -98,13 +100,23 @@ class PlanCache {
     epoch_observer_ = std::move(observer);
   }
 
-  uint64_t epoch() const { return epoch_; }
-  const std::string& last_invalidation_reason() const {
+  /// Lock-free: routing hot paths compare epochs without touching the LRU
+  /// mutex.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  std::string last_invalidation_reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return last_invalidation_reason_;
   }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   size_t capacity() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+  /// Consistent point-in-time copy (hits/misses/bumps move together).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   void Clear();
 
@@ -115,10 +127,17 @@ class PlanCache {
   };
 
   size_t capacity_;
+  /// One mutex for the LRU list + index + stats: Lookup and Insert both
+  /// reorder the list, so a single short critical section keeps the exact
+  /// single-LRU eviction semantics the tests pin. The epoch is atomic so
+  /// bumps from the event thread never wait on a worker mid-Lookup, and
+  /// the observer runs outside the lock (it emits into the event log,
+  /// which has its own lock).
+  mutable std::mutex mu_;
   /// MRU at front, LRU at back.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
   std::string last_invalidation_reason_;
   EpochObserver epoch_observer_;
   Stats stats_;

@@ -17,6 +17,15 @@ class CostCalibrator {
  public:
   virtual ~CostCalibrator() = default;
 
+  /// Brackets one pricing pass (the integrator's route phase calls these
+  /// around PriceGlobalPlans + plan selection). A concurrent calibrator
+  /// pins an immutable snapshot of its state for the calling thread, so
+  /// every candidate plan of one query is priced against the same factors
+  /// even while other threads record fresh observations. The default is a
+  /// no-op: the identity calibrator has no state to pin.
+  virtual void BeginPricing() {}
+  virtual void EndPricing() {}
+
   /// Calibrates a fragment cost estimate (in integrator-seconds) for the
   /// given server and fragment signature. Returning +infinity makes the
   /// optimizer avoid the server entirely (down / unreliable servers).

@@ -11,7 +11,7 @@
 #include "metawrapper/calibrator_interface.h"
 #include "net/network.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 #include "wrapper/wrapper.h"
 
 namespace fedcal {
@@ -71,7 +71,7 @@ class FragmentTicket {
   double calibrated_ = 0.0;
   SimTime submit_time_ = 0.0;
   Stage stage_ = Stage::kRequest;
-  Simulator::EventId pending_event_ = 0;  ///< request/reply hop in flight
+  ExecutionContext::EventId pending_event_ = 0;  ///< request/reply hop in flight
   uint64_t server_job_ = 0;               ///< valid during kExecuting
   uint64_t span_ = 0;        ///< fragment-dispatch span
   uint64_t stage_span_ = 0;  ///< open child span of the current stage
@@ -116,7 +116,7 @@ struct MwRuntimeRecord {
 /// MW logs are compatibility views derived from those spans.
 class MetaWrapper {
  public:
-  MetaWrapper(GlobalCatalog* catalog, Network* network, Simulator* sim)
+  MetaWrapper(GlobalCatalog* catalog, Network* network, ExecutionContext* sim)
       : catalog_(catalog),
         network_(network),
         sim_(sim),
@@ -215,7 +215,7 @@ class MetaWrapper {
 
   GlobalCatalog* catalog_;
   Network* network_;
-  Simulator* sim_;
+  ExecutionContext* sim_;
   std::map<std::string, RelationalWrapper*> wrappers_;
   NullCalibrator null_calibrator_;
   CostCalibrator* calibrator_ = &null_calibrator_;

@@ -7,7 +7,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 

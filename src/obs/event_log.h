@@ -1,14 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal::obs {
 
@@ -89,13 +91,16 @@ class EventLog {
  public:
   using Observer = std::function<void(const HealthEvent&)>;
 
-  explicit EventLog(const Simulator* sim, EventLogConfig config = {})
-      : sim_(sim), config_(config) {
+  explicit EventLog(const ExecutionContext* sim, EventLogConfig config = {})
+      : sim_(sim), config_(config), enabled_(config.enabled) {
     if (config_.capacity == 0) config_.capacity = 1;
   }
 
-  bool enabled() const { return config_.enabled; }
-  void set_enabled(bool on) { config_.enabled = on; }
+  /// Lock-free: the disabled path of Emit is one relaxed load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
   const EventLogConfig& config() const { return config_; }
 
   /// Appends one event stamped at the simulator's current virtual time
@@ -104,11 +109,20 @@ class EventLog {
   uint64_t Emit(EventType type, EventSeverity severity, std::string server_id,
                 uint64_t query_id, std::string message, uint64_t span_id = 0);
 
+  /// Unsynchronized view for single-threaded readers (shell, exporters);
+  /// concurrent contexts use Tail()/Find() or read after quiescing.
   const std::deque<HealthEvent>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
-  uint64_t total_emitted() const { return total_emitted_; }
+  size_t size() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return events_.size();
+  }
+  uint64_t total_emitted() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return total_emitted_;
+  }
   /// Lifetime count per severity (indexed by EventSeverity).
   uint64_t severity_count(EventSeverity severity) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return severity_counts_[static_cast<size_t>(severity)];
   }
 
@@ -124,8 +138,13 @@ class EventLog {
   void Clear();
 
  private:
-  const Simulator* sim_;
+  /// Serializes emission (and therefore the health engine, which runs
+  /// inside the observer hook). Recursive: the observer may emit again
+  /// (alert-lifecycle events are themselves logged).
+  mutable std::recursive_mutex mu_;
+  const ExecutionContext* sim_;
   EventLogConfig config_;
+  std::atomic<bool> enabled_;
   std::deque<HealthEvent> events_;
   uint64_t total_emitted_ = 0;
   uint64_t severity_counts_[4] = {0, 0, 0, 0};

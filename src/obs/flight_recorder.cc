@@ -6,7 +6,8 @@
 namespace fedcal::obs {
 
 void FlightRecorder::Record(DecisionRecord record) {
-  if (!config_.enabled) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++total_recorded_;
 
   // Enforce the per-decision candidate cap: options arrive cheapest first,
@@ -42,18 +43,21 @@ void FlightRecorder::Record(DecisionRecord record) {
 }
 
 const DecisionRecord* FlightRecorder::Find(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(query_id);
   if (it == index_.end() || it->second < base_) return nullptr;
   return &decisions_[it->second - base_];
 }
 
 const DecisionRecord* FlightRecorder::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return decisions_.empty() ? nullptr : &decisions_.back();
 }
 
 void FlightRecorder::Sample(const std::string& server_id, ServerMetric metric,
                             SimTime t, double value) {
-  if (!config_.enabled) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(server_id);
   if (it == series_.end()) {
     SeriesArray fresh{
@@ -107,6 +111,7 @@ void FlightRecorder::CheckDrift(const std::string& server_id,
 
 const TimeSeriesRing* FlightRecorder::Series(const std::string& server_id,
                                              ServerMetric metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(server_id);
   if (it == series_.end()) return nullptr;
   const TimeSeriesRing& ring = it->second[static_cast<size_t>(metric)];
@@ -114,13 +119,15 @@ const TimeSeriesRing* FlightRecorder::Series(const std::string& server_id,
 }
 
 std::vector<std::string> FlightRecorder::SampledServers() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [sid, rings] : series_) out.push_back(sid);
   return out;
 }
 
 void FlightRecorder::RecordReRoute(ReRouteRecord record) {
-  if (!config_.enabled) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++total_reroutes_;
   reroutes_.push_back(std::move(record));
   while (reroutes_.size() > std::max<size_t>(1, config_.max_reroutes)) {
@@ -130,6 +137,7 @@ void FlightRecorder::RecordReRoute(ReRouteRecord record) {
 
 std::vector<const ReRouteRecord*> FlightRecorder::ReRoutesFor(
     uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const ReRouteRecord*> out;
   for (const ReRouteRecord& r : reroutes_) {
     if (r.query_id == query_id) out.push_back(&r);
@@ -139,7 +147,8 @@ std::vector<const ReRouteRecord*> FlightRecorder::ReRoutesFor(
 
 void FlightRecorder::AddNote(SimTime t, std::string source,
                              std::string text) {
-  if (!config_.enabled) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   notes_.push_back(RecorderNote{t, std::move(source), std::move(text)});
   while (notes_.size() > std::max<size_t>(1, config_.max_events)) {
     notes_.pop_front();
@@ -147,6 +156,7 @@ void FlightRecorder::AddNote(SimTime t, std::string source,
 }
 
 void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   decisions_.clear();
   index_.clear();
   base_ = 0;

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -150,10 +152,13 @@ struct FlightRecorderConfig {
 class FlightRecorder {
  public:
   explicit FlightRecorder(FlightRecorderConfig config = {})
-      : config_(config) {}
+      : config_(config), enabled_(config.enabled) {}
 
-  bool enabled() const { return config_.enabled; }
-  void set_enabled(bool on) { config_.enabled = on; }
+  /// Lock-free: the disabled path of every Record/Sample is one load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
   const FlightRecorderConfig& config() const { return config_; }
 
   // -- Decisions ---------------------------------------------------------
@@ -163,11 +168,20 @@ class FlightRecorder {
   /// max_decisions. No-op while disabled.
   void Record(DecisionRecord record);
 
+  /// Returned pointers stay valid until the ring evicts that record;
+  /// concurrent contexts copy what they need or read after quiescing.
   const DecisionRecord* Find(uint64_t query_id) const;
   const DecisionRecord* Latest() const;
+  /// Unsynchronized view for single-threaded readers (shell, exporters).
   const std::deque<DecisionRecord>& decisions() const { return decisions_; }
-  size_t size() const { return decisions_.size(); }
-  uint64_t total_recorded() const { return total_recorded_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return decisions_.size();
+  }
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_recorded_;
+  }
 
   // -- Time series -------------------------------------------------------
 
@@ -182,7 +196,10 @@ class FlightRecorder {
   std::vector<std::string> SampledServers() const;
 
   const std::deque<DriftEvent>& drift_events() const { return drift_events_; }
-  uint64_t total_drift_events() const { return total_drift_events_; }
+  uint64_t total_drift_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_drift_events_;
+  }
 
   // -- Mid-query re-routes ------------------------------------------------
 
@@ -194,7 +211,10 @@ class FlightRecorder {
   /// already evicted).
   std::vector<const ReRouteRecord*> ReRoutesFor(uint64_t query_id) const;
   const std::deque<ReRouteRecord>& reroutes() const { return reroutes_; }
-  uint64_t total_reroutes_recorded() const { return total_reroutes_; }
+  uint64_t total_reroutes_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_reroutes_;
+  }
 
   // -- Notes -------------------------------------------------------------
 
@@ -209,7 +229,11 @@ class FlightRecorder {
   void CheckDrift(const std::string& server_id, const TimeSeriesRing& ring,
                   SimTime t, double value);
 
+  /// One short critical section per append/lookup: decisions, series,
+  /// notes, and re-routes share the recorder's rings and indexes.
+  mutable std::mutex mu_;
   FlightRecorderConfig config_;
+  std::atomic<bool> enabled_;
 
   std::deque<DecisionRecord> decisions_;
   std::unordered_map<uint64_t, size_t> index_;  ///< query_id -> pos + base_

@@ -40,6 +40,7 @@ double LatencyHistogram::BucketUpperBound(size_t index) {
 
 void LatencyHistogram::Record(double seconds) {
   if (std::isnan(seconds)) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
   ++buckets_[BucketIndex(seconds)];
   if (count_ == 0) {
@@ -53,6 +54,11 @@ void LatencyHistogram::Record(double seconds) {
 }
 
 double LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+double LatencyHistogram::PercentileLocked(double p) const {
   if (count_ == 0) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
@@ -80,18 +86,20 @@ double LatencyHistogram::Percentile(double p) const {
 }
 
 HistogramSnapshot LatencyHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   HistogramSnapshot s;
   s.count = count_;
   s.sum = sum_;
-  s.min = min();
-  s.max = max();
-  s.p50 = Percentile(50);
-  s.p95 = Percentile(95);
-  s.p99 = Percentile(99);
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  s.p50 = PercentileLocked(50);
+  s.p95 = PercentileLocked(95);
+  s.p99 = PercentileLocked(99);
   return s;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
@@ -102,6 +110,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

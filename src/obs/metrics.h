@@ -1,32 +1,41 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace fedcal::obs {
 
-/// \brief Monotonic event counter.
+/// \brief Monotonic event counter. Lock-free: safe to bump from worker
+/// threads and the dispatcher concurrently.
 class Counter {
  public:
-  void Add(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// \brief Last-write-wins instantaneous value (queue depths, factors).
+/// Lock-free; Add is a CAS loop (atomic double fetch_add portability).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double v) { value_ += v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// \brief Aggregate view of one histogram at snapshot time.
@@ -59,11 +68,26 @@ class LatencyHistogram {
 
   void Record(double seconds);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : sum_ / double(count_);
+  }
 
   /// p in [0, 100]. Returns 0 for an empty histogram. Monotone in p.
   double Percentile(double p) const;
@@ -80,6 +104,11 @@ class LatencyHistogram {
   static double BucketUpperBound(size_t index);
 
  private:
+  double PercentileLocked(double p) const;
+
+  /// One short critical section per Record/Percentile: the bucket array,
+  /// count, sum, and extrema must move together (concurrent emitters).
+  mutable std::mutex mu_;
   std::vector<uint64_t> buckets_;  ///< sized lazily on first Record
   uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -106,9 +135,16 @@ struct MetricsSnapshot {
 /// stay valid for the registry's lifetime (node-based map).
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
   LatencyHistogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     return histograms_[name];
   }
 
@@ -117,9 +153,15 @@ class MetricsRegistry {
   std::string ToJson() const { return Snapshot().ToJson(); }
   std::string ToText() const { return Snapshot().ToText(); }
 
+  /// Not safe against concurrent lookups that still hold references —
+  /// callers quiesce emitters first (tests only).
   void Clear();
 
  private:
+  /// Guards the maps (lookup-create and snapshot iteration). The metric
+  /// objects themselves are individually thread-safe, and the maps are
+  /// node-based, so references handed out stay valid without the lock.
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;

@@ -20,7 +20,7 @@ namespace fedcal::obs {
 /// unconditional and cheap. The health engine observes the event log, so
 /// a typed Emit anywhere in the stack doubles as health-engine input.
 struct Telemetry {
-  explicit Telemetry(const Simulator* sim)
+  explicit Telemetry(const ExecutionContext* sim)
       : tracer(sim), events(sim), health(&events, &recorder, &metrics) {
     events.SetObserver(
         [this](const HealthEvent& event) { health.OnEvent(event); });

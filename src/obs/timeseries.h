@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal::obs {
 

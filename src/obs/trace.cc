@@ -76,6 +76,7 @@ void Tracer::EnforceRetention() {
 }
 
 void Tracer::set_retention(size_t max_traces) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   retention_ = max_traces;
   EnforceRetention();
 }
@@ -91,6 +92,7 @@ Span* Tracer::FindSpan(uint64_t query_id, uint64_t span_id) {
 }
 
 uint64_t Tracer::BeginQuery(uint64_t query_id, const std::string& sql) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   QueryTrace& trace = TraceFor(query_id);
   if (trace.sql.empty()) trace.sql = sql;
   if (!trace.spans.empty()) return trace.spans[0].id;
@@ -105,6 +107,7 @@ uint64_t Tracer::BeginQuery(uint64_t query_id, const std::string& sql) {
 
 uint64_t Tracer::StartSpan(uint64_t query_id, SpanKind kind,
                            const std::string& name, uint64_t parent_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   QueryTrace& trace = TraceFor(query_id);
   if (trace.spans.empty()) {
     // Layer below the integrator executing without a compiled query
@@ -128,6 +131,7 @@ uint64_t Tracer::StartSpan(uint64_t query_id, SpanKind kind,
 
 void Tracer::EndSpan(uint64_t query_id, uint64_t span_id, bool failed,
                      const std::string& detail) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Span* span = FindSpan(query_id, span_id);
   if (span == nullptr || !span->open) return;
   span->open = false;
@@ -138,6 +142,7 @@ void Tracer::EndSpan(uint64_t query_id, uint64_t span_id, bool failed,
 
 uint64_t Tracer::AddEvent(uint64_t query_id, SpanKind kind,
                           const std::string& name, uint64_t parent_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const uint64_t id = StartSpan(query_id, kind, name, parent_id);
   EndSpan(query_id, id);
   return id;
@@ -145,6 +150,7 @@ uint64_t Tracer::AddEvent(uint64_t query_id, SpanKind kind,
 
 void Tracer::EndQuery(uint64_t query_id, bool failed,
                       const std::string& detail) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = index_.find(query_id);
   if (it == index_.end()) return;
   QueryTrace& trace = traces_[it->second - base_];
@@ -169,11 +175,13 @@ void Tracer::EndQuery(uint64_t query_id, bool failed,
 
 void Tracer::SetAttr(uint64_t query_id, uint64_t span_id,
                      const std::string& key, const std::string& value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (Span* span = FindSpan(query_id, span_id)) span->attrs[key] = value;
 }
 
 void Tracer::SetQueryAttr(uint64_t query_id, const std::string& key,
                           const std::string& value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = index_.find(query_id);
   if (it == index_.end()) return;
   QueryTrace& trace = traces_[it->second - base_];
@@ -182,6 +190,7 @@ void Tracer::SetQueryAttr(uint64_t query_id, const std::string& key,
 
 void Tracer::SetServer(uint64_t query_id, uint64_t span_id,
                        const std::string& server_id, size_t signature) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (Span* span = FindSpan(query_id, span_id)) {
     span->server_id = server_id;
     span->signature = signature;
@@ -190,6 +199,7 @@ void Tracer::SetServer(uint64_t query_id, uint64_t span_id,
 
 void Tracer::SetCost(uint64_t query_id, uint64_t span_id,
                      const CostObservation& cost) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (Span* span = FindSpan(query_id, span_id)) {
     span->cost = cost;
     span->has_cost = true;
@@ -197,12 +207,14 @@ void Tracer::SetCost(uint64_t query_id, uint64_t span_id,
 }
 
 const QueryTrace* Tracer::Find(uint64_t query_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = index_.find(query_id);
   if (it == index_.end()) return nullptr;
   return &traces_[it->second - base_];
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   traces_.clear();
   index_.clear();
   base_ = 0;
@@ -243,6 +255,7 @@ void RenderSpan(const QueryTrace& trace, const Span& span, int depth,
 }  // namespace
 
 std::string Tracer::ToText(uint64_t query_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const QueryTrace* trace = Find(query_id);
   if (trace == nullptr) return "no trace for query " +
                                std::to_string(query_id) + "\n";
@@ -256,6 +269,7 @@ std::string Tracer::ToText(uint64_t query_id) const {
 }
 
 std::string Tracer::ToJson(uint64_t query_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const QueryTrace* trace = Find(query_id);
   if (trace == nullptr) return "{}\n";
   std::string out = "{\"query_id\": " + std::to_string(query_id) +

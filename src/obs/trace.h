@@ -3,11 +3,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "obs/observation.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal::obs {
 
@@ -86,10 +87,10 @@ struct QueryTrace {
 /// deterministic and byte-identical across runs of the same seed.
 class Tracer {
  public:
-  explicit Tracer(const Simulator* sim) : sim_(sim) {}
+  explicit Tracer(const ExecutionContext* sim) : sim_(sim) {}
 
   /// The virtual clock this tracer stamps from (may be null in tests).
-  const Simulator* sim() const { return sim_; }
+  const ExecutionContext* sim() const { return sim_; }
 
   /// Opens the root span for a query. Reuses the existing trace if some
   /// layer already touched this query id.
@@ -119,9 +120,16 @@ class Tracer {
   void SetCost(uint64_t query_id, uint64_t span_id,
                const CostObservation& cost);
 
+  /// Trace pointers stay valid for the tracer's lifetime (node-stable
+  /// deque, retention off). Walking a trace's spans while its query is
+  /// still executing is not synchronized — compatibility views read after
+  /// the run quiesces.
   const QueryTrace* Find(uint64_t query_id) const;
   const std::deque<QueryTrace>& traces() const { return traces_; }
-  size_t size() const { return traces_.size(); }
+  size_t size() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return traces_.size();
+  }
   void Clear();
 
   /// Oldest traces are dropped beyond this many (0 = unlimited, the
@@ -139,7 +147,10 @@ class Tracer {
   SimTime Now() const { return sim_ ? sim_->Now() : 0.0; }
   void EnforceRetention();
 
-  const Simulator* sim_;
+  /// Serializes span emission from worker threads and the dispatcher.
+  /// Recursive because the span helpers compose (AddEvent = Start + End).
+  mutable std::recursive_mutex mu_;
+  const ExecutionContext* sim_;
   uint64_t next_span_id_ = 1;
   size_t retention_ = 0;
   std::deque<QueryTrace> traces_;

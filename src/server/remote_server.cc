@@ -7,7 +7,7 @@
 
 namespace fedcal {
 
-RemoteServer::RemoteServer(ServerConfig config, Simulator* sim, Rng rng)
+RemoteServer::RemoteServer(ServerConfig config, ExecutionContext* sim, Rng rng)
     : config_(std::move(config)),
       sim_(sim),
       rng_(rng),
@@ -200,7 +200,7 @@ void RemoteServer::RunJob(Job job) {
 
   const SimTime submitted = job.submitted_at;
   const uint64_t job_id = job.id;
-  const Simulator::EventId event = sim_->ScheduleAfter(
+  const ExecutionContext::EventId event = sim_->ScheduleAfter(
       service_time,
       [this, job_id, failure,
        table = table.ok() ? table.MoveValue() : nullptr, stats, submitted,

@@ -10,7 +10,7 @@
 #include "cost/stats_provider.h"
 #include "engine/executor.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 #include "storage/table.h"
 
 namespace fedcal {
@@ -53,7 +53,7 @@ struct FragmentResult {
 /// error injection for the reliability experiments.
 class RemoteServer {
  public:
-  RemoteServer(ServerConfig config, Simulator* sim, Rng rng);
+  RemoteServer(ServerConfig config, ExecutionContext* sim, Rng rng);
 
   const std::string& id() const { return config_.id; }
   const ServerConfig& config() const { return config_; }
@@ -147,7 +147,7 @@ class RemoteServer {
     SimTime submitted_at;
   };
   struct RunningJob {
-    Simulator::EventId completion_event = 0;
+    ExecutionContext::EventId completion_event = 0;
     SimTime scheduled_end = 0.0;
     /// Held here (not in the completion closure) so CancelFragment drops
     /// it silently and AbortInFlight can deliver the outage through it.
@@ -160,7 +160,7 @@ class RemoteServer {
   void Count(const std::string& what);
 
   ServerConfig config_;
-  Simulator* sim_;
+  ExecutionContext* sim_;
   obs::Telemetry* telemetry_ = nullptr;
   Rng rng_;
   std::map<std::string, TablePtr> tables_;

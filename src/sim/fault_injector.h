@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 
 namespace fedcal {
 
@@ -100,7 +100,7 @@ class FaultInjector {
   /// Latency multiplier / bandwidth divisor used to model a partition.
   static constexpr double kPartitionSeverity = 1e9;
 
-  explicit FaultInjector(Simulator* sim) : sim_(sim) {}
+  explicit FaultInjector(ExecutionContext* sim) : sim_(sim) {}
 
   void RegisterServer(const std::string& id, ServerHooks hooks);
   void RegisterLink(const std::string& id, LinkHooks hooks);
@@ -124,7 +124,7 @@ class FaultInjector {
  private:
   void Apply(const FaultEvent& event);
 
-  Simulator* sim_;
+  ExecutionContext* sim_;
   std::map<std::string, ServerHooks> servers_;
   std::map<std::string, LinkHooks> links_;
   EventHook event_hook_;

@@ -83,39 +83,4 @@ size_t Simulator::RunUntil(SimTime t) {
   return n;
 }
 
-PeriodicTask::PeriodicTask(Simulator* sim, SimTime period,
-                           Simulator::Callback task, SimTime initial_delay)
-    : sim_(sim),
-      period_(period > 0 ? period : 1.0),
-      initial_delay_(initial_delay < 0 ? 0 : initial_delay),
-      task_(std::move(task)) {}
-
-void PeriodicTask::Start() {
-  if (running_) return;
-  running_ = true;
-  pending_ = sim_->ScheduleAfter(initial_delay_, [this] { Tick(); });
-}
-
-void PeriodicTask::Stop() {
-  if (!running_) return;
-  running_ = false;
-  if (pending_ != 0) {
-    sim_->Cancel(pending_);
-    pending_ = 0;
-  }
-}
-
-void PeriodicTask::set_period(SimTime period) {
-  if (period > 0) period_ = period;
-}
-
-void PeriodicTask::Tick() {
-  if (!running_) return;
-  ++firings_;
-  task_();
-  if (running_) {
-    pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
-  }
-}
-
 }  // namespace fedcal

@@ -6,38 +6,31 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/clock.h"
+
 namespace fedcal {
 
-/// Simulated time, in seconds since simulation start.
-using SimTime = double;
-
-/// \brief Discrete-event simulation kernel with a virtual clock.
+/// \brief Discrete-event simulation kernel with a virtual clock — the
+/// `ExecutionContext` every experiment runs on by default, and the
+/// deterministic oracle the serving runtime is differentially tested
+/// against.
 ///
 /// Every component of the federated testbed (servers, network, daemons,
 /// workload driver) advances through this single event queue, so
 /// experiments are deterministic and run orders of magnitude faster than
 /// wall-clock. Events scheduled for the same instant fire in scheduling
 /// order (stable tie-break on a sequence number).
-class Simulator {
+class Simulator final : public ExecutionContext {
  public:
-  using EventId = uint64_t;
-  using Callback = std::function<void()>;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  SimTime Now() const { return now_; }
-
-  /// Schedule `cb` to run `delay` seconds from now (delay clamped to >= 0).
-  /// Returns an id usable with Cancel().
-  EventId ScheduleAfter(SimTime delay, Callback cb) {
-    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
-  }
+  SimTime Now() const override { return now_; }
 
   /// Schedule `cb` at absolute virtual time `when` (clamped to >= Now()).
-  EventId ScheduleAt(SimTime when, Callback cb);
+  EventId ScheduleAt(SimTime when, Callback cb) override;
 
   /// Cancel a pending event. Returns false if it already fired or was
   /// cancelled. Cancellation is lazy: the entry stays queued but is
@@ -45,7 +38,16 @@ class Simulator {
   /// queue is compacted, so a long-lived simulator whose far-future
   /// timers keep getting cancelled (deadlines, hedges) and whose runs
   /// stop early (RunUntil) cannot accumulate dead entries forever.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
+
+  ExecMode mode() const override { return ExecMode::kSimulation; }
+
+  /// Steps the event loop until `pred()` holds, giving up when the queue
+  /// drains first.
+  void AwaitCondition(const std::function<bool()>& pred) override {
+    while (!pred() && Step()) {
+    }
+  }
 
   /// Run until the queue drains. Returns the number of events fired.
   size_t Run();
@@ -88,39 +90,6 @@ class Simulator {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> live_;  ///< queued and not yet cancelled
-};
-
-/// \brief A repeating timer built on Simulator, used by QCC daemons
-/// (availability probes, recalibration cycles, catalog refresh).
-///
-/// The period may be changed between firings; the change takes effect when
-/// the next tick is scheduled. Stop() prevents further firings.
-class PeriodicTask {
- public:
-  /// `task` runs every `period` seconds, first firing after `initial_delay`.
-  PeriodicTask(Simulator* sim, SimTime period, Simulator::Callback task,
-               SimTime initial_delay = 0.0);
-
-  void Start();
-  void Stop();
-  bool running() const { return running_; }
-
-  SimTime period() const { return period_; }
-  /// Adjust the interval for subsequent firings (clamped to > 0).
-  void set_period(SimTime period);
-
-  size_t firings() const { return firings_; }
-
- private:
-  void Tick();
-
-  Simulator* sim_;
-  SimTime period_;
-  SimTime initial_delay_;
-  Simulator::Callback task_;
-  bool running_ = false;
-  size_t firings_ = 0;
-  Simulator::EventId pending_ = 0;
 };
 
 }  // namespace fedcal

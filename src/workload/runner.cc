@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -232,9 +233,81 @@ WorkloadResult WorkloadRunner::RunMixedWorkload(int instances_per_type,
   std::vector<uint64_t> executed_ids;
   std::vector<QueryType> compile_failures;
   Integrator& ii = scenario_->integrator();
-  Simulator& sim = scenario_->sim();
   obs::Tracer& tracer = scenario_->telemetry().tracer;
 
+  if (scenario_->exec_mode() == ExecMode::kServing) {
+    // Closed-loop serving: `clients` streams drain the shared queue on the
+    // runtime's worker pool, each blocking on its query's completion.
+    // Routing runs on the workers concurrently; only Prepare/Execute join
+    // the dispatcher's exclusion.
+    ServingRuntime* rt = scenario_->serving();
+    std::mutex mu;  // queue + result vectors
+    auto record_outcome = [](QueryMeasurement* m,
+                             const Result<QueryOutcome>& r) {
+      if (!r.ok()) {
+        m->failed = true;
+        return;
+      }
+      m->response_seconds = r->response_seconds;
+      m->retries = r->retries;
+      m->total_seconds = r->total_response_seconds;
+      m->timeouts = r->timeouts;
+      m->hedges = r->hedges;
+      m->reroutes = r->reroutes;
+      std::string joined;
+      for (size_t i = 0; i < r->executed_plan.server_set.size(); ++i) {
+        if (i) joined += "+";
+        joined += r->executed_plan.server_set[i];
+      }
+      m->servers = joined;
+    };
+    for (int c = 0; c < clients; ++c) {
+      rt->Submit([&] {
+        for (;;) {
+          Pending next;
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            if (queue.empty()) return;
+            next = std::move(queue.front());
+            queue.pop_front();
+          }
+          auto compiled = ii.Compile(next.sql);
+          if (!compiled.ok()) {
+            std::lock_guard<std::mutex> lk(mu);
+            compile_failures.push_back(next.type);
+            legacy.measurements.push_back(
+                QueryMeasurement{next.type, "-", 0.0, /*failed=*/true});
+            continue;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            executed_ids.push_back(compiled->query_id);
+          }
+          tracer.SetQueryAttr(compiled->query_id, "query_type",
+                              QueryTypeName(next.type));
+          // `finished` is written by the completion callback under the
+          // dispatch exclusion and read by AwaitCondition under the same
+          // exclusion — no extra synchronization needed.
+          bool finished = false;
+          ii.Execute(*compiled,
+                     [&, type = next.type](Result<QueryOutcome> r) {
+                       QueryMeasurement m;
+                       m.type = type;
+                       record_outcome(&m, r);
+                       std::lock_guard<std::mutex> lk(mu);
+                       legacy.measurements.push_back(std::move(m));
+                       finished = true;
+                     });
+          rt->AwaitCondition([&] { return finished; });
+        }
+      });
+    }
+    rt->WaitIdle();
+    if (legacy_out != nullptr) *legacy_out = legacy;
+    return WorkloadResultFromTraces(tracer, executed_ids, compile_failures);
+  }
+
+  Simulator& sim = scenario_->sim();
   size_t in_flight = 0;
   std::function<void()> pump = [&]() {
     while (in_flight < static_cast<size_t>(clients) && !queue.empty()) {

@@ -28,10 +28,24 @@ std::vector<QueryType> AllQueryTypes() {
 }
 
 Scenario::Scenario(ScenarioConfig config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      serving_(config.exec_mode == ExecMode::kServing
+                   ? std::make_unique<ServingRuntime>(ServingConfig{
+                         config.serving_workers, config.serving_time_scale})
+                   : nullptr),
+      ctx_(serving_ ? static_cast<ExecutionContext*>(serving_.get())
+                    : &sim_),
+      telemetry_(ctx_) {
   BuildServers();
   BuildData();
   BuildFederation();
+}
+
+Scenario::~Scenario() {
+  // Stop the dispatcher and worker threads before any component an
+  // in-flight event callback might touch is destroyed.
+  if (serving_) serving_->Shutdown();
 }
 
 std::vector<std::string> Scenario::server_ids() const {
@@ -69,7 +83,7 @@ void Scenario::BuildServers() {
                   .min_speed_fraction = 0.05};
   for (const auto& cfg : {s1, s2, s3}) {
     servers_[cfg.id] =
-        std::make_unique<RemoteServer>(cfg, &sim_, rng_.Fork());
+        std::make_unique<RemoteServer>(cfg, ctx_, rng_.Fork());
     servers_[cfg.id]->SetTelemetry(&telemetry_);
   }
   network_.SetTelemetry(&telemetry_);
@@ -169,7 +183,7 @@ void Scenario::BuildData() {
 }
 
 void Scenario::BuildFederation() {
-  mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, &sim_);
+  mw_ = std::make_unique<MetaWrapper>(&catalog_, &network_, ctx_);
   mw_->SetTelemetry(&telemetry_);
   for (auto& [id, server] : servers_) {
     wrappers_.push_back(std::make_unique<RelationalWrapper>(server.get()));
@@ -179,20 +193,20 @@ void Scenario::BuildFederation() {
   ii_config.configured_speed = 400'000;
   ii_config.actual_cpu_speed = 400'000;
   ii_config.actual_io_speed = 400'000;
-  ii_ = std::make_unique<Integrator>(&catalog_, mw_.get(), &sim_, ii_config);
+  ii_ = std::make_unique<Integrator>(&catalog_, mw_.get(), ctx_, ii_config);
 }
 
 QueryCostCalibrator& Scenario::qcc(QccConfig config) {
   if (!qcc_) {
     config.calibration.window = config_.calibration_window;
-    qcc_ = std::make_unique<QueryCostCalibrator>(&sim_, mw_.get(), config);
+    qcc_ = std::make_unique<QueryCostCalibrator>(ctx_, mw_.get(), config);
   }
   return *qcc_;
 }
 
 FaultInjector& Scenario::fault_injector() {
   if (!injector_) {
-    injector_ = std::make_unique<FaultInjector>(&sim_);
+    injector_ = std::make_unique<FaultInjector>(ctx_);
     // Injected faults (and their timed reverts) land in the structured
     // event log — the sim layer cannot depend on obs, so the bridge lives
     // here.

@@ -7,6 +7,7 @@
 
 #include "catalog/global_catalog.h"
 #include "common/rng.h"
+#include "core/executor_pool.h"
 #include "core/qcc.h"
 #include "federation/integrator.h"
 #include "metawrapper/meta_wrapper.h"
@@ -44,6 +45,14 @@ struct ScenarioConfig {
   bool full_replication = true;
   /// Calibration window (short = recent-biased, suits phase changes).
   size_t calibration_window = 4;
+  /// Execution mode: deterministic discrete-event simulation (default) or
+  /// wall-clock serving on a thread pool (ServingRuntime).
+  ExecMode exec_mode = ExecMode::kSimulation;
+  /// Serving-mode pool size (closed-loop client worker threads).
+  int serving_workers = 1;
+  /// Serving-mode wall seconds per virtual second of timer gap; 0 fires
+  /// events as fast as possible (see ServingConfig::time_scale).
+  double serving_time_scale = 0.0;
 };
 
 /// \brief The §5 information-integration testbed: one integrator, three
@@ -53,8 +62,18 @@ struct ScenarioConfig {
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig config = {});
+  ~Scenario();
 
+  /// The discrete-event simulator. Only meaningful as a driver in
+  /// simulation mode; in serving mode it exists but nothing runs on it —
+  /// use ctx() instead.
   Simulator& sim() { return sim_; }
+  /// The execution context every component of this testbed was built on:
+  /// &sim() in simulation mode, serving() in serving mode.
+  ExecutionContext& ctx() { return *ctx_; }
+  ExecMode exec_mode() const { return config_.exec_mode; }
+  /// The wall-clock runtime; non-null iff exec_mode() == kServing.
+  ServingRuntime* serving() { return serving_.get(); }
   Network& network() { return network_; }
   GlobalCatalog& catalog() { return catalog_; }
   MetaWrapper& meta_wrapper() { return *mw_; }
@@ -102,6 +121,10 @@ class Scenario {
   ScenarioConfig config_;
   Rng rng_;
   Simulator sim_;
+  /// Declared right after sim_ so ctx_ — and every component below, all
+  /// built on ctx_ — initializes after the mode choice is resolved.
+  std::unique_ptr<ServingRuntime> serving_;
+  ExecutionContext* ctx_ = &sim_;
   obs::Telemetry telemetry_{&sim_};
   /// Routes FEDCAL_LOG lines (kInfo and up) into the event log for this
   /// scenario's lifetime, so legacy log call sites show up in `\events`.

@@ -4,7 +4,7 @@
 
 namespace fedcal {
 
-UpdateLoadDriver::UpdateLoadDriver(Simulator* sim, RemoteServer* server,
+UpdateLoadDriver::UpdateLoadDriver(ExecutionContext* sim, RemoteServer* server,
                                    std::string table, TableGenSpec row_spec,
                                    UpdateLoadConfig config, Rng rng)
     : sim_(sim),

@@ -5,7 +5,7 @@
 
 #include "common/rng.h"
 #include "server/remote_server.h"
-#include "sim/simulator.h"
+#include "core/clock.h"
 #include "storage/datagen.h"
 
 namespace fedcal {
@@ -31,7 +31,7 @@ class UpdateLoadDriver {
  public:
   /// `row_spec` describes how inserted rows are generated; its columns
   /// must match the target table's schema.
-  UpdateLoadDriver(Simulator* sim, RemoteServer* server, std::string table,
+  UpdateLoadDriver(ExecutionContext* sim, RemoteServer* server, std::string table,
                    TableGenSpec row_spec, UpdateLoadConfig config, Rng rng);
 
   /// Begins the stream: raises the server's background load and schedules
@@ -47,7 +47,7 @@ class UpdateLoadDriver {
  private:
   void InsertBatch();
 
-  Simulator* sim_;
+  ExecutionContext* sim_;
   RemoteServer* server_;
   std::string table_;
   TableGenSpec row_spec_;

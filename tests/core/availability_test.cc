@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "core/availability.h"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,150 @@
+#include "core/executor_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+namespace fedcal {
+namespace {
+
+TEST(ServingRuntimeTest, ModeAndWorkerCount) {
+  ServingRuntime rt(ServingConfig{.workers = 3});
+  EXPECT_EQ(rt.mode(), ExecMode::kServing);
+  EXPECT_EQ(rt.worker_count(), 3);
+  EXPECT_EQ(rt.Now(), 0.0);
+}
+
+TEST(ServingRuntimeTest, ChainedEventsAdvanceVirtualClockInOrder) {
+  ServingRuntime rt;
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  bool done = false;
+  // Chained so scheduling races with the free-running dispatcher cannot
+  // reorder anything: each event schedules its successor.
+  rt.ScheduleAfter(0.5, [&] {
+    order.push_back(1);
+    times.push_back(rt.Now());
+    rt.ScheduleAfter(1.5, [&] {
+      order.push_back(2);
+      times.push_back(rt.Now());
+      rt.ScheduleAfter(0.25, [&] {
+        order.push_back(3);
+        times.push_back(rt.Now());
+        done = true;
+      });
+    });
+  });
+  rt.AwaitCondition([&] { return done; });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 2.25);
+  EXPECT_DOUBLE_EQ(rt.Now(), 2.25);
+  EXPECT_EQ(rt.fired_events(), 3u);
+}
+
+TEST(ServingRuntimeTest, SameTimeEventsFireInSchedulingOrder) {
+  ServingRuntime rt;
+  std::vector<int> order;
+  bool done = false;
+  rt.RunExclusive([&] {
+    // Scheduled inside one exclusive section at the same due time; ties
+    // break by sequence number.
+    rt.ScheduleAt(1.0, [&] { order.push_back(1); });
+    rt.ScheduleAt(1.0, [&] { order.push_back(2); });
+    rt.ScheduleAt(1.0, [&] {
+      order.push_back(3);
+      done = true;
+    });
+  });
+  rt.AwaitCondition([&] { return done; });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ServingRuntimeTest, CancelFromAnEarlierEvent) {
+  ServingRuntime rt;
+  bool cancelled_ran = false;
+  bool done = false;
+  ServingRuntime::EventId victim = 0;
+  rt.RunExclusive([&] {
+    victim = rt.ScheduleAt(10.0, [&] { cancelled_ran = true; });
+    rt.ScheduleAt(1.0, [&] {
+      EXPECT_TRUE(rt.Cancel(victim));
+      EXPECT_FALSE(rt.Cancel(victim));  // already cancelled
+      rt.ScheduleAt(20.0, [&] { done = true; });
+    });
+  });
+  rt.AwaitCondition([&] { return done; });
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_DOUBLE_EQ(rt.Now(), 20.0);
+}
+
+TEST(ServingRuntimeTest, RunExclusiveIsReentrant) {
+  ServingRuntime rt;
+  bool done = false;
+  rt.RunExclusive([&] {
+    rt.RunExclusive([&] {  // from an exclusive section
+      rt.ScheduleAfter(0.1, [&] {
+        rt.RunExclusive([&] { done = true; });  // from an event callback
+      });
+    });
+  });
+  rt.AwaitCondition([&] { return done; });
+  EXPECT_TRUE(done);
+}
+
+TEST(ServingRuntimeTest, PoolRunsJobsAndWaitIdleBlocks) {
+  ServingRuntime rt(ServingConfig{.workers = 4});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    rt.Submit([&] { ran.fetch_add(1); });
+  }
+  rt.WaitIdle();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ServingRuntimeTest, WorkersCanScheduleAndAwait) {
+  ServingRuntime rt(ServingConfig{.workers = 4});
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    rt.Submit([&] {
+      bool fired = false;
+      rt.ScheduleAfter(0.5, [&] { fired = true; });
+      rt.AwaitCondition([&] { return fired; });
+      completed.fetch_add(1);
+    });
+  }
+  rt.WaitIdle();
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ServingRuntimeTest, TimeScaleStretchesGapsOntoWallClock) {
+  ServingRuntime rt(ServingConfig{.workers = 1, .time_scale = 0.02});
+  const auto start = std::chrono::steady_clock::now();
+  bool done = false;
+  rt.ScheduleAfter(1.0, [&] { done = true; });  // 1 virtual s ~ 20ms wall
+  rt.AwaitCondition([&] { return done; });
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  // Only a lower bound: scheduling jitter can make it slower, never
+  // meaningfully faster.
+  EXPECT_GE(elapsed, 0.010);
+  EXPECT_DOUBLE_EQ(rt.Now(), 1.0);  // virtual timestamps are unchanged
+}
+
+TEST(ServingRuntimeTest, ShutdownIsIdempotent) {
+  ServingRuntime rt(ServingConfig{.workers = 2});
+  std::atomic<int> ran{0};
+  rt.Submit([&] { ran.fetch_add(1); });
+  rt.WaitIdle();
+  rt.Shutdown();
+  rt.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,5 +1,6 @@
 // Tests for the future-work extensions (paper §3.4 / §7): update-driven
 // statistics drift + catalog refresh, and the data-placement advisor.
+#include "sim/simulator.h"
 #include <gtest/gtest.h>
 
 #include "core/replica_advisor.h"

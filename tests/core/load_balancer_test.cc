@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "core/load_balancer.h"
 
 #include <gtest/gtest.h>

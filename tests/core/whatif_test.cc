@@ -1,4 +1,5 @@
 // Focused tests for the what-if simulated federated system (§2 / §4.2).
+#include "sim/simulator.h"
 #include "core/whatif.h"
 
 #include <gtest/gtest.h>

@@ -2,6 +2,7 @@
 // federated answer (decompose -> ship fragments -> merge at the
 // integrator) must equal the answer a single local engine computes over
 // the same data.
+#include "sim/simulator.h"
 #include <gtest/gtest.h>
 
 #include "storage/datagen.h"

@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "federation/global_optimizer.h"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "federation/integrator.h"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,151 @@
+// The prepared-plan cache under concurrent serving traffic: worker
+// threads hit/miss/insert while the event thread storms epoch bumps.
+// The properties pinned here are exactly the ones a race would corrupt
+// silently: no lost epoch bumps, the LRU capacity bound, exact stats
+// accounting, and unique in-order observer delivery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "federation/plan_cache.h"
+#include "workload/runner.h"
+
+namespace fedcal {
+namespace {
+
+PreparedPlanPtr MakePlan(const std::string& key, uint64_t epoch) {
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->canonical_sql = key;
+  plan->compiled_epoch = epoch;
+  return plan;
+}
+
+TEST(PlanCacheConcurrencyTest, StormKeepsStatsExactAndLruBounded) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  constexpr int kBumpEvery = 50;
+
+  PlanCache cache(kCapacity);
+  std::atomic<uint64_t> bumps_issued{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "q" + std::to_string((t * 7 + i) % (kCapacity * 2));
+        if (PreparedPlanPtr hit = cache.Lookup(key)) {
+          EXPECT_EQ(hit->canonical_sql, key);
+        } else {
+          cache.Insert(MakePlan(key, cache.epoch()));
+        }
+        if (i % kBumpEvery == 0) {
+          cache.BumpEpoch("storm t" + std::to_string(t));
+          bumps_issued.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const PlanCache::Stats st = cache.stats();
+  // No lost epoch bumps: the atomic epoch and the stats counter both
+  // equal the number of BumpEpoch calls issued.
+  EXPECT_EQ(cache.epoch(), bumps_issued.load());
+  EXPECT_EQ(st.epoch_bumps, bumps_issued.load());
+  // Every Lookup was either a hit or a miss, exactly once.
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_GE(st.misses, st.invalidated);
+  // The LRU bound holds through concurrent inserts.
+  EXPECT_LE(cache.size(), kCapacity);
+}
+
+TEST(PlanCacheConcurrencyTest, ObserverSeesEveryBumpExactlyOnce) {
+  PlanCache cache(4);
+  std::mutex mu;
+  std::vector<uint64_t> observed;
+  cache.SetEpochObserver([&](uint64_t epoch, const std::string& reason) {
+    EXPECT_FALSE(reason.empty());
+    std::lock_guard<std::mutex> lock(mu);
+    observed.push_back(epoch);
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kBumpsPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kBumpsPerThread; ++i) cache.BumpEpoch("race");
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr uint64_t kTotal = kThreads * kBumpsPerThread;
+  ASSERT_EQ(observed.size(), kTotal);
+  std::sort(observed.begin(), observed.end());
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(observed[i], i + 1);  // dense, unique, no lost bumps
+  }
+  EXPECT_EQ(cache.epoch(), kTotal);
+}
+
+TEST(PlanCacheConcurrencyTest, ConcurrentInsertsOfSameKeyKeepOneEntry) {
+  PlanCache cache(16);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        cache.Insert(MakePlan("same-key", cache.epoch()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup("same-key"), nullptr);
+}
+
+// Single-threaded regression: with the plan cache on, a warm (cache-hit)
+// execution of the same statement returns byte-identical rows and the
+// same routing surface as the cold run — the mutex/atomic-epoch rework
+// must not perturb the single-threaded path.
+TEST(PlanCacheConcurrencyTest, CachedRoutingStaysByteIdentical) {
+  ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.large_rows = 2'000;
+  cfg.small_rows = 200;
+  Scenario sc(cfg);
+  Integrator& ii = sc.integrator();
+
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT1, 3);
+  auto cold = ii.RunSync(sql);
+  ASSERT_TRUE(cold.ok());
+  auto warm = ii.RunSync(sql);
+  ASSERT_TRUE(warm.ok());
+
+  EXPECT_EQ(ii.plan_cache().stats().hits, 1u);
+  EXPECT_EQ(warm->executed_plan.server_set, cold->executed_plan.server_set);
+
+  auto render = [](const Table& t) {
+    std::string out;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (const Value& v : t.row(r)) out += v.ToString() + "|";
+      out += "\n";
+    }
+    return out;
+  };
+  ASSERT_NE(cold->table, nullptr);
+  ASSERT_NE(warm->table, nullptr);
+  EXPECT_EQ(render(*warm->table), render(*cold->table));
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "metawrapper/meta_wrapper.h"
 
 #include <gtest/gtest.h>

@@ -242,8 +242,7 @@ TEST(FlightRecorderTest, ExplainTextListsWinnerAndLosersWithReasons) {
 }
 
 TEST(FlightRecorderTest, ExportsAreDeterministic) {
-  auto build = [] {
-    FlightRecorder rec;
+  auto build = [](FlightRecorder& rec) {
     for (uint64_t q = 1; q <= 5; ++q) rec.Record(MakeDecision(q));
     for (int i = 0; i < 12; ++i) {
       rec.Sample("S2", ServerMetric::kCalibrationFactor, i * 0.5,
@@ -251,10 +250,11 @@ TEST(FlightRecorderTest, ExportsAreDeterministic) {
       rec.Sample("S2", ServerMetric::kAvailability, i * 0.5, 1.0);
     }
     rec.AddNote(3.0, "whatif", "enumerated 4 alternative plans");
-    return rec;
   };
-  const FlightRecorder a = build();
-  const FlightRecorder b = build();
+  FlightRecorder a;
+  FlightRecorder b;
+  build(a);
+  build(b);
   EXPECT_EQ(RecorderToJson(a), RecorderToJson(b));
   EXPECT_EQ(ExplainText(*a.Latest()), ExplainText(*b.Latest()));
   EXPECT_EQ(TimelineText(a, "S2"), TimelineText(b, "S2"));

@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "server/remote_server.h"
 
 #include <gtest/gtest.h>

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/simulator.h"
 #include "tests/test_util.h"
 
 namespace fedcal {

@@ -2,6 +2,7 @@
 // WorkloadResult derived from query traces matches the legacy result
 // assembled from QueryOutcome callbacks, on a workload that exercises
 // retries, hedges, and deadline timeouts simultaneously.
+#include "sim/simulator.h"
 #include <gtest/gtest.h>
 
 #include <algorithm>

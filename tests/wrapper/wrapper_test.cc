@@ -1,3 +1,4 @@
+#include "sim/simulator.h"
 #include "wrapper/wrapper.h"
 
 #include <gtest/gtest.h>

@@ -44,10 +44,21 @@ EXACT_FIELDS = {"queries"}
 # timeouts, hedges on a healthy run): allow a handful before failing.
 NEAR_ZERO_ABS_TOL = 2.0
 
-# Wall-clock metrics (label suffix): must exist and be positive; flagged
-# only past a generous multiplier so a slower CI machine never trips it,
-# while an accidentally quadratic hot path still does.
-WALL_CLOCK_SUFFIX = "/real_time_per_iter_s"
+# Wall-clock metrics (by label suffix): must exist and be positive;
+# flagged only past a generous multiplier so a slower CI machine never
+# trips it, while an accidentally quadratic hot path still does. Classes
+# (documented in EXPERIMENTS.md):
+#   /real_time_per_iter_s, /wall_s  -- elapsed wall time; fail if the
+#       fresh value is more than WALL_CLOCK_MAX_RATIO times the baseline
+#       (bigger is worse).
+#   /throughput_qps -- wall-clock rate; fail if the fresh value drops
+#       below baseline / WALL_CLOCK_MAX_RATIO (smaller is worse).
+#   /ratio_x -- a ratio of two wall-clock rates from the *same* run
+#       (machine speed largely cancels); positivity only, because the
+#       bench's own named shape checks gate its threshold.
+WALL_TIME_SUFFIXES = ("/real_time_per_iter_s", "/wall_s")
+WALL_RATE_SUFFIXES = ("/throughput_qps",)
+WALL_RATIO_SUFFIXES = ("/ratio_x",)
 WALL_CLOCK_MAX_RATIO = 25.0
 
 
@@ -86,14 +97,31 @@ def check_deterministic(bench, where, key, base, fresh, problems):
             f"{DETERMINISTIC_REL_TOL * 100.0:.0f}%)")
 
 
-def check_wall_clock(bench, label, base, fresh, problems):
+def wall_clock_class(label):
+    """Returns the wall-clock tolerance class for a scalar label, or None
+    when the scalar is deterministic."""
+    if label.endswith(WALL_TIME_SUFFIXES):
+        return "time"
+    if label.endswith(WALL_RATE_SUFFIXES):
+        return "rate"
+    if label.endswith(WALL_RATIO_SUFFIXES):
+        return "ratio"
+    return None
+
+
+def check_wall_clock(bench, kind, label, base, fresh, problems):
     if fresh <= 0.0:
         problems.append(f"{bench}: scalar '{label}' = {fresh} (must be > 0)")
         return
-    if base > 0.0 and fresh > base * WALL_CLOCK_MAX_RATIO:
+    if kind == "time" and base > 0.0 and fresh > base * WALL_CLOCK_MAX_RATIO:
         problems.append(
-            f"{bench}: scalar '{label}' = {fresh:.3g}s/iter, baseline "
-            f"{base:.3g}s/iter (> {WALL_CLOCK_MAX_RATIO:.0f}x slower)")
+            f"{bench}: scalar '{label}' = {fresh:.3g}s, baseline "
+            f"{base:.3g}s (> {WALL_CLOCK_MAX_RATIO:.0f}x slower)")
+    elif kind == "rate" and base > 0.0 and fresh < base / WALL_CLOCK_MAX_RATIO:
+        problems.append(
+            f"{bench}: scalar '{label}' = {fresh:.3g}/s, baseline "
+            f"{base:.3g}/s (> {WALL_CLOCK_MAX_RATIO:.0f}x slower)")
+    # kind == "ratio": positivity only; the bench's shape checks gate it.
 
 
 def compare(bench, baseline, fresh, problems):
@@ -133,8 +161,10 @@ def compare(bench, baseline, fresh, problems):
             problems.append(f"{bench}: scalar '{label}' disappeared")
             continue
         fresh_value = fresh_scalars[label]
-        if label.endswith(WALL_CLOCK_SUFFIX):
-            check_wall_clock(bench, label, base_value, fresh_value, problems)
+        kind = wall_clock_class(label)
+        if kind is not None:
+            check_wall_clock(bench, kind, label, base_value, fresh_value,
+                             problems)
         else:
             check_deterministic(bench, "scalars", label, base_value,
                                 fresh_value, problems)
