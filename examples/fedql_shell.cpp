@@ -22,6 +22,9 @@
 //   \cache             prepared-plan cache: entries, hit rate, routing
 //                      epoch and the last invalidation reason
 //   \health            single-screen fleet health dashboard (fedtop)
+//   \sched             serving scheduler panel: dispatch lag, exclusion
+//                      waits, worker busy/idle (serving mode only)
+//   \contention        per-site lock wait/hold times and contention rates
 //   \alerts            active and recently resolved SLO/rule alerts
 //   \events [n]        last n structured health events (default 20)
 //   \qcc on|off        attach / detach the query cost calibrator
@@ -64,6 +67,11 @@ void PrintCommandList() {
       "  health:\n"
       "    \\health            fleet health dashboard (grades, alerts, "
       "events)\n"
+      "    \\sched             scheduler panel: dispatch lag, exclusion "
+      "waits,\n"
+      "                       worker utilization (serving mode only)\n"
+      "    \\contention        per-site lock wait/hold times and "
+      "contention rates\n"
       "    \\alerts            active and recently resolved alerts\n"
       "    \\events [n]        last n structured events (default 20)\n"
       "  control:\n"
@@ -275,6 +283,16 @@ int main() {
             sc->telemetry().health, sc->telemetry().recorder,
             sc->telemetry().events, sc->ctx().Now(), sc->server_ids());
         std::printf("%s", obs::FedtopText(snap).c_str());
+      } else if (cmd == "sched") {
+        // Same struct fedtop renders; prints its own "(serving mode
+        // only)" note when the sched.* metrics are absent.
+        std::printf(
+            "%s",
+            obs::SchedText(obs::BuildSchedulerPanel(sc->telemetry().metrics))
+                .c_str());
+      } else if (cmd == "contention") {
+        std::printf("%s",
+                    obs::ContentionText(obs::BuildLockPanels()).c_str());
       } else if (cmd == "alerts") {
         std::printf("%s", obs::AlertsText(sc->telemetry().health).c_str());
       } else if (cmd == "events") {

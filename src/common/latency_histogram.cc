@@ -1,0 +1,93 @@
+#include "common/latency_histogram.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fedcal::obs {
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinValue)) return 0;  // underflow (and NaN) bucket
+  const double scaled = seconds / kMinValue;
+  const int decade = int(std::floor(std::log2(scaled)));
+  if (decade >= kDecades) return kNumBuckets - 1;  // overflow bucket
+  // Linear position inside [2^decade, 2^(decade+1)) * kMinValue.
+  const double lo = std::ldexp(1.0, decade);
+  const double frac = (scaled - lo) / lo;  // in [0, 1)
+  int sub = int(frac * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + size_t(decade) * kSubBuckets + size_t(sub);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index == 0) return kMinValue;
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const size_t decade = (index - 1) / kSubBuckets;
+  const size_t sub = (index - 1) % kSubBuckets;
+  const double lo = std::ldexp(1.0, int(decade)) * kMinValue;
+  return lo + lo * double(sub + 1) / kSubBuckets;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (std::isnan(seconds)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[BucketIndex(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    if (seconds < min_) min_ = seconds;
+    if (seconds > max_) max_ = seconds;
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+double LatencyHistogram::PercentileLocked(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the sample answering this percentile (nearest-rank, 1-based).
+  uint64_t rank = uint64_t(std::ceil(p / 100.0 * double(count_)));
+  if (rank == 0) rank = 1;
+  // The extreme ranks are tracked exactly; only interior ranks need the
+  // bucket approximation.
+  if (rank <= 1) return min_;
+  if (rank >= count_) return max_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed range: p0 == min, p100 == max, a one-sample
+      // histogram answers with the sample itself, and the overflow
+      // bucket's +inf bound collapses to the recorded max.
+      double v = BucketUpperBound(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  s.p50 = PercentileLocked(50);
+  s.p95 = PercentileLocked(95);
+  s.p99 = PercentileLocked(99);
+  for (uint64_t b : buckets_) s.bucket_total += b;
+  return s;
+}
+
+}  // namespace fedcal::obs

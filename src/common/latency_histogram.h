@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+// Lives in src/common so the layers below the telemetry spine (the
+// serving runtime, the timed-mutex contention instrumentation) can record
+// latencies without linking fedcal_obs. The namespace stays fedcal::obs:
+// this *is* the telemetry histogram, it just sits one layer down.
+namespace fedcal::obs {
+
+/// \brief Aggregate view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Sum of all bucket counts at the instant the snapshot was taken.
+  /// Always equals `count` because Snapshot() runs under the histogram's
+  /// one mutex — the concurrency tests assert exactly that (a torn
+  /// snapshot would disagree). Not serialized.
+  uint64_t bucket_total = 0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+};
+
+/// \brief Log-linear latency histogram, cheap enough to update on every
+/// event.
+///
+/// Values in (0, +inf) map to one of `kSubBuckets` linear sub-buckets
+/// inside a power-of-two decade starting at `kMinValue` seconds; values
+/// below kMinValue share bucket 0 and values beyond the top decade land in
+/// a single overflow bucket. Percentile queries interpolate to the bucket
+/// upper bound, clamped to the recorded [min, max] so p0/p100 are exact
+/// and a one-sample histogram answers every percentile with that sample.
+class LatencyHistogram {
+ public:
+  static constexpr double kMinValue = 1e-6;  ///< 1 microsecond resolution
+  static constexpr int kDecades = 34;        ///< covers up to ~17e3 seconds
+  static constexpr int kSubBuckets = 8;
+
+  void Record(double seconds);
+
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : sum_ / double(count_);
+  }
+
+  /// p in [0, 100]. Returns 0 for an empty histogram. Monotone in p.
+  double Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Total bucket count including underflow (index 0) and overflow (last).
+  static constexpr size_t kNumBuckets =
+      size_t(kDecades) * kSubBuckets + 2;
+
+  /// Index of the bucket `seconds` falls into (exposed for tests).
+  static size_t BucketIndex(double seconds);
+  /// Upper value bound of bucket `index` (inf for the overflow bucket).
+  static double BucketUpperBound(size_t index);
+
+ private:
+  double PercentileLocked(double p) const;
+
+  /// One short critical section per Record/Percentile: the bucket array,
+  /// count, sum, and extrema must move together (concurrent emitters).
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;  ///< sized lazily on first Record
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fedcal::obs

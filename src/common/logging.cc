@@ -38,6 +38,7 @@ void Logger::Write(LogLevel level, const std::string& file, int line,
   LogSink* s = sink();
   if (s != nullptr &&
       static_cast<int>(level) >= static_cast<int>(sink_level())) {
+    std::lock_guard<obs::TimedRecursiveMutex> lock(sink_mu_);
     s->OnLog(level, Basename(file), line, message);
   }
   if (static_cast<int>(level) < static_cast<int>(this->level())) return;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/timed_mutex.h"
+
 namespace fedcal {
 
 /// \brief Severity levels for the fedcal logger.
@@ -74,6 +76,11 @@ class Logger {
   std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::atomic<LogSink*> sink_{nullptr};
   std::atomic<LogLevel> sink_level_{LogLevel::kOff};
+  /// Serializes sink delivery (stderr needs no lock; stdio serializes
+  /// itself). Taken only when a sink is installed and the level passes,
+  /// so plain FEDCAL_LOG traffic stays lock-free. Recursive: a sink (or
+  /// the health engine behind it) may log while handling a delivery.
+  obs::TimedRecursiveMutex sink_mu_{"logging.sink"};
 };
 
 /// \brief Stream-style helper that emits one log line on destruction.

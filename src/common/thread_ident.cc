@@ -1,0 +1,41 @@
+#include "common/thread_ident.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace fedcal {
+
+namespace {
+std::atomic<int> next_thread_id{0};
+
+struct LabelRegistry {
+  std::mutex mu;
+  std::map<int, std::string> labels;
+};
+
+LabelRegistry& Labels() {
+  static LabelRegistry* r = new LabelRegistry();  // never destroyed: threads
+  return *r;                                      // may outlive static dtors
+}
+}  // namespace
+
+int ThisThreadId() {
+  thread_local const int id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void SetThisThreadLabel(const std::string& label) {
+  LabelRegistry& r = Labels();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.labels[ThisThreadId()] = label;
+}
+
+std::vector<std::pair<int, std::string>> ThreadLabels() {
+  LabelRegistry& r = Labels();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.labels.begin(), r.labels.end()};
+}
+
+}  // namespace fedcal

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedcal {
+
+/// Dense per-process thread id: 0 for the first thread that asks, 1 for
+/// the next, and so on. Cached in a thread_local after the first call, so
+/// the steady-state cost is one TLS read. Dense ids make stable, compact
+/// Chrome-trace `tid` tracks — std::thread::id values are opaque and
+/// unordered.
+int ThisThreadId();
+
+/// Attaches a human-readable label ("dispatcher", "worker-3") to the
+/// calling thread's dense id. The serving runtime labels its threads on
+/// startup; the trace exporter turns labels into thread_name metadata.
+/// Last writer wins.
+void SetThisThreadLabel(const std::string& label);
+
+/// All (id, label) pairs registered so far, sorted by id. Threads that
+/// never called SetThisThreadLabel are absent.
+std::vector<std::pair<int, std::string>> ThreadLabels();
+
+}  // namespace fedcal

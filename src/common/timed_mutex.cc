@@ -1,0 +1,56 @@
+#include "common/timed_mutex.h"
+
+#include <algorithm>
+
+namespace fedcal::obs {
+
+LockSiteSnapshot LockSite::Snapshot() const {
+  // Read order is the inverse of the write order (see the header): each
+  // histogram snapshot synchronizes with the Record()s it includes, and
+  // the acquire-load on contended_ pairs with OnContended's release, so
+  // every counter read here is >= the stats read before it. A concurrent
+  // snapshot therefore always sees wait.count <= contended <=
+  // acquisitions and hold.count <= acquisitions.
+  LockSiteSnapshot s;
+  s.hold = hold_.Snapshot();
+  s.wait = wait_.Snapshot();
+  s.contended = contended_.load(std::memory_order_acquire);
+  s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+LockSiteRegistry& LockSiteRegistry::Instance() {
+  // Never destroyed: instrumented mutexes in statics (loggers, shells)
+  // may unlock during static teardown, after this registry's dtor would
+  // have run.
+  static LockSiteRegistry* r = new LockSiteRegistry();
+  return *r;
+}
+
+LockSite& LockSiteRegistry::Site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, site] : sites_) {
+    if (n == name) return *site;
+  }
+  sites_.emplace_back(name, new LockSite());  // leaked with the registry
+  return *sites_.back().second;
+}
+
+std::vector<LockSiteSnapshot> LockSiteRegistry::SnapshotAll() const {
+  std::vector<std::pair<std::string, const LockSite*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items.assign(sites_.begin(), sites_.end());
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<LockSiteSnapshot> out;
+  out.reserve(items.size());
+  for (const auto& [name, site] : items) {
+    out.push_back(site->Snapshot());
+    out.back().site = name;
+  }
+  return out;
+}
+
+}  // namespace fedcal::obs

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+// Contention instrumentation for the serving runtime's shared surfaces
+// (plan cache, calibration shards, event log, explain table). A
+// TimedMutex is a drop-in std::mutex that attributes every acquisition to
+// a named *site* in a process-wide registry: acquisition and contention
+// counters plus wait (contended acquisitions only) and hold histograms.
+//
+// Cost model: the uncontended fast path is one try_lock, one steady-clock
+// read, and a relaxed counter bump; unlock adds one clock read and one
+// histogram record (tens of ns, gated by bench_micro_sched). Configure
+// with -DFEDCAL_TIMED_MUTEX=OFF to compile every TimedMutex down to a
+// plain mutex (the registry then stays empty).
+namespace fedcal::obs {
+
+/// \brief One lock site's stats at an instant.
+struct LockSiteSnapshot {
+  std::string site;
+  uint64_t acquisitions = 0;  ///< every successful lock()/try_lock()
+  uint64_t contended = 0;     ///< lock() calls that had to block
+  HistogramSnapshot wait;     ///< blocked time, contended acquisitions only
+  HistogramSnapshot hold;     ///< lock() .. unlock() span (outermost, for
+                              ///< the recursive variant)
+};
+
+/// \brief Shared per-site stats. One instance per site name, owned by the
+/// registry; many mutexes may share a site (e.g. all calibration shards).
+class LockSite {
+ public:
+  // Write order is the inverse of Snapshot()'s read order so a concurrent
+  // snapshot always satisfies wait.count <= contended <= acquisitions and
+  // hold.count <= acquisitions: each stat is bumped only after the stats
+  // that bound it (the release/acquire pair on contended_ and the
+  // histogram mutexes carry the visibility).
+  void OnAcquire() { acquisitions_.fetch_add(1, std::memory_order_relaxed); }
+  void OnContended(double wait_s) {
+    contended_.fetch_add(1, std::memory_order_release);
+    wait_.Record(wait_s);
+  }
+  void OnRelease(double hold_s) { hold_.Record(hold_s); }
+
+  LockSiteSnapshot Snapshot() const;  ///< `site` left empty (registry fills it)
+
+ private:
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contended_{0};
+  LatencyHistogram wait_;
+  LatencyHistogram hold_;
+};
+
+/// \brief Process-wide site-name -> LockSite map. Sites are created on
+/// first use and live for the process lifetime (references stay valid).
+class LockSiteRegistry {
+ public:
+  static LockSiteRegistry& Instance();
+
+  LockSite& Site(const std::string& name);
+
+  /// Every site's stats, sorted by site name. Cumulative since process
+  /// start — consumers diff snapshots for rates.
+  std::vector<LockSiteSnapshot> SnapshotAll() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based: references handed out by Site() survive later inserts.
+  std::vector<std::pair<std::string, LockSite*>> sites_;
+};
+
+/// True when contention instrumentation is compiled in.
+constexpr bool TimedMutexEnabled() {
+#ifdef FEDCAL_DISABLE_TIMED_MUTEX
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// \brief Lockable wrapper over MutexT attributing to a named site.
+/// Satisfies the Lockable requirements, so std::lock_guard /
+/// std::unique_lock work unchanged.
+template <class MutexT>
+class BasicTimedMutex {
+ public:
+  explicit BasicTimedMutex(const char* site)
+#ifndef FEDCAL_DISABLE_TIMED_MUTEX
+      : site_(&LockSiteRegistry::Instance().Site(site))
+#endif
+  {
+    (void)site;
+  }
+
+  BasicTimedMutex(const BasicTimedMutex&) = delete;
+  BasicTimedMutex& operator=(const BasicTimedMutex&) = delete;
+
+  void lock() {
+#ifdef FEDCAL_DISABLE_TIMED_MUTEX
+    mu_.lock();
+#else
+    if (mu_.try_lock()) {
+      Acquired();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    Acquired();  // before OnContended: keeps contended <= acquisitions
+                 // for concurrent snapshots
+    site_->OnContended(waited);
+#endif
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+#ifndef FEDCAL_DISABLE_TIMED_MUTEX
+    Acquired();
+#endif
+    return true;
+  }
+
+  void unlock() {
+#ifdef FEDCAL_DISABLE_TIMED_MUTEX
+    mu_.unlock();
+#else
+    // depth_ and acquired_at_ are only touched while holding mu_, so the
+    // reads below are race-free; the hold sample is copied out before the
+    // release and recorded after it (off the critical path).
+    if (--depth_ == 0) {
+      const double held =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        acquired_at_)
+              .count();
+      mu_.unlock();
+      site_->OnRelease(held);
+      return;
+    }
+    mu_.unlock();
+#endif
+  }
+
+ private:
+#ifndef FEDCAL_DISABLE_TIMED_MUTEX
+  void Acquired() {
+    site_->OnAcquire();
+    // Outermost acquisition starts the hold timer (depth_ > 1 only for
+    // the recursive variant).
+    if (++depth_ == 1) acquired_at_ = std::chrono::steady_clock::now();
+  }
+#endif
+
+  MutexT mu_;
+#ifndef FEDCAL_DISABLE_TIMED_MUTEX
+  LockSite* site_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point acquired_at_{};
+#endif
+};
+
+using TimedMutex = BasicTimedMutex<std::mutex>;
+using TimedRecursiveMutex = BasicTimedMutex<std::recursive_mutex>;
+
+}  // namespace fedcal::obs

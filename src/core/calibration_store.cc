@@ -15,7 +15,7 @@ void CalibrationStore::Record(const std::string& server_id, size_t signature,
   };
   Shard& shard = ShardFor(server_id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     auto sit = shard.per_server.find(server_id);
     if (sit == shard.per_server.end()) {
       sit = shard.per_server.emplace(server_id, PairedWindow(config_.window))
@@ -46,7 +46,7 @@ double CalibrationStore::FactorOf(const PairedWindow& w) const {
 
 double CalibrationStore::ServerFactor(const std::string& server_id) const {
   const Shard& shard = ShardFor(server_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TimedMutex> lock(shard.mu);
   auto it = shard.per_server.find(server_id);
   return it == shard.per_server.end() ? 1.0 : FactorOf(it->second);
 }
@@ -54,7 +54,7 @@ double CalibrationStore::ServerFactor(const std::string& server_id) const {
 double CalibrationStore::FragmentFactor(const std::string& server_id,
                                         size_t signature) const {
   const Shard& shard = ShardFor(server_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TimedMutex> lock(shard.mu);
   if (config_.per_fragment) {
     auto it = shard.per_fragment.find(std::make_pair(server_id, signature));
     if (it != shard.per_fragment.end() &&
@@ -74,7 +74,7 @@ double CalibrationStore::Calibrate(const std::string& server_id,
 
 size_t CalibrationStore::ServerSamples(const std::string& server_id) const {
   const Shard& shard = ShardFor(server_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TimedMutex> lock(shard.mu);
   auto it = shard.per_server.find(server_id);
   return it == shard.per_server.end() ? 0 : it->second.estimated.size();
 }
@@ -82,14 +82,14 @@ size_t CalibrationStore::ServerSamples(const std::string& server_id) const {
 size_t CalibrationStore::FragmentSamples(const std::string& server_id,
                                          size_t signature) const {
   const Shard& shard = ShardFor(server_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TimedMutex> lock(shard.mu);
   auto it = shard.per_fragment.find(std::make_pair(server_id, signature));
   return it == shard.per_fragment.end() ? 0 : it->second.estimated.size();
 }
 
 double CalibrationStore::RatioVolatility(const std::string& server_id) const {
   const Shard& shard = ShardFor(server_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<obs::TimedMutex> lock(shard.mu);
   auto it = shard.per_server.find(server_id);
   if (it == shard.per_server.end() || it->second.ratios.size() < 2) {
     return 0.0;
@@ -102,7 +102,7 @@ double CalibrationStore::RatioVolatility(const std::string& server_id) const {
 void CalibrationStore::Forget(const std::string& server_id) {
   Shard& shard = ShardFor(server_id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     shard.per_server.erase(server_id);
     for (auto it = shard.per_fragment.begin();
          it != shard.per_fragment.end();) {
@@ -118,7 +118,7 @@ void CalibrationStore::Forget(const std::string& server_id) {
 
 void CalibrationStore::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     shard.per_server.clear();
     shard.per_fragment.clear();
   }
@@ -128,7 +128,7 @@ void CalibrationStore::Clear() {
 std::vector<std::string> CalibrationStore::server_ids() const {
   std::vector<std::string> ids;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     for (const auto& [id, w] : shard.per_server) ids.push_back(id);
   }
   // Shard order is hash order; restore the sorted order the single-map
@@ -139,7 +139,7 @@ std::vector<std::string> CalibrationStore::server_ids() const {
 
 CalibrationSnapshotPtr CalibrationStore::Snapshot() const {
   const uint64_t current = version_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> cache_lock(snapshot_mu_);
+  std::lock_guard<obs::TimedMutex> cache_lock(snapshot_mu_);
   if (cached_snapshot_ != nullptr && cached_snapshot_->version == current) {
     return cached_snapshot_;
   }
@@ -150,7 +150,7 @@ CalibrationSnapshotPtr CalibrationStore::Snapshot() const {
   // absorbed, never claim observations it missed.
   snap->version = current;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     for (const auto& [id, w] : shard.per_server) {
       snap->server_factor.emplace(id, FactorOf(w));
     }

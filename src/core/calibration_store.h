@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/running_stats.h"
+#include "common/timed_mutex.h"
 
 namespace fedcal {
 
@@ -147,7 +148,9 @@ class CalibrationStore {
   /// One lock domain: the servers hashing here and their fragment
   /// windows. Forget(server) therefore touches exactly one shard.
   struct Shard {
-    mutable std::mutex mu;
+    /// All shards share one contention site: the panel answers "are the
+    /// calibration shards hot?", not "which of the 8".
+    mutable obs::TimedMutex mu{"calibration_store.shard"};
     std::map<std::string, PairedWindow> per_server;
     std::map<std::pair<std::string, size_t>, PairedWindow> per_fragment;
   };
@@ -167,7 +170,7 @@ class CalibrationStore {
 
   /// Snapshot cache: rebuilt lazily when version_ has moved past the
   /// cached snapshot's version.
-  mutable std::mutex snapshot_mu_;
+  mutable obs::TimedMutex snapshot_mu_{"calibration_store.snapshot"};
   mutable CalibrationSnapshotPtr cached_snapshot_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+
+#include "common/thread_ident.h"
 
 namespace fedcal {
 
@@ -9,6 +12,10 @@ namespace {
 /// The runtime whose dispatch lock the current thread holds (reentrancy
 /// guard for RunExclusive, also set while event callbacks run).
 thread_local const ServingRuntime* tls_dispatch_owner = nullptr;
+
+double WallSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
 }  // namespace
 
 ServingRuntime::ServingRuntime(ServingConfig config) : config_(config) {
@@ -17,8 +24,32 @@ ServingRuntime::ServingRuntime(ServingConfig config) : config_(config) {
   dispatcher_ = std::thread([this] { DispatchLoop(); });
   pool_.reserve(static_cast<size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
-    pool_.emplace_back([this] { WorkerLoop(); });
+    pool_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+void ServingRuntime::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    sched_live_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto m = std::make_unique<SchedMetrics>();
+  m->dispatch_lag = &registry->histogram("sched.dispatch_lag_s");
+  m->exclusive_wait = &registry->histogram("sched.exclusive_wait_s");
+  m->await_wait = &registry->histogram("sched.await_wait_s");
+  m->heap_depth = &registry->gauge("sched.heap_depth");
+  m->events_fired = &registry->counter("sched.events_fired");
+  m->jobs_completed = &registry->counter("sched.jobs_completed");
+  m->workers_busy_s = &registry->gauge("sched.workers.busy_s");
+  m->workers_idle_s = &registry->gauge("sched.workers.idle_s");
+  m->per_worker.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    const std::string prefix = "sched.worker." + std::to_string(i);
+    m->per_worker.emplace_back(&registry->gauge(prefix + ".busy_s"),
+                               &registry->gauge(prefix + ".idle_s"));
+  }
+  sched_metrics_ = std::move(m);
+  sched_live_.store(sched_metrics_.get(), std::memory_order_release);
 }
 
 ServingRuntime::~ServingRuntime() { Shutdown(); }
@@ -27,11 +58,14 @@ ServingRuntime::EventId ServingRuntime::ScheduleAt(SimTime when, Callback cb) {
   const SimTime now = Now();
   if (when < now) when = now;
   const EventId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lk(heap_mutex_);
     heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
     live_.insert(id);
+    depth = heap_.size();
   }
+  if (SchedMetrics* m = sched()) m->heap_depth->Set(double(depth));
   heap_cv_.notify_all();
   return id;
 }
@@ -53,12 +87,14 @@ void ServingRuntime::RunEvent(SimTime when, const Callback& cb) {
     vnow_.store(when, std::memory_order_release);
   }
   fired_.fetch_add(1, std::memory_order_relaxed);
+  if (SchedMetrics* m = sched()) m->events_fired->Add();
   cb();
   tls_dispatch_owner = nullptr;
 }
 
 void ServingRuntime::DispatchLoop() {
   using Clock = std::chrono::steady_clock;
+  SetThisThreadLabel("dispatcher");
   // Wall time of the previous event pop: the next event's wall deadline
   // is this plus its *virtual gap* times time_scale, so gaps cost
   // proportional wall time no matter how far virtual time lags the wall
@@ -111,8 +147,15 @@ void ServingRuntime::DispatchLoop() {
     // schedules an earlier event must win over a dispatcher that merely
     // peeked — the simulator's strict one-at-a-time pop order, which the
     // differential oracle depends on.
+    //
+    // Dispatch lag = wall time from "the head is due" (end of phase 1) to
+    // the start of its callback: the dispatch-lock wait plus pop
+    // overhead. With an idle dispatch lock this is tens of ns; a long-
+    // running event callback or exclusive section shows up here first.
+    const Clock::time_point due_at = Clock::now();
     {
       Entry e;
+      size_t depth = 0;
       std::lock_guard<std::mutex> dl(dispatch_mutex_);
       {
         std::lock_guard<std::mutex> hl(heap_mutex_);
@@ -126,7 +169,12 @@ void ServingRuntime::DispatchLoop() {
         e = std::move(const_cast<Entry&>(heap_.top()));
         heap_.pop();
         live_.erase(e.id);
+        depth = heap_.size();
         last_pop = Clock::now();
+      }
+      if (SchedMetrics* m = sched()) {
+        m->dispatch_lag->Record(WallSeconds(Clock::now() - due_at));
+        m->heap_depth->Set(double(depth));
       }
       RunEvent(e.when, e.cb);
     }
@@ -143,7 +191,12 @@ void ServingRuntime::RunExclusive(const std::function<void()>& fn) {
     return;
   }
   {
+    using Clock = std::chrono::steady_clock;
+    SchedMetrics* m = sched();
+    const Clock::time_point t0 =
+        m != nullptr ? Clock::now() : Clock::time_point{};
     std::lock_guard<std::mutex> lk(dispatch_mutex_);
+    if (m != nullptr) m->exclusive_wait->Record(WallSeconds(Clock::now() - t0));
     tls_dispatch_owner = this;
     fn();
     tls_dispatch_owner = nullptr;
@@ -168,8 +221,15 @@ void ServingRuntime::AwaitCondition(const std::function<bool()>& pred) {
     tls_dispatch_owner = nullptr;
     return done;
   };
+  using Clock = std::chrono::steady_clock;
+  SchedMetrics* m = sched();
+  const Clock::time_point t0 =
+      m != nullptr ? Clock::now() : Clock::time_point{};
   std::unique_lock<std::mutex> lk(progress_mutex_);
   progress_cv_.wait(lk, eval);
+  // Total blocked time, predicate evaluations included: how long a
+  // closed-loop client waited for the condition it polled.
+  if (m != nullptr) m->await_wait->Record(WallSeconds(Clock::now() - t0));
 }
 
 void ServingRuntime::Submit(std::function<void()> job) {
@@ -185,9 +245,12 @@ void ServingRuntime::WaitIdle() {
   idle_cv_.wait(lk, [&] { return jobs_.empty() && active_jobs_ == 0; });
 }
 
-void ServingRuntime::WorkerLoop() {
+void ServingRuntime::WorkerLoop(int index) {
+  using Clock = std::chrono::steady_clock;
+  SetThisThreadLabel("worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> job;
+    const Clock::time_point idle_start = Clock::now();
     {
       std::unique_lock<std::mutex> lk(jobs_mutex_);
       jobs_cv_.wait(lk, [&] { return pool_stop_ || !jobs_.empty(); });
@@ -196,7 +259,19 @@ void ServingRuntime::WorkerLoop() {
       jobs_.pop_front();
       ++active_jobs_;
     }
+    const Clock::time_point busy_start = Clock::now();
+    if (SchedMetrics* m = sched()) {
+      const double idle = WallSeconds(busy_start - idle_start);
+      m->workers_idle_s->Add(idle);
+      m->per_worker[size_t(index)].second->Add(idle);
+    }
     job();
+    if (SchedMetrics* m = sched()) {
+      const double busy = WallSeconds(Clock::now() - busy_start);
+      m->workers_busy_s->Add(busy);
+      m->per_worker[size_t(index)].first->Add(busy);
+      m->jobs_completed->Add();
+    }
     {
       std::lock_guard<std::mutex> lk(jobs_mutex_);
       --active_jobs_;

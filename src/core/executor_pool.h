@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "obs/metrics.h"
 
 namespace fedcal {
 
@@ -79,6 +81,15 @@ class ServingRuntime final : public ExecutionContext {
   size_t fired_events() const { return fired_.load(std::memory_order_relaxed); }
   const ServingConfig& config() const { return config_; }
 
+  /// Routes scheduler telemetry into `registry` under `sched.*` names:
+  /// dispatch-lag / exclusion-wait histograms, event-heap depth gauge,
+  /// per-worker busy/idle gauges. nullptr disables (the default — a bare
+  /// runtime records nothing). Metric references are resolved once here;
+  /// the hot paths then cost one acquire load plus the metric update.
+  /// Call at most once, before the workload starts (publish is atomic,
+  /// but repeated calls would leak the previous resolution).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     SimTime when;
@@ -93,13 +104,35 @@ class ServingRuntime final : public ExecutionContext {
     }
   };
 
+  /// Per-metric references resolved once at set_metrics time, so event
+  /// dispatch never does a name lookup.
+  struct SchedMetrics {
+    obs::LatencyHistogram* dispatch_lag = nullptr;
+    obs::LatencyHistogram* exclusive_wait = nullptr;
+    obs::LatencyHistogram* await_wait = nullptr;
+    obs::Gauge* heap_depth = nullptr;
+    obs::Counter* events_fired = nullptr;
+    obs::Counter* jobs_completed = nullptr;
+    obs::Gauge* workers_busy_s = nullptr;
+    obs::Gauge* workers_idle_s = nullptr;
+    /// Indexed by worker: (busy_s, idle_s) gauges.
+    std::vector<std::pair<obs::Gauge*, obs::Gauge*>> per_worker;
+  };
+
   void DispatchLoop();
-  void WorkerLoop();
+  void WorkerLoop(int index);
   /// Runs `cb` as the event at virtual time `when`; the caller holds the
   /// dispatch lock.
   void RunEvent(SimTime when, const Callback& cb);
 
+  SchedMetrics* sched() const {
+    return sched_live_.load(std::memory_order_acquire);
+  }
+
   ServingConfig config_;
+
+  std::unique_ptr<SchedMetrics> sched_metrics_;
+  std::atomic<SchedMetrics*> sched_live_{nullptr};
 
   // Virtual clock: high-water mark of started events.
   std::atomic<double> vnow_{0.0};

@@ -315,7 +315,12 @@ PlanNodePtr PlanNode::SubstituteParams(const PlanNodePtr& plan,
   std::vector<std::pair<BoundExprPtr, bool>> sort_keys = plan->sort_keys;
   for (auto& k : sort_keys) k.first = sub_expr(k.first);
 
-  if (!changed) return plan;
+  // Always clone, even when nothing in this subtree referenced a param:
+  // callers re-annotate (mutate) the substituted tree, so sharing
+  // unchanged nodes with the cached template would race concurrent
+  // Route() calls on the same prepared plan and dirty the template's own
+  // estimates. Expressions stay shared — substitution never mutates them.
+  (void)changed;
   auto node = std::make_shared<PlanNode>(*plan);
   node->left = std::move(left);
   node->right = std::move(right);

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/timed_mutex.h"
+
 namespace fedcal {
 
 /// \brief One row of the explain table: the winner global plan for a
@@ -44,7 +46,7 @@ class ExplainTable {
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
   void Put(ExplainEntry entry) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     ++total_recorded_;
     index_[entry.query_id] = base_ + entries_.size();
     entries_.push_back(std::move(entry));
@@ -61,18 +63,18 @@ class ExplainTable {
   /// Unsynchronized view for single-threaded readers (shell, tests).
   const std::deque<ExplainEntry>& entries() const { return entries_; }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return entries_.size();
   }
   size_t capacity() const { return capacity_; }
   /// Lifetime Put count — exceeds size() once eviction has happened.
   uint64_t total_recorded() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return total_recorded_;
   }
 
   void set_capacity(size_t capacity) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     capacity_ = capacity == 0 ? 1 : capacity;
     while (entries_.size() > capacity_) {
       auto it = index_.find(entries_.front().query_id);
@@ -85,7 +87,7 @@ class ExplainTable {
   /// Returned pointers stay valid until the ring evicts that row;
   /// concurrent readers copy what they need or read after quiescing.
   const ExplainEntry* Find(uint64_t query_id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     auto it = index_.find(query_id);
     if (it == index_.end() || it->second < base_) return nullptr;
     return &entries_[it->second - base_];
@@ -93,12 +95,12 @@ class ExplainTable {
 
   /// The most recently explained query (nullptr while empty).
   const ExplainEntry* Latest() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return entries_.empty() ? nullptr : &entries_.back();
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     entries_.clear();
     index_.clear();
     base_ = 0;
@@ -107,7 +109,7 @@ class ExplainTable {
 
  private:
   /// Route threads Put concurrently; shells and tests read.
-  mutable std::mutex mu_;
+  mutable obs::TimedMutex mu_{"explain_table"};
   size_t capacity_;
   std::deque<ExplainEntry> entries_;
   std::unordered_map<uint64_t, size_t> index_;  ///< query_id -> pos + base_

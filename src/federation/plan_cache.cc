@@ -3,7 +3,7 @@
 namespace fedcal {
 
 PreparedPlanPtr PlanCache::Lookup(const std::string& canonical_sql) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TimedMutex> lock(mu_);
   auto it = entries_.find(canonical_sql);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -28,7 +28,7 @@ PreparedPlanPtr PlanCache::Lookup(const std::string& canonical_sql) {
 
 void PlanCache::Insert(PreparedPlanPtr plan) {
   if (plan == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TimedMutex> lock(mu_);
   auto it = entries_.find(plan->canonical_sql);
   if (it != entries_.end()) {
     it->second->plan = std::move(plan);
@@ -47,7 +47,7 @@ void PlanCache::Insert(PreparedPlanPtr plan) {
 void PlanCache::BumpEpoch(const std::string& reason) {
   uint64_t bumped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     // fetch_add under the lock so the epoch, the bump counter, and the
     // reason advance together (concurrent bumps must never lose one).
     bumped = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -60,7 +60,7 @@ void PlanCache::BumpEpoch(const std::string& reason) {
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::TimedMutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/timed_mutex.h"
 #include "federation/decomposer.h"
 #include "federation/global_optimizer.h"
 
@@ -104,17 +105,17 @@ class PlanCache {
   /// mutex.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   std::string last_invalidation_reason() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return last_invalidation_reason_;
   }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return entries_.size();
   }
   size_t capacity() const { return capacity_; }
   /// Consistent point-in-time copy (hits/misses/bumps move together).
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     return stats_;
   }
 
@@ -132,8 +133,9 @@ class PlanCache {
   /// single-LRU eviction semantics the tests pin. The epoch is atomic so
   /// bumps from the event thread never wait on a worker mid-Lookup, and
   /// the observer runs outside the lock (it emits into the event log,
-  /// which has its own lock).
-  mutable std::mutex mu_;
+  /// which has its own lock). TimedMutex attributes waits/holds to the
+  /// "plan_cache.lru" contention site.
+  mutable obs::TimedMutex mu_{"plan_cache.lru"};
   /// MRU at front, LRU at back.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;

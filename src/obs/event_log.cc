@@ -88,7 +88,7 @@ uint64_t EventLog::Emit(EventType type, EventSeverity severity,
                         std::string server_id, uint64_t query_id,
                         std::string message, uint64_t span_id) {
   if (!enabled()) return 0;
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<TimedRecursiveMutex> lock(mu_);
   HealthEvent event;
   event.seq = ++total_emitted_;
   event.at = sim_ != nullptr ? sim_->Now() : 0.0;
@@ -106,7 +106,7 @@ uint64_t EventLog::Emit(EventType type, EventSeverity severity,
 }
 
 std::vector<const HealthEvent*> EventLog::Tail(size_t n) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<TimedRecursiveMutex> lock(mu_);
   std::vector<const HealthEvent*> out;
   size_t count = n < events_.size() ? n : events_.size();
   out.reserve(count);
@@ -117,7 +117,7 @@ std::vector<const HealthEvent*> EventLog::Tail(size_t n) const {
 }
 
 const HealthEvent* EventLog::Find(uint64_t seq) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<TimedRecursiveMutex> lock(mu_);
   if (events_.empty()) return nullptr;
   uint64_t first = events_.front().seq;
   if (seq < first || seq > events_.back().seq) return nullptr;
@@ -126,7 +126,7 @@ const HealthEvent* EventLog::Find(uint64_t seq) const {
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<TimedRecursiveMutex> lock(mu_);
   events_.clear();
   total_emitted_ = 0;
   for (auto& c : severity_counts_) c = 0;

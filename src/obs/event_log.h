@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/timed_mutex.h"
 #include "core/clock.h"
 
 namespace fedcal::obs {
@@ -113,16 +114,16 @@ class EventLog {
   /// concurrent contexts use Tail()/Find() or read after quiescing.
   const std::deque<HealthEvent>& events() const { return events_; }
   size_t size() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<TimedRecursiveMutex> lock(mu_);
     return events_.size();
   }
   uint64_t total_emitted() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<TimedRecursiveMutex> lock(mu_);
     return total_emitted_;
   }
   /// Lifetime count per severity (indexed by EventSeverity).
   uint64_t severity_count(EventSeverity severity) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<TimedRecursiveMutex> lock(mu_);
     return severity_counts_[static_cast<size_t>(severity)];
   }
 
@@ -141,7 +142,7 @@ class EventLog {
   /// Serializes emission (and therefore the health engine, which runs
   /// inside the observer hook). Recursive: the observer may emit again
   /// (alert-lifecycle events are themselves logged).
-  mutable std::recursive_mutex mu_;
+  mutable TimedRecursiveMutex mu_{"event_log"};
   const ExecutionContext* sim_;
   EventLogConfig config_;
   std::atomic<bool> enabled_;

@@ -1,0 +1,84 @@
+#include "obs/runtime_health.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/timed_mutex.h"
+
+namespace fedcal::obs {
+
+namespace {
+
+/// Sum of contended acquisitions across every lock site.
+uint64_t TotalContended() {
+  uint64_t total = 0;
+  for (const auto& site : LockSiteRegistry::Instance().SnapshotAll()) {
+    total += site.contended;
+  }
+  return total;
+}
+
+}  // namespace
+
+void InstallServingHealthRules(HealthEngine* health, MetricsRegistry* metrics,
+                               ServingHealthConfig config) {
+  // Dispatch-lag burn: mean lag of the events dispatched since the last
+  // evaluation (delta of the histogram's count/sum, which only grow).
+  // Lifetime means would dilute a fresh stall under hours of healthy
+  // history; deltas make the signal a burn rate.
+  {
+    LatencyHistogram* lag = &metrics->histogram("sched.dispatch_lag_s");
+    struct State {
+      uint64_t count = 0;
+      double sum = 0.0;
+    };
+    auto state = std::make_shared<State>();
+    ThresholdRule rule;
+    rule.name = "sched-dispatch-lag-burn";
+    rule.severity = EventSeverity::kWarn;
+    rule.threshold = config.dispatch_lag_mean_s;
+    rule.for_s = config.dispatch_lag_for_s;
+    rule.description = "mean dispatch lag since last evaluation";
+    rule.value = [lag, state](SimTime) {
+      const uint64_t count = lag->count();
+      const double sum = lag->sum();
+      const uint64_t d_count = count - state->count;
+      const double d_sum = sum - state->sum;
+      state->count = count;
+      state->sum = sum;
+      return d_count == 0 ? 0.0 : d_sum / double(d_count);
+    };
+    health->AddRule(std::move(rule));
+  }
+
+  // Contention storm: contended TimedMutex acquisitions per virtual
+  // second, averaged between evaluations. Virtual time is the engine's
+  // clock everywhere else, and in serving mode it tracks dispatched work,
+  // so "contended acquisitions per unit of work-time" is the comparable
+  // rate across time_scale settings.
+  {
+    struct State {
+      uint64_t contended = 0;
+      SimTime at = -1.0;
+    };
+    auto state = std::make_shared<State>();
+    ThresholdRule rule;
+    rule.name = "lock-contention-storm";
+    rule.severity = EventSeverity::kWarn;
+    rule.threshold = config.contended_per_s;
+    rule.for_s = config.contention_for_s;
+    rule.description = "contended lock acquisitions per virtual second";
+    rule.value = [state](SimTime now) {
+      const uint64_t contended = TotalContended();
+      const uint64_t delta = contended - state->contended;
+      const double elapsed = state->at < 0.0 ? 0.0 : now - state->at;
+      state->contended = contended;
+      state->at = now;
+      if (elapsed <= 0.0) return 0.0;
+      return double(delta) / elapsed;
+    };
+    health->AddRule(std::move(rule));
+  }
+}
+
+}  // namespace fedcal::obs

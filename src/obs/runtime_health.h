@@ -1,0 +1,33 @@
+#pragma once
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+
+/// \brief Thresholds for the serving-runtime SLO rules.
+struct ServingHealthConfig {
+  /// Dispatch-lag burn: fires when the *mean* dispatch lag of events
+  /// dispatched since the previous evaluation exceeds this, and stays
+  /// above it for `dispatch_lag_for_s` virtual seconds. Lag is wall time
+  /// from "event due" to "callback running" (sched.dispatch_lag_s), so a
+  /// burn means the dispatch lock is oversubscribed — event callbacks or
+  /// exclusive sections are running long.
+  double dispatch_lag_mean_s = 0.01;
+  double dispatch_lag_for_s = 1.0;
+
+  /// Contention storm: fires when contended lock acquisitions across all
+  /// TimedMutex sites arrive faster than this per virtual second
+  /// (averaged between evaluations) for `contention_for_s`.
+  double contended_per_s = 500.0;
+  double contention_for_s = 1.0;
+};
+
+/// Installs the serving-runtime threshold rules ("sched-dispatch-lag-burn"
+/// and "lock-contention-storm") on `health`. Both signals are wall-clock
+/// derived, so this belongs to serving mode only — a sim-mode scenario
+/// must not install them or its health output stops being deterministic.
+void InstallServingHealthRules(HealthEngine* health, MetricsRegistry* metrics,
+                               ServingHealthConfig config = {});
+
+}  // namespace fedcal::obs

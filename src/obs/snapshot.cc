@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "common/json.h"
@@ -20,13 +21,90 @@ double LatestSeriesValue(const FlightRecorder& recorder,
   return ring->latest().value;
 }
 
+uint64_t CounterOr0(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+double GaugeOr0(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0.0 : it->second;
+}
+
 }  // namespace
+
+SchedulerPanel BuildSchedulerPanel(const MetricsRegistry& metrics) {
+  // Read through a snapshot — registry lookups create metrics on first
+  // use, and the panel must not mint sched.* entries in sim mode.
+  const MetricsSnapshot snap = metrics.Snapshot();
+  SchedulerPanel panel;
+  auto it = snap.histograms.find("sched.dispatch_lag_s");
+  if (it == snap.histograms.end()) return panel;  // not a serving run
+  panel.present = true;
+  panel.dispatch_lag = it->second;
+  auto find_hist = [&snap](const std::string& name) {
+    auto h = snap.histograms.find(name);
+    return h == snap.histograms.end() ? HistogramSnapshot{} : h->second;
+  };
+  panel.exclusive_wait = find_hist("sched.exclusive_wait_s");
+  panel.await_wait = find_hist("sched.await_wait_s");
+  panel.events_fired = CounterOr0(snap, "sched.events_fired");
+  panel.jobs_completed = CounterOr0(snap, "sched.jobs_completed");
+  panel.heap_depth = GaugeOr0(snap, "sched.heap_depth");
+  panel.workers_busy_s = GaugeOr0(snap, "sched.workers.busy_s");
+  panel.workers_idle_s = GaugeOr0(snap, "sched.workers.idle_s");
+  // Per-worker gauges are "sched.worker.<i>.busy_s" / ".idle_s".
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prefix = "sched.worker.";
+    if (name.rfind(prefix, 0) != 0) continue;
+    const size_t dot = name.find('.', prefix.size());
+    if (dot == std::string::npos) continue;
+    const int index = std::atoi(name.substr(prefix.size(),
+                                            dot - prefix.size()).c_str());
+    if (index < 0) continue;
+    if (panel.per_worker.size() <= size_t(index)) {
+      panel.per_worker.resize(size_t(index) + 1);
+    }
+    if (name.compare(dot, std::string::npos, ".busy_s") == 0) {
+      panel.per_worker[size_t(index)].first = value;
+    } else if (name.compare(dot, std::string::npos, ".idle_s") == 0) {
+      panel.per_worker[size_t(index)].second = value;
+    }
+  }
+  return panel;
+}
+
+std::vector<LockSitePanel> BuildLockPanels(size_t max_sites) {
+  std::vector<LockSitePanel> panels;
+  for (const LockSiteSnapshot& s : LockSiteRegistry::Instance().SnapshotAll()) {
+    if (s.acquisitions == 0) continue;
+    LockSitePanel p;
+    p.site = s.site;
+    p.acquisitions = s.acquisitions;
+    p.contended = s.contended;
+    p.wait_total_s = s.wait.sum;
+    p.wait_p95_s = s.wait.p95;
+    p.hold_p95_s = s.hold.p95;
+    panels.push_back(std::move(p));
+  }
+  std::sort(panels.begin(), panels.end(),
+            [](const LockSitePanel& a, const LockSitePanel& b) {
+              if (a.wait_total_s != b.wait_total_s) {
+                return a.wait_total_s > b.wait_total_s;
+              }
+              return a.site < b.site;
+            });
+  if (max_sites != 0 && panels.size() > max_sites) panels.resize(max_sites);
+  return panels;
+}
 
 HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
                                    const FlightRecorder& recorder,
                                    const EventLog& events, SimTime now,
                                    const std::vector<std::string>& server_ids,
-                                   size_t max_alerts, size_t max_events) {
+                                   size_t max_alerts, size_t max_events,
+                                   const MetricsRegistry* metrics,
+                                   bool include_locks, size_t max_lock_sites) {
   HealthSnapshot snap;
   snap.at = now;
   snap.fleet_grade = HealthGradeName(health.FleetGrade(now));
@@ -71,8 +149,38 @@ HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
   for (const HealthEvent* e : events.Tail(max_events)) {
     snap.events.push_back(*e);
   }
+  if (metrics != nullptr) snap.sched = BuildSchedulerPanel(*metrics);
+  if (include_locks) snap.locks = BuildLockPanels(max_lock_sites);
   return snap;
 }
+
+namespace {
+
+/// The histogram fields the panels render; bucket_total is a
+/// snapshot-consistency probe, not part of the serialized form.
+std::string HistToJson(const HistogramSnapshot& h) {
+  return "{\"count\": " + std::to_string(h.count) +
+         ", \"sum\": " + FormatMetricValue(h.sum) +
+         ", \"min\": " + FormatMetricValue(h.min) +
+         ", \"max\": " + FormatMetricValue(h.max) +
+         ", \"p50\": " + FormatMetricValue(h.p50) +
+         ", \"p95\": " + FormatMetricValue(h.p95) +
+         ", \"p99\": " + FormatMetricValue(h.p99) + "}";
+}
+
+HistogramSnapshot HistFromJson(const JsonValue& v) {
+  HistogramSnapshot h;
+  if (const JsonValue* f = v.Get("count")) h.count = f->AsU64();
+  if (const JsonValue* f = v.Get("sum")) h.sum = f->AsDouble();
+  if (const JsonValue* f = v.Get("min")) h.min = f->AsDouble();
+  if (const JsonValue* f = v.Get("max")) h.max = f->AsDouble();
+  if (const JsonValue* f = v.Get("p50")) h.p50 = f->AsDouble();
+  if (const JsonValue* f = v.Get("p95")) h.p95 = f->AsDouble();
+  if (const JsonValue* f = v.Get("p99")) h.p99 = f->AsDouble();
+  return h;
+}
+
+}  // namespace
 
 std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
   std::string out = "{\n";
@@ -109,7 +217,48 @@ std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
     out += i ? ",\n  " : "\n  ";
     out += EventToJson(snapshot.events[i]);
   }
-  out += snapshot.events.empty() ? "]\n" : "\n]\n";
+  // The serving-only panels are emitted only when populated so sim-mode
+  // snapshot files (and their goldens) are byte-identical to before.
+  const bool tail = snapshot.sched.present || !snapshot.locks.empty();
+  out += snapshot.events.empty() ? "]" : "\n]";
+  out += tail ? ",\n" : "\n";
+  if (snapshot.sched.present) {
+    const SchedulerPanel& s = snapshot.sched;
+    out += "\"sched\": {\n";
+    out += "  \"events_fired\": " + std::to_string(s.events_fired) + ",\n";
+    out += "  \"jobs_completed\": " + std::to_string(s.jobs_completed) +
+           ",\n";
+    out += "  \"heap_depth\": " + FormatMetricValue(s.heap_depth) + ",\n";
+    out += "  \"dispatch_lag\": " + HistToJson(s.dispatch_lag) + ",\n";
+    out += "  \"exclusive_wait\": " + HistToJson(s.exclusive_wait) + ",\n";
+    out += "  \"await_wait\": " + HistToJson(s.await_wait) + ",\n";
+    out += "  \"workers_busy_s\": " + FormatMetricValue(s.workers_busy_s) +
+           ",\n";
+    out += "  \"workers_idle_s\": " + FormatMetricValue(s.workers_idle_s) +
+           ",\n";
+    out += "  \"per_worker\": [";
+    for (size_t i = 0; i < s.per_worker.size(); ++i) {
+      out += i ? ", " : "";
+      out += "[" + FormatMetricValue(s.per_worker[i].first) + ", " +
+             FormatMetricValue(s.per_worker[i].second) + "]";
+    }
+    out += "]\n}";
+    out += snapshot.locks.empty() ? "\n" : ",\n";
+  }
+  if (!snapshot.locks.empty()) {
+    out += "\"locks\": [";
+    for (size_t i = 0; i < snapshot.locks.size(); ++i) {
+      const LockSitePanel& p = snapshot.locks[i];
+      out += i ? ",\n  " : "\n  ";
+      out += "{\"site\": " + JsonQuote(p.site) +
+             ", \"acquisitions\": " + std::to_string(p.acquisitions) +
+             ", \"contended\": " + std::to_string(p.contended) +
+             ", \"wait_total_s\": " + FormatMetricValue(p.wait_total_s) +
+             ", \"wait_p95_s\": " + FormatMetricValue(p.wait_p95_s) +
+             ", \"hold_p95_s\": " + FormatMetricValue(p.hold_p95_s) + "}";
+    }
+    out += "\n]\n";
+  }
   out += "}\n";
   return out;
 }
@@ -207,6 +356,64 @@ Result<HealthSnapshot> HealthSnapshotFromJson(const std::string& json) {
   if (const JsonValue* f = root.Get("events")) {
     for (const JsonValue& v : f->array) snap.events.push_back(EventFromJson(v));
   }
+  if (const JsonValue* f = root.Get("sched")) {
+    SchedulerPanel& s = snap.sched;
+    s.present = true;
+    if (const JsonValue* g = f->Get("events_fired")) {
+      s.events_fired = g->AsU64();
+    }
+    if (const JsonValue* g = f->Get("jobs_completed")) {
+      s.jobs_completed = g->AsU64();
+    }
+    if (const JsonValue* g = f->Get("heap_depth")) {
+      s.heap_depth = g->AsDouble();
+    }
+    if (const JsonValue* g = f->Get("dispatch_lag")) {
+      s.dispatch_lag = HistFromJson(*g);
+    }
+    if (const JsonValue* g = f->Get("exclusive_wait")) {
+      s.exclusive_wait = HistFromJson(*g);
+    }
+    if (const JsonValue* g = f->Get("await_wait")) {
+      s.await_wait = HistFromJson(*g);
+    }
+    if (const JsonValue* g = f->Get("workers_busy_s")) {
+      s.workers_busy_s = g->AsDouble();
+    }
+    if (const JsonValue* g = f->Get("workers_idle_s")) {
+      s.workers_idle_s = g->AsDouble();
+    }
+    if (const JsonValue* g = f->Get("per_worker")) {
+      for (const JsonValue& w : g->array) {
+        std::pair<double, double> busy_idle{0.0, 0.0};
+        if (w.array.size() >= 2) {
+          busy_idle.first = w.array[0].AsDouble();
+          busy_idle.second = w.array[1].AsDouble();
+        }
+        s.per_worker.push_back(busy_idle);
+      }
+    }
+  }
+  if (const JsonValue* f = root.Get("locks")) {
+    for (const JsonValue& v : f->array) {
+      LockSitePanel p;
+      if (const JsonValue* g = v.Get("site")) p.site = g->AsString();
+      if (const JsonValue* g = v.Get("acquisitions")) {
+        p.acquisitions = g->AsU64();
+      }
+      if (const JsonValue* g = v.Get("contended")) p.contended = g->AsU64();
+      if (const JsonValue* g = v.Get("wait_total_s")) {
+        p.wait_total_s = g->AsDouble();
+      }
+      if (const JsonValue* g = v.Get("wait_p95_s")) {
+        p.wait_p95_s = g->AsDouble();
+      }
+      if (const JsonValue* g = v.Get("hold_p95_s")) {
+        p.hold_p95_s = g->AsDouble();
+      }
+      snap.locks.push_back(std::move(p));
+    }
+  }
   return snap;
 }
 
@@ -268,6 +475,103 @@ std::string FedtopText(const HealthSnapshot& snapshot) {
                   e.server_id.empty() ? "-" : e.server_id.c_str());
     out += line;
     out += e.message + "\n";
+  }
+  if (snapshot.sched.present) {
+    out += "\n" + SchedText(snapshot.sched);
+  }
+  if (!snapshot.locks.empty()) {
+    out += "\n" + ContentionText(snapshot.locks);
+  }
+  return out;
+}
+
+namespace {
+
+/// Compact duration for the panel tables: "840ns", "12.4us", "3.1ms",
+/// "2.50s". Keeps columns readable across the nanosecond-to-second span
+/// these histograms cover.
+std::string FormatDur(double seconds) {
+  char buf[32];
+  const double a = seconds < 0 ? -seconds : seconds;
+  if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+void AppendHistRow(const char* label, const HistogramSnapshot& h,
+                   std::string* out) {
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "  %-14s n=%-8llu mean=%-8s p50=%-8s p95=%-8s max=%s\n",
+                label, static_cast<unsigned long long>(h.count),
+                FormatDur(h.mean()).c_str(), FormatDur(h.p50).c_str(),
+                FormatDur(h.p95).c_str(), FormatDur(h.max).c_str());
+  *out += line;
+}
+
+}  // namespace
+
+std::string SchedText(const SchedulerPanel& sched) {
+  std::string out = "scheduler:\n";
+  if (!sched.present) {
+    out += "  (serving mode only — no scheduler in sim runs)\n";
+    return out;
+  }
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "  events fired: %llu   jobs completed: %llu   "
+                "heap depth: %.0f\n",
+                static_cast<unsigned long long>(sched.events_fired),
+                static_cast<unsigned long long>(sched.jobs_completed),
+                sched.heap_depth);
+  out += line;
+  AppendHistRow("dispatch lag", sched.dispatch_lag, &out);
+  AppendHistRow("exclusive wait", sched.exclusive_wait, &out);
+  AppendHistRow("await wait", sched.await_wait, &out);
+  std::snprintf(line, sizeof(line),
+                "  workers: %zu   busy %s   idle %s   utilization %.1f%%\n",
+                sched.per_worker.size(),
+                FormatDur(sched.workers_busy_s).c_str(),
+                FormatDur(sched.workers_idle_s).c_str(),
+                sched.utilization() * 100.0);
+  out += line;
+  for (size_t i = 0; i < sched.per_worker.size(); ++i) {
+    std::snprintf(line, sizeof(line), "    worker %-2zu busy %-8s idle %s\n",
+                  i, FormatDur(sched.per_worker[i].first).c_str(),
+                  FormatDur(sched.per_worker[i].second).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string ContentionText(const std::vector<LockSitePanel>& locks) {
+  std::string out = "lock contention (top sites by total wait):\n";
+  if (locks.empty()) {
+    out += "  (no lock activity recorded)\n";
+    return out;
+  }
+  out +=
+      "  site                      acq        cont    rate    wait_tot  "
+      "wait_p95  hold_p95\n";
+  char line[224];
+  for (const LockSitePanel& p : locks) {
+    std::snprintf(line, sizeof(line),
+                  "  %-24s  %-9llu  %-6llu  %5.2f%%  %-8s  %-8s  %s\n",
+                  p.site.c_str(),
+                  static_cast<unsigned long long>(p.acquisitions),
+                  static_cast<unsigned long long>(p.contended),
+                  p.contention_rate() * 100.0,
+                  FormatDur(p.wait_total_s).c_str(),
+                  FormatDur(p.wait_p95_s).c_str(),
+                  FormatDur(p.hold_p95_s).c_str());
+    out += line;
   }
   return out;
 }

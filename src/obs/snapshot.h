@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/timed_mutex.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 
@@ -18,6 +19,44 @@ struct ServerPanel {
   double calibration_factor = 1.0;
   double reliability_multiplier = 1.0;
   size_t active_alerts = 0;
+};
+
+/// \brief The serving scheduler's panel: the executor pool's sched.*
+/// metrics at one instant. `present` is false in sim mode (no scheduler
+/// runs there) and the panel then renders nothing.
+struct SchedulerPanel {
+  bool present = false;
+  uint64_t events_fired = 0;
+  uint64_t jobs_completed = 0;
+  double heap_depth = 0.0;
+  HistogramSnapshot dispatch_lag;    ///< sched.dispatch_lag_s
+  HistogramSnapshot exclusive_wait;  ///< sched.exclusive_wait_s
+  HistogramSnapshot await_wait;      ///< sched.await_wait_s
+  double workers_busy_s = 0.0;
+  double workers_idle_s = 0.0;
+  /// (busy_s, idle_s) per worker, indexed by worker number.
+  std::vector<std::pair<double, double>> per_worker;
+
+  /// Busy fraction of total worker wall time (0 when no time recorded).
+  double utilization() const {
+    const double total = workers_busy_s + workers_idle_s;
+    return total <= 0.0 ? 0.0 : workers_busy_s / total;
+  }
+};
+
+/// \brief One lock site's row on the contention panel.
+struct LockSitePanel {
+  std::string site;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  double wait_total_s = 0.0;  ///< summed blocked time (contended only)
+  double wait_p95_s = 0.0;
+  double hold_p95_s = 0.0;
+
+  double contention_rate() const {
+    return acquisitions == 0 ? 0.0
+                             : double(contended) / double(acquisitions);
+  }
 };
 
 /// \brief A self-contained, serializable picture of fleet health at one
@@ -35,19 +74,37 @@ struct HealthSnapshot {
   std::vector<ServerPanel> servers;   ///< sorted by server id
   std::vector<AlertRecord> alerts;    ///< recent tail, oldest first
   std::vector<HealthEvent> events;    ///< recent tail, oldest first
+  /// Serving-mode extensions; absent (present=false / empty) in sim-mode
+  /// snapshots, and omitted from the JSON form so pre-existing snapshot
+  /// files and goldens are unchanged.
+  SchedulerPanel sched;
+  std::vector<LockSitePanel> locks;  ///< top sites by total wait
 };
 
 /// Assembles a snapshot from the live health engine + flight recorder +
 /// event log. `server_ids` seeds the panel list so servers that have not
 /// produced telemetry yet still appear (merged with every server the
 /// engine or recorder knows about).
+/// `metrics` non-null additionally fills the scheduler panel from the
+/// sched.* metrics (serving mode); `include_locks` fills the contention
+/// panel from the process-wide LockSiteRegistry (top `max_lock_sites` by
+/// total wait). Both default off so sim-mode snapshots stay byte-stable.
 HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
                                    const FlightRecorder& recorder,
                                    const EventLog& events, SimTime now,
                                    const std::vector<std::string>& server_ids =
                                        {},
                                    size_t max_alerts = 16,
-                                   size_t max_events = 16);
+                                   size_t max_events = 16,
+                                   const MetricsRegistry* metrics = nullptr,
+                                   bool include_locks = false,
+                                   size_t max_lock_sites = 8);
+
+/// The scheduler panel alone, from a registry's sched.* metrics.
+SchedulerPanel BuildSchedulerPanel(const MetricsRegistry& metrics);
+
+/// The contention panel alone: top `max_sites` lock sites by total wait.
+std::vector<LockSitePanel> BuildLockPanels(size_t max_sites = 8);
 
 /// Deterministic JSON form (stable ordering, FormatMetricValue doubles).
 std::string HealthSnapshotToJson(const HealthSnapshot& snapshot);
@@ -56,7 +113,14 @@ std::string HealthSnapshotToJson(const HealthSnapshot& snapshot);
 Result<HealthSnapshot> HealthSnapshotFromJson(const std::string& json);
 
 /// The single-screen fedtop dashboard: fleet banner, per-server health
-/// table, active alerts, recent events.
+/// table, active alerts, recent events — plus the scheduler and
+/// contention panels when the snapshot carries them.
 std::string FedtopText(const HealthSnapshot& snapshot);
+
+/// The scheduler panel as text (shared by fedtop and the shell's \sched).
+std::string SchedText(const SchedulerPanel& sched);
+
+/// The contention panel as text (fedtop and the shell's \contention).
+std::string ContentionText(const std::vector<LockSitePanel>& locks);
 
 }  // namespace fedcal::obs

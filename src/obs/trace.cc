@@ -101,6 +101,7 @@ uint64_t Tracer::BeginQuery(uint64_t query_id, const std::string& sql) {
   root.kind = SpanKind::kQuery;
   root.name = "query";
   root.start = Now();
+  StampOpen(&root);
   trace.spans.push_back(std::move(root));
   return trace.spans[0].id;
 }
@@ -117,6 +118,7 @@ uint64_t Tracer::StartSpan(uint64_t query_id, SpanKind kind,
     root.kind = SpanKind::kQuery;
     root.name = "query";
     root.start = Now();
+    StampOpen(&root);
     trace.spans.push_back(std::move(root));
   }
   Span span;
@@ -125,6 +127,7 @@ uint64_t Tracer::StartSpan(uint64_t query_id, SpanKind kind,
   span.kind = kind;
   span.name = name;
   span.start = Now();
+  StampOpen(&span);
   trace.spans.push_back(std::move(span));
   return trace.spans.back().id;
 }
@@ -136,6 +139,7 @@ void Tracer::EndSpan(uint64_t query_id, uint64_t span_id, bool failed,
   if (span == nullptr || !span->open) return;
   span->open = false;
   span->end = Now();
+  StampClose(span);
   span->failed = failed;
   if (!detail.empty()) span->detail = detail;
 }
@@ -160,6 +164,7 @@ void Tracer::EndQuery(uint64_t query_id, bool failed,
     if (s.open) {
       s.open = false;
       s.end = Now();
+      StampClose(&s);
     }
   }
   if (!trace.spans.empty()) {
@@ -167,6 +172,7 @@ void Tracer::EndQuery(uint64_t query_id, bool failed,
     if (root.open) {
       root.open = false;
       root.end = Now();
+      StampClose(&root);
       root.failed = failed;
       if (!detail.empty()) root.detail = detail;
     }
@@ -285,6 +291,11 @@ std::string Tracer::ToJson(uint64_t query_id) const {
            ", \"start\": " + FormatMetricValue(s.start) +
            ", \"end\": " + FormatMetricValue(s.end) +
            ", \"failed\": " + (s.failed ? "true" : "false");
+    if (s.has_wall) {
+      out += ", \"tid\": " + std::to_string(s.tid) +
+             ", \"wall_start\": " + FormatMetricValue(s.wall_start) +
+             ", \"wall_end\": " + FormatMetricValue(s.wall_end);
+    }
     if (!s.server_id.empty()) {
       out += ", \"server\": \"" + s.server_id + "\"";
     }

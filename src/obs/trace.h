@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -7,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_ident.h"
 #include "obs/observation.h"
 #include "core/clock.h"
 
@@ -55,6 +57,16 @@ struct Span {
 
   std::map<std::string, std::string> attrs;
 
+  /// Serving mode only (has_wall): wall-clock stamps in seconds since the
+  /// tracer's construction, and the dense id (common/thread_ident.h) of
+  /// the thread that opened the span. The virtual stamps above answer
+  /// "what did the router believe"; these answer "what did the machine
+  /// actually do, on which thread" — the Perfetto view needs both.
+  bool has_wall = false;
+  double wall_start = 0.0;
+  double wall_end = 0.0;
+  int tid = -1;
+
   double duration() const { return end - start; }
   bool HasAttr(const std::string& key) const { return attrs.count(key) > 0; }
   /// Attribute value or "" when absent.
@@ -87,7 +99,10 @@ struct QueryTrace {
 /// deterministic and byte-identical across runs of the same seed.
 class Tracer {
  public:
-  explicit Tracer(const ExecutionContext* sim) : sim_(sim) {}
+  explicit Tracer(const ExecutionContext* sim)
+      : sim_(sim),
+        wall_stamps_(sim != nullptr && sim->mode() == ExecMode::kServing),
+        wall_epoch_(std::chrono::steady_clock::now()) {}
 
   /// The virtual clock this tracer stamps from (may be null in tests).
   const ExecutionContext* sim() const { return sim_; }
@@ -141,16 +156,39 @@ class Tracer {
   /// Deterministic JSON of one query's spans.
   std::string ToJson(uint64_t query_id) const;
 
+  /// True when spans carry wall stamps and thread ids (serving mode).
+  bool wall_stamps() const { return wall_stamps_; }
+
  private:
   QueryTrace& TraceFor(uint64_t query_id);
   Span* FindSpan(uint64_t query_id, uint64_t span_id);
   SimTime Now() const { return sim_ ? sim_->Now() : 0.0; }
+  /// Wall seconds since construction (serving-mode span stamps).
+  double WallNow() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_epoch_)
+        .count();
+  }
+  /// Dual-clock stamping, applied centrally so no call site changes:
+  /// every span opened (closed) in serving mode gets a wall stamp, and
+  /// the opener's thread id.
+  void StampOpen(Span* span) {
+    if (!wall_stamps_) return;
+    span->has_wall = true;
+    span->wall_start = WallNow();
+    span->tid = ThisThreadId();
+  }
+  void StampClose(Span* span) {
+    if (span->has_wall) span->wall_end = WallNow();
+  }
   void EnforceRetention();
 
   /// Serializes span emission from worker threads and the dispatcher.
   /// Recursive because the span helpers compose (AddEvent = Start + End).
   mutable std::recursive_mutex mu_;
   const ExecutionContext* sim_;
+  bool wall_stamps_;
+  std::chrono::steady_clock::time_point wall_epoch_;
   uint64_t next_span_id_ = 1;
   size_t retention_ = 0;
   std::deque<QueryTrace> traces_;

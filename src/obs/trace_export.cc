@@ -1,0 +1,149 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/thread_ident.h"
+#include "obs/export.h"
+#include "obs/metrics.h"  // FormatMetricValue
+
+namespace fedcal::obs {
+
+namespace {
+
+/// Chrome trace timestamps are microseconds.
+std::string Micros(double seconds) {
+  return FormatMetricValue(seconds * 1e6);
+}
+
+void AppendSpanArgs(const Span& span, uint64_t query_id, std::string* out) {
+  *out += "\"args\":{\"query_id\":" + std::to_string(query_id);
+  if (!span.server_id.empty()) {
+    *out += ",\"server\":" + JsonQuote(span.server_id);
+  }
+  if (span.failed) {
+    *out += ",\"failed\":true";
+    if (!span.detail.empty()) *out += ",\"detail\":" + JsonQuote(span.detail);
+  }
+  if (span.has_cost) {
+    *out += ",\"est\":" + FormatMetricValue(span.cost.raw_estimated_seconds) +
+            ",\"cal\":" + FormatMetricValue(span.cost.calibrated_seconds) +
+            ",\"obs\":" + FormatMetricValue(span.cost.observed_seconds);
+  }
+  for (const auto& [k, v] : span.attrs) {
+    // Sequential appends: gcc 12 misfires -Wrestrict on `"," + temporary`.
+    *out += ',';
+    *out += JsonQuote(k);
+    *out += ':';
+    *out += JsonQuote(v);
+  }
+  *out += "}";
+}
+
+void AppendMetadata(int tid, const std::string& name, bool* first,
+                    std::string* out) {
+  *out += *first ? "\n" : ",\n";
+  *first = false;
+  *out += "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+          std::to_string(tid) + ",\"args\":{\"name\":" + JsonQuote(name) +
+          "}}";
+}
+
+}  // namespace
+
+void TraceExporter::AddCounterSample(const std::string& track,
+                                     double t_seconds, double value) {
+  counters_.push_back(CounterSample{track, t_seconds, value});
+}
+
+std::string TraceExporter::ToChromeJson() const {
+  return ToChromeJson(tracer_->wall_stamps());
+}
+
+std::string TraceExporter::ToChromeJson(bool wall_clock) const {
+  // Track assignment. Virtual mode: one track per server, integrator work
+  // on track 0 — deterministic (sorted server ids). Wall mode: the dense
+  // thread id that opened each span, labelled by the serving runtime.
+  std::map<std::string, int> server_tid;
+  std::set<int> thread_tids;
+  if (!wall_clock) {
+    std::set<std::string> servers;
+    for (const auto& trace : tracer_->traces()) {
+      for (const auto& span : trace.spans) {
+        if (!span.server_id.empty()) servers.insert(span.server_id);
+      }
+    }
+    int next = 1;
+    for (const auto& id : servers) server_tid[id] = next++;
+  } else {
+    for (const auto& trace : tracer_->traces()) {
+      for (const auto& span : trace.spans) {
+        if (span.has_wall && span.tid >= 0) thread_tids.insert(span.tid);
+      }
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  out += first ? "\n" : "";
+  first = false;
+  out += "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "\"args\":{\"name\":\"fedcal\"}}";
+
+  if (!wall_clock) {
+    AppendMetadata(0, "integrator", &first, &out);
+    for (const auto& [server, tid] : server_tid) {
+      AppendMetadata(tid, "server " + server, &first, &out);
+    }
+  } else {
+    std::map<int, std::string> labels;
+    for (const auto& [id, label] : ThreadLabels()) labels[id] = label;
+    for (int tid : thread_tids) {
+      auto it = labels.find(tid);
+      AppendMetadata(tid,
+                     it != labels.end() ? it->second
+                                        : "thread-" + std::to_string(tid),
+                     &first, &out);
+    }
+  }
+
+  for (const auto& trace : tracer_->traces()) {
+    for (const auto& span : trace.spans) {
+      if (span.open) continue;  // exporters run after the run quiesces
+      if (wall_clock && !span.has_wall) continue;
+      const double start = wall_clock ? span.wall_start : span.start;
+      const double end = wall_clock ? span.wall_end : span.end;
+      int tid = 0;
+      if (wall_clock) {
+        tid = span.tid >= 0 ? span.tid : 0;
+      } else if (!span.server_id.empty()) {
+        tid = server_tid[span.server_id];
+      }
+      const char* kind = SpanKindName(span.kind);
+      const std::string& name = span.name.empty() ? kind : span.name;
+      out += ",\n  {\"name\":" + JsonQuote(name) + ",\"cat\":\"" + kind +
+             "\",\"ph\":\"X\",\"ts\":" + Micros(start) +
+             ",\"dur\":" + Micros(std::max(0.0, end - start)) +
+             ",\"pid\":0,\"tid\":" + std::to_string(tid) + ",";
+      AppendSpanArgs(span, trace.query_id, &out);
+      out += "}";
+    }
+  }
+
+  for (const auto& sample : counters_) {
+    out += ",\n  {\"name\":" + JsonQuote(sample.track) +
+           ",\"ph\":\"C\",\"ts\":" + Micros(sample.t) +
+           ",\"pid\":0,\"args\":{\"value\":" +
+           FormatMetricValue(sample.value) + "}}";
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  return TraceExporter(&tracer).ToChromeJson();
+}
+
+}  // namespace fedcal::obs

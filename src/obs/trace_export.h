@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fedcal::obs {
+
+/// \brief Chrome-trace-event JSON exporter over the Tracer — one file
+/// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Two renderings of the same spans:
+///  - **Virtual (sim mode)**: timestamps are virtual seconds, one track
+///    per server (plus track 0 for integrator-local work). Deterministic
+///    across runs of the same seed, so it can be golden-tested.
+///  - **Wall (serving mode)**: timestamps are the spans' wall stamps, one
+///    track per OS thread (dispatcher / worker-N labels from the serving
+///    runtime). This is the view that shows genuine overlap: dispatcher
+///    serialization, worker idle gaps, contention stalls.
+///
+/// Counter tracks ("ph":"C" — heap depth, qps, contended acquisitions)
+/// are appended by the harness via AddCounterSample; fedtop --follow
+/// samples them once per frame.
+class TraceExporter {
+ public:
+  explicit TraceExporter(const Tracer* tracer) : tracer_(tracer) {}
+
+  /// Appends one sample to counter track `track` at time `t_seconds`
+  /// (same clock the spans use: virtual in sim mode, wall in serving).
+  void AddCounterSample(const std::string& track, double t_seconds,
+                        double value);
+
+  /// Renders with the tracer's native clock: wall when the tracer stamps
+  /// wall clocks (serving mode), virtual otherwise.
+  std::string ToChromeJson() const;
+  /// Explicit clock choice. `wall_clock` requires wall stamps on the
+  /// spans; spans without them (or still open) are skipped.
+  std::string ToChromeJson(bool wall_clock) const;
+
+ private:
+  struct CounterSample {
+    std::string track;
+    double t = 0.0;
+    double value = 0.0;
+  };
+
+  const Tracer* tracer_;
+  std::vector<CounterSample> counters_;
+};
+
+/// One-call convenience: export `tracer`'s spans with its native clock.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+}  // namespace fedcal::obs

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/string_util.h"
+#include "obs/runtime_health.h"
 #include "sql/parser.h"
 #include "storage/datagen.h"
 
@@ -37,6 +38,13 @@ Scenario::Scenario(ScenarioConfig config)
       ctx_(serving_ ? static_cast<ExecutionContext*>(serving_.get())
                     : &sim_),
       telemetry_(ctx_) {
+  if (serving_) {
+    // Scheduler telemetry (sched.*) and the serving SLO rules only make
+    // sense against a wall clock; a sim-mode scenario records neither, so
+    // its metrics snapshots stay byte-deterministic.
+    serving_->set_metrics(&telemetry_.metrics);
+    obs::InstallServingHealthRules(&telemetry_.health, &telemetry_.metrics);
+  }
   BuildServers();
   BuildData();
   BuildFederation();

@@ -1,0 +1,153 @@
+#include "common/timed_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fedcal::obs {
+namespace {
+
+// Sites are process-wide and cumulative, so every test uses its own site
+// name and sees counts that start at zero.
+
+LockSiteSnapshot SnapshotOf(const std::string& name) {
+  for (LockSiteSnapshot& s : LockSiteRegistry::Instance().SnapshotAll()) {
+    if (s.site == name) return std::move(s);
+  }
+  return {};
+}
+
+TEST(TimedMutexTest, UncontendedAcquisitionsRecordAcquireAndHold) {
+  TimedMutex mu("test.tm.uncontended");
+  for (int i = 0; i < 100; ++i) {
+    std::lock_guard<TimedMutex> lock(mu);
+  }
+  if (!TimedMutexEnabled()) return;  // compiled down to a plain mutex
+  const LockSiteSnapshot s = SnapshotOf("test.tm.uncontended");
+  EXPECT_EQ(s.acquisitions, 100u);
+  EXPECT_EQ(s.contended, 0u);
+  EXPECT_EQ(s.wait.count, 0u);
+  EXPECT_EQ(s.hold.count, 100u);
+  EXPECT_GE(s.hold.sum, 0.0);
+}
+
+TEST(TimedMutexTest, TryLockFailureIsNotAnAcquisition) {
+  TimedMutex mu("test.tm.trylock");
+  mu.lock();
+  std::thread other([&mu] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  if (!TimedMutexEnabled()) return;
+  const LockSiteSnapshot s = SnapshotOf("test.tm.trylock");
+  EXPECT_EQ(s.acquisitions, 1u);
+  EXPECT_EQ(s.hold.count, 1u);
+}
+
+TEST(TimedMutexTest, ContendedAcquisitionRecordsWait) {
+  TimedMutex mu("test.tm.contended");
+  std::atomic<bool> holding{false};
+  mu.lock();
+  std::thread waiter([&] {
+    holding.store(true);
+    std::lock_guard<TimedMutex> lock(mu);  // must block: owner sleeps
+  });
+  while (!holding.load()) std::this_thread::yield();
+  // Long enough that the waiter is parked in lock() when we release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  waiter.join();
+  if (!TimedMutexEnabled()) return;
+  const LockSiteSnapshot s = SnapshotOf("test.tm.contended");
+  EXPECT_EQ(s.acquisitions, 2u);
+  EXPECT_EQ(s.contended, 1u);
+  EXPECT_EQ(s.wait.count, 1u);
+  EXPECT_GT(s.wait.max, 0.0);
+  EXPECT_EQ(s.hold.count, 2u);
+}
+
+TEST(TimedMutexTest, RecursiveHoldTimesOutermostOnly) {
+  TimedRecursiveMutex mu("test.tm.recursive");
+  {
+    std::lock_guard<TimedRecursiveMutex> outer(mu);
+    std::lock_guard<TimedRecursiveMutex> inner(mu);
+  }
+  if (!TimedMutexEnabled()) return;
+  const LockSiteSnapshot s = SnapshotOf("test.tm.recursive");
+  EXPECT_EQ(s.acquisitions, 2u);  // both levels count as acquisitions
+  EXPECT_EQ(s.hold.count, 1u);    // one outermost hold span
+}
+
+TEST(TimedMutexTest, ManyMutexesShareOneSite) {
+  TimedMutex a("test.tm.shared");
+  TimedMutex b("test.tm.shared");
+  {
+    std::lock_guard<TimedMutex> la(a);
+  }
+  {
+    std::lock_guard<TimedMutex> lb(b);
+  }
+  if (!TimedMutexEnabled()) return;
+  const LockSiteSnapshot s = SnapshotOf("test.tm.shared");
+  EXPECT_EQ(s.acquisitions, 2u);
+}
+
+TEST(TimedMutexTest, SnapshotAllIsSortedByName) {
+  TimedMutex z("test.tm.zzz");
+  TimedMutex a("test.tm.aaa");
+  {
+    std::lock_guard<TimedMutex> lz(z);
+  }
+  {
+    std::lock_guard<TimedMutex> la(a);
+  }
+  const auto all = LockSiteRegistry::Instance().SnapshotAll();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].site, all[i].site);
+  }
+}
+
+// The concurrency core: many threads hammering one site while another
+// snapshots it must yield internally consistent stats (TSan guards the
+// memory model; the assertions guard the accounting).
+TEST(TimedMutexTest, ConcurrentHammerKeepsAccountingConsistent) {
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 2'000;
+  TimedMutex mu("test.tm.hammer");
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const LockSiteSnapshot s = SnapshotOf("test.tm.hammer");
+      // Holds are recorded after release, so hold.count may trail
+      // acquisitions but never exceed them; waits only come from
+      // contended acquisitions.
+      EXPECT_LE(s.hold.count, s.acquisitions);
+      EXPECT_LE(s.wait.count, s.contended);
+      EXPECT_LE(s.contended, s.acquisitions);
+    }
+  });
+  std::vector<std::thread> threads;
+  uint64_t shared_value = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        std::lock_guard<TimedMutex> lock(mu);
+        ++shared_value;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(shared_value, uint64_t(kThreads) * kItersPerThread);
+  if (!TimedMutexEnabled()) return;
+  const LockSiteSnapshot s = SnapshotOf("test.tm.hammer");
+  EXPECT_EQ(s.acquisitions, uint64_t(kThreads) * kItersPerThread);
+  EXPECT_EQ(s.hold.count, s.acquisitions);
+  EXPECT_EQ(s.wait.count, s.contended);
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -39,15 +39,17 @@ TEST(PlanCacheConcurrencyTest, StormKeepsStatsExactAndLruBounded) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kOpsPerThread; ++i) {
-        const std::string key =
-            "q" + std::to_string((t * 7 + i) % (kCapacity * 2));
+        std::string key = "q";
+        key += std::to_string((t * 7 + i) % (kCapacity * 2));
         if (PreparedPlanPtr hit = cache.Lookup(key)) {
           EXPECT_EQ(hit->canonical_sql, key);
         } else {
           cache.Insert(MakePlan(key, cache.epoch()));
         }
         if (i % kBumpEvery == 0) {
-          cache.BumpEpoch("storm t" + std::to_string(t));
+          std::string reason = "storm t";
+          reason += std::to_string(t);
+          cache.BumpEpoch(reason);
           bumps_issued.fetch_add(1, std::memory_order_relaxed);
         }
       }

@@ -1,0 +1,107 @@
+// Snapshot consistency under concurrent emission: worker threads hammer
+// counters, gauges, and histograms while the main thread snapshots the
+// registry. A histogram snapshot is taken under the histogram's one
+// mutex, so its bucket array, count, sum, and extrema must agree with
+// each other — `bucket_total` (the sum of the bucket array at snapshot
+// time) is the torn-snapshot detector: it always equals `count`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+namespace {
+
+TEST(MetricsConcurrentTest, SnapshotsAreNeverTorn) {
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 5'000;
+  MetricsRegistry registry;
+  // Resolve the references up front — worker threads then never touch the
+  // registry map, exactly like the serving runtime's cached SchedMetrics.
+  Counter& counter = registry.counter("test.ops");
+  Gauge& gauge = registry.gauge("test.level");
+  LatencyHistogram& hist = registry.histogram("test.latency_s");
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kItersPerThread; ++i) {
+        counter.Add(1);
+        gauge.Set(double(i));
+        // Spread across decades so many distinct buckets are in play.
+        hist.Record(1e-6 * double(1 + (i % 1000)) * double(1 + t));
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  uint64_t last_count = 0;
+  uint64_t last_counter = 0;
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    const auto h = snap.histograms.find("test.latency_s");
+    ASSERT_NE(h, snap.histograms.end());
+    // The torn-snapshot check: bucket total and count move together under
+    // the histogram mutex, so they can never disagree.
+    EXPECT_EQ(h->second.bucket_total, h->second.count);
+    if (h->second.count > 0) {
+      EXPECT_GT(h->second.sum, 0.0);
+      EXPECT_LE(h->second.min, h->second.max);
+      EXPECT_LE(h->second.p50, h->second.p95);
+      EXPECT_LE(h->second.p95, h->second.p99);
+      // Percentiles interpolate to bucket bounds clamped to [min, max].
+      EXPECT_GE(h->second.p50, h->second.min);
+      EXPECT_LE(h->second.p99, h->second.max);
+      // sum is consistent with the extrema at this instant.
+      const double n = double(h->second.count);
+      EXPECT_GE(h->second.sum, h->second.min * n * 0.999);
+      EXPECT_LE(h->second.sum, h->second.max * n * 1.001);
+    }
+    // Monotone progress across snapshots.
+    EXPECT_GE(h->second.count, last_count);
+    last_count = h->second.count;
+    const auto c = snap.counters.find("test.ops");
+    ASSERT_NE(c, snap.counters.end());
+    EXPECT_GE(c->second, last_counter);
+    last_counter = c->second;
+  }
+
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("test.ops"),
+            uint64_t(kThreads) * kItersPerThread);
+  const HistogramSnapshot h = final_snap.histograms.at("test.latency_s");
+  EXPECT_EQ(h.count, uint64_t(kThreads) * kItersPerThread);
+  EXPECT_EQ(h.bucket_total, h.count);
+}
+
+TEST(MetricsConcurrentTest, ConcurrentLookupOfDistinctNamesIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("c." + std::to_string(t) + "." + std::to_string(i))
+            .Add(1);
+        registry.histogram("h." + std::to_string(t)).Record(1e-4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), size_t(kThreads) * 200);
+  for (int t = 0; t < kThreads; ++t) {
+    const HistogramSnapshot h = snap.histograms.at("h." + std::to_string(t));
+    EXPECT_EQ(h.count, 200u);
+    EXPECT_EQ(h.bucket_total, 200u);
+  }
+}
+
+}  // namespace
+}  // namespace fedcal::obs

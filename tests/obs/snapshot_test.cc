@@ -100,6 +100,64 @@ TEST(HealthSnapshotTest, FedtopTextShowsGradesAlertsAndEvents) {
   EXPECT_EQ(FedtopText(*parsed), text);
 }
 
+TEST(HealthSnapshotTest, SchedAndLockPanelsRoundTripThroughJson) {
+  HealthSnapshot snap;
+  snap.sched.present = true;
+  snap.sched.events_fired = 42;
+  snap.sched.jobs_completed = 7;
+  snap.sched.heap_depth = 3.0;
+  snap.sched.dispatch_lag.count = 42;
+  snap.sched.dispatch_lag.sum = 0.0042;
+  snap.sched.dispatch_lag.min = 2e-6;
+  snap.sched.dispatch_lag.max = 4e-4;
+  snap.sched.dispatch_lag.p50 = 8e-5;
+  snap.sched.dispatch_lag.p95 = 3e-4;
+  snap.sched.dispatch_lag.p99 = 3.9e-4;
+  snap.sched.workers_busy_s = 1.5;
+  snap.sched.workers_idle_s = 0.5;
+  snap.sched.per_worker = {{1.0, 0.25}, {0.5, 0.25}};
+  snap.locks.push_back(LockSitePanel{"plan_cache.lru", 100, 4, 0.002,
+                                     8e-4, 3e-5});
+  snap.locks.push_back(LockSitePanel{"event_log", 50, 0, 0.0, 0.0, 1e-6});
+
+  const std::string json = HealthSnapshotToJson(snap);
+  auto parsed = HealthSnapshotFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->sched.present);
+  EXPECT_EQ(parsed->sched.events_fired, 42u);
+  EXPECT_EQ(parsed->sched.jobs_completed, 7u);
+  EXPECT_DOUBLE_EQ(parsed->sched.heap_depth, 3.0);
+  EXPECT_EQ(parsed->sched.dispatch_lag.count, 42u);
+  EXPECT_DOUBLE_EQ(parsed->sched.dispatch_lag.p95, 3e-4);
+  ASSERT_EQ(parsed->sched.per_worker.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->sched.per_worker[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->sched.per_worker[1].second, 0.25);
+  EXPECT_DOUBLE_EQ(parsed->sched.utilization(), 0.75);
+  ASSERT_EQ(parsed->locks.size(), 2u);
+  EXPECT_EQ(parsed->locks[0].site, "plan_cache.lru");
+  EXPECT_EQ(parsed->locks[0].contended, 4u);
+  EXPECT_DOUBLE_EQ(parsed->locks[0].wait_total_s, 0.002);
+  EXPECT_DOUBLE_EQ(parsed->locks[0].contention_rate(), 0.04);
+  // Stable wire form: emitting the parsed snapshot is byte-identical.
+  EXPECT_EQ(HealthSnapshotToJson(*parsed), json);
+  // And both panels render on the dashboard.
+  const std::string text = FedtopText(*parsed);
+  EXPECT_NE(text.find("scheduler:"), std::string::npos);
+  EXPECT_NE(text.find("lock contention"), std::string::npos);
+  EXPECT_NE(text.find("plan_cache.lru"), std::string::npos);
+}
+
+TEST(HealthSnapshotTest, PanelsAbsentKeepsLegacyWireFormat) {
+  // A snapshot without serving panels must serialize exactly as before
+  // the panels existed — no "sched"/"locks" keys, no trailing comma
+  // changes — so saved snapshot files and goldens stay valid.
+  const HealthSnapshot empty;
+  const std::string json = HealthSnapshotToJson(empty);
+  EXPECT_EQ(json.find("sched"), std::string::npos);
+  EXPECT_EQ(json.find("locks"), std::string::npos);
+  EXPECT_NE(json.find("\"events\": []\n}\n"), std::string::npos);
+}
+
 TEST(HealthSnapshotTest, EmptySnapshotRendersPlaceholders) {
   const HealthSnapshot empty;
   const std::string text = FedtopText(empty);

@@ -8,30 +8,51 @@
 // alerts and the recent event tail. Everything runs on the virtual clock,
 // so the output is deterministic run-to-run.
 //
+// Serving mode (--serve) drives the same testbed through the wall-clock
+// ServingRuntime instead: a closed-loop mixed workload on real worker
+// threads, with the scheduler panel (dispatch lag, exclusion waits,
+// worker utilization) and the lock-contention panel added to the screen.
+// --follow re-renders the dashboard from periodic snapshots while the
+// workload runs — a live `top` for the federation.
+//
 // Snapshot mode renders a saved snapshot file (as written by --json)
 // without running anything — `fedtop saved.json` shows the exact screen
-// the live run showed at capture time.
+// the live run showed at capture time, scheduler/contention panels
+// included.
 //
-//   fedtop [options]            live demo run
+//   fedtop [options]            live demo run (deterministic simulation)
+//   fedtop --serve [options]    wall-clock serving demo run
 //   fedtop <snapshot.json>      render a saved snapshot
 //
-// Options (live mode):
-//   --frames N        dashboard frames to render (default 5)
-//   --horizon S       virtual seconds to simulate (default 150)
+// Options:
+//   --frames N        sim: dashboard frames to render (default 5)
+//   --horizon S       sim: virtual seconds to simulate (default 150)
+//   --serve           serving-mode demo (wall clock, worker threads)
+//   --workers N       serve: client worker threads (default 4)
+//   --time-scale X    serve: wall seconds per virtual second (default 0.02)
+//   --queries N       serve: instances per query type (default 8)
+//   --follow          serve: live re-render while the workload runs
+//   --interval S      serve: wall seconds between follow frames (default 0.5)
 //   --json PATH       write the final health snapshot as JSON
 //   --metrics PATH    write the final metrics snapshot as JSON
 //   --events PATH     write the full event log as JSON
+//   --trace PATH      write a Chrome/Perfetto trace of the run's spans
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 #include "sim/fault_injector.h"
+#include "workload/runner.h"
 #include "workload/scenario.h"
 
 using namespace fedcal;  // NOLINT
@@ -76,9 +97,16 @@ int RenderSnapshotFile(const std::string& path) {
 struct Options {
   int frames = 5;
   double horizon_s = 150.0;
+  bool serve = false;
+  int workers = 4;
+  double time_scale = 0.02;
+  int queries_per_type = 8;
+  bool follow = false;
+  double interval_s = 0.5;
   std::string json_path;
   std::string metrics_path;
   std::string events_path;
+  std::string trace_path;
   std::string snapshot_file;  ///< non-empty = render-only mode
 };
 
@@ -108,6 +136,42 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
         *error = "--horizon must be positive";
         return false;
       }
+    } else if (arg == "--serve") {
+      opts->serve = true;
+    } else if (arg == "--workers") {
+      const char* v = value("--workers");
+      if (v == nullptr) return false;
+      opts->workers = std::atoi(v);
+      if (opts->workers < 1) {
+        *error = "--workers must be >= 1";
+        return false;
+      }
+    } else if (arg == "--time-scale") {
+      const char* v = value("--time-scale");
+      if (v == nullptr) return false;
+      opts->time_scale = std::atof(v);
+      if (opts->time_scale < 0.0) {
+        *error = "--time-scale must be >= 0";
+        return false;
+      }
+    } else if (arg == "--queries") {
+      const char* v = value("--queries");
+      if (v == nullptr) return false;
+      opts->queries_per_type = std::atoi(v);
+      if (opts->queries_per_type < 1) {
+        *error = "--queries must be >= 1";
+        return false;
+      }
+    } else if (arg == "--follow") {
+      opts->follow = true;
+    } else if (arg == "--interval") {
+      const char* v = value("--interval");
+      if (v == nullptr) return false;
+      opts->interval_s = std::atof(v);
+      if (opts->interval_s <= 0.0) {
+        *error = "--interval must be positive";
+        return false;
+      }
     } else if (arg == "--json") {
       const char* v = value("--json");
       if (v == nullptr) return false;
@@ -120,6 +184,10 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       const char* v = value("--events");
       if (v == nullptr) return false;
       opts->events_path = v;
+    } else if (arg == "--trace") {
+      const char* v = value("--trace");
+      if (v == nullptr) return false;
+      opts->trace_path = v;
     } else if (!arg.empty() && arg[0] == '-') {
       *error = "unknown option " + arg;
       return false;
@@ -130,7 +198,36 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       return false;
     }
   }
+  if (opts->serve && !opts->snapshot_file.empty()) {
+    *error = "--serve and a snapshot file are mutually exclusive";
+    return false;
+  }
   return true;
+}
+
+/// Writes the side outputs every live mode shares (snapshot JSON, metrics
+/// JSON, event-log JSON, Chrome trace). Returns 0 or a Fail() code.
+int WriteOutputs(const Options& opts, Scenario& sc,
+                 const obs::HealthSnapshot& final_snap) {
+  if (!opts.json_path.empty() &&
+      !WriteFile(opts.json_path, obs::HealthSnapshotToJson(final_snap))) {
+    return Fail("cannot write " + opts.json_path);
+  }
+  if (!opts.metrics_path.empty() &&
+      !WriteFile(opts.metrics_path, sc.telemetry().metrics.ToJson())) {
+    return Fail("cannot write " + opts.metrics_path);
+  }
+  if (!opts.events_path.empty() &&
+      !WriteFile(opts.events_path,
+                 obs::EventLogToJson(sc.telemetry().events))) {
+    return Fail("cannot write " + opts.events_path);
+  }
+  if (!opts.trace_path.empty() &&
+      !WriteFile(opts.trace_path,
+                 obs::ChromeTraceJson(sc.telemetry().tracer))) {
+    return Fail("cannot write " + opts.trace_path);
+  }
+  return 0;
 }
 
 int RunLive(const Options& opts) {
@@ -184,20 +281,73 @@ int RunLive(const Options& opts) {
   const obs::HealthSnapshot final_snap = obs::BuildHealthSnapshot(
       sc.telemetry().health, sc.telemetry().recorder, sc.telemetry().events,
       sc.sim().Now(), sc.server_ids());
-  if (!opts.json_path.empty() &&
-      !WriteFile(opts.json_path, obs::HealthSnapshotToJson(final_snap))) {
-    return Fail("cannot write " + opts.json_path);
+  return WriteOutputs(opts, sc, final_snap);
+}
+
+int RunServe(const Options& opts) {
+  // Small tables + a visible time scale: per-query CPU stays far below
+  // the time-scaled waits, so the run takes a few wall seconds and the
+  // scheduler panel shows genuine dispatch gaps and overlapped waiting.
+  ScenarioConfig cfg;
+  cfg.large_rows = 2'000;
+  cfg.small_rows = 200;
+  cfg.exec_mode = ExecMode::kServing;
+  cfg.serving_workers = opts.workers;
+  cfg.serving_time_scale = opts.time_scale;
+  Scenario sc(cfg);
+  QccConfig qcc;
+  // Between submissions the dispatcher would free-run periodic probes
+  // through unbounded virtual time — i.e. unbounded wall time once
+  // scaled — so the daemon stays off, as in the serving benches.
+  qcc.enable_availability_daemon = false;
+  sc.qcc(qcc).AttachTo(&sc.integrator());
+
+  // The health engine has no lock of its own: it is mutated from event
+  // callbacks on the dispatcher thread, so snapshots are built inside
+  // RunExclusive to join that mutual exclusion. The wait this costs shows
+  // up — fittingly — in the panel's own "exclusive wait" row.
+  auto build_snapshot = [&sc]() {
+    obs::HealthSnapshot snap;
+    sc.ctx().RunExclusive([&] {
+      snap = obs::BuildHealthSnapshot(
+          sc.telemetry().health, sc.telemetry().recorder,
+          sc.telemetry().events, sc.ctx().Now(), sc.server_ids(),
+          /*max_alerts=*/16, /*max_events=*/16, &sc.telemetry().metrics,
+          /*include_locks=*/true);
+    });
+    return snap;
+  };
+
+  WorkloadRunner runner(&sc);
+  std::atomic<bool> done{false};
+  WorkloadResult result;
+  std::thread driver([&] {
+    result = runner.RunMixedWorkload(opts.queries_per_type,
+                                     /*clients=*/opts.workers);
+    done.store(true, std::memory_order_release);
+  });
+
+  if (opts.follow) {
+    const auto interval = std::chrono::duration<double>(opts.interval_s);
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(interval);
+      // \033[H\033[J: cursor home + clear — re-draw in place like top.
+      std::printf("\033[H\033[J%s",
+                  obs::FedtopText(build_snapshot()).c_str());
+      std::fflush(stdout);
+    }
   }
-  if (!opts.metrics_path.empty() &&
-      !WriteFile(opts.metrics_path, sc.telemetry().metrics.ToJson())) {
-    return Fail("cannot write " + opts.metrics_path);
-  }
-  if (!opts.events_path.empty() &&
-      !WriteFile(opts.events_path,
-                 obs::EventLogToJson(sc.telemetry().events))) {
-    return Fail("cannot write " + opts.events_path);
-  }
-  return 0;
+  driver.join();
+
+  const obs::HealthSnapshot final_snap = build_snapshot();
+  if (opts.follow) std::printf("\033[H\033[J");
+  std::printf("%s", obs::FedtopText(final_snap).c_str());
+  std::printf(
+      "\nworkload: %zu queries, %zu failures, mean response %.3fs "
+      "(virtual) over %.2f virtual seconds\n",
+      result.measurements.size(), result.failures(), result.MeanResponse(),
+      sc.ctx().Now());
+  return WriteOutputs(opts, sc, final_snap);
 }
 
 }  // namespace
@@ -209,5 +359,5 @@ int main(int argc, char** argv) {
   if (!opts.snapshot_file.empty()) {
     return RenderSnapshotFile(opts.snapshot_file);
   }
-  return RunLive(opts);
+  return opts.serve ? RunServe(opts) : RunLive(opts);
 }
