@@ -1,0 +1,152 @@
+// Row-vs-columnar federated wall-clock harness at 1M-row scale.
+//
+// Runs the full QT1-QT4 corpus through two identically-seeded testbeds —
+// one with the reference row engine, one with the vectorized columnar
+// engine — and reports per-query and corpus-total wall seconds plus the
+// speedup ratio. The differential tests prove the engines byte-identical;
+// this harness proves the columnar engine is *worth it* at the scale the
+// paper's integration scenarios target (ScalePreset::kMedium: 1M-row
+// large tables, 10k-row small tables).
+//
+// Scenarios are built and torn down sequentially (row first, then
+// columnar) so peak memory holds one 1M-row testbed, not two. Partial
+// replication decomposes joins into cross-server fragments, so the
+// integrator's zero-copy columnar merge is on the measured path.
+//
+// JSON scalars use the `/wall_s` and `/ratio_x` label classes that
+// tools/check_bench_regression.py treats as wall-clock (loose bound) and
+// positivity-only respectively; the >= 10x acceptance gate lives in this
+// harness's own shape checks.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/datagen.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+constexpr int kTimedIters = 2;
+
+ScenarioConfig MakeConfig(bool columnar) {
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.WithScale(ScalePreset::kMedium);
+  // The ≥10x claim is about the 1M-row *large* tables (employee, sales).
+  // The department table keeps the seed scale: its join keys come from a
+  // fixed 60-value domain, so QT2's fan-out grows linearly with the
+  // small-table size — the medium preset's 10k rows would put QT2 past
+  // the engine's 50M-row intermediate-result safety cap on both engines.
+  cfg.small_rows = 1'000;
+  cfg.full_replication = false;
+  cfg.columnar_engine = columnar;
+  return cfg;
+}
+
+struct EngineTimes {
+  // One wall-seconds entry per (query type, instance) in corpus order.
+  std::vector<double> wall_s;
+  std::vector<size_t> result_rows;
+  double total_s = 0;
+};
+
+/// Builds one testbed, runs the corpus once untimed (datagen-independent
+/// warmup: plan-cache compile, columnar mirror conversion, allocator
+/// growth), then times `kTimedIters` passes and keeps the fastest.
+EngineTimes RunEngine(bool columnar) {
+  using Clock = std::chrono::steady_clock;
+  Scenario sc(MakeConfig(columnar));
+
+  std::vector<std::string> corpus;
+  for (QueryType type : AllQueryTypes()) {
+    corpus.push_back(sc.MakeQueryInstance(type, 0));
+  }
+
+  EngineTimes out;
+  out.wall_s.assign(corpus.size(), 0.0);
+  out.result_rows.assign(corpus.size(), 0);
+  for (size_t q = 0; q < corpus.size(); ++q) {
+    auto warm = sc.integrator().RunSync(corpus[q]);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", q,
+                   warm.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.result_rows[q] = warm->table->num_rows();
+    double best = 0;
+    for (int it = 0; it < kTimedIters; ++it) {
+      const auto t0 = Clock::now();
+      auto r = sc.integrator().RunSync(corpus[q]);
+      const auto t1 = Clock::now();
+      if (!r.ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n", q,
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (it == 0 || s < best) best = s;
+    }
+    out.wall_s[q] = best;
+    out.total_s += best;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace fedcal
+
+int main() {
+  using namespace fedcal;  // NOLINT
+
+  std::printf("columnar speedup harness: ScalePreset::kMedium (%s), "
+              "partial replication, %d timed iters (best-of)\n",
+              ScalePresetName(ScalePreset::kMedium), kTimedIters);
+  bench::PrintRule();
+
+  std::printf("[1/2] row engine (reference)\n");
+  const EngineTimes row = RunEngine(/*columnar=*/false);
+  std::printf("[2/2] columnar engine\n");
+  const EngineTimes col = RunEngine(/*columnar=*/true);
+
+  bench::JsonReporter reporter("columnar_speedup");
+  bench::ShapeCheck check;
+
+  std::vector<std::string> names;
+  for (QueryType type : AllQueryTypes()) names.push_back(QueryTypeName(type));
+
+  bench::PrintRule();
+  std::printf("%-6s %14s %14s %10s\n", "query", "row wall (s)",
+              "col wall (s)", "speedup");
+  double qt3_ratio = 0;
+  for (size_t q = 0; q < names.size(); ++q) {
+    const double ratio = col.wall_s[q] > 0 ? row.wall_s[q] / col.wall_s[q] : 0;
+    std::printf("%-6s %14.4f %14.4f %9.2fx\n", names[q].c_str(),
+                row.wall_s[q], col.wall_s[q], ratio);
+    reporter.AddScalar(names[q] + "/row_wall_s", row.wall_s[q]);
+    reporter.AddScalar(names[q] + "/columnar_wall_s", col.wall_s[q]);
+    reporter.AddScalar(names[q] + "/speedup_ratio_x", ratio);
+    check.Expect(row.result_rows[q] == col.result_rows[q],
+                 names[q] + " row/columnar result cardinality match");
+    if (names[q] == "QT3") qt3_ratio = ratio;
+  }
+  const double total_ratio =
+      col.total_s > 0 ? row.total_s / col.total_s : 0;
+  std::printf("%-6s %14.4f %14.4f %9.2fx\n", "corpus", row.total_s,
+              col.total_s, total_ratio);
+  reporter.AddScalar("corpus/row_wall_s", row.total_s);
+  reporter.AddScalar("corpus/columnar_wall_s", col.total_s);
+  reporter.AddScalar("corpus/speedup_ratio_x", total_ratio);
+
+  // The acceptance gate: the federated QT3 query (the BM_FederatedExecute
+  // workload) must clear 10x at this scale. The corpus total is bounded by
+  // QT2, whose ~13M-row join output is string-materialization-bound in
+  // both engines — it gets a sanity floor, not a 10x bar.
+  check.Expect(qt3_ratio >= 10.0, "QT3 columnar speedup >= 10x");
+  check.Expect(total_ratio >= 2.0, "corpus columnar speedup >= 2x");
+
+  return reporter.Finish(check);
+}

@@ -1,0 +1,43 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fedcal {
+
+void* Arena::AllocateBytes(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  while (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    const size_t aligned = (c.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= c.capacity) {
+      c.used = aligned + bytes;
+      bytes_allocated_ += bytes;
+      return c.data.get() + aligned;
+    }
+    ++current_;
+  }
+  Chunk* c = NewChunk(bytes + align);
+  const size_t aligned = (c->used + align - 1) & ~(align - 1);
+  c->used = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return c->data.get() + aligned;
+}
+
+Arena::Chunk* Arena::NewChunk(size_t min_bytes) {
+  Chunk c;
+  c.capacity = std::max(chunk_bytes_, min_bytes);
+  c.data = std::make_unique<uint8_t[]>(c.capacity);
+  bytes_reserved_ += c.capacity;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  return &chunks_.back();
+}
+
+void Arena::Reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace fedcal

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fedcal {
+
+/// \brief Chunked bump allocator for query-lifetime scratch memory.
+///
+/// The columnar engine allocates its selection vectors and per-batch
+/// evaluation scratch from an Arena instead of the heap: one pointer bump
+/// per allocation, no per-object frees, everything released at once when
+/// the query finishes (or recycled with Reset, which keeps the chunks).
+/// Allocations are trivially-destructible POD spans only — the arena never
+/// runs destructors.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 1 << 18;  // 256 KiB
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `count` default-initialized elements of a trivially
+  /// destructible type, aligned to alignof(T). The span lives until
+  /// Reset() or the arena's destruction.
+  template <typename T>
+  T* Allocate(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Raw aligned allocation.
+  void* AllocateBytes(size_t bytes, size_t align);
+
+  /// Rewinds every chunk to empty without returning memory to the heap —
+  /// the steady-state path between queries reuses warm chunks.
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  Chunk* NewChunk(size_t min_bytes);
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  /// Index of the chunk currently being bumped; chunks below it are full
+  /// (or were current before an oversized allocation forced a new chunk).
+  size_t current_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,795 @@
+#include "engine/columnar_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "engine/exec_common.h"
+
+namespace fedcal {
+
+namespace {
+
+/// Maps a global row index of a ColumnarTable to (chunk, local offset).
+class RowLocator {
+ public:
+  explicit RowLocator(const ColumnarTable& t) {
+    starts_.reserve(t.chunks().size());
+    size_t s = 0;
+    for (const ColumnChunk& c : t.chunks()) {
+      starts_.push_back(s);
+      s += c.length;
+    }
+  }
+
+  std::pair<uint32_t, uint32_t> Locate(size_t r) const {
+    const size_t c = static_cast<size_t>(
+        std::upper_bound(starts_.begin(), starts_.end(), r) -
+        starts_.begin() - 1);
+    return {static_cast<uint32_t>(c), static_cast<uint32_t>(r - starts_[c])};
+  }
+
+ private:
+  std::vector<size_t> starts_;
+};
+
+/// Compacts the selected rows of `src` into a fresh chunk. Output columns
+/// start in the source representation, so same-kind cells copy through the
+/// typed fast path (and demoted sources stay variant-exact).
+ColumnChunk GatherChunk(const ColumnChunk& src, const uint32_t* sel,
+                        size_t k) {
+  ColumnChunk out;
+  out.length = k;
+  out.columns.reserve(src.columns.size());
+  for (const ColumnSlice& s : src.columns) {
+    auto col = std::make_shared<ColumnData>(s.col->kind());
+    col->Reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      col->AppendFrom(*s.col, s.offset + sel[i]);
+    }
+    out.columns.push_back(ColumnSlice{std::move(col), 0});
+  }
+  return out;
+}
+
+/// Appends `rows` (global indices into `src`) to `out` in chunks of
+/// `batch_rows`. Used by Sort and Distinct, whose outputs are arbitrary
+/// permutations/subsets of their input.
+void AppendGatheredRows(const ColumnarTable& src,
+                        const std::vector<size_t>& rows, size_t batch_rows,
+                        ColumnarTable* out) {
+  if (batch_rows == 0) batch_rows = 1;
+  const RowLocator loc(src);
+  const size_t ncols = src.schema().num_columns();
+  std::vector<std::pair<uint32_t, uint32_t>> locs;
+  for (size_t start = 0; start < rows.size(); start += batch_rows) {
+    const size_t len = std::min(batch_rows, rows.size() - start);
+    locs.clear();
+    locs.reserve(len);
+    for (size_t i = 0; i < len; ++i) locs.push_back(loc.Locate(rows[start + i]));
+    ColumnChunk chunk;
+    chunk.length = len;
+    chunk.columns.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      auto col = std::make_shared<ColumnData>(src.schema().column(c).type);
+      col->Reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        const ColumnSlice& s = src.chunks()[locs[i].first].columns[c];
+        col->AppendFrom(*s.col, s.offset + locs[i].second);
+      }
+      chunk.columns.push_back(ColumnSlice{std::move(col), 0});
+    }
+    out->AppendChunk(std::move(chunk));
+  }
+}
+
+/// True when column `slot` of every chunk is a pure int64 vector (no mixed
+/// demotion). For such columns Value comparison degenerates to int64
+/// comparison — cross int/double equality cannot arise — so hash keys can
+/// skip the per-row Value materialization entirely.
+bool AllChunksInt64(const ColumnarTable& t, size_t slot) {
+  for (const ColumnChunk& chunk : t.chunks()) {
+    if (chunk.length == 0) continue;
+    if (chunk.columns[slot].col->kind() != ColumnData::Kind::kInt64) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Materializes a broadcast constant as a column of `n` cells.
+ColumnPtr ConstantColumn(const Value& v, size_t n) {
+  DataType t = DataType::kInt64;
+  if (v.is_double()) t = DataType::kDouble;
+  if (v.is_string()) t = DataType::kString;
+  auto col = std::make_shared<ColumnData>(t);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) col->AppendValue(v);
+  return col;
+}
+
+}  // namespace
+
+void ColumnarExecutor::ChargeScan(const Table& table,
+                                  ExecStats* stats) const {
+  stats->rows_scanned += table.num_rows();
+  // The whole scan charge (row touch + bytes read) is I/O work.
+  const double io = config_.costs.scan_row * table.num_rows() +
+                    config_.costs.scan_byte * table.byte_size();
+  stats->work_units += io;
+  stats->io_units += io;
+}
+
+Status ColumnarExecutor::CheckSize(size_t rows) const {
+  if (config_.max_intermediate_rows > 0 &&
+      rows > config_.max_intermediate_rows) {
+    return Status::ExecutionError(StringFormat(
+        "intermediate result exceeds limit (%zu > %zu rows)", rows,
+        config_.max_intermediate_rows));
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> ColumnarExecutor::Execute(const PlanNodePtr& plan,
+                                           ExecStats* stats) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  ExecStats local;
+  if (plan->kind == PlanKind::kScan) {
+    // A bare scan returns the resolved table itself, exactly like the row
+    // engine (same object, name, and byte accounting).
+    ++local.operators_executed;
+    FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(plan->table_name));
+    ChargeScan(*table, &local);
+    local.rows_output = table->num_rows();
+    local.bytes_output = table->byte_size();
+    if (stats) stats->Merge(local);
+    return table;
+  }
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr result, ExecNode(*plan, &local));
+  local.rows_output = result->num_rows();
+  local.bytes_output = result->byte_size();
+  if (stats) stats->Merge(local);
+  return Table::FromColumnar("", std::move(result));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecNode(const PlanNode& node,
+                                                    ExecStats* stats) {
+  ++stats->operators_executed;
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return ExecScan(node, stats);
+    case PlanKind::kIndexScan:
+      return ExecIndexScan(node, stats);
+    case PlanKind::kFilter:
+      return ExecFilter(node, stats);
+    case PlanKind::kProject:
+      return ExecProject(node, stats);
+    case PlanKind::kHashJoin:
+      return ExecHashJoin(node, stats);
+    case PlanKind::kNestedLoopJoin:
+      return ExecNestedLoopJoin(node, stats);
+    case PlanKind::kAggregate:
+      return ExecAggregate(node, stats);
+    case PlanKind::kSort:
+      return ExecSort(node, stats);
+    case PlanKind::kDistinct:
+      return ExecDistinct(node, stats);
+    case PlanKind::kLimit:
+      return ExecLimit(node, stats);
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecScan(const PlanNode& node,
+                                                    ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(node.table_name));
+  ChargeScan(*table, stats);
+  // Base tables cache this mirror, so repeated scans convert once;
+  // columnar-backed tables (fragment results) return their chunks as-is.
+  return table->columnar(config_.batch_rows);
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecIndexScan(const PlanNode& node,
+                                                         ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(node.table_name));
+  const HashIndex* index = table->GetIndex(node.index_column);
+  if (index == nullptr) {
+    return Status::ExecutionError("table " + node.table_name +
+                                  " has no index on " + node.index_column);
+  }
+  Row empty;
+  FEDCAL_ASSIGN_OR_RETURN(Value key, node.index_value->Eval(empty));
+  double io = config_.costs.index_probe;
+  std::vector<size_t> matches;
+  for (size_t row_id : index->Probe(key)) {
+    if (row_id >= table->num_rows()) continue;
+    const Row& row = table->row(row_id);
+    // Verify exact equality (the index probe is hash-based).
+    if (row[index->column_index()].is_null() ||
+        row[index->column_index()].Compare(key) != 0) {
+      continue;
+    }
+    io += config_.costs.index_match_row;
+    matches.push_back(row_id);
+  }
+  stats->rows_scanned += matches.size();
+  stats->work_units += io;
+  stats->io_units += io;
+
+  // Point lookups touch a handful of rows; build their columns directly
+  // from the (row-backed) base table instead of forcing a full mirror.
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  const size_t ncols = node.output_schema.num_columns();
+  const size_t batch = config_.batch_rows == 0 ? 1 : config_.batch_rows;
+  for (size_t start = 0; start < matches.size(); start += batch) {
+    const size_t len = std::min(batch, matches.size() - start);
+    ColumnChunk chunk;
+    chunk.length = len;
+    chunk.columns.reserve(ncols);
+    size_t bytes = 0;
+    for (size_t c = 0; c < ncols; ++c) {
+      auto col =
+          std::make_shared<ColumnData>(node.output_schema.column(c).type);
+      col->Reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        const Value& v = table->row(matches[start + i])[c];
+        col->AppendValue(v);
+        bytes += v.ByteSize();
+      }
+      chunk.columns.push_back(ColumnSlice{std::move(col), 0});
+    }
+    out->AppendChunk(std::move(chunk), bytes);
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecFilter(const PlanNode& node,
+                                                      ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  stats->work_units +=
+      config_.costs.filter_row * static_cast<double>(in->num_rows());
+  for (const ColumnChunk& chunk : in->chunks()) {
+    if (chunk.length == 0) continue;
+    size_t k = 0;
+    FEDCAL_ASSIGN_OR_RETURN(
+        const uint32_t* sel,
+        eval_.EvalSelection(*node.predicate, chunk, &k));
+    if (k == 0) continue;
+    if (k == chunk.length) {
+      // Every row passed: share the chunk instead of copying it.
+      out->AppendChunk(chunk);
+    } else {
+      out->AppendChunk(GatherChunk(chunk, sel, k));
+    }
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecProject(const PlanNode& node,
+                                                       ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  stats->work_units += config_.costs.project_expr *
+                       static_cast<double>(in->num_rows()) *
+                       static_cast<double>(node.projections.size());
+  for (const ColumnChunk& chunk : in->chunks()) {
+    if (chunk.length == 0) continue;
+    ColumnChunk oc;
+    oc.length = chunk.length;
+    oc.columns.reserve(node.projections.size());
+    for (const BoundExprPtr& e : node.projections) {
+      FEDCAL_ASSIGN_OR_RETURN(VectorResult v, eval_.Eval(*e, chunk));
+      if (v.constant) {
+        oc.columns.push_back(
+            ColumnSlice{ConstantColumn(v.const_value, chunk.length), 0});
+      } else {
+        // Pass-through and computed columns alike are shared, not copied.
+        oc.columns.push_back(ColumnSlice{std::move(v.col), v.offset});
+      }
+    }
+    out->AppendChunk(std::move(oc));
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecHashJoin(const PlanNode& node,
+                                                        ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr build, ExecNode(*node.left, stats));
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr probe,
+                          ExecNode(*node.right, stats));
+
+  // Candidate (build, probe) pairs in probe order, matches ascending —
+  // exactly the row engine's deterministic emission order.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  if (node.left_keys.size() == 1 && node.right_keys.size() == 1 &&
+      AllChunksInt64(*build, node.left_keys[0]) &&
+      AllChunksInt64(*probe, node.right_keys[0])) {
+    // Typed fast path: both key columns are pure int64, so Value equality
+    // degenerates to int64 equality and the per-row Row/Value key
+    // materialization disappears. Matching rows chain through a single
+    // `next` array (built in reverse so each chain lists build rows in
+    // ascending order — the required emission order) instead of one heap
+    // vector per distinct key; when the build keys span a compact range
+    // (serial ids do) the chain heads live in a direct-address array and
+    // the hash table disappears entirely.
+    struct KeyCol {
+      const int64_t* vals;
+      const uint8_t* nulls;  // null => skip (NULL keys never join)
+      size_t len;
+      uint32_t base;
+    };
+    auto key_cols = [](const ColumnarTable& t, size_t slot) {
+      std::vector<KeyCol> cols;
+      cols.reserve(t.chunks().size());
+      uint32_t base = 0;
+      for (const ColumnChunk& chunk : t.chunks()) {
+        const ColumnSlice& s = chunk.columns[slot];
+        cols.push_back(KeyCol{
+            s.col->ints() + s.offset,
+            s.col->has_nulls() ? s.col->nulls() + s.offset : nullptr,
+            chunk.length, base});
+        base += static_cast<uint32_t>(chunk.length);
+      }
+      return cols;
+    };
+    const std::vector<KeyCol> bcols = key_cols(*build, node.left_keys[0]);
+    const std::vector<KeyCol> pcols = key_cols(*probe, node.right_keys[0]);
+
+    const size_t bn = build->num_rows();
+    constexpr uint32_t kNone = UINT32_MAX;
+    int64_t kmin = 0;
+    int64_t kmax = 0;
+    size_t nonnull = 0;
+    for (const KeyCol& kc : bcols) {
+      for (size_t i = 0; i < kc.len; ++i) {
+        if (kc.nulls != nullptr && kc.nulls[i] != 0) continue;
+        const int64_t k = kc.vals[i];
+        if (nonnull == 0) {
+          kmin = kmax = k;
+        } else {
+          if (k < kmin) kmin = k;
+          if (k > kmax) kmax = k;
+        }
+        ++nonnull;
+      }
+    }
+    // Unsigned subtraction is overflow-safe for any int64 pair.
+    const uint64_t range =
+        static_cast<uint64_t>(kmax) - static_cast<uint64_t>(kmin);
+    // Direct addressing pays one uint32 slot per key in [kmin, kmax]. The
+    // absolute floor matters: a small build side probed by a large input
+    // (selective filter joined against a big table) is worth a few MB of
+    // head array to turn every probe into an array index.
+    const bool dense =
+        nonnull > 0 &&
+        range < std::max<uint64_t>(4 * static_cast<uint64_t>(bn) + 1024,
+                                   uint64_t{1} << 22);
+
+    std::vector<uint32_t> next(bn, kNone);
+    std::vector<uint32_t> head;
+    std::unordered_map<int64_t, uint32_t> head_map;
+    if (dense) {
+      head.assign(static_cast<size_t>(range) + 1, kNone);
+    } else {
+      head_map.reserve(nonnull);
+    }
+    for (size_t c = bcols.size(); c-- > 0;) {
+      const KeyCol& kc = bcols[c];
+      for (size_t i = kc.len; i-- > 0;) {
+        if (kc.nulls != nullptr && kc.nulls[i] != 0) continue;
+        const uint32_t row = kc.base + static_cast<uint32_t>(i);
+        if (dense) {
+          uint32_t& h = head[static_cast<size_t>(
+              static_cast<uint64_t>(kc.vals[i]) -
+              static_cast<uint64_t>(kmin))];
+          next[row] = h;
+          h = row;
+        } else {
+          uint32_t& h = head_map.try_emplace(kc.vals[i], kNone).first->second;
+          next[row] = h;
+          h = row;
+        }
+      }
+    }
+    for (const KeyCol& kc : pcols) {
+      for (size_t i = 0; i < kc.len; ++i) {
+        if (kc.nulls != nullptr && kc.nulls[i] != 0) continue;
+        const int64_t k = kc.vals[i];
+        uint32_t h = kNone;
+        if (dense) {
+          if (k >= kmin && k <= kmax) {
+            h = head[static_cast<size_t>(static_cast<uint64_t>(k) -
+                                         static_cast<uint64_t>(kmin))];
+          }
+        } else {
+          auto it = head_map.find(k);
+          if (it != head_map.end()) h = it->second;
+        }
+        for (uint32_t b = h; b != kNone; b = next[b]) {
+          pairs.emplace_back(b, kc.base + static_cast<uint32_t>(i));
+        }
+      }
+    }
+  } else {
+    // Generic path: composite or non-int64 keys hash as row-engine Rows.
+    std::unordered_map<RowKey, std::vector<uint32_t>, RowKeyHash> table;
+    table.reserve(build->num_rows());
+    size_t base = 0;
+    for (const ColumnChunk& chunk : build->chunks()) {
+      for (size_t i = 0; i < chunk.length; ++i) {
+        Row key;
+        key.reserve(node.left_keys.size());
+        bool has_null = false;
+        for (size_t s : node.left_keys) {
+          Value v = chunk.ValueAt(s, i);
+          has_null |= v.is_null();
+          key.push_back(std::move(v));
+        }
+        // NULL join keys never match; skip them at build time.
+        if (has_null) continue;
+        table[RowKey(std::move(key))].push_back(
+            static_cast<uint32_t>(base + i));
+      }
+      base += chunk.length;
+    }
+    base = 0;
+    for (const ColumnChunk& chunk : probe->chunks()) {
+      for (size_t i = 0; i < chunk.length; ++i) {
+        Row key;
+        key.reserve(node.right_keys.size());
+        bool has_null = false;
+        for (size_t s : node.right_keys) {
+          Value v = chunk.ValueAt(s, i);
+          has_null |= v.is_null();
+          key.push_back(std::move(v));
+        }
+        if (has_null) continue;
+        auto it = table.find(RowKey(std::move(key)));
+        if (it == table.end()) continue;
+        for (uint32_t b : it->second) {
+          pairs.emplace_back(b, static_cast<uint32_t>(base + i));
+        }
+      }
+      base += chunk.length;
+    }
+  }
+  stats->work_units +=
+      config_.costs.hash_build_row * static_cast<double>(build->num_rows());
+  stats->work_units +=
+      config_.costs.hash_probe_row * static_cast<double>(probe->num_rows());
+
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  const RowLocator bloc(*build);
+  const RowLocator ploc(*probe);
+  const size_t bw = build->schema().num_columns();
+  const size_t pw = probe->schema().num_columns();
+  const size_t batch = config_.batch_rows == 0 ? 1 : config_.batch_rows;
+  size_t emitted = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> blocs;
+  std::vector<std::pair<uint32_t, uint32_t>> plocs;
+  for (size_t start = 0; start < pairs.size(); start += batch) {
+    const size_t len = std::min(batch, pairs.size() - start);
+    blocs.clear();
+    plocs.clear();
+    blocs.reserve(len);
+    plocs.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      blocs.push_back(bloc.Locate(pairs[start + i].first));
+      plocs.push_back(ploc.Locate(pairs[start + i].second));
+    }
+    // Gather the candidate pairs into a concatenated [build, probe] chunk.
+    ColumnChunk cand;
+    cand.length = len;
+    cand.columns.reserve(bw + pw);
+    for (size_t c = 0; c < bw + pw; ++c) {
+      const bool from_build = c < bw;
+      const ColumnarTable& side = from_build ? *build : *probe;
+      const size_t side_col = from_build ? c : c - bw;
+      const auto& locs = from_build ? blocs : plocs;
+      auto col = std::make_shared<ColumnData>(
+          side.schema().column(side_col).type);
+      col->Reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        const ColumnSlice& s =
+            side.chunks()[locs[i].first].columns[side_col];
+        col->AppendFrom(*s.col, s.offset + locs[i].second);
+      }
+      cand.columns.push_back(ColumnSlice{std::move(col), 0});
+    }
+    const uint32_t* sel = nullptr;
+    size_t k = len;
+    if (node.residual) {
+      FEDCAL_ASSIGN_OR_RETURN(sel,
+                              eval_.EvalSelection(*node.residual, cand, &k));
+    }
+    if (k == 0) continue;
+    for (size_t j = 0; j < k; ++j) {
+      stats->work_units += config_.costs.join_output_row;
+      ++emitted;
+      FEDCAL_RETURN_NOT_OK(CheckSize(emitted));
+    }
+    if (k == len) {
+      out->AppendChunk(std::move(cand));
+    } else {
+      out->AppendChunk(GatherChunk(cand, sel, k));
+    }
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecNestedLoopJoin(
+    const PlanNode& node, ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr left, ExecNode(*node.left, stats));
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr right,
+                          ExecNode(*node.right, stats));
+  // Nested-loop joins are rare and small; run the row engine's loop over
+  // materialized rows (charges and emission order are identical).
+  const std::vector<Row> lrows = left->MaterializeRows();
+  const std::vector<Row> rrows = right->MaterializeRows();
+  stats->work_units += config_.costs.nlj_pair *
+                       static_cast<double>(left->num_rows()) *
+                       static_cast<double>(right->num_rows());
+  std::vector<Row> out_rows;
+  for (const Row& l : lrows) {
+    for (const Row& r : rrows) {
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (node.predicate) {
+        FEDCAL_ASSIGN_OR_RETURN(Value v, node.predicate->Eval(joined));
+        if (!IsTruthy(v)) continue;
+      }
+      stats->work_units += config_.costs.join_output_row;
+      out_rows.push_back(std::move(joined));
+      FEDCAL_RETURN_NOT_OK(CheckSize(out_rows.size()));
+    }
+  }
+  return ColumnarFromRows(node.output_schema, out_rows, config_.batch_rows);
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecAggregate(const PlanNode& node,
+                                                         ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  // First-seen order, matching the row engine.
+  std::vector<Group> groups;
+
+  stats->work_units +=
+      config_.costs.agg_update_row * static_cast<double>(in->num_rows());
+
+  // Evaluate group keys and aggregate arguments for every chunk up front
+  // (same expression order as the per-chunk loop, so the first evaluation
+  // error is unchanged). The pre-pass also decides whether the typed
+  // single-int64 group-key fast path applies: every chunk's key must be a
+  // pure int64 column, so Value identity reduces to int64 identity and the
+  // per-row Row/RowKey materialization disappears.
+  struct ChunkVals {
+    const ColumnChunk* chunk = nullptr;
+    std::vector<VectorResult> group_vals;
+    std::vector<VectorResult> agg_vals;
+  };
+  std::vector<ChunkVals> evaluated;
+  evaluated.reserve(in->chunks().size());
+  bool int64_keys = node.group_by.size() == 1;
+  for (const ColumnChunk& chunk : in->chunks()) {
+    if (chunk.length == 0) continue;
+    ChunkVals cv;
+    cv.chunk = &chunk;
+    cv.group_vals.reserve(node.group_by.size());
+    for (const BoundExprPtr& g : node.group_by) {
+      FEDCAL_ASSIGN_OR_RETURN(VectorResult v, eval_.Eval(*g, chunk));
+      cv.group_vals.push_back(std::move(v));
+    }
+    cv.agg_vals.assign(node.aggs.size(), VectorResult{});
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      if (node.aggs[a].count_star) continue;
+      FEDCAL_ASSIGN_OR_RETURN(cv.agg_vals[a],
+                              eval_.Eval(*node.aggs[a].arg, chunk));
+    }
+    if (int64_keys) {
+      const VectorResult& gv = cv.group_vals[0];
+      int64_keys =
+          !gv.constant && gv.col->kind() == ColumnData::Kind::kInt64;
+    }
+    evaluated.push_back(std::move(cv));
+  }
+
+  std::unordered_map<RowKey, size_t, RowKeyHash> group_index;
+  std::unordered_map<int64_t, size_t> int_index;
+  // NULL group keys form a regular group in the row engine (Compare treats
+  // null == null); the typed map can't hold them, so they get a dedicated
+  // slot that still respects first-seen ordering.
+  size_t null_group = SIZE_MAX;
+  for (const ChunkVals& cv : evaluated) {
+    const ColumnChunk& chunk = *cv.chunk;
+    const int64_t* key_ints = nullptr;
+    const uint8_t* key_nulls = nullptr;
+    if (int64_keys) {
+      const VectorResult& gv = cv.group_vals[0];
+      key_ints = gv.col->ints() + gv.offset;
+      key_nulls =
+          gv.col->has_nulls() ? gv.col->nulls() + gv.offset : nullptr;
+    }
+    for (size_t i = 0; i < chunk.length; ++i) {
+      size_t gi;
+      if (int64_keys) {
+        if (key_nulls != nullptr && key_nulls[i] != 0) {
+          if (null_group == SIZE_MAX) {
+            null_group = groups.size();
+            Group grp;
+            grp.key.push_back(Value());
+            grp.states.resize(node.aggs.size());
+            groups.push_back(std::move(grp));
+          }
+          gi = null_group;
+        } else {
+          auto [it, inserted] =
+              int_index.emplace(key_ints[i], groups.size());
+          if (inserted) {
+            Group grp;
+            grp.key.push_back(Value(key_ints[i]));
+            grp.states.resize(node.aggs.size());
+            groups.push_back(std::move(grp));
+          }
+          gi = it->second;
+        }
+      } else {
+        Row key;
+        key.reserve(cv.group_vals.size());
+        for (const VectorResult& gv : cv.group_vals) key.push_back(gv.At(i));
+        RowKey rk(key);
+        auto [it, inserted] =
+            group_index.emplace(std::move(rk), groups.size());
+        if (inserted) {
+          Group grp;
+          grp.key = std::move(key);
+          grp.states.resize(node.aggs.size());
+          groups.push_back(std::move(grp));
+        }
+        gi = it->second;
+      }
+      Group& grp = groups[gi];
+      for (size_t a = 0; a < node.aggs.size(); ++a) {
+        const AggItem& item = node.aggs[a];
+        if (item.count_star) {
+          grp.states[a].Update(item, Value());
+        } else {
+          grp.states[a].Update(item, cv.agg_vals[a].At(i));
+        }
+      }
+    }
+  }
+
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  const size_t ncols = node.output_schema.num_columns();
+  const size_t nkeys = node.group_by.size();
+  // Global aggregation over empty input still yields one row.
+  if (groups.empty() && node.group_by.empty()) {
+    Group empty_grp;
+    empty_grp.states.resize(node.aggs.size());
+    groups.push_back(std::move(empty_grp));
+    stats->work_units += config_.costs.agg_group;
+  } else {
+    stats->work_units +=
+        config_.costs.agg_group * static_cast<double>(groups.size());
+  }
+  const size_t batch = config_.batch_rows == 0 ? 1 : config_.batch_rows;
+  for (size_t start = 0; start < groups.size(); start += batch) {
+    const size_t len = std::min(batch, groups.size() - start);
+    ColumnChunk chunk;
+    chunk.length = len;
+    chunk.columns.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      auto col =
+          std::make_shared<ColumnData>(node.output_schema.column(c).type);
+      col->Reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        const Group& grp = groups[start + i];
+        if (c < nkeys) {
+          col->AppendValue(grp.key[c]);
+        } else {
+          col->AppendValue(grp.states[c - nkeys].Finalize(
+              node.aggs[c - nkeys]));
+        }
+      }
+      chunk.columns.push_back(ColumnSlice{std::move(col), 0});
+    }
+    out->AppendChunk(std::move(chunk));
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecSort(const PlanNode& node,
+                                                    ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+  const size_t n = in->num_rows();
+  stats->work_units +=
+      config_.costs.sort_row_log * static_cast<double>(n) * Log2Rows(n);
+
+  // Precompute sort keys per row (vectorized per chunk), then stable-sort
+  // indices with the row engine's comparator: identical permutation.
+  std::vector<Row> keys;
+  keys.reserve(n);
+  std::vector<VectorResult> key_vals;
+  for (const ColumnChunk& chunk : in->chunks()) {
+    if (chunk.length == 0) continue;
+    key_vals.clear();
+    for (const auto& [e, desc] : node.sort_keys) {
+      Unused(desc);
+      FEDCAL_ASSIGN_OR_RETURN(VectorResult v, eval_.Eval(*e, chunk));
+      key_vals.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < chunk.length; ++i) {
+      Row key;
+      key.reserve(key_vals.size());
+      for (const VectorResult& kv : key_vals) key.push_back(kv.At(i));
+      keys.push_back(std::move(key));
+    }
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < node.sort_keys.size(); ++k) {
+      const int c = keys[a][k].Compare(keys[b][k]);
+      if (c != 0) return node.sort_keys[k].second ? c > 0 : c < 0;
+    }
+    return false;
+  });
+
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  AppendGatheredRows(*in, order, config_.batch_rows, out.get());
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecDistinct(const PlanNode& node,
+                                                        ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+  stats->work_units +=
+      config_.costs.distinct_row * static_cast<double>(in->num_rows());
+  std::unordered_map<RowKey, bool, RowKeyHash> seen;
+  std::vector<size_t> picked;
+  size_t base = 0;
+  for (const ColumnChunk& chunk : in->chunks()) {
+    for (size_t i = 0; i < chunk.length; ++i) {
+      Row row;
+      row.reserve(chunk.columns.size());
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        row.push_back(chunk.ValueAt(c, i));
+      }
+      if (seen.emplace(RowKey(std::move(row)), true).second) {
+        picked.push_back(base + i);
+      }
+    }
+    base += chunk.length;
+  }
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  AppendGatheredRows(*in, picked, config_.batch_rows, out.get());
+  return ColumnarTablePtr(std::move(out));
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::ExecLimit(const PlanNode& node,
+                                                     ExecStats* stats) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+  const size_t n = std::min<size_t>(
+      in->num_rows(),
+      node.limit < 0 ? 0 : static_cast<size_t>(node.limit));
+  auto out = std::make_shared<ColumnarTable>(node.output_schema);
+  size_t remaining = n;
+  for (const ColumnChunk& chunk : in->chunks()) {
+    if (remaining == 0) break;
+    const size_t take = std::min(remaining, chunk.length);
+    // Whole or partial chunks are shared, never copied.
+    out->AppendChunk(take == chunk.length ? chunk : chunk.Slice(0, take));
+    remaining -= take;
+  }
+  return ColumnarTablePtr(std::move(out));
+}
+
+}  // namespace fedcal

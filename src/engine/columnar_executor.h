@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/arena.h"
+#include "common/result.h"
+#include "engine/exec_config.h"
+#include "engine/plan.h"
+#include "expr/vector_eval.h"
+#include "storage/table.h"
+
+namespace fedcal {
+
+/// \brief Vectorized columnar plan executor.
+///
+/// One instance executes one query: Executor::Execute constructs it on the
+/// stack when the config selects EngineKind::kColumnar, so the per-query
+/// arena needs no locking even though the owning Executor is shared across
+/// serving threads.
+///
+/// The contract with the row engine is strict equivalence: byte-identical
+/// result tables (cell variants included) and bit-identical ExecStats.
+/// Every work-unit charge below mirrors the corresponding row-engine
+/// statement — same formula, same floating-point accumulation order.
+/// Results come back as columnar-backed Tables whose rows materialize only
+/// if a consumer asks for them, so fragment results can be shipped and
+/// merged without ever leaving columnar form.
+class ColumnarExecutor {
+ public:
+  using TableResolver =
+      std::function<Result<TablePtr>(const std::string& table_name)>;
+
+  ColumnarExecutor(const TableResolver& resolver, const ExecConfig& config)
+      : resolver_(resolver), config_(config), eval_(&arena_) {}
+
+  Result<TablePtr> Execute(const PlanNodePtr& plan, ExecStats* stats);
+
+ private:
+  Result<ColumnarTablePtr> ExecNode(const PlanNode& node, ExecStats* stats);
+
+  Result<ColumnarTablePtr> ExecScan(const PlanNode& node,
+                                    ExecStats* stats);
+  Result<ColumnarTablePtr> ExecIndexScan(const PlanNode& node,
+                                         ExecStats* stats);
+  Result<ColumnarTablePtr> ExecFilter(const PlanNode& node, ExecStats* stats);
+  Result<ColumnarTablePtr> ExecProject(const PlanNode& node,
+                                       ExecStats* stats);
+  Result<ColumnarTablePtr> ExecHashJoin(const PlanNode& node,
+                                        ExecStats* stats);
+  Result<ColumnarTablePtr> ExecNestedLoopJoin(const PlanNode& node,
+                                              ExecStats* stats);
+  Result<ColumnarTablePtr> ExecAggregate(const PlanNode& node,
+                                         ExecStats* stats);
+  Result<ColumnarTablePtr> ExecSort(const PlanNode& node, ExecStats* stats);
+  Result<ColumnarTablePtr> ExecDistinct(const PlanNode& node,
+                                        ExecStats* stats);
+  Result<ColumnarTablePtr> ExecLimit(const PlanNode& node, ExecStats* stats);
+
+  /// Scan charge shared by the root-scan fast path and ExecScan.
+  void ChargeScan(const Table& table, ExecStats* stats) const;
+  Status CheckSize(size_t rows) const;
+
+  const TableResolver& resolver_;
+  const ExecConfig& config_;
+  Arena arena_;
+  VectorEvaluator eval_;
+};
+
+}  // namespace fedcal

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/plan.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// log2(n) clamped below at 1.0 — the sort work-unit scaling factor.
+inline double Log2Rows(size_t n) {
+  return n < 2 ? 1.0 : std::log2(static_cast<double>(n));
+}
+
+/// \brief Hash-map key wrapper so Rows can key unordered_map.
+///
+/// Shared by the row and columnar engines so join/group/distinct key
+/// semantics (null handling, numeric cross-type equality) are identical by
+/// construction.
+struct RowKey {
+  Row values;
+  size_t hash;
+
+  explicit RowKey(Row v) : values(std::move(v)), hash(HashRow(values)) {}
+  bool operator==(const RowKey& o) const {
+    if (hash != o.hash || values.size() != o.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool ln = values[i].is_null();
+      const bool rn = o.values[i].is_null();
+      if (ln != rn) return false;
+      if (!ln && values[i].Compare(o.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const { return k.hash; }
+};
+
+/// \brief Accumulator for one aggregate function instance in one group.
+///
+/// The int_mode/isum/dsum transition sequence depends on the exact variant
+/// of every input cell, so both engines feed it the same Values in the
+/// same order and finalize to bit-identical results.
+struct AggState {
+  size_t count = 0;        // non-null inputs (or all rows for COUNT(*))
+  bool int_mode = true;    // SUM stays integral until a double arrives
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value min_v;
+  Value max_v;
+
+  void Update(const AggItem& item, const Value& v) {
+    if (item.count_star) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    switch (item.func) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.is_int64() && int_mode) {
+          isum += v.AsInt64();
+        } else {
+          if (int_mode) {
+            dsum = static_cast<double>(isum);
+            int_mode = false;
+          }
+          dsum += v.AsDouble();
+        }
+        break;
+      case AggFunc::kMin:
+        if (min_v.is_null() || v < min_v) min_v = v;
+        break;
+      case AggFunc::kMax:
+        if (max_v.is_null() || max_v < v) max_v = v;
+        break;
+    }
+  }
+
+  Value Finalize(const AggItem& item) const {
+    switch (item.func) {
+      case AggFunc::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null_();
+        if (int_mode && item.result_type == DataType::kInt64) {
+          return Value(isum);
+        }
+        return Value(int_mode ? static_cast<double>(isum) : dsum);
+      case AggFunc::kAvg: {
+        if (count == 0) return Value::Null_();
+        const double total = int_mode ? static_cast<double>(isum) : dsum;
+        return Value(total / static_cast<double>(count));
+      }
+      case AggFunc::kMin:
+        return min_v;
+      case AggFunc::kMax:
+        return max_v;
+    }
+    return Value::Null_();
+  }
+};
+
+}  // namespace fedcal

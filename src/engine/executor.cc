@@ -6,101 +6,10 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "engine/columnar_executor.h"
+#include "engine/exec_common.h"
 
 namespace fedcal {
-
-namespace {
-
-double Log2Rows(size_t n) {
-  return n < 2 ? 1.0 : std::log2(static_cast<double>(n));
-}
-
-/// Hash-map key wrapper so Rows can key unordered_map.
-struct RowKey {
-  Row values;
-  size_t hash;
-
-  explicit RowKey(Row v) : values(std::move(v)), hash(HashRow(values)) {}
-  bool operator==(const RowKey& o) const {
-    if (hash != o.hash || values.size() != o.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      const bool ln = values[i].is_null();
-      const bool rn = o.values[i].is_null();
-      if (ln != rn) return false;
-      if (!ln && values[i].Compare(o.values[i]) != 0) return false;
-    }
-    return true;
-  }
-};
-struct RowKeyHash {
-  size_t operator()(const RowKey& k) const { return k.hash; }
-};
-
-/// Accumulator for one aggregate function instance in one group.
-struct AggState {
-  size_t count = 0;        // non-null inputs (or all rows for COUNT(*))
-  bool int_mode = true;    // SUM stays integral until a double arrives
-  int64_t isum = 0;
-  double dsum = 0.0;
-  Value min_v;
-  Value max_v;
-
-  void Update(const AggItem& item, const Value& v) {
-    if (item.count_star) {
-      ++count;
-      return;
-    }
-    if (v.is_null()) return;
-    ++count;
-    switch (item.func) {
-      case AggFunc::kCount:
-        break;
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        if (v.is_int64() && int_mode) {
-          isum += v.AsInt64();
-        } else {
-          if (int_mode) {
-            dsum = static_cast<double>(isum);
-            int_mode = false;
-          }
-          dsum += v.AsDouble();
-        }
-        break;
-      case AggFunc::kMin:
-        if (min_v.is_null() || v < min_v) min_v = v;
-        break;
-      case AggFunc::kMax:
-        if (max_v.is_null() || max_v < v) max_v = v;
-        break;
-    }
-  }
-
-  Value Finalize(const AggItem& item) const {
-    switch (item.func) {
-      case AggFunc::kCount:
-        return Value(static_cast<int64_t>(count));
-      case AggFunc::kSum:
-        if (count == 0) return Value::Null_();
-        if (int_mode && item.result_type == DataType::kInt64) {
-          return Value(isum);
-        }
-        return Value(int_mode ? static_cast<double>(isum) : dsum);
-      case AggFunc::kAvg: {
-        if (count == 0) return Value::Null_();
-        const double total = int_mode ? static_cast<double>(isum) : dsum;
-        return Value(total / static_cast<double>(count));
-      }
-      case AggFunc::kMin:
-        return min_v;
-      case AggFunc::kMax:
-        return max_v;
-    }
-    return Value::Null_();
-  }
-};
-
-}  // namespace
 
 Status Executor::CheckSize(size_t rows) const {
   if (config_.max_intermediate_rows > 0 &&
@@ -115,6 +24,10 @@ Status Executor::CheckSize(size_t rows) const {
 Result<TablePtr> Executor::Execute(const PlanNodePtr& plan,
                                    ExecStats* stats) const {
   if (!plan) return Status::InvalidArgument("null plan");
+  if (config_.engine == EngineKind::kColumnar) {
+    ColumnarExecutor columnar(resolver_, config_);
+    return columnar.Execute(plan, stats);
+  }
   ExecStats local;
   FEDCAL_ASSIGN_OR_RETURN(TablePtr result, ExecuteNode(*plan, &local));
   local.rows_output = result->num_rows();
@@ -209,6 +122,7 @@ Result<TablePtr> Executor::ExecProject(const PlanNode& node,
                                        ExecStats* stats) const {
   FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
   auto out = std::make_shared<Table>("", node.output_schema);
+  out->Reserve(in->num_rows());
   stats->work_units += config_.costs.project_expr *
                        static_cast<double>(in->num_rows()) *
                        static_cast<double>(node.projections.size());
@@ -236,7 +150,11 @@ Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
     return key;
   };
 
-  std::unordered_multimap<RowKey, size_t, RowKeyHash> table;
+  // Build-side rows group under their key in ascending row order, so a
+  // probe row with several matches emits them deterministically (the
+  // columnar engine reproduces the same order; unordered_multimap's
+  // equal_range order is implementation-defined).
+  std::unordered_map<RowKey, std::vector<size_t>, RowKeyHash> table;
   table.reserve(build->num_rows());
   for (size_t i = 0; i < build->num_rows(); ++i) {
     Row key = extract_keys(build->row(i), node.left_keys);
@@ -244,7 +162,7 @@ Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
     bool has_null = false;
     for (const Value& v : key) has_null |= v.is_null();
     if (has_null) continue;
-    table.emplace(RowKey(std::move(key)), i);
+    table[RowKey(std::move(key))].push_back(i);
   }
   stats->work_units +=
       config_.costs.hash_build_row * static_cast<double>(build->num_rows());
@@ -257,9 +175,13 @@ Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
     bool has_null = false;
     for (const Value& v : key) has_null |= v.is_null();
     if (has_null) continue;
-    auto [begin, end] = table.equal_range(RowKey(std::move(key)));
-    for (auto it = begin; it != end; ++it) {
-      Row joined = build->row(it->second);
+    auto it = table.find(RowKey(std::move(key)));
+    if (it == table.end()) continue;
+    for (size_t build_idx : it->second) {
+      const Row& build_row = build->row(build_idx);
+      Row joined;
+      joined.reserve(build_row.size() + probe_row.size());
+      joined.insert(joined.end(), build_row.begin(), build_row.end());
       joined.insert(joined.end(), probe_row.begin(), probe_row.end());
       if (node.residual) {
         FEDCAL_ASSIGN_OR_RETURN(Value v, node.residual->Eval(joined));
@@ -283,7 +205,9 @@ Result<TablePtr> Executor::ExecNestedLoopJoin(const PlanNode& node,
                        static_cast<double>(right->num_rows());
   for (const Row& l : left->rows()) {
     for (const Row& r : right->rows()) {
-      Row joined = l;
+      Row joined;
+      joined.reserve(l.size() + r.size());
+      joined.insert(joined.end(), l.begin(), l.end());
       joined.insert(joined.end(), r.begin(), r.end());
       if (node.predicate) {
         FEDCAL_ASSIGN_OR_RETURN(Value v, node.predicate->Eval(joined));
@@ -305,7 +229,10 @@ Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
     Row key;
     std::vector<AggState> states;
   };
-  std::unordered_map<RowKey, Group, RowKeyHash> groups;
+  // Groups emit in first-seen order (deterministic and engine-invariant,
+  // unlike unordered_map iteration order).
+  std::vector<Group> groups;
+  std::unordered_map<RowKey, size_t, RowKeyHash> group_index;
 
   stats->work_units +=
       config_.costs.agg_update_row * static_cast<double>(in->num_rows());
@@ -317,20 +244,21 @@ Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
       key.push_back(std::move(v));
     }
     RowKey rk(key);
-    auto it = groups.find(rk);
-    if (it == groups.end()) {
+    auto [it, inserted] = group_index.emplace(std::move(rk), groups.size());
+    if (inserted) {
       Group grp;
       grp.key = std::move(key);
       grp.states.resize(node.aggs.size());
-      it = groups.emplace(std::move(rk), std::move(grp)).first;
+      groups.push_back(std::move(grp));
     }
+    Group& grp = groups[it->second];
     for (size_t a = 0; a < node.aggs.size(); ++a) {
       const AggItem& item = node.aggs[a];
       if (item.count_star) {
-        it->second.states[a].Update(item, Value());
+        grp.states[a].Update(item, Value());
       } else {
         FEDCAL_ASSIGN_OR_RETURN(Value v, item.arg->Eval(row));
-        it->second.states[a].Update(item, v);
+        grp.states[a].Update(item, v);
       }
     }
   }
@@ -348,8 +276,9 @@ Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
   }
   stats->work_units +=
       config_.costs.agg_group * static_cast<double>(groups.size());
-  for (auto& [rk, grp] : groups) {
-    Row row = grp.key;
+  out->Reserve(groups.size());
+  for (Group& grp : groups) {
+    Row row = std::move(grp.key);
     for (size_t a = 0; a < node.aggs.size(); ++a) {
       row.push_back(grp.states[a].Finalize(node.aggs[a]));
     }
@@ -389,6 +318,7 @@ Result<TablePtr> Executor::ExecSort(const PlanNode& node,
   });
 
   auto out = std::make_shared<Table>("", node.output_schema);
+  out->Reserve(n);
   for (size_t i : order) out->AppendRowUnchecked(in->row(i));
   return out;
 }
@@ -399,6 +329,7 @@ Result<TablePtr> Executor::ExecDistinct(const PlanNode& node,
   stats->work_units +=
       config_.costs.distinct_row * static_cast<double>(in->num_rows());
   std::unordered_map<RowKey, bool, RowKeyHash> seen;
+  seen.reserve(in->num_rows());
   auto out = std::make_shared<Table>("", node.output_schema);
   for (const Row& row : in->rows()) {
     RowKey rk(row);
@@ -416,6 +347,7 @@ Result<TablePtr> Executor::ExecLimit(const PlanNode& node,
   const size_t n = std::min<size_t>(
       in->num_rows(),
       node.limit < 0 ? 0 : static_cast<size_t>(node.limit));
+  out->Reserve(n);
   for (size_t i = 0; i < n; ++i) out->AppendRowUnchecked(in->row(i));
   return out;
 }

@@ -161,9 +161,7 @@ BoundExprPtr BoundExpr::Unary(UnaryOp op, BoundExprPtr operand) {
   return e;
 }
 
-namespace {
-
-Result<Value> EvalBinary(BinaryOp op, const Value& l, const Value& r) {
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& l, const Value& r) {
   if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
     // Two-valued collapse of SQL three-valued logic: NULL acts as false.
     const bool lb = IsTruthy(l);
@@ -249,8 +247,6 @@ Result<Value> EvalBinary(BinaryOp op, const Value& l, const Value& r) {
   return Status::Internal("unhandled binary op");
 }
 
-}  // namespace
-
 Result<Value> BoundExpr::Eval(const Row& row) const {
   switch (kind_) {
     case Kind::kLiteral:
@@ -265,7 +261,7 @@ Result<Value> BoundExpr::Eval(const Row& row) const {
     case Kind::kBinary: {
       FEDCAL_ASSIGN_OR_RETURN(Value l, left_->Eval(row));
       FEDCAL_ASSIGN_OR_RETURN(Value r, right_->Eval(row));
-      return EvalBinary(binary_op_, l, r);
+      return EvalBinaryValues(binary_op_, l, r);
     }
     case Kind::kUnary: {
       FEDCAL_ASSIGN_OR_RETURN(Value v, left_->Eval(row));

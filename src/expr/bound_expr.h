@@ -135,6 +135,13 @@ BoundExprPtr CombineConjuncts(const std::vector<BoundExprPtr>& conjuncts);
 BoundExprPtr SubstituteParams(const BoundExprPtr& expr,
                               const std::vector<Value>& params);
 
+/// Applies a binary operator to two already-evaluated operands with the
+/// engine's exact semantics (three-valued logic collapse for AND/OR, null
+/// propagation, numeric promotion, LIKE, div-by-zero -> NULL). Shared by
+/// the row evaluator (BoundExpr::Eval) and the vectorized fallback path so
+/// both engines agree cell for cell.
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& l, const Value& r);
+
 /// True when a value is "truthy" for filtering: non-null and non-zero.
 bool IsTruthy(const Value& v);
 

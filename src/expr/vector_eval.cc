@@ -1,0 +1,671 @@
+#include "expr/vector_eval.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fedcal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Operand classification
+// ---------------------------------------------------------------------------
+
+enum class Rep {
+  kIntCol,
+  kDblCol,
+  kStrCol,
+  kMixedCol,
+  kIntConst,
+  kDblConst,
+  kStrConst,
+  kNullConst,
+};
+
+/// A VectorResult flattened into raw pointers (chunk offset applied) for
+/// the typed kernels below.
+struct Operand {
+  Rep rep = Rep::kNullConst;
+  const int64_t* ints = nullptr;
+  const double* dbls = nullptr;
+  const std::string* strs = nullptr;
+  const Value* vals = nullptr;
+  const uint8_t* nulls = nullptr;  ///< nullptr when the column is null-free
+  int64_t iconst = 0;
+  double dconst = 0.0;
+  const std::string* sconst = nullptr;
+};
+
+Operand Classify(const VectorResult& v) {
+  Operand o;
+  if (v.constant) {
+    const Value& c = v.const_value;
+    if (c.is_null()) {
+      o.rep = Rep::kNullConst;
+    } else if (c.is_int64()) {
+      o.rep = Rep::kIntConst;
+      o.iconst = c.AsInt64();
+    } else if (c.is_double()) {
+      o.rep = Rep::kDblConst;
+      o.dconst = c.AsDouble();
+    } else {
+      o.rep = Rep::kStrConst;
+      o.sconst = &c.AsString();
+    }
+    return o;
+  }
+  const ColumnData& col = *v.col;
+  const size_t off = v.offset;
+  switch (col.kind()) {
+    case ColumnData::Kind::kInt64:
+      o.rep = Rep::kIntCol;
+      o.ints = col.ints() + off;
+      o.nulls = col.has_nulls() ? col.nulls() + off : nullptr;
+      break;
+    case ColumnData::Kind::kDouble:
+      o.rep = Rep::kDblCol;
+      o.dbls = col.doubles() + off;
+      o.nulls = col.has_nulls() ? col.nulls() + off : nullptr;
+      break;
+    case ColumnData::Kind::kString:
+      o.rep = Rep::kStrCol;
+      o.strs = col.strings().data() + off;
+      o.nulls = col.has_nulls() ? col.nulls() + off : nullptr;
+      break;
+    case ColumnData::Kind::kMixed:
+      o.rep = Rep::kMixedCol;
+      o.vals = col.mixed().data() + off;
+      break;
+  }
+  return o;
+}
+
+bool IsNumericRep(Rep r) {
+  return r == Rep::kIntCol || r == Rep::kDblCol || r == Rep::kIntConst ||
+         r == Rep::kDblConst;
+}
+bool IsIntRep(Rep r) { return r == Rep::kIntCol || r == Rep::kIntConst; }
+bool IsStringRep(Rep r) { return r == Rep::kStrCol || r == Rep::kStrConst; }
+
+// Accessor functors: an Operand viewed as int64, double, or string cells.
+// Templated kernels instantiate per accessor pair, so the per-element load
+// compiles down to an array index or a register value.
+struct IntColAcc {
+  const int64_t* p;
+  int64_t operator()(size_t i) const { return p[i]; }
+};
+struct IntConstAcc {
+  int64_t v;
+  int64_t operator()(size_t) const { return v; }
+};
+struct DblColAcc {
+  const double* p;
+  double operator()(size_t i) const { return p[i]; }
+};
+struct IntAsDblAcc {
+  const int64_t* p;
+  double operator()(size_t i) const { return static_cast<double>(p[i]); }
+};
+struct DblConstAcc {
+  double v;
+  double operator()(size_t) const { return v; }
+};
+struct StrColAcc {
+  const std::string* p;
+  const std::string& operator()(size_t i) const { return p[i]; }
+};
+struct StrConstAcc {
+  const std::string* v;
+  const std::string& operator()(size_t) const { return *v; }
+};
+
+template <typename F>
+void WithIntAcc(const Operand& o, F&& f) {
+  if (o.rep == Rep::kIntCol) {
+    f(IntColAcc{o.ints});
+  } else {
+    f(IntConstAcc{o.iconst});
+  }
+}
+
+template <typename F>
+void WithDblAcc(const Operand& o, F&& f) {
+  switch (o.rep) {
+    case Rep::kDblCol:
+      f(DblColAcc{o.dbls});
+      break;
+    case Rep::kIntCol:
+      f(IntAsDblAcc{o.ints});
+      break;
+    case Rep::kIntConst:
+      f(DblConstAcc{static_cast<double>(o.iconst)});
+      break;
+    default:
+      f(DblConstAcc{o.dconst});
+      break;
+  }
+}
+
+template <typename F>
+void WithStrAcc(const Operand& o, F&& f) {
+  if (o.rep == Rep::kStrCol) {
+    f(StrColAcc{o.strs});
+  } else {
+    f(StrConstAcc{o.sconst});
+  }
+}
+
+/// Comparison outcome for a three-way (or std::string::compare) result.
+inline int64_t CmpResult(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0 ? 1 : 0;
+    case BinaryOp::kNe:
+      return c != 0 ? 1 : 0;
+    case BinaryOp::kLt:
+      return c < 0 ? 1 : 0;
+    case BinaryOp::kLe:
+      return c <= 0 ? 1 : 0;
+    case BinaryOp::kGt:
+      return c > 0 ? 1 : 0;
+    case BinaryOp::kGe:
+      return c >= 0 ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+inline bool CellNull(const uint8_t* nulls, size_t i) {
+  return nulls != nullptr && nulls[i] != 0;
+}
+
+VectorResult WrapColumn(ColumnPtr col) {
+  VectorResult r;
+  r.col = std::move(col);
+  r.offset = 0;
+  return r;
+}
+
+VectorResult AllNullColumn(size_t n) {
+  auto out = std::make_shared<ColumnData>(DataType::kInt64);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) out->AppendNull();
+  return WrapColumn(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Typed kernels
+// ---------------------------------------------------------------------------
+
+VectorResult CmpNumeric(BinaryOp op, const Operand& lo, const Operand& ro,
+                        size_t n) {
+  auto out = std::make_shared<ColumnData>(DataType::kInt64);
+  out->Reserve(n);
+  const uint8_t* ln = lo.nulls;
+  const uint8_t* rn = ro.nulls;
+  if (IsIntRep(lo.rep) && IsIntRep(ro.rep)) {
+    WithIntAcc(lo, [&](auto la) {
+      WithIntAcc(ro, [&](auto ra) {
+        for (size_t i = 0; i < n; ++i) {
+          if (CellNull(ln, i) || CellNull(rn, i)) {
+            out->AppendNull();
+            continue;
+          }
+          const int64_t a = la(i);
+          const int64_t b = ra(i);
+          out->AppendInt(CmpResult(op, a < b ? -1 : (a > b ? 1 : 0)));
+        }
+      });
+    });
+  } else {
+    WithDblAcc(lo, [&](auto la) {
+      WithDblAcc(ro, [&](auto ra) {
+        for (size_t i = 0; i < n; ++i) {
+          if (CellNull(ln, i) || CellNull(rn, i)) {
+            out->AppendNull();
+            continue;
+          }
+          const double a = la(i);
+          const double b = ra(i);
+          out->AppendInt(CmpResult(op, a < b ? -1 : (a > b ? 1 : 0)));
+        }
+      });
+    });
+  }
+  return WrapColumn(std::move(out));
+}
+
+VectorResult CmpString(BinaryOp op, const Operand& lo, const Operand& ro,
+                       size_t n) {
+  auto out = std::make_shared<ColumnData>(DataType::kInt64);
+  out->Reserve(n);
+  const uint8_t* ln = lo.nulls;
+  const uint8_t* rn = ro.nulls;
+  WithStrAcc(lo, [&](auto la) {
+    WithStrAcc(ro, [&](auto ra) {
+      for (size_t i = 0; i < n; ++i) {
+        if (CellNull(ln, i) || CellNull(rn, i)) {
+          out->AppendNull();
+          continue;
+        }
+        out->AppendInt(CmpResult(op, la(i).compare(ra(i))));
+      }
+    });
+  });
+  return WrapColumn(std::move(out));
+}
+
+VectorResult LikeVec(const Operand& lo, const Operand& ro, size_t n) {
+  auto out = std::make_shared<ColumnData>(DataType::kInt64);
+  out->Reserve(n);
+  const uint8_t* ln = lo.nulls;
+  const uint8_t* rn = ro.nulls;
+  WithStrAcc(lo, [&](auto la) {
+    WithStrAcc(ro, [&](auto ra) {
+      for (size_t i = 0; i < n; ++i) {
+        if (CellNull(ln, i) || CellNull(rn, i)) {
+          out->AppendNull();
+          continue;
+        }
+        out->AppendInt(LikeMatch(la(i), ra(i)) ? 1 : 0);
+      }
+    });
+  });
+  return WrapColumn(std::move(out));
+}
+
+VectorResult ArithNumeric(BinaryOp op, const Operand& lo, const Operand& ro,
+                          size_t n) {
+  const uint8_t* ln = lo.nulls;
+  const uint8_t* rn = ro.nulls;
+  if (op == BinaryOp::kDiv) {
+    // Division always promotes to double; divisor 0 degrades to NULL
+    // (matching EvalBinaryValues).
+    auto out = std::make_shared<ColumnData>(DataType::kDouble);
+    out->Reserve(n);
+    WithDblAcc(lo, [&](auto la) {
+      WithDblAcc(ro, [&](auto ra) {
+        for (size_t i = 0; i < n; ++i) {
+          if (CellNull(ln, i) || CellNull(rn, i)) {
+            out->AppendNull();
+            continue;
+          }
+          const double b = ra(i);
+          if (b == 0.0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(la(i) / b);
+          }
+        }
+      });
+    });
+    return WrapColumn(std::move(out));
+  }
+  if (IsIntRep(lo.rep) && IsIntRep(ro.rep)) {
+    auto out = std::make_shared<ColumnData>(DataType::kInt64);
+    out->Reserve(n);
+    WithIntAcc(lo, [&](auto la) {
+      WithIntAcc(ro, [&](auto ra) {
+        for (size_t i = 0; i < n; ++i) {
+          if (CellNull(ln, i) || CellNull(rn, i)) {
+            out->AppendNull();
+            continue;
+          }
+          const int64_t a = la(i);
+          const int64_t b = ra(i);
+          switch (op) {
+            case BinaryOp::kAdd:
+              out->AppendInt(a + b);
+              break;
+            case BinaryOp::kSub:
+              out->AppendInt(a - b);
+              break;
+            default:
+              out->AppendInt(a * b);
+              break;
+          }
+        }
+      });
+    });
+    return WrapColumn(std::move(out));
+  }
+  auto out = std::make_shared<ColumnData>(DataType::kDouble);
+  out->Reserve(n);
+  WithDblAcc(lo, [&](auto la) {
+    WithDblAcc(ro, [&](auto ra) {
+      for (size_t i = 0; i < n; ++i) {
+        if (CellNull(ln, i) || CellNull(rn, i)) {
+          out->AppendNull();
+          continue;
+        }
+        const double a = la(i);
+        const double b = ra(i);
+        switch (op) {
+          case BinaryOp::kAdd:
+            out->AppendDouble(a + b);
+            break;
+          case BinaryOp::kSub:
+            out->AppendDouble(a - b);
+            break;
+          default:
+            out->AppendDouble(a * b);
+            break;
+        }
+      }
+    });
+  });
+  return WrapColumn(std::move(out));
+}
+
+/// Fills `out[i]` with the truthiness (non-null, non-zero / non-empty) of
+/// each cell — the AND/OR collapse EvalBinaryValues applies via IsTruthy.
+void TruthVector(const VectorResult& v, size_t n, uint8_t* out) {
+  if (v.constant) {
+    std::memset(out, IsTruthy(v.const_value) ? 1 : 0, n);
+    return;
+  }
+  const ColumnData& col = *v.col;
+  const size_t off = v.offset;
+  switch (col.kind()) {
+    case ColumnData::Kind::kInt64: {
+      const int64_t* p = col.ints() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (!CellNull(nu, i) && p[i] != 0) ? 1 : 0;
+      }
+      break;
+    }
+    case ColumnData::Kind::kDouble: {
+      const double* p = col.doubles() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (!CellNull(nu, i) && p[i] != 0.0) ? 1 : 0;
+      }
+      break;
+    }
+    case ColumnData::Kind::kString: {
+      const std::string* p = col.strings().data() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (!CellNull(nu, i) && !p[i].empty()) ? 1 : 0;
+      }
+      break;
+    }
+    case ColumnData::Kind::kMixed: {
+      const Value* p = col.mixed().data() + off;
+      for (size_t i = 0; i < n; ++i) out[i] = IsTruthy(p[i]) ? 1 : 0;
+      break;
+    }
+  }
+}
+
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value::Null_();
+      return Value(static_cast<int64_t>(IsTruthy(v) ? 0 : 1));
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null_();
+      if (v.is_int64()) return Value(-v.AsInt64());
+      if (v.is_double()) return Value(-v.AsDouble());
+      return Status::ExecutionError("negation of non-numeric value");
+    case UnaryOp::kIsNull:
+      return Value(static_cast<int64_t>(v.is_null() ? 1 : 0));
+    case UnaryOp::kIsNotNull:
+      return Value(static_cast<int64_t>(v.is_null() ? 0 : 1));
+  }
+  return Status::Internal("unhandled unary op");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VectorEvaluator
+// ---------------------------------------------------------------------------
+
+Result<VectorResult> VectorEvaluator::Eval(const BoundExpr& e,
+                                           const ColumnChunk& chunk) {
+  switch (e.kind()) {
+    case BoundExpr::Kind::kLiteral: {
+      VectorResult r;
+      r.constant = true;
+      r.const_value = e.literal();
+      return r;
+    }
+    case BoundExpr::Kind::kColumn: {
+      if (e.column_index() >= chunk.columns.size()) {
+        return Status::ExecutionError(StringFormat(
+            "column slot %zu out of range (row width %zu)", e.column_index(),
+            chunk.columns.size()));
+      }
+      const ColumnSlice& slice = chunk.columns[e.column_index()];
+      VectorResult r;
+      r.col = slice.col;
+      r.offset = slice.offset;
+      return r;
+    }
+    case BoundExpr::Kind::kBinary:
+      return EvalBinaryVec(e, chunk);
+    case BoundExpr::Kind::kUnary:
+      return EvalUnaryVec(e, chunk);
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+Result<VectorResult> VectorEvaluator::EvalBinaryVec(const BoundExpr& e,
+                                                    const ColumnChunk& chunk) {
+  FEDCAL_ASSIGN_OR_RETURN(VectorResult l, Eval(*e.left(), chunk));
+  FEDCAL_ASSIGN_OR_RETURN(VectorResult r, Eval(*e.right(), chunk));
+  const BinaryOp op = e.binary_op();
+  const size_t n = chunk.length;
+
+  if (l.constant && r.constant) {
+    FEDCAL_ASSIGN_OR_RETURN(Value v,
+                            EvalBinaryValues(op, l.const_value, r.const_value));
+    VectorResult out;
+    out.constant = true;
+    out.const_value = std::move(v);
+    return out;
+  }
+
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    uint8_t* lt = arena_->Allocate<uint8_t>(n);
+    uint8_t* rt = arena_->Allocate<uint8_t>(n);
+    TruthVector(l, n, lt);
+    TruthVector(r, n, rt);
+    auto out = std::make_shared<ColumnData>(DataType::kInt64);
+    out->Reserve(n);
+    if (op == BinaryOp::kAnd) {
+      for (size_t i = 0; i < n; ++i) out->AppendInt((lt[i] & rt[i]) ? 1 : 0);
+    } else {
+      for (size_t i = 0; i < n; ++i) out->AppendInt((lt[i] | rt[i]) ? 1 : 0);
+    }
+    return WrapColumn(std::move(out));
+  }
+
+  // Any other operator null-propagates, so a NULL literal operand blanks
+  // the whole vector before type checks are reached (exactly the row
+  // engine's per-row order: the null test precedes LIKE/comparison typing).
+  if ((l.constant && l.const_value.is_null()) ||
+      (r.constant && r.const_value.is_null())) {
+    return AllNullColumn(n);
+  }
+
+  const Operand lo = Classify(l);
+  const Operand ro = Classify(r);
+
+  if (IsComparison(op)) {
+    if (IsNumericRep(lo.rep) && IsNumericRep(ro.rep)) {
+      return CmpNumeric(op, lo, ro, n);
+    }
+    if (IsStringRep(lo.rep) && IsStringRep(ro.rep)) {
+      return CmpString(op, lo, ro, n);
+    }
+  } else if (op == BinaryOp::kLike) {
+    if (IsStringRep(lo.rep) && IsStringRep(ro.rep)) {
+      return LikeVec(lo, ro, n);
+    }
+  } else if (IsNumericRep(lo.rep) && IsNumericRep(ro.rep)) {
+    return ArithNumeric(op, lo, ro, n);
+  }
+
+  // Mixed-representation columns, string/numeric mismatches (which must
+  // raise the row engine's exact error on the first offending cell), and
+  // anything else uncommon: per-cell evaluation through the shared scalar
+  // path.
+  auto out = std::make_shared<ColumnData>(
+      op == BinaryOp::kDiv ? DataType::kDouble : DataType::kInt64);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    FEDCAL_ASSIGN_OR_RETURN(Value v, EvalBinaryValues(op, l.At(i), r.At(i)));
+    out->AppendValue(v);
+  }
+  return WrapColumn(std::move(out));
+}
+
+Result<VectorResult> VectorEvaluator::EvalUnaryVec(const BoundExpr& e,
+                                                   const ColumnChunk& chunk) {
+  FEDCAL_ASSIGN_OR_RETURN(VectorResult v, Eval(*e.operand(), chunk));
+  const UnaryOp op = e.unary_op();
+  const size_t n = chunk.length;
+
+  if (v.constant) {
+    FEDCAL_ASSIGN_OR_RETURN(Value out, EvalUnaryValue(op, v.const_value));
+    VectorResult r;
+    r.constant = true;
+    r.const_value = std::move(out);
+    return r;
+  }
+
+  const ColumnData& col = *v.col;
+  const size_t off = v.offset;
+
+  if (op == UnaryOp::kIsNull || op == UnaryOp::kIsNotNull) {
+    auto out = std::make_shared<ColumnData>(DataType::kInt64);
+    out->Reserve(n);
+    const int64_t hit = op == UnaryOp::kIsNull ? 1 : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out->AppendInt(col.IsNull(off + i) ? hit : 1 - hit);
+    }
+    return WrapColumn(std::move(out));
+  }
+
+  if (op == UnaryOp::kNeg && col.kind() == ColumnData::Kind::kInt64) {
+    auto out = std::make_shared<ColumnData>(DataType::kInt64);
+    out->Reserve(n);
+    const int64_t* p = col.ints() + off;
+    const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+    for (size_t i = 0; i < n; ++i) {
+      if (CellNull(nu, i)) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(-p[i]);
+      }
+    }
+    return WrapColumn(std::move(out));
+  }
+  if (op == UnaryOp::kNeg && col.kind() == ColumnData::Kind::kDouble) {
+    auto out = std::make_shared<ColumnData>(DataType::kDouble);
+    out->Reserve(n);
+    const double* p = col.doubles() + off;
+    const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+    for (size_t i = 0; i < n; ++i) {
+      if (CellNull(nu, i)) {
+        out->AppendNull();
+      } else {
+        out->AppendDouble(-p[i]);
+      }
+    }
+    return WrapColumn(std::move(out));
+  }
+
+  if (op == UnaryOp::kNot) {
+    uint8_t* t = arena_->Allocate<uint8_t>(n);
+    TruthVector(v, n, t);
+    auto out = std::make_shared<ColumnData>(DataType::kInt64);
+    out->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(off + i)) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(t[i] ? 0 : 1);
+      }
+    }
+    return WrapColumn(std::move(out));
+  }
+
+  // kNeg over strings / mixed columns: per-cell scalar path (first
+  // non-null offending cell raises the row engine's exact error).
+  auto out = std::make_shared<ColumnData>(DataType::kInt64);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    FEDCAL_ASSIGN_OR_RETURN(Value cell, EvalUnaryValue(op, v.At(i)));
+    out->AppendValue(cell);
+  }
+  return WrapColumn(std::move(out));
+}
+
+Result<const uint32_t*> VectorEvaluator::EvalSelection(const BoundExpr& e,
+                                                       const ColumnChunk& chunk,
+                                                       size_t* count) {
+  const size_t n = chunk.length;
+  if (n == 0) {
+    *count = 0;
+    return static_cast<const uint32_t*>(nullptr);
+  }
+  FEDCAL_ASSIGN_OR_RETURN(VectorResult v, Eval(e, chunk));
+  uint32_t* sel = arena_->Allocate<uint32_t>(n);
+  size_t k = 0;
+  if (v.constant) {
+    if (IsTruthy(v.const_value)) {
+      for (size_t i = 0; i < n; ++i) sel[k++] = static_cast<uint32_t>(i);
+    }
+    *count = k;
+    return static_cast<const uint32_t*>(sel);
+  }
+  const ColumnData& col = *v.col;
+  const size_t off = v.offset;
+  switch (col.kind()) {
+    case ColumnData::Kind::kInt64: {
+      const int64_t* p = col.ints() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        if (!CellNull(nu, i) && p[i] != 0) sel[k++] = static_cast<uint32_t>(i);
+      }
+      break;
+    }
+    case ColumnData::Kind::kDouble: {
+      const double* p = col.doubles() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        if (!CellNull(nu, i) && p[i] != 0.0) {
+          sel[k++] = static_cast<uint32_t>(i);
+        }
+      }
+      break;
+    }
+    case ColumnData::Kind::kString: {
+      const std::string* p = col.strings().data() + off;
+      const uint8_t* nu = col.has_nulls() ? col.nulls() + off : nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        if (!CellNull(nu, i) && !p[i].empty()) {
+          sel[k++] = static_cast<uint32_t>(i);
+        }
+      }
+      break;
+    }
+    case ColumnData::Kind::kMixed: {
+      const Value* p = col.mixed().data() + off;
+      for (size_t i = 0; i < n; ++i) {
+        if (IsTruthy(p[i])) sel[k++] = static_cast<uint32_t>(i);
+      }
+      break;
+    }
+  }
+  *count = k;
+  return static_cast<const uint32_t*>(sel);
+}
+
+}  // namespace fedcal

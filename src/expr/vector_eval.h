@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "storage/column_chunk.h"
+
+namespace fedcal {
+
+/// \brief Result of evaluating an expression over one column chunk.
+///
+/// Either a broadcast constant (literal subtrees), or a column of
+/// `length` cells starting at `offset` — shared zero-copy with the input
+/// chunk for bare column references, owned for computed expressions.
+struct VectorResult {
+  bool constant = false;
+  Value const_value;   ///< when constant
+  ColumnPtr col;       ///< when not constant
+  size_t offset = 0;   ///< first cell of `col` in this result
+
+  bool IsNullAt(size_t i) const {
+    return constant ? const_value.is_null() : col->IsNull(offset + i);
+  }
+  Value At(size_t i) const {
+    return constant ? const_value : col->GetValue(offset + i);
+  }
+};
+
+/// \brief Batched expression evaluation over column chunks.
+///
+/// Produces exactly the values BoundExpr::Eval produces row by row —
+/// including SQL null propagation, numeric promotion, and the int64/double
+/// variant of every cell — but through typed kernels over contiguous
+/// columns on the fast path (pure-typed, null-free inputs), falling back
+/// to per-cell Value evaluation for mixed-representation columns and
+/// string comparisons. Selection vectors come from the per-query Arena.
+class VectorEvaluator {
+ public:
+  explicit VectorEvaluator(Arena* arena) : arena_(arena) {}
+
+  /// Evaluates `e` over every row of `chunk`.
+  Result<VectorResult> Eval(const BoundExpr& e, const ColumnChunk& chunk);
+
+  /// Evaluates a predicate and compacts it into a selection vector of
+  /// chunk-local row indices where the result is truthy (non-null,
+  /// non-zero). The returned pointer is arena-owned; `*count` receives
+  /// the number of selected rows.
+  Result<const uint32_t*> EvalSelection(const BoundExpr& e,
+                                        const ColumnChunk& chunk,
+                                        size_t* count);
+
+  Arena* arena() { return arena_; }
+
+ private:
+  Result<VectorResult> EvalBinaryVec(const BoundExpr& e,
+                                     const ColumnChunk& chunk);
+  Result<VectorResult> EvalUnaryVec(const BoundExpr& e,
+                                    const ColumnChunk& chunk);
+
+  Arena* arena_;
+};
+
+}  // namespace fedcal

@@ -991,11 +991,13 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
   for (size_t f = 0; f < fragment_tables.size(); ++f) {
     (*temp)[Decomposition::FragmentTableName(f)] = fragment_tables[f];
   }
-  Executor merge_exec([temp](const std::string& name) -> Result<TablePtr> {
-    auto it = temp->find(name);
-    if (it == temp->end()) return Status::NotFound("no temp table " + name);
-    return it->second;
-  });
+  Executor merge_exec(
+      [temp](const std::string& name) -> Result<TablePtr> {
+        auto it = temp->find(name);
+        if (it == temp->end()) return Status::NotFound("no temp table " + name);
+        return it->second;
+      },
+      config_.exec);
 
   ExecStats stats;
   auto merged = merge_exec.Execute(option.merge_plan, &stats);

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/running_stats.h"
 #include "core/retry_policy.h"
+#include "engine/exec_config.h"
 #include "federation/explain.h"
 #include "federation/global_optimizer.h"
 #include "federation/patroller.h"
@@ -99,6 +100,11 @@ struct IiConfig {
   FaultToleranceConfig fault;
   /// Mid-query adaptive re-routing of the not-yet-settled remainder.
   ReRouteConfig reroute;
+  /// Engine configuration for the integrator's merge executor (row vs
+  /// columnar, batch size). Results and stats are engine-invariant; the
+  /// columnar engine additionally merges fragment results without
+  /// materializing rows.
+  ExecConfig exec;
 };
 
 /// \brief A routed federated query: decomposition plus every enumerated

@@ -11,7 +11,8 @@ RemoteServer::RemoteServer(ServerConfig config, ExecutionContext* sim, Rng rng)
     : config_(std::move(config)),
       sim_(sim),
       rng_(rng),
-      executor_([this](const std::string& name) { return GetTable(name); }) {}
+      executor_([this](const std::string& name) { return GetTable(name); },
+                config_.exec) {}
 
 Status RemoteServer::AddTable(TablePtr table) {
   if (tables_.count(table->name())) {

@@ -32,6 +32,9 @@ struct ServerConfig {
   double io_load_sensitivity = 0.8;
   /// Floor on effective speed under extreme load, as a fraction of nominal.
   double min_speed_fraction = 0.05;
+  /// Engine configuration for fragment execution (row vs columnar, batch
+  /// size, work-unit price list). Results and stats are engine-invariant.
+  ExecConfig exec = {};
 };
 
 /// \brief Result of executing one fragment at a remote server.

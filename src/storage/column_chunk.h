@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace fedcal {
+
+/// \brief One column of values in columnar layout.
+///
+/// Values live in a typed vector (int64/double/string) with an optional
+/// null bitmap that is allocated only when the first null arrives — the
+/// null-free fast path is a plain contiguous array. A column whose cells
+/// mix numeric representations (e.g. an int64 Value stored in a DOUBLE
+/// column, which the row engine's Value variant permits) demotes itself to
+/// a `kMixed` vector<Value> so that round-tripping through the columnar
+/// engine preserves every cell's exact variant — the differential oracle
+/// compares representations, not just numeric equality.
+class ColumnData {
+ public:
+  enum class Kind { kInt64, kDouble, kString, kMixed };
+
+  explicit ColumnData(Kind k) : kind_(k) {}
+
+  explicit ColumnData(DataType declared) {
+    switch (declared) {
+      case DataType::kInt64:
+        kind_ = Kind::kInt64;
+        break;
+      case DataType::kDouble:
+        kind_ = Kind::kDouble;
+        break;
+      case DataType::kString:
+        kind_ = Kind::kString;
+        break;
+    }
+  }
+
+  Kind kind() const { return kind_; }
+  size_t size() const { return size_; }
+  bool has_nulls() const { return !nulls_.empty(); }
+  bool IsNull(size_t i) const {
+    if (kind_ == Kind::kMixed) return vals_[i].is_null();
+    return !nulls_.empty() && nulls_[i] != 0;
+  }
+
+  /// Raw typed storage (valid for the matching kind only). Cells that are
+  /// null hold a default value; consult the null bitmap.
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return dbls_.data(); }
+  const std::vector<std::string>& strings() const { return strs_; }
+  const std::vector<Value>& mixed() const { return vals_; }
+  const uint8_t* nulls() const { return nulls_.data(); }
+
+  void Reserve(size_t n);
+
+  /// Appends one cell, demoting to kMixed if the value's variant does not
+  /// match this column's typed representation.
+  void AppendValue(const Value& v);
+  void AppendNull();
+  /// Typed appends for engine kernels (column must be of matching kind and
+  /// must not have been demoted).
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+    ++size_;
+  }
+  void AppendDouble(double v) {
+    dbls_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+    ++size_;
+  }
+  void AppendString(std::string v) {
+    strs_.push_back(std::move(v));
+    if (!nulls_.empty()) nulls_.push_back(0);
+    ++size_;
+  }
+  /// Appends cell `i` of `src` (any kinds; preserves exact variant).
+  void AppendFrom(const ColumnData& src, size_t i);
+
+  /// Cell `i` as a row-engine Value (exact variant round-trip).
+  Value GetValue(size_t i) const;
+
+  /// Byte accounting identical to Value::ByteSize so columnar tables
+  /// report the same byte_size (and thus shipping costs) as row tables.
+  size_t CellBytes(size_t i) const;
+
+ private:
+  void Demote();
+
+  Kind kind_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> dbls_;
+  std::vector<std::string> strs_;
+  std::vector<Value> vals_;     ///< kMixed only
+  std::vector<uint8_t> nulls_;  ///< empty = no nulls yet (fast path)
+};
+
+using ColumnPtr = std::shared_ptr<ColumnData>;
+
+/// \brief A view of one column starting at `offset`: the unit of zero-copy
+/// sharing. Slicing and column pass-through adjust the offset instead of
+/// copying cells.
+struct ColumnSlice {
+  ColumnPtr col;
+  size_t offset = 0;
+
+  bool IsNull(size_t i) const { return col->IsNull(offset + i); }
+  Value ValueAt(size_t i) const { return col->GetValue(offset + i); }
+};
+
+/// \brief A batch of rows in columnar layout: one column slice per schema
+/// column, each covering `length` rows. Offsets are per column, so a
+/// projected chunk can mix pass-through slices of its input (zero-copy)
+/// with freshly computed columns.
+struct ColumnChunk {
+  std::vector<ColumnSlice> columns;
+  size_t length = 0;
+
+  bool IsNull(size_t col, size_t i) const { return columns[col].IsNull(i); }
+  Value ValueAt(size_t col, size_t i) const {
+    return columns[col].ValueAt(i);
+  }
+  /// Zero-copy sub-range [from, from+n) of this chunk.
+  ColumnChunk Slice(size_t from, size_t n) const {
+    ColumnChunk out;
+    out.columns.reserve(columns.size());
+    for (const ColumnSlice& c : columns) {
+      out.columns.push_back(ColumnSlice{c.col, c.offset + from});
+    }
+    out.length = n;
+    return out;
+  }
+};
+
+/// \brief An immutable columnar table: a schema plus a list of column
+/// chunks whose lengths sum to num_rows.
+class ColumnarTable {
+ public:
+  explicit ColumnarTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t byte_size() const { return byte_size_; }
+  const std::vector<ColumnChunk>& chunks() const { return chunks_; }
+
+  /// Appends a chunk, taking ownership of its (possibly shared) columns.
+  /// `bytes` is the chunk's payload per the row-engine accounting; pass
+  /// SIZE_MAX to have it recomputed cell by cell.
+  void AppendChunk(ColumnChunk chunk, size_t bytes = SIZE_MAX);
+
+  /// Appends every chunk of `other` without copying column data — the
+  /// zero-copy fragment-merge primitive.
+  void AppendTableZeroCopy(const ColumnarTable& other);
+
+  /// Row `r` (global index) as a row-engine Row.
+  Row MaterializeRow(size_t r) const;
+  /// All rows, in order.
+  std::vector<Row> MaterializeRows() const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnChunk> chunks_;
+  size_t num_rows_ = 0;
+  size_t byte_size_ = 0;
+};
+
+using ColumnarTablePtr = std::shared_ptr<const ColumnarTable>;
+
+/// Converts a row table into columnar chunks of at most `batch_rows` rows.
+ColumnarTablePtr ColumnarFromRows(const Schema& schema,
+                                  const std::vector<Row>& rows,
+                                  size_t batch_rows);
+
+}  // namespace fedcal

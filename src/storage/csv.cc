@@ -159,6 +159,7 @@ Result<TablePtr> ReadCsv(const std::string& csv_text,
     }
     start = 1;
   }
+  table->Reserve(records.size() - start);
   for (size_t r = start; r < records.size(); ++r) {
     const auto& record = records[r];
     // Skip completely blank trailing records.

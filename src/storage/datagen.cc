@@ -35,6 +35,30 @@ Value GenerateCell(const ColumnGenSpec& g, size_t row_index, Rng* rng) {
 
 }  // namespace
 
+ScaleRows PresetRows(ScalePreset preset) {
+  switch (preset) {
+    case ScalePreset::kSmall:
+      return {100'000, 1'000};
+    case ScalePreset::kMedium:
+      return {1'000'000, 10'000};
+    case ScalePreset::kLarge:
+      return {10'000'000, 100'000};
+  }
+  return {100'000, 1'000};
+}
+
+const char* ScalePresetName(ScalePreset preset) {
+  switch (preset) {
+    case ScalePreset::kSmall:
+      return "small";
+    case ScalePreset::kMedium:
+      return "medium";
+    case ScalePreset::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
 Result<TablePtr> GenerateTable(const TableGenSpec& spec, Rng* rng) {
   if (spec.columns.size() != spec.generators.size()) {
     return Status::InvalidArgument(StringFormat(
@@ -56,6 +80,7 @@ Result<TablePtr> GenerateTable(const TableGenSpec& spec, Rng* rng) {
   }
 
   auto table = std::make_shared<Table>(spec.name, Schema(spec.columns));
+  table->Reserve(spec.num_rows);
   for (size_t r = 0; r < spec.num_rows; ++r) {
     Row row;
     row.reserve(spec.columns.size());

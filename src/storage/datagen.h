@@ -76,6 +76,27 @@ struct ColumnGenSpec {
   }
 };
 
+/// \brief Named cardinality tiers for generated testbeds.
+///
+/// The seed fixtures and unit tests stay on kSmall (the paper's §5 sizes);
+/// the columnar-engine benchmarks and scaling experiments pick kMedium or
+/// kLarge without touching any fixture. Generation is deterministic for a
+/// given (preset, seed) pair.
+enum class ScalePreset {
+  kSmall,   ///< 100k-row large tables, 1k-row small tables (paper §5)
+  kMedium,  ///< 1M / 10k
+  kLarge,   ///< 10M / 100k
+};
+
+/// \brief Row counts for one scale preset.
+struct ScaleRows {
+  size_t large_rows = 0;
+  size_t small_rows = 0;
+};
+
+ScaleRows PresetRows(ScalePreset preset);
+const char* ScalePresetName(ScalePreset preset);
+
 /// \brief Full recipe for one generated table.
 struct TableGenSpec {
   std::string name;

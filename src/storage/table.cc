@@ -10,6 +10,36 @@ size_t Table::RowBytes(const Row& row) {
   return n;
 }
 
+std::shared_ptr<Table> Table::FromColumnar(std::string name,
+                                           ColumnarTablePtr data) {
+  auto t = std::make_shared<Table>(std::move(name), data->schema());
+  t->bytes_ = data->byte_size();
+  t->backing_ = std::move(data);
+  t->rows_ready_.store(false, std::memory_order_release);
+  return t;
+}
+
+void Table::EnsureRows() const {
+  if (rows_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (rows_ready_.load(std::memory_order_relaxed)) return;
+  rows_ = backing_->MaterializeRows();
+  rows_ready_.store(true, std::memory_order_release);
+}
+
+ColumnarTablePtr Table::columnar(size_t batch_rows) const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (backing_ != nullptr) return backing_;
+  if (columnar_cache_ != nullptr && columnar_cache_batch_ == batch_rows) {
+    return columnar_cache_;
+  }
+  // Row-backed: rows_ is authoritative (EnsureRows is a no-op), build the
+  // mirror. rows_ cannot change concurrently — appends are single-writer.
+  columnar_cache_ = ColumnarFromRows(schema_, rows_, batch_rows);
+  columnar_cache_batch_ = batch_rows;
+  return columnar_cache_;
+}
+
 Status Table::AppendRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(StringFormat(
@@ -36,7 +66,7 @@ Status Table::AppendRow(Row row) {
 
 std::shared_ptr<Table> Table::CloneAs(const std::string& new_name) const {
   auto copy = std::make_shared<Table>(new_name, schema_);
-  copy->rows_ = rows_;
+  copy->rows_ = rows();
   copy->bytes_ = bytes_;
   for (const auto& [name, index] : indexes_) {
     (void)copy->CreateIndex(name);
@@ -50,6 +80,7 @@ Status Table::CreateIndex(const std::string& column_name) {
     return Status::NotFound("table " + name_ + " has no column " +
                             column_name);
   }
+  EnsureRows();
   indexes_.erase(column_name);
   auto [it, inserted] =
       indexes_.emplace(column_name, HashIndex(column_name, *col));

@@ -1,39 +1,72 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "storage/column_chunk.h"
 #include "storage/index.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
 namespace fedcal {
 
-/// \brief An in-memory, row-oriented relational table.
+/// \brief An in-memory relational table.
 ///
 /// Tables are owned by simulated remote servers; the execution engine scans
 /// them through this interface. Appends validate arity and type against the
 /// schema (nulls are accepted in any column).
+///
+/// A table is backed by rows, by a columnar payload, or by both:
+///  - Row-backed (the default): `rows_` is authoritative; `columnar()`
+///    builds and caches a columnar mirror on first use (invalidated by
+///    appends), so repeated columnar scans of a base table pay the
+///    row-to-column conversion once.
+///  - Columnar-backed (`FromColumnar`): the columnar engine's results wrap
+///    their chunks directly; rows materialize lazily on first `rows()` /
+///    `row()` access, so a fragment result that is only ever scanned
+///    columnar (shipped to the integrator and merged) never materializes a
+///    single Row.
+/// Both lazy conversions are guarded by an internal mutex; all other state
+/// follows the engine's usual single-writer discipline.
 class Table {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  /// Wraps a columnar result without materializing rows. `byte_size` and
+  /// `num_rows` come from the columnar payload.
+  static std::shared_ptr<Table> FromColumnar(std::string name,
+                                             ColumnarTablePtr data);
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
-  size_t num_rows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const {
+    return rows_ready_.load(std::memory_order_acquire)
+               ? rows_.size()
+               : backing_->num_rows();
+  }
+  const Row& row(size_t i) const {
+    EnsureRows();
+    return rows_[i];
+  }
+  const std::vector<Row>& rows() const {
+    EnsureRows();
+    return rows_;
+  }
 
   /// Appends a row after checking arity and per-column type.
   Status AppendRow(Row row);
 
   /// Appends without validation (used by the generator on its own output).
   void AppendRowUnchecked(Row row) {
+    EnsureRows();
+    InvalidateColumnar();
     bytes_ += RowBytes(row);
     for (auto& [name, index] : indexes_) {
       index.Insert(row, rows_.size());
@@ -41,7 +74,16 @@ class Table {
     rows_.push_back(std::move(row));
   }
 
+  /// Reserves capacity for `n` rows (materialization hint on hot append
+  /// paths).
+  void Reserve(size_t n) {
+    EnsureRows();
+    rows_.reserve(n);
+  }
+
   void Clear() {
+    EnsureRows();
+    InvalidateColumnar();
     rows_.clear();
     bytes_ = 0;
     for (auto& [name, index] : indexes_) index.Clear();
@@ -50,9 +92,15 @@ class Table {
   /// Approximate total payload bytes (drives network-transfer costs).
   size_t byte_size() const { return bytes_; }
   double avg_row_bytes() const {
-    return rows_.empty() ? 0.0
-                         : static_cast<double>(bytes_) / rows_.size();
+    const size_t n = num_rows();
+    return n == 0 ? 0.0 : static_cast<double>(bytes_) / n;
   }
+
+  /// Columnar view of this table, built in chunks of `batch_rows` rows.
+  /// Columnar-backed tables return their payload directly (whatever its
+  /// chunking); row-backed tables build the mirror once and cache it until
+  /// the next append. Thread-safe.
+  ColumnarTablePtr columnar(size_t batch_rows) const;
 
   /// Deep copy with a new name (replica creation). Indexes are rebuilt on
   /// the clone.
@@ -70,11 +118,32 @@ class Table {
  private:
   static size_t RowBytes(const Row& row);
 
+  /// Materializes rows from the columnar backing on first access.
+  void EnsureRows() const;
+  /// Drops the cached columnar mirror (and the backing's authority) after
+  /// a mutation; rows are authoritative from then on.
+  void InvalidateColumnar() {
+    if (backing_ != nullptr || columnar_cache_ != nullptr) {
+      std::lock_guard<std::mutex> lock(lazy_mu_);
+      backing_ = nullptr;
+      columnar_cache_ = nullptr;
+    }
+  }
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  mutable std::vector<Row> rows_;
   size_t bytes_ = 0;
   std::map<std::string, HashIndex> indexes_;
+
+  /// Columnar payload this table was created from (FromColumnar), if any.
+  ColumnarTablePtr backing_;
+  /// True once `rows_` is authoritative (always true for row-backed).
+  mutable std::atomic<bool> rows_ready_{true};
+  /// Cached row->column mirror for row-backed tables, and its chunking.
+  mutable ColumnarTablePtr columnar_cache_;
+  mutable size_t columnar_cache_batch_ = 0;
+  mutable std::mutex lazy_mu_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -74,22 +74,29 @@ void Scenario::BuildServers() {
                   .num_workers = 4,
                   .cpu_load_sensitivity = 0.9,
                   .io_load_sensitivity = 0.9,
-                  .min_speed_fraction = 0.05};
+                  .min_speed_fraction = 0.05,
+                  .exec = {}};
   ServerConfig s2{.id = "S2",
                   .cpu_speed = 180'000,
                   .io_speed = 140'000,
                   .num_workers = 4,
                   .cpu_load_sensitivity = 0.85,
                   .io_load_sensitivity = 0.9,
-                  .min_speed_fraction = 0.05};
+                  .min_speed_fraction = 0.05,
+                  .exec = {}};
   ServerConfig s3{.id = "S3",
                   .cpu_speed = 450'000,
                   .io_speed = 380'000,
                   .num_workers = 4,
                   .cpu_load_sensitivity = 1.55,
                   .io_load_sensitivity = 0.35,
-                  .min_speed_fraction = 0.05};
-  for (const auto& cfg : {s1, s2, s3}) {
+                  .min_speed_fraction = 0.05,
+                  .exec = {}};
+  for (auto cfg : {s1, s2, s3}) {
+    if (config_.columnar_engine) {
+      cfg.exec.engine = EngineKind::kColumnar;
+      cfg.exec.batch_rows = config_.batch_rows;
+    }
     servers_[cfg.id] =
         std::make_unique<RemoteServer>(cfg, ctx_, rng_.Fork());
     servers_[cfg.id]->SetTelemetry(&telemetry_);
@@ -201,6 +208,10 @@ void Scenario::BuildFederation() {
   ii_config.configured_speed = 400'000;
   ii_config.actual_cpu_speed = 400'000;
   ii_config.actual_io_speed = 400'000;
+  if (config_.columnar_engine) {
+    ii_config.exec.engine = EngineKind::kColumnar;
+    ii_config.exec.batch_rows = config_.batch_rows;
+  }
   ii_ = std::make_unique<Integrator>(&catalog_, mw_.get(), ctx_, ii_config);
 }
 

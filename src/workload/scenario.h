@@ -16,6 +16,7 @@
 #include "server/remote_server.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
+#include "storage/datagen.h"
 #include "wrapper/wrapper.h"
 
 namespace fedcal {
@@ -53,6 +54,23 @@ struct ScenarioConfig {
   /// Serving-mode wall seconds per virtual second of timer gap; 0 fires
   /// events as fast as possible (see ServingConfig::time_scale).
   double serving_time_scale = 0.0;
+  /// Run every engine in the testbed (remote-server fragments and the
+  /// integrator's merge) on the vectorized columnar executor instead of
+  /// the row-at-a-time reference engine. Results, stats, and simulated
+  /// timings are engine-invariant — only wall-clock speed changes.
+  bool columnar_engine = false;
+  /// Columnar batch size (rows per chunk) when columnar_engine is set.
+  size_t batch_rows = 4096;
+
+  /// Sets large_rows/small_rows from a named cardinality preset
+  /// (100k/1k, 1M/10k, or 10M/100k) and returns *this for chaining.
+  /// Generation stays deterministic for a given (preset, seed) pair.
+  ScenarioConfig& WithScale(ScalePreset preset) {
+    const ScaleRows rows = PresetRows(preset);
+    large_rows = rows.large_rows;
+    small_rows = rows.small_rows;
+    return *this;
+  }
 };
 
 /// \brief The §5 information-integration testbed: one integrator, three

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "storage/datagen.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::MakeTable;
+using testing::MiniDb;
+using testing::N;
+using testing::S;
+
+/// Asserts byte-identical tables: same schema, same row order, and the
+/// exact same Value variant in every cell (1 as int64 != 1.0 as double
+/// here, even though they compare equal).
+void ExpectIdenticalTables(const Table& row_t, const Table& col_t,
+                           const std::string& label) {
+  ASSERT_EQ(row_t.num_rows(), col_t.num_rows()) << label;
+  ASSERT_EQ(row_t.schema().num_columns(), col_t.schema().num_columns())
+      << label;
+  EXPECT_EQ(row_t.byte_size(), col_t.byte_size()) << label;
+  for (size_t r = 0; r < row_t.num_rows(); ++r) {
+    const Row& a = row_t.row(r);
+    const Row& b = col_t.row(r);
+    ASSERT_EQ(a.size(), b.size()) << label << " row " << r;
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c], b[c]) << label << " cell " << r << "," << c;
+      EXPECT_EQ(a[c].is_null(), b[c].is_null())
+          << label << " cell " << r << "," << c;
+      EXPECT_EQ(a[c].is_int64(), b[c].is_int64())
+          << label << " cell " << r << "," << c;
+      EXPECT_EQ(a[c].is_double(), b[c].is_double())
+          << label << " cell " << r << "," << c;
+    }
+  }
+}
+
+/// Bit-identical stats: the work-unit accounting is the simulation clock,
+/// so even floating-point totals must match exactly (same accumulation
+/// order), not approximately.
+void ExpectIdenticalStats(const ExecStats& a, const ExecStats& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.work_units, b.work_units) << label;
+  EXPECT_EQ(a.io_units, b.io_units) << label;
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned) << label;
+  EXPECT_EQ(a.rows_output, b.rows_output) << label;
+  EXPECT_EQ(a.bytes_output, b.bytes_output) << label;
+  EXPECT_EQ(a.operators_executed, b.operators_executed) << label;
+}
+
+class ColumnarDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Deterministic generated tables big enough to span several batches
+    // at the test batch size, with nulls and string columns.
+    Rng rng(20260809);
+
+    TableGenSpec emp;
+    emp.name = "emp";
+    emp.num_rows = 2'000;
+    emp.columns = {{"id", DataType::kInt64},
+                   {"dept", DataType::kInt64},
+                   {"salary", DataType::kDouble},
+                   {"tag", DataType::kString}};
+    emp.generators = {ColumnGenSpec::Serial(),
+                      ColumnGenSpec::UniformInt(1, 20),
+                      ColumnGenSpec::UniformDouble(30'000, 120'000),
+                      ColumnGenSpec::StringTag("t", 0, 50)};
+    emp.generators[2].null_fraction = 0.05;
+
+    TableGenSpec dept;
+    dept.name = "dept";
+    dept.num_rows = 25;
+    dept.columns = {{"deptid", DataType::kInt64},
+                    {"budget", DataType::kDouble},
+                    {"city", DataType::kString}};
+    dept.generators = {
+        ColumnGenSpec::Serial(),
+        ColumnGenSpec::UniformDouble(0, 1'000'000),
+        ColumnGenSpec::StringPool({"sj", "ny", "sf", "tokyo"})};
+
+    TableGenSpec sales;
+    sales.name = "sales";
+    sales.num_rows = 3'000;
+    sales.columns = {{"sid", DataType::kInt64},
+                     {"emp_id", DataType::kInt64},
+                     {"amount", DataType::kDouble}};
+    sales.generators = {ColumnGenSpec::Serial(),
+                        ColumnGenSpec::UniformInt(0, 2'499),  // some dangle
+                        ColumnGenSpec::UniformDouble(0, 10'000)};
+    sales.generators[1].null_fraction = 0.02;
+
+    for (const auto& spec : {emp, dept, sales}) {
+      auto t = GenerateTable(spec, &rng);
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      db_.AddTable(t.MoveValue());
+    }
+
+    // A tiny table with mixed variants (int64 stored in a DOUBLE column)
+    // and an indexed column, so IndexScan and kMixed paths get exercised.
+    TablePtr odd = MakeTable("odd",
+                             {{"k", DataType::kInt64},
+                              {"v", DataType::kDouble}},
+                             {{I(1), D(1.5)},
+                              {I(2), I(7)},
+                              {I(2), N()},
+                              {N(), D(-3.0)},
+                              {I(4), I(0)}});
+    ASSERT_TRUE(odd->CreateIndex("k").ok());
+    db_.AddTable(odd);
+  }
+
+  /// Runs `sql` under both engines (columnar at several batch sizes) and
+  /// asserts identical results and stats.
+  void RunBoth(const std::string& sql) {
+    ExecStats row_stats;
+    auto row_res = db_.Run(sql, &row_stats);
+    ASSERT_TRUE(row_res.ok()) << sql << ": " << row_res.status().ToString();
+    TablePtr row_t = row_res.MoveValue();
+
+    for (size_t batch : {64u, 4096u}) {
+      ExecConfig cfg;
+      cfg.engine = EngineKind::kColumnar;
+      cfg.batch_rows = batch;
+      ExecStats col_stats;
+      auto col_res = db_.Run(sql, &col_stats, cfg);
+      ASSERT_TRUE(col_res.ok())
+          << sql << ": " << col_res.status().ToString();
+      const std::string label =
+          sql + " [batch=" + std::to_string(batch) + "]";
+      ExpectIdenticalTables(*row_t, *col_res.value(), label);
+      ExpectIdenticalStats(row_stats, col_stats, label);
+    }
+  }
+
+  MiniDb db_;
+};
+
+TEST_F(ColumnarDifferentialTest, Scan) { RunBoth("SELECT * FROM emp"); }
+
+TEST_F(ColumnarDifferentialTest, FilterProject) {
+  RunBoth("SELECT id, salary FROM emp WHERE salary > 50000");
+  RunBoth("SELECT id, salary * 1.1 FROM emp WHERE dept = 3");
+  RunBoth("SELECT id FROM emp WHERE tag LIKE 't1%'");
+  RunBoth("SELECT id FROM emp WHERE salary > 40000 AND dept < 10");
+  RunBoth("SELECT id FROM emp WHERE dept = 1 OR dept = 20");
+  // Nullable filter column: three-valued logic drops NULL salaries.
+  RunBoth("SELECT id FROM emp WHERE salary < 35000");
+}
+
+TEST_F(ColumnarDifferentialTest, ArithmeticProjections) {
+  RunBoth("SELECT id + 1, salary / 2, dept * 10 FROM emp WHERE id < 500");
+  RunBoth("SELECT salary / 0 FROM emp WHERE id < 10");  // div-by-zero
+  RunBoth("SELECT -salary, -id FROM emp WHERE id < 100");
+}
+
+TEST_F(ColumnarDifferentialTest, Joins) {
+  RunBoth(
+      "SELECT emp.id, dept.city FROM emp, dept "
+      "WHERE emp.dept = dept.deptid AND emp.id < 200");
+  RunBoth(
+      "SELECT emp.id, sales.amount FROM emp, sales "
+      "WHERE emp.id = sales.emp_id AND sales.amount > 9000");
+  // Three-way join.
+  RunBoth(
+      "SELECT emp.id, dept.city, sales.amount FROM emp, dept, sales "
+      "WHERE emp.dept = dept.deptid AND emp.id = sales.emp_id "
+      "AND sales.amount > 9500");
+}
+
+TEST_F(ColumnarDifferentialTest, Aggregates) {
+  RunBoth("SELECT COUNT(*) FROM emp");
+  RunBoth("SELECT COUNT(*) FROM emp WHERE id < 0");  // empty global group
+  RunBoth(
+      "SELECT dept, COUNT(*), SUM(salary), AVG(salary), MIN(salary), "
+      "MAX(salary) FROM emp GROUP BY dept");
+  RunBoth("SELECT dept, SUM(salary) FROM emp WHERE id < 700 GROUP BY dept");
+}
+
+TEST_F(ColumnarDifferentialTest, SortDistinctLimit) {
+  RunBoth("SELECT id, salary FROM emp ORDER BY salary DESC LIMIT 50");
+  RunBoth("SELECT dept FROM emp ORDER BY dept");
+  RunBoth("SELECT DISTINCT dept FROM emp");
+  RunBoth("SELECT DISTINCT city FROM dept ORDER BY city");
+  RunBoth("SELECT id FROM emp LIMIT 10");
+  RunBoth("SELECT id FROM emp LIMIT 0");
+  RunBoth("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept");
+}
+
+TEST_F(ColumnarDifferentialTest, MixedVariantTable) {
+  RunBoth("SELECT * FROM odd");
+  RunBoth("SELECT k, v FROM odd WHERE v > 0");
+  RunBoth("SELECT k, v + 1 FROM odd");
+  RunBoth("SELECT v FROM odd ORDER BY v");
+  RunBoth("SELECT DISTINCT k FROM odd");
+  // IndexScan path (equality on the indexed column).
+  RunBoth("SELECT * FROM odd WHERE k = 2");
+}
+
+TEST_F(ColumnarDifferentialTest, EmptyResults) {
+  RunBoth("SELECT id FROM emp WHERE id > 1000000");
+  RunBoth("SELECT emp.id FROM emp, dept "
+          "WHERE emp.dept = dept.deptid AND dept.budget < 0");
+}
+
+TEST_F(ColumnarDifferentialTest, ErrorsFailBothEngines) {
+  // Type mismatch surfaces as an error in both engines (the specific
+  // first-cell message may differ only when several rows are bad).
+  const std::string sql = "SELECT id FROM emp WHERE tag > 5";
+  ExecStats s;
+  auto row_res = db_.Run(sql, &s);
+  ASSERT_FALSE(row_res.ok());
+  ExecConfig cfg;
+  cfg.engine = EngineKind::kColumnar;
+  auto col_res = db_.Run(sql, &s, cfg);
+  ASSERT_FALSE(col_res.ok());
+  EXPECT_EQ(row_res.status().ToString(), col_res.status().ToString());
+}
+
+}  // namespace
+}  // namespace fedcal

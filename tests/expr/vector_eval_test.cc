@@ -1,0 +1,242 @@
+#include "expr/vector_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/arena.h"
+#include "expr/bound_expr.h"
+#include "storage/column_chunk.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::N;
+using testing::S;
+
+/// Rows covering the null/typed/mixed space: (a int64, b double, c string,
+/// d int64-with-nulls, e double-with-mixed-variants).
+std::vector<Row> TestRows() {
+  return {
+      {I(1), D(1.5), S("apple"), I(10), D(0.5)},
+      {I(2), D(-2.0), S("banana"), N(), I(7)},  // int64 in double col
+      {I(3), D(0.0), S(""), I(30), D(2.5)},
+      {I(-4), D(100.25), S("apricot"), I(40), N()},
+      {I(0), D(3.0), S("cherry"), N(), D(-1.0)},
+      {I(5), D(-0.5), S("a%b_c"), I(50), I(0)},
+  };
+}
+
+Schema TestSchema() {
+  return Schema({{"a", DataType::kInt64},
+                 {"b", DataType::kDouble},
+                 {"c", DataType::kString},
+                 {"d", DataType::kInt64},
+                 {"e", DataType::kDouble}});
+}
+
+ColumnChunk MakeChunk(const std::vector<Row>& rows) {
+  ColumnarTablePtr ct = ColumnarFromRows(TestSchema(), rows, rows.size());
+  return ct->chunks()[0];
+}
+
+BoundExprPtr Col(size_t i) {
+  static const char* names[] = {"a", "b", "c", "d", "e"};
+  static const DataType types[] = {DataType::kInt64, DataType::kDouble,
+                                   DataType::kString, DataType::kInt64,
+                                   DataType::kDouble};
+  return BoundExpr::Column(i, names[i], types[i]);
+}
+
+BoundExprPtr Lit(Value v) { return BoundExpr::Literal(std::move(v)); }
+
+/// The oracle: vectorized evaluation must match row-at-a-time evaluation
+/// cell for cell, variants included.
+void ExpectMatchesRowEval(const BoundExprPtr& expr) {
+  const std::vector<Row> rows = TestRows();
+  const ColumnChunk chunk = MakeChunk(rows);
+  Arena arena;
+  VectorEvaluator eval(&arena);
+  auto vres = eval.Eval(*expr, chunk);
+  ASSERT_TRUE(vres.ok()) << expr->ToString() << ": "
+                         << vres.status().ToString();
+  const VectorResult& v = vres.value();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto rres = expr->Eval(rows[i]);
+    ASSERT_TRUE(rres.ok()) << expr->ToString();
+    const Value expect = rres.value();
+    const Value got = v.At(i);
+    EXPECT_EQ(got, expect) << expr->ToString() << " row " << i;
+    EXPECT_EQ(got.is_null(), expect.is_null())
+        << expr->ToString() << " row " << i;
+    EXPECT_EQ(got.is_int64(), expect.is_int64())
+        << expr->ToString() << " row " << i;
+    EXPECT_EQ(got.is_double(), expect.is_double())
+        << expr->ToString() << " row " << i;
+  }
+}
+
+TEST(VectorEvalTest, ColumnPassThroughIsZeroCopy) {
+  const std::vector<Row> rows = TestRows();
+  const ColumnChunk chunk = MakeChunk(rows);
+  Arena arena;
+  VectorEvaluator eval(&arena);
+  auto vres = eval.Eval(*Col(0), chunk);
+  ASSERT_TRUE(vres.ok());
+  EXPECT_FALSE(vres.value().constant);
+  // Same underlying column object as the chunk — no copy.
+  EXPECT_EQ(vres.value().col.get(), chunk.columns[0].col.get());
+}
+
+TEST(VectorEvalTest, LiteralIsConstant) {
+  Arena arena;
+  VectorEvaluator eval(&arena);
+  const ColumnChunk chunk = MakeChunk(TestRows());
+  auto vres = eval.Eval(*Lit(I(42)), chunk);
+  ASSERT_TRUE(vres.ok());
+  EXPECT_TRUE(vres.value().constant);
+  EXPECT_EQ(vres.value().const_value, Value(int64_t{42}));
+}
+
+TEST(VectorEvalTest, ComparisonsMatchRowEval) {
+  for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                      BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe}) {
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(0), Lit(I(2))));
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(1), Lit(D(0.0))));
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(0), Col(3)));  // nulls
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(1), Col(4)));  // mixed
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(2), Lit(S("banana"))));
+    // int-vs-double cross-type comparison.
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(0), Lit(D(1.5))));
+  }
+}
+
+TEST(VectorEvalTest, ArithmeticMatchesRowEval) {
+  for (BinaryOp op : {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                      BinaryOp::kDiv}) {
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(0), Lit(I(3))));
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(1), Col(4)));
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(0), Col(1)));
+    ExpectMatchesRowEval(BoundExpr::Binary(op, Col(3), Lit(I(2))));
+  }
+  // Division by zero -> NULL (and by a zero-valued column cell).
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kDiv, Col(0), Lit(I(0))));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kDiv, Col(0), Col(4)));
+}
+
+TEST(VectorEvalTest, LogicalOpsMatchRowEval) {
+  auto lt = BoundExpr::Binary(BinaryOp::kLt, Col(0), Lit(I(3)));
+  auto gt = BoundExpr::Binary(BinaryOp::kGt, Col(1), Lit(D(0.0)));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kAnd, lt, gt));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kOr, lt, gt));
+  // Three-valued logic over a nullable column.
+  auto dnull = BoundExpr::Binary(BinaryOp::kGt, Col(3), Lit(I(20)));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kAnd, dnull, gt));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kOr, dnull, gt));
+}
+
+TEST(VectorEvalTest, LikeMatchesRowEval) {
+  ExpectMatchesRowEval(
+      BoundExpr::Binary(BinaryOp::kLike, Col(2), Lit(S("a%"))));
+  ExpectMatchesRowEval(
+      BoundExpr::Binary(BinaryOp::kLike, Col(2), Lit(S("%an%"))));
+  ExpectMatchesRowEval(
+      BoundExpr::Binary(BinaryOp::kLike, Col(2), Lit(S("a_p%"))));
+}
+
+TEST(VectorEvalTest, UnaryOpsMatchRowEval) {
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kNeg, Col(0)));
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kNeg, Col(1)));
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kNeg, Col(4)));  // mixed
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kIsNull, Col(3)));
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kIsNotNull, Col(3)));
+  ExpectMatchesRowEval(BoundExpr::Unary(
+      UnaryOp::kNot, BoundExpr::Binary(BinaryOp::kLt, Col(0), Lit(I(2)))));
+  ExpectMatchesRowEval(BoundExpr::Unary(
+      UnaryOp::kNot, BoundExpr::Binary(BinaryOp::kGt, Col(3), Lit(I(20)))));
+}
+
+TEST(VectorEvalTest, NullLiteralOperandsMatchRowEval) {
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kEq, Col(0), Lit(N())));
+  ExpectMatchesRowEval(BoundExpr::Binary(BinaryOp::kAdd, Col(1), Lit(N())));
+  ExpectMatchesRowEval(BoundExpr::Unary(UnaryOp::kIsNull, Lit(N())));
+}
+
+TEST(VectorEvalTest, TypeMismatchErrorsMatchRowEval) {
+  // string < int errors in the row engine; the vector engine must produce
+  // the same status (the first offending cell decides the message).
+  auto bad = BoundExpr::Binary(BinaryOp::kLt, Col(2), Lit(I(1)));
+  const std::vector<Row> rows = TestRows();
+  const ColumnChunk chunk = MakeChunk(rows);
+  Arena arena;
+  VectorEvaluator eval(&arena);
+  auto vres = eval.Eval(*bad, chunk);
+  ASSERT_FALSE(vres.ok());
+  auto rres = bad->Eval(rows[0]);
+  ASSERT_FALSE(rres.ok());
+  EXPECT_EQ(vres.status().ToString(), rres.status().ToString());
+
+  // Negating a string errors identically.
+  auto neg = BoundExpr::Unary(UnaryOp::kNeg, Col(2));
+  auto vneg = eval.Eval(*neg, chunk);
+  auto rneg = neg->Eval(rows[0]);
+  ASSERT_FALSE(vneg.ok());
+  ASSERT_FALSE(rneg.ok());
+  EXPECT_EQ(vneg.status().ToString(), rneg.status().ToString());
+}
+
+TEST(VectorEvalTest, EvalSelectionMatchesIsTruthy) {
+  const std::vector<Row> rows = TestRows();
+  const ColumnChunk chunk = MakeChunk(rows);
+  const std::vector<BoundExprPtr> preds = {
+      BoundExpr::Binary(BinaryOp::kLt, Col(0), Lit(I(3))),
+      BoundExpr::Binary(BinaryOp::kGt, Col(3), Lit(I(15))),  // nullable
+      BoundExpr::Binary(BinaryOp::kLike, Col(2), Lit(S("a%"))),
+      BoundExpr::Binary(
+          BinaryOp::kAnd,
+          BoundExpr::Binary(BinaryOp::kGe, Col(0), Lit(I(0))),
+          BoundExpr::Binary(BinaryOp::kLe, Col(1), Lit(D(3.0)))),
+      Lit(I(1)),  // constant-true: selects everything
+      Lit(I(0)),  // constant-false: selects nothing
+  };
+  for (const auto& pred : preds) {
+    Arena arena;
+    VectorEvaluator eval(&arena);
+    size_t count = 0;
+    auto sel = eval.EvalSelection(*pred, chunk, &count);
+    ASSERT_TRUE(sel.ok()) << pred->ToString();
+    std::vector<uint32_t> expect;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto r = pred->Eval(rows[i]);
+      ASSERT_TRUE(r.ok());
+      if (IsTruthy(r.value())) expect.push_back(static_cast<uint32_t>(i));
+    }
+    ASSERT_EQ(count, expect.size()) << pred->ToString();
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(sel.value()[i], expect[i]) << pred->ToString();
+    }
+  }
+}
+
+TEST(VectorEvalTest, WorksOnOffsetSlices) {
+  // Evaluation must honor per-column offsets (sliced chunks).
+  const std::vector<Row> rows = TestRows();
+  ColumnarTablePtr ct = ColumnarFromRows(TestSchema(), rows, rows.size());
+  const ColumnChunk sliced = ct->chunks()[0].Slice(2, 3);
+  auto expr = BoundExpr::Binary(BinaryOp::kAdd, Col(0), Lit(I(100)));
+  Arena arena;
+  VectorEvaluator eval(&arena);
+  auto vres = eval.Eval(*expr, sliced);
+  ASSERT_TRUE(vres.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    auto r = expr->Eval(rows[2 + i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(vres.value().At(i), r.value()) << "slice row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedcal

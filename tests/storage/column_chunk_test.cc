@@ -1,0 +1,207 @@
+#include "storage/column_chunk.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TEST(ColumnDataTest, TypedAppendNullFreeFastPath) {
+  ColumnData col(ColumnData::Kind::kInt64);
+  col.AppendInt(1);
+  col.AppendInt(2);
+  col.AppendInt(3);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.has_nulls());  // bitmap never allocated
+  EXPECT_EQ(col.ints()[0], 1);
+  EXPECT_EQ(col.GetValue(2), Value(int64_t{3}));
+}
+
+TEST(ColumnDataTest, NullBitmapAllocatedOnFirstNull) {
+  ColumnData col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  EXPECT_FALSE(col.has_nulls());
+  col.AppendNull();
+  EXPECT_TRUE(col.has_nulls());
+  col.AppendDouble(2.5);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.GetValue(2), Value(2.5));
+}
+
+TEST(ColumnDataTest, MixedDemotionPreservesExactVariants) {
+  // An int64 Value appended to a DOUBLE column demotes to kMixed; the
+  // original variants must survive the round trip (the differential
+  // oracle compares representations, not numeric equality).
+  ColumnData col(DataType::kDouble);
+  col.AppendValue(Value(1.5));
+  col.AppendValue(Value(int64_t{7}));  // variant mismatch -> demote
+  EXPECT_EQ(col.kind(), ColumnData::Kind::kMixed);
+  col.AppendValue(Value::Null_());
+  EXPECT_EQ(col.GetValue(0), Value(1.5));
+  EXPECT_EQ(col.GetValue(1), Value(int64_t{7}));
+  EXPECT_FALSE(col.GetValue(1).is_double());
+  EXPECT_TRUE(col.IsNull(2));
+}
+
+TEST(ColumnDataTest, DemotionAfterNullsKeepsNullCells) {
+  ColumnData col(DataType::kInt64);
+  col.AppendValue(Value(int64_t{1}));
+  col.AppendNull();
+  col.AppendValue(Value("oops"));  // string in INT column -> demote
+  EXPECT_EQ(col.kind(), ColumnData::Kind::kMixed);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(2), Value("oops"));
+}
+
+TEST(ColumnDataTest, CellBytesMatchesValueByteSize) {
+  ColumnData col(DataType::kString);
+  const std::vector<Value> cells = {Value("abc"), Value::Null_(),
+                                    Value(std::string(100, 'x'))};
+  for (const Value& v : cells) col.AppendValue(v);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(col.CellBytes(i), cells[i].ByteSize()) << "cell " << i;
+  }
+  // Mixed column too.
+  ColumnData mixed(DataType::kInt64);
+  mixed.AppendValue(Value(int64_t{1}));
+  mixed.AppendValue(Value(2.5));
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(mixed.CellBytes(i), mixed.GetValue(i).ByteSize());
+  }
+}
+
+TEST(ColumnDataTest, AppendFromPreservesVariantAcrossKinds) {
+  ColumnData src(DataType::kDouble);
+  src.AppendValue(Value(1.0));
+  src.AppendValue(Value(int64_t{2}));  // demotes src
+  ColumnData dst(DataType::kDouble);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.GetValue(0), Value(1.0));
+  EXPECT_EQ(dst.GetValue(1), Value(int64_t{2}));
+  EXPECT_FALSE(dst.GetValue(1).is_double());
+}
+
+TEST(ColumnChunkTest, SliceIsZeroCopy) {
+  auto col = std::make_shared<ColumnData>(ColumnData::Kind::kInt64);
+  for (int64_t i = 0; i < 10; ++i) col->AppendInt(i);
+  ColumnChunk chunk;
+  chunk.columns.push_back(ColumnSlice{col, 0});
+  chunk.length = 10;
+
+  ColumnChunk sub = chunk.Slice(3, 4);
+  EXPECT_EQ(sub.length, 4u);
+  // Same underlying ColumnData object, shifted offset.
+  EXPECT_EQ(sub.columns[0].col.get(), col.get());
+  EXPECT_EQ(sub.columns[0].offset, 3u);
+  EXPECT_EQ(sub.ValueAt(0, 0), Value(int64_t{3}));
+  EXPECT_EQ(sub.ValueAt(0, 3), Value(int64_t{6}));
+}
+
+TEST(ColumnarTableTest, AppendTableZeroCopySharesColumns) {
+  Schema schema({{"a", DataType::kInt64}});
+  auto col = std::make_shared<ColumnData>(ColumnData::Kind::kInt64);
+  col->AppendInt(1);
+  col->AppendInt(2);
+  ColumnChunk chunk;
+  chunk.columns.push_back(ColumnSlice{col, 0});
+  chunk.length = 2;
+
+  ColumnarTable a(schema);
+  a.AppendChunk(chunk);
+  ColumnarTable b(schema);
+  b.AppendTableZeroCopy(a);
+  ASSERT_EQ(b.num_rows(), 2u);
+  EXPECT_EQ(b.byte_size(), a.byte_size());
+  // The merged table references the same column storage.
+  EXPECT_EQ(b.chunks()[0].columns[0].col.get(), col.get());
+}
+
+TEST(ColumnarTableTest, RoundTripFromRows) {
+  const std::vector<Row> rows = {
+      {I(1), D(1.5), S("a")},
+      {I(2), N(), S("bb")},
+      {N(), D(3.5), N()},
+      {I(4), I(9), S("d")},  // int64 in DOUBLE column: mixed cell
+  };
+  Schema schema({{"x", DataType::kInt64},
+                 {"y", DataType::kDouble},
+                 {"z", DataType::kString}});
+  ColumnarTablePtr ct = ColumnarFromRows(schema, rows, /*batch_rows=*/3);
+  ASSERT_EQ(ct->num_rows(), 4u);
+  EXPECT_EQ(ct->chunks().size(), 2u);  // 3 + 1
+
+  size_t expect_bytes = 0;
+  for (const Row& r : rows) {
+    for (const Value& v : r) expect_bytes += v.ByteSize();
+  }
+  EXPECT_EQ(ct->byte_size(), expect_bytes);
+
+  const std::vector<Row> back = ct->MaterializeRows();
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ASSERT_EQ(back[r].size(), rows[r].size());
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      EXPECT_EQ(back[r][c], rows[r][c]) << "cell " << r << "," << c;
+      // Exact variant, not just equality.
+      EXPECT_EQ(back[r][c].is_int64(), rows[r][c].is_int64())
+          << "cell " << r << "," << c;
+      EXPECT_EQ(back[r][c].is_double(), rows[r][c].is_double())
+          << "cell " << r << "," << c;
+    }
+  }
+}
+
+TEST(TableColumnarTest, MirrorIsCachedAndInvalidatedByAppend) {
+  TablePtr t = MakeTable("t", {{"a", DataType::kInt64}},
+                         {{I(1)}, {I(2)}});
+  ColumnarTablePtr c1 = t->columnar(1024);
+  ColumnarTablePtr c2 = t->columnar(1024);
+  EXPECT_EQ(c1.get(), c2.get());  // cached
+  EXPECT_EQ(c1->num_rows(), 2u);
+
+  t->AppendRowUnchecked({I(3)});
+  ColumnarTablePtr c3 = t->columnar(1024);
+  EXPECT_NE(c1.get(), c3.get());  // invalidated
+  EXPECT_EQ(c3->num_rows(), 3u);
+}
+
+TEST(TableColumnarTest, FromColumnarMaterializesRowsLazily) {
+  const std::vector<Row> rows = {{I(1), S("a")}, {I(2), S("b")}};
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  ColumnarTablePtr ct = ColumnarFromRows(schema, rows, 1024);
+  TablePtr t = Table::FromColumnar("res", ct);
+
+  // Metadata comes straight from the columnar payload.
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->byte_size(), ct->byte_size());
+  // The columnar view is the payload itself, not a rebuilt mirror.
+  EXPECT_EQ(t->columnar(7).get(), ct.get());
+
+  // Row access materializes on demand and matches.
+  EXPECT_EQ(t->rows(), rows);
+}
+
+TEST(TableColumnarTest, ByteSizeMatchesRowAccounting) {
+  TablePtr t = MakeTable("t",
+                         {{"a", DataType::kInt64},
+                          {"s", DataType::kString}},
+                         {{I(1), S("hello")}, {N(), S("")}, {I(3), N()}});
+  ColumnarTablePtr ct = t->columnar(2);
+  EXPECT_EQ(ct->byte_size(), t->byte_size());
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -54,8 +54,17 @@ class MiniDb {
 
   const StatsCatalog& stats() const { return stats_; }
 
-  /// Parse + bind + plan + execute.
-  Result<TablePtr> Run(const std::string& sql, ExecStats* stats = nullptr) {
+  /// Parse + bind + plan + execute (on the engine `config` selects).
+  Result<TablePtr> Run(const std::string& sql, ExecStats* stats = nullptr,
+                       ExecConfig config = {}) {
+    FEDCAL_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(sql));
+    Executor exec([this](const std::string& n) { return Resolve(n); },
+                  config);
+    return exec.Execute(plan, stats);
+  }
+
+  /// Parse + bind + plan.
+  Result<PlanNodePtr> Plan(const std::string& sql) {
     FEDCAL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
     std::vector<Schema> schemas;
     for (const auto& tr : stmt.from) {
@@ -64,9 +73,7 @@ class MiniDb {
     }
     FEDCAL_ASSIGN_OR_RETURN(BoundQuery bq, BindQuery(stmt, schemas));
     Planner planner(&stats_);
-    FEDCAL_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(bq));
-    Executor exec([this](const std::string& n) { return Resolve(n); });
-    return exec.Execute(plan, stats);
+    return planner.Plan(bq);
   }
 
  private:
