@@ -14,6 +14,12 @@
 //                      plans + rejection reasons), plus the mid-query
 //                      re-route chain when the query was re-evaluated in
 //                      flight; defaults to the most recent query
+//   \profile [id]      per-operator runtime profile (EXPLAIN ANALYZE):
+//                      estimated vs observed rows, virtual/wall time,
+//                      batches and arena bytes per fragment and for the
+//                      integrator merge; defaults to the last query
+//   \accuracy          cost-model accuracy scoreboard: rolling cardinality
+//                      q-error per (server, operator) and per plan shape
 //   \timeline <srv>    a server's calibration/reliability/availability/
 //                      breaker time-series with drift events
 //   \stats             live telemetry metrics snapshot (counters, gauges,
@@ -38,6 +44,7 @@
 #include <string>
 
 #include "obs/export.h"
+#include "obs/profile_export.h"
 #include "obs/snapshot.h"
 #include "workload/scenario.h"
 
@@ -54,6 +61,11 @@ void PrintCommandList() {
       "                       consulted server state, mid-query re-route "
       "chain\n"
       "                       (default: last query)\n"
+      "    \\profile [id]      per-operator runtime profile: est vs "
+      "observed rows,\n"
+      "                       virtual/wall time, batches, arena bytes "
+      "(default:\n"
+      "                       last query)\n"
       "    \\trace             span tree of the last query\n"
       "  observe:\n"
       "    \\servers           server status, load and calibration "
@@ -61,6 +73,10 @@ void PrintCommandList() {
       "    \\timeline <srv>    calibration/reliability/availability/"
       "breaker series\n"
       "    \\stats             telemetry metrics snapshot\n"
+      "    \\accuracy          cost-model accuracy scoreboard: rolling "
+      "cardinality\n"
+      "                       q-error per (server, operator) and per plan "
+      "shape\n"
       "  cache:\n"
       "    \\cache             prepared-plan cache stats, routing epoch, "
       "last invalidation\n"
@@ -114,6 +130,9 @@ int main() {
   ScenarioConfig cfg;
   cfg.large_rows = 20'000;
   cfg.small_rows = 1'000;
+  // The shell always profiles: \profile and \accuracy should work on the
+  // very first query, and the interactive overhead is negligible.
+  cfg.profile = true;
   std::printf("building federation (3 servers, %zu-row large tables)...\n",
               cfg.large_rows);
   auto sc = std::make_unique<Scenario>(cfg);
@@ -229,6 +248,23 @@ int main() {
         } else {
           std::printf("  no explained query yet\n");
         }
+      } else if (cmd == "profile") {
+        uint64_t target_id = last_query_id;
+        if (!(iss >> target_id)) target_id = last_query_id;
+        const obs::FlightRecorder& rec = sc->telemetry().recorder;
+        const obs::DecisionRecord* d =
+            target_id != 0 ? rec.Find(target_id) : rec.Latest();
+        if (d == nullptr) {
+          std::printf("  no profiled query yet\n");
+        } else if (d->profile == nullptr) {
+          std::printf("  query %llu recorded no operator profile\n",
+                      static_cast<unsigned long long>(d->query_id));
+        } else {
+          std::printf("%s", obs::ProfileText(*d->profile).c_str());
+        }
+      } else if (cmd == "accuracy") {
+        std::printf("%s",
+                    obs::AccuracyText(sc->telemetry().recorder).c_str());
       } else if (cmd == "timeline") {
         std::string sid;
         if (iss >> sid) {

@@ -197,9 +197,28 @@ void QueryCostCalibrator::RecordEstimate(const std::string& server_id,
 void QueryCostCalibrator::RecordFragmentObservation(
     const std::string& server_id, size_t signature, double estimated_seconds,
     double observed_seconds) {
-  store_.Record(server_id, signature, estimated_seconds, observed_seconds);
+  RecordFragmentObservation(server_id, signature, estimated_seconds,
+                            observed_seconds, /*cardinality_suspect=*/false);
+}
+
+void QueryCostCalibrator::RecordFragmentObservation(
+    const std::string& server_id, size_t signature, double estimated_seconds,
+    double observed_seconds, bool cardinality_suspect) {
   obs::MetricsRegistry& metrics = meta_wrapper_->telemetry()->metrics;
   metrics.counter("qcc.observations").Add();
+  if (cardinality_suspect) {
+    // The fragment's operator profile showed the optimizer's cardinality
+    // estimate was wrong, so the excess time is the optimizer's fault, not
+    // the server's. Absorbing it into the per-server calibration factor
+    // would mis-rank every other plan on this server and trip the drift
+    // detector for a regime change that never happened — the miss is
+    // accounted on the accuracy scoreboard (kEstimateMiss) instead.
+    metrics.counter("qcc.observations.cardinality_suspect").Add();
+    meta_wrapper_->telemetry()->health.RecordServerLatency(
+        server_id, sim_->Now(), estimated_seconds, observed_seconds);
+    return;
+  }
+  store_.Record(server_id, signature, estimated_seconds, observed_seconds);
   if (estimated_seconds > 0.0) {
     metrics.gauge("qcc.last_ratio." + server_id)
         .Set(observed_seconds / estimated_seconds);

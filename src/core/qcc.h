@@ -99,6 +99,10 @@ class QueryCostCalibrator : public CostCalibrator, public PlanSelector {
   void RecordFragmentObservation(const std::string& server_id,
                                  size_t signature, double estimated_seconds,
                                  double observed_seconds) override;
+  void RecordFragmentObservation(const std::string& server_id,
+                                 size_t signature, double estimated_seconds,
+                                 double observed_seconds,
+                                 bool cardinality_suspect) override;
   void RecordIntegrationObservation(double estimated_seconds,
                                     double observed_seconds) override;
   void RecordError(const std::string& server_id,

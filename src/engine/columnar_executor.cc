@@ -135,12 +135,34 @@ Status ColumnarExecutor::CheckSize(size_t rows) const {
 
 Result<TablePtr> ColumnarExecutor::Execute(const PlanNodePtr& plan,
                                            ExecStats* stats) {
+  return Execute(plan, stats, nullptr);
+}
+
+Result<TablePtr> ColumnarExecutor::Execute(
+    const PlanNodePtr& plan, ExecStats* stats,
+    std::shared_ptr<obs::OperatorProfile>* profile_out) {
+  if (profile_out != nullptr) profile_out->reset();
   if (!plan) return Status::InvalidArgument("null plan");
+  const bool profiling = config_.profile && profile_out != nullptr;
   ExecStats local;
   if (plan->kind == PlanKind::kScan) {
     // A bare scan returns the resolved table itself, exactly like the row
-    // engine (same object, name, and byte accounting).
+    // engine (same object, name, and byte accounting). The table is passed
+    // through unchunked, so its profile records one batch.
     ++local.operators_executed;
+    if (profiling) {
+      OperatorProfileScope scope(*plan, local);
+      FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(plan->table_name));
+      ChargeScan(*table, &local);
+      obs::OperatorProfile root;
+      scope.Finish(local, table->num_rows(), /*batches=*/1,
+                   /*arena_bytes=*/0, &root);
+      *profile_out = root.children.front();
+      local.rows_output = table->num_rows();
+      local.bytes_output = table->byte_size();
+      if (stats) stats->Merge(local);
+      return table;
+    }
     FEDCAL_ASSIGN_OR_RETURN(TablePtr table, resolver_(plan->table_name));
     ChargeScan(*table, &local);
     local.rows_output = table->num_rows();
@@ -148,37 +170,55 @@ Result<TablePtr> ColumnarExecutor::Execute(const PlanNodePtr& plan,
     if (stats) stats->Merge(local);
     return table;
   }
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr result, ExecNode(*plan, &local));
+  obs::OperatorProfile root;
+  FEDCAL_ASSIGN_OR_RETURN(
+      ColumnarTablePtr result,
+      ExecNode(*plan, &local, profiling ? &root : nullptr));
   local.rows_output = result->num_rows();
   local.bytes_output = result->byte_size();
   if (stats) stats->Merge(local);
+  if (profiling && !root.children.empty()) {
+    *profile_out = root.children.front();
+  }
   return Table::FromColumnar("", std::move(result));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecNode(const PlanNode& node,
-                                                    ExecStats* stats) {
+Result<ColumnarTablePtr> ColumnarExecutor::ExecNode(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* parent) {
   ++stats->operators_executed;
+  if (parent == nullptr) return DispatchNode(node, stats, nullptr);
+  OperatorProfileScope scope(node, *stats);
+  const size_t arena0 = arena_.bytes_allocated();
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr result,
+                          DispatchNode(node, stats, scope.prof()));
+  scope.Finish(*stats, result->num_rows(), result->chunks().size(),
+               arena_.bytes_allocated() - arena0, parent);
+  return result;
+}
+
+Result<ColumnarTablePtr> ColumnarExecutor::DispatchNode(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
   switch (node.kind) {
     case PlanKind::kScan:
       return ExecScan(node, stats);
     case PlanKind::kIndexScan:
       return ExecIndexScan(node, stats);
     case PlanKind::kFilter:
-      return ExecFilter(node, stats);
+      return ExecFilter(node, stats, prof);
     case PlanKind::kProject:
-      return ExecProject(node, stats);
+      return ExecProject(node, stats, prof);
     case PlanKind::kHashJoin:
-      return ExecHashJoin(node, stats);
+      return ExecHashJoin(node, stats, prof);
     case PlanKind::kNestedLoopJoin:
-      return ExecNestedLoopJoin(node, stats);
+      return ExecNestedLoopJoin(node, stats, prof);
     case PlanKind::kAggregate:
-      return ExecAggregate(node, stats);
+      return ExecAggregate(node, stats, prof);
     case PlanKind::kSort:
-      return ExecSort(node, stats);
+      return ExecSort(node, stats, prof);
     case PlanKind::kDistinct:
-      return ExecDistinct(node, stats);
+      return ExecDistinct(node, stats, prof);
     case PlanKind::kLimit:
-      return ExecLimit(node, stats);
+      return ExecLimit(node, stats, prof);
   }
   return Status::Internal("unhandled plan kind");
 }
@@ -246,9 +286,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecIndexScan(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecFilter(const PlanNode& node,
-                                                      ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecFilter(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
   auto out = std::make_shared<ColumnarTable>(node.output_schema);
   stats->work_units +=
       config_.costs.filter_row * static_cast<double>(in->num_rows());
@@ -269,9 +310,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecFilter(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecProject(const PlanNode& node,
-                                                       ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecProject(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
   auto out = std::make_shared<ColumnarTable>(node.output_schema);
   stats->work_units += config_.costs.project_expr *
                        static_cast<double>(in->num_rows()) *
@@ -296,11 +338,12 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecProject(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecHashJoin(const PlanNode& node,
-                                                        ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr build, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecHashJoin(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr build,
+                          ExecNode(*node.left, stats, prof));
   FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr probe,
-                          ExecNode(*node.right, stats));
+                          ExecNode(*node.right, stats, prof));
 
   // Candidate (build, probe) pairs in probe order, matches ascending —
   // exactly the row engine's deterministic emission order.
@@ -522,10 +565,11 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecHashJoin(const PlanNode& node,
 }
 
 Result<ColumnarTablePtr> ColumnarExecutor::ExecNestedLoopJoin(
-    const PlanNode& node, ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr left, ExecNode(*node.left, stats));
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr left,
+                          ExecNode(*node.left, stats, prof));
   FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr right,
-                          ExecNode(*node.right, stats));
+                          ExecNode(*node.right, stats, prof));
   // Nested-loop joins are rare and small; run the row engine's loop over
   // materialized rows (charges and emission order are identical).
   const std::vector<Row> lrows = left->MaterializeRows();
@@ -550,9 +594,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecNestedLoopJoin(
   return ColumnarFromRows(node.output_schema, out_rows, config_.batch_rows);
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecAggregate(const PlanNode& node,
-                                                         ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecAggregate(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
 
   struct Group {
     Row key;
@@ -706,9 +751,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecAggregate(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecSort(const PlanNode& node,
-                                                    ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecSort(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
   const size_t n = in->num_rows();
   stats->work_units +=
       config_.costs.sort_row_log * static_cast<double>(n) * Log2Rows(n);
@@ -748,9 +794,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecSort(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecDistinct(const PlanNode& node,
-                                                        ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecDistinct(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
   stats->work_units +=
       config_.costs.distinct_row * static_cast<double>(in->num_rows());
   std::unordered_map<RowKey, bool, RowKeyHash> seen;
@@ -774,9 +821,10 @@ Result<ColumnarTablePtr> ColumnarExecutor::ExecDistinct(const PlanNode& node,
   return ColumnarTablePtr(std::move(out));
 }
 
-Result<ColumnarTablePtr> ColumnarExecutor::ExecLimit(const PlanNode& node,
-                                                     ExecStats* stats) {
-  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in, ExecNode(*node.left, stats));
+Result<ColumnarTablePtr> ColumnarExecutor::ExecLimit(
+    const PlanNode& node, ExecStats* stats, obs::OperatorProfile* prof) {
+  FEDCAL_ASSIGN_OR_RETURN(ColumnarTablePtr in,
+                          ExecNode(*node.left, stats, prof));
   const size_t n = std::min<size_t>(
       in->num_rows(),
       node.limit < 0 ? 0 : static_cast<size_t>(node.limit));

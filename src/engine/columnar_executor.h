@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/arena.h"
@@ -8,6 +9,7 @@
 #include "engine/exec_config.h"
 #include "engine/plan.h"
 #include "expr/vector_eval.h"
+#include "obs/operator_profile.h"
 #include "storage/table.h"
 
 namespace fedcal {
@@ -20,9 +22,11 @@ namespace fedcal {
 /// serving threads.
 ///
 /// The contract with the row engine is strict equivalence: byte-identical
-/// result tables (cell variants included) and bit-identical ExecStats.
-/// Every work-unit charge below mirrors the corresponding row-engine
-/// statement — same formula, same floating-point accumulation order.
+/// result tables (cell variants included) and bit-identical ExecStats
+/// (the work-unit accounting is the simulation's clock; it must not depend
+/// on the host-side execution strategy). Every work-unit charge below
+/// mirrors the corresponding row-engine statement — same formula, same
+/// floating-point accumulation order.
 /// Results come back as columnar-backed Tables whose rows materialize only
 /// if a consumer asks for them, so fragment results can be shipped and
 /// merged without ever leaving columnar form.
@@ -36,26 +40,42 @@ class ColumnarExecutor {
 
   Result<TablePtr> Execute(const PlanNodePtr& plan, ExecStats* stats);
 
+  /// Profiling variant: records a per-operator tree when the config's
+  /// profile flag is on and `profile_out` is non-null. Results and stats
+  /// are identical either way.
+  Result<TablePtr> Execute(const PlanNodePtr& plan, ExecStats* stats,
+                           std::shared_ptr<obs::OperatorProfile>* profile_out);
+
  private:
-  Result<ColumnarTablePtr> ExecNode(const PlanNode& node, ExecStats* stats);
+  /// `parent` null = profiling off (the hot path); non-null = append this
+  /// node's profile to parent->children.
+  Result<ColumnarTablePtr> ExecNode(const PlanNode& node, ExecStats* stats,
+                                    obs::OperatorProfile* parent);
+  Result<ColumnarTablePtr> DispatchNode(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof);
 
   Result<ColumnarTablePtr> ExecScan(const PlanNode& node,
                                     ExecStats* stats);
   Result<ColumnarTablePtr> ExecIndexScan(const PlanNode& node,
                                          ExecStats* stats);
-  Result<ColumnarTablePtr> ExecFilter(const PlanNode& node, ExecStats* stats);
-  Result<ColumnarTablePtr> ExecProject(const PlanNode& node,
-                                       ExecStats* stats);
-  Result<ColumnarTablePtr> ExecHashJoin(const PlanNode& node,
-                                        ExecStats* stats);
+  Result<ColumnarTablePtr> ExecFilter(const PlanNode& node, ExecStats* stats,
+                                      obs::OperatorProfile* prof);
+  Result<ColumnarTablePtr> ExecProject(const PlanNode& node, ExecStats* stats,
+                                       obs::OperatorProfile* prof);
+  Result<ColumnarTablePtr> ExecHashJoin(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof);
   Result<ColumnarTablePtr> ExecNestedLoopJoin(const PlanNode& node,
-                                              ExecStats* stats);
+                                              ExecStats* stats,
+                                              obs::OperatorProfile* prof);
   Result<ColumnarTablePtr> ExecAggregate(const PlanNode& node,
-                                         ExecStats* stats);
-  Result<ColumnarTablePtr> ExecSort(const PlanNode& node, ExecStats* stats);
-  Result<ColumnarTablePtr> ExecDistinct(const PlanNode& node,
-                                        ExecStats* stats);
-  Result<ColumnarTablePtr> ExecLimit(const PlanNode& node, ExecStats* stats);
+                                         ExecStats* stats,
+                                         obs::OperatorProfile* prof);
+  Result<ColumnarTablePtr> ExecSort(const PlanNode& node, ExecStats* stats,
+                                    obs::OperatorProfile* prof);
+  Result<ColumnarTablePtr> ExecDistinct(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof);
+  Result<ColumnarTablePtr> ExecLimit(const PlanNode& node, ExecStats* stats,
+                                     obs::OperatorProfile* prof);
 
   /// Scan charge shared by the root-scan fast path and ExecScan.
   void ChargeScan(const Table& table, ExecStats* stats) const;

@@ -45,6 +45,11 @@ struct ExecConfig {
   EngineKind engine = EngineKind::kRow;
   /// Rows per column chunk in the columnar engine.
   size_t batch_rows = 4096;
+  /// Record per-operator runtime profiles (obs::OperatorProfile) for every
+  /// execution that asks for one. Off by default; the off path costs one
+  /// branch per operator, and results/stats/timings are identical either
+  /// way (profiles observe the run, they never steer it).
+  bool profile = false;
 };
 
 /// \brief Counters accumulated while executing one plan.

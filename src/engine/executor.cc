@@ -23,43 +23,69 @@ Status Executor::CheckSize(size_t rows) const {
 
 Result<TablePtr> Executor::Execute(const PlanNodePtr& plan,
                                    ExecStats* stats) const {
+  return Execute(plan, stats, nullptr);
+}
+
+Result<TablePtr> Executor::Execute(
+    const PlanNodePtr& plan, ExecStats* stats,
+    std::shared_ptr<obs::OperatorProfile>* profile_out) const {
+  if (profile_out != nullptr) profile_out->reset();
   if (!plan) return Status::InvalidArgument("null plan");
+  const bool profiling = config_.profile && profile_out != nullptr;
   if (config_.engine == EngineKind::kColumnar) {
     ColumnarExecutor columnar(resolver_, config_);
-    return columnar.Execute(plan, stats);
+    return columnar.Execute(plan, stats, profiling ? profile_out : nullptr);
   }
   ExecStats local;
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr result, ExecuteNode(*plan, &local));
+  obs::OperatorProfile root;
+  FEDCAL_ASSIGN_OR_RETURN(
+      TablePtr result,
+      ExecuteNode(*plan, &local, profiling ? &root : nullptr));
   local.rows_output = result->num_rows();
   local.bytes_output = result->byte_size();
   if (stats) stats->Merge(local);
+  if (profiling && !root.children.empty()) {
+    *profile_out = root.children.front();
+  }
   return result;
 }
 
-Result<TablePtr> Executor::ExecuteNode(const PlanNode& node,
-                                       ExecStats* stats) const {
+Result<TablePtr> Executor::ExecuteNode(const PlanNode& node, ExecStats* stats,
+                                       obs::OperatorProfile* parent) const {
   ++stats->operators_executed;
+  if (parent == nullptr) return DispatchNode(node, stats, nullptr);
+  OperatorProfileScope scope(node, *stats);
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr result,
+                          DispatchNode(node, stats, scope.prof()));
+  // The row engine materializes each operator's output in one batch.
+  scope.Finish(*stats, result->num_rows(), /*batches=*/1, /*arena_bytes=*/0,
+               parent);
+  return result;
+}
+
+Result<TablePtr> Executor::DispatchNode(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof) const {
   switch (node.kind) {
     case PlanKind::kScan:
       return ExecScan(node, stats);
     case PlanKind::kIndexScan:
       return ExecIndexScan(node, stats);
     case PlanKind::kFilter:
-      return ExecFilter(node, stats);
+      return ExecFilter(node, stats, prof);
     case PlanKind::kProject:
-      return ExecProject(node, stats);
+      return ExecProject(node, stats, prof);
     case PlanKind::kHashJoin:
-      return ExecHashJoin(node, stats);
+      return ExecHashJoin(node, stats, prof);
     case PlanKind::kNestedLoopJoin:
-      return ExecNestedLoopJoin(node, stats);
+      return ExecNestedLoopJoin(node, stats, prof);
     case PlanKind::kAggregate:
-      return ExecAggregate(node, stats);
+      return ExecAggregate(node, stats, prof);
     case PlanKind::kSort:
-      return ExecSort(node, stats);
+      return ExecSort(node, stats, prof);
     case PlanKind::kDistinct:
-      return ExecDistinct(node, stats);
+      return ExecDistinct(node, stats, prof);
     case PlanKind::kLimit:
-      return ExecLimit(node, stats);
+      return ExecLimit(node, stats, prof);
   }
   return Status::Internal("unhandled plan kind");
 }
@@ -105,9 +131,9 @@ Result<TablePtr> Executor::ExecIndexScan(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecFilter(const PlanNode& node,
-                                      ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+Result<TablePtr> Executor::ExecFilter(const PlanNode& node, ExecStats* stats,
+                                      obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
   auto out = std::make_shared<Table>("", node.output_schema);
   stats->work_units +=
       config_.costs.filter_row * static_cast<double>(in->num_rows());
@@ -118,9 +144,9 @@ Result<TablePtr> Executor::ExecFilter(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecProject(const PlanNode& node,
-                                       ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+Result<TablePtr> Executor::ExecProject(const PlanNode& node, ExecStats* stats,
+                                       obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
   auto out = std::make_shared<Table>("", node.output_schema);
   out->Reserve(in->num_rows());
   stats->work_units += config_.costs.project_expr *
@@ -138,10 +164,12 @@ Result<TablePtr> Executor::ExecProject(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
-                                        ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr build, ExecuteNode(*node.left, stats));
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr probe, ExecuteNode(*node.right, stats));
+Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr build,
+                          ExecuteNode(*node.left, stats, prof));
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr probe,
+                          ExecuteNode(*node.right, stats, prof));
 
   auto extract_keys = [](const Row& row, const std::vector<size_t>& slots) {
     Row key;
@@ -195,10 +223,13 @@ Result<TablePtr> Executor::ExecHashJoin(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecNestedLoopJoin(const PlanNode& node,
-                                              ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr left, ExecuteNode(*node.left, stats));
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr right, ExecuteNode(*node.right, stats));
+Result<TablePtr> Executor::ExecNestedLoopJoin(
+    const PlanNode& node, ExecStats* stats,
+    obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr left,
+                          ExecuteNode(*node.left, stats, prof));
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr right,
+                          ExecuteNode(*node.right, stats, prof));
   auto out = std::make_shared<Table>("", node.output_schema);
   stats->work_units += config_.costs.nlj_pair *
                        static_cast<double>(left->num_rows()) *
@@ -222,8 +253,9 @@ Result<TablePtr> Executor::ExecNestedLoopJoin(const PlanNode& node,
 }
 
 Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
-                                         ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+                                         ExecStats* stats,
+                                         obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
 
   struct Group {
     Row key;
@@ -287,9 +319,9 @@ Result<TablePtr> Executor::ExecAggregate(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecSort(const PlanNode& node,
-                                    ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+Result<TablePtr> Executor::ExecSort(const PlanNode& node, ExecStats* stats,
+                                    obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
   const size_t n = in->num_rows();
   stats->work_units +=
       config_.costs.sort_row_log * static_cast<double>(n) * Log2Rows(n);
@@ -323,9 +355,9 @@ Result<TablePtr> Executor::ExecSort(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecDistinct(const PlanNode& node,
-                                        ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+Result<TablePtr> Executor::ExecDistinct(const PlanNode& node, ExecStats* stats,
+                                        obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
   stats->work_units +=
       config_.costs.distinct_row * static_cast<double>(in->num_rows());
   std::unordered_map<RowKey, bool, RowKeyHash> seen;
@@ -340,9 +372,9 @@ Result<TablePtr> Executor::ExecDistinct(const PlanNode& node,
   return out;
 }
 
-Result<TablePtr> Executor::ExecLimit(const PlanNode& node,
-                                     ExecStats* stats) const {
-  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats));
+Result<TablePtr> Executor::ExecLimit(const PlanNode& node, ExecStats* stats,
+                                     obs::OperatorProfile* prof) const {
+  FEDCAL_ASSIGN_OR_RETURN(TablePtr in, ExecuteNode(*node.left, stats, prof));
   auto out = std::make_shared<Table>("", node.output_schema);
   const size_t n = std::min<size_t>(
       in->num_rows(),

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "common/result.h"
 #include "engine/exec_config.h"
 #include "engine/plan.h"
+#include "obs/operator_profile.h"
 #include "storage/table.h"
 
 namespace fedcal {
@@ -28,25 +30,43 @@ class Executor {
   /// null) receives the work-unit accounting for the whole tree.
   Result<TablePtr> Execute(const PlanNodePtr& plan, ExecStats* stats) const;
 
+  /// Like Execute, additionally recording a per-operator profile tree when
+  /// `config().profile` is on and `profile_out` is non-null (otherwise
+  /// `*profile_out` is reset to null). Results, stats, and their
+  /// accumulation order are identical with profiling on or off.
+  Result<TablePtr> Execute(
+      const PlanNodePtr& plan, ExecStats* stats,
+      std::shared_ptr<obs::OperatorProfile>* profile_out) const;
+
   const ExecConfig& config() const { return config_; }
 
  private:
-  Result<TablePtr> ExecuteNode(const PlanNode& node, ExecStats* stats) const;
+  /// `parent` null = profiling off (the hot path); non-null = append this
+  /// node's profile to parent->children.
+  Result<TablePtr> ExecuteNode(const PlanNode& node, ExecStats* stats,
+                               obs::OperatorProfile* parent) const;
+  Result<TablePtr> DispatchNode(const PlanNode& node, ExecStats* stats,
+                                obs::OperatorProfile* prof) const;
 
   Result<TablePtr> ExecScan(const PlanNode& node, ExecStats* stats) const;
   Result<TablePtr> ExecIndexScan(const PlanNode& node,
                                  ExecStats* stats) const;
-  Result<TablePtr> ExecFilter(const PlanNode& node, ExecStats* stats) const;
-  Result<TablePtr> ExecProject(const PlanNode& node, ExecStats* stats) const;
-  Result<TablePtr> ExecHashJoin(const PlanNode& node, ExecStats* stats) const;
-  Result<TablePtr> ExecNestedLoopJoin(const PlanNode& node,
-                                      ExecStats* stats) const;
-  Result<TablePtr> ExecAggregate(const PlanNode& node,
-                                 ExecStats* stats) const;
-  Result<TablePtr> ExecSort(const PlanNode& node, ExecStats* stats) const;
-  Result<TablePtr> ExecDistinct(const PlanNode& node,
-                                ExecStats* stats) const;
-  Result<TablePtr> ExecLimit(const PlanNode& node, ExecStats* stats) const;
+  Result<TablePtr> ExecFilter(const PlanNode& node, ExecStats* stats,
+                              obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecProject(const PlanNode& node, ExecStats* stats,
+                               obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecHashJoin(const PlanNode& node, ExecStats* stats,
+                                obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecNestedLoopJoin(const PlanNode& node, ExecStats* stats,
+                                      obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecAggregate(const PlanNode& node, ExecStats* stats,
+                                 obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecSort(const PlanNode& node, ExecStats* stats,
+                            obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecDistinct(const PlanNode& node, ExecStats* stats,
+                                obs::OperatorProfile* prof) const;
+  Result<TablePtr> ExecLimit(const PlanNode& node, ExecStats* stats,
+                             obs::OperatorProfile* prof) const;
 
   Status CheckSize(size_t rows) const;
 

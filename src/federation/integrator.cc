@@ -40,6 +40,10 @@ struct Integrator::Attempt {
   Status first_error;
   std::string failed_server;
   std::vector<TablePtr> tables;
+  /// Per-fragment operator profiles from the winning tickets (null entries
+  /// where the server ran with profiling off — an old-format reply).
+  std::vector<std::shared_ptr<obs::OperatorProfile>> profiles;
+  std::vector<double> observed_seconds;  ///< per-fragment server seconds
   std::vector<FragmentTicketPtr> primary;
   std::vector<FragmentTicketPtr> hedge;
   std::vector<std::string> primary_servers;  ///< server per live primary
@@ -349,6 +353,8 @@ void Integrator::ExecuteOption(
       compiled.query_id, attempt->span, "plan", option.Describe());
   attempt->remaining = n;
   attempt->tables.resize(n);
+  attempt->profiles.resize(n);
+  attempt->observed_seconds.assign(n, 0.0);
   attempt->primary.resize(n);
   attempt->hedge.resize(n);
   attempt->primary_servers.assign(n, "");
@@ -510,6 +516,8 @@ void Integrator::OnFragmentResult(const std::shared_ptr<Attempt>& attempt,
     if (attempt->fragment_done[f]) return;  // duplicate (loser raced win)
     attempt->fragment_done[f] = 1;
     attempt->tables[f] = result->table;
+    attempt->profiles[f] = result->server_result.profile;
+    attempt->observed_seconds[f] = result->server_result.server_seconds;
     fragment_stats_.Add(result->response_seconds);
     if (attempt->deadline_timers[f] != 0) {
       sim_->Cancel(attempt->deadline_timers[f]);
@@ -568,7 +576,8 @@ void Integrator::OnFragmentResult(const std::shared_ptr<Attempt>& attempt,
     attempt->settled = true;
     inflight_.erase(compiled.query_id);
     FinishWithMerge(compiled, attempt->option_index,
-                    std::move(attempt->tables), attempt->started_at,
+                    std::move(attempt->tables), std::move(attempt->profiles),
+                    std::move(attempt->observed_seconds), attempt->started_at,
                     attempt->retries, attempt->state, attempt->span,
                     std::move(attempt->done));
     return;
@@ -975,12 +984,86 @@ void Integrator::HandleAttemptFailure(
   });
 }
 
-void Integrator::FinishWithMerge(const CompiledQuery& compiled,
-                                 size_t option_index,
-                                 std::vector<TablePtr> fragment_tables,
-                                 SimTime started_at, size_t retries,
-                                 std::shared_ptr<ExecState> state,
-                                 uint64_t attempt_span, Callback done) {
+void Integrator::RecordQueryProfile(
+    const CompiledQuery& compiled, const GlobalPlanOption& option,
+    std::vector<std::shared_ptr<obs::OperatorProfile>> fragment_profiles,
+    const std::vector<double>& fragment_observed_s,
+    std::shared_ptr<obs::OperatorProfile> merge_profile,
+    double merge_seconds) {
+  obs::Telemetry& tel = *meta_wrapper_->telemetry();
+  const SimTime now = sim_->Now();
+
+  auto profile = std::make_shared<obs::QueryProfile>();
+  profile->query_id = compiled.query_id;
+  profile->sql = compiled.sql;
+  profile->merge = std::move(merge_profile);
+  profile->merge_seconds = merge_seconds;
+  for (size_t f = 0; f < fragment_profiles.size(); ++f) {
+    // Null = the server replied in the old, profile-less format; the rest
+    // of the query profile is still useful.
+    if (fragment_profiles[f] == nullptr) continue;
+    const FragmentOption& choice = option.fragment_choices[f];
+    obs::FragmentProfile fp;
+    fp.server_id = choice.wrapper_plan.server_id;
+    fp.fragment_index = f;
+    fp.signature = choice.wrapper_plan.signature;
+    fp.estimated_seconds = choice.cost.calibrated_seconds;
+    fp.observed_seconds = f < fragment_observed_s.size()
+                              ? fragment_observed_s[f]
+                              : 0.0;
+    fp.root = std::move(fragment_profiles[f]);
+    profile->fragments.push_back(std::move(fp));
+  }
+
+  // Feed the accuracy scoreboard: one sample per operator into the
+  // (server, operator-kind) cells, and the worst q-error of each fragment
+  // into its template cell. A template miss means the optimizer's
+  // cardinality model was wrong for this plan shape — surface it as a
+  // typed event so the health engine can correlate it against QCC state.
+  for (const obs::FragmentProfile& fp : profile->fragments) {
+    double worst_q = 1.0;
+    double worst_abs = 0.0;
+    std::string worst_op;
+    std::function<void(const obs::OperatorProfile&)> walk =
+        [&](const obs::OperatorProfile& node) {
+          tel.recorder.RecordAccuracySample(fp.server_id, node.op, now,
+                                            node.estimated_rows,
+                                            double(node.rows_out));
+          const double q = node.q_error();
+          if (q > worst_q) {
+            worst_q = q;
+            worst_abs =
+                std::abs(double(node.rows_out) - node.estimated_rows);
+            worst_op = node.op;
+          }
+          for (const auto& child : node.children) walk(*child);
+        };
+    walk(*fp.root);
+    const bool miss =
+        tel.recorder.RecordTemplateAccuracy(fp.signature, now, worst_q,
+                                            worst_abs);
+    if (miss) {
+      tel.metrics.counter("query.estimate_miss").Add();
+      tel.events.Emit(
+          obs::EventType::kEstimateMiss, obs::EventSeverity::kWarn,
+          fp.server_id, compiled.query_id,
+          "cardinality estimate off " + obs::FormatMetricValue(worst_q) +
+              "x at " + worst_op + " (fragment " +
+              std::to_string(fp.fragment_index) + "); see \\profile " +
+              std::to_string(compiled.query_id));
+    }
+  }
+
+  tel.recorder.AttachProfile(compiled.query_id, std::move(profile));
+}
+
+void Integrator::FinishWithMerge(
+    const CompiledQuery& compiled, size_t option_index,
+    std::vector<TablePtr> fragment_tables,
+    std::vector<std::shared_ptr<obs::OperatorProfile>> fragment_profiles,
+    std::vector<double> fragment_observed_s, SimTime started_at,
+    size_t retries, std::shared_ptr<ExecState> state, uint64_t attempt_span,
+    Callback done) {
   const GlobalPlanOption& option = compiled.options[option_index];
   obs::Telemetry& tel = *meta_wrapper_->telemetry();
   const uint64_t merge_span = tel.tracer.StartSpan(
@@ -1000,7 +1083,10 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
       config_.exec);
 
   ExecStats stats;
-  auto merged = merge_exec.Execute(option.merge_plan, &stats);
+  std::shared_ptr<obs::OperatorProfile> merge_profile;
+  auto merged = merge_exec.Execute(
+      option.merge_plan, &stats,
+      config_.exec.profile ? &merge_profile : nullptr);
   if (!merged.ok()) {
     tel.metrics.counter("query.failed").Add();
     tel.tracer.EndQuery(compiled.query_id, /*failed=*/true,
@@ -1016,6 +1102,15 @@ void Integrator::FinishWithMerge(const CompiledQuery& compiled,
                                stats.io_units / effective_io_speed();
   meta_wrapper_->calibrator()->RecordIntegrationObservation(
       option.merge_estimated_seconds, merge_seconds);
+  if (config_.exec.profile) {
+    if (merge_profile != nullptr) {
+      obs::ApplyServerSpeeds(merge_profile.get(), effective_cpu_speed(),
+                             effective_io_speed());
+    }
+    RecordQueryProfile(compiled, option, std::move(fragment_profiles),
+                       fragment_observed_s, std::move(merge_profile),
+                       merge_seconds);
+  }
 
   sim_->ScheduleAfter(
       merge_seconds,

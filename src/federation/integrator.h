@@ -16,6 +16,7 @@
 #include "federation/plan_cache.h"
 #include "federation/query_context.h"
 #include "federation/reroute.h"
+#include "obs/operator_profile.h"
 
 namespace fedcal {
 
@@ -283,11 +284,23 @@ class Integrator {
       std::shared_ptr<std::vector<std::string>> failed_servers,
       size_t retries, std::shared_ptr<ExecState> state, const Status& error,
       const std::string& failed_server, Callback done);
-  void FinishWithMerge(const CompiledQuery& compiled, size_t option_index,
-                       std::vector<TablePtr> fragment_tables,
-                       SimTime started_at, size_t retries,
-                       std::shared_ptr<ExecState> state,
-                       uint64_t attempt_span, Callback done);
+  void FinishWithMerge(
+      const CompiledQuery& compiled, size_t option_index,
+      std::vector<TablePtr> fragment_tables,
+      std::vector<std::shared_ptr<obs::OperatorProfile>> fragment_profiles,
+      std::vector<double> fragment_observed_s, SimTime started_at,
+      size_t retries, std::shared_ptr<ExecState> state, uint64_t attempt_span,
+      Callback done);
+  /// Assembles the per-query profile from the fragment replies plus the
+  /// local merge profile, attaches it to the query's DecisionRecord, feeds
+  /// the cost-model accuracy scoreboard, and emits kEstimateMiss events.
+  /// Only called when config_.exec.profile is on.
+  void RecordQueryProfile(
+      const CompiledQuery& compiled, const GlobalPlanOption& option,
+      std::vector<std::shared_ptr<obs::OperatorProfile>> fragment_profiles,
+      const std::vector<double>& fragment_observed_s,
+      std::shared_ptr<obs::OperatorProfile> merge_profile,
+      double merge_seconds);
 
   GlobalCatalog* catalog_;
   MetaWrapper* meta_wrapper_;

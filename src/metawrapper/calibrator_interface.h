@@ -63,6 +63,21 @@ class CostCalibrator {
     (void)observed_seconds;
   }
 
+  /// As above, with the profiling verdict: `cardinality_suspect` means the
+  /// fragment's operator profile showed a cardinality estimate miss, so
+  /// the elapsed time is explained by the optimizer's row-count error
+  /// rather than by a change in server speed. The default ignores the
+  /// hint and forwards, so calibrators that don't care see no change.
+  virtual void RecordFragmentObservation(const std::string& server_id,
+                                         size_t signature,
+                                         double estimated_seconds,
+                                         double observed_seconds,
+                                         bool cardinality_suspect) {
+    (void)cardinality_suspect;
+    RecordFragmentObservation(server_id, signature, estimated_seconds,
+                              observed_seconds);
+  }
+
   /// Runtime observation of integrator-local merge time vs its estimate.
   virtual void RecordIntegrationObservation(double estimated_seconds,
                                             double observed_seconds) {

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "obs/operator_profile.h"
 
 namespace fedcal {
 
@@ -280,9 +281,17 @@ FragmentTicketPtr MetaWrapper::ExecuteFragment(uint64_t query_id,
                 exec.response_seconds = sim_->Now() - ticket->submit_time_;
                 exec.server_result = std::move(server_result);
                 calibrator_->RecordSuccess(ticket->server_id_);
+                // The reply's operator profile (when profiling is on)
+                // tells the calibrator whether excess time traces to a
+                // cardinality miss rather than server speed.
+                const bool cardinality_suspect =
+                    exec.server_result.profile != nullptr &&
+                    obs::WorstQError(*exec.server_result.profile) >=
+                        telemetry_->recorder.config().estimate_miss_qerror;
                 calibrator_->RecordFragmentObservation(
                     ticket->server_id_, ticket->signature_,
-                    ticket->estimated_, exec.response_seconds);
+                    ticket->estimated_, exec.response_seconds,
+                    cardinality_suspect);
                 FinishTicketSpans(*ticket, exec.response_seconds,
                                   /*failed=*/false, "");
                 auto cb = std::move(ticket->done_);

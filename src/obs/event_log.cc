@@ -58,6 +58,8 @@ const char* EventTypeName(EventType type) {
       return "rerouted";
     case EventType::kReRouteHeld:
       return "reroute_held";
+    case EventType::kEstimateMiss:
+      return "estimate_miss";
   }
   return "?";
 }

@@ -49,9 +49,10 @@ enum class EventType {
   kAlertResolved,     ///< health engine resolved an alert
   kReRouted,          ///< mid-query re-route switched the remainder plan
   kReRouteHeld,       ///< re-route trigger evaluated but no switch happened
+  kEstimateMiss,      ///< profiled run's cardinality q-error crossed the bar
 };
 
-inline constexpr size_t kNumEventTypes = 19;
+inline constexpr size_t kNumEventTypes = 20;
 
 const char* EventTypeName(EventType type);
 /// Inverse of EventTypeName / EventSeverityName (snapshot readers).

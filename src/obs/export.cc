@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "obs/profile_export.h"
 
 namespace fedcal::obs {
 
@@ -93,8 +94,14 @@ std::string DecisionToJson(const DecisionRecord& record) {
            ", \"available\": " + (s.available ? "true" : "false") +
            ", \"breaker\": " + Quote(s.breaker_state) + "}";
   }
-  out += record.server_states.empty() ? "]\n" : "\n  ]\n";
-  out += "}\n";
+  out += record.server_states.empty() ? "]" : "\n  ]";
+  // Optional member, present only for profiled runs: records written
+  // before profiling existed (or with it off) serialize byte-identically
+  // to the old format, and readers treat absence as "no profile".
+  if (record.profile != nullptr) {
+    out += ",\n  \"profile\": " + ProfileToJson(*record.profile);
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -145,6 +145,56 @@ std::vector<const ReRouteRecord*> FlightRecorder::ReRoutesFor(
   return out;
 }
 
+bool FlightRecorder::AttachProfile(uint64_t query_id,
+                                   std::shared_ptr<QueryProfile> profile) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(query_id);
+  if (it == index_.end() || it->second < base_) return false;
+  decisions_[it->second - base_].profile = std::move(profile);
+  return true;
+}
+
+bool FlightRecorder::UpdateAccuracyCell(AccuracyCell& cell, SimTime t,
+                                        double q_error, double abs_error,
+                                        double estimated, double observed) {
+  if (cell.q_error.capacity() != config_.timeseries_capacity) {
+    cell.q_error = TimeSeriesRing(config_.timeseries_capacity);
+    cell.abs_error = TimeSeriesRing(config_.timeseries_capacity);
+  }
+  cell.q_error.Append(t, q_error);
+  cell.abs_error.Append(t, abs_error);
+  ++cell.samples;
+  cell.last_estimated = estimated;
+  cell.last_observed = observed;
+  const bool miss = q_error >= config_.estimate_miss_qerror;
+  if (miss) ++cell.misses;
+  ++total_accuracy_samples_;
+  if (miss) ++total_estimate_misses_;
+  return miss;
+}
+
+bool FlightRecorder::RecordAccuracySample(const std::string& server_id,
+                                          const std::string& op, SimTime t,
+                                          double estimated_rows,
+                                          double observed_rows) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  AccuracyCell& cell = accuracy_cells_[{server_id, op}];
+  const double q = OperatorProfile::QError(estimated_rows, observed_rows);
+  const double abs = std::abs(observed_rows - estimated_rows);
+  return UpdateAccuracyCell(cell, t, q, abs, estimated_rows, observed_rows);
+}
+
+bool FlightRecorder::RecordTemplateAccuracy(size_t signature, SimTime t,
+                                            double q_error,
+                                            double abs_error) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  AccuracyCell& cell = accuracy_templates_[signature];
+  return UpdateAccuracyCell(cell, t, q_error, abs_error, 0.0, 0.0);
+}
+
 void FlightRecorder::AddNote(SimTime t, std::string source,
                              std::string text) {
   if (!enabled()) return;
@@ -168,6 +218,10 @@ void FlightRecorder::Clear() {
   notes_.clear();
   reroutes_.clear();
   total_reroutes_ = 0;
+  accuracy_cells_.clear();
+  accuracy_templates_.clear();
+  total_accuracy_samples_ = 0;
+  total_estimate_misses_ = 0;
 }
 
 }  // namespace fedcal::obs

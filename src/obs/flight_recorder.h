@@ -5,11 +5,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/operator_profile.h"
 #include "obs/timeseries.h"
 
 namespace fedcal::obs {
@@ -79,12 +82,29 @@ struct DecisionRecord {
 
   std::vector<ServerStateRecord> server_states;
 
+  /// Operator-level runtime profile of the executed plan, attached after
+  /// the query completed (AttachProfile). Null unless the run profiled
+  /// (ExecConfig::profile) — the decision itself never depends on it.
+  std::shared_ptr<QueryProfile> profile;
+
   const CandidatePlanRecord* Chosen() const {
     for (const auto& c : candidates) {
       if (c.chosen) return &c;
     }
     return nullptr;
   }
+};
+
+/// \brief Rolling cardinality-accuracy aggregate for one scoreboard cell —
+/// either a (server, operator-kind) pair or a plan fingerprint. Feeds the
+/// fedtop accuracy panel and the `\accuracy` shell command.
+struct AccuracyCell {
+  TimeSeriesRing q_error;    ///< rolling q-error samples
+  TimeSeriesRing abs_error;  ///< rolling |observed - estimated| rows
+  uint64_t samples = 0;      ///< lifetime sample count
+  uint64_t misses = 0;       ///< samples with q-error >= estimate_miss_qerror
+  double last_estimated = 0.0;
+  double last_observed = 0.0;
 };
 
 /// \brief Free-form annotation from an advisory component (what-if
@@ -138,6 +158,10 @@ struct FlightRecorderConfig {
   /// ReRouteRecords retained (oldest evicted beyond this).
   size_t max_reroutes = 256;
   DriftDetectorConfig drift;
+  /// Cardinality q-error at or above which an accuracy sample counts as an
+  /// estimate miss (profiled runs only). q-error is symmetric and >= 1;
+  /// 10 means "the optimizer was an order of magnitude off".
+  double estimate_miss_qerror = 10.0;
 };
 
 /// \brief The routing flight recorder: decision-level explain plus
@@ -216,6 +240,42 @@ class FlightRecorder {
     return total_reroutes_;
   }
 
+  // -- Profiles & cardinality-accuracy scoreboard ------------------------
+
+  /// Attaches the executed query's operator profile to its DecisionRecord.
+  /// Returns false when the decision was never recorded or was already
+  /// evicted. No-op (false) while disabled.
+  bool AttachProfile(uint64_t query_id, std::shared_ptr<QueryProfile> profile);
+
+  /// Records one operator-level accuracy sample into the (server,
+  /// operator-kind) cell. Returns true when the sample's q-error reaches
+  /// config().estimate_miss_qerror — an estimate miss.
+  bool RecordAccuracySample(const std::string& server_id,
+                            const std::string& op, SimTime t,
+                            double estimated_rows, double observed_rows);
+
+  /// Records one template-level sample: the worst operator q-error seen in
+  /// one profiled run of the fingerprint. Returns true on a miss.
+  bool RecordTemplateAccuracy(size_t signature, SimTime t, double q_error,
+                              double abs_error);
+
+  /// Unsynchronized views for single-threaded readers (fedtop, shell).
+  const std::map<std::pair<std::string, std::string>, AccuracyCell>&
+  accuracy_by_server_op() const {
+    return accuracy_cells_;
+  }
+  const std::map<size_t, AccuracyCell>& accuracy_by_template() const {
+    return accuracy_templates_;
+  }
+  uint64_t total_accuracy_samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_accuracy_samples_;
+  }
+  uint64_t total_estimate_misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_estimate_misses_;
+  }
+
   // -- Notes -------------------------------------------------------------
 
   void AddNote(SimTime t, std::string source, std::string text);
@@ -249,6 +309,15 @@ class FlightRecorder {
 
   std::deque<ReRouteRecord> reroutes_;
   uint64_t total_reroutes_ = 0;
+
+  /// Updates `cell` with one sample; returns true on a miss.
+  bool UpdateAccuracyCell(AccuracyCell& cell, SimTime t, double q_error,
+                          double abs_error, double estimated, double observed);
+
+  std::map<std::pair<std::string, std::string>, AccuracyCell> accuracy_cells_;
+  std::map<size_t, AccuracyCell> accuracy_templates_;
+  uint64_t total_accuracy_samples_ = 0;
+  uint64_t total_estimate_misses_ = 0;
 };
 
 }  // namespace fedcal::obs

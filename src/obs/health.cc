@@ -143,6 +143,9 @@ void HealthEngine::OnEvent(const HealthEvent& event) {
     case EventType::kReRouted:
       PushBounded(reroute_times_, event.at);
       break;
+    case EventType::kEstimateMiss:
+      PushBounded(servers_[event.server_id].estimate_miss_times, event.at);
+      break;
     default:
       transition = false;
       break;
@@ -195,6 +198,24 @@ void HealthEngine::Evaluate(SimTime now) {
               double(config_.drift_episodes_threshold), /*for_s=*/0.0,
               "calibration drifted " + std::to_string(drifts) + "x within " +
                   FormatMetricValue(config_.drift_window_s) + "s on " + sid,
+              now);
+    // Cardinality misses only indict the optimizer when the QCC side is
+    // quiet: a drifting calibration factor means the *cost* translation is
+    // in flux and the misses may be collateral.
+    const bool calibration_quiet =
+        state.last_drift_at < 0.0 ||
+        now - state.last_drift_at > config_.drift_window_s;
+    size_t misses =
+        CountWithin(state.estimate_miss_times, now,
+                    config_.estimate_miss_window_s);
+    SetFiring("estimate-miss:" + sid, sid, EventSeverity::kWarn,
+              calibration_quiet && misses >= config_.estimate_miss_threshold,
+              double(misses), double(config_.estimate_miss_threshold),
+              /*for_s=*/0.0,
+              "cardinality estimates missed " + std::to_string(misses) +
+                  "x within " +
+                  FormatMetricValue(config_.estimate_miss_window_s) + "s on " +
+                  sid + " with calibration quiet (stale stats? run RUNSTATS)",
               now);
   }
   size_t reroutes = CountWithin(reroute_times_, now, config_.reroute_window_s);

@@ -85,6 +85,14 @@ struct HealthConfig {
   double flap_window_s = 120.0;
   size_t flap_threshold = 3;
 
+  /// Estimate-miss rule: fire when at least estimate_miss_threshold
+  /// kEstimateMiss events land on a server inside estimate_miss_window_s
+  /// *while its calibration is quiet* (no drift inside drift_window_s).
+  /// Misses during drift are the QCC's problem; misses without drift mean
+  /// the optimizer's cardinality model is wrong, not the server slow.
+  double estimate_miss_window_s = 60.0;
+  size_t estimate_miss_threshold = 2;
+
   /// Switch-storm rule: fire when mid-query re-routes executed at least
   /// reroute_storm_threshold switches (fleet-wide) inside
   /// reroute_window_s — plans thrashing usually means the hysteresis knobs
@@ -117,6 +125,7 @@ class HealthEngine {
     SimTime last_drift_at = -1.0;
     std::deque<SimTime> breaker_opens;  ///< recent kBreakerOpen times
     std::deque<SimTime> drift_times;    ///< recent kCalibrationDrift times
+    std::deque<SimTime> estimate_miss_times;  ///< recent kEstimateMiss times
   };
 
   HealthEngine(EventLog* events, const FlightRecorder* recorder,

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fedcal::obs {
+
+// Operator-level runtime profiles (`EXPLAIN ANALYZE`, DESIGN.md §18).
+//
+// This header is deliberately std-only: the engine library records
+// profiles but does not link fedcal_obs, so everything an executor needs
+// lives here. Renderers and JSON (de)serializers are in
+// obs/profile_export.h (fedcal_obs).
+
+/// \brief One plan operator's runtime profile. Mirrors the plan tree the
+/// executor ran: children are in execution order (build side before probe
+/// side, matching both engines' recursion order).
+///
+/// "cum" covers the operator and everything below it; "self" is cum minus
+/// the children's cum. Work/io units are the deterministic simulation
+/// currency (identical across engines); virtual seconds are derived from
+/// them by ApplyServerSpeeds using the executing server's effective
+/// speeds; wall seconds are host-clock measurements and are the only
+/// nondeterministic fields.
+struct OperatorProfile {
+  std::string op;      ///< PlanKindName of the node
+  std::string detail;  ///< PlanNode::Describe() one-liner
+
+  /// Optimizer's cardinality estimate for this node (plan annotation).
+  double estimated_rows = 0.0;
+  uint64_t rows_in = 0;   ///< rows consumed (children's output, or scanned)
+  uint64_t rows_out = 0;  ///< rows produced
+  uint64_t batches = 0;   ///< output batches (1 in the row engine)
+
+  /// estimated_rows over the children's summed estimates (1.0 for leaves).
+  double est_selectivity = 1.0;
+  /// rows_out over rows_in (1.0 when rows_in == 0).
+  double obs_selectivity = 1.0;
+
+  double cum_work_units = 0.0;
+  double cum_io_units = 0.0;
+  double self_work_units = 0.0;
+  double self_io_units = 0.0;
+
+  /// Filled by ApplyServerSpeeds (0 until then).
+  double cum_virtual_s = 0.0;
+  double self_virtual_s = 0.0;
+
+  /// Host wall clock; only stamped while profiling, never deterministic.
+  double cum_wall_s = 0.0;
+  double self_wall_s = 0.0;
+
+  /// Arena bytes allocated under this node (columnar engine only).
+  uint64_t arena_bytes = 0;
+
+  std::vector<std::shared_ptr<OperatorProfile>> children;
+
+  /// q-error of the cardinality estimate: max(est/obs, obs/est) with both
+  /// sides floored at one row, so it is always >= 1 and symmetric.
+  double q_error() const {
+    return QError(estimated_rows, static_cast<double>(rows_out));
+  }
+
+  static double QError(double estimated, double observed) {
+    const double e = std::max(estimated, 1.0);
+    const double o = std::max(observed, 1.0);
+    return std::max(e / o, o / e);
+  }
+};
+
+/// \brief One fragment's profile as executed on a remote server.
+struct FragmentProfile {
+  std::string server_id;
+  size_t fragment_index = 0;
+  size_t signature = 0;  ///< literal-normalized fragment-plan fingerprint
+  double estimated_seconds = 0.0;  ///< route-time calibrated estimate
+  double observed_seconds = 0.0;   ///< server-reported service seconds
+  std::shared_ptr<OperatorProfile> root;
+};
+
+/// \brief The per-query profile: every fragment's operator tree plus the
+/// integrator-local merge tree, attached to the query's DecisionRecord.
+struct QueryProfile {
+  uint64_t query_id = 0;
+  std::string sql;
+  std::vector<FragmentProfile> fragments;
+  /// Integrator-local merge/aggregation tree; null when the winning plan
+  /// had no merge step (single-fragment pass-through).
+  std::shared_ptr<OperatorProfile> merge;
+  double merge_seconds = 0.0;
+
+  /// Sum of every fragment root's output rows — by construction the rows
+  /// that entered the merge (the invariant tests assert this).
+  uint64_t FragmentOutputRows() const {
+    uint64_t n = 0;
+    for (const FragmentProfile& f : fragments) {
+      if (f.root) n += f.root->rows_out;
+    }
+    return n;
+  }
+};
+
+/// Converts a profile tree's work/io unit deltas into virtual seconds
+/// through a server's effective speeds — the same formula RemoteServer
+/// uses for service time, applied per operator. Speeds <= 0 are treated
+/// as 1 (defensive; servers always report positive speeds).
+inline void ApplyServerSpeeds(OperatorProfile* profile, double cpu_speed,
+                              double io_speed) {
+  if (profile == nullptr) return;
+  if (cpu_speed <= 0.0) cpu_speed = 1.0;
+  if (io_speed <= 0.0) io_speed = 1.0;
+  const auto seconds = [&](double work, double io) {
+    return (work - io) / cpu_speed + io / io_speed;
+  };
+  profile->cum_virtual_s =
+      seconds(profile->cum_work_units, profile->cum_io_units);
+  profile->self_virtual_s =
+      seconds(profile->self_work_units, profile->self_io_units);
+  for (const auto& child : profile->children) {
+    ApplyServerSpeeds(child.get(), cpu_speed, io_speed);
+  }
+}
+
+/// The worst per-operator cardinality q-error anywhere in the tree —
+/// the "was the optimizer's row count wrong" verdict for a fragment.
+inline double WorstQError(const OperatorProfile& node) {
+  double worst = node.q_error();
+  for (const auto& child : node.children) {
+    worst = std::max(worst, WorstQError(*child));
+  }
+  return worst;
+}
+
+}  // namespace fedcal::obs

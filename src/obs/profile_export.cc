@@ -1,0 +1,318 @@
+#include "obs/profile_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace fedcal::obs {
+
+namespace {
+
+std::string Quote(const std::string& s) { return JsonQuote(s); }
+
+std::string Seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  }
+  return buf;
+}
+
+/// Lossless double for the machine-read profile JSON: %.17g round-trips
+/// every bit through ProfileFromJson, unlike the display-oriented
+/// FormatMetricValue (%.9g).
+std::string JsonDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  if (std::isnan(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string HexSignature(size_t signature) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zx", signature);
+  return buf;
+}
+
+void AppendOperatorText(std::string* out, const OperatorProfile& node,
+                        size_t indent) {
+  out->append(2 * indent, ' ');
+  *out += "-> " + node.op;
+  if (!node.detail.empty()) *out += " " + node.detail;
+  *out += "\n";
+  out->append(2 * indent + 5, ' ');
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rows: est=%.0f obs=%llu (q=%.2f)  in=%llu sel: est=%.3f "
+                "obs=%.3f  batches=%llu\n",
+                node.estimated_rows,
+                static_cast<unsigned long long>(node.rows_out), node.q_error(),
+                static_cast<unsigned long long>(node.rows_in),
+                node.est_selectivity, node.obs_selectivity,
+                static_cast<unsigned long long>(node.batches));
+  *out += buf;
+  out->append(2 * indent + 5, ' ');
+  *out += "time: self=" + Seconds(node.self_virtual_s) +
+          " cum=" + Seconds(node.cum_virtual_s) +
+          " (wall self=" + Seconds(node.self_wall_s) +
+          " cum=" + Seconds(node.cum_wall_s) + ")";
+  if (node.arena_bytes > 0) {
+    *out += "  arena=" + std::to_string(node.arena_bytes) + "B";
+  }
+  *out += "\n";
+  for (const auto& child : node.children) {
+    AppendOperatorText(out, *child, indent + 1);
+  }
+}
+
+void AppendOperatorJson(std::string* out, const OperatorProfile& node) {
+  *out += "{\"op\": " + Quote(node.op) + ", \"detail\": " + Quote(node.detail) +
+          ", \"est_rows\": " + JsonDouble(node.estimated_rows) +
+          ", \"rows_in\": " + std::to_string(node.rows_in) +
+          ", \"rows_out\": " + std::to_string(node.rows_out) +
+          ", \"batches\": " + std::to_string(node.batches) +
+          ", \"est_selectivity\": " + JsonDouble(node.est_selectivity) +
+          ", \"obs_selectivity\": " + JsonDouble(node.obs_selectivity) +
+          ", \"cum_work\": " + JsonDouble(node.cum_work_units) +
+          ", \"cum_io\": " + JsonDouble(node.cum_io_units) +
+          ", \"self_work\": " + JsonDouble(node.self_work_units) +
+          ", \"self_io\": " + JsonDouble(node.self_io_units) +
+          ", \"cum_virtual_s\": " + JsonDouble(node.cum_virtual_s) +
+          ", \"self_virtual_s\": " + JsonDouble(node.self_virtual_s) +
+          ", \"cum_wall_s\": " + JsonDouble(node.cum_wall_s) +
+          ", \"self_wall_s\": " + JsonDouble(node.self_wall_s) +
+          ", \"arena_bytes\": " + std::to_string(node.arena_bytes) +
+          ", \"children\": [";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i) *out += ", ";
+    AppendOperatorJson(out, *node.children[i]);
+  }
+  *out += "]}";
+}
+
+std::shared_ptr<OperatorProfile> OperatorFromJson(const JsonValue& value) {
+  if (!value.is_object()) return nullptr;
+  auto node = std::make_shared<OperatorProfile>();
+  auto str = [&](const char* key) -> std::string {
+    const JsonValue* v = value.Get(key);
+    return v != nullptr ? v->AsString() : std::string();
+  };
+  auto num = [&](const char* key, double fallback = 0.0) {
+    const JsonValue* v = value.Get(key);
+    return v != nullptr ? v->AsDouble(fallback) : fallback;
+  };
+  auto u64 = [&](const char* key) -> uint64_t {
+    const JsonValue* v = value.Get(key);
+    return v != nullptr ? v->AsU64(0) : 0;
+  };
+  node->op = str("op");
+  node->detail = str("detail");
+  node->estimated_rows = num("est_rows");
+  node->rows_in = u64("rows_in");
+  node->rows_out = u64("rows_out");
+  node->batches = u64("batches");
+  node->est_selectivity = num("est_selectivity", 1.0);
+  node->obs_selectivity = num("obs_selectivity", 1.0);
+  node->cum_work_units = num("cum_work");
+  node->cum_io_units = num("cum_io");
+  node->self_work_units = num("self_work");
+  node->self_io_units = num("self_io");
+  node->cum_virtual_s = num("cum_virtual_s");
+  node->self_virtual_s = num("self_virtual_s");
+  node->cum_wall_s = num("cum_wall_s");
+  node->self_wall_s = num("self_wall_s");
+  node->arena_bytes = u64("arena_bytes");
+  if (const JsonValue* children = value.Get("children");
+      children != nullptr && children->is_array()) {
+    for (const JsonValue& c : children->array) {
+      if (auto child = OperatorFromJson(c)) {
+        node->children.push_back(std::move(child));
+      }
+    }
+  }
+  return node;
+}
+
+/// Mean and max over a ring's retained samples (0 when empty).
+void RingStats(const TimeSeriesRing& ring, double* mean, double* max) {
+  *mean = 0.0;
+  *max = 0.0;
+  if (ring.empty()) return;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const double v = ring.at(i).value;
+    sum += v;
+    *max = std::max(*max, v);
+  }
+  *mean = sum / double(ring.size());
+}
+
+}  // namespace
+
+std::string OperatorProfileText(const OperatorProfile& node, size_t indent) {
+  std::string out;
+  AppendOperatorText(&out, node, indent);
+  return out;
+}
+
+std::string ProfileText(const QueryProfile& profile) {
+  std::string out = "profile: query " + std::to_string(profile.query_id);
+  if (!profile.sql.empty()) out += "  " + profile.sql;
+  out += "\n";
+  for (const FragmentProfile& f : profile.fragments) {
+    out += "fragment " + std::to_string(f.fragment_index) + " @ " +
+           f.server_id + "  (sig " + HexSignature(f.signature) +
+           ", est " + Seconds(f.estimated_seconds) + ", obs " +
+           Seconds(f.observed_seconds) + ")\n";
+    if (f.root) AppendOperatorText(&out, *f.root, 1);
+  }
+  if (profile.merge) {
+    out += "merge @ integrator  (" + Seconds(profile.merge_seconds) + ")\n";
+    AppendOperatorText(&out, *profile.merge, 1);
+  }
+  return out;
+}
+
+std::string ProfileToJson(const QueryProfile& profile) {
+  std::string out = "{\"query_id\": " + std::to_string(profile.query_id) +
+                    ", \"sql\": " + Quote(profile.sql) +
+                    ", \"merge_seconds\": " +
+                    JsonDouble(profile.merge_seconds) +
+                    ", \"fragments\": [";
+  for (size_t i = 0; i < profile.fragments.size(); ++i) {
+    const FragmentProfile& f = profile.fragments[i];
+    if (i) out += ", ";
+    out += "{\"server\": " + Quote(f.server_id) +
+           ", \"index\": " + std::to_string(f.fragment_index) +
+           ", \"signature\": " + std::to_string(f.signature) +
+           ", \"estimated_s\": " + JsonDouble(f.estimated_seconds) +
+           ", \"observed_s\": " + JsonDouble(f.observed_seconds) +
+           ", \"root\": ";
+    if (f.root) {
+      AppendOperatorJson(&out, *f.root);
+    } else {
+      out += "null";
+    }
+    out += "}";
+  }
+  out += "], \"merge\": ";
+  if (profile.merge) {
+    AppendOperatorJson(&out, *profile.merge);
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
+}
+
+std::shared_ptr<QueryProfile> ProfileFromJsonValue(const JsonValue& value) {
+  if (!value.is_object()) return nullptr;
+  auto profile = std::make_shared<QueryProfile>();
+  if (const JsonValue* v = value.Get("query_id")) {
+    profile->query_id = v->AsU64(0);
+  }
+  if (const JsonValue* v = value.Get("sql")) profile->sql = v->AsString();
+  if (const JsonValue* v = value.Get("merge_seconds")) {
+    profile->merge_seconds = v->AsDouble(0.0);
+  }
+  if (const JsonValue* fragments = value.Get("fragments");
+      fragments != nullptr && fragments->is_array()) {
+    for (const JsonValue& f : fragments->array) {
+      if (!f.is_object()) continue;
+      FragmentProfile fp;
+      if (const JsonValue* v = f.Get("server")) fp.server_id = v->AsString();
+      if (const JsonValue* v = f.Get("index")) {
+        fp.fragment_index = size_t(v->AsU64(0));
+      }
+      if (const JsonValue* v = f.Get("signature")) {
+        fp.signature = size_t(v->AsU64(0));
+      }
+      if (const JsonValue* v = f.Get("estimated_s")) {
+        fp.estimated_seconds = v->AsDouble(0.0);
+      }
+      if (const JsonValue* v = f.Get("observed_s")) {
+        fp.observed_seconds = v->AsDouble(0.0);
+      }
+      if (const JsonValue* v = f.Get("root"); v != nullptr && !v->is_null()) {
+        fp.root = OperatorFromJson(*v);
+      }
+      profile->fragments.push_back(std::move(fp));
+    }
+  }
+  if (const JsonValue* v = value.Get("merge");
+      v != nullptr && !v->is_null()) {
+    profile->merge = OperatorFromJson(*v);
+  }
+  return profile;
+}
+
+Result<std::shared_ptr<QueryProfile>> ProfileFromJson(
+    const std::string& text) {
+  FEDCAL_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  auto profile = ProfileFromJsonValue(doc);
+  if (profile == nullptr) {
+    return Status::InvalidArgument("profile JSON is not an object");
+  }
+  return profile;
+}
+
+std::string AccuracyText(const FlightRecorder& recorder) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cost-model accuracy: %llu samples, %llu misses (q-error >= "
+                "%.3g)\n",
+                static_cast<unsigned long long>(
+                    recorder.total_accuracy_samples()),
+                static_cast<unsigned long long>(
+                    recorder.total_estimate_misses()),
+                recorder.config().estimate_miss_qerror);
+  out += buf;
+  const auto& cells = recorder.accuracy_by_server_op();
+  if (cells.empty()) {
+    out += "  (no profiled runs yet)\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-8s %-14s %8s %8s %8s %8s  %s\n",
+                "server", "operator", "samples", "mean-q", "max-q", "misses",
+                "last est->obs");
+  out += buf;
+  for (const auto& [key, cell] : cells) {
+    double mean_q = 0.0, max_q = 0.0;
+    RingStats(cell.q_error, &mean_q, &max_q);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-8s %-14s %8llu %8.2f %8.2f %8llu  %.0f->%.0f\n",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<unsigned long long>(cell.samples), mean_q, max_q,
+                  static_cast<unsigned long long>(cell.misses),
+                  cell.last_estimated, cell.last_observed);
+    out += buf;
+  }
+  const auto& templates = recorder.accuracy_by_template();
+  if (!templates.empty()) {
+    std::snprintf(buf, sizeof(buf), "  %-23s %8s %8s %8s %8s\n", "template",
+                  "samples", "mean-q", "max-q", "misses");
+    out += buf;
+    for (const auto& [sig, cell] : templates) {
+      double mean_q = 0.0, max_q = 0.0;
+      RingStats(cell.q_error, &mean_q, &max_q);
+      std::snprintf(buf, sizeof(buf), "  %-23s %8llu %8.2f %8.2f %8llu\n",
+                    ("sig " + HexSignature(sig)).c_str(),
+                    static_cast<unsigned long long>(cell.samples), mean_q,
+                    max_q, static_cast<unsigned long long>(cell.misses));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace fedcal::obs

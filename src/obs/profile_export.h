@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "obs/flight_recorder.h"
+#include "obs/operator_profile.h"
+
+namespace fedcal::obs {
+
+/// EXPLAIN ANALYZE-style rendering of one query profile: one indented
+/// tree per fragment (estimated vs observed cardinality, selectivities,
+/// virtual/wall timings, arena bytes) plus the integrator-side merge tree.
+std::string ProfileText(const QueryProfile& profile);
+
+/// One operator subtree, `indent` levels deep (building block of
+/// ProfileText; exposed for tools that render a bare tree).
+std::string OperatorProfileText(const OperatorProfile& node, size_t indent);
+
+/// Serializes a query profile to JSON. This is the wire-compatibility
+/// story for profiles at rest: every field a reader needs is a plain
+/// key, and ProfileFromJson tolerates absent keys, so old snapshots
+/// (without profiles) and new ones parse with the same reader.
+std::string ProfileToJson(const QueryProfile& profile);
+
+/// Parses ProfileToJson output (or any prefix-compatible document).
+/// Missing optional members default; a malformed document is an error.
+Result<std::shared_ptr<QueryProfile>> ProfileFromJson(const std::string& text);
+/// Same, from an already-parsed node (e.g. a decision record's "profile"
+/// member).
+std::shared_ptr<QueryProfile> ProfileFromJsonValue(const JsonValue& value);
+
+/// The cost-model accuracy scoreboard: per-(server, operator-kind) and
+/// per-template rolling q-error / absolute-error aggregates, rendered as
+/// the fedtop accuracy panel and the shell's `\accuracy` command.
+std::string AccuracyText(const FlightRecorder& recorder);
+
+}  // namespace fedcal::obs

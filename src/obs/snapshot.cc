@@ -151,6 +151,27 @@ HealthSnapshot BuildHealthSnapshot(const HealthEngine& health,
   }
   if (metrics != nullptr) snap.sched = BuildSchedulerPanel(*metrics);
   if (include_locks) snap.locks = BuildLockPanels(max_lock_sites);
+
+  // Accuracy scoreboard: empty unless the run profiled queries.
+  for (const auto& [key, cell] : recorder.accuracy_by_server_op()) {
+    AccuracyRow row;
+    row.server_id = key.first;
+    row.op = key.second;
+    row.samples = cell.samples;
+    row.misses = cell.misses;
+    double sum = 0.0;
+    for (size_t i = 0; i < cell.q_error.size(); ++i) {
+      const double v = cell.q_error.at(i).value;
+      sum += v;
+      row.max_q_error = std::max(row.max_q_error, v);
+    }
+    if (!cell.q_error.empty()) {
+      row.mean_q_error = sum / double(cell.q_error.size());
+    }
+    row.last_estimated = cell.last_estimated;
+    row.last_observed = cell.last_observed;
+    snap.accuracy.push_back(std::move(row));
+  }
   return snap;
 }
 
@@ -217,9 +238,11 @@ std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
     out += i ? ",\n  " : "\n  ";
     out += EventToJson(snapshot.events[i]);
   }
-  // The serving-only panels are emitted only when populated so sim-mode
-  // snapshot files (and their goldens) are byte-identical to before.
-  const bool tail = snapshot.sched.present || !snapshot.locks.empty();
+  // The serving-only panels (and the accuracy scoreboard) are emitted
+  // only when populated so sim-mode snapshot files (and their goldens)
+  // are byte-identical to before.
+  const bool tail = snapshot.sched.present || !snapshot.locks.empty() ||
+                    !snapshot.accuracy.empty();
   out += snapshot.events.empty() ? "]" : "\n]";
   out += tail ? ",\n" : "\n";
   if (snapshot.sched.present) {
@@ -243,7 +266,7 @@ std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
              FormatMetricValue(s.per_worker[i].second) + "]";
     }
     out += "]\n}";
-    out += snapshot.locks.empty() ? "\n" : ",\n";
+    out += snapshot.locks.empty() && snapshot.accuracy.empty() ? "\n" : ",\n";
   }
   if (!snapshot.locks.empty()) {
     out += "\"locks\": [";
@@ -256,6 +279,23 @@ std::string HealthSnapshotToJson(const HealthSnapshot& snapshot) {
              ", \"wait_total_s\": " + FormatMetricValue(p.wait_total_s) +
              ", \"wait_p95_s\": " + FormatMetricValue(p.wait_p95_s) +
              ", \"hold_p95_s\": " + FormatMetricValue(p.hold_p95_s) + "}";
+    }
+    out += snapshot.accuracy.empty() ? "\n]\n" : "\n],\n";
+  }
+  if (!snapshot.accuracy.empty()) {
+    out += "\"accuracy\": [";
+    for (size_t i = 0; i < snapshot.accuracy.size(); ++i) {
+      const AccuracyRow& r = snapshot.accuracy[i];
+      out += i ? ",\n  " : "\n  ";
+      out += "{\"server\": " + JsonQuote(r.server_id) +
+             ", \"op\": " + JsonQuote(r.op) +
+             ", \"samples\": " + std::to_string(r.samples) +
+             ", \"misses\": " + std::to_string(r.misses) +
+             ", \"mean_q_error\": " + FormatMetricValue(r.mean_q_error) +
+             ", \"max_q_error\": " + FormatMetricValue(r.max_q_error) +
+             ", \"last_estimated\": " + FormatMetricValue(r.last_estimated) +
+             ", \"last_observed\": " + FormatMetricValue(r.last_observed) +
+             "}";
     }
     out += "\n]\n";
   }
@@ -394,6 +434,28 @@ Result<HealthSnapshot> HealthSnapshotFromJson(const std::string& json) {
       }
     }
   }
+  if (const JsonValue* f = root.Get("accuracy")) {
+    for (const JsonValue& v : f->array) {
+      AccuracyRow r;
+      if (const JsonValue* g = v.Get("server")) r.server_id = g->AsString();
+      if (const JsonValue* g = v.Get("op")) r.op = g->AsString();
+      if (const JsonValue* g = v.Get("samples")) r.samples = g->AsU64();
+      if (const JsonValue* g = v.Get("misses")) r.misses = g->AsU64();
+      if (const JsonValue* g = v.Get("mean_q_error")) {
+        r.mean_q_error = g->AsDouble();
+      }
+      if (const JsonValue* g = v.Get("max_q_error")) {
+        r.max_q_error = g->AsDouble();
+      }
+      if (const JsonValue* g = v.Get("last_estimated")) {
+        r.last_estimated = g->AsDouble();
+      }
+      if (const JsonValue* g = v.Get("last_observed")) {
+        r.last_observed = g->AsDouble();
+      }
+      snap.accuracy.push_back(std::move(r));
+    }
+  }
   if (const JsonValue* f = root.Get("locks")) {
     for (const JsonValue& v : f->array) {
       LockSitePanel p;
@@ -481,6 +543,9 @@ std::string FedtopText(const HealthSnapshot& snapshot) {
   }
   if (!snapshot.locks.empty()) {
     out += "\n" + ContentionText(snapshot.locks);
+  }
+  if (!snapshot.accuracy.empty()) {
+    out += "\n" + AccuracyPanelText(snapshot.accuracy);
   }
   return out;
 }
@@ -571,6 +636,28 @@ std::string ContentionText(const std::vector<LockSitePanel>& locks) {
                   FormatDur(p.wait_total_s).c_str(),
                   FormatDur(p.wait_p95_s).c_str(),
                   FormatDur(p.hold_p95_s).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string AccuracyPanelText(const std::vector<AccuracyRow>& rows) {
+  std::string out = "cost-model accuracy (cardinality q-error):\n";
+  if (rows.empty()) {
+    out += "  (no profiled runs)\n";
+    return out;
+  }
+  out +=
+      "  server  operator        samples  mean-q   max-q   misses  "
+      "last est->obs\n";
+  char line[224];
+  for (const AccuracyRow& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "  %-6s  %-14s  %-7llu  %-7.2f  %-6.2f  %-6llu  %.0f->%.0f\n",
+                  r.server_id.c_str(), r.op.c_str(),
+                  static_cast<unsigned long long>(r.samples), r.mean_q_error,
+                  r.max_q_error, static_cast<unsigned long long>(r.misses),
+                  r.last_estimated, r.last_observed);
     out += line;
   }
   return out;

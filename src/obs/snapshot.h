@@ -59,6 +59,19 @@ struct LockSitePanel {
   }
 };
 
+/// \brief One (server, operator-kind) row of the cost-model accuracy
+/// panel — rolling cardinality q-error statistics from profiled runs.
+struct AccuracyRow {
+  std::string server_id;
+  std::string op;
+  uint64_t samples = 0;
+  uint64_t misses = 0;  ///< samples past the estimate-miss q-error bar
+  double mean_q_error = 0.0;
+  double max_q_error = 0.0;
+  double last_estimated = 0.0;
+  double last_observed = 0.0;
+};
+
 /// \brief A self-contained, serializable picture of fleet health at one
 /// instant: what `fedtop` renders and what CI archives as an artifact.
 ///
@@ -79,6 +92,9 @@ struct HealthSnapshot {
   /// files and goldens are unchanged.
   SchedulerPanel sched;
   std::vector<LockSitePanel> locks;  ///< top sites by total wait
+  /// Cost-model accuracy scoreboard; empty (and omitted from JSON) unless
+  /// the run profiled queries, so profile-less snapshots are unchanged.
+  std::vector<AccuracyRow> accuracy;
 };
 
 /// Assembles a snapshot from the live health engine + flight recorder +
@@ -122,5 +138,9 @@ std::string SchedText(const SchedulerPanel& sched);
 
 /// The contention panel as text (fedtop and the shell's \contention).
 std::string ContentionText(const std::vector<LockSitePanel>& locks);
+
+/// The accuracy panel as text (fedtop; the live-recorder variant for the
+/// shell is AccuracyText in obs/profile_export.h).
+std::string AccuracyPanelText(const std::vector<AccuracyRow>& rows);
 
 }  // namespace fedcal::obs

@@ -6,7 +6,9 @@
 
 #include "common/thread_ident.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"  // FormatMetricValue
+#include "obs/operator_profile.h"
 
 namespace fedcal::obs {
 
@@ -39,6 +41,49 @@ void AppendSpanArgs(const Span& span, uint64_t query_id, std::string* out) {
     *out += JsonQuote(v);
   }
   *out += "}";
+}
+
+/// Renders `node`'s subtree as nested "X" slices inside [start, start+dur].
+/// Children occupy leading shares of the parent window proportional to
+/// their cumulative virtual time (equal split when the parent recorded
+/// none); the trailing remainder is the parent's self time. Proportional,
+/// not absolute: the span's window is queueing + service at the server,
+/// the profile only knows the execution's virtual cost breakdown.
+void AppendOperatorSlices(const OperatorProfile& node, double start,
+                          double dur, int tid, uint64_t query_id,
+                          std::string* out) {
+  *out += ",\n  {\"name\":" + JsonQuote(node.op) +
+          ",\"cat\":\"operator\",\"ph\":\"X\",\"ts\":" + Micros(start) +
+          ",\"dur\":" + Micros(dur) +
+          ",\"pid\":0,\"tid\":" + std::to_string(tid) +
+          ",\"args\":{\"query_id\":" + std::to_string(query_id) +
+          ",\"est_rows\":" + FormatMetricValue(node.estimated_rows) +
+          ",\"rows_out\":" + std::to_string(node.rows_out) +
+          ",\"q_error\":" + FormatMetricValue(node.q_error()) +
+          ",\"cum_virtual_s\":" + FormatMetricValue(node.cum_virtual_s);
+  if (!node.detail.empty()) {
+    // Sequential appends: gcc 12 misfires -Wrestrict on `"," + temporary`.
+    *out += ",\"detail\":";
+    *out += JsonQuote(node.detail);
+  }
+  *out += "}}";
+  size_t live_children = 0;
+  for (const auto& child : node.children) {
+    if (child != nullptr) ++live_children;
+  }
+  if (live_children == 0) return;
+  double cursor = start;
+  for (const auto& child : node.children) {
+    if (child == nullptr) continue;
+    double frac = node.cum_virtual_s > 0.0
+                      ? child->cum_virtual_s / node.cum_virtual_s
+                      : 1.0 / double(live_children);
+    frac = std::min(1.0, std::max(0.0, frac));
+    double child_dur = std::min(dur * frac, start + dur - cursor);
+    if (child_dur < 0.0) child_dur = 0.0;
+    AppendOperatorSlices(*child, cursor, child_dur, tid, query_id, out);
+    cursor += child_dur;
+  }
 }
 
 void AppendMetadata(int tid, const std::string& name, bool* first,
@@ -109,6 +154,18 @@ std::string TraceExporter::ToChromeJson(bool wall_clock) const {
   }
 
   for (const auto& trace : tracer_->traces()) {
+    // Operator profile for this query, when the recorder holds one. Each
+    // fragment tree renders under exactly one server-exec span (the first
+    // non-failed span matching its server + signature — the successful
+    // attempt's execution), the merge tree under the first merge span.
+    const QueryProfile* profile = nullptr;
+    if (recorder_ != nullptr) {
+      if (const DecisionRecord* record = recorder_->Find(trace.query_id)) {
+        profile = record->profile.get();
+      }
+    }
+    std::set<size_t> used_fragments;
+    bool merge_rendered = false;
     for (const auto& span : trace.spans) {
       if (span.open) continue;  // exporters run after the run quiesces
       if (wall_clock && !span.has_wall) continue;
@@ -128,6 +185,29 @@ std::string TraceExporter::ToChromeJson(bool wall_clock) const {
              ",\"pid\":0,\"tid\":" + std::to_string(tid) + ",";
       AppendSpanArgs(span, trace.query_id, &out);
       out += "}";
+      if (profile == nullptr || span.failed) continue;
+      const double window = std::max(0.0, end - start);
+      if (span.kind == SpanKind::kServerExec) {
+        for (size_t f = 0; f < profile->fragments.size(); ++f) {
+          const FragmentProfile& fragment = profile->fragments[f];
+          if (used_fragments.count(f) != 0 || fragment.root == nullptr) {
+            continue;
+          }
+          if (fragment.server_id != span.server_id) continue;
+          if (span.signature != 0 && fragment.signature != span.signature) {
+            continue;
+          }
+          used_fragments.insert(f);
+          AppendOperatorSlices(*fragment.root, start, window, tid,
+                               trace.query_id, &out);
+          break;
+        }
+      } else if (span.kind == SpanKind::kMerge && !merge_rendered &&
+                 profile->merge != nullptr) {
+        merge_rendered = true;
+        AppendOperatorSlices(*profile->merge, start, window, tid,
+                             trace.query_id, &out);
+      }
     }
   }
 

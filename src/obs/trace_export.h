@@ -7,6 +7,8 @@
 
 namespace fedcal::obs {
 
+class FlightRecorder;
+
 /// \brief Chrome-trace-event JSON exporter over the Tracer — one file
 /// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 ///
@@ -22,9 +24,17 @@ namespace fedcal::obs {
 /// Counter tracks ("ph":"C" — heap depth, qps, contended acquisitions)
 /// are appended by the harness via AddCounterSample; fedtop --follow
 /// samples them once per frame.
+///
+/// When a FlightRecorder is attached and a query's DecisionRecord carries
+/// an operator profile, server-exec and merge spans additionally render
+/// nested per-operator slices (cat "operator"): each operator occupies a
+/// share of its span's window proportional to its cumulative virtual time,
+/// so the Perfetto view shows *where inside the fragment* the time went.
 class TraceExporter {
  public:
-  explicit TraceExporter(const Tracer* tracer) : tracer_(tracer) {}
+  explicit TraceExporter(const Tracer* tracer,
+                         const FlightRecorder* recorder = nullptr)
+      : tracer_(tracer), recorder_(recorder) {}
 
   /// Appends one sample to counter track `track` at time `t_seconds`
   /// (same clock the spans use: virtual in sim mode, wall in serving).
@@ -46,6 +56,7 @@ class TraceExporter {
   };
 
   const Tracer* tracer_;
+  const FlightRecorder* recorder_;  ///< optional profile source
   std::vector<CounterSample> counters_;
 };
 

@@ -96,11 +96,17 @@ Result<FragmentResult> RemoteServer::ExecuteNow(const PlanNodePtr& plan) {
   }
   FragmentResult result;
   result.started_at = sim_->Now();
-  FEDCAL_ASSIGN_OR_RETURN(result.table,
-                          executor_.Execute(plan, &result.exec_stats));
+  FEDCAL_ASSIGN_OR_RETURN(
+      result.table,
+      executor_.Execute(plan, &result.exec_stats,
+                        config_.exec.profile ? &result.profile : nullptr));
   result.server_seconds =
       result.exec_stats.cpu_units() / effective_cpu_speed() +
       result.exec_stats.io_units / effective_io_speed();
+  if (result.profile) {
+    obs::ApplyServerSpeeds(result.profile.get(), effective_cpu_speed(),
+                           effective_io_speed());
+  }
   result.finished_at = result.started_at;
   return result;
 }
@@ -179,7 +185,15 @@ void RemoteServer::RunJob(Job job) {
   FragmentResult result;
   result.started_at = sim_->Now();
   ExecStats stats;
-  auto table = executor_.Execute(job.plan, &stats);
+  std::shared_ptr<obs::OperatorProfile> profile;
+  auto table = executor_.Execute(
+      job.plan, &stats, config_.exec.profile ? &profile : nullptr);
+  if (profile) {
+    // Scale unit deltas with the speeds in force *now* — the load that
+    // shaped this execution, even if it changes before the reply lands.
+    obs::ApplyServerSpeeds(profile.get(), effective_cpu_speed(),
+                           effective_io_speed());
+  }
 
   double service_time = 0.0;
   Status failure = Status::OK();
@@ -205,6 +219,7 @@ void RemoteServer::RunJob(Job job) {
       service_time,
       [this, job_id, failure,
        table = table.ok() ? table.MoveValue() : nullptr, stats, submitted,
+       profile = std::move(profile),
        started = result.started_at]() mutable {
         auto run_it = running_.find(job_id);
         CompletionCallback done = std::move(run_it->second.done);
@@ -220,6 +235,7 @@ void RemoteServer::RunJob(Job job) {
           FragmentResult r;
           r.table = std::move(table);
           r.exec_stats = stats;
+          r.profile = std::move(profile);
           r.started_at = started;
           r.finished_at = sim_->Now();
           r.server_seconds = sim_->Now() - submitted;

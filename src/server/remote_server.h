@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "cost/stats_provider.h"
 #include "engine/executor.h"
+#include "obs/operator_profile.h"
 #include "obs/telemetry.h"
 #include "core/clock.h"
 #include "storage/table.h"
@@ -44,6 +45,11 @@ struct FragmentResult {
   double server_seconds = 0.0;  ///< queueing + service time at the server
   SimTime started_at = 0.0;
   SimTime finished_at = 0.0;
+  /// Per-operator profile of the fragment's execution, with virtual
+  /// seconds already scaled by the server's effective speeds at run time.
+  /// Optional reply extension: null when the server ran with profiling off
+  /// — readers must (and do) treat its absence as the old reply format.
+  std::shared_ptr<obs::OperatorProfile> profile;
 };
 
 /// \brief A simulated remote database server.

@@ -97,6 +97,7 @@ void Scenario::BuildServers() {
       cfg.exec.engine = EngineKind::kColumnar;
       cfg.exec.batch_rows = config_.batch_rows;
     }
+    cfg.exec.profile = config_.profile;
     servers_[cfg.id] =
         std::make_unique<RemoteServer>(cfg, ctx_, rng_.Fork());
     servers_[cfg.id]->SetTelemetry(&telemetry_);
@@ -212,6 +213,7 @@ void Scenario::BuildFederation() {
     ii_config.exec.engine = EngineKind::kColumnar;
     ii_config.exec.batch_rows = config_.batch_rows;
   }
+  ii_config.exec.profile = config_.profile;
   ii_ = std::make_unique<Integrator>(&catalog_, mw_.get(), ctx_, ii_config);
 }
 

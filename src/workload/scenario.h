@@ -61,6 +61,11 @@ struct ScenarioConfig {
   bool columnar_engine = false;
   /// Columnar batch size (rows per chunk) when columnar_engine is set.
   size_t batch_rows = 4096;
+  /// Record per-operator runtime profiles (EXPLAIN ANALYZE) on every
+  /// server and the integrator's merge. Off by default: profiling is
+  /// observability-only and the committed deterministic baselines are
+  /// produced without it.
+  bool profile = false;
 
   /// Sets large_rows/small_rows from a named cardinality preset
   /// (100k/1k, 1M/10k, or 10M/100k) and returns *this for chaining.

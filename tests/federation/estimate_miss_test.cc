@@ -1,0 +1,166 @@
+// End-to-end: stale statistics (skewed data appended without the RUNSTATS
+// analog RefreshStats) make a join's cardinality estimate wrong by >= 10x
+// while the servers run at full speed — the estimate-miss health rule must
+// indict the optimizer (kEstimateMiss + "estimate-miss:<sid>" alert with
+// evidence links to the offending QueryProfile) while QCC calibration
+// alerts stay quiet, distinguishing "optimizer's cardinality was wrong"
+// from the paper's "server got slow".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/operator_profile.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+/// The worst q-error over one operator tree, with the node that had it.
+double WorstQError(const obs::OperatorProfile& node, std::string* worst_op) {
+  double worst = node.q_error();
+  *worst_op = node.op;
+  for (const auto& child : node.children) {
+    std::string child_op;
+    const double q = WorstQError(*child, &child_op);
+    if (q > worst) {
+      worst = q;
+      *worst_op = child_op;
+    }
+  }
+  return worst;
+}
+
+TEST(EstimateMissTest, SkewFiresEstimateMissWhileCalibrationStaysQuiet) {
+  ScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.large_rows = 1'000;
+  cfg.small_rows = 100;
+  cfg.profile = true;
+  Scenario sc(cfg);
+  sc.qcc().AttachTo(&sc.integrator());
+  obs::Telemetry& tel = sc.telemetry();
+
+  // Warm-up on fresh statistics: estimates are good, no misses.
+  const std::string sql = sc.MakeQueryInstance(QueryType::kQT3, 0);
+  auto warm = sc.integrator().RunSync(sql);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(tel.recorder.total_estimate_misses(), 0u);
+
+  // Skew injection: a hot key floods `sales` on every server that hosts
+  // it, WITHOUT RefreshStats — the servers' stats catalogs (and thus the
+  // wrappers' cardinality estimates) stay frozen at generation time. The
+  // servers themselves are not slowed in any way: no background load, no
+  // fault injection, full availability.
+  std::vector<Row> skew;
+  const size_t extra = cfg.large_rows * 14;  // ~15x the stats' row count
+  skew.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    skew.push_back(Row{Value(static_cast<int64_t>(2'000'000 + i)),
+                       Value(static_cast<int64_t>(1)),  // one hot empno
+                       Value(9'999.0),  // passes every QT3 amount filter
+                       Value("north")});
+  }
+  for (const auto& sid : sc.server_ids()) {
+    ASSERT_TRUE(sc.server(sid).AppendRows("sales", skew).ok()) << sid;
+    EXPECT_TRUE(sc.server(sid).available());
+    EXPECT_EQ(sc.server(sid).background_load(), 0.0);
+  }
+
+  // Four skewed runs inside the rule's window: each profiled execution
+  // finds the join producing >= 10x the estimated rows. Load balancing
+  // spreads single-fragment runs across the fleet, so with three servers
+  // four runs guarantee some server sees the rule's two misses.
+  std::vector<uint64_t> skewed_ids;
+  uint64_t last_id = 0;
+  for (int instance : {1, 2, 3, 4}) {
+    auto out = sc.integrator().RunSync(
+        sc.MakeQueryInstance(QueryType::kQT3, instance));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    skewed_ids.push_back(out->query_id);
+    last_id = out->query_id;
+  }
+
+  // The profile proves the >= 10x miss and is the alert's evidence: the
+  // decision record for the offending query holds the operator tree.
+  const obs::DecisionRecord* record = tel.recorder.Find(last_id);
+  ASSERT_NE(record, nullptr);
+  ASSERT_NE(record->profile, nullptr);
+  double worst = 1.0;
+  for (const obs::FragmentProfile& fragment : record->profile->fragments) {
+    ASSERT_NE(fragment.root, nullptr);
+    std::string op;
+    worst = std::max(worst, WorstQError(*fragment.root, &op));
+  }
+  EXPECT_GE(worst, 10.0) << "skew injection failed to break the estimate";
+
+  // kEstimateMiss events fired, carrying the query id as evidence link.
+  EXPECT_GE(tel.recorder.total_estimate_misses(), 2u);
+  size_t miss_events = 0;
+  bool linked_to_query = false;
+  for (const obs::HealthEvent& event : tel.events.events()) {
+    if (event.type != obs::EventType::kEstimateMiss) continue;
+    ++miss_events;
+    EXPECT_FALSE(event.server_id.empty());
+    for (uint64_t id : skewed_ids) {
+      if (event.query_id == id) linked_to_query = true;
+    }
+    EXPECT_NE(event.message.find("\\profile"), std::string::npos)
+        << "miss event should point the operator at the profile";
+  }
+  EXPECT_GE(miss_events, 2u);
+  EXPECT_TRUE(linked_to_query);
+
+  // The estimate-miss rule fires...
+  tel.health.Evaluate(sc.sim().Now());
+  bool estimate_alert = false;
+  for (const obs::AlertRecord* alert : tel.health.ActiveAlerts()) {
+    if (alert->rule.rfind("estimate-miss:", 0) == 0) {
+      estimate_alert = true;
+      // ...with evidence links back to the recorded decisions/profiles.
+      EXPECT_FALSE(alert->decision_query_ids.empty());
+      EXPECT_FALSE(alert->event_seqs.empty());
+    }
+    // ...and the calibration-drift alert stays quiet: the servers never
+    // slowed down, so the QCC has nothing to answer for.
+    EXPECT_NE(alert->rule.rfind("calibration-drift:", 0), size_t{0})
+        << alert->rule;
+  }
+  EXPECT_TRUE(estimate_alert);
+  EXPECT_EQ(tel.recorder.total_drift_events(), 0u);
+}
+
+TEST(EstimateMissTest, FreshStatsStayBelowTheBar) {
+  // Control: the same workload without skew records accuracy samples but
+  // no misses and no estimate-miss alert.
+  ScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.large_rows = 1'000;
+  cfg.small_rows = 100;
+  cfg.profile = true;
+  Scenario sc(cfg);
+  sc.qcc().AttachTo(&sc.integrator());
+
+  for (int instance : {0, 1, 2}) {
+    auto out = sc.integrator().RunSync(
+        sc.MakeQueryInstance(QueryType::kQT3, instance));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+  EXPECT_GT(sc.telemetry().recorder.total_accuracy_samples(), 0u);
+  EXPECT_EQ(sc.telemetry().recorder.total_estimate_misses(), 0u);
+  sc.telemetry().health.Evaluate(sc.sim().Now());
+  for (const obs::AlertRecord* alert :
+       sc.telemetry().health.ActiveAlerts()) {
+    EXPECT_NE(alert->rule.rfind("estimate-miss:", 0), size_t{0})
+        << alert->rule;
+  }
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,298 @@
+// Unit coverage for the operator-profile layer: q-error math, virtual-time
+// derivation, text/JSON rendering with a tolerant reader (the at-rest wire
+// compatibility story), the flight recorder's profile attachment and the
+// cardinality-accuracy scoreboard, and the snapshot accuracy panel's JSON
+// round trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/operator_profile.h"
+#include "obs/profile_export.h"
+#include "obs/snapshot.h"
+
+namespace fedcal::obs {
+namespace {
+
+std::shared_ptr<OperatorProfile> MakeNode(const std::string& op,
+                                          double est, uint64_t out) {
+  auto node = std::make_shared<OperatorProfile>();
+  node->op = op;
+  node->estimated_rows = est;
+  node->rows_out = out;
+  return node;
+}
+
+/// A two-fragment profile with a nested tree and a merge step.
+QueryProfile MakeProfile() {
+  QueryProfile profile;
+  profile.query_id = 42;
+  profile.sql = "SELECT * FROM t";
+  profile.merge_seconds = 0.25;
+
+  FragmentProfile f0;
+  f0.server_id = "S1";
+  f0.fragment_index = 0;
+  f0.signature = 0xabc;
+  f0.estimated_seconds = 1.5;
+  f0.observed_seconds = 1.7;
+  f0.root = MakeNode("HashJoin", 100.0, 80);
+  f0.root->detail = "t1.a = t2.a";
+  f0.root->rows_in = 300;
+  f0.root->batches = 3;
+  f0.root->est_selectivity = 0.5;
+  f0.root->obs_selectivity = 80.0 / 300.0;
+  f0.root->cum_work_units = 10.0;
+  f0.root->cum_io_units = 4.0;
+  f0.root->self_work_units = 6.0;
+  f0.root->self_io_units = 0.0;
+  f0.root->arena_bytes = 2048;
+  f0.root->children.push_back(MakeNode("Scan", 200.0, 200));
+  f0.root->children.push_back(MakeNode("Scan", 100.0, 100));
+
+  FragmentProfile f1;
+  f1.server_id = "S2";
+  f1.fragment_index = 1;
+  f1.signature = 0xdef;
+  f1.root = MakeNode("Scan", 50.0, 20);
+
+  profile.fragments.push_back(std::move(f0));
+  profile.fragments.push_back(std::move(f1));
+  profile.merge = MakeNode("Union", 150.0, 100);
+  return profile;
+}
+
+void ExpectSameTree(const OperatorProfile& a, const OperatorProfile& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_DOUBLE_EQ(a.estimated_rows, b.estimated_rows);
+  EXPECT_EQ(a.rows_in, b.rows_in);
+  EXPECT_EQ(a.rows_out, b.rows_out);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_DOUBLE_EQ(a.est_selectivity, b.est_selectivity);
+  EXPECT_DOUBLE_EQ(a.obs_selectivity, b.obs_selectivity);
+  EXPECT_DOUBLE_EQ(a.cum_work_units, b.cum_work_units);
+  EXPECT_DOUBLE_EQ(a.cum_io_units, b.cum_io_units);
+  EXPECT_DOUBLE_EQ(a.self_work_units, b.self_work_units);
+  EXPECT_DOUBLE_EQ(a.self_io_units, b.self_io_units);
+  EXPECT_EQ(a.arena_bytes, b.arena_bytes);
+  ASSERT_EQ(a.children.size(), b.children.size());
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    ExpectSameTree(*a.children[i], *b.children[i]);
+  }
+}
+
+TEST(OperatorProfileTest, QErrorIsSymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(OperatorProfile::QError(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(OperatorProfile::QError(10.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(OperatorProfile::QError(5.0, 5.0), 1.0);
+  // Both sides floor at one row: a zero-row estimate of a zero-row result
+  // is perfect, not infinite.
+  EXPECT_DOUBLE_EQ(OperatorProfile::QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(OperatorProfile::QError(0.0, 7.0), 7.0);
+}
+
+TEST(OperatorProfileTest, ApplyServerSpeedsUsesServiceTimeFormula) {
+  auto root = MakeNode("Join", 10.0, 10);
+  root->cum_work_units = 100.0;
+  root->cum_io_units = 40.0;
+  root->self_work_units = 50.0;
+  root->self_io_units = 10.0;
+  root->children.push_back(MakeNode("Scan", 5.0, 5));
+  root->children[0]->cum_work_units = 50.0;
+  root->children[0]->cum_io_units = 30.0;
+
+  ApplyServerSpeeds(root.get(), /*cpu_speed=*/200.0, /*io_speed=*/100.0);
+  // (work - io) / cpu + io / io — RemoteServer's service-time formula.
+  EXPECT_DOUBLE_EQ(root->cum_virtual_s, 60.0 / 200.0 + 40.0 / 100.0);
+  EXPECT_DOUBLE_EQ(root->self_virtual_s, 40.0 / 200.0 + 10.0 / 100.0);
+  EXPECT_DOUBLE_EQ(root->children[0]->cum_virtual_s,
+                   20.0 / 200.0 + 30.0 / 100.0);
+}
+
+TEST(OperatorProfileTest, FragmentOutputRowsSumsRoots) {
+  const QueryProfile profile = MakeProfile();
+  EXPECT_EQ(profile.FragmentOutputRows(), 80u + 20u);
+}
+
+TEST(ProfileExportTest, TextRendersTreesAndMerge) {
+  const std::string text = ProfileText(MakeProfile());
+  EXPECT_NE(text.find("query 42"), std::string::npos);
+  EXPECT_NE(text.find("fragment 0 @ S1"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("t1.a = t2.a"), std::string::npos);
+  EXPECT_NE(text.find("merge @ integrator"), std::string::npos);
+  EXPECT_NE(text.find("Union"), std::string::npos);
+  // Estimated and observed cardinality both appear for an operator.
+  EXPECT_NE(text.find("est=100"), std::string::npos);
+  EXPECT_NE(text.find("obs=80"), std::string::npos);
+}
+
+TEST(ProfileExportTest, JsonRoundTripPreservesEveryField) {
+  const QueryProfile profile = MakeProfile();
+  const std::string json = ProfileToJson(profile);
+  auto parsed = ProfileFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryProfile& back = **parsed;
+  EXPECT_EQ(back.query_id, profile.query_id);
+  EXPECT_EQ(back.sql, profile.sql);
+  EXPECT_DOUBLE_EQ(back.merge_seconds, profile.merge_seconds);
+  ASSERT_EQ(back.fragments.size(), 2u);
+  EXPECT_EQ(back.fragments[0].server_id, "S1");
+  EXPECT_EQ(back.fragments[0].signature, size_t{0xabc});
+  EXPECT_DOUBLE_EQ(back.fragments[0].estimated_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(back.fragments[0].observed_seconds, 1.7);
+  ASSERT_NE(back.fragments[0].root, nullptr);
+  ExpectSameTree(*back.fragments[0].root, *profile.fragments[0].root);
+  ASSERT_NE(back.merge, nullptr);
+  ExpectSameTree(*back.merge, *profile.merge);
+}
+
+TEST(ProfileExportTest, ReaderToleratesAbsentMembers) {
+  // Old documents (or hand-written ones) without optional members parse
+  // with defaults — the at-rest compatibility rule of DESIGN.md §18.
+  auto minimal = ProfileFromJson("{\"query_id\": 7}");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ((*minimal)->query_id, 7u);
+  EXPECT_TRUE((*minimal)->fragments.empty());
+  EXPECT_EQ((*minimal)->merge, nullptr);
+
+  auto empty = ProfileFromJson("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ((*empty)->query_id, 0u);
+
+  EXPECT_FALSE(ProfileFromJson("not json").ok());
+}
+
+TEST(ProfileExportTest, DecisionJsonCarriesProfileOnlyWhenPresent) {
+  DecisionRecord record;
+  record.query_id = 9;
+  const std::string without = DecisionToJson(record);
+  EXPECT_EQ(without.find("\"profile\""), std::string::npos);
+
+  record.profile = std::make_shared<QueryProfile>(MakeProfile());
+  const std::string with = DecisionToJson(record);
+  EXPECT_NE(with.find("\"profile\""), std::string::npos);
+  EXPECT_NE(with.find("\"query_id\": 42"), std::string::npos);
+}
+
+TEST(FlightRecorderProfileTest, AttachProfileRequiresRecordedDecision) {
+  FlightRecorder recorder;
+  DecisionRecord record;
+  record.query_id = 5;
+  recorder.Record(record);
+
+  EXPECT_FALSE(recorder.AttachProfile(99, nullptr));
+  auto profile = std::make_shared<QueryProfile>(MakeProfile());
+  EXPECT_TRUE(recorder.AttachProfile(5, profile));
+  const DecisionRecord* found = recorder.Find(5);
+  ASSERT_NE(found, nullptr);
+  ASSERT_NE(found->profile, nullptr);
+  EXPECT_EQ(found->profile->query_id, 42u);
+
+  recorder.set_enabled(false);
+  EXPECT_FALSE(recorder.AttachProfile(5, profile));
+}
+
+TEST(FlightRecorderProfileTest, AccuracyScoreboardCountsMisses) {
+  FlightRecorderConfig config;
+  config.estimate_miss_qerror = 10.0;
+  FlightRecorder recorder(config);
+
+  // q-error 2: a sample, not a miss.
+  EXPECT_FALSE(recorder.RecordAccuracySample("S1", "HashJoin", 1.0,
+                                             /*estimated=*/100.0,
+                                             /*observed=*/50.0));
+  // q-error 20: a miss.
+  EXPECT_TRUE(recorder.RecordAccuracySample("S1", "HashJoin", 2.0,
+                                            /*estimated=*/1000.0,
+                                            /*observed=*/50.0));
+  EXPECT_FALSE(recorder.RecordAccuracySample("S2", "Scan", 3.0, 10.0, 10.0));
+
+  EXPECT_EQ(recorder.total_accuracy_samples(), 3u);
+  EXPECT_EQ(recorder.total_estimate_misses(), 1u);
+  const auto& cells = recorder.accuracy_by_server_op();
+  ASSERT_EQ(cells.size(), 2u);
+  const AccuracyCell& join = cells.at({"S1", "HashJoin"});
+  EXPECT_EQ(join.samples, 2u);
+  EXPECT_EQ(join.misses, 1u);
+  EXPECT_DOUBLE_EQ(join.last_estimated, 1000.0);
+  EXPECT_DOUBLE_EQ(join.last_observed, 50.0);
+  ASSERT_EQ(join.q_error.size(), 2u);
+  EXPECT_DOUBLE_EQ(join.q_error.at(1).value, 20.0);
+  EXPECT_DOUBLE_EQ(join.abs_error.at(1).value, 950.0);
+
+  // Template cells track the worst-operator q-error fed by the caller.
+  EXPECT_TRUE(recorder.RecordTemplateAccuracy(0x77, 4.0, /*q_error=*/12.0,
+                                              /*abs_error=*/300.0));
+  EXPECT_FALSE(recorder.RecordTemplateAccuracy(0x77, 5.0, 1.5, 2.0));
+  const AccuracyCell& tmpl = recorder.accuracy_by_template().at(0x77);
+  EXPECT_EQ(tmpl.samples, 2u);
+  EXPECT_EQ(tmpl.misses, 1u);
+
+  const std::string text = AccuracyText(recorder);
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("77"), std::string::npos);  // template signature hex
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.accuracy_by_server_op().empty());
+  EXPECT_EQ(recorder.total_accuracy_samples(), 0u);
+}
+
+TEST(FlightRecorderProfileTest, AccuracyTextEmptyPlaceholder) {
+  FlightRecorder recorder;
+  EXPECT_NE(AccuracyText(recorder).find("no profiled runs yet"),
+            std::string::npos);
+}
+
+TEST(SnapshotAccuracyTest, PanelRoundTripsThroughJson) {
+  EventLog events{/*sim=*/nullptr};
+  FlightRecorder recorder;
+  HealthEngine health{&events, &recorder, /*metrics=*/nullptr};
+  recorder.RecordAccuracySample("S1", "HashJoin", 1.0, 1000.0, 50.0);
+  recorder.RecordAccuracySample("S1", "HashJoin", 2.0, 100.0, 50.0);
+
+  const HealthSnapshot snap = BuildHealthSnapshot(health, recorder, events,
+                                                  /*now=*/2.0, {"S1"});
+  ASSERT_EQ(snap.accuracy.size(), 1u);
+  EXPECT_EQ(snap.accuracy[0].server_id, "S1");
+  EXPECT_EQ(snap.accuracy[0].op, "HashJoin");
+  EXPECT_EQ(snap.accuracy[0].samples, 2u);
+  EXPECT_EQ(snap.accuracy[0].misses, 1u);
+  EXPECT_DOUBLE_EQ(snap.accuracy[0].max_q_error, 20.0);
+
+  const std::string json = HealthSnapshotToJson(snap);
+  auto back = HealthSnapshotFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->accuracy.size(), 1u);
+  EXPECT_EQ(back->accuracy[0].op, "HashJoin");
+  EXPECT_EQ(back->accuracy[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(back->accuracy[0].max_q_error, 20.0);
+  // Round-tripped snapshots re-serialize byte-identically.
+  EXPECT_EQ(HealthSnapshotToJson(*back), json);
+
+  // The accuracy panel reaches the rendered dashboard.
+  EXPECT_NE(FedtopText(snap).find("HashJoin"), std::string::npos);
+}
+
+TEST(SnapshotAccuracyTest, ProfileLessSnapshotOmitsPanel) {
+  EventLog events{/*sim=*/nullptr};
+  FlightRecorder recorder;
+  HealthEngine health{&events, &recorder, /*metrics=*/nullptr};
+  const HealthSnapshot snap =
+      BuildHealthSnapshot(health, recorder, events, 1.0, {"S1"});
+  EXPECT_TRUE(snap.accuracy.empty());
+  const std::string json = HealthSnapshotToJson(snap);
+  EXPECT_EQ(json.find("\"accuracy\""), std::string::npos);
+  auto back = HealthSnapshotFromJson(json);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->accuracy.empty());
+}
+
+}  // namespace
+}  // namespace fedcal::obs

@@ -1,0 +1,106 @@
+// Concurrency coverage for Table::FromColumnar's lazy row materialization.
+//
+// Columnar-backed fragment results materialize rows on first row()/rows()
+// access behind an internal mutex. In serving mode multiple workers can
+// hit that first access simultaneously (and, with profiling on, readers
+// also poll num_rows()/byte_size() for batch accounting), so the lazy
+// conversion must be free of data races — this is a TSan-labeled test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+constexpr size_t kRows = 4'096;
+constexpr size_t kBatch = 256;  // many chunks -> non-trivial materialization
+
+std::shared_ptr<Table> MakeColumnarBacked() {
+  Table base("base", Schema({{"id", DataType::kInt64},
+                             {"score", DataType::kDouble},
+                             {"tag", DataType::kString}}));
+  base.Reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    base.AppendRowUnchecked({I(static_cast<int64_t>(i)),
+                             D(static_cast<double>(i) * 0.5),
+                             S(i % 3 == 0 ? "fizz" : "buzz")});
+  }
+  return Table::FromColumnar("wrapped", base.columnar(kBatch));
+}
+
+TEST(FromColumnarConcurrencyTest, LazyMaterializationRacedByWorkers) {
+  auto table = MakeColumnarBacked();
+  constexpr int kWorkers = 8;
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> checksum{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Every worker's very first access triggers (or races into) the
+      // lazy row materialization; interleave the cheap metadata reads a
+      // profiling reader would issue.
+      uint64_t local = 0;
+      for (size_t i = w; i < table->num_rows(); i += kWorkers) {
+        const Row& row = table->row(i);
+        local += static_cast<uint64_t>(row[0].AsInt64());
+        local += table->byte_size() > 0 ? 1 : 0;
+      }
+      checksum.fetch_add(local, std::memory_order_acq_rel);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < kWorkers) {
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  // Every row was seen exactly once across the strided workers.
+  const uint64_t ids = kRows * (kRows - 1) / 2;
+  EXPECT_EQ(checksum.load(), ids + kRows * 1u);
+  EXPECT_EQ(table->num_rows(), kRows);
+}
+
+TEST(FromColumnarConcurrencyTest, MixedColumnarAndRowReaders) {
+  auto table = MakeColumnarBacked();
+  constexpr int kWorkers = 8;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      if (w % 2 == 0) {
+        // Columnar readers (the merge path) never force materialization.
+        ColumnarTablePtr columnar = table->columnar(kBatch);
+        ASSERT_NE(columnar, nullptr);
+        EXPECT_EQ(columnar->num_rows(), kRows);
+      } else {
+        // Row readers force it; both must coexist.
+        EXPECT_EQ(table->rows().size(), kRows);
+        EXPECT_EQ(table->row(kRows - 1)[0].AsInt64(),
+                  static_cast<int64_t>(kRows - 1));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(table->num_rows(), kRows);
+}
+
+}  // namespace
+}  // namespace fedcal

@@ -1,0 +1,93 @@
+// Help-drift gate for the fedql shell: every backslash command the
+// dispatcher accepts must be documented in the grouped \help output, and
+// every command \help documents must actually be dispatched. The shell is
+// an interactive binary, so this audits its source directly (the path is
+// injected by CMake) — the same technique as a docs lint, but compiled
+// into the test suite so drift fails CI.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace fedcal {
+namespace {
+
+std::string ReadShellSource() {
+  std::ifstream in(FEDQL_SHELL_SOURCE);
+  EXPECT_TRUE(in.good()) << "cannot open " << FEDQL_SHELL_SOURCE;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Commands the dispatcher compares against (`cmd == "..."`).
+std::set<std::string> DispatchedCommands(const std::string& source) {
+  std::set<std::string> commands;
+  const std::regex pattern("cmd == \"([a-z?]+)\"");
+  for (std::sregex_iterator it(source.begin(), source.end(), pattern), end;
+       it != end; ++it) {
+    commands.insert((*it)[1].str());
+  }
+  return commands;
+}
+
+/// Commands documented in PrintCommandList (source spells them `\\name`).
+std::set<std::string> DocumentedCommands(const std::string& source) {
+  const size_t begin = source.find("void PrintCommandList()");
+  EXPECT_NE(begin, std::string::npos);
+  const size_t end = source.find("\n}", begin);
+  EXPECT_NE(end, std::string::npos);
+  const std::string body = source.substr(begin, end - begin);
+  std::set<std::string> commands;
+  const std::regex pattern(R"(\\\\([a-z]+))");
+  for (std::sregex_iterator it(body.begin(), body.end(), pattern), bend;
+       it != bend; ++it) {
+    commands.insert((*it)[1].str());
+  }
+  return commands;
+}
+
+TEST(ShellHelpTest, EveryDispatchedCommandIsDocumented) {
+  const std::string source = ReadShellSource();
+  const std::set<std::string> dispatched = DispatchedCommands(source);
+  const std::set<std::string> documented = DocumentedCommands(source);
+  ASSERT_FALSE(dispatched.empty());
+  ASSERT_FALSE(documented.empty());
+
+  for (const std::string& cmd : dispatched) {
+    // Single-character forms (q, h, ?) are aliases of documented
+    // commands, not commands of their own.
+    if (cmd.size() <= 1) continue;
+    EXPECT_TRUE(documented.count(cmd))
+        << "\\" << cmd << " is dispatched but missing from \\help "
+        << "— add it to PrintCommandList";
+  }
+}
+
+TEST(ShellHelpTest, EveryDocumentedCommandIsDispatched) {
+  const std::string source = ReadShellSource();
+  const std::set<std::string> dispatched = DispatchedCommands(source);
+  for (const std::string& cmd : DocumentedCommands(source)) {
+    EXPECT_TRUE(dispatched.count(cmd))
+        << "\\help documents \\" << cmd
+        << " but the dispatcher does not accept it";
+  }
+}
+
+TEST(ShellHelpTest, CoreCommandRosterPresent) {
+  // The roster \help must never silently lose — including the panels
+  // added by later PRs (sched/contention/mode, profile/accuracy).
+  const std::string source = ReadShellSource();
+  const std::set<std::string> documented = DocumentedCommands(source);
+  for (const char* cmd :
+       {"tables", "explain", "profile", "accuracy", "trace", "sched",
+        "contention", "mode", "health", "qcc", "help", "quit"}) {
+    EXPECT_TRUE(documented.count(cmd)) << "\\" << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace fedcal

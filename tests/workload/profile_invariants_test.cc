@@ -1,0 +1,203 @@
+// Operator-profile correctness over the federated testbed.
+//
+// Differential: profiling is observability-only — with ExecConfig::profile
+// on, result rows, routing decisions, and bit-identical simulated timings
+// must match the unprofiled run on the full query corpus.
+//
+// Invariants: for a multi-fragment partial-replication query, in both
+// engines and both exec modes (sim + serving), every operator carries a
+// populated cardinality estimate and observation, children's cumulative
+// cost nests under their parent's, and the merge consumed exactly the rows
+// the fragments produced.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/operator_profile.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace fedcal {
+namespace {
+
+using namespace fedcal::testing;  // NOLINT
+
+constexpr double kEps = 1e-9;
+
+ScenarioConfig BaseConfig(bool profile, bool columnar, ExecMode mode) {
+  ScenarioConfig cfg;
+  cfg.seed = 17;
+  cfg.large_rows = 2'000;
+  cfg.small_rows = 200;
+  cfg.full_replication = false;  // joins decompose across servers
+  cfg.columnar_engine = columnar;
+  cfg.batch_rows = 256;
+  cfg.profile = profile;
+  cfg.exec_mode = mode;
+  cfg.serving_workers = 1;
+  return cfg;
+}
+
+void ExpectIdenticalTables(const Table& a, const Table& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.row(r), b.row(r)) << label << " row " << r;
+  }
+}
+
+TEST(ProfileDifferentialTest, ProfilingChangesNoResultOrRouting) {
+  auto off_sc = std::make_unique<Scenario>(
+      BaseConfig(false, false, ExecMode::kSimulation));
+  auto on_sc = std::make_unique<Scenario>(
+      BaseConfig(true, false, ExecMode::kSimulation));
+  off_sc->qcc().AttachTo(&off_sc->integrator());
+  on_sc->qcc().AttachTo(&on_sc->integrator());
+
+  for (QueryType type : AllQueryTypes()) {
+    for (int instance : {0, 3}) {
+      const std::string sql = off_sc->MakeQueryInstance(type, instance);
+      const std::string label = std::string(QueryTypeName(type)) + "#" +
+                                std::to_string(instance);
+      auto off = off_sc->integrator().RunSync(sql);
+      auto on = on_sc->integrator().RunSync(sql);
+      ASSERT_TRUE(off.ok()) << label << ": " << off.status().ToString();
+      ASSERT_TRUE(on.ok()) << label << ": " << on.status().ToString();
+
+      // Identical routing and bit-identical virtual timings: profiling
+      // must be invisible to the simulation and the optimizer.
+      EXPECT_EQ(off->executed_plan.server_set, on->executed_plan.server_set)
+          << label;
+      EXPECT_EQ(off->response_seconds, on->response_seconds) << label;
+      EXPECT_EQ(off->retries, on->retries) << label;
+      ASSERT_NE(off->table, nullptr) << label;
+      ASSERT_NE(on->table, nullptr) << label;
+      ExpectIdenticalTables(*off->table, *on->table, label);
+
+      // The profiled run attached a profile; the unprofiled run did not.
+      const obs::DecisionRecord* off_rec =
+          off_sc->telemetry().recorder.Find(off->query_id);
+      const obs::DecisionRecord* on_rec =
+          on_sc->telemetry().recorder.Find(on->query_id);
+      ASSERT_NE(off_rec, nullptr) << label;
+      ASSERT_NE(on_rec, nullptr) << label;
+      EXPECT_EQ(off_rec->profile, nullptr) << label;
+      ASSERT_NE(on_rec->profile, nullptr) << label;
+      EXPECT_EQ(on_rec->profile->query_id, on->query_id) << label;
+    }
+  }
+  EXPECT_EQ(off_sc->sim().Now(), on_sc->sim().Now());
+}
+
+/// Asserts the per-node invariants over one operator tree.
+void CheckTree(const obs::OperatorProfile& node, const std::string& label) {
+  EXPECT_FALSE(node.op.empty()) << label;
+  // Estimated and observed cardinality both populated: the plan annotation
+  // reached the profile, and the executor stamped its output.
+  EXPECT_GT(node.estimated_rows, 0.0) << label << " " << node.op;
+  EXPECT_GE(node.obs_selectivity, 0.0) << label << " " << node.op;
+  EXPECT_GE(node.cum_work_units, 0.0) << label << " " << node.op;
+  EXPECT_GE(node.cum_virtual_s, 0.0) << label << " " << node.op;
+  EXPECT_GE(node.cum_wall_s, 0.0) << label << " " << node.op;
+
+  double child_work = 0.0;
+  double child_virtual = 0.0;
+  for (const auto& child : node.children) {
+    ASSERT_NE(child, nullptr) << label;
+    // Child cumulative <= parent cumulative, per child and summed.
+    EXPECT_LE(child->cum_work_units, node.cum_work_units + kEps)
+        << label << " " << node.op << "/" << child->op;
+    EXPECT_LE(child->cum_virtual_s, node.cum_virtual_s + kEps)
+        << label << " " << node.op << "/" << child->op;
+    child_work += child->cum_work_units;
+    child_virtual += child->cum_virtual_s;
+    CheckTree(*child, label);
+  }
+  EXPECT_LE(child_work, node.cum_work_units + kEps) << label << " " << node.op;
+  EXPECT_LE(child_virtual, node.cum_virtual_s + kEps)
+      << label << " " << node.op;
+  // The self split is exactly cum minus the children's cum.
+  EXPECT_NEAR(node.self_work_units, node.cum_work_units - child_work, kEps)
+      << label << " " << node.op;
+}
+
+void RunInvariantCase(bool columnar, ExecMode mode) {
+  const std::string label = std::string(columnar ? "columnar" : "row") +
+                            "/" + ExecModeName(mode);
+  Scenario sc(BaseConfig(true, columnar, mode));
+  sc.qcc().AttachTo(&sc.integrator());
+
+  bool saw_multi_fragment = false;
+  for (QueryType type : AllQueryTypes()) {
+    const std::string sql = sc.MakeQueryInstance(type, 1);
+    auto out = sc.integrator().RunSync(sql);
+    ASSERT_TRUE(out.ok()) << label << ": " << out.status().ToString();
+
+    const obs::DecisionRecord* record =
+        sc.telemetry().recorder.Find(out->query_id);
+    ASSERT_NE(record, nullptr) << label;
+    ASSERT_NE(record->profile, nullptr) << label << " " << QueryTypeName(type);
+    const obs::QueryProfile& profile = *record->profile;
+    EXPECT_EQ(profile.query_id, out->query_id);
+    ASSERT_FALSE(profile.fragments.empty()) << label;
+
+    for (const obs::FragmentProfile& fragment : profile.fragments) {
+      ASSERT_NE(fragment.root, nullptr)
+          << label << " fragment " << fragment.fragment_index;
+      EXPECT_FALSE(fragment.server_id.empty()) << label;
+      EXPECT_GT(fragment.estimated_seconds, 0.0) << label;
+      EXPECT_GT(fragment.observed_seconds, 0.0) << label;
+      CheckTree(*fragment.root,
+                label + " frag@" + fragment.server_id);
+    }
+
+    if (profile.fragments.size() > 1) {
+      saw_multi_fragment = true;
+      // The merge consumed exactly the rows the fragments produced.
+      ASSERT_NE(profile.merge, nullptr) << label;
+      CheckTree(*profile.merge, label + " merge");
+      uint64_t merge_leaf_rows = 0;
+      // Sum rows over the merge tree's leaves: each leaf scans one
+      // fragment result table.
+      std::vector<const obs::OperatorProfile*> stack{profile.merge.get()};
+      while (!stack.empty()) {
+        const obs::OperatorProfile* node = stack.back();
+        stack.pop_back();
+        if (node->children.empty()) {
+          merge_leaf_rows += node->rows_in;
+        } else {
+          for (const auto& child : node->children) {
+            stack.push_back(child.get());
+          }
+        }
+      }
+      EXPECT_EQ(merge_leaf_rows, profile.FragmentOutputRows())
+          << label << " " << QueryTypeName(type);
+    }
+  }
+  EXPECT_TRUE(saw_multi_fragment)
+      << label << ": partial replication produced no multi-fragment plan, "
+      << "the invariant case lost its teeth";
+}
+
+TEST(ProfileInvariantsTest, RowEngineSimulation) {
+  RunInvariantCase(/*columnar=*/false, ExecMode::kSimulation);
+}
+
+TEST(ProfileInvariantsTest, ColumnarEngineSimulation) {
+  RunInvariantCase(/*columnar=*/true, ExecMode::kSimulation);
+}
+
+TEST(ProfileInvariantsTest, RowEngineServing) {
+  RunInvariantCase(/*columnar=*/false, ExecMode::kServing);
+}
+
+TEST(ProfileInvariantsTest, ColumnarEngineServing) {
+  RunInvariantCase(/*columnar=*/true, ExecMode::kServing);
+}
+
+}  // namespace
+}  // namespace fedcal

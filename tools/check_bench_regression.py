@@ -201,16 +201,73 @@ def update_baselines(fresh_dir, baseline_dir):
     return 0
 
 
+def self_test():
+    """Exercises both gate directions against throwaway fixtures: a clean
+    match passes, a fresh bench without a baseline fails, and a committed
+    baseline without fresh output (orphan) fails. Run from ctest."""
+    import subprocess
+    import tempfile
+
+    bench = {"bench": "demo", "checks": [], "failed": 0,
+             "workloads": [{"label": "w", "queries": 4}], "scalars": []}
+
+    def run_case(label, baselines, fresh, expect_rc, expect_text=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "baselines")
+            fresh_dir = os.path.join(tmp, "fresh")
+            os.makedirs(base_dir)
+            os.makedirs(fresh_dir)
+            for name in baselines:
+                with open(os.path.join(base_dir, name), "w",
+                          encoding="utf-8") as f:
+                    json.dump(bench, f)
+            for name in fresh:
+                with open(os.path.join(fresh_dir, name), "w",
+                          encoding="utf-8") as f:
+                    json.dump(bench, f)
+            proc = subprocess.run(
+                [sys.executable, os.path.abspath(__file__),
+                 "--baseline-dir", base_dir, "--fresh-dir", fresh_dir],
+                capture_output=True, text=True, check=False)
+            ok = proc.returncode == expect_rc and (
+                expect_text is None or expect_text in proc.stdout)
+            print(f"  {'PASS' if ok else 'FAIL'}  {label} "
+                  f"(rc={proc.returncode}, want {expect_rc})")
+            if not ok:
+                print(proc.stdout)
+            return ok
+
+    results = [
+        run_case("matching baseline and fresh output",
+                 ["BENCH_a.json"], ["BENCH_a.json"], 0),
+        run_case("fresh bench without committed baseline",
+                 ["BENCH_a.json"], ["BENCH_a.json", "BENCH_b.json"], 1,
+                 "no committed baseline"),
+        run_case("orphaned committed baseline (no fresh output)",
+                 ["BENCH_a.json", "BENCH_b.json"], ["BENCH_a.json"], 1,
+                 "ORPHAN"),
+    ]
+    return 0 if all(results) else 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", default="bench/baselines")
-    parser.add_argument("--fresh-dir", required=True,
+    parser.add_argument("--fresh-dir",
                         help="directory holding freshly produced "
                              "BENCH_<name>.json files")
     parser.add_argument("--update-baselines", action="store_true",
                         help="adopt the fresh output as the new baselines "
                              "instead of comparing against them")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the gate against throwaway fixtures "
+                             "and exit (used by ctest)")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.fresh_dir:
+        parser.error("--fresh-dir is required")
 
     if args.update_baselines:
         return update_baselines(args.fresh_dir, args.baseline_dir)
@@ -223,15 +280,22 @@ def main():
         return 1
 
     # Check every baseline (never stop at the first failure) and bucket
-    # the violations per bench for the summary table.
+    # the violations per bench for the summary table. A committed baseline
+    # with no fresh output is an *orphan*: the bench was deleted or renamed
+    # without retiring its baseline (or simply was not run), and nothing
+    # would ever gate it again — fail and name it distinctly.
     per_bench = {}
+    orphans = set()
     for name in baselines:
         bench = name[len("BENCH_"):-len(".json")]
         problems = per_bench.setdefault(bench, [])
         fresh_path = os.path.join(args.fresh_dir, name)
         if not os.path.exists(fresh_path):
-            problems.append(f"{bench}: no fresh output in {args.fresh_dir} "
-                            f"(bench not run or renamed)")
+            orphans.add(bench)
+            problems.append(
+                f"{bench}: committed baseline {name} is orphaned: no fresh "
+                f"output in {args.fresh_dir} (bench deleted/renamed without "
+                f"retiring its baseline, or not run)")
             continue
         compare(bench, load(os.path.join(args.baseline_dir, name)),
                 load(fresh_path), problems)
@@ -263,11 +327,12 @@ def main():
     print(f"  {'-' * width}  ------  --------")
     for bench in sorted(per_bench):
         n = len(per_bench[bench])
-        print(f"  {bench:<{width}}  {'FAIL' if n else 'PASS':<6}  "
-              f"{n if n else '-'}")
+        verdict = "ORPHAN" if bench in orphans else ("FAIL" if n else "PASS")
+        print(f"  {bench:<{width}}  {verdict:<6}  {n if n else '-'}")
     failed = sum(1 for p in per_bench.values() if p)
     print(f"\nbench-regression gate: {len(per_bench) - failed}/"
-          f"{len(per_bench)} bench(es) match their baselines")
+          f"{len(per_bench)} bench(es) match their baselines"
+          + (f" ({len(orphans)} orphaned baseline(s))" if orphans else ""))
     return 1 if total else 0
 
 

@@ -33,10 +33,16 @@
 //   --queries N       serve: instances per query type (default 8)
 //   --follow          serve: live re-render while the workload runs
 //   --interval S      serve: wall seconds between follow frames (default 0.5)
+//   --profile         record per-operator runtime profiles (adds the
+//                     accuracy panel to the screen and operator slices to
+//                     the trace)
 //   --json PATH       write the final health snapshot as JSON
 //   --metrics PATH    write the final metrics snapshot as JSON
 //   --events PATH     write the full event log as JSON
 //   --trace PATH      write a Chrome/Perfetto trace of the run's spans
+//   --profile-json P  write the last profiled query's operator profile as
+//                     JSON (requires --profile)
+//   --accuracy PATH   write the cost-model accuracy scoreboard as text
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -49,6 +55,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/profile_export.h"
 #include "obs/snapshot.h"
 #include "obs/trace_export.h"
 #include "sim/fault_injector.h"
@@ -103,10 +110,13 @@ struct Options {
   int queries_per_type = 8;
   bool follow = false;
   double interval_s = 0.5;
+  bool profile = false;
   std::string json_path;
   std::string metrics_path;
   std::string events_path;
   std::string trace_path;
+  std::string profile_json_path;
+  std::string accuracy_path;
   std::string snapshot_file;  ///< non-empty = render-only mode
 };
 
@@ -188,6 +198,16 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
       const char* v = value("--trace");
       if (v == nullptr) return false;
       opts->trace_path = v;
+    } else if (arg == "--profile") {
+      opts->profile = true;
+    } else if (arg == "--profile-json") {
+      const char* v = value("--profile-json");
+      if (v == nullptr) return false;
+      opts->profile_json_path = v;
+    } else if (arg == "--accuracy") {
+      const char* v = value("--accuracy");
+      if (v == nullptr) return false;
+      opts->accuracy_path = v;
     } else if (!arg.empty() && arg[0] == '-') {
       *error = "unknown option " + arg;
       return false;
@@ -200,6 +220,10 @@ bool ParseArgs(int argc, char** argv, Options* opts, std::string* error) {
   }
   if (opts->serve && !opts->snapshot_file.empty()) {
     *error = "--serve and a snapshot file are mutually exclusive";
+    return false;
+  }
+  if (!opts->profile_json_path.empty() && !opts->profile) {
+    *error = "--profile-json requires --profile";
     return false;
   }
   return true;
@@ -224,8 +248,35 @@ int WriteOutputs(const Options& opts, Scenario& sc,
   }
   if (!opts.trace_path.empty() &&
       !WriteFile(opts.trace_path,
-                 obs::ChromeTraceJson(sc.telemetry().tracer))) {
+                 // With the recorder attached, profiled queries render
+                 // nested per-operator slices inside their exec spans.
+                 obs::TraceExporter(&sc.telemetry().tracer,
+                                    &sc.telemetry().recorder)
+                     .ToChromeJson())) {
     return Fail("cannot write " + opts.trace_path);
+  }
+  if (!opts.profile_json_path.empty()) {
+    // The most recent decision that carries a profile (the very last
+    // query may have failed before producing one).
+    const obs::QueryProfile* profile = nullptr;
+    const auto& decisions = sc.telemetry().recorder.decisions();
+    for (auto it = decisions.rbegin(); it != decisions.rend(); ++it) {
+      if (it->profile != nullptr) {
+        profile = it->profile.get();
+        break;
+      }
+    }
+    if (profile == nullptr) {
+      return Fail("no profiled query to write to " + opts.profile_json_path);
+    }
+    if (!WriteFile(opts.profile_json_path, obs::ProfileToJson(*profile))) {
+      return Fail("cannot write " + opts.profile_json_path);
+    }
+  }
+  if (!opts.accuracy_path.empty() &&
+      !WriteFile(opts.accuracy_path,
+                 obs::AccuracyText(sc.telemetry().recorder))) {
+    return Fail("cannot write " + opts.accuracy_path);
   }
   return 0;
 }
@@ -234,6 +285,7 @@ int RunLive(const Options& opts) {
   ScenarioConfig cfg;
   cfg.large_rows = 20'000;
   cfg.small_rows = 1'000;
+  cfg.profile = opts.profile;
   Scenario sc(cfg);
   sc.qcc().AttachTo(&sc.integrator());
 
@@ -294,6 +346,7 @@ int RunServe(const Options& opts) {
   cfg.exec_mode = ExecMode::kServing;
   cfg.serving_workers = opts.workers;
   cfg.serving_time_scale = opts.time_scale;
+  cfg.profile = opts.profile;
   Scenario sc(cfg);
   QccConfig qcc;
   // Between submissions the dispatcher would free-run periodic probes
